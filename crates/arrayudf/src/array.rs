@@ -1,0 +1,192 @@
+//! Dense row-major 2-D arrays.
+
+/// A dense 2-D array stored row-major.
+///
+/// In DASSA convention, `rows` indexes channels and `cols` indexes time
+/// samples, so a row is one channel's contiguous time series — the layout
+/// both DasLib kernels and dasf hyperslab reads want.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array2<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Array2<T> {
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> T) -> Array2<T> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Array2 { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Array2<T> {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Array2 { rows, cols, data }
+    }
+
+    /// A constant-filled array.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Array2<T> {
+        Array2 {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Number of rows (channels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (time samples).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Set element at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// One row (a channel's full time series) as a contiguous slice.
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The whole buffer, row-major.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the whole buffer, row-major.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Copy a contiguous band of rows `r0..r1` into a new array.
+    pub fn row_block(&self, r0: usize, r1: usize) -> Array2<T> {
+        assert!(r0 <= r1 && r1 <= self.rows, "row block {r0}..{r1} out of bounds");
+        Array2 {
+            rows: r1 - r0,
+            cols: self.cols,
+            data: self.data[r0 * self.cols..r1 * self.cols].to_vec(),
+        }
+    }
+
+    /// Stack arrays vertically (same column count).
+    pub fn vstack(blocks: &[Array2<T>]) -> Array2<T> {
+        assert!(!blocks.is_empty(), "vstack needs at least one block");
+        let cols = blocks[0].cols;
+        assert!(blocks.iter().all(|b| b.cols == cols), "column mismatch in vstack");
+        let rows = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            data.extend_from_slice(&b.data);
+        }
+        Array2 { rows, cols, data }
+    }
+}
+
+impl<T: Copy + Default> Array2<T> {
+    /// A default-initialized array.
+    pub fn zeroed(rows: usize, cols: usize) -> Array2<T> {
+        Array2 {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let a = Array2::from_fn(2, 3, |r, c| (r * 10 + c) as i32);
+        assert_eq!(a.as_slice(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(a.get(1, 2), 12);
+        assert_eq!(a.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut a = Array2::<f64>::zeroed(3, 3);
+        a.set(2, 1, 7.5);
+        assert_eq!(a.get(2, 1), 7.5);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_block_extracts_band() {
+        let a = Array2::from_fn(5, 2, |r, c| r * 2 + c);
+        let b = a.row_block(1, 4);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.row(0), a.row(1));
+        assert_eq!(b.row(2), a.row(3));
+    }
+
+    #[test]
+    fn vstack_reassembles_blocks() {
+        let a = Array2::from_fn(4, 3, |r, c| (r, c));
+        let blocks = [a.row_block(0, 2), a.row_block(2, 3), a.row_block(3, 4)];
+        assert_eq!(Array2::vstack(&blocks), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        Array2::<u8>::zeroed(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn bad_from_vec_panics() {
+        Array2::from_vec(2, 3, vec![0u8; 5]);
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = Array2::<f32>::zeroed(0, 5);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+}

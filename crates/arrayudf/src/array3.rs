@@ -1,0 +1,237 @@
+//! Dense 3-D arrays.
+//!
+//! The paper (§IV): "In certain cases, a multidimensional array is
+//! needed to store intermediate data during analysis. For example,
+//! during the stacking operation of the DAS data analysis pipeline, a
+//! 3D data array with a striping size as the third dimension may be
+//! produced." [`Array3`] is that intermediate: in the stacking pipeline
+//! it holds `channel × lag × window` cross-correlations before the
+//! window axis is collapsed.
+
+use crate::array::Array2;
+
+/// A dense 3-D array, row-major over `(d0, d1, d2)` — `d2` contiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array3<T> {
+    d0: usize,
+    d1: usize,
+    d2: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Array3<T> {
+    /// Build from a closure over `(i, j, k)`.
+    pub fn from_fn(d0: usize, d1: usize, d2: usize, f: impl Fn(usize, usize, usize) -> T) -> Array3<T> {
+        let mut data = Vec::with_capacity(d0 * d1 * d2);
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    data.push(f(i, j, k));
+                }
+            }
+        }
+        Array3 { d0, d1, d2, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != d0 * d1 * d2`.
+    pub fn from_vec(d0: usize, d1: usize, d2: usize, data: Vec<T>) -> Array3<T> {
+        assert_eq!(data.len(), d0 * d1 * d2, "buffer length must equal d0*d1*d2");
+        Array3 { d0, d1, d2, data }
+    }
+
+    /// Shape as `(d0, d1, d2)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.d0, self.d1, self.d2)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> T {
+        assert!(
+            i < self.d0 && j < self.d1 && k < self.d2,
+            "index ({i},{j},{k}) out of bounds {:?}",
+            self.dims()
+        );
+        self.data[(i * self.d1 + j) * self.d2 + k]
+    }
+
+    /// Set an element.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, value: T) {
+        assert!(
+            i < self.d0 && j < self.d1 && k < self.d2,
+            "index ({i},{j},{k}) out of bounds {:?}",
+            self.dims()
+        );
+        self.data[(i * self.d1 + j) * self.d2 + k] = value;
+    }
+
+    /// The contiguous innermost lane at `(i, j, ..)`.
+    pub fn lane(&self, i: usize, j: usize) -> &[T] {
+        assert!(i < self.d0 && j < self.d1, "lane ({i},{j}) out of bounds");
+        let base = (i * self.d1 + j) * self.d2;
+        &self.data[base..base + self.d2]
+    }
+
+    /// The 2-D slice at fixed first index `i` (a `d1 × d2` array).
+    pub fn slice0(&self, i: usize) -> Array2<T> {
+        assert!(i < self.d0, "slice {i} out of bounds");
+        let base = i * self.d1 * self.d2;
+        Array2::from_vec(
+            self.d1,
+            self.d2,
+            self.data[base..base + self.d1 * self.d2].to_vec(),
+        )
+    }
+
+    /// The whole buffer, row-major.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl Array3<f64> {
+    /// Collapse the **last** axis by averaging — the stacking reduction
+    /// (`channel × lag × window` → `channel × lag`).
+    pub fn mean_axis2(&self) -> Array2<f64> {
+        let mut out = Vec::with_capacity(self.d0 * self.d1);
+        for i in 0..self.d0 {
+            for j in 0..self.d1 {
+                let lane = self.lane(i, j);
+                let mean = if lane.is_empty() {
+                    0.0
+                } else {
+                    lane.iter().sum::<f64>() / lane.len() as f64
+                };
+                out.push(mean);
+            }
+        }
+        Array2::from_vec(self.d0, self.d1, out)
+    }
+
+    /// Collapse the **middle** axis by averaging (`d0 × d2` result).
+    pub fn mean_axis1(&self) -> Array2<f64> {
+        let mut out = vec![0.0f64; self.d0 * self.d2];
+        for i in 0..self.d0 {
+            for j in 0..self.d1 {
+                let lane = self.lane(i, j);
+                for (k, &v) in lane.iter().enumerate() {
+                    out[i * self.d2 + k] += v;
+                }
+            }
+        }
+        if self.d1 > 0 {
+            let inv = 1.0 / self.d1 as f64;
+            for v in &mut out {
+                *v *= inv;
+            }
+        }
+        Array2::from_vec(self.d0, self.d2, out)
+    }
+}
+
+impl<T: Copy + Default> Array3<T> {
+    /// A default-initialized array.
+    pub fn zeroed(d0: usize, d1: usize, d2: usize) -> Array3<T> {
+        Array3 {
+            d0,
+            d1,
+            d2,
+            data: vec![T::default(); d0 * d1 * d2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> Array3<f64> {
+        Array3::from_fn(2, 3, 4, |i, j, k| (i * 100 + j * 10 + k) as f64)
+    }
+
+    #[test]
+    fn layout_and_access() {
+        let a = cube();
+        assert_eq!(a.dims(), (2, 3, 4));
+        assert_eq!(a.len(), 24);
+        assert_eq!(a.get(1, 2, 3), 123.0);
+        assert_eq!(a.lane(1, 2), &[120.0, 121.0, 122.0, 123.0]);
+    }
+
+    #[test]
+    fn set_updates_in_place() {
+        let mut a = Array3::<i64>::zeroed(2, 2, 2);
+        a.set(1, 0, 1, 7);
+        assert_eq!(a.get(1, 0, 1), 7);
+        assert_eq!(a.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn slice0_extracts_2d_plane() {
+        let a = cube();
+        let s = a.slice0(1);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(s.get(2, 3), 123.0);
+    }
+
+    #[test]
+    fn mean_axis2_collapses_lanes() {
+        let a = cube();
+        let m = a.mean_axis2();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        // lane (1,2) = [120, 121, 122, 123] → mean 121.5
+        assert_eq!(m.get(1, 2), 121.5);
+    }
+
+    #[test]
+    fn mean_axis1_collapses_middle() {
+        let a = cube();
+        let m = a.mean_axis1();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 4);
+        // over j: values i*100 + {0,10,20} + k → mean = i*100 + 10 + k
+        assert_eq!(m.get(0, 0), 10.0);
+        assert_eq!(m.get(1, 3), 113.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        cube().get(2, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "d0*d1*d2")]
+    fn bad_from_vec_panics() {
+        Array3::from_vec(2, 2, 2, vec![0u8; 7]);
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = Array3::<f64>::zeroed(0, 3, 4);
+        assert!(a.is_empty());
+        let m = a.mean_axis2();
+        assert_eq!(m.rows(), 0);
+    }
+}

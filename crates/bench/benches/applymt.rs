@@ -1,0 +1,111 @@
+//! ApplyMT (Algorithm 1) benchmarks and ablations.
+//!
+//! Thread sweep for the multithreaded Apply, plus the design-choice
+//! ablations DESIGN.md calls out: static vs dynamic scheduling of the
+//! worksharing loop, and ghost-zone reach sweeps for the distributed
+//! engine's halo exchange.
+
+use arrayudf::{apply, apply_mt, Array2, Ghost, Stencil, Stride};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn grid(rows: usize, cols: usize) -> Array2<f64> {
+    Array2::from_fn(rows, cols, |r, c| {
+        ((r * cols + c) as f64 * 0.01).sin() + r as f64 * 1e-3
+    })
+}
+
+fn udf(s: &Stencil<f64>) -> f64 {
+    // A 5-point time stencil with one neighbour channel — representative
+    // structural-locality work.
+    let mut acc = 0.0;
+    for dt in -2isize..=2 {
+        acc += s.at(dt, 0);
+    }
+    acc * 0.2 + 0.1 * s.at(0, 1)
+}
+
+fn bench_apply_serial_vs_mt(c: &mut Criterion) {
+    let a = grid(64, 4096);
+    let cells = (a.rows() * a.cols()) as u64;
+    let mut g = c.benchmark_group("apply");
+    g.throughput(Throughput::Elements(cells));
+    g.bench_function("serial", |b| {
+        b.iter(|| apply(black_box(&a), Ghost::both(2, 1), Stride::unit(), udf))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("applymt", threads), &threads, |b, &t| {
+            b.iter(|| apply_mt(black_box(&a), Ghost::both(2, 1), Stride::unit(), t, udf))
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule_ablation(c: &mut Criterion) {
+    // Static vs dynamic worksharing with deliberately imbalanced work:
+    // rows near the bottom cost ~8x more.
+    let a = grid(64, 1024);
+    let heavy_udf = |s: &Stencil<f64>| {
+        let reps = 1 + 7 * s.channel() / 64;
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            acc += udf(s);
+        }
+        acc / reps as f64
+    };
+    let mut g = c.benchmark_group("schedule_imbalanced");
+    g.bench_function("static_4t", |b| {
+        b.iter(|| {
+            let out = omp::SharedSlice::<f64>::zeroed(a.rows() * a.cols());
+            omp::parallel(4, |ctx| {
+                ctx.for_static(0..a.rows() * a.cols(), |i| {
+                    let s = Stencil::new(&a, i / a.cols(), i % a.cols());
+                    unsafe { out.write(i, heavy_udf(&s)) };
+                });
+            });
+            out.into_vec()
+        })
+    });
+    g.bench_function("dynamic_4t_chunk256", |b| {
+        b.iter(|| {
+            let out = omp::SharedSlice::<f64>::zeroed(a.rows() * a.cols());
+            omp::parallel(4, |ctx| {
+                ctx.for_dynamic(0..a.rows() * a.cols(), 256, |i| {
+                    let s = Stencil::new(&a, i / a.cols(), i % a.cols());
+                    unsafe { out.write(i, heavy_udf(&s)) };
+                });
+            });
+            out.into_vec()
+        })
+    });
+    g.finish();
+}
+
+fn bench_ghost_zone_sweep(c: &mut Criterion) {
+    // Halo exchange cost as declared stencil reach grows.
+    let total = 64usize;
+    let a = grid(total, 512);
+    let mut g = c.benchmark_group("halo_exchange_4ranks");
+    for ghost in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(ghost), &ghost, |b, &gh| {
+            b.iter(|| {
+                minimpi::run(4, |comm| {
+                    let own = arrayudf::dist::partition(total, comm.size(), comm.rank());
+                    let local = a.row_block(own.start, own.end);
+                    arrayudf::dist::exchange_halo(comm, &local, total, gh).0.len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = applymt;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_apply_serial_vs_mt, bench_schedule_ablation, bench_ghost_zone_sweep
+}
+criterion_main!(applymt);

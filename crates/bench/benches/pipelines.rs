@@ -1,0 +1,144 @@
+//! Whole-pipeline benchmarks: the two case studies under both execution
+//! layouts, and the DASSA-vs-interpreted-baseline compute comparison
+//! (the measured core of Figures 8 and 9).
+
+use arrayudf::Array2;
+use bench::calibrate::test_array;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dassa::dasa::{
+    interferometry, local_similarity, Haee, InterferometryParams, LocalSimiParams,
+};
+use mlab::{Interp, Value};
+use std::hint::black_box;
+
+fn bench_interferometry(c: &mut Criterion) {
+    let data = test_array(24, 4000);
+    let params = InterferometryParams {
+        band: (0.01, 0.4),
+        ..Default::default()
+    };
+    let bytes = (data.rows() * data.cols() * 8) as u64;
+    let mut g = c.benchmark_group("interferometry");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("hybrid", threads), &threads, |b, &t| {
+            b.iter(|| interferometry(black_box(&data), &params, &Haee::hybrid(t)).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_local_similarity(c: &mut Criterion) {
+    let data = test_array(24, 3000);
+    let params = LocalSimiParams {
+        half_window: 12,
+        channel_offset: 1,
+        search_half: 5,
+        time_stride: 25,
+    };
+    let bytes = (data.rows() * data.cols() * 8) as u64;
+    let mut g = c.benchmark_group("local_similarity");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("hybrid", threads), &threads, |b, &t| {
+            b.iter(|| local_similarity(black_box(&data), &params, &Haee::hybrid(t)))
+        });
+    }
+    g.finish();
+}
+
+/// The Figure 9 script, shared with `exp_fig9`.
+const PIPELINE: &str = "
+[b, a] = butter(4, [0.01 0.4]);
+m0 = detrend(data(1, :));
+m1 = filtfilt(b, a, m0);
+m2 = resample(m1, 1, 2);
+mfft = fft(m2);
+scores = zeros(1, nch);
+for c = 1:nch
+  w0 = detrend(data(c, :));
+  w1 = filtfilt(b, a, w0);
+  w2 = resample(w1, 1, 2);
+  wfft = fft(w2);
+  scores(c) = abscorr(wfft, mfft);
+end
+";
+
+fn bench_native_vs_mlab(c: &mut Criterion) {
+    let data = test_array(16, 2000);
+    let params = InterferometryParams {
+        band: (0.01, 0.4),
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("fig9_compute");
+    g.sample_size(10);
+    g.bench_function("dassa_native", |b| {
+        b.iter(|| interferometry(black_box(&data), &params, &Haee::hybrid(1)).expect("run"))
+    });
+    g.bench_function("mlab_interpreted", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new();
+            interp.set(
+                "data",
+                Value::Matrix {
+                    rows: data.rows(),
+                    cols: data.cols(),
+                    data: data.as_slice().to_vec(),
+                },
+            );
+            interp.set("nch", Value::Num(data.rows() as f64));
+            interp.run(black_box(PIPELINE)).expect("script");
+        })
+    });
+    g.finish();
+}
+
+fn bench_mlab_interpreter_overhead(c: &mut Criterion) {
+    // Pure interpretation cost: a tight scalar loop with no heavy
+    // builtins — the per-statement dispatch price.
+    let mut g = c.benchmark_group("mlab_overhead");
+    g.bench_function("scalar_loop_10k", |b| {
+        b.iter(|| {
+            let mut i = Interp::new();
+            i.run("acc = 0; for k = 1:10000 acc = acc + k * 2 - 1; end")
+                .expect("loop");
+            i.get_scalar("acc")
+        })
+    });
+    let native = |n: u64| {
+        let mut acc = 0i64;
+        for k in 1..=n as i64 {
+            acc += k * 2 - 1;
+        }
+        acc
+    };
+    g.bench_function("native_loop_10k", |b| b.iter(|| native(black_box(10000))));
+    g.finish();
+}
+
+fn bench_applymt_alignment(_c: &mut Criterion) {
+    // Differential smoke check executed once under the bench profile:
+    // threaded and serial pipelines agree (keeps the bench binary honest
+    // even when run with --test).
+    let data = Array2::from_fn(8, 600, |r, t| ((r + t) as f64 * 0.1).sin());
+    let params = InterferometryParams {
+        band: (0.01, 0.4),
+        ..Default::default()
+    };
+    let a = interferometry(&data, &params, &Haee::hybrid(1)).expect("serial");
+    let b = interferometry(&data, &params, &Haee::hybrid(4)).expect("threaded");
+    assert_eq!(a, b);
+}
+
+criterion_group! {
+    name = pipelines;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_interferometry, bench_local_similarity, bench_native_vs_mlab,
+              bench_mlab_interpreter_overhead, bench_applymt_alignment
+}
+criterion_main!(pipelines);

@@ -1,0 +1,142 @@
+//! Storage engine benchmarks: dasf I/O, das_search, VCA/RCA creation,
+//! and the two parallel read strategies (the measured halves of the
+//! paper's Figures 6 and 7).
+
+use bench::datasets;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dassa::dass::{
+    create_rca, read_collective_per_file, read_comm_avoiding, FileCatalog, Vca, DATASET_PATH,
+};
+use std::hint::black_box;
+
+fn bench_dasf_read(c: &mut Criterion) {
+    let dir = datasets::minute_dataset("bench-dasf", 16, 50.0, 2);
+    let cat = FileCatalog::scan(&dir).expect("scan");
+    let path = cat.entries()[0].path.clone();
+    let bytes = 16 * 3000 * 4;
+
+    let mut g = c.benchmark_group("dasf");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("open_metadata_only", |b| {
+        b.iter(|| dasf::File::open(black_box(&path)).expect("open"))
+    });
+    g.bench_function("read_full_dataset", |b| {
+        let f = dasf::File::open(&path).expect("open");
+        b.iter(|| f.read_f32(DATASET_PATH).expect("read"))
+    });
+    g.bench_function("read_hyperslab_quarter", |b| {
+        let f = dasf::File::open(&path).expect("open");
+        b.iter(|| {
+            f.read_hyperslab_f32(DATASET_PATH, &[(4, 8), (750, 1500)])
+                .expect("slab")
+        })
+    });
+    g.finish();
+}
+
+fn bench_chunked_vs_contiguous(c: &mut Criterion) {
+    // DESIGN.md ablation: chunked layout pays per-chunk overhead on full
+    // reads but touches only intersecting chunks on small hyperslabs.
+    let dir = std::env::temp_dir().join("dassa-bench-chunkabl");
+    std::fs::create_dir_all(&dir).expect("dir");
+    let path = dir.join("layouts.dasf");
+    let (rows, cols) = (64u64, 4096u64);
+    let data: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+    {
+        let mut w = dasf::Writer::create(&path).expect("writer");
+        w.write_dataset_f32("/cont", &[rows, cols], &data).expect("cont");
+        w.write_dataset_chunked("/chunked", &[rows, cols], &[8, 512], &data)
+            .expect("chunked");
+        w.finish().expect("finish");
+    }
+    let f = dasf::File::open(&path).expect("open");
+    let mut g = c.benchmark_group("layout_ablation");
+    g.bench_function("full_read_contiguous", |b| {
+        b.iter(|| f.read_f32("/cont").expect("read"))
+    });
+    g.bench_function("full_read_chunked", |b| {
+        b.iter(|| f.read_f32("/chunked").expect("read"))
+    });
+    // A small window: 4 channels x 256 samples out of 64 x 4096.
+    let sel = [(16u64, 4u64), (1024u64, 256u64)];
+    g.bench_function("window_read_contiguous", |b| {
+        b.iter(|| f.read_hyperslab_f32("/cont", black_box(&sel)).expect("slab"))
+    });
+    g.bench_function("window_read_chunked", |b| {
+        b.iter(|| f.read_hyperslab_f32("/chunked", black_box(&sel)).expect("slab"))
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let dir = datasets::minute_dataset("bench-search", 8, 50.0, 32);
+    let cat = FileCatalog::scan(&dir).expect("scan");
+    let mut g = c.benchmark_group("das_search");
+    g.bench_function("scan_32_files", |b| {
+        b.iter(|| FileCatalog::scan(black_box(&dir)).expect("scan"))
+    });
+    g.bench_function("range_query", |b| {
+        b.iter(|| cat.search_range(black_box(170728224510), 15).expect("range"))
+    });
+    g.bench_function("regex_query", |b| {
+        b.iter(|| cat.search_regex(black_box("1707282[23]4[567]10")).expect("regex"))
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let dir = datasets::minute_dataset("bench-merge", 8, 50.0, 16);
+    let cat = FileCatalog::scan(&dir).expect("scan");
+    let mut g = c.benchmark_group("merge");
+    g.bench_function("create_vca", |b| {
+        b.iter(|| Vca::from_entries(black_box(cat.entries())).expect("vca"))
+    });
+    g.sample_size(10);
+    g.bench_function("create_rca", |b| {
+        let out = dir.join("bench.rca.dasf");
+        b.iter(|| create_rca(black_box(cat.entries()), &out).expect("rca"))
+    });
+    g.finish();
+}
+
+fn bench_parallel_read(c: &mut Criterion) {
+    let dir = datasets::minute_dataset("bench-parread", 16, 50.0, 8);
+    let cat = FileCatalog::scan(&dir).expect("scan");
+    let vca = Vca::from_entries(cat.entries()).expect("vca");
+    let bytes = vca.channels() * vca.total_samples() * 4;
+
+    let mut g = c.benchmark_group("vca_parallel_read_4ranks");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    for (name, strategy) in [
+        ("collective_per_file", true),
+        ("comm_avoiding", false),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &coll| {
+            b.iter(|| {
+                minimpi::run(4, |comm| {
+                    if coll {
+                        read_collective_per_file(comm, &vca).expect("read").len()
+                    } else {
+                        read_comm_avoiding(comm, &vca).expect("read").len()
+                    }
+                })
+            })
+        });
+    }
+    g.bench_function("serial_reference", |b| {
+        b.iter(|| vca.read_all_f32().expect("read").len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = storage;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_dasf_read, bench_chunked_vs_contiguous, bench_search, bench_merge,
+              bench_parallel_read
+}
+criterion_main!(storage);

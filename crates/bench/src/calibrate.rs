@@ -1,0 +1,83 @@
+//! Local calibration of the at-scale cost model.
+//!
+//! The `perfmodel` crate extrapolates to Cori scale, but its compute
+//! rates are anchored to *measured* throughput of the actual DASSA
+//! kernels on this machine — the same methodology as calibrating a
+//! simulator against microbenchmarks.
+
+use arrayudf::Array2;
+use dassa::dasa::{interferometry, local_similarity, Haee, InterferometryParams, LocalSimiParams};
+use perfmodel::Calibration;
+
+/// Deterministic band-limited test array (`channels × samples`, f64).
+pub fn test_array(channels: usize, samples: usize) -> Array2<f64> {
+    Array2::from_fn(channels, samples, |c, t| {
+        let tt = t as f64;
+        (0.05 * (tt - c as f64 * 2.0)).sin()
+            + 0.4 * (0.021 * tt + c as f64).sin()
+            + 0.1 * ((c * 7919 + t * 104729) % 1000) as f64 / 1000.0
+    })
+}
+
+/// Measure the interferometry pipeline's single-core throughput in
+/// bytes of raw `f64` DAS input per second.
+pub fn measure_compute_rate() -> f64 {
+    let channels = 16;
+    let samples = 6000;
+    let data = test_array(channels, samples);
+    let params = InterferometryParams::default();
+    let haee = Haee::hybrid(1);
+    let secs = crate::time_stable(0.5, || {
+        interferometry(&data, &params, &haee).expect("pipeline runs")
+    });
+    (channels * samples * 8) as f64 / secs
+}
+
+/// Measure local-similarity throughput (bytes of input per second per
+/// core).
+pub fn measure_localsim_rate() -> f64 {
+    let channels = 16;
+    let samples = 2000;
+    let data = test_array(channels, samples);
+    let params = LocalSimiParams::default();
+    let haee = Haee::hybrid(1);
+    let secs = crate::time_stable(0.5, || local_similarity(&data, &params, &haee));
+    (channels * samples * 8) as f64 / secs
+}
+
+/// Measure sequential write bandwidth to the local filesystem.
+pub fn measure_write_bandwidth() -> f64 {
+    let dir = std::env::temp_dir().join("dassa-calibrate");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("write_probe.bin");
+    let block = vec![0u8; 8 << 20];
+    let secs = crate::time_stable(0.3, || {
+        std::fs::write(&path, &block).expect("write probe");
+    });
+    let _ = std::fs::remove_file(&path);
+    block.len() as f64 / secs
+}
+
+/// Run the full calibration suite.
+pub fn calibrate() -> Calibration {
+    Calibration {
+        compute_bytes_per_s_per_core: measure_compute_rate(),
+        localsim_bytes_per_s_per_core: measure_localsim_rate(),
+        write_bytes_per_s: measure_write_bandwidth(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compute_rate_is_positive_and_sane() {
+        let r = super::measure_compute_rate();
+        assert!(r > 1e4, "implausibly slow: {r} B/s");
+        assert!(r < 1e12, "implausibly fast: {r} B/s");
+    }
+
+    #[test]
+    fn write_bandwidth_positive() {
+        assert!(super::measure_write_bandwidth() > 1e5);
+    }
+}

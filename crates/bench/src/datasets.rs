@@ -1,0 +1,57 @@
+//! Standard scaled-down datasets for the experiments.
+//!
+//! The paper's dataset is 1.9 TB / 2880 files / 11648 channels; local
+//! experiments use the same *structure* at laptop scale. Generated file
+//! sets are cached in the temp dir keyed by their parameters so repeated
+//! experiment runs do not regenerate.
+
+use dasgen::{write_minute_files, Scene};
+use std::path::PathBuf;
+
+/// The canonical experiment start timestamp, matching the paper's
+/// `das_search` examples.
+pub const START_TS: &str = "170728224510";
+
+/// Generate (or reuse) `minutes` one-minute files for a demo scene with
+/// `channels` channels at `sampling_hz`. Returns the dataset directory.
+pub fn minute_dataset(tag: &str, channels: usize, sampling_hz: f64, minutes: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dassa-bench-{tag}-{channels}ch-{sampling_hz}hz-{minutes}min"
+    ));
+    let expected = minutes;
+    let existing = std::fs::read_dir(&dir)
+        .map(|rd| rd.filter_map(|e| e.ok()).count())
+        .unwrap_or(0);
+    if existing != expected {
+        let _ = std::fs::remove_dir_all(&dir);
+        let scene = Scene::demo(channels, sampling_hz, minutes as f64 * 60.0, 0xDA55A);
+        write_minute_files(&scene, &dir, START_TS, minutes).expect("dataset generation");
+    }
+    dir
+}
+
+/// The scene corresponding to [`minute_dataset`] (for ground truth).
+pub fn minute_scene(channels: usize, sampling_hz: f64, minutes: usize) -> Scene {
+    Scene::demo(channels, sampling_hz, minutes as f64 * 60.0, 0xDA55A)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_is_cached_between_calls() {
+        let d1 = minute_dataset("cache-test", 4, 20.0, 2);
+        let mtime = |p: &PathBuf| {
+            std::fs::read_dir(p)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.metadata().unwrap().modified().unwrap())
+                .max()
+        };
+        let t1 = mtime(&d1);
+        let d2 = minute_dataset("cache-test", 4, 20.0, 2);
+        assert_eq!(d1, d2);
+        assert_eq!(t1, mtime(&d2), "second call must not regenerate");
+    }
+}

@@ -1,0 +1,146 @@
+//! Tabular stdout reporting and CSV output for experiment binaries.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table, printed like the paper's result rows.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as CSV into the results directory; returns the path.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        std::fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+/// Where experiment CSVs land: `$DASSA_RESULTS` or `./results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var("DASSA_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| Path::new("results").to_path_buf())
+}
+
+/// Format seconds human-readably.
+pub fn secs(s: f64) -> String {
+    if s.is_infinite() {
+        "OOM".to_string()
+    } else if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}min", s / 60.0)
+    }
+}
+
+/// Format bytes human-readably.
+pub fn bytes(b: u64) -> String {
+    const K: f64 = 1024.0;
+    let b = b as f64;
+    if b < K {
+        format!("{b:.0}B")
+    } else if b < K * K {
+        format!("{:.1}KiB", b / K)
+    } else if b < K * K * K {
+        format!("{:.1}MiB", b / K / K)
+    } else {
+        format!("{:.2}GiB", b / K / K / K)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_column_count_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(0.0000005), "0.5us");
+        assert_eq!(secs(0.5), "500.00ms");
+        assert_eq!(secs(5.0), "5.00s");
+        assert_eq!(secs(600.0), "10.0min");
+        assert_eq!(secs(f64::INFINITY), "OOM");
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(2048), "2.0KiB");
+        assert_eq!(bytes(3 << 30), "3.00GiB");
+    }
+}

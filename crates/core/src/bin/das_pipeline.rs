@@ -1,0 +1,173 @@
+//! `das_pipeline` — run a DASSA analysis from the command line.
+//!
+//! ```text
+//! das_pipeline -d <dir> -a localsim        [-t <threads>] [-o out.dasf]
+//! das_pipeline -d <dir> -a interferometry  [-t <threads>] [--master <ch>] [-o out.dasf]
+//! das_pipeline -d <dir> -a stack           [-t <threads>] [--window <n>] [-o out.dasf]
+//! ```
+//!
+//! Scans `dir`, merges every file into a VCA, runs the chosen analysis
+//! with the hybrid engine, prints a summary, and optionally writes the
+//! result as a dasf dataset.
+
+use dassa::dasa::{
+    interferometry, local_similarity, stacked_interferometry, Haee, InterferometryParams,
+    LocalSimiParams, StackingParams,
+};
+use dassa::dass::{FileCatalog, Vca};
+use std::process::ExitCode;
+
+struct Args {
+    dir: String,
+    analysis: String,
+    threads: usize,
+    master: usize,
+    window: usize,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: das_pipeline -d <dir> -a <localsim|interferometry|stack>\n\
+         \u{20}                     [-t <threads>] [--master <channel>=0]\n\
+         \u{20}                     [--window <samples>=512] [-o <out.dasf>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dir: String::new(),
+        analysis: String::new(),
+        threads: omp::num_procs(),
+        master: 0,
+        window: 512,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "-d" | "--dir" => args.dir = value("-d"),
+            "-a" | "--analysis" => args.analysis = value("-a"),
+            "-t" | "--threads" => args.threads = value("-t").parse().unwrap_or_else(|_| usage()),
+            "--master" => args.master = value("--master").parse().unwrap_or_else(|_| usage()),
+            "--window" => args.window = value("--window").parse().unwrap_or_else(|_| usage()),
+            "-o" | "--out" => args.out = Some(value("-o")),
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.dir.is_empty() || args.analysis.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn write_out(path: &str, dims: &[u64], data: &[f64]) -> dassa::Result<()> {
+    let mut w = dasf::Writer::create(path)?;
+    w.write_dataset_f64("/result", dims, data)?;
+    w.finish()?;
+    Ok(())
+}
+
+fn run(args: &Args) -> dassa::Result<()> {
+    let t0 = std::time::Instant::now();
+    let catalog = FileCatalog::scan(&args.dir)?;
+    let vca = Vca::from_entries(catalog.entries())?;
+    eprintln!(
+        "merged {} files: {} channels x {} samples @ {} Hz (scan {:.1} ms)",
+        vca.n_files(),
+        vca.channels(),
+        vca.total_samples(),
+        vca.sampling_hz(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    let t1 = std::time::Instant::now();
+    let data = vca.read_all_f64()?;
+    eprintln!("read {:.1} ms", t1.elapsed().as_secs_f64() * 1e3);
+
+    let haee = Haee::hybrid(args.threads);
+    let t2 = std::time::Instant::now();
+    match args.analysis.as_str() {
+        "localsim" => {
+            let params = LocalSimiParams::default();
+            let map = local_similarity(&data, &params, &haee);
+            eprintln!(
+                "local similarity {:.1} ms: {} x {} map",
+                t2.elapsed().as_secs_f64() * 1e3,
+                map.rows(),
+                map.cols()
+            );
+            let peak = map.as_slice().iter().cloned().fold(f64::MIN, f64::max);
+            let mean = map.as_slice().iter().sum::<f64>() / map.len() as f64;
+            println!("similarity: mean {mean:.4}, peak {peak:.4}");
+            if let Some(out) = &args.out {
+                write_out(out, &[map.rows() as u64, map.cols() as u64], map.as_slice())?;
+                eprintln!("wrote {out}");
+            }
+        }
+        "interferometry" => {
+            let params = InterferometryParams {
+                master_channel: args.master,
+                ..Default::default()
+            };
+            let scores = interferometry(&data, &params, &haee)?;
+            eprintln!("interferometry {:.1} ms", t2.elapsed().as_secs_f64() * 1e3);
+            for (ch, s) in scores.iter().enumerate().step_by((scores.len() / 16).max(1)) {
+                println!("channel {ch:5}: |cos| = {s:.4}");
+            }
+            if let Some(out) = &args.out {
+                write_out(out, &[scores.len() as u64], &scores)?;
+                eprintln!("wrote {out}");
+            }
+        }
+        "stack" => {
+            let params = StackingParams {
+                window: args.window,
+                hop: args.window,
+                master_channel: args.master,
+                ..Default::default()
+            };
+            let stacks = stacked_interferometry(&data, &params, &haee)?;
+            eprintln!("stacking {:.1} ms", t2.elapsed().as_secs_f64() * 1e3);
+            for (ch, s) in stacks.iter().enumerate().step_by((stacks.len() / 16).max(1)) {
+                println!(
+                    "channel {ch:5}: peak lag {:+5} samples, SNR {:.1} ({} windows)",
+                    s.peak_lag(),
+                    s.snr(),
+                    s.n_windows
+                );
+            }
+            if let Some(out) = &args.out {
+                let flat: Vec<f64> = stacks.iter().flat_map(|s| s.stack.clone()).collect();
+                write_out(out, &[stacks.len() as u64, args.window as u64], &flat)?;
+                eprintln!("wrote {out}");
+            }
+        }
+        other => {
+            eprintln!("unknown analysis {other:?} (want localsim|interferometry|stack)");
+            usage();
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("das_pipeline: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! `das_search` — the command-line search tool of paper §IV-A.
+//!
+//! ```text
+//! das_search -d <dir> -s <yymmddhhmmss> -c <count>   # type-1 range query
+//! das_search -d <dir> -e <regex>                     # type-2 regex query
+//! das_search -d <dir> -s <ts> -c <n> --vca out.dasf  # save hits as a VCA
+//! ```
+//!
+//! Matching files are printed one per line (path, timestamp, shape);
+//! `--vca` additionally writes a virtually-concatenated-array descriptor
+//! for the hits.
+
+use dassa::dass::{FileCatalog, FileEntry, Vca};
+use std::process::ExitCode;
+
+struct Args {
+    dir: String,
+    start: Option<u64>,
+    count: usize,
+    regex: Option<String>,
+    vca_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: das_search -d <dir> (-s <yymmddhhmmss> -c <count> | -e <regex>) [--vca <out.dasf>]\n\
+         \n\
+         examples (from the DASSA paper, Section IV-A):\n\
+           das_search -d /data/das -s 170728224510 -c 2\n\
+           das_search -d /data/das -e '170728224[567]10'"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dir: ".".to_string(),
+        start: None,
+        count: 0,
+        regex: None,
+        vca_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        });
+        match flag.as_str() {
+            "-d" | "--dir" => args.dir = value("-d"),
+            "-s" | "--start" => {
+                let v = value("-s");
+                args.start = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("-s expects a numeric yymmddhhmmss timestamp, got {v:?}");
+                    usage()
+                }));
+            }
+            "-c" | "--count" => {
+                let v = value("-c");
+                args.count = v.parse().unwrap_or_else(|_| {
+                    eprintln!("-c expects a non-negative integer, got {v:?}");
+                    usage()
+                });
+            }
+            "-e" | "--regex" => args.regex = Some(value("-e")),
+            "--vca" => args.vca_out = Some(value("--vca")),
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.start.is_none() && args.regex.is_none() {
+        eprintln!("one of -s/-c or -e is required");
+        usage();
+    }
+    if args.start.is_some() && args.regex.is_some() {
+        eprintln!("-s and -e are mutually exclusive");
+        usage();
+    }
+    args
+}
+
+fn run(args: &Args) -> dassa::Result<Vec<FileEntry>> {
+    let t_scan = std::time::Instant::now();
+    let catalog = FileCatalog::scan(&args.dir)?;
+    let scan_ms = t_scan.elapsed().as_secs_f64() * 1e3;
+
+    let t_search = std::time::Instant::now();
+    let hits = match (&args.start, &args.regex) {
+        (Some(start), None) => catalog.search_range(*start, args.count)?,
+        (None, Some(pattern)) => catalog.search_regex(pattern)?,
+        _ => unreachable!("validated in parse_args"),
+    };
+    let search_ms = t_search.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!(
+        "# scanned {} files in {scan_ms:.3} ms; search took {search_ms:.3} ms; {} hit(s)",
+        catalog.len(),
+        hits.len()
+    );
+    Ok(hits)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let hits = match run(&args) {
+        Ok(hits) => hits,
+        Err(e) => {
+            eprintln!("das_search: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for e in &hits {
+        println!(
+            "{}\t{}\t{}x{}\t{} Hz",
+            e.path.display(),
+            e.meta.timestamp.to_compact(),
+            e.meta.channels,
+            e.meta.samples,
+            e.meta.sampling_hz
+        );
+    }
+    if let Some(out) = &args.vca_out {
+        if hits.is_empty() {
+            eprintln!("das_search: no hits, not writing VCA");
+            return ExitCode::FAILURE;
+        }
+        let vca = match Vca::from_entries(&hits) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("das_search: cannot build VCA: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = vca.save(std::path::Path::new(out)) {
+            eprintln!("das_search: cannot save VCA: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "# wrote VCA descriptor {out}: {} files, {} channels x {} samples",
+            vca.n_files(),
+            vca.channels(),
+            vca.total_samples()
+        );
+    }
+    ExitCode::SUCCESS
+}

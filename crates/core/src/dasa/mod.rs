@@ -1,0 +1,24 @@
+//! DASA — the DAS data Analysis engine (paper §V).
+//!
+//! Couples DasLib kernels (the [`dsp`] crate) with the Hybrid ArrayUDF
+//! Execution Engine ([`Haee`]) and ships the paper's two case-study
+//! pipelines: [`local_similarity`] (earthquake detection via Algorithm 2)
+//! and [`interferometry`] (traffic-noise interferometry via Algorithm 3).
+
+mod haee;
+mod interferometry;
+mod local_similarity;
+pub mod qc;
+mod stacking;
+
+pub use haee::{Haee, MemoryModel};
+pub use interferometry::{
+    cross_correlation_with_master, interferometry, interferometry_dist, prepare_master,
+    preprocess_channel, InterferometryParams, MasterSpectrum,
+};
+pub use local_similarity::{local_similarity, local_similarity_dist, LocalSimiParams};
+pub use qc::{channel_metrics, channel_qc, ChannelHealth, ChannelMetrics, QcParams, QcReport};
+pub use stacking::{
+    prepare_master_windows, stack_channel, stacked_interferometry, stacked_interferometry_3d,
+    MasterWindows, StackedCorrelation, StackingParams, TimeNorm,
+};

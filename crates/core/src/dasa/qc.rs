@@ -1,0 +1,258 @@
+//! Channel quality control.
+//!
+//! Before any of the paper's analyses run on a real acquisition, bad
+//! channels must be found and excluded: fibers have broken splices
+//! (dead channels), poorly coupled sections, and instrument faults
+//! (spiking channels). This module computes per-channel health metrics
+//! with the hybrid engine and classifies channels against the array's
+//! own statistics — the standard first stage of the Dou et al. workflow
+//! the paper's pipelines continue.
+
+use super::haee::Haee;
+use arrayudf::Array2;
+use dsp::{band_power, welch_psd};
+use omp::SharedSlice;
+
+/// Per-channel health metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChannelMetrics {
+    /// Root-mean-square amplitude.
+    pub rms: f64,
+    /// Peak / RMS — large for spiking channels.
+    pub crest_factor: f64,
+    /// Kurtosis (excess) — heavy tails flag instrument faults.
+    pub kurtosis: f64,
+    /// Fraction of total power inside the analysis band.
+    pub band_fraction: f64,
+}
+
+/// Classification of one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelHealth {
+    /// Usable.
+    Good,
+    /// Amplitude far below the array median — broken/uncoupled.
+    Dead,
+    /// Heavy-tailed or clipping — instrument fault.
+    Noisy,
+}
+
+/// QC thresholds (relative to array statistics where sensible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QcParams {
+    /// A channel is dead when its RMS falls below this fraction of the
+    /// array median RMS.
+    pub dead_rms_fraction: f64,
+    /// A channel is noisy when its excess kurtosis exceeds this.
+    pub noisy_kurtosis: f64,
+    /// Analysis band (fractions of Nyquist) for `band_fraction`.
+    pub band: (f64, f64),
+    /// Welch segment length for the spectral metric.
+    pub n_fft: usize,
+}
+
+impl Default for QcParams {
+    fn default() -> Self {
+        QcParams {
+            dead_rms_fraction: 0.05,
+            noisy_kurtosis: 10.0,
+            band: (0.01, 0.5),
+            n_fft: 256,
+        }
+    }
+}
+
+/// Compute metrics for one channel.
+pub fn channel_metrics(x: &[f64], p: &QcParams) -> ChannelMetrics {
+    let n = x.len();
+    if n == 0 {
+        return ChannelMetrics::default();
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let mut m2 = 0.0;
+    let mut m4 = 0.0;
+    let mut peak = 0.0f64;
+    for &v in x {
+        let d = v - mean;
+        m2 += d * d;
+        m4 += d * d * d * d;
+        peak = peak.max(v.abs());
+    }
+    m2 /= n as f64;
+    m4 /= n as f64;
+    let rms = m2.sqrt();
+    let kurtosis = if m2 > 0.0 { m4 / (m2 * m2) - 3.0 } else { 0.0 };
+    let band_fraction = if n >= p.n_fft {
+        let psd = welch_psd(x, p.n_fft, p.n_fft / 2);
+        let total: f64 = psd.iter().sum::<f64>() / psd.len() as f64;
+        if total > 0.0 {
+            band_power(&psd, p.band.0, p.band.1) / total
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    };
+    ChannelMetrics {
+        rms,
+        crest_factor: if rms > 0.0 { peak / rms } else { 0.0 },
+        kurtosis,
+        band_fraction,
+    }
+}
+
+/// The full QC report for an array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QcReport {
+    /// Per-channel metrics.
+    pub metrics: Vec<ChannelMetrics>,
+    /// Per-channel classification.
+    pub health: Vec<ChannelHealth>,
+    /// Array median RMS (the dead-channel reference).
+    pub median_rms: f64,
+}
+
+impl QcReport {
+    /// Indices of usable channels.
+    pub fn good_channels(&self) -> Vec<usize> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| **h == ChannelHealth::Good)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices flagged with the given status.
+    pub fn flagged(&self, status: ChannelHealth) -> Vec<usize> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| **h == status)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Run QC over every channel with the hybrid engine's threads.
+pub fn channel_qc(data: &Array2<f64>, params: &QcParams, haee: &Haee) -> QcReport {
+    let out: SharedSlice<ChannelMetrics> = SharedSlice::from_vec(vec![
+        ChannelMetrics::default();
+        data.rows()
+    ]);
+    omp::parallel(haee.threads_per_process, |ctx| {
+        ctx.for_static(0..data.rows(), |ch| {
+            let m = channel_metrics(data.row(ch), params);
+            // SAFETY: static schedule assigns each channel to one thread.
+            unsafe { out.write(ch, m) };
+        });
+    });
+    let metrics = out.into_vec();
+
+    let mut rms_sorted: Vec<f64> = metrics.iter().map(|m| m.rms).collect();
+    rms_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median_rms = if rms_sorted.is_empty() {
+        0.0
+    } else {
+        rms_sorted[rms_sorted.len() / 2]
+    };
+
+    let health = metrics
+        .iter()
+        .map(|m| {
+            if m.rms < params.dead_rms_fraction * median_rms {
+                ChannelHealth::Dead
+            } else if m.kurtosis > params.noisy_kurtosis {
+                ChannelHealth::Noisy
+            } else {
+                ChannelHealth::Good
+            }
+        })
+        .collect();
+
+    QcReport {
+        metrics,
+        health,
+        median_rms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasgen::Scene;
+
+    fn faulty_scene() -> (Scene, Array2<f64>) {
+        let mut scene = Scene::small(16, 50.0, 31);
+        scene.dead_channels = vec![3, 11];
+        scene.noisy_channels = vec![7];
+        let raw = scene.render(0.0, 4000);
+        let data = Array2::from_vec(
+            raw.rows(),
+            raw.cols(),
+            raw.as_slice().iter().map(|&v| v as f64).collect(),
+        );
+        (scene, data)
+    }
+
+    #[test]
+    fn finds_injected_faults_exactly() {
+        let (_, data) = faulty_scene();
+        let report = channel_qc(&data, &QcParams::default(), &Haee::hybrid(2));
+        assert_eq!(report.flagged(ChannelHealth::Dead), vec![3, 11]);
+        assert_eq!(report.flagged(ChannelHealth::Noisy), vec![7]);
+        assert_eq!(report.good_channels().len(), 13);
+    }
+
+    #[test]
+    fn clean_array_is_all_good() {
+        let scene = Scene::small(8, 50.0, 5);
+        let raw = scene.render(0.0, 3000);
+        let data = Array2::from_vec(
+            raw.rows(),
+            raw.cols(),
+            raw.as_slice().iter().map(|&v| v as f64).collect(),
+        );
+        let report = channel_qc(&data, &QcParams::default(), &Haee::hybrid(2));
+        assert_eq!(report.good_channels().len(), 8);
+    }
+
+    #[test]
+    fn metrics_have_expected_structure() {
+        let (_, data) = faulty_scene();
+        let p = QcParams::default();
+        let good = channel_metrics(data.row(0), &p);
+        let dead = channel_metrics(data.row(3), &p);
+        let noisy = channel_metrics(data.row(7), &p);
+        assert!(good.rms > 100.0 * dead.rms);
+        assert!(noisy.kurtosis > good.kurtosis + 5.0);
+        assert!(noisy.crest_factor > good.crest_factor);
+        assert!((0.0..=1.001).contains(&good.band_fraction));
+    }
+
+    #[test]
+    fn gaussianlike_noise_has_small_kurtosis() {
+        let scene = Scene::small(1, 50.0, 77);
+        let raw = scene.render(0.0, 20000);
+        let x: Vec<f64> = raw.row(0).iter().map(|&v| v as f64).collect();
+        let m = channel_metrics(&x, &QcParams::default());
+        assert!(m.kurtosis.abs() < 1.0, "excess kurtosis {}", m.kurtosis);
+    }
+
+    #[test]
+    fn thread_invariance() {
+        let (_, data) = faulty_scene();
+        let a = channel_qc(&data, &QcParams::default(), &Haee::hybrid(1));
+        let b = channel_qc(&data, &QcParams::default(), &Haee::hybrid(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let m = channel_metrics(&[], &QcParams::default());
+        assert_eq!(m.rms, 0.0);
+        let m = channel_metrics(&[1.0, 2.0], &QcParams::default());
+        assert!(m.rms > 0.0);
+        assert_eq!(m.band_fraction, 0.0, "too short for a Welch segment");
+    }
+}

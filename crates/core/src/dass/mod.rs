@@ -1,0 +1,26 @@
+//! DASS — the DAS data Storage engine (paper §IV).
+//!
+//! DAS acquisitions land as thousands of small per-minute files. DASS
+//! provides the machinery to make that practical as analysis input:
+//! a metadata schema ([`DasFileMeta`], Figure 4), search over file
+//! catalogs ([`FileCatalog`], the `das_search` tool of §IV-A), virtual
+//! and real concatenation ([`Vca`], [`create_rca`]), logical subsetting
+//! ([`Lav`]), and the parallel read strategies of §IV-B
+//! ([`read_collective_per_file`] vs the communication-avoiding
+//! [`read_comm_avoiding`]).
+
+mod lav;
+mod metadata;
+mod par_read;
+mod rca;
+mod search;
+mod timestamp;
+mod vca;
+
+pub use lav::Lav;
+pub use metadata::{das_file_name, keys, write_das_file, write_das_file_with_layout, DasFileMeta, DATASET_PATH};
+pub use par_read::{read_collective_per_file, read_comm_avoiding, read_vca, ReadStrategy};
+pub use rca::{create_rca, create_rca_parallel, read_rca};
+pub use search::{FileCatalog, FileEntry};
+pub use timestamp::Timestamp;
+pub use vca::Vca;

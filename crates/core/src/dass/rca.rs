@@ -1,0 +1,159 @@
+//! The Really Concatenated Array: physically merge DAS files into one.
+//!
+//! The paper's Table I / Figure 6 comparison point: RCA doubles storage
+//! during construction and must move every byte, but yields a single
+//! large file that parallel I/O handles well. DASSA supports it mainly
+//! as a baseline; VCA is the recommended path.
+
+use super::metadata::{write_das_file, DasFileMeta, DATASET_PATH};
+use super::par_read::read_comm_avoiding;
+use super::search::FileEntry;
+use super::vca::Vca;
+use crate::Result;
+use arrayudf::Array2;
+use dasf::File;
+use minimpi::Comm;
+use std::path::Path;
+
+/// Physically concatenate `entries` into a single DAS file at `out`.
+///
+/// Reads every member's full data (this is what makes RCA construction
+/// ~70,000× slower than VCA construction in the paper's Figure 6) and
+/// writes one merged `channel × (Σ samples)` dataset carrying the first
+/// member's acquisition metadata.
+///
+/// Returns the merged file's metadata.
+pub fn create_rca(entries: &[FileEntry], out: &Path) -> Result<DasFileMeta> {
+    let vca = Vca::from_entries(entries)?;
+    let data = vca.read_all_f32()?;
+    let meta = DasFileMeta {
+        sampling_hz: vca.sampling_hz(),
+        spatial_resolution_m: vca.entries()[0].meta.spatial_resolution_m,
+        timestamp: vca.entries()[0].meta.timestamp,
+        channels: vca.channels(),
+        samples: vca.total_samples(),
+    };
+    write_das_file(out, &meta, &data)?;
+    Ok(meta)
+}
+
+/// Parallel RCA construction: ranks read the VCA with the
+/// communication-avoiding strategy, gather channel blocks to rank 0,
+/// and rank 0 writes the merged file (the paper notes that *reading* a
+/// single large file in parallel is well supported; writing one from
+/// many ranks without MPI-IO is not, so the write is funnelled).
+///
+/// Call from inside a `minimpi::run` world; returns the merged metadata
+/// on rank 0, `None` elsewhere.
+pub fn create_rca_parallel(
+    comm: &Comm,
+    entries: &[FileEntry],
+    out: &Path,
+) -> Result<Option<DasFileMeta>> {
+    let vca = Vca::from_entries(entries)?;
+    let local = read_comm_avoiding(comm, &vca)?;
+    let blocks = comm.gather(0, local.into_vec());
+    if comm.rank() != 0 {
+        return Ok(None);
+    }
+    let cols = vca.total_samples() as usize;
+    let arrays: Vec<Array2<f32>> = blocks
+        .expect("rank 0 gathers")
+        .into_iter()
+        .map(|v| {
+            let rows = if cols == 0 { 0 } else { v.len() / cols };
+            Array2::from_vec(rows, cols, v)
+        })
+        .collect();
+    let data = Array2::vstack(&arrays);
+    let meta = DasFileMeta {
+        sampling_hz: vca.sampling_hz(),
+        spatial_resolution_m: vca.entries()[0].meta.spatial_resolution_m,
+        timestamp: vca.entries()[0].meta.timestamp,
+        channels: vca.channels(),
+        samples: vca.total_samples(),
+    };
+    write_das_file(out, &meta, &data)?;
+    Ok(Some(meta))
+}
+
+/// Read a previously created RCA back as `(metadata, data)`.
+pub fn read_rca(path: &Path) -> Result<(DasFileMeta, Array2<f32>)> {
+    let f = File::open(path)?;
+    let meta = DasFileMeta::from_file(&f)?;
+    let raw = f.read_f32(DATASET_PATH)?;
+    Ok((
+        meta.clone(),
+        Array2::from_vec(meta.channels as usize, meta.samples as usize, raw),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dass::search::tests::make_files;
+    use crate::dass::FileCatalog;
+
+    #[test]
+    fn rca_equals_vca_read() {
+        let dir = make_files("rca-eq", "170728224510", 3, 4, 30);
+        let cat = FileCatalog::scan(&dir).unwrap();
+        let vca = Vca::from_entries(cat.entries()).unwrap();
+
+        let out = dir.join("merged.rca.dasf");
+        let meta = create_rca(cat.entries(), &out).unwrap();
+        assert_eq!(meta.channels, 4);
+        assert_eq!(meta.samples, 90);
+
+        let (meta2, data) = read_rca(&out).unwrap();
+        assert_eq!(meta2, meta);
+        assert_eq!(data, vca.read_all_f32().unwrap());
+    }
+
+    #[test]
+    fn parallel_rca_equals_serial_rca() {
+        let dir = make_files("rca-par", "170728224510", 4, 6, 30);
+        let cat = FileCatalog::scan(&dir).unwrap();
+        let serial_path = dir.join("serial.rca.dasf");
+        create_rca(cat.entries(), &serial_path).unwrap();
+        let (_, serial_data) = read_rca(&serial_path).unwrap();
+
+        for ranks in [1usize, 2, 3] {
+            let par_path = dir.join(format!("par{ranks}.rca.dasf"));
+            let entries = cat.entries().to_vec();
+            let metas = minimpi::run(ranks, |comm| {
+                create_rca_parallel(comm, &entries, &par_path).unwrap()
+            });
+            assert!(metas[0].is_some(), "rank 0 returns metadata");
+            assert!(metas[1..].iter().all(Option::is_none));
+            let (_, par_data) = read_rca(&par_path).unwrap();
+            assert_eq!(par_data, serial_data, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn rca_takes_first_timestamp() {
+        let dir = make_files("rca-ts", "170728224510", 2, 2, 30);
+        let cat = FileCatalog::scan(&dir).unwrap();
+        let out = dir.join("merged.rca.dasf");
+        let meta = create_rca(cat.entries(), &out).unwrap();
+        assert_eq!(meta.timestamp.to_compact(), "170728224510");
+    }
+
+    #[test]
+    fn rca_file_is_larger_than_vca_descriptor() {
+        // Table I: RCA needs ~100% extra space, VCA ~0%.
+        let dir = make_files("rca-size", "170728224510", 3, 4, 60);
+        let cat = FileCatalog::scan(&dir).unwrap();
+        let vca = Vca::from_entries(cat.entries()).unwrap();
+        let rca_path = dir.join("merged.rca.dasf");
+        let vca_path = dir.join("merged.vca.dasf");
+        create_rca(cat.entries(), &rca_path).unwrap();
+        vca.save(&vca_path).unwrap();
+        let rca_size = std::fs::metadata(&rca_path).unwrap().len();
+        let vca_size = std::fs::metadata(&vca_path).unwrap().len();
+        let data_size: u64 = 3 * 4 * 60 * 4; // files × ch × samples × f32
+        assert!(rca_size >= data_size, "RCA must duplicate all data");
+        assert!(vca_size < data_size / 4, "VCA must stay metadata-sized");
+    }
+}

@@ -1,0 +1,228 @@
+//! `yymmddhhmmss` timestamps.
+//!
+//! The paper's DAS files carry a `TimeStamp(yymmddhhmmss)` attribute
+//! (e.g. `170620100545`) and are recorded one per minute; searching a
+//! time window therefore needs timestamp parsing and minute arithmetic.
+//! Years map to 2000–2099, matching the acquisition's two-digit years.
+
+use crate::DassaError;
+use std::fmt;
+
+/// A calendar timestamp with second resolution, stored in the paper's
+/// `yymmddhhmmss` convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    year: u16, // full year, 2000..=2099
+    month: u8, // 1..=12
+    day: u8,   // 1..=31
+    hour: u8,
+    minute: u8,
+    second: u8,
+}
+
+fn is_leap(year: u16) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: u16, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("validated month"),
+    }
+}
+
+impl Timestamp {
+    /// Parse a 12-digit `yymmddhhmmss` string.
+    pub fn parse(s: &str) -> crate::Result<Timestamp> {
+        let bad = || DassaError::BadTimestamp(s.to_string());
+        if s.len() != 12 || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(bad());
+        }
+        let field = |range: std::ops::Range<usize>| -> u8 {
+            s[range].parse().expect("digits checked")
+        };
+        let ts = Timestamp {
+            year: 2000 + field(0..2) as u16,
+            month: field(2..4),
+            day: field(4..6),
+            hour: field(6..8),
+            minute: field(8..10),
+            second: field(10..12),
+        };
+        let valid = (1..=12).contains(&ts.month)
+            && ts.day >= 1
+            && ts.day <= days_in_month(ts.year, ts.month)
+            && ts.hour < 24
+            && ts.minute < 60
+            && ts.second < 60;
+        if valid {
+            Ok(ts)
+        } else {
+            Err(bad())
+        }
+    }
+
+    /// Parse the numeric form used on the `das_search -s` command line
+    /// (e.g. `170728224510`).
+    pub fn parse_u64(v: u64) -> crate::Result<Timestamp> {
+        Timestamp::parse(&format!("{v:012}"))
+    }
+
+    /// Format back to `yymmddhhmmss`.
+    pub fn to_compact(&self) -> String {
+        format!(
+            "{:02}{:02}{:02}{:02}{:02}{:02}",
+            self.year - 2000,
+            self.month,
+            self.day,
+            self.hour,
+            self.minute,
+            self.second
+        )
+    }
+
+    /// Seconds since 2000-01-01 00:00:00 — a total order usable for
+    /// range queries and gap detection.
+    pub fn epoch_seconds(&self) -> u64 {
+        let mut days: u64 = 0;
+        for y in 2000..self.year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+        for m in 1..self.month {
+            days += days_in_month(self.year, m) as u64;
+        }
+        days += self.day as u64 - 1;
+        ((days * 24 + self.hour as u64) * 60 + self.minute as u64) * 60 + self.second as u64
+    }
+
+    /// The timestamp `minutes` later (calendar-aware).
+    pub fn add_minutes(&self, minutes: u64) -> Timestamp {
+        let mut ts = *self;
+        let total = ts.minute as u64 + minutes;
+        ts.minute = (total % 60) as u8;
+        let mut hours = ts.hour as u64 + total / 60;
+        ts.hour = (hours % 24) as u8;
+        hours /= 24; // whole days to add
+        for _ in 0..hours {
+            ts.day += 1;
+            if ts.day > days_in_month(ts.year, ts.month) {
+                ts.day = 1;
+                ts.month += 1;
+                if ts.month > 12 {
+                    ts.month = 1;
+                    ts.year += 1;
+                }
+            }
+        }
+        ts
+    }
+
+    /// Minutes from `self` to `other` (`other` must not precede `self`).
+    pub fn minutes_until(&self, other: &Timestamp) -> u64 {
+        (other.epoch_seconds() - self.epoch_seconds()) / 60
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "20{}-{:02}-{:02} {:02}:{:02}:{:02}",
+            &self.to_compact()[..2],
+            self.month,
+            self.day,
+            self.hour,
+            self.minute,
+            self.second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        for s in ["170620100545", "170728224510", "000101000000", "991231235959"] {
+            let ts = Timestamp::parse(s).unwrap();
+            assert_eq!(ts.to_compact(), s);
+        }
+    }
+
+    #[test]
+    fn parse_u64_pads_leading_zeros() {
+        let ts = Timestamp::parse_u64(101000000).unwrap(); // 000101000000
+        assert_eq!(ts.to_compact(), "000101000000");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["", "12345", "1706201005455", "17062010054x", "171320100545",
+                  "170632100545", "170620240545", "170620106045", "170620100560"] {
+            assert!(Timestamp::parse(s).is_err(), "{s} should be rejected");
+        }
+    }
+
+    #[test]
+    fn leap_year_february() {
+        assert!(Timestamp::parse("200229000000").is_ok(), "2020 is leap");
+        assert!(Timestamp::parse("210229000000").is_err(), "2021 is not");
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        let a = Timestamp::parse("170728224510").unwrap();
+        let b = Timestamp::parse("170728224610").unwrap();
+        let c = Timestamp::parse("180101000000").unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn add_minutes_simple() {
+        let ts = Timestamp::parse("170728224510").unwrap();
+        assert_eq!(ts.add_minutes(1).to_compact(), "170728224610");
+        assert_eq!(ts.add_minutes(15).to_compact(), "170728230010");
+    }
+
+    #[test]
+    fn add_minutes_rolls_days_months_years() {
+        let ts = Timestamp::parse("171231235900").unwrap();
+        assert_eq!(ts.add_minutes(1).to_compact(), "180101000000");
+        let feb = Timestamp::parse("200228235900").unwrap();
+        assert_eq!(feb.add_minutes(1).to_compact(), "200229000000", "leap day");
+        let feb21 = Timestamp::parse("210228235900").unwrap();
+        assert_eq!(feb21.add_minutes(1).to_compact(), "210301000000");
+    }
+
+    #[test]
+    fn minutes_until_inverts_add() {
+        let ts = Timestamp::parse("170728224510").unwrap();
+        for m in [0u64, 1, 59, 60, 1440, 100_000] {
+            let later = ts.add_minutes(m);
+            assert_eq!(ts.minutes_until(&later), m);
+        }
+    }
+
+    #[test]
+    fn epoch_seconds_monotonic_across_boundaries() {
+        let pairs = [
+            ("170131235959", "170201000000"),
+            ("161231235959", "170101000000"),
+            ("200229235959", "200301000000"),
+        ];
+        for (a, b) in pairs {
+            let ta = Timestamp::parse(a).unwrap();
+            let tb = Timestamp::parse(b).unwrap();
+            assert_eq!(tb.epoch_seconds() - ta.epoch_seconds(), 1, "{a} -> {b}");
+        }
+    }
+}

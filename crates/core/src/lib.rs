@@ -1,0 +1,52 @@
+//! `dassa` — Parallel DAS Data Storage and Analysis.
+//!
+//! Rust reproduction of **"DASSA: Parallel DAS Data Storage and Analysis
+//! for Subsurface Event Detection"** (Dong et al., IEEE IPDPS 2020).
+//! DASSA makes terabyte-scale distributed-acoustic-sensing (DAS) analysis
+//! practical on parallel machines by pairing a storage engine tuned for
+//! thousands-of-small-files datasets with a hybrid process/thread
+//! execution engine for user-defined analysis functions.
+//!
+//! The framework has two halves, mirrored by the two top-level modules:
+//!
+//! * [`dass`] — the **DAS data Storage engine**:
+//!   [`dass::DasFileMeta`] (the paper's Figure 4 metadata schema),
+//!   [`dass::FileCatalog`] + [`dass::search`] (the `das_search` tool:
+//!   timestamp-range and regex queries), [`dass::Vca`] (virtually
+//!   concatenated array), [`dass::create_rca`] (really concatenated
+//!   array), [`dass::Lav`] (logical array view), and the two parallel
+//!   VCA readers — [`dass::read_collective_per_file`] and the paper's
+//!   communication-avoiding [`dass::read_comm_avoiding`].
+//!
+//! * [`dasa`] — the **DAS data Analysis engine**: the hybrid ArrayUDF
+//!   execution engine ([`dasa::Haee`]) and the two flagship pipelines,
+//!   [`dasa::local_similarity`] (earthquake detection, Algorithm 2) and
+//!   [`dasa::interferometry`] (traffic-noise interferometry,
+//!   Algorithm 3), built on DasLib kernels from the [`dsp`] crate.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use dassa::dass::{FileCatalog, Vca};
+//! use dassa::dasa::{Haee, LocalSimiParams};
+//!
+//! // Find one hour of DAS files and merge them virtually.
+//! let catalog = FileCatalog::scan("/data/das")?;
+//! let hits = catalog.search_range(170728224510, 59)?;
+//! let vca = Vca::from_entries(&hits)?;
+//!
+//! // Detect events with local similarity on 8 threads.
+//! let data = vca.read_all_f64()?;
+//! let haee = Haee::hybrid(8);
+//! let simi = dassa::dasa::local_similarity(&data, &LocalSimiParams::default(), &haee);
+//! # Ok::<(), dassa::DassaError>(())
+//! ```
+
+pub mod dasa;
+pub mod dass;
+mod error;
+
+pub use error::DassaError;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DassaError>;

@@ -1,0 +1,137 @@
+//! Property tests for the DASSA storage engine: random geometries,
+//! random selections, random rank counts — VCA, LAV, RCA, and both
+//! parallel readers must all agree with each other.
+
+use arrayudf::Array2;
+use dassa::dass::{
+    create_rca, read_collective_per_file, read_comm_avoiding, read_rca, FileCatalog, Lav,
+    Timestamp, Vca,
+};
+use dassa::dass::{das_file_name, write_das_file, DasFileMeta};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Build a dataset with per-file deterministic contents; returns
+/// `(dir, full expected array)`.
+fn build_dataset(files: usize, channels: u64, samples: u64, seed: u64) -> (PathBuf, Array2<f32>) {
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("dassa-core-prop-{id}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("dir");
+    let t0 = Timestamp::parse("170728224510").expect("ts");
+    let mut full_cols: Vec<Array2<f32>> = Vec::new();
+    for f in 0..files {
+        let ts = t0.add_minutes(f as u64);
+        let data = Array2::from_fn(channels as usize, samples as usize, |r, c| {
+            let mut z = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(((f * 1_000_003 + r * 1_009 + c) as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+            z ^= z >> 31;
+            (z % 100_000) as f32 / 100.0
+        });
+        let meta = DasFileMeta {
+            sampling_hz: (samples / 60).max(1) as i64,
+            spatial_resolution_m: 2.0,
+            timestamp: ts,
+            channels,
+            samples,
+        };
+        write_das_file(&dir.join(das_file_name(&ts)), &meta, &data).expect("write");
+        full_cols.push(data);
+    }
+    // Expected: horizontal concatenation along time.
+    let total = (samples as usize) * files;
+    let expected = Array2::from_fn(channels as usize, total, |r, c| {
+        full_cols[c / samples as usize].get(r, c % samples as usize)
+    });
+    (dir, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn vca_reads_equal_expected_everywhere(
+        files in 1usize..5,
+        channels in 1u64..8,
+        samples in 1u64..40,
+        seed in any::<u64>(),
+    ) {
+        let (dir, expected) = build_dataset(files, channels, samples, seed);
+        let cat = FileCatalog::scan(&dir).expect("scan");
+        let vca = Vca::from_entries(cat.entries()).expect("vca");
+        prop_assert_eq!(vca.read_all_f32().expect("read"), expected);
+    }
+
+    #[test]
+    fn random_region_reads_match_slicing(
+        files in 1usize..4,
+        channels in 2u64..8,
+        samples in 4u64..30,
+        c_frac in 0.0f64..1.0,
+        t_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let (dir, expected) = build_dataset(files, channels, samples, seed);
+        let cat = FileCatalog::scan(&dir).expect("scan");
+        let vca = Vca::from_entries(cat.entries()).expect("vca");
+        let total = samples * files as u64;
+        let c0 = (c_frac * channels as f64) as u64 % channels;
+        let t0 = (t_frac * total as f64) as u64 % total;
+        let cn = 1 + (channels - c0 - 1).min(3);
+        let tn = 1 + (total - t0 - 1).min(25);
+        let region = vca.read_region_f32(c0..c0 + cn, t0..t0 + tn).expect("region");
+        for r in 0..cn as usize {
+            for c in 0..tn as usize {
+                prop_assert_eq!(
+                    region.get(r, c),
+                    expected.get(c0 as usize + r, t0 as usize + c)
+                );
+            }
+        }
+        // LAV over the same region agrees.
+        let lav = Lav::new(c0..c0 + cn, t0..t0 + tn);
+        prop_assert_eq!(lav.read_f32(&vca).expect("lav"), region);
+    }
+
+    #[test]
+    fn readers_and_rca_all_agree(
+        files in 1usize..4,
+        channels in 1u64..7,
+        samples in 1u64..24,
+        ranks in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let (dir, expected) = build_dataset(files, channels, samples, seed);
+        let cat = FileCatalog::scan(&dir).expect("scan");
+        let vca = Vca::from_entries(cat.entries()).expect("vca");
+
+        let coll = minimpi::run(ranks, |c| read_collective_per_file(c, &vca).expect("coll"));
+        let ca = minimpi::run(ranks, |c| read_comm_avoiding(c, &vca).expect("ca"));
+        prop_assert_eq!(Array2::vstack(&coll), expected.clone());
+        prop_assert_eq!(Array2::vstack(&ca), expected.clone());
+
+        let rca_path = dir.join("prop.rca.dasf");
+        create_rca(cat.entries(), &rca_path).expect("rca");
+        let (_, rca_data) = read_rca(&rca_path).expect("read rca");
+        prop_assert_eq!(rca_data, expected);
+    }
+
+    #[test]
+    fn timestamp_roundtrip_and_arithmetic(minutes in 0u64..2_000_000) {
+        let t0 = Timestamp::parse("170101000000").expect("ts");
+        let later = t0.add_minutes(minutes);
+        // Round-trip through the compact form.
+        let reparsed = Timestamp::parse(&later.to_compact()).expect("reparse");
+        prop_assert_eq!(reparsed, later);
+        // Arithmetic consistency.
+        prop_assert_eq!(t0.minutes_until(&later), minutes);
+        prop_assert_eq!(
+            later.epoch_seconds() - t0.epoch_seconds(),
+            minutes * 60
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for dasf I/O.
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing a dasf file.
+#[derive(Debug)]
+pub enum DasfError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the dasf magic.
+    BadMagic,
+    /// The file ends before a structure it promises.
+    Truncated,
+    /// Structural corruption with a description.
+    Corrupt(String),
+    /// A path names no object.
+    NoSuchObject(String),
+    /// An object exists but has the wrong kind (group vs dataset).
+    WrongKind(String),
+    /// A dataset was read with the wrong element type.
+    TypeMismatch { path: String, expected: &'static str, actual: &'static str },
+    /// A hyperslab selection falls outside the dataset extent.
+    OutOfBounds(String),
+    /// Attempted to create an object that already exists.
+    AlreadyExists(String),
+    /// Data length does not match the declared dims.
+    ShapeMismatch { expected: usize, actual: usize },
+}
+
+impl fmt::Display for DasfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DasfError::Io(e) => write!(f, "I/O error: {e}"),
+            DasfError::BadMagic => write!(f, "not a dasf file (bad magic)"),
+            DasfError::Truncated => write!(f, "file truncated"),
+            DasfError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+            DasfError::NoSuchObject(p) => write!(f, "no such object: {p}"),
+            DasfError::WrongKind(p) => write!(f, "object has wrong kind: {p}"),
+            DasfError::TypeMismatch { path, expected, actual } => {
+                write!(f, "type mismatch at {path}: expected {expected}, stored {actual}")
+            }
+            DasfError::OutOfBounds(msg) => write!(f, "selection out of bounds: {msg}"),
+            DasfError::AlreadyExists(p) => write!(f, "object already exists: {p}"),
+            DasfError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: dims require {expected} elements, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DasfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DasfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DasfError {
+    fn from(e: std::io::Error) -> Self {
+        DasfError::Io(e)
+    }
+}

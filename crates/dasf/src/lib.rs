@@ -1,0 +1,69 @@
+//! `dasf` — a hierarchical array file format (HDF5 substrate).
+//!
+//! The DASSA paper stores DAS data in HDF5: each one-minute recording is a
+//! file holding a 2-D `channel × time` array plus two levels of key-value
+//! metadata (Figure 4). DASSA's storage engine relies on exactly three
+//! HDF5 capabilities:
+//!
+//! 1. named n-dimensional datasets inside a group hierarchy,
+//! 2. typed key-value attributes attached to any object,
+//! 3. *hyperslab* reads — rectangular sub-regions fetched without
+//!    loading the whole dataset.
+//!
+//! This crate implements those three capabilities from scratch in a
+//! compact little-endian format, preserving the performance character
+//! that matters to the paper: opening a file touches only the superblock
+//! and object table (cheap metadata-only opens make VCA construction
+//! fast), while dataset reads seek directly to contiguous row-major
+//! runs.
+//!
+//! # File layout
+//!
+//! ```text
+//! [ 0.. 8)  magic "DASF0002"
+//! [ 8..16)  u64: offset of the object table
+//! [16.. X)  raw dataset payloads, contiguous row-major
+//! [ X.. Y)  object table: root group tree w/ attributes
+//! ```
+//!
+//! # Example
+//! ```
+//! use dasf::{File, Value, Writer};
+//! let dir = std::env::temp_dir().join("dasf-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("example.dasf");
+//!
+//! let mut w = Writer::create(&path).unwrap();
+//! w.set_attr("/", "SamplingFrequency(HZ)", Value::Int(500)).unwrap();
+//! w.create_group("/Measurement").unwrap();
+//! w.write_dataset_f32("/Measurement/data", &[4, 6], &vec![1.5f32; 24]).unwrap();
+//! w.finish().unwrap();
+//!
+//! let f = File::open(&path).unwrap();
+//! assert_eq!(f.attr("/", "SamplingFrequency(HZ)"), Some(&Value::Int(500)));
+//! let d = f.dataset("/Measurement/data").unwrap();
+//! assert_eq!(d.dims, vec![4, 6]);
+//! // Hyperslab: rows 1..3, cols 2..5.
+//! let sub = f.read_hyperslab_f32("/Measurement/data", &[(1, 2), (2, 3)]).unwrap();
+//! assert_eq!(sub.len(), 6);
+//! ```
+
+mod element;
+mod error;
+mod object;
+mod reader;
+mod value;
+mod writer;
+
+pub use element::{Dtype, Element};
+pub use error::DasfError;
+pub use object::{DatasetMeta, Layout, Node, ObjectTable};
+pub use reader::File;
+pub use value::Value;
+pub use writer::Writer;
+
+/// Magic bytes at the start of every dasf file.
+pub const MAGIC: &[u8; 8] = b"DASF0002";
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DasfError>;

@@ -1,0 +1,511 @@
+//! The object table: a tree of groups and datasets with attributes.
+//!
+//! The whole table serializes into the file footer; `File::open` reads
+//! only the superblock and this table, so metadata-only operations (the
+//! backbone of VCA construction and `das_search`) never touch array data.
+
+use crate::error::DasfError;
+use crate::value::{check_len, get_string, put_string, Value};
+use crate::{Dtype, Result};
+use bytes::{Buf, BufMut};
+use std::collections::BTreeMap;
+
+/// Metadata of one stored dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetMeta {
+    /// Element type.
+    pub dtype: Dtype,
+    /// Extent per dimension, row-major.
+    pub dims: Vec<u64>,
+    /// Byte offset of the payload within the file (contiguous layout;
+    /// for chunked layout, offset of the first chunk).
+    pub data_offset: u64,
+    /// Storage layout.
+    pub layout: Layout,
+    /// Attributes attached to the dataset.
+    pub attrs: BTreeMap<String, Value>,
+}
+
+/// Dataset storage layout, mirroring HDF5's contiguous vs chunked
+/// distinction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Layout {
+    /// One row-major run of elements at `data_offset`.
+    #[default]
+    Contiguous,
+    /// A grid of fixed-size chunks, each stored as its own row-major
+    /// run. `chunk_offsets[i]` is the file offset of the i-th chunk in
+    /// row-major chunk-grid order.
+    Chunked {
+        /// Chunk extent per dimension.
+        chunk_dims: Vec<u64>,
+        /// File offset of each chunk.
+        chunk_offsets: Vec<u64>,
+    },
+}
+
+impl DatasetMeta {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product::<u64>() as usize
+    }
+
+    /// True when any dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.len() as u64 * self.dtype.size() as u64
+    }
+}
+
+/// A node in the object tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An interior group with attributes and named children.
+    Group {
+        attrs: BTreeMap<String, Value>,
+        children: BTreeMap<String, Node>,
+    },
+    /// A leaf dataset.
+    Dataset(DatasetMeta),
+}
+
+impl Node {
+    /// An empty group.
+    pub fn empty_group() -> Node {
+        Node::Group {
+            attrs: BTreeMap::new(),
+            children: BTreeMap::new(),
+        }
+    }
+
+    fn attrs(&self) -> &BTreeMap<String, Value> {
+        match self {
+            Node::Group { attrs, .. } => attrs,
+            Node::Dataset(d) => &d.attrs,
+        }
+    }
+
+    fn attrs_mut(&mut self) -> &mut BTreeMap<String, Value> {
+        match self {
+            Node::Group { attrs, .. } => attrs,
+            Node::Dataset(d) => &mut d.attrs,
+        }
+    }
+}
+
+/// The full object tree of a file, rooted at `/`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectTable {
+    root: Node,
+}
+
+/// Split `/a/b/c` into components, rejecting empty segments.
+fn split_path(path: &str) -> Result<Vec<&str>> {
+    let trimmed = path.trim_start_matches('/').trim_end_matches('/');
+    if trimmed.is_empty() {
+        return Ok(Vec::new());
+    }
+    let parts: Vec<&str> = trimmed.split('/').collect();
+    if parts.iter().any(|p| p.is_empty()) {
+        return Err(DasfError::NoSuchObject(format!("malformed path: {path}")));
+    }
+    Ok(parts)
+}
+
+impl Default for ObjectTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectTable {
+    /// A table containing only the empty root group.
+    pub fn new() -> Self {
+        ObjectTable {
+            root: Node::empty_group(),
+        }
+    }
+
+    /// Look up the node at `path` (`"/"` is the root).
+    pub fn get(&self, path: &str) -> Result<&Node> {
+        let mut node = &self.root;
+        for part in split_path(path)? {
+            match node {
+                Node::Group { children, .. } => {
+                    node = children
+                        .get(part)
+                        .ok_or_else(|| DasfError::NoSuchObject(path.to_string()))?;
+                }
+                Node::Dataset(_) => return Err(DasfError::NoSuchObject(path.to_string())),
+            }
+        }
+        Ok(node)
+    }
+
+    fn get_mut(&mut self, path: &str) -> Result<&mut Node> {
+        let mut node = &mut self.root;
+        for part in split_path(path)? {
+            match node {
+                Node::Group { children, .. } => {
+                    node = children
+                        .get_mut(part)
+                        .ok_or_else(|| DasfError::NoSuchObject(path.to_string()))?;
+                }
+                Node::Dataset(_) => return Err(DasfError::NoSuchObject(path.to_string())),
+            }
+        }
+        Ok(node)
+    }
+
+    /// Dataset metadata at `path`.
+    pub fn dataset(&self, path: &str) -> Result<&DatasetMeta> {
+        match self.get(path)? {
+            Node::Dataset(d) => Ok(d),
+            Node::Group { .. } => Err(DasfError::WrongKind(path.to_string())),
+        }
+    }
+
+    /// All attributes of the object at `path`.
+    pub fn attrs(&self, path: &str) -> Result<&BTreeMap<String, Value>> {
+        Ok(self.get(path)?.attrs())
+    }
+
+    /// One attribute, or `None`.
+    pub fn attr(&self, path: &str, key: &str) -> Option<&Value> {
+        self.get(path).ok().and_then(|n| n.attrs().get(key))
+    }
+
+    /// Set an attribute on an existing object.
+    pub fn set_attr(&mut self, path: &str, key: &str, value: Value) -> Result<()> {
+        self.get_mut(path)?.attrs_mut().insert(key.to_string(), value);
+        Ok(())
+    }
+
+    /// Create an (empty) group; parents must already exist.
+    pub fn create_group(&mut self, path: &str) -> Result<()> {
+        let parts = split_path(path)?;
+        let (name, parent_parts) = match parts.split_last() {
+            Some((n, p)) => (*n, p),
+            None => return Err(DasfError::AlreadyExists("/".to_string())),
+        };
+        let parent = self.get_mut_by_parts(parent_parts, path)?;
+        match parent {
+            Node::Group { children, .. } => {
+                if children.contains_key(name) {
+                    return Err(DasfError::AlreadyExists(path.to_string()));
+                }
+                children.insert(name.to_string(), Node::empty_group());
+                Ok(())
+            }
+            Node::Dataset(_) => Err(DasfError::WrongKind(path.to_string())),
+        }
+    }
+
+    /// Insert a dataset; parents must already exist.
+    pub fn insert_dataset(&mut self, path: &str, meta: DatasetMeta) -> Result<()> {
+        let parts = split_path(path)?;
+        let (name, parent_parts) = parts
+            .split_last()
+            .map(|(n, p)| (*n, p))
+            .ok_or_else(|| DasfError::WrongKind("/".to_string()))?;
+        let parent = self.get_mut_by_parts(parent_parts, path)?;
+        match parent {
+            Node::Group { children, .. } => {
+                if children.contains_key(name) {
+                    return Err(DasfError::AlreadyExists(path.to_string()));
+                }
+                children.insert(name.to_string(), Node::Dataset(meta));
+                Ok(())
+            }
+            Node::Dataset(_) => Err(DasfError::WrongKind(path.to_string())),
+        }
+    }
+
+    fn get_mut_by_parts(&mut self, parts: &[&str], full: &str) -> Result<&mut Node> {
+        let mut node = &mut self.root;
+        for part in parts {
+            match node {
+                Node::Group { children, .. } => {
+                    node = children
+                        .get_mut(*part)
+                        .ok_or_else(|| DasfError::NoSuchObject(full.to_string()))?;
+                }
+                Node::Dataset(_) => return Err(DasfError::NoSuchObject(full.to_string())),
+            }
+        }
+        Ok(node)
+    }
+
+    /// Depth-first listing of all dataset paths.
+    pub fn dataset_paths(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(node: &Node, prefix: &str, out: &mut Vec<String>) {
+            if let Node::Group { children, .. } = node {
+                for (name, child) in children {
+                    let path = format!("{prefix}/{name}");
+                    match child {
+                        Node::Dataset(_) => out.push(path),
+                        Node::Group { .. } => walk(child, &path, out),
+                    }
+                }
+            }
+        }
+        walk(&self.root, "", &mut out);
+        out
+    }
+
+    // ---- serialization -------------------------------------------------
+
+    /// Serialize the whole tree.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_node(&self.root, &mut out);
+        out
+    }
+
+    /// Deserialize a tree; must consume `bytes` exactly.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut slice = bytes;
+        let root = decode_node(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(DasfError::Corrupt("trailing bytes after object table".into()));
+        }
+        match root {
+            Node::Group { .. } => Ok(ObjectTable { root }),
+            Node::Dataset(_) => Err(DasfError::Corrupt("root must be a group".into())),
+        }
+    }
+}
+
+const NODE_GROUP: u8 = 1;
+const NODE_DATASET: u8 = 2;
+const LAYOUT_CONTIGUOUS: u8 = 1;
+const LAYOUT_CHUNKED: u8 = 2;
+
+fn encode_attrs(attrs: &BTreeMap<String, Value>, out: &mut Vec<u8>) {
+    out.put_u32_le(attrs.len() as u32);
+    for (k, v) in attrs {
+        put_string(out, k);
+        v.encode(out);
+    }
+}
+
+fn decode_attrs(buf: &mut &[u8]) -> Result<BTreeMap<String, Value>> {
+    check_len(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    let mut attrs = BTreeMap::new();
+    for _ in 0..n {
+        let k = get_string(buf)?;
+        let v = Value::decode(buf)?;
+        attrs.insert(k, v);
+    }
+    Ok(attrs)
+}
+
+fn encode_node(node: &Node, out: &mut Vec<u8>) {
+    match node {
+        Node::Group { attrs, children } => {
+            out.put_u8(NODE_GROUP);
+            encode_attrs(attrs, out);
+            out.put_u32_le(children.len() as u32);
+            for (name, child) in children {
+                put_string(out, name);
+                encode_node(child, out);
+            }
+        }
+        Node::Dataset(d) => {
+            out.put_u8(NODE_DATASET);
+            out.put_u8(d.dtype as u8);
+            out.put_u32_le(d.dims.len() as u32);
+            for &dim in &d.dims {
+                out.put_u64_le(dim);
+            }
+            out.put_u64_le(d.data_offset);
+            match &d.layout {
+                Layout::Contiguous => out.put_u8(LAYOUT_CONTIGUOUS),
+                Layout::Chunked { chunk_dims, chunk_offsets } => {
+                    out.put_u8(LAYOUT_CHUNKED);
+                    out.put_u32_le(chunk_dims.len() as u32);
+                    for &cd in chunk_dims {
+                        out.put_u64_le(cd);
+                    }
+                    out.put_u32_le(chunk_offsets.len() as u32);
+                    for &co in chunk_offsets {
+                        out.put_u64_le(co);
+                    }
+                }
+            }
+            encode_attrs(&d.attrs, out);
+        }
+    }
+}
+
+fn decode_node(buf: &mut &[u8]) -> Result<Node> {
+    check_len(buf, 1)?;
+    match buf.get_u8() {
+        NODE_GROUP => {
+            let attrs = decode_attrs(buf)?;
+            check_len(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut children = BTreeMap::new();
+            for _ in 0..n {
+                let name = get_string(buf)?;
+                let child = decode_node(buf)?;
+                children.insert(name, child);
+            }
+            Ok(Node::Group { attrs, children })
+        }
+        NODE_DATASET => {
+            check_len(buf, 1 + 4)?;
+            let code = buf.get_u8();
+            let dtype = Dtype::from_code(code)
+                .ok_or_else(|| DasfError::Corrupt(format!("unknown dtype code {code}")))?;
+            let ndim = buf.get_u32_le() as usize;
+            if ndim > 32 {
+                return Err(DasfError::Corrupt(format!("absurd rank {ndim}")));
+            }
+            check_len(buf, ndim * 8 + 8 + 1)?;
+            let dims = (0..ndim).map(|_| buf.get_u64_le()).collect();
+            let data_offset = buf.get_u64_le();
+            let layout = match buf.get_u8() {
+                LAYOUT_CONTIGUOUS => Layout::Contiguous,
+                LAYOUT_CHUNKED => {
+                    check_len(buf, 4)?;
+                    let ncd = buf.get_u32_le() as usize;
+                    if ncd > 32 {
+                        return Err(DasfError::Corrupt(format!("absurd chunk rank {ncd}")));
+                    }
+                    check_len(buf, ncd * 8 + 4)?;
+                    let chunk_dims: Vec<u64> = (0..ncd).map(|_| buf.get_u64_le()).collect();
+                    let nco = buf.get_u32_le() as usize;
+                    check_len(buf, nco * 8)?;
+                    let chunk_offsets = (0..nco).map(|_| buf.get_u64_le()).collect();
+                    Layout::Chunked { chunk_dims, chunk_offsets }
+                }
+                other => {
+                    return Err(DasfError::Corrupt(format!("unknown layout tag {other}")))
+                }
+            };
+            let attrs = decode_attrs(buf)?;
+            Ok(Node::Dataset(DatasetMeta {
+                dtype,
+                dims,
+                data_offset,
+                layout,
+                attrs,
+            }))
+        }
+        other => Err(DasfError::Corrupt(format!("unknown node tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> ObjectTable {
+        let mut t = ObjectTable::new();
+        t.set_attr("/", "SamplingFrequency(HZ)", Value::Int(500)).unwrap();
+        t.create_group("/Measurement").unwrap();
+        t.set_attr("/Measurement", "note", Value::Str("west sac".into())).unwrap();
+        t.insert_dataset(
+            "/Measurement/data",
+            DatasetMeta {
+                dtype: Dtype::F32,
+                dims: vec![4, 6],
+                data_offset: 16,
+                layout: Layout::Contiguous,
+                attrs: BTreeMap::new(),
+            },
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = sample_table();
+        let bytes = t.encode();
+        let back = ObjectTable::decode(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn path_lookup() {
+        let t = sample_table();
+        assert!(t.get("/").is_ok());
+        assert!(t.get("/Measurement").is_ok());
+        assert!(t.dataset("/Measurement/data").is_ok());
+        assert!(matches!(t.dataset("/Measurement"), Err(DasfError::WrongKind(_))));
+        assert!(matches!(t.get("/nope"), Err(DasfError::NoSuchObject(_))));
+        assert!(matches!(t.get("/Measurement/data/deeper"), Err(DasfError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn trailing_slashes_tolerated() {
+        let t = sample_table();
+        assert!(t.get("/Measurement/").is_ok());
+        assert!(t.get("Measurement").is_ok());
+    }
+
+    #[test]
+    fn duplicate_creation_rejected() {
+        let mut t = sample_table();
+        assert!(matches!(t.create_group("/Measurement"), Err(DasfError::AlreadyExists(_))));
+        let meta = t.dataset("/Measurement/data").unwrap().clone();
+        assert!(matches!(
+            t.insert_dataset("/Measurement/data", meta),
+            Err(DasfError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn dataset_paths_listing() {
+        let mut t = sample_table();
+        t.create_group("/aux").unwrap();
+        t.insert_dataset(
+            "/aux/extra",
+            DatasetMeta {
+                dtype: Dtype::I64,
+                dims: vec![3],
+                data_offset: 999,
+                layout: Layout::Chunked {
+                    chunk_dims: vec![2],
+                    chunk_offsets: vec![999, 1015],
+                },
+                attrs: BTreeMap::new(),
+            },
+        )
+        .unwrap();
+        let mut paths = t.dataset_paths();
+        paths.sort();
+        assert_eq!(paths, vec!["/Measurement/data", "/aux/extra"]);
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        assert!(ObjectTable::decode(&[]).is_err());
+        assert!(ObjectTable::decode(&[77]).is_err());
+        let mut bytes = sample_table().encode();
+        bytes.push(0); // trailing garbage
+        assert!(ObjectTable::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn dataset_meta_len() {
+        let m = DatasetMeta {
+            dtype: Dtype::F64,
+            dims: vec![10, 20],
+            data_offset: 0,
+            layout: Layout::Contiguous,
+            attrs: BTreeMap::new(),
+        };
+        assert_eq!(m.len(), 200);
+        assert_eq!(m.byte_len(), 1600);
+        assert!(!m.is_empty());
+    }
+}

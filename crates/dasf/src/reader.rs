@@ -1,0 +1,536 @@
+//! Reading dasf files: cheap metadata opens and hyperslab dataset reads.
+
+use crate::element::{decode_slice, Element};
+use crate::error::DasfError;
+use crate::object::{DatasetMeta, Layout, ObjectTable};
+use crate::value::Value;
+use crate::{Result, MAGIC};
+use std::collections::BTreeMap;
+use std::fs::File as FsFile;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// An open dasf file.
+///
+/// `open` reads only the 16-byte superblock and the object-table footer —
+/// array payloads stay on disk until a read method asks for them. That is
+/// the property DASSA's VCA exploits: merging a thousand files costs a
+/// thousand metadata opens, not a terabyte of data movement.
+pub struct File {
+    path: PathBuf,
+    handle: std::cell::RefCell<FsFile>,
+    table: ObjectTable,
+    /// Size of the data region in bytes (table offset − superblock).
+    data_region_bytes: u64,
+}
+
+impl File {
+    /// Open `path`, validating magic and object table.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<File> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = FsFile::open(&path)?;
+        let mut header = [0u8; 16];
+        f.read_exact(&mut header).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                DasfError::Truncated
+            } else {
+                DasfError::Io(e)
+            }
+        })?;
+        if &header[..8] != MAGIC {
+            return Err(DasfError::BadMagic);
+        }
+        let table_offset = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        if table_offset < 16 {
+            return Err(DasfError::Corrupt(format!(
+                "object table offset {table_offset} inside superblock (unfinished write?)"
+            )));
+        }
+        let file_len = f.metadata()?.len();
+        if table_offset > file_len {
+            return Err(DasfError::Truncated);
+        }
+        f.seek(SeekFrom::Start(table_offset))?;
+        let mut table_bytes = Vec::with_capacity((file_len - table_offset) as usize);
+        f.read_to_end(&mut table_bytes)?;
+        let table = ObjectTable::decode(&table_bytes)?;
+        Ok(File {
+            path,
+            handle: std::cell::RefCell::new(f),
+            table,
+            data_region_bytes: table_offset - 16,
+        })
+    }
+
+    /// The path this file was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The parsed object table.
+    pub fn object_table(&self) -> &ObjectTable {
+        &self.table
+    }
+
+    /// Total bytes of dataset payload in the file.
+    pub fn data_region_bytes(&self) -> u64 {
+        self.data_region_bytes
+    }
+
+    /// Metadata of the dataset at `path`.
+    pub fn dataset(&self, path: &str) -> Result<&DatasetMeta> {
+        self.table.dataset(path)
+    }
+
+    /// All dataset paths, depth-first.
+    pub fn dataset_paths(&self) -> Vec<String> {
+        self.table.dataset_paths()
+    }
+
+    /// Attributes of the object at `path`.
+    pub fn attrs(&self, path: &str) -> Result<&BTreeMap<String, Value>> {
+        self.table.attrs(path)
+    }
+
+    /// One attribute, or `None` when missing.
+    pub fn attr(&self, path: &str, key: &str) -> Option<&Value> {
+        self.table.attr(path, key)
+    }
+
+    fn check_dtype<T: Element>(&self, path: &str, meta: &DatasetMeta) -> Result<()> {
+        if meta.dtype != T::DTYPE {
+            return Err(DasfError::TypeMismatch {
+                path: path.to_string(),
+                expected: T::DTYPE.name(),
+                actual: meta.dtype.name(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read an entire dataset (one I/O call for contiguous layout, one
+    /// per chunk for chunked layout).
+    pub fn read<T: Element>(&self, path: &str) -> Result<Vec<T>> {
+        let meta = self.table.dataset(path)?;
+        self.check_dtype::<T>(path, meta)?;
+        match &meta.layout {
+            Layout::Contiguous => {
+                let n = meta.len();
+                let mut bytes = vec![0u8; n * meta.dtype.size()];
+                let mut handle = self.handle.borrow_mut();
+                handle.seek(SeekFrom::Start(meta.data_offset))?;
+                handle.read_exact(&mut bytes).map_err(map_eof)?;
+                Ok(decode_slice(&bytes, n))
+            }
+            Layout::Chunked { .. } => {
+                let full: Vec<(u64, u64)> = meta.dims.iter().map(|&d| (0, d)).collect();
+                self.read_hyperslab(path, &full)
+            }
+        }
+    }
+
+    /// Read a rectangular hyperslab: `selection[d] = (offset, count)` per
+    /// dimension. Rows along the innermost dimension are fetched as
+    /// contiguous runs.
+    pub fn read_hyperslab<T: Element>(
+        &self,
+        path: &str,
+        selection: &[(u64, u64)],
+    ) -> Result<Vec<T>> {
+        let meta = self.table.dataset(path)?;
+        self.check_dtype::<T>(path, meta)?;
+        if selection.len() != meta.dims.len() {
+            return Err(DasfError::OutOfBounds(format!(
+                "selection rank {} != dataset rank {}",
+                selection.len(),
+                meta.dims.len()
+            )));
+        }
+        for (d, (&(off, cnt), &dim)) in selection.iter().zip(&meta.dims).enumerate() {
+            if off + cnt > dim {
+                return Err(DasfError::OutOfBounds(format!(
+                    "dim {d}: {off}+{cnt} > {dim}"
+                )));
+            }
+        }
+        let total: u64 = selection.iter().map(|&(_, c)| c).product();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        if let Layout::Chunked { chunk_dims, chunk_offsets } = &meta.layout {
+            return self.read_hyperslab_chunked(
+                meta,
+                selection,
+                &chunk_dims.clone(),
+                &chunk_offsets.clone(),
+            );
+        }
+
+        // Row-major strides (in elements) of the full dataset.
+        let ndim = meta.dims.len();
+        let mut strides = vec![1u64; ndim];
+        for d in (0..ndim.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * meta.dims[d + 1];
+        }
+
+        let elem = meta.dtype.size() as u64;
+        let run_len = selection[ndim - 1].1; // contiguous elements per run
+        let mut out_bytes = Vec::with_capacity((total * elem) as usize);
+        let mut handle = self.handle.borrow_mut();
+
+        // Odometer over all dims except the innermost.
+        let mut idx = vec![0u64; ndim.saturating_sub(1)];
+        loop {
+            let mut elem_offset = selection[ndim - 1].0; // innermost offset
+            for d in 0..ndim - 1 {
+                elem_offset += (selection[d].0 + idx[d]) * strides[d];
+            }
+            let byte_offset = meta.data_offset + elem_offset * elem;
+            let start = out_bytes.len();
+            out_bytes.resize(start + (run_len * elem) as usize, 0);
+            handle.seek(SeekFrom::Start(byte_offset))?;
+            handle
+                .read_exact(&mut out_bytes[start..])
+                .map_err(map_eof)?;
+
+            // Advance the odometer.
+            let mut d = ndim.saturating_sub(1);
+            loop {
+                if d == 0 {
+                    return Ok(decode_slice(&out_bytes, total as usize));
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < selection[d].1 {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// Chunked-layout hyperslab: read each intersecting chunk with one
+    /// I/O call, then scatter the overlap into the output.
+    fn read_hyperslab_chunked<T: Element>(
+        &self,
+        meta: &DatasetMeta,
+        selection: &[(u64, u64)],
+        chunk_dims: &[u64],
+        chunk_offsets: &[u64],
+    ) -> Result<Vec<T>> {
+        let ndim = meta.dims.len();
+        if chunk_dims.len() != ndim {
+            return Err(DasfError::Corrupt("chunk rank mismatch".into()));
+        }
+        let grid: Vec<u64> = meta
+            .dims
+            .iter()
+            .zip(chunk_dims)
+            .map(|(&d, &c)| d.div_ceil(c.max(1)))
+            .collect();
+        let expected_chunks: u64 = grid.iter().product();
+        if chunk_offsets.len() as u64 != expected_chunks {
+            return Err(DasfError::Corrupt(format!(
+                "chunk table has {} entries, grid needs {expected_chunks}",
+                chunk_offsets.len()
+            )));
+        }
+        // Output strides.
+        let out_dims: Vec<u64> = selection.iter().map(|&(_, c)| c).collect();
+        let mut out_strides = vec![1u64; ndim];
+        for d in (0..ndim.saturating_sub(1)).rev() {
+            out_strides[d] = out_strides[d + 1] * out_dims[d + 1];
+        }
+        let total: u64 = out_dims.iter().product();
+        let mut out = vec![T::default(); total as usize];
+
+        // Chunk-grid range intersecting the selection, per dimension.
+        let lo_chunk: Vec<u64> = selection
+            .iter()
+            .zip(chunk_dims)
+            .map(|(&(off, _), &c)| off / c.max(1))
+            .collect();
+        let hi_chunk: Vec<u64> = selection
+            .iter()
+            .zip(chunk_dims)
+            .map(|(&(off, cnt), &c)| (off + cnt - 1) / c.max(1))
+            .collect();
+
+        let mut handle = self.handle.borrow_mut();
+        let mut gidx = lo_chunk.clone();
+        loop {
+            // Linear chunk index in the grid.
+            let mut flat_chunk = 0u64;
+            for d in 0..ndim {
+                flat_chunk = flat_chunk * grid[d] + gidx[d];
+            }
+            // Clipped chunk extent.
+            let starts: Vec<u64> = gidx.iter().zip(chunk_dims).map(|(&g, &c)| g * c).collect();
+            let lens: Vec<u64> = starts
+                .iter()
+                .zip(&meta.dims)
+                .zip(chunk_dims)
+                .map(|((&s, &d), &c)| c.min(d - s))
+                .collect();
+            let chunk_elems: u64 = lens.iter().product();
+            let mut bytes = vec![0u8; chunk_elems as usize * meta.dtype.size()];
+            handle.seek(SeekFrom::Start(chunk_offsets[flat_chunk as usize]))?;
+            handle.read_exact(&mut bytes).map_err(map_eof)?;
+            let chunk: Vec<T> = decode_slice(&bytes, chunk_elems as usize);
+            // Chunk-local strides.
+            let mut c_strides = vec![1u64; ndim];
+            for d in (0..ndim.saturating_sub(1)).rev() {
+                c_strides[d] = c_strides[d + 1] * lens[d + 1];
+            }
+            // Overlap of selection and chunk, per dimension (global).
+            let ov_lo: Vec<u64> = (0..ndim)
+                .map(|d| selection[d].0.max(starts[d]))
+                .collect();
+            let ov_hi: Vec<u64> = (0..ndim)
+                .map(|d| (selection[d].0 + selection[d].1).min(starts[d] + lens[d]))
+                .collect();
+            if (0..ndim).all(|d| ov_lo[d] < ov_hi[d]) {
+                // Copy overlap rows (innermost dim contiguous both sides).
+                let run = (ov_hi[ndim - 1] - ov_lo[ndim - 1]) as usize;
+                let mut idx = ov_lo.clone();
+                'copy: loop {
+                    let mut src = 0u64;
+                    let mut dst = 0u64;
+                    for d in 0..ndim {
+                        src += (idx[d] - starts[d]) * c_strides[d];
+                        dst += (idx[d] - selection[d].0) * out_strides[d];
+                    }
+                    out[dst as usize..dst as usize + run]
+                        .copy_from_slice(&chunk[src as usize..src as usize + run]);
+                    let mut d = ndim - 1;
+                    loop {
+                        if d == 0 {
+                            break 'copy;
+                        }
+                        d -= 1;
+                        idx[d] += 1;
+                        if idx[d] < ov_hi[d] {
+                            break;
+                        }
+                        idx[d] = ov_lo[d];
+                    }
+                }
+            }
+            // Advance chunk-grid odometer within [lo_chunk, hi_chunk].
+            let mut d = ndim;
+            loop {
+                if d == 0 {
+                    return Ok(out);
+                }
+                d -= 1;
+                gidx[d] += 1;
+                if gidx[d] <= hi_chunk[d] {
+                    break;
+                }
+                gidx[d] = lo_chunk[d];
+            }
+        }
+    }
+
+    /// `f32` whole-dataset read.
+    pub fn read_f32(&self, path: &str) -> Result<Vec<f32>> {
+        self.read(path)
+    }
+
+    /// `f64` whole-dataset read.
+    pub fn read_f64(&self, path: &str) -> Result<Vec<f64>> {
+        self.read(path)
+    }
+
+    /// `f32` hyperslab read.
+    pub fn read_hyperslab_f32(&self, path: &str, selection: &[(u64, u64)]) -> Result<Vec<f32>> {
+        self.read_hyperslab(path, selection)
+    }
+
+    /// `f64` hyperslab read.
+    pub fn read_hyperslab_f64(&self, path: &str, selection: &[(u64, u64)]) -> Result<Vec<f64>> {
+        self.read_hyperslab(path, selection)
+    }
+}
+
+fn map_eof(e: std::io::Error) -> DasfError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        DasfError::Truncated
+    } else {
+        DasfError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+    use std::io::Write as _;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dasf-reader-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_2d(name: &str, rows: u64, cols: u64) -> PathBuf {
+        let p = tmp(name);
+        let mut w = Writer::create(&p).unwrap();
+        let data: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+        w.write_dataset_f32("/data", &[rows, cols], &data).unwrap();
+        w.finish().unwrap();
+        p
+    }
+
+    #[test]
+    fn whole_read_round_trip() {
+        let p = write_2d("whole.dasf", 5, 7);
+        let f = File::open(&p).unwrap();
+        let v = f.read_f32("/data").unwrap();
+        assert_eq!(v.len(), 35);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[34], 34.0);
+    }
+
+    #[test]
+    fn hyperslab_matches_manual_slice() {
+        let (rows, cols) = (6u64, 8u64);
+        let p = write_2d("slab.dasf", rows, cols);
+        let f = File::open(&p).unwrap();
+        let sub = f.read_hyperslab_f32("/data", &[(2, 3), (1, 4)]).unwrap();
+        let mut expect = Vec::new();
+        for r in 2..5u64 {
+            for c in 1..5u64 {
+                expect.push((r * cols + c) as f32);
+            }
+        }
+        assert_eq!(sub, expect);
+    }
+
+    #[test]
+    fn hyperslab_full_extent_equals_read() {
+        let p = write_2d("full.dasf", 4, 4);
+        let f = File::open(&p).unwrap();
+        assert_eq!(
+            f.read_hyperslab_f32("/data", &[(0, 4), (0, 4)]).unwrap(),
+            f.read_f32("/data").unwrap()
+        );
+    }
+
+    #[test]
+    fn hyperslab_1d_and_3d() {
+        let p = tmp("nd.dasf");
+        let mut w = Writer::create(&p).unwrap();
+        w.write_dataset_f64("/one", &[10], &(0..10).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
+        let d3: Vec<f64> = (0..2 * 3 * 4).map(|i| i as f64).collect();
+        w.write_dataset_f64("/three", &[2, 3, 4], &d3).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&p).unwrap();
+        assert_eq!(f.read_hyperslab_f64("/one", &[(3, 4)]).unwrap(), vec![3.0, 4.0, 5.0, 6.0]);
+        // three[1, 0..2, 1..3]
+        let sub = f.read_hyperslab_f64("/three", &[(1, 1), (0, 2), (1, 2)]).unwrap();
+        let expect: Vec<f64> = vec![
+            (1 * 12 + 0 * 4 + 1) as f64,
+            (1 * 12 + 0 * 4 + 2) as f64,
+            (1 * 12 + 1 * 4 + 1) as f64,
+            (1 * 12 + 1 * 4 + 2) as f64,
+        ];
+        assert_eq!(sub, expect);
+    }
+
+    #[test]
+    fn empty_selection_returns_empty() {
+        let p = write_2d("emptysel.dasf", 4, 4);
+        let f = File::open(&p).unwrap();
+        assert!(f.read_hyperslab_f32("/data", &[(0, 0), (0, 4)]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let p = write_2d("oob.dasf", 4, 4);
+        let f = File::open(&p).unwrap();
+        assert!(matches!(
+            f.read_hyperslab_f32("/data", &[(2, 3), (0, 4)]),
+            Err(DasfError::OutOfBounds(_))
+        ));
+        assert!(matches!(
+            f.read_hyperslab_f32("/data", &[(0, 4)]),
+            Err(DasfError::OutOfBounds(_))
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let p = write_2d("type.dasf", 2, 2);
+        let f = File::open(&p).unwrap();
+        assert!(matches!(
+            f.read_f64("/data"),
+            Err(DasfError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = tmp("notdasf.bin");
+        std::fs::File::create(&p)
+            .unwrap()
+            .write_all(b"GARBAGE!xxxxxxxx")
+            .unwrap();
+        assert!(matches!(File::open(&p), Err(DasfError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let p = tmp("short.bin");
+        std::fs::File::create(&p).unwrap().write_all(b"DASF").unwrap();
+        assert!(matches!(File::open(&p), Err(DasfError::Truncated)));
+    }
+
+    #[test]
+    fn unfinished_write_rejected() {
+        // A writer that never called finish leaves table offset = 0.
+        let p = tmp("unfinished.dasf");
+        {
+            let mut w = Writer::create(&p).unwrap();
+            w.write_dataset_f32("/d", &[2], &[1.0, 2.0]).unwrap();
+            // no finish()
+        }
+        assert!(matches!(File::open(&p), Err(DasfError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_payload_detected_on_read() {
+        let p = write_2d("truncpay.dasf", 8, 8);
+        // Corrupt: claim the table starts beyond EOF.
+        let bytes = std::fs::read(&p).unwrap();
+        let mut cut = bytes.clone();
+        cut.truncate(bytes.len() - 10);
+        let p2 = tmp("truncpay2.dasf");
+        std::fs::write(&p2, &cut).unwrap();
+        assert!(File::open(&p2).is_err());
+    }
+
+    #[test]
+    fn attrs_survive_round_trip() {
+        let p = tmp("attrs.dasf");
+        let mut w = Writer::create(&p).unwrap();
+        w.set_attr("/", "TimeStamp(yymmddhhmmss)", Value::Str("170620100545".into()))
+            .unwrap();
+        w.create_group("/Measurement").unwrap();
+        w.write_dataset_f32("/Measurement/d", &[1], &[9.0]).unwrap();
+        w.set_attr("/Measurement/d", "Number of raw data values", Value::Int(45))
+            .unwrap();
+        w.finish().unwrap();
+        let f = File::open(&p).unwrap();
+        assert_eq!(
+            f.attr("/", "TimeStamp(yymmddhhmmss)").and_then(|v| v.as_str()),
+            Some("170620100545")
+        );
+        assert_eq!(
+            f.attr("/Measurement/d", "Number of raw data values").and_then(|v| v.as_int()),
+            Some(45)
+        );
+        assert_eq!(f.attr("/", "nope"), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! Typed attribute values (the key-value metadata model of Figure 4).
+
+use crate::error::DasfError;
+use crate::Result;
+use bytes::{Buf, BufMut};
+
+/// An attribute value attached to a group or dataset.
+///
+/// Matches the metadata the paper's Figure 4 stores per file and per
+/// channel: sampling frequency, spatial resolution, timestamps, counts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// UTF-8 string, e.g. `TimeStamp(yymmddhhmmss): 170620100545`.
+    Str(String),
+    /// Signed integer, e.g. `Number of objects: 11648`.
+    Int(i64),
+    /// Floating point, e.g. `SpatialResolution(m): 2.0`.
+    Float(f64),
+    /// Integer vector.
+    IntVec(Vec<i64>),
+    /// Float vector.
+    FloatVec(Vec<f64>),
+}
+
+const TAG_STR: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_INT_VEC: u8 = 4;
+const TAG_FLOAT_VEC: u8 = 5;
+
+impl Value {
+    /// Integer accessor; `None` for other variants.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float accessor; integers convert losslessly.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Str(s) => {
+                out.put_u8(TAG_STR);
+                put_string(out, s);
+            }
+            Value::Int(v) => {
+                out.put_u8(TAG_INT);
+                out.put_i64_le(*v);
+            }
+            Value::Float(v) => {
+                out.put_u8(TAG_FLOAT);
+                out.put_f64_le(*v);
+            }
+            Value::IntVec(v) => {
+                out.put_u8(TAG_INT_VEC);
+                out.put_u32_le(v.len() as u32);
+                for x in v {
+                    out.put_i64_le(*x);
+                }
+            }
+            Value::FloatVec(v) => {
+                out.put_u8(TAG_FLOAT_VEC);
+                out.put_u32_le(v.len() as u32);
+                for x in v {
+                    out.put_f64_le(*x);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn decode(buf: &mut &[u8]) -> Result<Value> {
+        if buf.remaining() < 1 {
+            return Err(DasfError::Truncated);
+        }
+        let tag = buf.get_u8();
+        Ok(match tag {
+            TAG_STR => Value::Str(get_string(buf)?),
+            TAG_INT => {
+                check_len(buf, 8)?;
+                Value::Int(buf.get_i64_le())
+            }
+            TAG_FLOAT => {
+                check_len(buf, 8)?;
+                Value::Float(buf.get_f64_le())
+            }
+            TAG_INT_VEC => {
+                check_len(buf, 4)?;
+                let n = buf.get_u32_le() as usize;
+                check_len(buf, n * 8)?;
+                Value::IntVec((0..n).map(|_| buf.get_i64_le()).collect())
+            }
+            TAG_FLOAT_VEC => {
+                check_len(buf, 4)?;
+                let n = buf.get_u32_le() as usize;
+                check_len(buf, n * 8)?;
+                Value::FloatVec((0..n).map(|_| buf.get_f64_le()).collect())
+            }
+            other => return Err(DasfError::Corrupt(format!("unknown value tag {other}"))),
+        })
+    }
+}
+
+pub(crate) fn check_len(buf: &&[u8], need: usize) -> Result<()> {
+    if buf.remaining() < need {
+        Err(DasfError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn get_string(buf: &mut &[u8]) -> Result<String> {
+    check_len(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    check_len(buf, n)?;
+    let bytes = buf[..n].to_vec();
+    buf.advance(n);
+    String::from_utf8(bytes).map_err(|_| DasfError::Corrupt("invalid UTF-8 string".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: Value) {
+        let mut out = Vec::new();
+        v.encode(&mut out);
+        let mut slice = out.as_slice();
+        let back = Value::decode(&mut slice).unwrap();
+        assert_eq!(back, v);
+        assert!(slice.is_empty(), "decode must consume exactly what encode wrote");
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Value::Str("hello DAS".into()));
+        round_trip(Value::Str(String::new()));
+        round_trip(Value::Int(-42));
+        round_trip(Value::Float(3.75));
+        round_trip(Value::IntVec(vec![1, -2, 3]));
+        round_trip(Value::FloatVec(vec![0.5, -0.25]));
+        round_trip(Value::IntVec(vec![]));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_float(), Some(5.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let mut out = Vec::new();
+        Value::Int(7).encode(&mut out);
+        let mut short = &out[..out.len() - 1];
+        assert!(matches!(Value::decode(&mut short), Err(DasfError::Truncated)));
+    }
+
+    #[test]
+    fn unknown_tag_fails() {
+        let bytes = [99u8, 0, 0, 0];
+        let mut slice = &bytes[..];
+        assert!(matches!(Value::decode(&mut slice), Err(DasfError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,254 @@
+//! Writing dasf files.
+
+use crate::element::{encode_slice, Element};
+use crate::error::DasfError;
+use crate::object::{DatasetMeta, Layout, ObjectTable};
+use crate::value::Value;
+use crate::{Result, MAGIC};
+use std::collections::BTreeMap;
+use std::fs::{File as FsFile, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Streaming writer: datasets append to the data region as they arrive;
+/// `finish` writes the object table footer and patches the superblock.
+pub struct Writer {
+    file: BufWriter<FsFile>,
+    table: ObjectTable,
+    /// Next free byte in the data region.
+    cursor: u64,
+}
+
+impl Writer {
+    /// Create (truncate) `path` and write the superblock.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Writer> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(MAGIC)?;
+        w.write_all(&0u64.to_le_bytes())?; // placeholder table offset
+        Ok(Writer {
+            file: w,
+            table: ObjectTable::new(),
+            cursor: 16,
+        })
+    }
+
+    /// Create a group (parents must exist). Root `/` always exists.
+    pub fn create_group(&mut self, path: &str) -> Result<()> {
+        self.table.create_group(path)
+    }
+
+    /// Attach an attribute to an existing object.
+    pub fn set_attr(&mut self, path: &str, key: &str, value: Value) -> Result<()> {
+        self.table.set_attr(path, key, value)
+    }
+
+    /// Write a dataset of any supported element type.
+    ///
+    /// `dims` is the row-major extent; `data.len()` must equal the product
+    /// of `dims`.
+    pub fn write_dataset<T: Element>(&mut self, path: &str, dims: &[u64], data: &[T]) -> Result<()> {
+        let expected: u64 = dims.iter().product();
+        if expected as usize != data.len() {
+            return Err(DasfError::ShapeMismatch {
+                expected: expected as usize,
+                actual: data.len(),
+            });
+        }
+        let meta = DatasetMeta {
+            dtype: T::DTYPE,
+            dims: dims.to_vec(),
+            data_offset: self.cursor,
+            layout: Layout::Contiguous,
+            attrs: BTreeMap::new(),
+        };
+        // Register first so path errors surface before any bytes move.
+        self.table.insert_dataset(path, meta)?;
+        let bytes = encode_slice(data);
+        self.file.write_all(&bytes)?;
+        self.cursor += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Write a dataset in chunked layout (HDF5-style): the array is
+    /// split on a `chunk_dims` grid and each chunk is stored as its own
+    /// contiguous run, so later hyperslab reads touch only the chunks
+    /// they intersect. Edge chunks are clipped to the dataset extent.
+    pub fn write_dataset_chunked<T: Element>(
+        &mut self,
+        path: &str,
+        dims: &[u64],
+        chunk_dims: &[u64],
+        data: &[T],
+    ) -> Result<()> {
+        let expected: u64 = dims.iter().product();
+        if expected as usize != data.len() {
+            return Err(DasfError::ShapeMismatch {
+                expected: expected as usize,
+                actual: data.len(),
+            });
+        }
+        if chunk_dims.len() != dims.len() || chunk_dims.iter().any(|&c| c == 0) {
+            return Err(DasfError::Corrupt(format!(
+                "chunk dims {chunk_dims:?} invalid for dataset dims {dims:?}"
+            )));
+        }
+        let grid: Vec<u64> = dims
+            .iter()
+            .zip(chunk_dims)
+            .map(|(&d, &c)| d.div_ceil(c))
+            .collect();
+        let n_chunks: u64 = grid.iter().product();
+
+        // Row-major strides of the full dataset (in elements).
+        let ndim = dims.len();
+        let mut strides = vec![1u64; ndim];
+        for d in (0..ndim.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * dims[d + 1];
+        }
+
+        let mut chunk_offsets = Vec::with_capacity(n_chunks as usize);
+        let mut grid_idx = vec![0u64; ndim];
+        for _ in 0..n_chunks {
+            // Clipped extent of this chunk.
+            let starts: Vec<u64> = grid_idx
+                .iter()
+                .zip(chunk_dims)
+                .map(|(&g, &c)| g * c)
+                .collect();
+            let lens: Vec<u64> = starts
+                .iter()
+                .zip(dims)
+                .zip(chunk_dims)
+                .map(|((&s, &d), &c)| c.min(d - s))
+                .collect();
+            // Gather the chunk's elements row-major.
+            let chunk_elems: u64 = lens.iter().product();
+            let mut chunk = Vec::with_capacity(chunk_elems as usize);
+            let mut idx = vec![0u64; ndim];
+            'gather: loop {
+                let mut flat = 0u64;
+                for d in 0..ndim {
+                    flat += (starts[d] + idx[d]) * strides[d];
+                }
+                // Innermost dim run is contiguous in the source.
+                let run = lens[ndim - 1] as usize;
+                chunk.extend_from_slice(&data[flat as usize..flat as usize + run]);
+                // Odometer over all but the innermost dim.
+                let mut d = ndim - 1;
+                loop {
+                    if d == 0 {
+                        break 'gather;
+                    }
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < lens[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+            chunk_offsets.push(self.cursor);
+            let bytes = encode_slice(&chunk);
+            self.file.write_all(&bytes)?;
+            self.cursor += bytes.len() as u64;
+            // Advance the chunk-grid odometer.
+            for d in (0..ndim).rev() {
+                grid_idx[d] += 1;
+                if grid_idx[d] < grid[d] {
+                    break;
+                }
+                grid_idx[d] = 0;
+            }
+        }
+        let meta = DatasetMeta {
+            dtype: T::DTYPE,
+            dims: dims.to_vec(),
+            data_offset: chunk_offsets.first().copied().unwrap_or(self.cursor),
+            layout: Layout::Chunked {
+                chunk_dims: chunk_dims.to_vec(),
+                chunk_offsets,
+            },
+            attrs: BTreeMap::new(),
+        };
+        self.table.insert_dataset(path, meta)?;
+        Ok(())
+    }
+
+    /// Convenience wrapper for `f32` data (the DAS amplitude type).
+    pub fn write_dataset_f32(&mut self, path: &str, dims: &[u64], data: &[f32]) -> Result<()> {
+        self.write_dataset(path, dims, data)
+    }
+
+    /// Convenience wrapper for `f64` data.
+    pub fn write_dataset_f64(&mut self, path: &str, dims: &[u64], data: &[f64]) -> Result<()> {
+        self.write_dataset(path, dims, data)
+    }
+
+    /// Bytes of dataset payload written so far.
+    pub fn data_bytes_written(&self) -> u64 {
+        self.cursor - 16
+    }
+
+    /// Write the object table and patch the superblock. Consumes the
+    /// writer; dropping without calling this leaves an unreadable file.
+    pub fn finish(mut self) -> Result<()> {
+        let table_bytes = self.table.encode();
+        self.file.write_all(&table_bytes)?;
+        self.file.flush()?;
+        let mut inner = self
+            .file
+            .into_inner()
+            .map_err(|e| DasfError::Io(e.into_error()))?;
+        inner.seek(SeekFrom::Start(8))?;
+        inner.write_all(&self.cursor.to_le_bytes())?;
+        inner.sync_data().ok(); // best effort; tmpfs test dirs may refuse
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::File;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dasf-writer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut w = Writer::create(tmp("shape.dasf")).unwrap();
+        let err = w.write_dataset_f32("/d", &[2, 3], &[0.0; 5]).unwrap_err();
+        assert!(matches!(err, DasfError::ShapeMismatch { expected: 6, actual: 5 }));
+    }
+
+    #[test]
+    fn dataset_into_missing_group_rejected() {
+        let mut w = Writer::create(tmp("missing.dasf")).unwrap();
+        let err = w.write_dataset_f32("/g/d", &[1], &[0.0]).unwrap_err();
+        assert!(matches!(err, DasfError::NoSuchObject(_)));
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let p = tmp("empty.dasf");
+        Writer::create(&p).unwrap().finish().unwrap();
+        let f = File::open(&p).unwrap();
+        assert!(f.dataset_paths().is_empty());
+    }
+
+    #[test]
+    fn data_bytes_written_tracks_payload() {
+        let mut w = Writer::create(tmp("count.dasf")).unwrap();
+        assert_eq!(w.data_bytes_written(), 0);
+        w.write_dataset_f64("/a", &[8], &[0.0; 8]).unwrap();
+        assert_eq!(w.data_bytes_written(), 64);
+    }
+}

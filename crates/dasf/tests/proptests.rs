@@ -1,0 +1,155 @@
+//! Property tests for the dasf format: write→read round-trips, random
+//! hyperslabs, and chunked-vs-contiguous layout equivalence.
+
+use dasf::{File, Value, Writer};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dasf-proptests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}-{}.dasf", COUNTER.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// Reference implementation: slice a row-major 2-D array.
+fn manual_slab(data: &[f64], cols: u64, sel: &[(u64, u64); 2]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for r in sel[0].0..sel[0].0 + sel[0].1 {
+        for c in sel[1].0..sel[1].0 + sel[1].1 {
+            out.push(data[(r * cols + c) as usize]);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn whole_dataset_round_trip(rows in 1u64..20, cols in 1u64..30, seed in 0u64..1000) {
+        let data: Vec<f64> = (0..rows * cols).map(|i| (i as f64 + seed as f64) * 0.5).collect();
+        let path = tmp("round");
+        let mut w = Writer::create(&path).unwrap();
+        w.write_dataset_f64("/d", &[rows, cols], &data).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        prop_assert_eq!(f.read_f64("/d").unwrap(), data);
+    }
+
+    #[test]
+    fn hyperslab_equals_manual_slice(
+        rows in 1u64..16,
+        cols in 1u64..24,
+        frac in 0.0f64..1.0,
+        frac2 in 0.0f64..1.0,
+    ) {
+        let data: Vec<f64> = (0..rows * cols).map(|i| i as f64).collect();
+        let r0 = (frac * rows as f64) as u64 % rows;
+        let c0 = (frac2 * cols as f64) as u64 % cols;
+        let rn = 1 + (rows - r0 - 1).min((frac2 * 7.0) as u64);
+        let cn = 1 + (cols - c0 - 1).min((frac * 11.0) as u64);
+        let sel = [(r0, rn), (c0, cn)];
+
+        let path = tmp("slab");
+        let mut w = Writer::create(&path).unwrap();
+        w.write_dataset_f64("/d", &[rows, cols], &data).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        prop_assert_eq!(
+            f.read_hyperslab_f64("/d", &sel).unwrap(),
+            manual_slab(&data, cols, &sel)
+        );
+    }
+
+    #[test]
+    fn chunked_layout_is_equivalent_to_contiguous(
+        rows in 1u64..16,
+        cols in 1u64..24,
+        ch_r in 1u64..8,
+        ch_c in 1u64..8,
+        frac in 0.0f64..1.0,
+        frac2 in 0.0f64..1.0,
+    ) {
+        let data: Vec<f64> = (0..rows * cols).map(|i| (i * 3) as f64).collect();
+        let path = tmp("chunk");
+        let mut w = Writer::create(&path).unwrap();
+        w.write_dataset_f64("/cont", &[rows, cols], &data).unwrap();
+        w.write_dataset_chunked("/chunked", &[rows, cols], &[ch_r, ch_c], &data)
+            .unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+
+        // Whole reads agree.
+        prop_assert_eq!(f.read_f64("/cont").unwrap(), f.read_f64("/chunked").unwrap());
+
+        // Random hyperslab agrees.
+        let r0 = (frac * rows as f64) as u64 % rows;
+        let c0 = (frac2 * cols as f64) as u64 % cols;
+        let rn = 1 + (rows - r0 - 1).min((frac2 * 5.0) as u64);
+        let cn = 1 + (cols - c0 - 1).min((frac * 9.0) as u64);
+        let sel = [(r0, rn), (c0, cn)];
+        prop_assert_eq!(
+            f.read_hyperslab_f64("/chunked", &sel).unwrap(),
+            f.read_hyperslab_f64("/cont", &sel).unwrap()
+        );
+    }
+
+    #[test]
+    fn attrs_survive_arbitrary_values(
+        int_val in any::<i64>(),
+        float_val in -1e12f64..1e12,
+        svals in prop::collection::vec(-1e6f64..1e6, 0..8),
+        name in "k[a-zA-Z0-9 _()-]{0,24}",
+    ) {
+        let path = tmp("attrs");
+        let mut w = Writer::create(&path).unwrap();
+        w.set_attr("/", "i", Value::Int(int_val)).unwrap();
+        w.set_attr("/", "f", Value::Float(float_val)).unwrap();
+        w.set_attr("/", &name, Value::FloatVec(svals.clone())).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        prop_assert_eq!(f.attr("/", "i"), Some(&Value::Int(int_val)));
+        prop_assert_eq!(f.attr("/", "f"), Some(&Value::Float(float_val)));
+        prop_assert_eq!(f.attr("/", &name), Some(&Value::FloatVec(svals)));
+    }
+
+    #[test]
+    fn one_dimensional_chunked(len in 1u64..200, chunk in 1u64..32, off_frac in 0.0f64..1.0) {
+        let data: Vec<f64> = (0..len).map(|i| i as f64 * 0.25).collect();
+        let path = tmp("chunk1d");
+        let mut w = Writer::create(&path).unwrap();
+        w.write_dataset_chunked("/d", &[len], &[chunk], &data).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        prop_assert_eq!(f.read_f64("/d").unwrap(), data.clone());
+        let off = (off_frac * len as f64) as u64 % len;
+        let cnt = 1 + (len - off - 1).min(17);
+        let slab = f.read_hyperslab_f64("/d", &[(off, cnt)]).unwrap();
+        prop_assert_eq!(slab, data[off as usize..(off + cnt) as usize].to_vec());
+    }
+}
+
+#[test]
+fn chunked_metadata_round_trips_through_reopen() {
+    let data: Vec<f64> = (0..60).map(|i| i as f64).collect();
+    let path = tmp("meta");
+    let mut w = Writer::create(&path).unwrap();
+    w.write_dataset_chunked("/d", &[6, 10], &[4, 4], &data).unwrap();
+    w.finish().unwrap();
+    let f = File::open(&path).unwrap();
+    match &f.dataset("/d").unwrap().layout {
+        dasf::Layout::Chunked { chunk_dims, chunk_offsets } => {
+            assert_eq!(chunk_dims, &vec![4, 4]);
+            // 2x3 chunk grid.
+            assert_eq!(chunk_offsets.len(), 6);
+            // Offsets are strictly increasing (chunks written in order).
+            for w2 in chunk_offsets.windows(2) {
+                assert!(w2[1] > w2[0]);
+            }
+        }
+        other => panic!("expected chunked layout, got {other:?}"),
+    }
+}

@@ -1,0 +1,288 @@
+//! Event models: the signal sources visible in the paper's Figures 1b/10.
+
+/// One signal source in a synthetic acquisition.
+///
+/// All times are seconds from the scene origin; channel positions are
+/// fractional channel indices (the fiber coordinate divided by the
+/// spatial resolution).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A vehicle driving along the fiber: a localized vibration whose
+    /// position moves linearly, tracing the diagonal streaks of
+    /// Figure 10.
+    Vehicle {
+        /// Time the vehicle passes `start_channel`.
+        start_s: f64,
+        /// Channel position at `start_s`.
+        start_channel: f64,
+        /// Speed in channels per second (signed: direction of travel).
+        speed_ch_per_s: f64,
+        /// Peak strain amplitude.
+        amplitude: f64,
+        /// Spatial footprint (standard deviation, in channels).
+        width_channels: f64,
+        /// Dominant vibration frequency in Hz.
+        freq_hz: f64,
+    },
+    /// An earthquake: P and S wavefronts expanding from an epicenter
+    /// channel with distinct velocities, the V-shaped moveout of
+    /// Figure 10.
+    Earthquake {
+        /// Origin time.
+        origin_s: f64,
+        /// Channel nearest the epicenter.
+        epicenter_channel: f64,
+        /// P-wave apparent velocity along the fiber, channels/second.
+        p_speed_ch_per_s: f64,
+        /// S-wave apparent velocity (slower, stronger).
+        s_speed_ch_per_s: f64,
+        /// Peak strain amplitude of the S arrival.
+        amplitude: f64,
+        /// Dominant wavelet frequency in Hz.
+        freq_hz: f64,
+    },
+    /// A persistent vibrating installation (pump, turbine): continuous
+    /// narrowband energy on a fixed channel band — the "persistent
+    /// vibrating" column of Figure 10.
+    Persistent {
+        /// Center channel of the source.
+        channel: f64,
+        /// Spatial footprint (standard deviation, channels).
+        width_channels: f64,
+        /// Vibration frequency in Hz.
+        freq_hz: f64,
+        /// Amplitude.
+        amplitude: f64,
+    },
+}
+
+/// A Ricker (Mexican-hat) wavelet with peak frequency `f` at time `t`
+/// relative to its center — the standard seismic source wavelet.
+fn ricker(t: f64, f: f64) -> f64 {
+    let a = std::f64::consts::PI * f * t;
+    let a2 = a * a;
+    (1.0 - 2.0 * a2) * (-a2).exp()
+}
+
+impl Event {
+    /// Strain contribution of this event at absolute time `t_s` on
+    /// fractional channel `ch`.
+    pub fn sample(&self, t_s: f64, ch: f64) -> f64 {
+        match *self {
+            Event::Vehicle {
+                start_s,
+                start_channel,
+                speed_ch_per_s,
+                amplitude,
+                width_channels,
+                freq_hz,
+            } => {
+                let pos = start_channel + speed_ch_per_s * (t_s - start_s);
+                let d = (ch - pos) / width_channels;
+                if d.abs() > 6.0 {
+                    return 0.0;
+                }
+                let envelope = (-0.5 * d * d).exp();
+                amplitude * envelope * (2.0 * std::f64::consts::PI * freq_hz * t_s).sin()
+            }
+            Event::Earthquake {
+                origin_s,
+                epicenter_channel,
+                p_speed_ch_per_s,
+                s_speed_ch_per_s,
+                amplitude,
+                freq_hz,
+            } => {
+                let dist = (ch - epicenter_channel).abs();
+                let dt = t_s - origin_s;
+                if dt <= 0.0 {
+                    return 0.0;
+                }
+                // Geometric spreading ~ 1/sqrt(r).
+                let spread = 1.0 / (1.0 + dist).sqrt();
+                let p_arr = dist / p_speed_ch_per_s;
+                let s_arr = dist / s_speed_ch_per_s;
+                let p = 0.4 * amplitude * spread * ricker(dt - p_arr, freq_hz * 1.6);
+                let s = amplitude * spread * ricker(dt - s_arr, freq_hz);
+                // A short coda after the S arrival.
+                let coda = if dt > s_arr {
+                    0.25 * amplitude
+                        * spread
+                        * (-(dt - s_arr) / 1.5).exp()
+                        * (2.0 * std::f64::consts::PI * freq_hz * 0.7 * dt).sin()
+                } else {
+                    0.0
+                };
+                p + s + coda
+            }
+            Event::Persistent {
+                channel,
+                width_channels,
+                freq_hz,
+                amplitude,
+            } => {
+                let d = (ch - channel) / width_channels;
+                if d.abs() > 6.0 {
+                    return 0.0;
+                }
+                amplitude * (-0.5 * d * d).exp()
+                    * (2.0 * std::f64::consts::PI * freq_hz * t_s).sin()
+            }
+        }
+    }
+
+    /// Is this event expected to be energetic at `(t_s, ch)`? Used to
+    /// build ground-truth masks for detection scoring.
+    pub fn is_active(&self, t_s: f64, ch: f64) -> bool {
+        match *self {
+            Event::Vehicle {
+                start_s,
+                start_channel,
+                speed_ch_per_s,
+                width_channels,
+                ..
+            } => {
+                let pos = start_channel + speed_ch_per_s * (t_s - start_s);
+                (ch - pos).abs() <= 2.0 * width_channels
+            }
+            Event::Earthquake {
+                origin_s,
+                epicenter_channel,
+                p_speed_ch_per_s,
+                s_speed_ch_per_s,
+                freq_hz,
+                ..
+            } => {
+                // Count only the energetic part: around the P and S
+                // arrivals, not the long weak coda.
+                let dist = (ch - epicenter_channel).abs();
+                let dt = t_s - origin_s;
+                let p_arr = dist / p_speed_ch_per_s;
+                let s_arr = dist / s_speed_ch_per_s;
+                let half = 1.2 / freq_hz;
+                (dt >= p_arr - half && dt <= p_arr + half)
+                    || (dt >= s_arr - half && dt <= s_arr + 2.0)
+            }
+            Event::Persistent {
+                channel,
+                width_channels,
+                ..
+            } => (ch - channel).abs() <= 2.0 * width_channels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ricker_peak_at_zero() {
+        assert!((ricker(0.0, 5.0) - 1.0).abs() < 1e-12);
+        assert!(ricker(1.0, 5.0).abs() < 1e-6, "decays quickly");
+    }
+
+    #[test]
+    fn vehicle_moves_along_fiber() {
+        let v = Event::Vehicle {
+            start_s: 0.0,
+            start_channel: 100.0,
+            speed_ch_per_s: 10.0,
+            amplitude: 1.0,
+            width_channels: 2.0,
+            freq_hz: 12.3,
+        };
+        // Strongest response follows the moving position.
+        let env = |t: f64, ch: f64| {
+            // Peak of |sample| over one vibration period.
+            (0..40)
+                .map(|i| v.sample(t + i as f64 / 40.0 / 12.3, ch).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(env(0.0, 100.0) > 0.9);
+        assert!(env(5.0, 150.0) > 0.9, "at t=5 the car is at channel 150");
+        assert!(env(5.0, 100.0) < 0.01, "far behind the car");
+    }
+
+    #[test]
+    fn earthquake_arrivals_obey_moveout() {
+        let q = Event::Earthquake {
+            origin_s: 1.0,
+            epicenter_channel: 0.0,
+            p_speed_ch_per_s: 100.0,
+            s_speed_ch_per_s: 50.0,
+            amplitude: 1.0,
+            freq_hz: 4.0,
+        };
+        // Quiet before the origin everywhere.
+        assert_eq!(q.sample(0.5, 10.0), 0.0);
+        // At channel 100: P arrives at t = 1 + 1 = 2 s, S at 1 + 2 = 3 s.
+        let sample_near = |t: f64| {
+            (0..20)
+                .map(|i| q.sample(t + (i as f64 - 10.0) * 0.01, 100.0).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let before = sample_near(1.5);
+        let at_p = sample_near(2.0);
+        let at_s = sample_near(3.0);
+        assert!(at_p > 5.0 * before.max(1e-9), "P arrival visible");
+        assert!(at_s > at_p, "S stronger than P");
+    }
+
+    #[test]
+    fn earthquake_amplitude_decays_with_distance() {
+        let q = Event::Earthquake {
+            origin_s: 0.0,
+            epicenter_channel: 0.0,
+            p_speed_ch_per_s: 100.0,
+            s_speed_ch_per_s: 50.0,
+            amplitude: 1.0,
+            freq_hz: 4.0,
+        };
+        let peak_at = |ch: f64| {
+            let s_arr = ch / 50.0;
+            (0..60)
+                .map(|i| q.sample(s_arr + (i as f64 - 30.0) * 0.005, ch).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(peak_at(10.0) > peak_at(200.0));
+    }
+
+    #[test]
+    fn persistent_source_is_stationary_and_narrow() {
+        let p = Event::Persistent {
+            channel: 500.0,
+            width_channels: 3.0,
+            freq_hz: 30.0,
+            amplitude: 0.8,
+        };
+        let peak = |t: f64, ch: f64| {
+            (0..40)
+                .map(|i| p.sample(t + i as f64 / 40.0 / 30.0, ch).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(peak(0.0, 500.0) > 0.7);
+        assert!(peak(100.0, 500.0) > 0.7, "still there much later");
+        assert!(peak(0.0, 600.0) < 1e-6, "spatially confined");
+    }
+
+    #[test]
+    fn activity_masks_cover_signal() {
+        let v = Event::Vehicle {
+            start_s: 0.0,
+            start_channel: 50.0,
+            speed_ch_per_s: 5.0,
+            amplitude: 1.0,
+            width_channels: 2.0,
+            freq_hz: 10.0,
+        };
+        // Wherever the sample is non-negligible, the mask must be true.
+        for t in [0.0, 3.0, 7.5] {
+            for ch in 0..120 {
+                if v.sample(t, ch as f64).abs() > 0.05 {
+                    assert!(v.is_active(t, ch as f64), "mask misses t={t} ch={ch}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! A minimal double-precision complex number.
+//!
+//! DasLib needs complex arithmetic for FFTs and Butterworth pole
+//! manipulation; rather than pulling in a numerics crate we implement the
+//! handful of operations required.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from rectangular parts.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `r · e^{iθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Complex {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `e^{iθ}` — a point on the unit circle (FFT twiddle factor).
+    pub fn cis(theta: f64) -> Complex {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (avoids the square root).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle).
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Complex {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Complex {
+        let r = self.abs();
+        let theta = self.arg();
+        Complex::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Multiplicative inverse.
+    pub fn inv(self) -> Complex {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Complex {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Complex {
+        Complex::real(re)
+    }
+}
+
+/// Multiply out a monic polynomial from its roots; returns coefficients
+/// highest-degree first (like MATLAB `poly`).
+pub fn poly_from_roots(roots: &[Complex]) -> Vec<Complex> {
+    let mut coeffs = vec![Complex::ONE];
+    for &r in roots {
+        // coeffs *= (x - r)
+        let mut next = vec![Complex::ZERO; coeffs.len() + 1];
+        for (i, &c) in coeffs.iter().enumerate() {
+            next[i] += c;
+            next[i + 1] += -r * c;
+        }
+        coeffs = next;
+    }
+    coeffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z * z.inv(), Complex::ONE));
+        assert!(close(z + (-z), Complex::ZERO));
+        assert!(close(z / z, Complex::ONE));
+        assert!(close(z.conj().conj(), z));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = Complex::new(0.0, std::f64::consts::PI).exp();
+        assert!(close(z, Complex::real(-1.0)));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-1.0, 0.0), (3.0, 4.0), (-2.0, -5.0)] {
+            let z = Complex::new(re, im);
+            let s = z.sqrt();
+            assert!(close(s * s, z), "sqrt({z:?})² = {:?}", s * s);
+        }
+    }
+
+    #[test]
+    fn poly_from_roots_matches_expansion() {
+        // (x - 1)(x + 2) = x² + x − 2
+        let c = poly_from_roots(&[Complex::real(1.0), Complex::real(-2.0)]);
+        assert!(close(c[0], Complex::real(1.0)));
+        assert!(close(c[1], Complex::real(1.0)));
+        assert!(close(c[2], Complex::real(-2.0)));
+    }
+
+    #[test]
+    fn poly_of_conjugate_pair_is_real() {
+        let c = poly_from_roots(&[Complex::new(1.0, 2.0), Complex::new(1.0, -2.0)]);
+        for coeff in &c {
+            assert!(coeff.im.abs() < 1e-12);
+        }
+        // x² − 2x + 5
+        assert!((c[1].re + 2.0).abs() < 1e-12);
+        assert!((c[2].re - 5.0).abs() < 1e-12);
+    }
+}

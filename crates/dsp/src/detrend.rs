@@ -1,0 +1,94 @@
+//! Trend removal — the paper's `Das_detrend(X)`, which "removes the best
+//! straight-line fit" (MATLAB `detrend` semantics).
+
+/// Remove the least-squares straight-line fit from `x`.
+pub fn detrend(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0.0];
+    }
+    // Fit y = a·t + b over t = 0..n−1 by closed-form least squares.
+    let nf = n as f64;
+    let t_mean = (nf - 1.0) / 2.0;
+    let x_mean = x.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut var = 0.0;
+    for (i, &v) in x.iter().enumerate() {
+        let dt = i as f64 - t_mean;
+        cov += dt * (v - x_mean);
+        var += dt * dt;
+    }
+    let slope = cov / var;
+    let intercept = x_mean - slope * t_mean;
+    x.iter()
+        .enumerate()
+        .map(|(i, &v)| v - (slope * i as f64 + intercept))
+        .collect()
+}
+
+/// Remove the mean (MATLAB `detrend(x, 'constant')`).
+pub fn detrend_constant(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    x.iter().map(|&v| v - mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_pure_line_exactly() {
+        let x: Vec<f64> = (0..100).map(|i| 3.0 * i as f64 - 7.0).collect();
+        for v in detrend(&x) {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn preserves_signal_on_top_of_line() {
+        let n = 200;
+        let signal: Vec<f64> = (0..n).map(|i| (0.3 * i as f64).sin()).collect();
+        let with_trend: Vec<f64> = signal
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + 0.05 * i as f64 + 2.0)
+            .collect();
+        let out = detrend(&with_trend);
+        // The sine has tiny least-squares line content; allow slack.
+        for (a, b) in out.iter().zip(&signal) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn output_has_zero_mean_and_zero_slope() {
+        let x: Vec<f64> = (0..64).map(|i| ((i * i) as f64).sin() + i as f64 * 0.2).collect();
+        let y = detrend(&x);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!(mean.abs() < 1e-10);
+        let t_mean = (y.len() as f64 - 1.0) / 2.0;
+        let slope_num: f64 = y.iter().enumerate().map(|(i, &v)| (i as f64 - t_mean) * v).sum();
+        assert!(slope_num.abs() < 1e-8);
+    }
+
+    #[test]
+    fn constant_detrend_zeroes_mean_only() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = detrend_constant(&x);
+        assert_eq!(y, vec![-1.5, -0.5, 0.5, 1.5]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(detrend(&[]).is_empty());
+        assert_eq!(detrend(&[5.0]), vec![0.0]);
+        assert!(detrend_constant(&[]).is_empty());
+        assert_eq!(detrend_constant(&[2.0]), vec![0.0]);
+    }
+}

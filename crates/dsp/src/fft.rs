@@ -1,0 +1,276 @@
+//! Fast Fourier transforms: iterative radix-2 Cooley–Tukey with a
+//! Bluestein (chirp-z) fallback for arbitrary lengths.
+//!
+//! `Das_fft` / `Das_ifft` in the paper's Table II. DAS windows are often
+//! not powers of two (e.g. 30000 samples/minute at 500 Hz), so the
+//! arbitrary-length path matters in practice.
+
+use crate::complex::Complex;
+
+/// Smallest power of two ≥ `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey. `data.len()` must be a power
+/// of two. `inverse` selects the sign of the twiddle exponent; no 1/n
+/// scaling is applied here.
+fn fft_pow2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: express an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs.
+fn fft_bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w_k = exp(sign · iπ k² / n).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            // k² mod 2n computed in u128 to dodge overflow for huge n.
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let m = next_pow2(2 * n - 1);
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = *x * *y;
+    }
+    fft_pow2(&mut a, true);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
+}
+
+/// Forward DFT of arbitrary length (unscaled, like MATLAB `fft`).
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2(&mut data, false);
+        data
+    } else {
+        fft_bluestein(input, false)
+    }
+}
+
+/// Inverse DFT of arbitrary length, scaled by `1/n` (like MATLAB `ifft`).
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2(&mut data, true);
+        data
+    } else {
+        fft_bluestein(input, true)
+    };
+    let scale = 1.0 / n as f64;
+    for v in &mut out {
+        *v = v.scale(scale);
+    }
+    out
+}
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::real(x)).collect();
+    fft(&buf)
+}
+
+/// Inverse DFT returning only real parts — for spectra known to be
+/// conjugate-symmetric (e.g. produced from real signals).
+pub fn ifft_real(input: &[Complex]) -> Vec<f64> {
+    ifft(input).into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x:?} != {y:?}");
+        }
+    }
+
+    /// O(n²) reference DFT.
+    fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &x) in input.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64;
+                    acc += x * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.37 - 1.0, (i as f64 * 0.11).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        for n in [1usize, 2, 4, 8, 64] {
+            let x = ramp(n);
+            assert_close(&fft(&x), &dft_naive(&x), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary() {
+        for n in [3usize, 5, 6, 7, 12, 30, 100, 243] {
+            let x = ramp(n);
+            assert_close(&fft(&x), &dft_naive(&x), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [1usize, 2, 7, 16, 30, 101] {
+            let x = ramp(n);
+            assert_close(&ifft(&fft(&x)), &x, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 240;
+        let x = ramp(n);
+        let spec = fft(&x);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        for bin in fft(&x) {
+            assert!((bin - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_hits_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|j| Complex::cis(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        let spec = fft(&x);
+        for (k, bin) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((bin.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(bin.abs() < 1e-8, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).cos() + 0.3).collect();
+        let spec = fft_real(&x);
+        let n = spec.len();
+        for k in 1..n {
+            let d = spec[k] - spec[n - k].conj();
+            assert!(d.abs() < 1e-9);
+        }
+        // ...and ifft_real recovers the signal.
+        let back = ifft_real(&spec);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 21;
+        let x = ramp(n);
+        let y: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.2)).collect();
+        let sum: Vec<Complex> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let fsum = fft(&sum);
+        for k in 0..n {
+            assert!((fsum[k] - (fx[k] + fy[k])).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+}

@@ -1,0 +1,226 @@
+//! IIR filtering: `lfilter` (direct-form II transposed) and MATLAB-style
+//! zero-phase `filtfilt` — the paper's `Das_filtfilt`.
+
+use crate::linalg::solve;
+
+/// Apply the rational filter `b / a` to `x` (like MATLAB `filter`).
+///
+/// Direct-form II transposed; `a[0]` must be non-zero (coefficients are
+/// normalized by it).
+pub fn lfilter(b: &[f64], a: &[f64], x: &[f64]) -> Vec<f64> {
+    let order = b.len().max(a.len());
+    lfilter_zi(b, a, x, &vec![0.0; order.saturating_sub(1)]).0
+}
+
+/// [`lfilter`] with explicit initial conditions `zi` (length
+/// `max(len(a), len(b)) − 1`). Returns `(y, zf)` with the final state.
+pub fn lfilter_zi(b: &[f64], a: &[f64], x: &[f64], zi: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert!(!a.is_empty() && a[0] != 0.0, "a[0] must be non-zero");
+    let n = b.len().max(a.len());
+    // Normalize and zero-pad both coefficient vectors to length n.
+    let a0 = a[0];
+    let bb: Vec<f64> = (0..n).map(|i| b.get(i).copied().unwrap_or(0.0) / a0).collect();
+    let aa: Vec<f64> = (0..n).map(|i| a.get(i).copied().unwrap_or(0.0) / a0).collect();
+
+    let mut z = zi.to_vec();
+    assert_eq!(z.len(), n - 1, "zi must have length max(len(a),len(b))-1");
+    let mut y = Vec::with_capacity(x.len());
+    for &xn in x {
+        let yn = bb[0] * xn + z.first().copied().unwrap_or(0.0);
+        for i in 0..n.saturating_sub(1) {
+            let z_next = if i + 1 < z.len() { z[i + 1] } else { 0.0 };
+            z[i] = bb[i + 1] * xn + z_next - aa[i + 1] * yn;
+        }
+        y.push(yn);
+    }
+    (y, z)
+}
+
+/// Steady-state initial conditions for a unit step input, as MATLAB's
+/// `filtfilt` computes them to suppress edge transients.
+fn filtfilt_zi(b: &[f64], a: &[f64]) -> Vec<f64> {
+    let n = b.len().max(a.len());
+    if n < 2 {
+        return Vec::new();
+    }
+    let a0 = a[0];
+    let bb: Vec<f64> = (0..n).map(|i| b.get(i).copied().unwrap_or(0.0) / a0).collect();
+    let aa: Vec<f64> = (0..n).map(|i| a.get(i).copied().unwrap_or(0.0) / a0).collect();
+    let m = n - 1;
+    // M = I − K, where K has first column −a[1..] and an identity block
+    // shifted right by one on its first m−1 rows.
+    let mut mat = vec![0.0; m * m];
+    for i in 0..m {
+        mat[i * m + i] += 1.0;
+        mat[i * m] += aa[i + 1];
+        if i + 1 < m {
+            mat[i * m + i + 1] -= 1.0;
+        }
+    }
+    let rhs: Vec<f64> = (0..m).map(|i| bb[i + 1] - bb[0] * aa[i + 1]).collect();
+    solve(&mat, &rhs, m).unwrap_or_else(|| vec![0.0; m])
+}
+
+/// Zero-phase forward-backward filtering (MATLAB `filtfilt`).
+///
+/// The input is extended at both ends with odd-reflected samples of
+/// length `3·(order−1)`, filtered forward and backward with
+/// transient-minimizing initial conditions, and trimmed back. The result
+/// has zero phase distortion and the squared magnitude response of the
+/// single-pass filter.
+///
+/// # Panics
+/// Panics when `x` is shorter than `3·(max(len(a), len(b)) − 1) + 1`,
+/// matching MATLAB's input-length requirement.
+pub fn filtfilt(b: &[f64], a: &[f64], x: &[f64]) -> Vec<f64> {
+    let nfilt = b.len().max(a.len());
+    let nfact = 3 * (nfilt.saturating_sub(1));
+    assert!(
+        x.len() > nfact,
+        "filtfilt input must be longer than 3*(order) = {nfact}, got {}",
+        x.len()
+    );
+    if nfact == 0 {
+        // Pure gain; forward-backward is just gain² (b[0]/a[0])².
+        let g = b[0] / a[0];
+        return x.iter().map(|&v| v * g * g).collect();
+    }
+
+    // Odd reflection padding.
+    let first = x[0];
+    let last = x[x.len() - 1];
+    let mut ext = Vec::with_capacity(x.len() + 2 * nfact);
+    for i in (1..=nfact).rev() {
+        ext.push(2.0 * first - x[i]);
+    }
+    ext.extend_from_slice(x);
+    for i in 1..=nfact {
+        ext.push(2.0 * last - x[x.len() - 1 - i]);
+    }
+
+    let zi = filtfilt_zi(b, a);
+
+    // Forward pass.
+    let zi_f: Vec<f64> = zi.iter().map(|&z| z * ext[0]).collect();
+    let (mut y, _) = lfilter_zi(b, a, &ext, &zi_f);
+    // Backward pass.
+    y.reverse();
+    let zi_b: Vec<f64> = zi.iter().map(|&z| z * y[0]).collect();
+    let (mut y, _) = lfilter_zi(b, a, &y, &zi_b);
+    y.reverse();
+
+    y[nfact..nfact + x.len()].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butter::{butter, FilterBand};
+
+    #[test]
+    fn lfilter_fir_is_convolution() {
+        let b = [0.5, 0.25, 0.25];
+        let a = [1.0];
+        let x = [1.0, 0.0, 0.0, 0.0, 2.0];
+        let y = lfilter(&b, &a, &x);
+        assert_eq!(y, vec![0.5, 0.25, 0.25, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn lfilter_normalizes_by_a0() {
+        let y1 = lfilter(&[1.0], &[2.0], &[4.0, 8.0]);
+        assert_eq!(y1, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn lfilter_single_pole_impulse_response() {
+        // y[n] = x[n] + 0.5 y[n−1]  →  impulse response 0.5^n
+        let b = [1.0];
+        let a = [1.0, -0.5];
+        let mut x = vec![0.0; 8];
+        x[0] = 1.0;
+        let y = lfilter(&b, &a, &x);
+        for (n, &v) in y.iter().enumerate() {
+            assert!((v - 0.5f64.powi(n as i32)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lfilter_state_carries_across_chunks() {
+        let b = [0.2, 0.3];
+        let a = [1.0, -0.4];
+        let x: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.3).sin()).collect();
+        let whole = lfilter(&b, &a, &x);
+        let (y1, z) = lfilter_zi(&b, &a, &x[..20], &[0.0]);
+        let (y2, _) = lfilter_zi(&b, &a, &x[20..], &z);
+        let stitched: Vec<f64> = y1.into_iter().chain(y2).collect();
+        for (a, b) in whole.iter().zip(&stitched) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filtfilt_preserves_dc() {
+        let (b, a) = butter(4, FilterBand::Lowpass(0.3));
+        let x = vec![2.5; 200];
+        let y = filtfilt(&b, &a, &x);
+        for &v in &y {
+            assert!((v - 2.5).abs() < 1e-6, "DC distorted: {v}");
+        }
+    }
+
+    #[test]
+    fn filtfilt_zero_phase_on_passband_tone() {
+        // A slow sine passed through a lowpass must come out unshifted.
+        let n = 500;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 0.02 * i as f64).sin())
+            .collect();
+        let (b, a) = butter(4, FilterBand::Lowpass(0.2));
+        let y = filtfilt(&b, &a, &x);
+        // Compare against the input directly (no lag): the peak of the
+        // cross-correlation should be at zero lag.
+        let mut best_lag = 0isize;
+        let mut best = f64::MIN;
+        for lag in -5isize..=5 {
+            let mut acc = 0.0;
+            for i in 100..n as isize - 100 {
+                acc += x[i as usize] * y[(i + lag) as usize];
+            }
+            if acc > best {
+                best = acc;
+                best_lag = lag;
+            }
+        }
+        assert_eq!(best_lag, 0, "filtfilt introduced a phase shift");
+        // Amplitude preserved in the passband.
+        let amp = y[100..400].iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!((amp - 1.0).abs() < 0.05, "passband amplitude {amp}");
+    }
+
+    #[test]
+    fn filtfilt_attenuates_stopband() {
+        let n = 600;
+        // High-frequency tone at 0.9·Nyquist through a 0.2 lowpass.
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::PI * 0.9 * i as f64).sin())
+            .collect();
+        let (b, a) = butter(4, FilterBand::Lowpass(0.2));
+        let y = filtfilt(&b, &a, &x);
+        let amp = y[100..500].iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(amp < 1e-3, "stopband leak: {amp}");
+    }
+
+    #[test]
+    fn filtfilt_pure_gain_path() {
+        let y = filtfilt(&[2.0], &[1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![4.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "filtfilt input must be longer")]
+    fn filtfilt_rejects_short_input() {
+        let (b, a) = butter(4, FilterBand::Lowpass(0.3));
+        filtfilt(&b, &a, &[1.0; 10]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Linear interpolation — the paper's `Das_interp1(X0, Y0, X)`.
+
+/// Linearly interpolate the function defined by knots `(x0, y0)` at query
+/// points `xq` (MATLAB `interp1(x0, y0, xq, 'linear')`).
+///
+/// `x0` must be strictly increasing. Queries outside the knot range
+/// return `f64::NAN`, matching MATLAB's default extrapolation behaviour.
+///
+/// # Panics
+/// Panics when `x0`/`y0` lengths differ, are empty, or `x0` is not
+/// strictly increasing.
+pub fn interp1(x0: &[f64], y0: &[f64], xq: &[f64]) -> Vec<f64> {
+    assert_eq!(x0.len(), y0.len(), "knot vectors must have equal length");
+    assert!(!x0.is_empty(), "need at least one knot");
+    assert!(
+        x0.windows(2).all(|w| w[0] < w[1]),
+        "x0 must be strictly increasing"
+    );
+    xq.iter()
+        .map(|&x| {
+            if x < x0[0] || x > x0[x0.len() - 1] {
+                return f64::NAN;
+            }
+            // Binary search for the bracketing interval.
+            let idx = match x0.binary_search_by(|v| v.partial_cmp(&x).expect("no NaN knots")) {
+                Ok(i) => return y0[i], // exact knot hit
+                Err(i) => i,
+            };
+            // idx is the first knot greater than x; bracket is [idx-1, idx].
+            let (xa, xb) = (x0[idx - 1], x0[idx]);
+            let (ya, yb) = (y0[idx - 1], y0[idx]);
+            ya + (yb - ya) * (x - xa) / (xb - xa)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_knots_returned() {
+        let x0 = [0.0, 1.0, 2.0];
+        let y0 = [10.0, 20.0, 15.0];
+        assert_eq!(interp1(&x0, &y0, &[0.0, 1.0, 2.0]), vec![10.0, 20.0, 15.0]);
+    }
+
+    #[test]
+    fn midpoints_interpolate_linearly() {
+        let x0 = [0.0, 2.0];
+        let y0 = [0.0, 10.0];
+        let out = interp1(&x0, &y0, &[0.5, 1.0, 1.5]);
+        assert_eq!(out, vec![2.5, 5.0, 7.5]);
+    }
+
+    #[test]
+    fn out_of_range_is_nan() {
+        let x0 = [0.0, 1.0];
+        let y0 = [0.0, 1.0];
+        let out = interp1(&x0, &y0, &[-0.1, 1.1]);
+        assert!(out[0].is_nan());
+        assert!(out[1].is_nan());
+    }
+
+    #[test]
+    fn nonuniform_knots() {
+        let x0 = [0.0, 1.0, 10.0];
+        let y0 = [0.0, 1.0, 10.0];
+        let out = interp1(&x0, &y0, &[5.5]);
+        assert!((out[0] - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_knot() {
+        let out = interp1(&[2.0], &[7.0], &[2.0, 3.0]);
+        assert_eq!(out[0], 7.0);
+        assert!(out[1].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_knots() {
+        interp1(&[0.0, 0.0], &[1.0, 2.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        interp1(&[0.0, 1.0], &[1.0], &[0.5]);
+    }
+}

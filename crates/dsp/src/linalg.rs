@@ -1,0 +1,117 @@
+//! A small dense linear solver.
+//!
+//! `filtfilt` replicates MATLAB's transient-minimizing initial conditions,
+//! which require solving one (order−1)×(order−1) linear system per filter
+//! — tiny, so plain Gaussian elimination with partial pivoting suffices.
+
+/// Solve `A x = b` in place for square `A` (row-major, `n×n`).
+///
+/// Returns `None` when the matrix is singular to working precision.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix shape");
+    assert_eq!(b.len(), n, "rhs shape");
+    let mut m = a.to_vec();
+    let mut x = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i * n + col]
+                    .abs()
+                    .partial_cmp(&m[j * n + col].abs())
+                    .expect("no NaN pivots")
+            })
+            .expect("non-empty range");
+        let pivot = m[pivot_row * n + col];
+        if pivot.abs() < 1e-300 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            x.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = m[row * n + col] / m[col * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            x[row] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for k in col + 1..n {
+            acc -= m[col * n + k] * x[k];
+        }
+        x[col] = acc / m[col * n + col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_system() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [3.0, -4.0];
+        assert_eq!(solve(&a, &b, 2).unwrap(), vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // 2x + y = 5; x − y = 1  →  x = 2, y = 1
+        let a = [2.0, 1.0, 1.0, -1.0];
+        let b = [5.0, 1.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let b = [7.0, 9.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        let b = [1.0, 2.0];
+        assert!(solve(&a, &b, 2).is_none());
+    }
+
+    #[test]
+    fn residual_small_on_random_system() {
+        // Deterministic pseudo-random 5×5.
+        let n = 5;
+        let mut seed = 42u64;
+        let mut rng = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a: Vec<f64> = (0..n * n).map(|_| rng()).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let x = solve(&a, &b, n).unwrap();
+        for row in 0..n {
+            let mut acc = 0.0;
+            for col in 0..n {
+                acc += a[row * n + col] * x[col];
+            }
+            assert!((acc - b[row]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Time-domain normalization for ambient-noise processing.
+//!
+//! The traffic-noise interferometry workflow the paper reproduces
+//! (Dou et al. 2017) applies temporal normalization between filtering
+//! and correlation so that earthquakes and other transients do not
+//! dominate the noise cross-correlations. The two standard choices are
+//! **one-bit** normalization and **running-absolute-mean** (RAM)
+//! normalization (Bensen et al. 2007).
+
+/// One-bit normalization: keep only the sign of each sample.
+///
+/// The most aggressive temporal normalization — every transient is
+/// flattened to ±1, leaving only phase information.
+pub fn one_bit(x: &[f64]) -> Vec<f64> {
+    x.iter()
+        .map(|&v| {
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Running-absolute-mean normalization: divide each sample by the
+/// average of |x| over a centered window of `2·half + 1` samples
+/// (edge-clamped). Windows with zero energy leave the sample at 0.
+pub fn running_abs_mean(x: &[f64], half: usize) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Prefix sums of |x| for O(1) window means.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &v in x {
+        prefix.push(prefix.last().expect("nonempty") + v.abs());
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            let mean = (prefix[hi] - prefix[lo]) / (hi - lo) as f64;
+            if mean > 0.0 {
+                x[i] / mean
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Clip samples beyond `k` standard deviations (another common
+/// transient-suppression step).
+pub fn clip_std(x: &[f64], k: f64) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64;
+    let limit = k * var.sqrt();
+    x.iter().map(|&v| (v - mean).clamp(-limit, limit) + mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_bit_is_signum() {
+        assert_eq!(one_bit(&[2.5, -0.1, 0.0, 7.0]), vec![1.0, -1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn one_bit_kills_amplitude_information() {
+        let quiet: Vec<f64> = (0..64).map(|i| 0.01 * ((i as f64) * 0.3).sin()).collect();
+        let loud: Vec<f64> = quiet.iter().map(|v| v * 1e6).collect();
+        assert_eq!(one_bit(&quiet), one_bit(&loud));
+    }
+
+    #[test]
+    fn ram_suppresses_a_spike() {
+        // A big spike on small background: after RAM the spike's
+        // normalized amplitude is comparable to its neighbours'.
+        let mut x: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.7).sin() * 0.5).collect();
+        x[100] = 100.0;
+        let y = running_abs_mean(&x, 10);
+        // Spike-to-background dynamic range must shrink substantially.
+        let bg_peak = |v: &[f64]| v[40..60].iter().fold(0.0f64, |m, &s| m.max(s.abs()));
+        let ratio_before = x[100].abs() / bg_peak(&x);
+        let ratio_after = y[100].abs() / bg_peak(&y);
+        assert!(
+            ratio_after < ratio_before / 3.0,
+            "dynamic range {ratio_before:.1} -> {ratio_after:.1}: insufficient suppression"
+        );
+        assert!(y[100].abs() < x[100].abs() / 2.0, "spike must be attenuated");
+    }
+
+    #[test]
+    fn ram_of_constant_signal_is_sign() {
+        let x = vec![3.0; 50];
+        let y = running_abs_mean(&x, 5);
+        for v in y {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        let neg = vec![-2.0; 50];
+        for v in running_abs_mean(&neg, 5) {
+            assert!((v + 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ram_zero_window_passes_zero() {
+        let x = vec![0.0; 10];
+        assert_eq!(running_abs_mean(&x, 3), vec![0.0; 10]);
+    }
+
+    #[test]
+    fn ram_window_edges_clamp() {
+        let x = vec![1.0, 1.0, 1.0];
+        // Large half-window: every window is the whole signal.
+        let y = running_abs_mean(&x, 100);
+        for v in y {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clip_std_bounds_outliers() {
+        let mut x: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.31).sin()).collect();
+        x[50] = 50.0;
+        let y = clip_std(&x, 3.0);
+        assert!(y[50] < x[50], "outlier clipped");
+        // In-range samples barely move.
+        assert!((y[10] - x[10]).abs() < 0.2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(one_bit(&[]).is_empty());
+        assert!(running_abs_mean(&[], 4).is_empty());
+        assert!(clip_std(&[], 2.0).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Welch power-spectral-density estimation — the standard spectral QC
+//! tool for DAS channels (noise-floor characterization before
+//! interferometry).
+
+use crate::stft::spectrogram;
+
+/// Welch PSD estimate: average the periodograms of Hann-windowed,
+/// `hop`-spaced segments of length `n_fft`. Returns one power value per
+/// bin (`n_fft/2 + 1` bins, DC to Nyquist), normalized by window energy
+/// so a unit-variance white input gives a flat spectrum whose sum
+/// approximates the variance.
+///
+/// # Panics
+/// Panics when `n_fft == 0` or `hop == 0` (propagated from the STFT).
+pub fn welch_psd(x: &[f64], n_fft: usize, hop: usize) -> Vec<f64> {
+    let spec = spectrogram(x, n_fft, hop);
+    let bins = spec.bins;
+    if spec.frames == 0 {
+        return vec![0.0; bins];
+    }
+    // Hann window energy Σw² = 3n/8 for the symmetric window.
+    let win_energy: f64 = crate::window::hann(n_fft).iter().map(|w| w * w).sum();
+    let mut psd = vec![0.0f64; bins];
+    for f in 0..spec.frames {
+        for (b, p) in psd.iter_mut().enumerate() {
+            *p += spec.at(f, b);
+        }
+    }
+    let norm = 1.0 / (spec.frames as f64 * win_energy * n_fft as f64);
+    for (b, p) in psd.iter_mut().enumerate() {
+        // One-sided spectrum: double interior bins.
+        let one_sided = if b == 0 || (n_fft % 2 == 0 && b == bins - 1) {
+            1.0
+        } else {
+            2.0
+        };
+        *p *= norm * one_sided * n_fft as f64;
+    }
+    psd
+}
+
+/// Band power: integrate a Welch PSD between normalized frequencies
+/// `f_lo..f_hi` (fractions of Nyquist).
+pub fn band_power(psd: &[f64], f_lo: f64, f_hi: f64) -> f64 {
+    if psd.is_empty() {
+        return 0.0;
+    }
+    let n = psd.len() - 1;
+    let lo = (f_lo.clamp(0.0, 1.0) * n as f64).round() as usize;
+    let hi = (f_hi.clamp(0.0, 1.0) * n as f64).round() as usize;
+    psd[lo..=hi.min(n)].iter().sum::<f64>() / psd.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut z = seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((i as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+                z ^= z >> 30;
+                z = z.wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 27;
+                (z % 2_000_000) as f64 / 1_000_000.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tone_peaks_at_its_bin() {
+        let n = 8192;
+        let bin = 40; // cycles per 256-sample segment
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * bin as f64 * i as f64 / 256.0).sin())
+            .collect();
+        let psd = welch_psd(&x, 256, 128);
+        let peak = psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("nonempty")
+            .0;
+        assert_eq!(peak, bin);
+    }
+
+    #[test]
+    fn white_noise_is_roughly_flat() {
+        let x = white_noise(65536, 7);
+        let psd = welch_psd(&x, 256, 128);
+        // Compare mean of low vs high halves (excluding DC/Nyquist).
+        let mid = psd.len() / 2;
+        let low: f64 = psd[1..mid].iter().sum::<f64>() / (mid - 1) as f64;
+        let high: f64 = psd[mid..psd.len() - 1].iter().sum::<f64>() / (psd.len() - 1 - mid) as f64;
+        assert!(
+            (low / high - 1.0).abs() < 0.2,
+            "white PSD not flat: low {low:.3e} vs high {high:.3e}"
+        );
+    }
+
+    #[test]
+    fn psd_scales_with_power() {
+        let x = white_noise(32768, 3);
+        let x2: Vec<f64> = x.iter().map(|v| v * 2.0).collect();
+        let p1: f64 = welch_psd(&x, 256, 128).iter().sum();
+        let p2: f64 = welch_psd(&x2, 256, 128).iter().sum();
+        assert!((p2 / p1 - 4.0).abs() < 0.01, "doubling amplitude quadruples power");
+    }
+
+    #[test]
+    fn band_power_localizes_energy() {
+        let n = 16384;
+        // Tone at 0.3 Nyquist.
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::PI * 0.3 * i as f64).sin())
+            .collect();
+        let psd = welch_psd(&x, 256, 128);
+        let in_band = band_power(&psd, 0.25, 0.35);
+        let out_band = band_power(&psd, 0.6, 0.9);
+        assert!(in_band > 100.0 * out_band.max(1e-12));
+    }
+
+    #[test]
+    fn short_input_returns_zeros() {
+        let psd = welch_psd(&[1.0; 10], 64, 32);
+        assert_eq!(psd.len(), 33);
+        assert!(psd.iter().all(|&p| p == 0.0));
+    }
+}

@@ -1,0 +1,355 @@
+//! World setup and point-to-point messaging with tag matching.
+
+use crate::stats::CommStats;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Internal message envelope.
+pub(crate) struct Envelope {
+    pub(crate) src: usize,
+    pub(crate) tag: u64,
+    pub(crate) payload: Box<dyn Any + Send>,
+}
+
+/// Error returned by [`Comm::recv_timeout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// No matching message arrived within the deadline. On a real cluster
+    /// this is how a dead peer manifests; tests use it for failure
+    /// injection.
+    Timeout,
+    /// A message matched source and tag but carried an unexpected payload
+    /// type — the moral equivalent of an MPI datatype mismatch.
+    TypeMismatch,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out (peer dead or deadlocked?)"),
+            RecvError::TypeMismatch => write!(f, "received payload of unexpected type"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// The communicator handle owned by each rank, analogous to
+/// `MPI_COMM_WORLD` plus the local rank id.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    receiver: Receiver<Envelope>,
+    /// Unexpected-message queue: arrived but not yet matched by a recv.
+    pending: RefCell<VecDeque<Envelope>>,
+    /// Per-rank collective sequence number; disambiguates the internal
+    /// tags of back-to-back collectives.
+    pub(crate) coll_seq: Cell<u64>,
+    stats: Arc<CommStats>,
+}
+
+/// User-visible tags live below this bit; collectives tag above it.
+pub(crate) const INTERNAL_TAG_BASE: u64 = 1 << 32;
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The world's shared communication counters.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Send `value` to rank `dst` with `tag` (non-blocking, buffered —
+    /// like `MPI_Isend` into an eager buffer).
+    ///
+    /// `tag` must be below 2^32; larger values are reserved for
+    /// collectives.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u32, value: T) {
+        self.send_internal(dst, tag as u64, value, std::mem::size_of::<T>());
+    }
+
+    /// Send a `Vec`, counting its true byte volume in [`CommStats`].
+    pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: u32, value: Vec<T>) {
+        let bytes = value.len() * std::mem::size_of::<T>();
+        self.send_internal(dst, tag as u64, value, bytes);
+    }
+
+    pub(crate) fn send_internal<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        value: T,
+        approx_bytes: usize,
+    ) {
+        assert!(dst < self.size, "send to rank {dst} out of range 0..{}", self.size);
+        self.stats.count_message(approx_bytes);
+        // Unbounded channel: send cannot fail unless the receiver thread
+        // is gone, which only happens when a rank panicked — propagate.
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("destination rank has terminated");
+    }
+
+    /// Blocking receive of a `T` from rank `src` with matching `tag`
+    /// (like `MPI_Recv`). Messages from other (src, tag) pairs are queued
+    /// and stay available for later receives.
+    ///
+    /// # Panics
+    /// Panics on payload type mismatch — that is a programming error, as
+    /// it is in MPI.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u32) -> T {
+        self.recv_internal(src, tag as u64)
+    }
+
+    /// [`Comm::recv`] with a deadline, for failure injection and tests.
+    pub fn recv_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u32,
+        timeout: Duration,
+    ) -> Result<T, RecvError> {
+        self.recv_internal_timeout(src, tag as u64, Some(timeout))
+    }
+
+    pub(crate) fn recv_internal<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        match self.recv_internal_timeout(src, tag, None) {
+            Ok(v) => v,
+            Err(RecvError::TypeMismatch) => panic!(
+                "rank {}: type mismatch receiving tag {tag:#x} from rank {src}",
+                self.rank
+            ),
+            Err(RecvError::Timeout) => unreachable!("no timeout configured"),
+        }
+    }
+
+    fn recv_internal_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Option<Duration>,
+    ) -> Result<T, RecvError> {
+        // 1. Check the unexpected-message queue.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+                let env = pending.remove(pos).expect("position just found");
+                return downcast(env);
+            }
+        }
+        // 2. Drain the channel until a match appears. Already-delivered
+        //    messages are always drained first (non-blocking), so a
+        //    zero-duration timeout still observes them — `RecvRequest::
+        //    test` relies on that.
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            while let Ok(env) = self.receiver.try_recv() {
+                if env.src == src && env.tag == tag {
+                    return downcast(env);
+                }
+                self.pending.borrow_mut().push_back(env);
+            }
+            let env = match deadline {
+                None => self
+                    .receiver
+                    .recv()
+                    .expect("world torn down while receiving"),
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        return Err(RecvError::Timeout);
+                    }
+                    match self.receiver.recv_timeout(d - now) {
+                        Ok(env) => env,
+                        Err(_) => return Err(RecvError::Timeout),
+                    }
+                }
+            };
+            if env.src == src && env.tag == tag {
+                return downcast(env);
+            }
+            self.pending.borrow_mut().push_back(env);
+        }
+    }
+}
+
+fn downcast<T: 'static>(env: Envelope) -> Result<T, RecvError> {
+    env.payload
+        .downcast::<T>()
+        .map(|b| *b)
+        .map_err(|_| RecvError::TypeMismatch)
+}
+
+/// Spawn a world of `n_ranks` and run `f` on every rank concurrently.
+/// Returns each rank's result, indexed by rank.
+///
+/// A panic on any rank tears the world down and propagates.
+pub fn run<R, F>(n_ranks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    run_with_stats(n_ranks, f).0
+}
+
+/// Like [`run`], additionally returning the world's communication
+/// counters.
+pub fn run_with_stats<R, F>(n_ranks: usize, f: F) -> (Vec<R>, crate::StatsSnapshot)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    assert!(n_ranks >= 1, "world must have at least one rank");
+    let stats = Arc::new(CommStats::default());
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..n_ranks).map(|_| unbounded()).unzip();
+    let senders = Arc::new(senders);
+
+    let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_ranks);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let senders = Arc::clone(&senders);
+            let stats = Arc::clone(&stats);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let comm = Comm {
+                    rank,
+                    size: n_ranks,
+                    senders,
+                    receiver,
+                    pending: RefCell::new(VecDeque::new()),
+                    coll_seq: Cell::new(0),
+                    stats,
+                };
+                f(&comm)
+            }));
+        }
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(r) => results[rank] = Some(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("all ranks joined"))
+        .collect();
+    (results, stats.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, 123u64);
+                comm.recv::<u64>(1, 8)
+            } else {
+                let v = comm.recv::<u64>(0, 7);
+                comm.send(0, 8, v * 2);
+                v
+            }
+        });
+        assert_eq!(out, vec![246, 123]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 2, "second".to_string());
+                comm.send(1, 1, "first".to_string());
+                String::new()
+            } else {
+                let a = comm.recv::<String>(0, 1);
+                let b = comm.recv::<String>(0, 2);
+                format!("{a},{b}")
+            }
+        });
+        assert_eq!(out[1], "first,second");
+    }
+
+    #[test]
+    fn source_matching() {
+        let out = run(3, |comm| {
+            if comm.rank() == 2 {
+                // Receive from rank 1 first even though rank 0 sent first.
+                let a = comm.recv::<u32>(1, 0);
+                let b = comm.recv::<u32>(0, 0);
+                vec![a, b]
+            } else {
+                comm.send(2, 0, comm.rank() as u32);
+                vec![]
+            }
+        });
+        assert_eq!(out[2], vec![1, 0]);
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.recv_timeout::<u8>(1, 9, Duration::from_millis(20))
+            } else {
+                Ok(0) // rank 1 never sends on tag 9
+            }
+        });
+        assert_eq!(out[0], Err(RecvError::Timeout));
+    }
+
+    #[test]
+    fn stats_count_p2p() {
+        let (_, stats) = run_with_stats(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vec(1, 0, vec![0u8; 1000]);
+            } else {
+                let _ = comm.recv::<Vec<u8>>(0, 0);
+            }
+        });
+        assert_eq!(stats.p2p_messages, 1);
+        assert_eq!(stats.p2p_bytes, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_to_invalid_rank_panics() {
+        run(1, |comm| comm.send(5, 0, 1u8));
+    }
+
+    #[test]
+    fn large_vec_transfer() {
+        let n = 1 << 16;
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vec(1, 3, (0..n as u64).collect::<Vec<_>>());
+                0
+            } else {
+                let v = comm.recv::<Vec<u64>>(0, 3);
+                v.iter().sum::<u64>()
+            }
+        });
+        assert_eq!(out[1], (n as u64 - 1) * n as u64 / 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Non-blocking point-to-point operations (`MPI_Isend`/`MPI_Irecv`
+//! analogues).
+//!
+//! minimpi's sends are already buffered-eager (they never block), so
+//! `isend` is primarily about symmetry; `irecv` however lets a rank
+//! post a receive, keep computing, and complete it later — the overlap
+//! pattern real DAS pipelines use to hide halo-exchange latency behind
+//! stencil computation.
+
+use crate::comm::{Comm, RecvError};
+use std::time::Duration;
+
+/// A pending receive posted by [`Comm::irecv`].
+///
+/// Completion is pull-based: call [`RecvRequest::test`] to poll or
+/// [`RecvRequest::wait`] to block. (A real MPI would progress in the
+/// background; the semantics visible to the caller are the same.)
+pub struct RecvRequest<'c, T> {
+    comm: &'c Comm,
+    src: usize,
+    tag: u32,
+    done: Option<T>,
+}
+
+impl<'c, T: Send + 'static> RecvRequest<'c, T> {
+    /// Has a matching message arrived? Completes the request when so.
+    pub fn test(&mut self) -> bool {
+        if self.done.is_some() {
+            return true;
+        }
+        match self.comm.recv_timeout::<T>(self.src, self.tag, Duration::ZERO) {
+            Ok(v) => {
+                self.done = Some(v);
+                true
+            }
+            Err(RecvError::Timeout) => false,
+            Err(RecvError::TypeMismatch) => {
+                panic!("irecv type mismatch from rank {} tag {}", self.src, self.tag)
+            }
+        }
+    }
+
+    /// Block until the message arrives and return it.
+    pub fn wait(mut self) -> T {
+        if let Some(v) = self.done.take() {
+            return v;
+        }
+        self.comm.recv(self.src, self.tag)
+    }
+
+    /// Wait with a deadline.
+    pub fn wait_timeout(mut self, timeout: Duration) -> Result<T, RecvError> {
+        if let Some(v) = self.done.take() {
+            return Ok(v);
+        }
+        self.comm.recv_timeout(self.src, self.tag, timeout)
+    }
+}
+
+impl Comm {
+    /// Post a non-blocking send. Functionally identical to
+    /// [`Comm::send`] (sends are eager-buffered), provided for MPI
+    /// idiom parity.
+    pub fn isend<T: Send + 'static>(&self, dst: usize, tag: u32, value: T) {
+        self.send(dst, tag, value);
+    }
+
+    /// Post a non-blocking receive; complete it with
+    /// [`RecvRequest::wait`] or poll with [`RecvRequest::test`].
+    pub fn irecv<T: Send + 'static>(&self, src: usize, tag: u32) -> RecvRequest<'_, T> {
+        RecvRequest {
+            comm: self,
+            src,
+            tag,
+            done: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+    use std::time::Duration;
+
+    #[test]
+    fn irecv_overlaps_with_computation() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                // Post the receive first, "compute", then complete.
+                let req = comm.irecv::<u64>(1, 5);
+                let local: u64 = (0..1000).sum();
+                let remote = req.wait();
+                local + remote
+            } else {
+                comm.isend(0, 5, 42u64);
+                0
+            }
+        });
+        assert_eq!(out[0], 499_500 + 42);
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.irecv::<String>(1, 9);
+                let mut polls = 0u32;
+                while !req.test() {
+                    polls += 1;
+                    std::thread::yield_now();
+                    if polls > 10_000_000 {
+                        panic!("message never arrived");
+                    }
+                }
+                req.wait()
+            } else {
+                std::thread::sleep(Duration::from_millis(10));
+                comm.isend(0, 9, "late".to_string());
+                String::new()
+            }
+        });
+        assert_eq!(out[0], "late");
+    }
+
+    #[test]
+    fn completed_request_waits_instantly() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.irecv::<i32>(1, 1);
+                // Spin until test() observes the message…
+                while !req.test() {
+                    std::thread::yield_now();
+                }
+                // …then wait() must return the already-captured value.
+                req.wait()
+            } else {
+                comm.isend(0, 1, 7);
+                0
+            }
+        });
+        assert_eq!(out[0], 7);
+    }
+
+    #[test]
+    fn wait_timeout_reports_missing_peer() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.irecv::<u8>(1, 77)
+                    .wait_timeout(Duration::from_millis(20))
+                    .is_err()
+            } else {
+                true // never sends on tag 77
+            }
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn multiple_outstanding_receives_complete_in_any_order() {
+        let out = run(3, |comm| {
+            if comm.rank() == 0 {
+                let r2 = comm.irecv::<u32>(2, 0);
+                let r1 = comm.irecv::<u32>(1, 0);
+                // Complete in reverse posting order.
+                let a = r1.wait();
+                let b = r2.wait();
+                vec![a, b]
+            } else {
+                comm.isend(0, 0, comm.rank() as u32 * 100);
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![100, 200]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: every collective must match its sequential
+//! reference semantics for arbitrary world sizes and payloads.
+
+use minimpi::run;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bcast_delivers_root_value(size in 1usize..9, root_frac in 0.0f64..1.0,
+                                 payload in prop::collection::vec(any::<i64>(), 0..32)) {
+        let root = (root_frac * size as f64) as usize % size;
+        let out = run(size, |comm| {
+            let v = if comm.rank() == root { Some(payload.clone()) } else { None };
+            comm.bcast_vec(root, v)
+        });
+        for got in out {
+            prop_assert_eq!(&got, &payload);
+        }
+    }
+
+    #[test]
+    fn allreduce_equals_sequential_fold(size in 1usize..9,
+                                        values in prop::collection::vec(-1000i64..1000, 8)) {
+        let out = run(size, |comm| {
+            comm.allreduce(values[comm.rank()], |a, b| a.wrapping_add(b))
+        });
+        let expect: i64 = values[..size].iter().sum();
+        for got in out {
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn reduce_max_matches(size in 1usize..9,
+                          values in prop::collection::vec(any::<i32>(), 8),
+                          root_frac in 0.0f64..1.0) {
+        let root = (root_frac * size as f64) as usize % size;
+        let out = run(size, |comm| comm.reduce(root, values[comm.rank()], i32::max));
+        let expect = values[..size].iter().copied().max().expect("nonempty");
+        for (rank, got) in out.into_iter().enumerate() {
+            if rank == root {
+                prop_assert_eq!(got, Some(expect));
+            } else {
+                prop_assert_eq!(got, None);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_allgather_preserve_rank_order(size in 1usize..9,
+                                                base in any::<u32>()) {
+        let out = run(size, |comm| {
+            let mine = base.wrapping_add(comm.rank() as u32);
+            (comm.gather(0, mine), comm.allgather(mine))
+        });
+        let expect: Vec<u32> = (0..size).map(|r| base.wrapping_add(r as u32)).collect();
+        prop_assert_eq!(out[0].0.clone(), Some(expect.clone()));
+        for (_, ag) in out {
+            prop_assert_eq!(ag, expect.clone());
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose(size in 1usize..7, seed in any::<u64>()) {
+        // buffers[src][dst] content is a function of (src, dst); after the
+        // exchange, received[dst][src] must hold the same function value.
+        let content = |src: usize, dst: usize| -> Vec<u64> {
+            let n = ((seed >> (src + dst)) % 5) as usize + 1;
+            (0..n).map(|i| seed ^ ((src * 31 + dst * 17 + i) as u64)).collect()
+        };
+        let out = run(size, |comm| {
+            let bufs: Vec<Vec<u64>> = (0..size).map(|d| content(comm.rank(), d)).collect();
+            comm.alltoallv(bufs)
+        });
+        for (dst, blocks) in out.into_iter().enumerate() {
+            for (src, block) in blocks.into_iter().enumerate() {
+                prop_assert_eq!(block, content(src, dst), "src={} dst={}", src, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_partitions_root_data(size in 1usize..9, base in any::<i64>()) {
+        let out = run(size, |comm| {
+            let values = if comm.rank() == 0 {
+                Some((0..size as i64).map(|i| base.wrapping_add(i)).collect())
+            } else {
+                None
+            };
+            comm.scatter(0, values)
+        });
+        for (rank, got) in out.into_iter().enumerate() {
+            prop_assert_eq!(got, base.wrapping_add(rank as i64));
+        }
+    }
+
+    #[test]
+    fn collective_sequences_stay_consistent(size in 2usize..6, rounds in 1usize..5) {
+        // Interleave different collectives repeatedly: sequence-number
+        // tagging must keep every round isolated.
+        let out = run(size, |comm| {
+            let mut acc = Vec::new();
+            for r in 0..rounds {
+                comm.barrier();
+                let s = comm.allreduce(comm.rank() + r, |a, b| a + b);
+                let g = comm.allgather(r * 10 + comm.rank());
+                acc.push((s, g));
+            }
+            acc
+        });
+        for ranks_view in &out {
+            prop_assert_eq!(ranks_view, &out[0], "all ranks agree");
+        }
+        for (r, (s, g)) in out[0].iter().enumerate() {
+            let expect_s: usize = (0..size).map(|k| k + r).sum();
+            prop_assert_eq!(*s, expect_s);
+            let expect_g: Vec<usize> = (0..size).map(|k| r * 10 + k).collect();
+            prop_assert_eq!(g, &expect_g);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! AST for the MATLAB subset.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,     // matrix/scalar *
+    Div,     // /
+    Pow,     // ^
+    ElemMul, // .*
+    ElemDiv, // ./
+    ElemPow, // .^
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+/// An index argument in `x(a, b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Index {
+    /// A full-dimension selection `:`.
+    All,
+    /// Any expression (scalar index or index vector/range).
+    Expr(Expr),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Str(String),
+    Var(String),
+    Unary(UnOp, Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `a:b` or `a:s:b`.
+    Range {
+        start: Box<Expr>,
+        step: Option<Box<Expr>>,
+        end: Box<Expr>,
+    },
+    /// `[e11 e12; e21 e22]` — row-major concatenation.
+    MatrixLit(Vec<Vec<Expr>>),
+    /// `name(args)` — function call *or* indexing, resolved at runtime
+    /// exactly as MATLAB does (variables shadow functions).
+    CallOrIndex { name: String, args: Vec<Index> },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x = expr` or `x(i, j) = expr`.
+    Assign {
+        target: String,
+        indices: Option<Vec<Index>>,
+        value: Expr,
+    },
+    /// `[a, b] = f(...)` — multi-value assignment.
+    MultiAssign { targets: Vec<String>, call: Expr },
+    /// Bare expression (evaluated for effect; result stored in `ans`).
+    ExprStmt(Expr),
+    For {
+        var: String,
+        iter: Expr,
+        body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    If {
+        /// `(condition, body)` arms: `if`, then any `elseif`s.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        else_body: Vec<Stmt>,
+    },
+    Break,
+    /// `return` — exit the enclosing function (or script).
+    Return,
+    /// `function [outs] = name(params) body end`.
+    FuncDef {
+        name: String,
+        params: Vec<String>,
+        outputs: Vec<String>,
+        body: Vec<Stmt>,
+    },
+}

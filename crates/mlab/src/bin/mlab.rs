@@ -1,0 +1,106 @@
+//! `mlab` — an interactive MATLAB-style shell for DAS analysis.
+//!
+//! The DASSA paper's future-work item, working: a REPL over the mlab
+//! language with the full DasLib builtin set plus the `das_*` bridge
+//! (scan/search/read/generate/analyse). Bare expressions print `ans`,
+//! assignments echo shape, `quit` exits.
+//!
+//! ```text
+//! $ cargo run -p mlab --bin mlab
+//! mlab> data = das_generate(16, 50, 60, 7);
+//! data = 16x3000 matrix
+//! mlab> simi = das_local_similarity(data, 20, 1, 8, 50);
+//! simi = 16x60 matrix
+//! mlab> max(simi(:))
+//! ans = 0.9241
+//! ```
+
+use mlab::{Interp, Value};
+use std::io::{BufRead, Write};
+
+fn describe(value: &Value) -> String {
+    match value {
+        Value::Num(v) => format!("{v}"),
+        Value::Str(s) => format!("'{s}'"),
+        Value::Matrix { rows, cols, data } => {
+            if data.len() <= 8 {
+                format!(
+                    "[{}]",
+                    data.iter()
+                        .map(|v| format!("{v:.4}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            } else {
+                format!("{rows}x{cols} matrix")
+            }
+        }
+        Value::CMatrix { rows, cols, .. } => format!("{rows}x{cols} complex matrix"),
+    }
+}
+
+fn main() {
+    let mut interp = Interp::new();
+    let stdin = std::io::stdin();
+    let interactive = std::env::args().all(|a| a != "--batch");
+    if interactive {
+        eprintln!("mlab — interactive DAS analysis shell (DASSA bridge loaded)");
+        eprintln!("builtins: detrend butter filtfilt resample fft abscorr ...");
+        eprintln!("          das_generate das_read das_search das_local_similarity das_interferometry");
+        eprintln!("type 'quit' to exit");
+    }
+    loop {
+        if interactive {
+            eprint!("mlab> ");
+            std::io::stderr().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        // Capture the assigned variable name for echo (x = ... → x).
+        let target = trimmed
+            .split('=')
+            .next()
+            .map(str::trim)
+            .filter(|t| {
+                !t.is_empty()
+                    && t.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    && t.chars().next().is_some_and(char::is_alphabetic)
+            })
+            .map(str::to_string);
+        match interp.run(trimmed) {
+            Ok(()) => {
+                if !interp.output.is_empty() {
+                    print!("{}", interp.output);
+                    interp.output.clear();
+                }
+                let echo_name = if trimmed.contains('=') {
+                    target.as_deref()
+                } else {
+                    Some("ans")
+                };
+                if let Some(name) = echo_name {
+                    if let Some(v) = interp.get(name) {
+                        if !trimmed.ends_with(';') || name != "ans" {
+                            println!("{name} = {}", describe(v));
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

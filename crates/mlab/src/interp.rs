@@ -1,0 +1,644 @@
+//! The tree-walking interpreter.
+
+use crate::ast::{BinOp, Expr, Index, Stmt, UnOp};
+use crate::builtins;
+use crate::parser::parse;
+use crate::value::{elementwise, elementwise_complex, matmul, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interpreter error with a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlabError(pub String);
+
+impl fmt::Display for MlabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mlab: {}", self.0)
+    }
+}
+
+impl std::error::Error for MlabError {}
+
+impl From<String> for MlabError {
+    fn from(s: String) -> Self {
+        MlabError(s)
+    }
+}
+
+/// Control-flow signal inside blocks.
+enum Flow {
+    Normal,
+    Break,
+    Return,
+}
+
+/// A user-defined function.
+#[derive(Debug, Clone)]
+struct FuncDef {
+    params: Vec<String>,
+    outputs: Vec<String>,
+    body: Vec<Stmt>,
+}
+
+/// The MATLAB-subset interpreter: a workspace of variables plus an
+/// output buffer for `disp`.
+pub struct Interp {
+    vars: HashMap<String, Value>,
+    funcs: HashMap<String, FuncDef>,
+    call_depth: usize,
+    /// Text produced by `disp` (captured rather than printed, so library
+    /// users and tests control where it goes).
+    pub output: String,
+    /// Statements executed — a cheap proxy for interpreter overhead,
+    /// exposed for the performance analysis in the benchmarks.
+    pub statements_executed: u64,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// A fresh workspace.
+    pub fn new() -> Interp {
+        Interp {
+            vars: HashMap::new(),
+            funcs: HashMap::new(),
+            call_depth: 0,
+            output: String::new(),
+            statements_executed: 0,
+        }
+    }
+
+    /// Pre-load a variable (how the benchmark harness hands the DAS
+    /// array to the "MATLAB" script).
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// Fetch a variable.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Fetch a scalar variable.
+    pub fn get_scalar(&self, name: &str) -> Option<f64> {
+        self.vars.get(name).and_then(|v| v.as_scalar().ok())
+    }
+
+    /// Parse and execute a script in this workspace.
+    pub fn run(&mut self, src: &str) -> Result<(), MlabError> {
+        let stmts = parse(src).map_err(MlabError)?;
+        self.exec_block(&stmts)?;
+        Ok(())
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<Flow, MlabError> {
+        for stmt in stmts {
+            match self.exec(stmt)? {
+                Flow::Break => return Ok(Flow::Break),
+                Flow::Return => return Ok(Flow::Return),
+                Flow::Normal => {}
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<Flow, MlabError> {
+        self.statements_executed += 1;
+        match stmt {
+            Stmt::Assign { target, indices, value } => {
+                let v = self.eval(value)?;
+                match indices {
+                    None => {
+                        self.vars.insert(target.clone(), v);
+                    }
+                    Some(ix) => self.assign_indexed(target, ix, v)?,
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::MultiAssign { targets, call } => {
+                let results = match call {
+                    Expr::CallOrIndex { name, args } if !self.vars.contains_key(name) => {
+                        let argv = self.eval_args(args)?;
+                        if self.funcs.contains_key(name) {
+                            self.call_user(name, argv)?
+                        } else {
+                            builtins::call(self, name, argv).map_err(MlabError)?
+                        }
+                    }
+                    other => vec![self.eval(other)?],
+                };
+                if results.len() < targets.len() {
+                    return Err(MlabError(format!(
+                        "function returned {} values, {} requested",
+                        results.len(),
+                        targets.len()
+                    )));
+                }
+                for (t, v) in targets.iter().zip(results) {
+                    self.vars.insert(t.clone(), v);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::ExprStmt(e) => {
+                let v = self.eval(e)?;
+                self.vars.insert("ans".to_string(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::For { var, iter, body } => {
+                let seq = self.eval(iter)?;
+                let items: Vec<f64> = seq.to_real_vec().map_err(MlabError)?;
+                for x in items {
+                    self.vars.insert(var.clone(), Value::Num(x));
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        Flow::Normal => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::While { cond, body } => {
+                let mut guard = 0u64;
+                loop {
+                    guard += 1;
+                    if guard > 100_000_000 {
+                        return Err(MlabError("while loop exceeded iteration budget".into()));
+                    }
+                    if !self.eval(cond)?.is_true() {
+                        break;
+                    }
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        Flow::Normal => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If { arms, else_body } => {
+                for (cond, body) in arms {
+                    if self.eval(cond)?.is_true() {
+                        return self.exec_block(body);
+                    }
+                }
+                self.exec_block(else_body)
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Return => Ok(Flow::Return),
+            Stmt::FuncDef { name, params, outputs, body } => {
+                self.funcs.insert(
+                    name.clone(),
+                    FuncDef {
+                        params: params.clone(),
+                        outputs: outputs.clone(),
+                        body: body.clone(),
+                    },
+                );
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    /// Invoke a user-defined function in a fresh workspace (MATLAB
+    /// functions do not see the caller's variables).
+    fn call_user(&mut self, name: &str, argv: Vec<Value>) -> Result<Vec<Value>, MlabError> {
+        let def = self
+            .funcs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MlabError(format!("undefined function {name:?}")))?;
+        if argv.len() > def.params.len() {
+            return Err(MlabError(format!(
+                "{name}: too many arguments ({} given, {} declared)",
+                argv.len(),
+                def.params.len()
+            )));
+        }
+        if self.call_depth >= 128 {
+            return Err(MlabError(format!("{name}: recursion limit exceeded")));
+        }
+        // Swap in an isolated workspace.
+        let saved = std::mem::take(&mut self.vars);
+        for (p, v) in def.params.iter().zip(argv) {
+            self.vars.insert(p.clone(), v);
+        }
+        self.call_depth += 1;
+        let flow = self.exec_block(&def.body);
+        self.call_depth -= 1;
+        let result = flow.and_then(|_| {
+            def.outputs
+                .iter()
+                .map(|o| {
+                    self.vars.get(o).cloned().ok_or_else(|| {
+                        MlabError(format!("{name}: output variable {o:?} was never assigned"))
+                    })
+                })
+                .collect::<Result<Vec<Value>, MlabError>>()
+        });
+        self.vars = saved;
+        result
+    }
+
+    /// `x(indices) = value` with 1-D auto-grow (MATLAB behaviour).
+    fn assign_indexed(&mut self, target: &str, ix: &[Index], value: Value) -> Result<(), MlabError> {
+        let existing = self.vars.get(target).cloned().unwrap_or(Value::row(vec![]));
+        let updated = match ix.len() {
+            1 => {
+                let idx = match &ix[0] {
+                    Index::All => return Err(MlabError("x(:) = v unsupported".into())),
+                    Index::Expr(e) => self.eval(e)?,
+                };
+                let i1 = idx.as_scalar().map_err(MlabError)? as usize;
+                if i1 == 0 {
+                    return Err(MlabError("indices are 1-based".into()));
+                }
+                let v = value.as_scalar().map_err(MlabError)?;
+                let (rows, _) = existing.shape();
+                let mut data = existing.to_real_vec().map_err(MlabError)?;
+                if rows > 1 && i1 <= data.len() {
+                    // Column-major linear index into a true matrix.
+                    let (r, c) = existing.linear_to_rc(i1).map_err(MlabError)?;
+                    let (_, cols) = existing.shape();
+                    data[r * cols + c] = v;
+                    Value::Matrix { rows, cols: data.len() / rows, data }
+                } else {
+                    // Vector: grow with zeros as needed.
+                    if i1 > data.len() {
+                        data.resize(i1, 0.0);
+                    }
+                    data[i1 - 1] = v;
+                    Value::row(data)
+                }
+            }
+            2 => {
+                let (rows, cols) = existing.shape();
+                let mut data = existing.to_real_vec().map_err(MlabError)?;
+                match (&ix[0], &ix[1]) {
+                    (Index::Expr(re), Index::All) => {
+                        let r1 = self.eval(re)?.as_scalar().map_err(MlabError)? as usize;
+                        if r1 == 0 || r1 > rows {
+                            return Err(MlabError(format!("row {r1} out of bounds")));
+                        }
+                        let row = value.to_real_vec().map_err(MlabError)?;
+                        if row.len() != cols {
+                            return Err(MlabError("row length mismatch".into()));
+                        }
+                        data[(r1 - 1) * cols..r1 * cols].copy_from_slice(&row);
+                    }
+                    (Index::Expr(re), Index::Expr(ce)) => {
+                        let r1 = self.eval(re)?.as_scalar().map_err(MlabError)? as usize;
+                        let c1 = self.eval(ce)?.as_scalar().map_err(MlabError)? as usize;
+                        if r1 == 0 || r1 > rows || c1 == 0 || c1 > cols {
+                            return Err(MlabError(format!("({r1},{c1}) out of bounds")));
+                        }
+                        data[(r1 - 1) * cols + (c1 - 1)] =
+                            value.as_scalar().map_err(MlabError)?;
+                    }
+                    _ => return Err(MlabError("unsupported indexed assignment form".into())),
+                }
+                Value::Matrix { rows, cols, data }
+            }
+            n => return Err(MlabError(format!("{n}-D assignment unsupported"))),
+        };
+        self.vars.insert(target.to_string(), updated);
+        Ok(())
+    }
+
+    fn eval_args(&mut self, args: &[Index]) -> Result<Vec<Value>, MlabError> {
+        args.iter()
+            .map(|a| match a {
+                Index::All => Ok(Value::Str(":".into())),
+                Index::Expr(e) => self.eval(e),
+            })
+            .collect()
+    }
+
+    /// Evaluate an expression. Every variable read **clones** the value —
+    /// the copy-semantics pessimization that models interpreted array
+    /// environments.
+    pub fn eval(&mut self, expr: &Expr) -> Result<Value, MlabError> {
+        match expr {
+            Expr::Num(v) => Ok(Value::Num(*v)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Var(name) => self
+                .vars
+                .get(name)
+                .cloned()
+                .ok_or_else(|| MlabError(format!("undefined variable or function {name:?}"))),
+            Expr::Unary(op, inner) => {
+                let v = self.eval(inner)?;
+                match op {
+                    UnOp::Neg => elementwise(&v, &Value::Num(-1.0), |a, b| a * b).map_err(MlabError),
+                    UnOp::Not => {
+                        elementwise(&v, &Value::Num(0.0), |a, _| f64::from(a == 0.0)).map_err(MlabError)
+                    }
+                }
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                self.binop(*op, a, b)
+            }
+            Expr::Range { start, step, end } => {
+                let s = self.eval(start)?.as_scalar().map_err(MlabError)?;
+                let e = self.eval(end)?.as_scalar().map_err(MlabError)?;
+                let st = match step {
+                    Some(x) => self.eval(x)?.as_scalar().map_err(MlabError)?,
+                    None => 1.0,
+                };
+                if st == 0.0 {
+                    return Err(MlabError("range step cannot be zero".into()));
+                }
+                let mut data = Vec::new();
+                let mut v = s;
+                if st > 0.0 {
+                    while v <= e + 1e-12 {
+                        data.push(v);
+                        v += st;
+                    }
+                } else {
+                    while v >= e - 1e-12 {
+                        data.push(v);
+                        v += st;
+                    }
+                }
+                Ok(Value::row(data))
+            }
+            Expr::MatrixLit(rows) => self.matrix_literal(rows),
+            Expr::CallOrIndex { name, args } => {
+                if self.vars.contains_key(name) {
+                    let base = self.vars.get(name).cloned().expect("checked");
+                    let argv = self.eval_args(args)?;
+                    index_value(&base, &argv).map_err(MlabError)
+                } else {
+                    let argv = self.eval_args(args)?;
+                    let mut results = if self.funcs.contains_key(name) {
+                        self.call_user(name, argv)?
+                    } else {
+                        builtins::call(self, name, argv).map_err(MlabError)?
+                    };
+                    if results.is_empty() {
+                        Ok(Value::row(vec![]))
+                    } else {
+                        Ok(results.swap_remove(0))
+                    }
+                }
+            }
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, a: Value, b: Value) -> Result<Value, MlabError> {
+        use BinOp::*;
+        // Complex-aware paths for spectra.
+        let complex = matches!(a, Value::CMatrix { .. }) || matches!(b, Value::CMatrix { .. });
+        if complex {
+            let out = match op {
+                Add => elementwise_complex(&a, &b, |x, y| x + y),
+                Sub => elementwise_complex(&a, &b, |x, y| x - y),
+                Mul | ElemMul => elementwise_complex(&a, &b, |x, y| x * y),
+                Div | ElemDiv => elementwise_complex(&a, &b, |x, y| x / y),
+                _ => Err("unsupported complex operation".into()),
+            };
+            return out.map_err(MlabError);
+        }
+        let r = match op {
+            Add => elementwise(&a, &b, |x, y| x + y),
+            Sub => elementwise(&a, &b, |x, y| x - y),
+            Mul => matmul(&a, &b),
+            ElemMul => elementwise(&a, &b, |x, y| x * y),
+            Div | ElemDiv => elementwise(&a, &b, |x, y| x / y),
+            Pow | ElemPow => elementwise(&a, &b, f64::powf),
+            Eq => elementwise(&a, &b, |x, y| f64::from(x == y)),
+            Ne => elementwise(&a, &b, |x, y| f64::from(x != y)),
+            Lt => elementwise(&a, &b, |x, y| f64::from(x < y)),
+            Gt => elementwise(&a, &b, |x, y| f64::from(x > y)),
+            Le => elementwise(&a, &b, |x, y| f64::from(x <= y)),
+            Ge => elementwise(&a, &b, |x, y| f64::from(x >= y)),
+            And => Ok(Value::Num(f64::from(a.is_true() && b.is_true()))),
+            Or => Ok(Value::Num(f64::from(a.is_true() || b.is_true()))),
+        };
+        r.map_err(MlabError)
+    }
+
+    fn matrix_literal(&mut self, rows: &[Vec<Expr>]) -> Result<Value, MlabError> {
+        if rows.is_empty() {
+            return Ok(Value::row(vec![]));
+        }
+        let mut out_rows: Vec<Vec<f64>> = Vec::new();
+        for row_exprs in rows {
+            // Horizontal concatenation within the row.
+            let mut row = Vec::new();
+            for e in row_exprs {
+                let v = self.eval(e)?;
+                row.extend(v.to_real_vec().map_err(MlabError)?);
+            }
+            out_rows.push(row);
+        }
+        let cols = out_rows[0].len();
+        if out_rows.iter().any(|r| r.len() != cols) {
+            return Err(MlabError("matrix rows have unequal lengths".into()));
+        }
+        let rows_n = out_rows.len();
+        Ok(Value::Matrix {
+            rows: rows_n,
+            cols,
+            data: out_rows.into_iter().flatten().collect(),
+        })
+    }
+}
+
+/// Index `base` by evaluated index values (`Value::Str(":")` means All).
+fn index_value(base: &Value, argv: &[Value]) -> Result<Value, String> {
+    let (rows, cols) = base.shape();
+    match argv.len() {
+        1 => {
+            let ix = &argv[0];
+            if matches!(ix, Value::Str(s) if s == ":") {
+                // x(:) — flatten column-major.
+                let data = base.to_real_vec()?;
+                let mut flat = Vec::with_capacity(data.len());
+                for c in 0..cols {
+                    for r in 0..rows {
+                        flat.push(data[r * cols + c]);
+                    }
+                }
+                return Ok(Value::row(flat));
+            }
+            let idxs = ix.to_real_vec()?;
+            let mut out = Vec::with_capacity(idxs.len());
+            for &i in &idxs {
+                let (r, c) = base.linear_to_rc(i as usize)?;
+                out.push(base.get2(r, c)?);
+            }
+            if out.len() == 1 {
+                Ok(Value::Num(out[0]))
+            } else {
+                Ok(Value::row(out))
+            }
+        }
+        2 => {
+            let row_sel: Vec<usize> = match &argv[0] {
+                Value::Str(s) if s == ":" => (0..rows).collect(),
+                v => v
+                    .to_real_vec()?
+                    .iter()
+                    .map(|&i| i as usize - 1)
+                    .collect(),
+            };
+            let col_sel: Vec<usize> = match &argv[1] {
+                Value::Str(s) if s == ":" => (0..cols).collect(),
+                v => v
+                    .to_real_vec()?
+                    .iter()
+                    .map(|&i| i as usize - 1)
+                    .collect(),
+            };
+            let mut out = Vec::with_capacity(row_sel.len() * col_sel.len());
+            for &r in &row_sel {
+                for &c in &col_sel {
+                    out.push(base.get2(r, c)?);
+                }
+            }
+            if out.len() == 1 {
+                Ok(Value::Num(out[0]))
+            } else {
+                Ok(Value::Matrix {
+                    rows: row_sel.len(),
+                    cols: col_sel.len(),
+                    data: out,
+                })
+            }
+        }
+        n => Err(format!("{n}-D indexing unsupported")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Interp {
+        let mut i = Interp::new();
+        i.run(src).unwrap_or_else(|e| panic!("{e}: in {src}"));
+        i
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let i = run("x = 2 + 3 * 4; y = (2 + 3) * 4; z = 2^3^2;");
+        assert_eq!(i.get_scalar("x"), Some(14.0));
+        assert_eq!(i.get_scalar("y"), Some(20.0));
+        assert_eq!(i.get_scalar("z"), Some(512.0), "right-assoc power");
+    }
+
+    #[test]
+    fn matlab_negative_power() {
+        let i = run("y = -2^2;");
+        assert_eq!(i.get_scalar("y"), Some(-4.0));
+    }
+
+    #[test]
+    fn ranges_and_sum() {
+        let i = run("s = sum(1:100); t = sum(10:-2:0);");
+        assert_eq!(i.get_scalar("s"), Some(5050.0));
+        assert_eq!(i.get_scalar("t"), Some(30.0));
+    }
+
+    #[test]
+    fn vector_indexing_reads() {
+        let i = run("v = [10 20 30 40]; a = v(2); b = v(2:3); c = v(:);");
+        assert_eq!(i.get_scalar("a"), Some(20.0));
+        assert_eq!(i.get("b"), Some(&Value::row(vec![20.0, 30.0])));
+        assert_eq!(i.get("c").unwrap().numel(), 4);
+    }
+
+    #[test]
+    fn matrix_indexing_2d() {
+        let i = run("m = [1 2 3; 4 5 6]; a = m(2, 3); r = m(1, :); c = m(:, 2);");
+        assert_eq!(i.get_scalar("a"), Some(6.0));
+        assert_eq!(i.get("r"), Some(&Value::row(vec![1.0, 2.0, 3.0])));
+        assert_eq!(
+            i.get("c"),
+            Some(&Value::Matrix {
+                rows: 2,
+                cols: 1,
+                data: vec![2.0, 5.0]
+            })
+        );
+    }
+
+    #[test]
+    fn indexed_assignment_and_growth() {
+        let i = run("x = zeros(1, 3); x(2) = 7; x(5) = 1;");
+        assert_eq!(i.get("x"), Some(&Value::row(vec![0.0, 7.0, 0.0, 0.0, 1.0])));
+    }
+
+    #[test]
+    fn matrix_element_assignment() {
+        let i = run("m = zeros(2, 2); m(2, 1) = 9; m(1, :) = [5 6];");
+        assert_eq!(
+            i.get("m"),
+            Some(&Value::Matrix {
+                rows: 2,
+                cols: 2,
+                data: vec![5.0, 6.0, 9.0, 0.0]
+            })
+        );
+    }
+
+    #[test]
+    fn control_flow_composes() {
+        let i = run(
+            "acc = 0;\n\
+             for k = 1:10\n\
+               if k == 5\n\
+                 break\n\
+               end\n\
+               acc = acc + k;\n\
+             end\n\
+             n = 0;\n\
+             while n < 7\n\
+               n = n + 2;\n\
+             end",
+        );
+        assert_eq!(i.get_scalar("acc"), Some(10.0));
+        assert_eq!(i.get_scalar("n"), Some(8.0));
+    }
+
+    #[test]
+    fn variables_shadow_builtins() {
+        let i = run("sum = [1 2 3]; y = sum(2);");
+        assert_eq!(i.get_scalar("y"), Some(2.0), "indexing, not the builtin");
+    }
+
+    #[test]
+    fn multi_assign_from_builtin() {
+        let i = run("[b, a] = butter(2, 0.4); first = b(1);");
+        let b = i.get("b").unwrap();
+        assert_eq!(b.numel(), 3);
+        assert!((i.get_scalar("first").unwrap() - 0.20657208).abs() < 1e-6);
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let mut i = Interp::new();
+        let err = i.run("y = nosuchthing + 1;").unwrap_err();
+        assert!(err.0.contains("undefined"));
+    }
+
+    #[test]
+    fn statement_counter_ticks() {
+        let i = run("x = 0; for k = 1:10 x = x + 1; end");
+        assert!(i.statements_executed >= 12, "{}", i.statements_executed);
+    }
+
+    #[test]
+    fn ans_captures_bare_expressions() {
+        let i = run("3 + 4;");
+        assert_eq!(i.get_scalar("ans"), Some(7.0));
+    }
+}

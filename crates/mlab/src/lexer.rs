@@ -1,0 +1,381 @@
+//! Tokenizer for the MATLAB subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Num(f64),
+    Ident(String),
+    Str(String),
+    // Punctuation / operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    DotStar,
+    DotSlash,
+    DotCaret,
+    Assign,
+    Eq,  // ==
+    Ne,  // ~=
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not, // ~
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Newline,
+    // Keywords.
+    For,
+    While,
+    If,
+    Else,
+    ElseIf,
+    End,
+    Break,
+    Function,
+    Return,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Tokenize `src`; `%` starts a comment to end of line. Newlines are
+/// significant (statement separators), so they are emitted as tokens.
+pub fn lex(src: &str) -> Result<Vec<Tok>, String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    // Context stack: inside `[ ]` (but not inside nested `( )`), MATLAB
+    // treats ` -x` (space before, none after) as an element separator
+    // plus unary minus: `[2.5 -3]` is two elements, `[2.5 - 3]` is one.
+    #[derive(PartialEq)]
+    enum Ctx {
+        Bracket,
+        Paren,
+    }
+    let mut ctx: Vec<Ctx> = Vec::new();
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '%' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\n' => {
+                out.push(Tok::Newline);
+                i += 1;
+            }
+            '0'..='9' | '.' if c.is_ascii_digit() || chars.get(i + 1).is_some_and(|n| n.is_ascii_digit()) => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    // A `.` followed by an operator char is elementwise-op,
+                    // not part of the number.
+                    if chars[i] == '.'
+                        && matches!(chars.get(i + 1), Some('*') | Some('/') | Some('^'))
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                // Scientific notation.
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if matches!(chars.get(j), Some('+') | Some('-')) {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(|d| d.is_ascii_digit()) {
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let v = text
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad number literal {text:?}"))?;
+                out.push(Tok::Num(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                out.push(match word.as_str() {
+                    "for" => Tok::For,
+                    "while" => Tok::While,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "elseif" => Tok::ElseIf,
+                    "end" => Tok::End,
+                    "break" => Tok::Break,
+                    "function" => Tok::Function,
+                    "return" => Tok::Return,
+                    _ => Tok::Ident(word),
+                });
+            }
+            '\'' => {
+                // String literal (transpose is not supported; a quote
+                // always opens a string in this subset).
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => return Err("unterminated string".into()),
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            '+' | '-' => {
+                let in_bracket = ctx.last() == Some(&Ctx::Bracket);
+                let space_before = i > 0 && matches!(chars[i - 1], ' ' | '\t');
+                let tight_after = chars
+                    .get(i + 1)
+                    .is_some_and(|&n| n.is_ascii_alphanumeric() || n == '.' || n == '(');
+                if in_bracket && space_before && tight_after {
+                    // Element separator + sign: `[a -b]` → a, -b.
+                    out.push(Tok::Comma);
+                }
+                out.push(if c == '+' { Tok::Plus } else { Tok::Minus });
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '^' => {
+                out.push(Tok::Caret);
+                i += 1;
+            }
+            '.' => match chars.get(i + 1) {
+                Some('*') => {
+                    out.push(Tok::DotStar);
+                    i += 2;
+                }
+                Some('/') => {
+                    out.push(Tok::DotSlash);
+                    i += 2;
+                }
+                Some('^') => {
+                    out.push(Tok::DotCaret);
+                    i += 2;
+                }
+                other => return Err(format!("unexpected '.' before {other:?}")),
+            },
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Eq);
+                    i += 2;
+                } else {
+                    out.push(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '~' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    out.push(Tok::Not);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if chars.get(i + 1) == Some(&'&') {
+                    out.push(Tok::AndAnd);
+                    i += 2;
+                } else {
+                    return Err("single '&' unsupported (use &&)".into());
+                }
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    out.push(Tok::OrOr);
+                    i += 2;
+                } else {
+                    return Err("single '|' unsupported (use ||)".into());
+                }
+            }
+            '(' => {
+                ctx.push(Ctx::Paren);
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                ctx.pop();
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                ctx.push(Ctx::Bracket);
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                ctx.pop();
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            ':' => {
+                out.push(Tok::Colon);
+                i += 1;
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_and_ops() {
+        let toks = lex("x = 1.5 + 2e3;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(1.5),
+                Tok::Plus,
+                Tok::Num(2000.0),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn elementwise_ops_vs_decimal_points() {
+        let toks = lex("y = a .* 2.5 ./ b .^ 2;").unwrap();
+        assert!(toks.contains(&Tok::DotStar));
+        assert!(toks.contains(&Tok::DotSlash));
+        assert!(toks.contains(&Tok::DotCaret));
+        assert!(toks.contains(&Tok::Num(2.5)));
+    }
+
+    #[test]
+    fn number_then_elementwise() {
+        // `2.*x` is 2 .* x, not 2. * x — MATLAB agrees either way.
+        let toks = lex("2.*x").unwrap();
+        assert_eq!(toks[0], Tok::Num(2.0));
+        assert_eq!(toks[1], Tok::DotStar);
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let toks = lex("for k = 1:10 end").unwrap();
+        assert_eq!(toks[0], Tok::For);
+        assert!(toks.contains(&Tok::Colon));
+        assert_eq!(toks.last(), Some(&Tok::End));
+        let toks = lex("fortune endgame").unwrap();
+        assert_eq!(toks[0], Tok::Ident("fortune".into()));
+        assert_eq!(toks[1], Tok::Ident("endgame".into()));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let toks = lex("x = 1; % the answer\ny = 2;").unwrap();
+        assert!(toks.iter().all(|t| !matches!(t, Tok::Ident(s) if s == "the")));
+        assert!(toks.contains(&Tok::Newline));
+    }
+
+    #[test]
+    fn strings_with_escaped_quote() {
+        let toks = lex("s = 'it''s';").unwrap();
+        assert!(toks.contains(&Tok::Str("it's".into())));
+        assert!(lex("s = 'open").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a == b ~= c <= d >= e < f > g").unwrap();
+        for t in [Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge, Tok::Lt, Tok::Gt] {
+            assert!(toks.contains(&t), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn bracket_space_minus_separates_elements() {
+        // [2.5 -3] → two elements; [2.5 - 3] → one (binary minus).
+        let two = lex("[2.5 -3]").unwrap();
+        assert!(two.contains(&Tok::Comma), "{two:?}");
+        let one = lex("[2.5 - 3]").unwrap();
+        assert!(!one.contains(&Tok::Comma), "{one:?}");
+        // Leading minus is plain unary.
+        let lead = lex("[-1 2]").unwrap();
+        assert!(!lead.contains(&Tok::Comma), "{lead:?}");
+        // Inside parens within brackets the rule is suspended.
+        let nested = lex("[f(a -b)]").unwrap();
+        assert!(!nested.contains(&Tok::Comma), "{nested:?}");
+        // Outside brackets nothing changes.
+        let plain = lex("a -b").unwrap();
+        assert_eq!(plain, vec![Tok::Ident("a".into()), Tok::Minus, Tok::Ident("b".into())]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("x = #").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

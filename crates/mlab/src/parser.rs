@@ -1,0 +1,564 @@
+//! Recursive-descent parser for the MATLAB subset.
+
+use crate::ast::{BinOp, Expr, Index, Stmt, UnOp};
+use crate::lexer::{lex, Tok};
+
+/// Parse a script into a statement list.
+pub fn parse(src: &str) -> Result<Vec<Stmt>, String> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let body = p.block(&[])?;
+    if p.pos != p.toks.len() {
+        return Err(format!("unexpected token {:?}", p.toks[p.pos]));
+    }
+    Ok(body)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), String> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn skip_separators(&mut self) {
+        while matches!(self.peek(), Some(Tok::Newline) | Some(Tok::Semi) | Some(Tok::Comma)) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parse statements until one of `terminators` (or EOF); does not
+    /// consume the terminator.
+    fn block(&mut self, terminators: &[Tok]) -> Result<Vec<Stmt>, String> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_separators();
+            match self.peek() {
+                None => break,
+                Some(t) if terminators.contains(t) => break,
+                _ => out.push(self.statement()?),
+            }
+        }
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, String> {
+        match self.peek() {
+            Some(Tok::For) => self.for_stmt(),
+            Some(Tok::While) => self.while_stmt(),
+            Some(Tok::If) => self.if_stmt(),
+            Some(Tok::Function) => self.func_def(),
+            Some(Tok::Break) => {
+                self.bump();
+                Ok(Stmt::Break)
+            }
+            Some(Tok::Return) => {
+                self.bump();
+                Ok(Stmt::Return)
+            }
+            Some(Tok::LBracket) => self.multi_assign_or_expr(),
+            _ => self.assign_or_expr(),
+        }
+    }
+
+    /// `function [o1, o2] = name(p1, p2) body end`
+    /// (single output may omit the brackets; zero outputs omit `out =`).
+    fn func_def(&mut self) -> Result<Stmt, String> {
+        self.expect(&Tok::Function)?;
+        // Outputs: `[a, b] =`, `a =`, or none.
+        let mut outputs = Vec::new();
+        let save = self.pos;
+        if self.eat(&Tok::LBracket) {
+            loop {
+                outputs.push(self.ident()?);
+                if self.eat(&Tok::RBracket) {
+                    break;
+                }
+                self.expect(&Tok::Comma)?;
+            }
+            self.expect(&Tok::Assign)?;
+        } else if let Some(Tok::Ident(first)) = self.peek().cloned() {
+            self.bump();
+            if self.eat(&Tok::Assign) {
+                outputs.push(first);
+            } else {
+                // No output: that ident was the function name; rewind.
+                self.pos = save;
+            }
+        }
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen) {
+            if !self.eat(&Tok::RParen) {
+                loop {
+                    params.push(self.ident()?);
+                    if self.eat(&Tok::RParen) {
+                        break;
+                    }
+                    self.expect(&Tok::Comma)?;
+                }
+            }
+        }
+        let body = self.block(&[Tok::End])?;
+        self.expect(&Tok::End)?;
+        Ok(Stmt::FuncDef {
+            name,
+            params,
+            outputs,
+            body,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, String> {
+        self.expect(&Tok::For)?;
+        let var = self.ident()?;
+        self.expect(&Tok::Assign)?;
+        let iter = self.expr()?;
+        let body = self.block(&[Tok::End])?;
+        self.expect(&Tok::End)?;
+        Ok(Stmt::For { var, iter, body })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, String> {
+        self.expect(&Tok::While)?;
+        let cond = self.expr()?;
+        let body = self.block(&[Tok::End])?;
+        self.expect(&Tok::End)?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, String> {
+        self.expect(&Tok::If)?;
+        let mut arms = Vec::new();
+        let cond = self.expr()?;
+        let body = self.block(&[Tok::End, Tok::Else, Tok::ElseIf])?;
+        arms.push((cond, body));
+        let mut else_body = Vec::new();
+        loop {
+            if self.eat(&Tok::ElseIf) {
+                let c = self.expr()?;
+                let b = self.block(&[Tok::End, Tok::Else, Tok::ElseIf])?;
+                arms.push((c, b));
+            } else if self.eat(&Tok::Else) {
+                else_body = self.block(&[Tok::End])?;
+                self.expect(&Tok::End)?;
+                return Ok(Stmt::If { arms, else_body });
+            } else {
+                self.expect(&Tok::End)?;
+                return Ok(Stmt::If { arms, else_body });
+            }
+        }
+    }
+
+    /// `[a, b] = f(...)`, or a matrix-literal expression statement.
+    fn multi_assign_or_expr(&mut self) -> Result<Stmt, String> {
+        // Try multi-assign: [ident, ident, ...] = call
+        let save = self.pos;
+        self.expect(&Tok::LBracket)?;
+        let mut targets = Vec::new();
+        let is_multi = loop {
+            match self.bump() {
+                Some(Tok::Ident(name)) => {
+                    targets.push(name);
+                    match self.bump() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RBracket) => break self.peek() == Some(&Tok::Assign),
+                        _ => break false,
+                    }
+                }
+                _ => break false,
+            }
+        };
+        if is_multi && !targets.is_empty() {
+            self.expect(&Tok::Assign)?;
+            let call = self.expr()?;
+            return Ok(Stmt::MultiAssign { targets, call });
+        }
+        // Not a multi-assign: rewind and parse as an expression.
+        self.pos = save;
+        let e = self.expr()?;
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    fn assign_or_expr(&mut self) -> Result<Stmt, String> {
+        // Lookahead: IDENT [ ( indices ) ] '=' …
+        let save = self.pos;
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            self.bump();
+            if self.eat(&Tok::Assign) {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign {
+                    target: name,
+                    indices: None,
+                    value,
+                });
+            }
+            if self.peek() == Some(&Tok::LParen) {
+                if let Ok(indices) = self.index_list() {
+                    if self.eat(&Tok::Assign) {
+                        let value = self.expr()?;
+                        return Ok(Stmt::Assign {
+                            target: name,
+                            indices: Some(indices),
+                            value,
+                        });
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        let e = self.expr()?;
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// `( index {, index} )`
+    fn index_list(&mut self) -> Result<Vec<Index>, String> {
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.eat(&Tok::RParen) {
+            return Ok(args);
+        }
+        loop {
+            if self.peek() == Some(&Tok::Colon)
+                && matches!(
+                    self.toks.get(self.pos + 1),
+                    Some(Tok::Comma) | Some(Tok::RParen)
+                )
+            {
+                self.bump();
+                args.push(Index::All);
+            } else {
+                args.push(Index::Expr(self.expr()?));
+            }
+            if self.eat(&Tok::RParen) {
+                return Ok(args);
+            }
+            self.expect(&Tok::Comma)?;
+        }
+    }
+
+    // ---- expression precedence climbing -----------------------------
+
+    /// expr := range (lowest precedence above assignment)
+    fn expr(&mut self) -> Result<Expr, String> {
+        self.range_expr()
+    }
+
+    /// range := or (':' or (':' or)?)?
+    fn range_expr(&mut self) -> Result<Expr, String> {
+        let first = self.or_expr()?;
+        if self.peek() != Some(&Tok::Colon) {
+            return Ok(first);
+        }
+        self.bump();
+        let second = self.or_expr()?;
+        if self.eat(&Tok::Colon) {
+            let third = self.or_expr()?;
+            Ok(Expr::Range {
+                start: Box::new(first),
+                step: Some(Box::new(second)),
+                end: Box::new(third),
+            })
+        } else {
+            Ok(Expr::Range {
+                start: Box::new(first),
+                step: None,
+                end: Box::new(second),
+            })
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, String> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => BinOp::Eq,
+            Some(Tok::Ne) => BinOp::Ne,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::DotStar) => BinOp::ElemMul,
+                Some(Tok::DotSlash) => BinOp::ElemDiv,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, String> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.pow_expr(),
+        }
+    }
+
+    /// Power binds tighter than unary minus on the left (as in MATLAB:
+    /// `-2^2 == -4`) and is right-associative.
+    fn pow_expr(&mut self) -> Result<Expr, String> {
+        let base = self.postfix_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Caret) => BinOp::Pow,
+            Some(Tok::DotCaret) => BinOp::ElemPow,
+            _ => return Ok(base),
+        };
+        self.bump();
+        let exp = self.unary_expr()?; // right-assoc, allows -x in exponent
+        Ok(Expr::Bin(op, Box::new(base), Box::new(exp)))
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, String> {
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(Expr::Num(v)),
+            Some(Tok::Str(s)) => Ok(Expr::Str(s)),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    let args = self.index_list()?;
+                    Ok(Expr::CallOrIndex { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::LBracket) => self.matrix_literal(),
+            other => Err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+
+    /// `[row {; row}]` with rows of space/comma-separated expressions.
+    /// (The opening `[` has been consumed.)
+    fn matrix_literal(&mut self) -> Result<Expr, String> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBracket) => {
+                    self.bump();
+                    if !row.is_empty() {
+                        rows.push(row);
+                    }
+                    return Ok(Expr::MatrixLit(rows));
+                }
+                Some(Tok::Semi) | Some(Tok::Newline) => {
+                    self.bump();
+                    if !row.is_empty() {
+                        rows.push(std::mem::take(&mut row));
+                    }
+                }
+                Some(Tok::Comma) => {
+                    self.bump();
+                }
+                None => return Err("unterminated matrix literal".into()),
+                _ => row.push(self.expr()?),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_assignment() {
+        let stmts = parse("x = 1 + 2 * 3;").unwrap();
+        assert_eq!(stmts.len(), 1);
+        match &stmts[0] {
+            Stmt::Assign { target, indices, value } => {
+                assert_eq!(target, "x");
+                assert!(indices.is_none());
+                // 1 + (2 * 3) by precedence
+                assert!(matches!(value, Expr::Bin(BinOp::Add, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_indexed_assignment() {
+        let stmts = parse("a(3) = 7; b(1, :) = c;").unwrap();
+        assert!(matches!(&stmts[0], Stmt::Assign { indices: Some(ix), .. } if ix.len() == 1));
+        assert!(matches!(&stmts[1],
+            Stmt::Assign { indices: Some(ix), .. }
+                if ix.len() == 2 && ix[1] == Index::All));
+    }
+
+    #[test]
+    fn parses_multi_assignment() {
+        let stmts = parse("[b, a] = butter(4, 0.3);").unwrap();
+        match &stmts[0] {
+            Stmt::MultiAssign { targets, call } => {
+                assert_eq!(targets, &vec!["b".to_string(), "a".to_string()]);
+                assert!(matches!(call, Expr::CallOrIndex { name, .. } if name == "butter"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_matrix_literal_rows() {
+        let stmts = parse("m = [1 2 3; 4 5 6];").unwrap();
+        match &stmts[0] {
+            Stmt::Assign { value: Expr::MatrixLit(rows), .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ranges() {
+        let stmts = parse("r = 1:10; s = 0:0.5:5;").unwrap();
+        assert!(matches!(&stmts[0], Stmt::Assign { value: Expr::Range { step: None, .. }, .. }));
+        assert!(matches!(&stmts[1], Stmt::Assign { value: Expr::Range { step: Some(_), .. }, .. }));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "\
+            total = 0;\n\
+            for k = 1:3\n\
+              if k == 2\n\
+                total = total + 10;\n\
+              elseif k > 2\n\
+                total = total + 100;\n\
+              else\n\
+                total = total + 1;\n\
+              end\n\
+            end\n\
+            while total > 50\n\
+              total = total - 50;\n\
+              break\n\
+            end";
+        let stmts = parse(src).unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(&stmts[1], Stmt::For { .. }));
+        assert!(matches!(&stmts[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn matlab_pow_precedence() {
+        // -2^2 parses as -(2^2)
+        let stmts = parse("y = -2^2;").unwrap();
+        match &stmts[0] {
+            Stmt::Assign { value, .. } => {
+                assert!(matches!(value, Expr::Unary(UnOp::Neg, inner)
+                    if matches!(**inner, Expr::Bin(BinOp::Pow, _, _))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_with_colon_index() {
+        let stmts = parse("row = data(3, :);").unwrap();
+        match &stmts[0] {
+            Stmt::Assign { value: Expr::CallOrIndex { name, args }, .. } => {
+                assert_eq!(name, "data");
+                assert_eq!(args.len(), 2);
+                assert_eq!(args[1], Index::All);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_on_unbalanced() {
+        assert!(parse("x = (1 + 2;").is_err());
+        assert!(parse("for k = 1:3").is_err());
+        assert!(parse("x = [1 2").is_err());
+    }
+}

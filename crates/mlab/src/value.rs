@@ -1,0 +1,325 @@
+//! Runtime values: scalars, real matrices, complex matrices, strings.
+//!
+//! MATLAB semantics where they matter: everything is conceptually a
+//! matrix (a scalar is 1×1), indexing is 1-based, and *linear* indexing
+//! walks columns first.
+
+use dsp::Complex;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A real scalar (also represents logicals as 0.0 / 1.0).
+    Num(f64),
+    /// A dense real matrix, row-major storage.
+    Matrix { rows: usize, cols: usize, data: Vec<f64> },
+    /// A dense complex matrix (results of `fft` etc.).
+    CMatrix { rows: usize, cols: usize, data: Vec<Complex> },
+    /// A string (used for option flags like `'high'`).
+    Str(String),
+}
+
+impl Value {
+    /// A row vector.
+    pub fn row(data: Vec<f64>) -> Value {
+        Value::Matrix {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
+    }
+
+    /// A complex row vector.
+    pub fn crow(data: Vec<Complex>) -> Value {
+        Value::CMatrix {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
+    }
+
+    /// Shape as `(rows, cols)`; scalars are 1×1, strings 1×len.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Value::Num(_) => (1, 1),
+            Value::Matrix { rows, cols, .. } => (*rows, *cols),
+            Value::CMatrix { rows, cols, .. } => (*rows, *cols),
+            Value::Str(s) => (1, s.len()),
+        }
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        let (r, c) = self.shape();
+        r * c
+    }
+
+    /// Interpret as a scalar.
+    pub fn as_scalar(&self) -> Result<f64, String> {
+        match self {
+            Value::Num(v) => Ok(*v),
+            Value::Matrix { data, .. } if data.len() == 1 => Ok(data[0]),
+            other => Err(format!(
+                "expected a scalar, got a {}x{} value",
+                other.shape().0,
+                other.shape().1
+            )),
+        }
+    }
+
+    /// Interpret as truthiness (MATLAB: true iff non-empty and all
+    /// elements non-zero).
+    pub fn is_true(&self) -> bool {
+        match self {
+            Value::Num(v) => *v != 0.0,
+            Value::Matrix { data, .. } => !data.is_empty() && data.iter().all(|&v| v != 0.0),
+            Value::CMatrix { data, .. } => {
+                !data.is_empty() && data.iter().all(|z| z.re != 0.0 || z.im != 0.0)
+            }
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Flatten to a real vector (any shape), erroring on complex/strings.
+    pub fn to_real_vec(&self) -> Result<Vec<f64>, String> {
+        match self {
+            Value::Num(v) => Ok(vec![*v]),
+            Value::Matrix { data, .. } => Ok(data.clone()),
+            Value::CMatrix { .. } => Err("expected real data, got complex".into()),
+            Value::Str(_) => Err("expected numeric data, got a string".into()),
+        }
+    }
+
+    /// Flatten to a complex vector; real data is widened.
+    pub fn to_complex_vec(&self) -> Result<Vec<Complex>, String> {
+        match self {
+            Value::Num(v) => Ok(vec![Complex::real(*v)]),
+            Value::Matrix { data, .. } => Ok(data.iter().map(|&v| Complex::real(v)).collect()),
+            Value::CMatrix { data, .. } => Ok(data.clone()),
+            Value::Str(_) => Err("expected numeric data, got a string".into()),
+        }
+    }
+
+    /// Convert a flat vector result back to a value with the shape of
+    /// `like` (used by shape-preserving builtins).
+    pub fn reshape_like(data: Vec<f64>, like: &Value) -> Value {
+        let (rows, cols) = like.shape();
+        if data.len() == rows * cols {
+            Value::Matrix { rows, cols, data }
+        } else {
+            Value::row(data)
+        }
+    }
+
+    /// Row-major element access by (row, col), 0-based internally.
+    pub fn get2(&self, r: usize, c: usize) -> Result<f64, String> {
+        let (rows, cols) = self.shape();
+        if r >= rows || c >= cols {
+            return Err(format!("index ({},{}) out of bounds {rows}x{cols}", r + 1, c + 1));
+        }
+        match self {
+            Value::Num(v) => Ok(*v),
+            Value::Matrix { data, .. } => Ok(data[r * cols + c]),
+            _ => Err("cannot numerically index this value".into()),
+        }
+    }
+
+    /// MATLAB linear index (1-based, column-major) to (row, col).
+    pub fn linear_to_rc(&self, idx1: usize) -> Result<(usize, usize), String> {
+        let (rows, cols) = self.shape();
+        if idx1 == 0 || idx1 > rows * cols {
+            return Err(format!("linear index {idx1} out of bounds for {rows}x{cols}"));
+        }
+        let k = idx1 - 1;
+        Ok((k % rows, k / rows))
+    }
+}
+
+/// Element-wise binary op with scalar broadcasting.
+pub fn elementwise(
+    a: &Value,
+    b: &Value,
+    op: impl Fn(f64, f64) -> f64,
+) -> Result<Value, String> {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => Ok(Value::Num(op(*x, *y))),
+        (Value::Num(x), Value::Matrix { rows, cols, data }) => Ok(Value::Matrix {
+            rows: *rows,
+            cols: *cols,
+            data: data.iter().map(|&y| op(*x, y)).collect(),
+        }),
+        (Value::Matrix { rows, cols, data }, Value::Num(y)) => Ok(Value::Matrix {
+            rows: *rows,
+            cols: *cols,
+            data: data.iter().map(|&x| op(x, *y)).collect(),
+        }),
+        (
+            Value::Matrix { rows: r1, cols: c1, data: d1 },
+            Value::Matrix { rows: r2, cols: c2, data: d2 },
+        ) => {
+            if (r1, c1) != (r2, c2) {
+                return Err(format!("shape mismatch: {r1}x{c1} vs {r2}x{c2}"));
+            }
+            Ok(Value::Matrix {
+                rows: *r1,
+                cols: *c1,
+                data: d1.iter().zip(d2).map(|(&x, &y)| op(x, y)).collect(),
+            })
+        }
+        _ => Err("unsupported operands for element-wise operation".into()),
+    }
+}
+
+/// Complex-aware element-wise op used for +, -, .* on spectra.
+pub fn elementwise_complex(
+    a: &Value,
+    b: &Value,
+    op: impl Fn(Complex, Complex) -> Complex,
+) -> Result<Value, String> {
+    let (ra, ca) = a.shape();
+    let (rb, cb) = b.shape();
+    let da = a.to_complex_vec()?;
+    let db = b.to_complex_vec()?;
+    let (rows, cols, data) = if da.len() == 1 {
+        (rb, cb, db.iter().map(|&y| op(da[0], y)).collect::<Vec<_>>())
+    } else if db.len() == 1 {
+        (ra, ca, da.iter().map(|&x| op(x, db[0])).collect())
+    } else if (ra, ca) == (rb, cb) {
+        (ra, ca, da.iter().zip(&db).map(|(&x, &y)| op(x, y)).collect())
+    } else {
+        return Err(format!("shape mismatch: {ra}x{ca} vs {rb}x{cb}"));
+    };
+    Ok(Value::CMatrix { rows, cols, data })
+}
+
+/// Matrix multiplication (falls back to scalar scaling when either side
+/// is 1×1, as MATLAB's `*` does).
+pub fn matmul(a: &Value, b: &Value) -> Result<Value, String> {
+    if a.numel() == 1 || b.numel() == 1 {
+        return elementwise(a, b, |x, y| x * y);
+    }
+    match (a, b) {
+        (
+            Value::Matrix { rows: r1, cols: c1, data: d1 },
+            Value::Matrix { rows: r2, cols: c2, data: d2 },
+        ) => {
+            if c1 != r2 {
+                return Err(format!("inner dimensions disagree: {r1}x{c1} * {r2}x{c2}"));
+            }
+            let mut out = vec![0.0; r1 * c2];
+            for i in 0..*r1 {
+                for k in 0..*c1 {
+                    let x = d1[i * c1 + k];
+                    if x == 0.0 {
+                        continue;
+                    }
+                    for j in 0..*c2 {
+                        out[i * c2 + j] += x * d2[k * c2 + j];
+                    }
+                }
+            }
+            Ok(Value::Matrix {
+                rows: *r1,
+                cols: *c2,
+                data: out,
+            })
+        }
+        _ => Err("matrix multiply needs real matrices".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Value::Num(2.5).as_scalar().unwrap(), 2.5);
+        assert_eq!(Value::row(vec![7.0]).as_scalar().unwrap(), 7.0);
+        assert!(Value::row(vec![1.0, 2.0]).as_scalar().is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Num(1.0).is_true());
+        assert!(!Value::Num(0.0).is_true());
+        assert!(Value::row(vec![1.0, 2.0]).is_true());
+        assert!(!Value::row(vec![1.0, 0.0]).is_true());
+        assert!(!Value::row(vec![]).is_true());
+    }
+
+    #[test]
+    fn elementwise_broadcasting() {
+        let m = Value::row(vec![1.0, 2.0, 3.0]);
+        let out = elementwise(&m, &Value::Num(10.0), |a, b| a * b).unwrap();
+        assert_eq!(out, Value::row(vec![10.0, 20.0, 30.0]));
+        let out = elementwise(&Value::Num(1.0), &m, |a, b| a - b).unwrap();
+        assert_eq!(out, Value::row(vec![0.0, -1.0, -2.0]));
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = Value::row(vec![1.0, 2.0]);
+        let b = Value::row(vec![1.0, 2.0, 3.0]);
+        assert!(elementwise(&a, &b, |x, y| x + y).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Value::Matrix {
+            rows: 2,
+            cols: 2,
+            data: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let b = Value::Matrix {
+            rows: 2,
+            cols: 1,
+            data: vec![5.0, 6.0],
+        };
+        let out = matmul(&a, &b).unwrap();
+        assert_eq!(
+            out,
+            Value::Matrix {
+                rows: 2,
+                cols: 1,
+                data: vec![17.0, 39.0]
+            }
+        );
+    }
+
+    #[test]
+    fn matmul_scalar_fallback() {
+        let a = Value::row(vec![1.0, 2.0]);
+        let out = matmul(&a, &Value::Num(3.0)).unwrap();
+        assert_eq!(out, Value::row(vec![3.0, 6.0]));
+    }
+
+    #[test]
+    fn linear_index_is_column_major() {
+        // m = [1 2 3; 4 5 6]; m(2) == 4 in MATLAB.
+        let m = Value::Matrix {
+            rows: 2,
+            cols: 3,
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        let (r, c) = m.linear_to_rc(2).unwrap();
+        assert_eq!(m.get2(r, c).unwrap(), 4.0);
+        let (r, c) = m.linear_to_rc(3).unwrap();
+        assert_eq!(m.get2(r, c).unwrap(), 2.0);
+        assert!(m.linear_to_rc(0).is_err());
+        assert!(m.linear_to_rc(7).is_err());
+    }
+
+    #[test]
+    fn complex_elementwise() {
+        let a = Value::crow(vec![Complex::new(1.0, 1.0), Complex::new(2.0, 0.0)]);
+        let out = elementwise_complex(&a, &Value::Num(2.0), |x, y| x * y).unwrap();
+        match out {
+            Value::CMatrix { data, .. } => {
+                assert_eq!(data[0], Complex::new(2.0, 2.0));
+                assert_eq!(data[1], Complex::new(4.0, 0.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Tests for the extended builtin set (ambient-noise toolbox exposed to
+//! scripts) — each against the native dsp implementation.
+
+use mlab::{Interp, Value};
+
+fn run(src: &str) -> Interp {
+    let mut i = Interp::new();
+    i.run(src).unwrap_or_else(|e| panic!("{e}\nin:\n{src}"));
+    i
+}
+
+#[test]
+fn envelope_matches_native() {
+    let i = run(
+        "x = sin(0.3 * (1:256));\n\
+         e = envelope(x);\n\
+         m = mean(e(64:192));",
+    );
+    // Envelope of a unit tone is ~1 away from the edges.
+    let m = i.get_scalar("m").unwrap();
+    assert!((m - 1.0).abs() < 0.05, "envelope mean {m}");
+    // Exact agreement with the native kernel.
+    let x: Vec<f64> = (1..=256).map(|t| (0.3 * t as f64).sin()).collect();
+    let native = dsp::envelope(&x);
+    match i.get("e").unwrap() {
+        Value::Matrix { data, .. } => {
+            for (a, b) in data.iter().zip(&native) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn whiten_flattens_band() {
+    let i = run(
+        "x = 100 * sin(0.3 * (1:512)) + sin(1.1 * (1:512));\n\
+         w = whiten(x, 0.05, 0.6);\n\
+         n = length(w);",
+    );
+    assert_eq!(i.get_scalar("n"), Some(512.0));
+}
+
+#[test]
+fn onebit_is_sign() {
+    let i = run("y = onebit([2.5 -3 0 7]);");
+    assert_eq!(i.get("y"), Some(&Value::row(vec![1.0, -1.0, 0.0, 1.0])));
+}
+
+#[test]
+fn hann_window_endpoints() {
+    let i = run("w = hann(65); a = w(1); b = w(33); c = w(65);");
+    assert!(i.get_scalar("a").unwrap().abs() < 1e-12);
+    assert!((i.get_scalar("b").unwrap() - 1.0).abs() < 1e-12);
+    assert!(i.get_scalar("c").unwrap().abs() < 1e-12);
+}
+
+#[test]
+fn std_and_var_consistent() {
+    let i = run("v = [2 4 4 4 5 5 7 9]; s = std(v); q = var(v);");
+    let s = i.get_scalar("s").unwrap();
+    let q = i.get_scalar("q").unwrap();
+    assert!((s * s - q).abs() < 1e-12);
+    // Sample variance of this classic dataset is 32/7.
+    assert!((q - 32.0 / 7.0).abs() < 1e-12);
+}
+
+#[test]
+fn sort_and_find() {
+    let i = run(
+        "v = [3 0 -1 0 2];\n\
+         s = sort(v);\n\
+         idx = find(v);\n\
+         hits = find(v > 1);",
+    );
+    assert_eq!(i.get("s"), Some(&Value::row(vec![-1.0, 0.0, 0.0, 2.0, 3.0])));
+    assert_eq!(i.get("idx"), Some(&Value::row(vec![1.0, 3.0, 5.0])));
+    assert_eq!(i.get("hits"), Some(&Value::row(vec![1.0, 5.0])));
+}
+
+#[test]
+fn ambient_noise_script_end_to_end() {
+    // A realistic preprocessing snippet using the new toolbox, written
+    // the way a geophysicist would.
+    let i = run(
+        "function w = prep(x)\n\
+           w = whiten(onebit(detrend(x)), 0.05, 0.8);\n\
+         end\n\
+         data = das_generate(6, 25, 30, 4);\n\
+         ref = prep(data(1, :));\n\
+         c = abscorr(ref, prep(data(2, :)));\n\
+         ok = c >= 0 && c <= 1;",
+    );
+    assert_eq!(i.get_scalar("ok"), Some(1.0));
+}

@@ -1,0 +1,414 @@
+//! Parallel regions, worksharing loops, and team synchronization.
+
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Loop schedule, mirroring OpenMP's `schedule(...)` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous blocks of ~`n / num_threads` iterations per thread
+    /// (OpenMP's default static schedule).
+    Static,
+    /// Fixed-size chunks dealt round-robin to threads.
+    StaticChunked(usize),
+    /// Fixed-size chunks claimed on demand from a shared counter.
+    Dynamic(usize),
+}
+
+/// Team-wide state shared by every thread of a parallel region.
+struct Team {
+    num_threads: usize,
+    barrier: Barrier,
+    critical: Mutex<()>,
+    /// `single` constructs claimed so far, keyed by construct sequence
+    /// number (threads execute constructs in the same SPMD order).
+    singles: Mutex<HashMap<usize, ()>>,
+    /// Shared iteration counters for dynamic loops, keyed the same way.
+    dyn_counters: Mutex<HashMap<usize, Arc<AtomicUsize>>>,
+}
+
+/// Per-thread handle inside a parallel region, analogous to the implicit
+/// state behind `omp_get_thread_num()` etc.
+pub struct Ctx<'t> {
+    team: &'t Team,
+    thread_num: usize,
+    single_seq: Cell<usize>,
+    loop_seq: Cell<usize>,
+}
+
+impl<'t> Ctx<'t> {
+    /// This thread's index within the team (`omp_get_thread_num`).
+    pub fn thread_num(&self) -> usize {
+        self.thread_num
+    }
+
+    /// Team size (`omp_get_num_threads`).
+    pub fn num_threads(&self) -> usize {
+        self.team.num_threads
+    }
+
+    /// `#pragma omp barrier`: wait until every team member arrives.
+    pub fn barrier(&self) {
+        self.team.barrier.wait();
+    }
+
+    /// `#pragma omp critical`: run `f` under the team-wide mutex.
+    pub fn critical<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.team.critical.lock();
+        f()
+    }
+
+    /// `#pragma omp single`: exactly one thread runs `f`; all threads then
+    /// synchronize on the implicit end-of-single barrier.
+    ///
+    /// Returns `Some(result)` on the executing thread, `None` elsewhere.
+    pub fn single<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        let seq = self.single_seq.get();
+        self.single_seq.set(seq + 1);
+        let won = {
+            let mut claimed = self.team.singles.lock();
+            claimed.insert(seq, ()).is_none()
+        };
+        let out = if won { Some(f()) } else { None };
+        self.barrier();
+        out
+    }
+
+    /// The contiguous iteration block this thread owns under the default
+    /// static schedule for a loop of `n` iterations.
+    pub fn static_block(&self, n: usize) -> Range<usize> {
+        static_block(n, self.thread_num, self.team.num_threads)
+    }
+
+    /// `#pragma omp for schedule(static)`: each thread runs its contiguous
+    /// block of `range`. No implied barrier (pair with [`Ctx::barrier`]
+    /// when the original pragma has one, as Algorithm 1 does).
+    pub fn for_static(&self, range: Range<usize>, f: impl FnMut(usize)) {
+        self.for_schedule(range, Schedule::Static, f)
+    }
+
+    /// `#pragma omp for schedule(dynamic, chunk)`.
+    pub fn for_dynamic(&self, range: Range<usize>, chunk: usize, f: impl FnMut(usize)) {
+        self.for_schedule(range, Schedule::Dynamic(chunk.max(1)), f)
+    }
+
+    /// Worksharing loop with an explicit [`Schedule`].
+    pub fn for_schedule(&self, range: Range<usize>, sched: Schedule, mut f: impl FnMut(usize)) {
+        let base = range.start;
+        let n = range.end.saturating_sub(range.start);
+        match sched {
+            Schedule::Static => {
+                for i in self.static_block(n) {
+                    f(base + i);
+                }
+            }
+            Schedule::StaticChunked(chunk) => {
+                let chunk = chunk.max(1);
+                let t = self.team.num_threads;
+                let mut start = self.thread_num * chunk;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        f(base + i);
+                    }
+                    start += t * chunk;
+                }
+            }
+            Schedule::Dynamic(chunk) => {
+                let seq = self.loop_seq.get();
+                self.loop_seq.set(seq + 1);
+                let counter = {
+                    let mut map = self.team.dyn_counters.lock();
+                    Arc::clone(
+                        map.entry(seq)
+                            .or_insert_with(|| Arc::new(AtomicUsize::new(0))),
+                    )
+                };
+                loop {
+                    let start = counter.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        f(base + i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<'t> Ctx<'t> {
+    /// `#pragma omp sections`: distribute the section closures across
+    /// the team round-robin, with the pragma's implicit end barrier.
+    /// Called SPMD (every thread passes the same list); each section
+    /// executes exactly once, on the thread that owns its slot.
+    pub fn sections(&self, sections: &[&dyn Fn()]) {
+        let n = sections.len();
+        let t = self.team.num_threads;
+        let mut i = self.thread_num;
+        while i < n {
+            (sections[i])();
+            i += t;
+        }
+        self.barrier();
+    }
+}
+
+/// The contiguous block of `0..n` owned by thread `h` of `t` under the
+/// default static schedule: ceil-divided chunks, front-loaded.
+pub(crate) fn static_block(n: usize, h: usize, t: usize) -> Range<usize> {
+    debug_assert!(h < t);
+    let chunk = n.div_ceil(t.max(1));
+    let start = (h * chunk).min(n);
+    let end = ((h + 1) * chunk).min(n);
+    start..end
+}
+
+/// `#pragma omp parallel num_threads(n)`: run `f` on a team of `n`
+/// threads and join them all (fork-join). The closure receives a per-thread
+/// [`Ctx`]. With `n == 1` the region runs inline on the caller's thread.
+pub fn parallel<F>(num_threads: usize, f: F)
+where
+    F: Fn(&Ctx) + Sync,
+{
+    let num_threads = num_threads.max(1);
+    let team = Team {
+        num_threads,
+        barrier: Barrier::new(num_threads),
+        critical: Mutex::new(()),
+        singles: Mutex::new(HashMap::new()),
+        dyn_counters: Mutex::new(HashMap::new()),
+    };
+    if num_threads == 1 {
+        let ctx = Ctx {
+            team: &team,
+            thread_num: 0,
+            single_seq: Cell::new(0),
+            loop_seq: Cell::new(0),
+        };
+        f(&ctx);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for h in 0..num_threads {
+            let team = &team;
+            let f = &f;
+            scope.spawn(move || {
+                let ctx = Ctx {
+                    team,
+                    thread_num: h,
+                    single_seq: Cell::new(0),
+                    loop_seq: Cell::new(0),
+                };
+                f(&ctx);
+            });
+        }
+    });
+}
+
+/// Parallel map-reduce over `range`: `reduce(map(i))` folded across the
+/// team, analogous to `#pragma omp parallel for reduction(op:acc)`.
+pub fn parallel_reduce<T, M, R>(num_threads: usize, range: Range<usize>, identity: T, map: M, reduce: R) -> T
+where
+    T: Send + Sync + Clone,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+    parallel(num_threads, |ctx| {
+        let mut acc = identity.clone();
+        ctx.for_static(range.clone(), |i| {
+            acc = reduce(acc.clone(), map(i));
+        });
+        partials.lock().push(acc);
+    });
+    partials
+        .into_inner()
+        .into_iter()
+        .fold(identity, |a, b| reduce(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn static_block_covers_range_disjointly() {
+        for n in [0usize, 1, 7, 16, 100] {
+            for t in [1usize, 2, 3, 8, 17] {
+                let mut seen = vec![false; n];
+                for h in 0..t {
+                    for i in static_block(n, h, t) {
+                        assert!(!seen[i], "index {i} assigned twice (n={n}, t={t})");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "coverage gap n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_static_visits_all_indices_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel(4, |ctx| {
+            ctx.for_static(0..n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_dynamic_visits_all_indices_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel(4, |ctx| {
+            ctx.for_dynamic(0..n, 16, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn repeated_dynamic_loops_use_fresh_counters() {
+        let n = 64;
+        let total = AtomicUsize::new(0);
+        parallel(3, |ctx| {
+            for _ in 0..4 {
+                ctx.for_dynamic(0..n, 8, |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+                ctx.barrier();
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * n);
+    }
+
+    #[test]
+    fn static_chunked_round_robin() {
+        let n = 10;
+        let owner: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        parallel(2, |ctx| {
+            ctx.for_schedule(0..n, Schedule::StaticChunked(2), |i| {
+                owner[i].store(ctx.thread_num(), Ordering::Relaxed);
+            });
+        });
+        let owners: Vec<usize> = owner.iter().map(|o| o.load(Ordering::Relaxed)).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 0, 0, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn single_executes_exactly_once_per_construct() {
+        let count = AtomicUsize::new(0);
+        parallel(8, |ctx| {
+            for _ in 0..5 {
+                ctx.single(|| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn single_returns_value_on_winner_only() {
+        let winners = AtomicUsize::new(0);
+        parallel(6, |ctx| {
+            if ctx.single(|| 42) == Some(42) {
+                winners.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn critical_is_mutually_exclusive() {
+        // A non-atomic counter mutated only inside `critical` must end up
+        // exact; races would lose increments.
+        let cell = crate::SharedSlice::from_vec(vec![0u64]);
+        parallel(8, |ctx| {
+            for _ in 0..100 {
+                ctx.critical(|| unsafe {
+                    let v = cell.read(0);
+                    cell.write(0, v + 1);
+                });
+            }
+        });
+        assert_eq!(cell.into_vec()[0], 800);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // Phase 1 writes; barrier; phase 2 reads — the reads must observe
+        // every phase-1 write.
+        let n = 128;
+        let buf = crate::SharedSlice::<u64>::zeroed(n);
+        let sum = AtomicUsize::new(0);
+        parallel(4, |ctx| {
+            ctx.for_static(0..n, |i| unsafe { buf.write(i, i as u64) });
+            ctx.barrier();
+            let mut local = 0usize;
+            ctx.for_static(0..n, |i| {
+                local += unsafe { buf.read(i) } as usize;
+            });
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let total = parallel_reduce(4, 0..1000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn parallel_reduce_empty_range() {
+        let total = parallel_reduce(4, 10..10, 7u64, |i| i as u64, |a, b| a.max(b));
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn sections_each_run_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        let owner: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        parallel(3, |ctx| {
+            let fns: Vec<Box<dyn Fn()>> = (0..5)
+                .map(|i| {
+                    let h = &hits[i];
+                    let o = &owner[i];
+                    let me = ctx.thread_num();
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::Relaxed);
+                        o.store(me, Ordering::Relaxed);
+                    }) as Box<dyn Fn()>
+                })
+                .collect();
+            let refs: Vec<&dyn Fn()> = fns.iter().map(|b| &**b).collect();
+            ctx.sections(&refs);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "section {i} runs exactly once");
+            assert_eq!(owner[i].load(Ordering::Relaxed), i % 3, "round-robin owner");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let hit = AtomicUsize::new(0);
+        parallel(0, |_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+}

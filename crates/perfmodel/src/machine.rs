@@ -1,0 +1,232 @@
+//! Machine description and primitive cost functions.
+
+/// Parameters of a Cori-class machine: nodes, interconnect, Lustre.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// CPU cores per node (Cori Haswell: 32).
+    pub cores_per_node: usize,
+    /// Usable memory per node in bytes (Cori Haswell: 128 GB).
+    pub mem_per_node: u64,
+    /// Number of Lustre object storage targets (Cori scratch: 248).
+    pub n_ost: usize,
+    /// Streaming bandwidth per OST, bytes/s (aggregate ≈ 700 GB/s).
+    pub ost_bandwidth: f64,
+    /// Small-I/O operations per second each OST sustains.
+    pub ost_iops: f64,
+    /// Metadata cost of opening one file, seconds.
+    pub file_open_s: f64,
+    /// Point-to-point message latency (α), seconds.
+    pub net_latency: f64,
+    /// Per-node network injection bandwidth (β⁻¹), bytes/s.
+    pub injection_bandwidth: f64,
+    /// Per-node Lustre *client* throughput, bytes/s — far below the
+    /// network injection rate in practice.
+    pub client_io_bandwidth: f64,
+    /// Contention exponent: how sharply effective I/O degrades once the
+    /// outstanding-request count exceeds what the OSTs absorb.
+    pub contention_power: f64,
+}
+
+impl Machine {
+    /// Cori Haswell partition + its Lustre scratch, as described in the
+    /// paper (§VI) and NERSC system documentation.
+    pub fn cori_haswell() -> Machine {
+        Machine {
+            cores_per_node: 32,
+            mem_per_node: 128 << 30,
+            n_ost: 248,
+            ost_bandwidth: 2.8e9,     // ≈ 700 GB/s aggregate
+            ost_iops: 15_000.0,
+            file_open_s: 2.0e-3,
+            net_latency: 1.5e-6,      // Aries interconnect
+            injection_bandwidth: 10e9, // ≈ 10 GB/s per node
+            client_io_bandwidth: 2.5e9, // per-node Lustre client limit
+            contention_power: 0.6,
+        }
+    }
+
+    /// Cori's Cray DataWarp burst buffer, the paper's proposed remedy
+    /// for the I/O-efficiency decay: "The Burst Buffer-based storage
+    /// system has high IOPS than disk system. Hence, using the Burst
+    /// Buffer addresses the down trend of the parallel efficiency for
+    /// I/O." SSD-backed: ~an order of magnitude more aggregate
+    /// bandwidth per target, two orders more IOPS, and far gentler
+    /// degradation under request storms.
+    pub fn cori_burst_buffer() -> Machine {
+        Machine {
+            n_ost: 288,                 // DataWarp server nodes
+            ost_bandwidth: 5.9e9,       // ≈ 1.7 TB/s aggregate
+            ost_iops: 1_000_000.0,      // SSD IOPS per server
+            file_open_s: 0.3e-3,
+            contention_power: 0.15,     // SSDs shrug off concurrency
+            ..Machine::cori_haswell()
+        }
+    }
+
+    /// Aggregate Lustre streaming bandwidth.
+    pub fn total_ost_bandwidth(&self) -> f64 {
+        self.n_ost as f64 * self.ost_bandwidth
+    }
+
+    /// Effective aggregate read bandwidth for `concurrent` simultaneous
+    /// requests from `nodes` nodes: client-side injection limits at
+    /// small scale, OST saturation at large scale, and a contention
+    /// penalty once outstanding requests outnumber the OSTs — the
+    /// mechanism behind the I/O-efficiency decay of Figure 11.
+    pub fn effective_read_bandwidth(&self, nodes: usize, concurrent: usize) -> f64 {
+        let client_limit = nodes as f64 * self.client_io_bandwidth;
+        let server_limit = self.total_ost_bandwidth();
+        let raw = client_limit.min(server_limit);
+        let overload = concurrent as f64 / self.n_ost as f64;
+        if overload <= 1.0 {
+            raw
+        } else {
+            raw / overload.powf(self.contention_power)
+        }
+    }
+
+    /// Time to read `total_bytes` split into `n_requests` independent
+    /// requests issued from `nodes` nodes with `concurrent` requests
+    /// outstanding at once (≈ the number of reading processes):
+    /// per-request IOPS cost plus streaming at the effective bandwidth.
+    pub fn read_time(&self, nodes: usize, concurrent: usize, n_requests: u64, total_bytes: u64) -> f64 {
+        if total_bytes == 0 && n_requests == 0 {
+            return 0.0;
+        }
+        let iops_capacity = self.n_ost as f64 * self.ost_iops;
+        let iops_time = n_requests as f64 / iops_capacity;
+        let bw = self.effective_read_bandwidth(nodes, concurrent);
+        iops_time + total_bytes as f64 / bw
+    }
+
+    /// Time for `n_opens` file-open metadata operations (serialized on
+    /// the metadata server beyond a modest concurrency).
+    pub fn open_time(&self, n_opens: u64) -> f64 {
+        n_opens as f64 * self.file_open_s
+    }
+
+    /// α–β cost of a binomial-tree broadcast of `bytes` across `p`
+    /// processes.
+    pub fn bcast_time(&self, p: usize, bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let rounds = (p as f64).log2().ceil();
+        rounds * (self.net_latency + bytes as f64 / self.injection_bandwidth)
+    }
+
+    /// α–β cost of a pairwise all-to-all where each process exchanges
+    /// `bytes_per_rank` in total: p−1 latency rounds, payload limited by
+    /// injection bandwidth, with all node pairs transferring
+    /// concurrently (the communication-avoiding argument of §IV-B).
+    pub fn alltoallv_time(&self, p: usize, bytes_per_rank: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p as f64 - 1.0) * self.net_latency
+            + bytes_per_rank as f64 / self.injection_bandwidth
+    }
+
+    /// Would a per-node memory footprint of `bytes` exceed capacity?
+    pub fn oom(&self, bytes: u64) -> bool {
+        bytes > self.mem_per_node
+    }
+}
+
+/// Locally measured rates that anchor the model's absolute scale.
+///
+/// The benchmark harness measures these on the host (see
+/// `bench/src/calibrate.rs`) and passes them in; the defaults are
+/// representative laptop numbers so the model is usable standalone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Interferometry-pipeline compute throughput, bytes of raw DAS data
+    /// processed per second per core.
+    pub compute_bytes_per_s_per_core: f64,
+    /// Local-similarity throughput, bytes/s/core.
+    pub localsim_bytes_per_s_per_core: f64,
+    /// Write throughput for the (small) result arrays, bytes/s.
+    pub write_bytes_per_s: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            compute_bytes_per_s_per_core: 25.0e6,
+            localsim_bytes_per_s_per_core: 8.0e6,
+            write_bytes_per_s: 500.0e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cori_parameters_are_plausible() {
+        let m = Machine::cori_haswell();
+        assert_eq!(m.cores_per_node, 32);
+        assert!(m.total_ost_bandwidth() > 5e11, "aggregate ≈ 700 GB/s");
+        assert!(m.mem_per_node >= 128 << 30);
+    }
+
+    #[test]
+    fn bandwidth_scales_then_saturates() {
+        let m = Machine::cori_haswell();
+        let small = m.effective_read_bandwidth(4, 4);
+        let medium = m.effective_read_bandwidth(64, 64);
+        let large = m.effective_read_bandwidth(2000, 2000);
+        assert!(medium > small, "more nodes, more client bandwidth");
+        // Saturation: 2000 nodes can't beat the OST aggregate.
+        assert!(large <= m.total_ost_bandwidth() * 1.0001);
+    }
+
+    #[test]
+    fn contention_degrades_overloaded_reads() {
+        let m = Machine::cori_haswell();
+        // Same node count, 16× the concurrent requests (pure MPI vs
+        // hybrid): effective bandwidth must drop.
+        let hybrid = m.effective_read_bandwidth(728, 728);
+        let pure = m.effective_read_bandwidth(728, 728 * 16);
+        assert!(pure < hybrid, "pure-MPI request storm must be slower");
+    }
+
+    #[test]
+    fn read_time_monotone_in_bytes_and_requests() {
+        let m = Machine::cori_haswell();
+        let base = m.read_time(90, 90, 90, 1 << 30);
+        assert!(m.read_time(90, 90, 90, 2 << 30) > base);
+        assert!(m.read_time(90, 90, 9000, 1 << 30) > base);
+        assert!(m.read_time(90, 9000, 9000, 1 << 30) > base, "contention adds cost");
+        assert_eq!(m.read_time(90, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn bcast_cost_grows_logarithmically() {
+        let m = Machine::cori_haswell();
+        let t2 = m.bcast_time(2, 1 << 20);
+        let t128 = m.bcast_time(128, 1 << 20);
+        assert!(t128 > t2);
+        assert!(t128 < t2 * 10.0, "log scaling, not linear");
+        assert_eq!(m.bcast_time(1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn alltoall_cheaper_than_bcast_per_byte_delivered() {
+        // Moving X bytes to each of p ranks: one alltoallv vs p bcasts.
+        let m = Machine::cori_haswell();
+        let p = 90;
+        let per_rank = 100 << 20;
+        let a2a = m.alltoallv_time(p, per_rank);
+        let bcasts = p as f64 * m.bcast_time(p, per_rank);
+        assert!(a2a < bcasts / 10.0, "{a2a} vs {bcasts}");
+    }
+
+    #[test]
+    fn oom_check() {
+        let m = Machine::cori_haswell();
+        assert!(!m.oom(64 << 30));
+        assert!(m.oom(200 << 30));
+    }
+}

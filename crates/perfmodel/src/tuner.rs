@@ -1,0 +1,182 @@
+//! Automatic system-setting selection — the paper's future-work item:
+//! *"how to automatically select system settings, such as the number of
+//! nodes, to run the analysis code is another topic we will explore."*
+//!
+//! Given a machine description, calibrated kernel rates, and a workload,
+//! the tuner sweeps node counts and execution layouts through the cost
+//! model and recommends a configuration for the chosen objective.
+
+use crate::experiments::{model_fig8, Fig8Point, Layout, Workload};
+use crate::machine::{Calibration, Machine};
+
+/// What the user wants to optimize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Fastest wall-clock time, cost be damned.
+    MinTime,
+    /// Fewest node-hours (time × nodes) — the allocation-budget view.
+    MinNodeHours,
+    /// Fastest time subject to parallel efficiency ≥ the given fraction
+    /// of the smallest viable run — the paper's "best efficiency at 364
+    /// nodes" trade-off, automated.
+    MinTimeWithEfficiency(f64),
+}
+
+/// A tuner recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Chosen node count.
+    pub nodes: usize,
+    /// Chosen layout.
+    pub layout: Layout,
+    /// Predicted breakdown at that configuration.
+    pub predicted: Fig8Point,
+    /// Every configuration considered (for reporting).
+    pub considered: Vec<Fig8Point>,
+}
+
+/// Sweep `node_choices` × {hybrid, pure-MPI} and pick the best viable
+/// configuration for `objective`.
+///
+/// Out-of-memory configurations are discarded (the tuner's first job is
+/// to avoid the paper's 91-node pure-MPI crash). Returns `None` when no
+/// configuration fits.
+pub fn recommend(
+    machine: &Machine,
+    cal: &Calibration,
+    workload: &Workload,
+    node_choices: &[usize],
+    cores_per_node: usize,
+    objective: Objective,
+) -> Option<Recommendation> {
+    let mut considered = Vec::new();
+    for &nodes in node_choices {
+        for layout in [
+            Layout::Hybrid { threads: cores_per_node },
+            Layout::PureMpi { procs_per_node: cores_per_node },
+        ] {
+            considered.push(model_fig8(machine, cal, workload, nodes, layout));
+        }
+    }
+    let viable: Vec<&Fig8Point> = considered.iter().filter(|p| !p.oom).collect();
+    if viable.is_empty() {
+        return None;
+    }
+
+    // Efficiency baseline: the smallest viable node count.
+    let base = viable
+        .iter()
+        .min_by_key(|p| p.nodes)
+        .expect("nonempty viable set");
+    let efficiency = |p: &Fig8Point| -> f64 {
+        (base.total_s() * base.nodes as f64) / (p.total_s() * p.nodes as f64)
+    };
+
+    let best = match objective {
+        Objective::MinTime => viable
+            .iter()
+            .min_by(|a, b| a.total_s().partial_cmp(&b.total_s()).expect("finite")),
+        Objective::MinNodeHours => viable.iter().min_by(|a, b| {
+            (a.total_s() * a.nodes as f64)
+                .partial_cmp(&(b.total_s() * b.nodes as f64))
+                .expect("finite")
+        }),
+        Objective::MinTimeWithEfficiency(min_eff) => viable
+            .iter()
+            .filter(|p| efficiency(p) >= min_eff)
+            .min_by(|a, b| a.total_s().partial_cmp(&b.total_s()).expect("finite")),
+    }?;
+
+    Some(Recommendation {
+        nodes: best.nodes,
+        layout: best.layout,
+        predicted: **best,
+        considered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Machine, Calibration, Workload) {
+        (
+            Machine::cori_haswell(),
+            Calibration::default(),
+            Workload::paper(),
+        )
+    }
+
+    const NODES: &[usize] = &[91, 182, 364, 728, 1456];
+
+    #[test]
+    fn never_recommends_an_oom_configuration() {
+        let (m, cal, w) = setup();
+        for obj in [
+            Objective::MinTime,
+            Objective::MinNodeHours,
+            Objective::MinTimeWithEfficiency(0.5),
+        ] {
+            let r = recommend(&m, &cal, &w, NODES, 16, obj).expect("viable configs exist");
+            assert!(!r.predicted.oom, "{obj:?} picked an OOM config");
+        }
+    }
+
+    #[test]
+    fn prefers_hybrid_layout() {
+        // Hybrid dominates pure MPI at every scale in this model (same
+        // compute, less I/O, less memory) — the tuner must notice.
+        let (m, cal, w) = setup();
+        let r = recommend(&m, &cal, &w, NODES, 16, Objective::MinTime).expect("viable");
+        assert!(matches!(r.layout, Layout::Hybrid { .. }));
+    }
+
+    #[test]
+    fn node_hours_objective_picks_fewer_nodes_than_min_time() {
+        let (m, cal, w) = setup();
+        let fast = recommend(&m, &cal, &w, NODES, 16, Objective::MinTime).expect("viable");
+        let cheap = recommend(&m, &cal, &w, NODES, 16, Objective::MinNodeHours).expect("viable");
+        assert!(
+            cheap.nodes <= fast.nodes,
+            "budget objective must not pick more nodes ({} vs {})",
+            cheap.nodes,
+            fast.nodes
+        );
+        // And it really is cheaper in node-seconds.
+        assert!(
+            cheap.predicted.total_s() * cheap.nodes as f64
+                <= fast.predicted.total_s() * fast.nodes as f64 + 1e-9
+        );
+    }
+
+    #[test]
+    fn efficiency_constraint_caps_the_node_count() {
+        let (m, cal, w) = setup();
+        let unconstrained = recommend(&m, &cal, &w, NODES, 16, Objective::MinTime).expect("viable");
+        let constrained = recommend(
+            &m,
+            &cal,
+            &w,
+            NODES,
+            16,
+            Objective::MinTimeWithEfficiency(0.8),
+        )
+        .expect("some config meets 80% efficiency");
+        assert!(constrained.nodes <= unconstrained.nodes);
+    }
+
+    #[test]
+    fn none_when_nothing_fits() {
+        let (mut m, cal, mut w) = setup();
+        m.mem_per_node = 1 << 30; // 1 GiB nodes
+        w.data_bytes = 100 << 40; // 100 TiB
+        assert!(recommend(&m, &cal, &w, NODES, 16, Objective::MinTime).is_none());
+    }
+
+    #[test]
+    fn considered_list_covers_the_sweep() {
+        let (m, cal, w) = setup();
+        let r = recommend(&m, &cal, &w, &[91, 182], 16, Objective::MinTime).expect("viable");
+        assert_eq!(r.considered.len(), 4, "2 node counts x 2 layouts");
+    }
+}

@@ -1,0 +1,45 @@
+//! Abstract syntax tree for regular expressions.
+
+/// A single-character matcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CharMatcher {
+    /// Exactly this character.
+    Literal(char),
+    /// Any character (`.`).
+    Any,
+    /// A character class: a set of ranges, possibly negated.
+    Class { negated: bool, ranges: Vec<(char, char)> },
+}
+
+impl CharMatcher {
+    /// Does this matcher accept `c`?
+    pub fn matches(&self, c: char) -> bool {
+        match self {
+            CharMatcher::Literal(l) => *l == c,
+            CharMatcher::Any => true,
+            CharMatcher::Class { negated, ranges } => {
+                let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// Regular-expression AST node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single-character matcher.
+    Char(CharMatcher),
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation (`|`) of sub-expressions.
+    Alternate(Vec<Ast>),
+    /// Repetition: `min..=max` copies (`max == None` means unbounded).
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    /// `^` anchor.
+    StartAnchor,
+    /// `$` anchor.
+    EndAnchor,
+}

@@ -1,0 +1,167 @@
+//! Thompson construction: AST → NFA bytecode program for the Pike VM.
+
+use crate::ast::{Ast, CharMatcher};
+
+/// One NFA instruction.
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Match a single character, then continue at the next instruction.
+    Char(CharMatcher),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Fork execution to both targets (preference order irrelevant for
+    /// leftmost-longest-agnostic boolean matching).
+    Split(usize, usize),
+    /// Assert start-of-input.
+    AssertStart,
+    /// Assert end-of-input.
+    AssertEnd,
+    /// Successful match.
+    Match,
+}
+
+/// A compiled NFA program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub insts: Vec<Inst>,
+    /// True when the pattern begins with `^` on every alternation branch —
+    /// lets the VM skip restarting at every position.
+    pub anchored_start: bool,
+}
+
+/// Compile `ast` into a [`Program`] ending in [`Inst::Match`].
+pub fn compile(ast: &Ast) -> Program {
+    let mut c = Compiler { insts: Vec::new() };
+    c.emit_ast(ast);
+    c.insts.push(Inst::Match);
+    Program {
+        anchored_start: starts_anchored(ast),
+        insts: c.insts,
+    }
+}
+
+fn starts_anchored(ast: &Ast) -> bool {
+    match ast {
+        Ast::StartAnchor => true,
+        Ast::Concat(items) => items.first().is_some_and(starts_anchored),
+        Ast::Alternate(branches) => branches.iter().all(starts_anchored),
+        Ast::Repeat { node, min, .. } => *min >= 1 && starts_anchored(node),
+        _ => false,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+impl Compiler {
+    fn emit_ast(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Char(m) => self.insts.push(Inst::Char(m.clone())),
+            Ast::StartAnchor => self.insts.push(Inst::AssertStart),
+            Ast::EndAnchor => self.insts.push(Inst::AssertEnd),
+            Ast::Concat(items) => {
+                for item in items {
+                    self.emit_ast(item);
+                }
+            }
+            Ast::Alternate(branches) => self.emit_alternate(branches),
+            Ast::Repeat { node, min, max } => self.emit_repeat(node, *min, *max),
+        }
+    }
+
+    fn emit_alternate(&mut self, branches: &[Ast]) {
+        // Chain of Splits: split(b1, split(b2, ... bn))
+        // Each branch ends with a Jmp to the common exit.
+        let mut jmp_fixups = Vec::new();
+        let n = branches.len();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < n {
+                let split_pos = self.insts.len();
+                self.insts.push(Inst::Split(0, 0)); // patched below
+                let b_start = self.insts.len();
+                self.emit_ast(branch);
+                let jmp_pos = self.insts.len();
+                self.insts.push(Inst::Jmp(0)); // patched to exit
+                jmp_fixups.push(jmp_pos);
+                let next_branch = self.insts.len();
+                self.insts[split_pos] = Inst::Split(b_start, next_branch);
+            } else {
+                self.emit_ast(branch);
+            }
+        }
+        let exit = self.insts.len();
+        for pos in jmp_fixups {
+            self.insts[pos] = Inst::Jmp(exit);
+        }
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) {
+        // Mandatory copies.
+        for _ in 0..min {
+            self.emit_ast(node);
+        }
+        match max {
+            None => {
+                // `e*` tail: L: split(body, exit); body; jmp L
+                let l = self.insts.len();
+                self.insts.push(Inst::Split(0, 0));
+                let body = self.insts.len();
+                self.emit_ast(node);
+                self.insts.push(Inst::Jmp(l));
+                let exit = self.insts.len();
+                self.insts[l] = Inst::Split(body, exit);
+            }
+            Some(max) => {
+                // (max - min) optional copies, each individually skippable.
+                let mut splits = Vec::new();
+                for _ in min..max {
+                    let s = self.insts.len();
+                    self.insts.push(Inst::Split(0, 0));
+                    let body = self.insts.len();
+                    self.emit_ast(node);
+                    splits.push((s, body));
+                }
+                let exit = self.insts.len();
+                for (s, body) in splits {
+                    self.insts[s] = Inst::Split(body, exit);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn program_ends_with_match() {
+        let p = compile(&parse("abc").unwrap());
+        assert!(matches!(p.insts.last(), Some(Inst::Match)));
+    }
+
+    #[test]
+    fn anchored_detection() {
+        assert!(compile(&parse("^abc").unwrap()).anchored_start);
+        assert!(!compile(&parse("abc").unwrap()).anchored_start);
+        assert!(compile(&parse("^a|^b").unwrap()).anchored_start);
+        assert!(!compile(&parse("^a|b").unwrap()).anchored_start);
+    }
+
+    #[test]
+    fn star_compiles_to_split_loop() {
+        let p = compile(&parse("a*").unwrap());
+        assert!(p.insts.iter().any(|i| matches!(i, Inst::Split(..))));
+        assert!(p.insts.iter().any(|i| matches!(i, Inst::Jmp(..))));
+    }
+
+    #[test]
+    fn bounded_repeat_expands() {
+        let p2 = compile(&parse("a{2}").unwrap());
+        let p5 = compile(&parse("a{5}").unwrap());
+        assert!(p5.insts.len() > p2.insts.len());
+    }
+}

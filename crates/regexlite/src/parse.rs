@@ -1,0 +1,382 @@
+//! Recursive-descent parser for the regex syntax described in the crate docs.
+
+use crate::ast::{Ast, CharMatcher};
+use std::fmt;
+
+/// Error produced when a pattern fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position in the pattern where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+/// Parse `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected character (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    /// concat := repeated*
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.repeated()?);
+        }
+        match items.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(items.pop().unwrap()),
+            _ => Ok(Ast::Concat(items)),
+        }
+    }
+
+    /// repeated := atom ('*' | '+' | '?' | '{m[,[n]]}')*
+    fn repeated(&mut self) -> Result<Ast, ParseError> {
+        let mut node = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    self.check_repeatable(&node)?;
+                    node = Ast::Repeat { node: Box::new(node), min: 0, max: None };
+                }
+                Some('+') => {
+                    self.bump();
+                    self.check_repeatable(&node)?;
+                    node = Ast::Repeat { node: Box::new(node), min: 1, max: None };
+                }
+                Some('?') => {
+                    self.bump();
+                    self.check_repeatable(&node)?;
+                    node = Ast::Repeat { node: Box::new(node), min: 0, max: Some(1) };
+                }
+                Some('{') => {
+                    // `{` only opens a counted repetition when it looks like
+                    // one; otherwise treat it as a literal (grep behaviour).
+                    if let Some((min, max, consumed)) = self.try_parse_bounds()? {
+                        self.pos += consumed;
+                        self.check_repeatable(&node)?;
+                        node = Ast::Repeat { node: Box::new(node), min, max };
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    fn check_repeatable(&self, node: &Ast) -> Result<(), ParseError> {
+        match node {
+            Ast::StartAnchor | Ast::EndAnchor => Err(ParseError {
+                position: self.pos.saturating_sub(1),
+                message: "anchor cannot be repeated".to_string(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Attempt to read `{m}`, `{m,}` or `{m,n}` starting at the current
+    /// position. Returns the bounds and the number of chars consumed, or
+    /// `None` when the braces do not form a repetition.
+    fn try_parse_bounds(&self) -> Result<Option<(u32, Option<u32>, usize)>, ParseError> {
+        debug_assert_eq!(self.peek(), Some('{'));
+        let rest = &self.chars[self.pos + 1..];
+        let close = match rest.iter().position(|&c| c == '}') {
+            Some(i) => i,
+            None => return Ok(None),
+        };
+        let body: String = rest[..close].iter().collect();
+        let consumed = close + 2; // '{' + body + '}'
+        let parse_num = |s: &str| -> Option<u32> {
+            if s.is_empty() || !s.chars().all(|c| c.is_ascii_digit()) {
+                None
+            } else {
+                s.parse().ok()
+            }
+        };
+        let (min, max) = if let Some(comma) = body.find(',') {
+            let lo = match parse_num(&body[..comma]) {
+                Some(v) => v,
+                None => return Ok(None),
+            };
+            let hi_str = &body[comma + 1..];
+            if hi_str.is_empty() {
+                (lo, None)
+            } else {
+                match parse_num(hi_str) {
+                    Some(v) => (lo, Some(v)),
+                    None => return Ok(None),
+                }
+            }
+        } else {
+            match parse_num(&body) {
+                Some(v) => (v, Some(v)),
+                None => return Ok(None),
+            }
+        };
+        if let Some(hi) = max {
+            if hi < min {
+                return Err(ParseError {
+                    position: self.pos,
+                    message: format!("invalid repetition bounds {{{},{}}}", min, hi),
+                });
+            }
+        }
+        const MAX_REPEAT: u32 = 1 << 12;
+        if min > MAX_REPEAT || max.map_or(false, |m| m > MAX_REPEAT) {
+            return Err(ParseError {
+                position: self.pos,
+                message: format!("repetition bound exceeds maximum of {}", MAX_REPEAT),
+            });
+        }
+        Ok(Some((min, max, consumed)))
+    }
+
+    /// atom := '(' alternation ')' | '[' class ']' | '.' | '^' | '$'
+    ///       | '\' escape | literal
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.alternation()?;
+                if !self.eat(')') {
+                    return Err(self.err("missing closing ')'"));
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                self.bump();
+                self.char_class()
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::Char(CharMatcher::Any))
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::StartAnchor)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::EndAnchor)
+            }
+            Some('\\') => {
+                self.bump();
+                let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                Ok(Ast::Char(escape_matcher(c)))
+            }
+            Some(c) if c == '*' || c == '+' || c == '?' => {
+                Err(self.err("repetition operator with nothing to repeat"))
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Char(CharMatcher::Literal(c)))
+            }
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    /// class := '^'? item+ ']'   where item := char | char '-' char
+    fn char_class(&mut self) -> Result<Ast, ParseError> {
+        let negated = self.eat('^');
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        // A leading ']' is a literal member, per POSIX convention.
+        if self.peek() == Some(']') {
+            self.bump();
+            ranges.push((']', ']'));
+        }
+        loop {
+            let c = match self.bump() {
+                Some(']') => break,
+                Some('\\') => {
+                    let e = self.bump().ok_or_else(|| self.err("dangling escape in class"))?;
+                    match escape_matcher(e) {
+                        CharMatcher::Literal(l) => l,
+                        CharMatcher::Class { ranges: mut r, negated: false } => {
+                            ranges.append(&mut r);
+                            continue;
+                        }
+                        _ => return Err(self.err("unsupported escape in class")),
+                    }
+                }
+                Some(c) => c,
+                None => return Err(self.err("unterminated character class")),
+            };
+            // Range `c-hi` unless the '-' is trailing (then it is literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']') {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    Some('\\') => match self.bump() {
+                        Some(e) => match escape_matcher(e) {
+                            CharMatcher::Literal(l) => l,
+                            _ => return Err(self.err("class escape not valid as range end")),
+                        },
+                        None => return Err(self.err("dangling escape in class")),
+                    },
+                    Some(h) => h,
+                    None => return Err(self.err("unterminated character class")),
+                };
+                if hi < c {
+                    return Err(self.err("invalid range in character class"));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() && !negated {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Ast::Char(CharMatcher::Class { negated, ranges }))
+    }
+}
+
+/// Expand an escape character into its matcher.
+fn escape_matcher(c: char) -> CharMatcher {
+    match c {
+        'd' => CharMatcher::Class { negated: false, ranges: vec![('0', '9')] },
+        'D' => CharMatcher::Class { negated: true, ranges: vec![('0', '9')] },
+        'w' => CharMatcher::Class {
+            negated: false,
+            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+        },
+        'W' => CharMatcher::Class {
+            negated: true,
+            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+        },
+        's' => CharMatcher::Class {
+            negated: false,
+            ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')],
+        },
+        'S' => CharMatcher::Class {
+            negated: true,
+            ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')],
+        },
+        'n' => CharMatcher::Literal('\n'),
+        't' => CharMatcher::Literal('\t'),
+        'r' => CharMatcher::Literal('\r'),
+        other => CharMatcher::Literal(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_concat() {
+        let ast = parse("ab").unwrap();
+        assert!(matches!(ast, Ast::Concat(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn parses_alternation_tree() {
+        let ast = parse("a|b|c").unwrap();
+        assert!(matches!(ast, Ast::Alternate(ref v) if v.len() == 3));
+    }
+
+    #[test]
+    fn literal_brace_when_not_repetition() {
+        // `{abc}` is not a counted repetition; treat braces literally.
+        let ast = parse("a{x}").unwrap();
+        assert!(matches!(ast, Ast::Concat(_)));
+    }
+
+    #[test]
+    fn rejects_reversed_bounds() {
+        let e = parse("a{3,1}").unwrap_err();
+        assert!(e.message.contains("invalid repetition bounds"));
+    }
+
+    #[test]
+    fn rejects_huge_bounds() {
+        assert!(parse("a{99999}").is_err());
+    }
+
+    #[test]
+    fn class_leading_bracket_is_literal() {
+        let ast = parse("[]a]").unwrap();
+        match ast {
+            Ast::Char(CharMatcher::Class { negated, ranges }) => {
+                assert!(!negated);
+                assert!(ranges.contains(&(']', ']')));
+                assert!(ranges.contains(&('a', 'a')));
+            }
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_position_is_reported() {
+        let e = parse("ab[cd").unwrap_err();
+        assert!(e.position >= 2);
+    }
+}

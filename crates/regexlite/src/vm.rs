@@ -1,0 +1,215 @@
+//! Pike VM: breadth-first NFA simulation over the input.
+//!
+//! Runs in O(insts × chars) time with no backtracking, so pathological
+//! patterns cannot blow up `das_search` on large file listings.
+
+use crate::compile::{Inst, Program};
+
+/// A thread list: the set of NFA states alive at the current position,
+/// with O(1) dedup via a generation-stamped membership array.
+struct ThreadList {
+    dense: Vec<(usize, usize)>, // (pc, match_start)
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        ThreadList {
+            dense: Vec::with_capacity(n),
+            stamp: vec![0; n],
+            generation: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.dense.clear();
+        self.generation += 1;
+    }
+
+    fn contains(&self, pc: usize) -> bool {
+        self.stamp[pc] == self.generation
+    }
+
+    fn push(&mut self, pc: usize, start: usize) {
+        if !self.contains(pc) {
+            self.stamp[pc] = self.generation;
+            self.dense.push((pc, start));
+        }
+    }
+}
+
+/// Add `pc` and everything reachable through epsilon transitions
+/// (Jmp/Split/anchors) to `list`. `at_start`/`at_end` describe the current
+/// input position for anchor assertions.
+fn add_thread(
+    program: &Program,
+    list: &mut ThreadList,
+    pc: usize,
+    start: usize,
+    at_start: bool,
+    at_end: bool,
+    matched: &mut Option<usize>,
+) {
+    if list.contains(pc) {
+        return;
+    }
+    match &program.insts[pc] {
+        Inst::Jmp(t) => {
+            list.stamp[pc] = list.generation;
+            add_thread(program, list, *t, start, at_start, at_end, matched);
+        }
+        Inst::Split(a, b) => {
+            list.stamp[pc] = list.generation;
+            add_thread(program, list, *a, start, at_start, at_end, matched);
+            add_thread(program, list, *b, start, at_start, at_end, matched);
+        }
+        Inst::AssertStart => {
+            list.stamp[pc] = list.generation;
+            if at_start {
+                add_thread(program, list, pc + 1, start, at_start, at_end, matched);
+            }
+        }
+        Inst::AssertEnd => {
+            list.stamp[pc] = list.generation;
+            if at_end {
+                add_thread(program, list, pc + 1, start, at_start, at_end, matched);
+            }
+        }
+        Inst::Match => {
+            list.stamp[pc] = list.generation;
+            // Keep the earliest-starting match (leftmost semantics).
+            if matched.map_or(true, |s| start < s) {
+                *matched = Some(start);
+            }
+        }
+        Inst::Char(_) => list.push(pc, start),
+    }
+}
+
+fn run(program: &Program, text: &str, anchored: bool) -> Option<(usize, usize)> {
+    let n = program.insts.len();
+    let mut current = ThreadList::new(n);
+    let mut next = ThreadList::new(n);
+    current.clear();
+    next.clear();
+
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let text_len = text.len();
+    let anchored = anchored || program.anchored_start;
+
+    let mut best: Option<(usize, usize)> = None;
+
+    for step in 0..=chars.len() {
+        let byte_pos = chars.get(step).map_or(text_len, |&(i, _)| i);
+        let at_start = byte_pos == 0;
+        let at_end = step == chars.len();
+
+        // Seed a fresh attempt starting at this position (unanchored scan).
+        if !anchored || at_start {
+            // Once a match is found, leftmost semantics say no later start
+            // can beat it; stop seeding.
+            if best.is_none() {
+                let mut matched = None;
+                add_thread(program, &mut current, 0, byte_pos, at_start, at_end, &mut matched);
+                if let Some(s) = matched {
+                    best = merge_match(best, s, byte_pos);
+                }
+            }
+        }
+
+        // Process Match instructions reachable at this position: they were
+        // recorded through `add_thread` below during the previous step.
+        if current.dense.is_empty() && best.is_some() {
+            break; // all live threads finished; match already found
+        }
+
+        if at_end {
+            break;
+        }
+        let (_, c) = chars[step];
+        let next_byte = chars.get(step + 1).map_or(text_len, |&(i, _)| i);
+        let next_at_end = step + 1 == chars.len();
+
+        next.clear();
+        let dense = std::mem::take(&mut current.dense);
+        for (pc, start) in &dense {
+            if let Inst::Char(m) = &program.insts[*pc] {
+                if m.matches(c) {
+                    let mut matched = None;
+                    add_thread(
+                        program, &mut next, pc + 1, *start,
+                        /*at_start=*/ false, next_at_end, &mut matched,
+                    );
+                    if let Some(s) = matched {
+                        best = merge_match(best, s, next_byte);
+                    }
+                }
+            }
+        }
+        current.dense = dense;
+        std::mem::swap(&mut current, &mut next);
+    }
+    best
+}
+
+/// Prefer the leftmost start; among equal starts, the longest end.
+fn merge_match(best: Option<(usize, usize)>, start: usize, end: usize) -> Option<(usize, usize)> {
+    match best {
+        None => Some((start, end)),
+        Some((bs, be)) => {
+            if start < bs || (start == bs && end > be) {
+                Some((start, end))
+            } else {
+                Some((bs, be))
+            }
+        }
+    }
+}
+
+/// Unanchored search: find the leftmost-longest match.
+pub fn search(program: &Program, text: &str) -> Option<(usize, usize)> {
+    run(program, text, false)
+}
+
+/// Search anchored at position 0.
+pub fn search_anchored(program: &Program, text: &str) -> Option<(usize, usize)> {
+    run(program, text, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    #[test]
+    fn leftmost_longest_semantics() {
+        let re = Regex::new("a+").unwrap();
+        assert_eq!(re.find("baaab"), Some((1, 4)));
+    }
+
+    #[test]
+    fn anchored_end_only() {
+        let re = Regex::new("ab$").unwrap();
+        assert_eq!(re.find("abab"), Some((2, 4)));
+    }
+
+    #[test]
+    fn match_at_very_end() {
+        let re = Regex::new("c").unwrap();
+        assert_eq!(re.find("abc"), Some((2, 3)));
+    }
+
+    #[test]
+    fn empty_match_offsets() {
+        let re = Regex::new("x*").unwrap();
+        assert_eq!(re.find("yyy"), Some((0, 0)));
+    }
+
+    #[test]
+    fn multibyte_offsets_are_byte_positions() {
+        let re = Regex::new("fé").unwrap();
+        let text = "café!";
+        let (s, e) = re.find(text).unwrap();
+        assert_eq!(&text[s..e], "fé");
+    }
+}

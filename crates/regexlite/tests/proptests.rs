@@ -1,0 +1,155 @@
+//! Property tests: the Pike VM must agree with a naive backtracking
+//! reference matcher on randomly generated patterns and inputs.
+
+use proptest::prelude::*;
+use regexlite::Regex;
+
+/// Exponential-time but obviously-correct reference: does `pat[pi..]`
+/// match starting exactly at `text[ti..]`? Supports the same constructs
+/// we generate below (literals over a small alphabet, `.`, `*`, `?`,
+/// `(..|..)` handled via recursion on a mini-AST).
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Dot,
+    Star(Box<Node>),
+    Opt(Box<Node>),
+    Seq(Vec<Node>),
+    Alt(Box<Node>, Box<Node>),
+}
+
+impl Node {
+    fn to_pattern(&self) -> String {
+        match self {
+            Node::Lit(c) => c.to_string(),
+            Node::Dot => ".".to_string(),
+            Node::Star(n) => format!("({})*", n.to_pattern()),
+            Node::Opt(n) => format!("({})?", n.to_pattern()),
+            Node::Seq(v) => v.iter().map(|n| n.to_pattern()).collect(),
+            Node::Alt(a, b) => format!("({}|{})", a.to_pattern(), b.to_pattern()),
+        }
+    }
+
+    /// All lengths `k` such that self matches text[i..i+k]; naive but exact.
+    fn match_lens(&self, text: &[char], i: usize) -> Vec<usize> {
+        match self {
+            Node::Lit(c) => {
+                if text.get(i) == Some(c) {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }
+            Node::Dot => {
+                if i < text.len() {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }
+            Node::Opt(n) => {
+                let mut out = vec![0];
+                out.extend(n.match_lens(text, i));
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            Node::Star(n) => {
+                // Fixed-point: lengths reachable by zero or more copies.
+                let mut reachable = vec![0usize];
+                let mut frontier = vec![0usize];
+                while let Some(k) = frontier.pop() {
+                    for l in n.match_lens(text, i + k) {
+                        if l == 0 {
+                            continue; // avoid infinite empty-loop
+                        }
+                        let nk = k + l;
+                        if !reachable.contains(&nk) {
+                            reachable.push(nk);
+                            frontier.push(nk);
+                        }
+                    }
+                }
+                reachable.sort_unstable();
+                reachable
+            }
+            Node::Seq(v) => {
+                let mut lens = vec![0usize];
+                for n in v {
+                    let mut next = Vec::new();
+                    for &k in &lens {
+                        for l in n.match_lens(text, i + k) {
+                            if !next.contains(&(k + l)) {
+                                next.push(k + l);
+                            }
+                        }
+                    }
+                    lens = next;
+                    if lens.is_empty() {
+                        break;
+                    }
+                }
+                lens.sort_unstable();
+                lens
+            }
+            Node::Alt(a, b) => {
+                let mut out = a.match_lens(text, i);
+                out.extend(b.match_lens(text, i));
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    fn search(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        (0..=chars.len()).any(|i| !self.match_lens(&chars, i).is_empty())
+    }
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!['a', 'b', 'c']).prop_map(Node::Lit),
+        Just(Node::Dot),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|n| Node::Star(Box::new(n))),
+            inner.clone().prop_map(|n| Node::Opt(Box::new(n))),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Node::Seq),
+            (inner.clone(), inner).prop_map(|(a, b)| Node::Alt(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pike_vm_agrees_with_reference(node in node_strategy(),
+                                     text in "[abc]{0,8}") {
+        let pattern = node.to_pattern();
+        let re = Regex::new(&pattern).unwrap();
+        prop_assert_eq!(re.is_match(&text), node.search(&text),
+                        "pattern={} text={}", pattern, text);
+    }
+
+    #[test]
+    fn find_offsets_are_valid(node in node_strategy(), text in "[abc]{0,8}") {
+        let re = Regex::new(&node.to_pattern()).unwrap();
+        if let Some((s, e)) = re.find(&text) {
+            prop_assert!(s <= e);
+            prop_assert!(e <= text.len());
+            prop_assert!(text.is_char_boundary(s) && text.is_char_boundary(e));
+        }
+    }
+
+    #[test]
+    fn full_match_implies_is_match(node in node_strategy(), text in "[abc]{0,8}") {
+        let re = Regex::new(&node.to_pattern()).unwrap();
+        if re.is_full_match(&text) {
+            prop_assert!(re.is_match(&text));
+        }
+    }
+}

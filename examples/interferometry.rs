@@ -1,0 +1,87 @@
+//! Traffic-noise interferometry — the paper's second case study
+//! (§V-C, Algorithm 3): turn ambient noise into empirical Green's
+//! functions by cross-correlating every channel against a master
+//! channel after detrend → bandpass → resample → FFT.
+//!
+//! The example builds a wavefield where a common noise source sweeps
+//! the array with a known per-channel delay, runs the pipeline, and
+//! shows that (a) correlation scores fall off with distance from the
+//! master and (b) the time-domain correlation peak moves out linearly —
+//! the physical signature interferometry exists to recover.
+//!
+//! ```sh
+//! cargo run --release --example interferometry
+//! ```
+
+use arrayudf::Array2;
+use dassa::dasa::{
+    cross_correlation_with_master, interferometry, prepare_master, Haee, InterferometryParams,
+};
+
+fn main() {
+    let channels = 24usize;
+    let samples = 4096usize;
+    let delay_per_channel = 3.0; // samples of moveout per channel
+
+    // Common band-limited "traffic noise" + small channel-local noise.
+    let common: Vec<f64> = {
+        let mut state = 0.0f64;
+        (0..samples + 256)
+            .map(|i| {
+                // AR(1)-smoothed deterministic chaos keeps energy in band.
+                let x = ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5;
+                state = 0.9 * state + x;
+                state
+            })
+            .collect()
+    };
+    let data = Array2::from_fn(channels, samples, |ch, t| {
+        let delayed = t as f64 - delay_per_channel * ch as f64;
+        let idx = delayed.max(0.0) as usize;
+        let local = ((ch * 7919 + t * 104729) % 1000) as f64 / 1000.0 - 0.5;
+        common[idx.min(common.len() - 1)] + 0.1 * local
+    });
+
+    let params = InterferometryParams {
+        filter_order: 4,
+        band: (0.02, 0.6),
+        resample_p: 1,
+        resample_q: 1, // keep full rate so lags stay in samples
+        master_channel: 0,
+    };
+
+    println!("running interferometry (Algorithm 3) over {channels} channels...");
+    let scores = interferometry(&data, &params, &Haee::hybrid(4)).expect("pipeline");
+    println!("\nchannel  |cos| vs master   xcorr peak lag (samples)");
+    let master = prepare_master(data.row(0), &params);
+    let mut lags = Vec::new();
+    for ch in 0..channels {
+        let corr = cross_correlation_with_master(data.row(ch), &master, &params);
+        let mid = corr.len() / 2;
+        let peak = corr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("nonempty")
+            .0 as isize
+            - mid as isize;
+        lags.push(peak);
+        if ch % 4 == 0 {
+            println!("{ch:7}  {:<16.3} {peak}", scores[ch]);
+        }
+    }
+
+    // (a) Master correlates perfectly with itself.
+    assert!((scores[0] - 1.0).abs() < 1e-9);
+    // (b) The moveout is recovered: peak lag grows ~linearly with
+    //     channel distance at the injected delay rate.
+    for (ch, &lag) in lags.iter().enumerate().skip(1).take(12) {
+        let expect = (delay_per_channel * ch as f64).round() as isize;
+        assert!(
+            (lag - expect).abs() <= 2,
+            "channel {ch}: recovered lag {lag}, expected ~{expect}"
+        );
+    }
+    println!("\nmoveout recovered: ~{delay_per_channel} samples/channel — empirical");
+    println!("Green's function lags match the injected propagation. ok");
+}

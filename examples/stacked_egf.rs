@@ -1,0 +1,87 @@
+//! Window-stacked empirical Green's functions — the full ambient-noise
+//! interferometry workflow (Dou et al. 2017) whose most expensive stage
+//! the DASSA paper implements as Algorithm 3.
+//!
+//! A common noise wavefield sweeps a 16-channel array with 2 samples of
+//! moveout per channel, buried in strong channel-local noise. Stacking
+//! window-by-window cross-correlations pulls the traveltime curve out of
+//! the noise; the example prints the recovered moveout and shows the SNR
+//! rising as more windows accumulate.
+//!
+//! ```sh
+//! cargo run --release --example stacked_egf
+//! ```
+
+use arrayudf::Array2;
+use dassa::dasa::{stacked_interferometry, Haee, StackingParams, TimeNorm};
+
+/// Deterministic white-ish noise.
+fn noise(seed: u64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let mut z = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((i as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+            z ^= z >> 30;
+            z = z.wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 27;
+            (z % 2_000_000) as f64 / 1_000_000.0 - 1.0
+        })
+        .collect()
+}
+
+fn build_array(channels: usize, samples: usize, delay_per_ch: usize, local_amp: f64) -> Array2<f64> {
+    let common = noise(1, samples + channels * delay_per_ch);
+    let locals: Vec<Vec<f64>> = (0..channels).map(|ch| noise(100 + ch as u64, samples)).collect();
+    Array2::from_fn(channels, samples, |ch, t| {
+        let src = t + (channels - 1 - ch) * delay_per_ch; // wave moves up-channel
+        common[src] + local_amp * locals[ch][t]
+    })
+}
+
+fn main() {
+    let channels = 16;
+    let delay = 2usize;
+    let window = 512;
+    let data = build_array(channels, window * 24, delay, 1.5);
+
+    let params = StackingParams {
+        window,
+        hop: window,
+        band: (0.05, 0.8),
+        filter_order: 3,
+        time_norm: TimeNorm::OneBit,
+        whiten: true,
+        master_channel: channels - 1, // the wave reaches it first
+    };
+
+    println!("stacking {} windows per channel on 4 threads...", params.n_windows(data.cols()));
+    let stacks = stacked_interferometry(&data, &params, &Haee::hybrid(4)).expect("stack");
+
+    println!("\nchannel  peak lag (samples)  expected  SNR");
+    let mut correct = 0;
+    for (ch, s) in stacks.iter().enumerate() {
+        // Channels *lead* the master (the wave reaches the master last
+        // from their perspective), so the recovered lag is negative.
+        let expect = -(((channels - 1 - ch) * delay) as isize);
+        let lag = s.peak_lag();
+        if (lag - expect).abs() <= 1 {
+            correct += 1;
+        }
+        if ch % 3 == 0 || ch == channels - 1 {
+            println!("{ch:7}  {lag:18}  {expect:8}  {:.1}", s.snr());
+        }
+    }
+    println!("\n{correct}/{channels} channels recovered the injected moveout (±1 sample)");
+    assert!(correct >= channels - 2, "moveout recovery failed");
+
+    // SNR growth with stack depth: re-run on prefixes of the record.
+    println!("\nwindows stacked -> SNR of the farthest channel:");
+    for windows in [2usize, 6, 12, 24] {
+        let prefix = Array2::from_fn(channels, window * windows, |r, c| data.get(r, c));
+        let st = stacked_interferometry(&prefix, &params, &Haee::hybrid(4)).expect("stack");
+        println!("  {windows:3} windows: SNR {:.2}", st[0].snr());
+    }
+    println!("\ncoherent signal adds linearly, noise as sqrt(N) — the reason the");
+    println!("paper's pipeline exists. ok");
+}
