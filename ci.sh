@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate for DASSA-rs. Run from the repo root; fails fast.
+#
+#   ./ci.sh          # tier-1 + lints
+#   ./ci.sh --quick  # lints only (skip the release build + tests)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> tier-1: cargo build --release"
+    cargo build --release
+    echo "==> tier-1: cargo test -q"
+    cargo test -q
+fi
+
+echo "==> CI green"

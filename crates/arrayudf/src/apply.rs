@@ -29,7 +29,10 @@ impl Ghost {
 
     /// Time-only reach (e.g. a moving average along one channel).
     pub fn time(t: usize) -> Ghost {
-        Ghost { time: t, channel: 0 }
+        Ghost {
+            time: t,
+            channel: 0,
+        }
     }
 
     /// Reach in both dimensions.
@@ -52,7 +55,10 @@ pub struct Stride {
 impl Stride {
     /// Evaluate at every cell.
     pub fn unit() -> Stride {
-        Stride { time: 1, channel: 1 }
+        Stride {
+            time: 1,
+            channel: 1,
+        }
     }
 
     /// Evaluate once per channel (whole-row UDFs like Algorithm 3): the
@@ -67,7 +73,10 @@ impl Stride {
 
 /// Output grid dimensions for an input of `rows × cols` under `stride`.
 fn output_dims(rows: usize, cols: usize, stride: Stride) -> (usize, usize) {
-    assert!(stride.time >= 1 && stride.channel >= 1, "stride must be >= 1");
+    assert!(
+        stride.time >= 1 && stride.channel >= 1,
+        "stride must be >= 1"
+    );
     (rows.div_ceil(stride.channel), cols.div_ceil(stride.time))
 }
 
@@ -118,6 +127,8 @@ where
     F: Fn(&Stencil<T>) -> R + Sync,
 {
     let _ = ghost;
+    let m = crate::metrics::metrics();
+    m.apply_calls.inc();
     let (out_rows, out_cols) = output_dims(input.rows(), input.cols(), stride);
     let total = out_rows * out_cols;
     let result: SharedSlice<R> = SharedSlice::from_vec(vec![R::default(); total]);
@@ -126,12 +137,14 @@ where
 
     omp::parallel(threads, |ctx| {
         // -- #pragma omp for schedule(static): private result vector Rp.
+        let compute_started = std::time::Instant::now();
         let mut rp: Vec<R> = Vec::new();
         ctx.for_static(0..total, |i| {
             let (orow, ocol) = (i / out_cols, i % out_cols);
             let s = Stencil::new(input, orow * stride.channel, ocol * stride.time);
             rp.push(f(&s));
         });
+        m.apply_thread_ns.record_duration(compute_started.elapsed());
         // -- p[h] = Rp.size()
         prefix.lock().expect("prefix lock")[ctx.thread_num() + 1] = rp.len();
         // -- #pragma omp barrier
@@ -144,10 +157,12 @@ where
             }
         });
         // -- R[p[h-1] : p[h]] = Rp (disjoint by construction).
+        let merge_started = std::time::Instant::now();
         let offset = prefix.lock().expect("prefix lock")[ctx.thread_num()];
         // SAFETY: prefix offsets partition 0..total disjointly across
         // threads, and all threads passed the barrier before writing.
         unsafe { result.write_slice(offset, &rp) };
+        m.apply_merge_ns.record_duration(merge_started.elapsed());
     });
 
     Array2::from_vec(out_rows, out_cols, result.into_vec())
@@ -196,7 +211,15 @@ mod tests {
     #[test]
     fn strided_apply_dims() {
         let a = grid(10, 21);
-        let b = apply(&a, Ghost::none(), Stride { time: 5, channel: 3 }, |s| s.value());
+        let b = apply(
+            &a,
+            Ghost::none(),
+            Stride {
+                time: 5,
+                channel: 3,
+            },
+            |s| s.value(),
+        );
         assert_eq!(b.rows(), 4); // ceil(10/3)
         assert_eq!(b.cols(), 5); // ceil(21/5)
         assert_eq!(b.get(1, 2), a.get(3, 10));
@@ -223,7 +246,10 @@ mod tests {
     #[test]
     fn apply_mt_strided_matches_serial() {
         let a = grid(9, 30);
-        let stride = Stride { time: 7, channel: 2 };
+        let stride = Stride {
+            time: 7,
+            channel: 2,
+        };
         let udf = |s: &Stencil<f64>| s.value() + s.at(1, 0);
         let serial = apply(&a, Ghost::time(1), stride, udf);
         let mt = apply_mt(&a, Ghost::time(1), stride, 4, udf);
@@ -250,6 +276,14 @@ mod tests {
     #[should_panic(expected = "stride must be >= 1")]
     fn zero_stride_rejected() {
         let a = grid(2, 2);
-        apply(&a, Ghost::none(), Stride { time: 0, channel: 1 }, |s| s.value());
+        apply(
+            &a,
+            Ghost::none(),
+            Stride {
+                time: 0,
+                channel: 1,
+            },
+            |s| s.value(),
+        );
     }
 }

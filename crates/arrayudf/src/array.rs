@@ -29,7 +29,11 @@ impl<T: Copy> Array2<T> {
     /// # Panics
     /// Panics when `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Array2<T> {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Array2 { rows, cols, data }
     }
 
@@ -68,14 +72,20 @@ impl<T: Copy> Array2<T> {
     /// Panics out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> T {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
     /// Set element at `(row, col)`.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: T) {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -102,7 +112,10 @@ impl<T: Copy> Array2<T> {
 
     /// Copy a contiguous band of rows `r0..r1` into a new array.
     pub fn row_block(&self, r0: usize, r1: usize) -> Array2<T> {
-        assert!(r0 <= r1 && r1 <= self.rows, "row block {r0}..{r1} out of bounds");
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row block {r0}..{r1} out of bounds"
+        );
         Array2 {
             rows: r1 - r0,
             cols: self.cols,
@@ -114,7 +127,10 @@ impl<T: Copy> Array2<T> {
     pub fn vstack(blocks: &[Array2<T>]) -> Array2<T> {
         assert!(!blocks.is_empty(), "vstack needs at least one block");
         let cols = blocks[0].cols;
-        assert!(blocks.iter().all(|b| b.cols == cols), "column mismatch in vstack");
+        assert!(
+            blocks.iter().all(|b| b.cols == cols),
+            "column mismatch in vstack"
+        );
         let rows = blocks.iter().map(|b| b.rows).sum();
         let mut data = Vec::with_capacity(rows * cols);
         for b in blocks {

@@ -21,7 +21,12 @@ pub struct Array3<T> {
 
 impl<T: Copy> Array3<T> {
     /// Build from a closure over `(i, j, k)`.
-    pub fn from_fn(d0: usize, d1: usize, d2: usize, f: impl Fn(usize, usize, usize) -> T) -> Array3<T> {
+    pub fn from_fn(
+        d0: usize,
+        d1: usize,
+        d2: usize,
+        f: impl Fn(usize, usize, usize) -> T,
+    ) -> Array3<T> {
         let mut data = Vec::with_capacity(d0 * d1 * d2);
         for i in 0..d0 {
             for j in 0..d1 {
@@ -38,7 +43,11 @@ impl<T: Copy> Array3<T> {
     /// # Panics
     /// Panics when `data.len() != d0 * d1 * d2`.
     pub fn from_vec(d0: usize, d1: usize, d2: usize, data: Vec<T>) -> Array3<T> {
-        assert_eq!(data.len(), d0 * d1 * d2, "buffer length must equal d0*d1*d2");
+        assert_eq!(
+            data.len(),
+            d0 * d1 * d2,
+            "buffer length must equal d0*d1*d2"
+        );
         Array3 { d0, d1, d2, data }
     }
 

@@ -52,6 +52,9 @@ pub fn exchange_halo<T: Copy + Default + Send + 'static>(
     if ghost_channels == 0 || size == 1 {
         return (local.clone(), 0);
     }
+    let m = crate::metrics::metrics();
+    m.halo_exchanges.inc();
+    let halo_started = std::time::Instant::now();
     // Single-hop exchange: each rank's halo comes from its immediate
     // neighbours only, so the declared reach must fit inside the
     // smallest partition (the classic ghost-zone constraint; ArrayUDF
@@ -65,12 +68,16 @@ pub fn exchange_halo<T: Copy + Default + Send + 'static>(
 
     // How many rows each side can actually contribute.
     let up_avail = if rank > 0 {
-        partition(total_rows, size, rank - 1).len().min(ghost_channels)
+        partition(total_rows, size, rank - 1)
+            .len()
+            .min(ghost_channels)
     } else {
         0
     };
     let down_avail = if rank + 1 < size {
-        partition(total_rows, size, rank + 1).len().min(ghost_channels)
+        partition(total_rows, size, rank + 1)
+            .len()
+            .min(ghost_channels)
     } else {
         0
     };
@@ -105,6 +112,10 @@ pub fn exchange_halo<T: Copy + Default + Send + 'static>(
     } else {
         Vec::new()
     };
+
+    m.halo_bytes
+        .add(((top.len() + bottom.len()) * std::mem::size_of::<T>()) as u64);
+    m.halo_ns.record_duration(halo_started.elapsed());
 
     let cols = local.cols();
     let top_rows = top.len() / cols.max(1);
@@ -142,7 +153,10 @@ where
     R: Copy + Default + Send + Sync + 'static,
     F: Fn(&Stencil<T>) -> R + Sync,
 {
-    assert!(stride.time >= 1 && stride.channel >= 1, "stride must be >= 1");
+    assert!(
+        stride.time >= 1 && stride.channel >= 1,
+        "stride must be >= 1"
+    );
     let own = partition(total_rows, comm.size(), comm.rank());
     let (extended, offset) = exchange_halo(comm, local, total_rows, ghost.channel);
 
@@ -155,7 +169,10 @@ where
     let result: SharedSlice<R> = SharedSlice::from_vec(vec![R::default(); total_cells]);
     let prefix = Mutex::new(vec![0usize; threads.max(1) + 1]);
 
+    let m = crate::metrics::metrics();
+    m.apply_calls.inc();
     omp::parallel(threads, |ctx| {
+        let compute_started = std::time::Instant::now();
         let mut rp: Vec<R> = Vec::new();
         ctx.for_static(0..total_cells, |i| {
             let (ri, ci) = (i / out_cols, i % out_cols);
@@ -163,6 +180,7 @@ where
             let s = Stencil::new(&extended, local_row, ci * stride.time);
             rp.push(f(&s));
         });
+        m.apply_thread_ns.record_duration(compute_started.elapsed());
         prefix.lock().expect("prefix lock")[ctx.thread_num() + 1] = rp.len();
         ctx.barrier();
         ctx.single(|| {
@@ -171,9 +189,11 @@ where
                 p[h] += p[h - 1];
             }
         });
+        let merge_started = std::time::Instant::now();
         let off = prefix.lock().expect("prefix lock")[ctx.thread_num()];
         // SAFETY: prefix offsets partition the output disjointly.
         unsafe { result.write_slice(off, &rp) };
+        m.apply_merge_ns.record_duration(merge_started.elapsed());
     });
 
     Array2::from_vec(eval_rows.len(), out_cols, result.into_vec())
@@ -189,7 +209,7 @@ pub fn gather_rows<R: Copy + Default + Send + 'static>(
     let arrays: Vec<Array2<R>> = blocks
         .into_iter()
         .map(|v| {
-            let rows = if cols == 0 { 0 } else { v.len() / cols };
+            let rows = v.len().checked_div(cols).unwrap_or(0);
             Array2::from_vec(rows, cols, v)
         })
         .collect();
@@ -273,7 +293,15 @@ mod tests {
             let outs = minimpi::run(ranks, |comm| {
                 let own = partition(total, comm.size(), comm.rank());
                 let local = global.row_block(own.start, own.end);
-                let out = apply_dist(comm, &local, total, Ghost::both(1, 1), Stride::unit(), 2, udf);
+                let out = apply_dist(
+                    comm,
+                    &local,
+                    total,
+                    Ghost::both(1, 1),
+                    Stride::unit(),
+                    2,
+                    udf,
+                );
                 gather_rows(comm, out)
             });
             let gathered = outs[0].clone().expect("root gathers");
@@ -286,7 +314,10 @@ mod tests {
         let total = 8;
         let global = Array2::from_fn(total, 12, |r, c| (r * 12 + c) as f64);
         let udf = |s: &Stencil<f64>| s.value();
-        let stride = Stride { time: 4, channel: 1 };
+        let stride = Stride {
+            time: 4,
+            channel: 1,
+        };
         let serial = apply(&global, Ghost::none(), stride, udf);
         let outs = minimpi::run(3, |comm| {
             let own = partition(total, comm.size(), comm.rank());

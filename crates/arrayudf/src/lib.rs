@@ -32,6 +32,7 @@ mod apply;
 mod array;
 mod array3;
 pub mod dist;
+pub mod metrics;
 mod stencil;
 
 pub use apply::{apply, apply_mt, apply_with, Ghost, Stride};

@@ -25,7 +25,11 @@ impl<'a, T: Copy> Stencil<'a, T> {
     /// Create a stencil positioned at `(channel, time)`.
     pub fn new(array: &'a Array2<T>, channel: usize, time: usize) -> Stencil<'a, T> {
         debug_assert!(channel < array.rows() && time < array.cols());
-        Stencil { array, channel, time }
+        Stencil {
+            array,
+            channel,
+            time,
+        }
     }
 
     /// The current channel index within the local block.

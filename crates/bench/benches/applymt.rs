@@ -92,7 +92,9 @@ fn bench_ghost_zone_sweep(c: &mut Criterion) {
                 minimpi::run(4, |comm| {
                     let own = arrayudf::dist::partition(total, comm.size(), comm.rank());
                     let local = a.row_block(own.start, own.end);
-                    arrayudf::dist::exchange_halo(comm, &local, total, gh).0.len()
+                    arrayudf::dist::exchange_halo(comm, &local, total, gh)
+                        .0
+                        .len()
                 })
             })
         });

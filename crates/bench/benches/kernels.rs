@@ -99,9 +99,7 @@ fn bench_ambient_noise_toolbox(c: &mut Criterion) {
     g.bench_function("envelope_30000", |b| {
         b.iter(|| dsp::envelope(black_box(&x)))
     });
-    g.bench_function("one_bit_30000", |b| {
-        b.iter(|| dsp::one_bit(black_box(&x)))
-    });
+    g.bench_function("one_bit_30000", |b| b.iter(|| dsp::one_bit(black_box(&x))));
     g.bench_function("running_abs_mean_30000", |b| {
         b.iter(|| dsp::running_abs_mean(black_box(&x), 50))
     });

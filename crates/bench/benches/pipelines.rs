@@ -5,9 +5,7 @@
 use arrayudf::Array2;
 use bench::calibrate::test_array;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dassa::dasa::{
-    interferometry, local_similarity, Haee, InterferometryParams, LocalSimiParams,
-};
+use dassa::dasa::{interferometry, local_similarity, Haee, InterferometryParams, LocalSimiParams};
 use mlab::{Interp, Value};
 use std::hint::black_box;
 
@@ -23,7 +21,14 @@ fn bench_interferometry(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1usize, 4] {
         g.bench_with_input(BenchmarkId::new("hybrid", threads), &threads, |b, &t| {
-            b.iter(|| interferometry(black_box(&data), &params, &Haee::hybrid(t)).expect("run"))
+            b.iter(|| {
+                interferometry(
+                    black_box(&data),
+                    &params,
+                    &Haee::builder().threads(t).build(),
+                )
+                .expect("run")
+            })
         });
     }
     g.finish();
@@ -43,7 +48,13 @@ fn bench_local_similarity(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1usize, 4] {
         g.bench_with_input(BenchmarkId::new("hybrid", threads), &threads, |b, &t| {
-            b.iter(|| local_similarity(black_box(&data), &params, &Haee::hybrid(t)))
+            b.iter(|| {
+                local_similarity(
+                    black_box(&data),
+                    &params,
+                    &Haee::builder().threads(t).build(),
+                )
+            })
         });
     }
     g.finish();
@@ -75,7 +86,14 @@ fn bench_native_vs_mlab(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_compute");
     g.sample_size(10);
     g.bench_function("dassa_native", |b| {
-        b.iter(|| interferometry(black_box(&data), &params, &Haee::hybrid(1)).expect("run"))
+        b.iter(|| {
+            interferometry(
+                black_box(&data),
+                &params,
+                &Haee::builder().threads(1).build(),
+            )
+            .expect("run")
+        })
     });
     g.bench_function("mlab_interpreted", |b| {
         b.iter(|| {
@@ -127,8 +145,8 @@ fn bench_applymt_alignment(_c: &mut Criterion) {
         band: (0.01, 0.4),
         ..Default::default()
     };
-    let a = interferometry(&data, &params, &Haee::hybrid(1)).expect("serial");
-    let b = interferometry(&data, &params, &Haee::hybrid(4)).expect("threaded");
+    let a = interferometry(&data, &params, &Haee::builder().threads(1).build()).expect("serial");
+    let b = interferometry(&data, &params, &Haee::builder().threads(4).build()).expect("threaded");
     assert_eq!(a, b);
 }
 

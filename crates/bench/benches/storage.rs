@@ -44,7 +44,8 @@ fn bench_chunked_vs_contiguous(c: &mut Criterion) {
     let data: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
     {
         let mut w = dasf::Writer::create(&path).expect("writer");
-        w.write_dataset_f32("/cont", &[rows, cols], &data).expect("cont");
+        w.write_dataset_f32("/cont", &[rows, cols], &data)
+            .expect("cont");
         w.write_dataset_chunked("/chunked", &[rows, cols], &[8, 512], &data)
             .expect("chunked");
         w.finish().expect("finish");
@@ -60,10 +61,16 @@ fn bench_chunked_vs_contiguous(c: &mut Criterion) {
     // A small window: 4 channels x 256 samples out of 64 x 4096.
     let sel = [(16u64, 4u64), (1024u64, 256u64)];
     g.bench_function("window_read_contiguous", |b| {
-        b.iter(|| f.read_hyperslab_f32("/cont", black_box(&sel)).expect("slab"))
+        b.iter(|| {
+            f.read_hyperslab_f32("/cont", black_box(&sel))
+                .expect("slab")
+        })
     });
     g.bench_function("window_read_chunked", |b| {
-        b.iter(|| f.read_hyperslab_f32("/chunked", black_box(&sel)).expect("slab"))
+        b.iter(|| {
+            f.read_hyperslab_f32("/chunked", black_box(&sel))
+                .expect("slab")
+        })
     });
     g.finish();
 }
@@ -76,10 +83,16 @@ fn bench_search(c: &mut Criterion) {
         b.iter(|| FileCatalog::scan(black_box(&dir)).expect("scan"))
     });
     g.bench_function("range_query", |b| {
-        b.iter(|| cat.search_range(black_box(170728224510), 15).expect("range"))
+        b.iter(|| {
+            cat.search_range(black_box(170728224510), 15)
+                .expect("range")
+        })
     });
     g.bench_function("regex_query", |b| {
-        b.iter(|| cat.search_regex(black_box("1707282[23]4[567]10")).expect("regex"))
+        b.iter(|| {
+            cat.search_regex(black_box("1707282[23]4[567]10"))
+                .expect("regex")
+        })
     });
     g.finish();
 }
@@ -108,10 +121,7 @@ fn bench_parallel_read(c: &mut Criterion) {
     let mut g = c.benchmark_group("vca_parallel_read_4ranks");
     g.throughput(Throughput::Bytes(bytes));
     g.sample_size(10);
-    for (name, strategy) in [
-        ("collective_per_file", true),
-        ("comm_avoiding", false),
-    ] {
+    for (name, strategy) in [("collective_per_file", true), ("comm_avoiding", false)] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &coll| {
             b.iter(|| {
                 minimpi::run(4, |comm| {

@@ -26,7 +26,7 @@ fn main() {
         search_half: 12,
         time_stride: 50, // one output sample per second at 50 Hz
     };
-    let simi = local_similarity(&data, &params, &Haee::hybrid(4));
+    let simi = local_similarity(&data, &params, &Haee::builder().threads(4).build());
     let truth = scene.ground_truth_mask(0.0, data.cols(), params.time_stride);
     assert_eq!(simi.rows(), truth.rows());
     assert_eq!(simi.cols(), truth.cols());
@@ -82,8 +82,10 @@ fn main() {
     }
 
     // CSV of the full map for external plotting.
-    let mut t = report::Table::new("fig10 map (channel, second, similarity, truth)",
-                                   &["channel", "second", "similarity", "event"]);
+    let mut t = report::Table::new(
+        "fig10 map (channel, second, similarity, truth)",
+        &["channel", "second", "similarity", "event"],
+    );
     for ch in 0..simi.rows() {
         for s in 0..simi.cols() {
             t.row(&[
@@ -110,6 +112,12 @@ fn main() {
         mean_active > mean_quiet + 0.1,
         "event cells must score visibly higher ({mean_active:.3} vs {mean_quiet:.3})"
     );
-    assert!(recall > 0.4, "most event cells detected (recall {recall:.2})");
-    assert!(precision > 0.5, "detections mostly real (precision {precision:.2})");
+    assert!(
+        recall > 0.4,
+        "most event cells detected (recall {recall:.2})"
+    );
+    assert!(
+        precision > 0.5,
+        "detections mostly real (precision {precision:.2})"
+    );
 }

@@ -43,8 +43,14 @@ fn main() {
                     local.cols(),
                     local.as_slice().iter().map(|&v| v as f64).collect(),
                 );
-                interferometry_dist(comm, &local64, total_ch, &params, &Haee::hybrid(1))
-                    .expect("pipeline")
+                interferometry_dist(
+                    comm,
+                    &local64,
+                    total_ch,
+                    &params,
+                    &Haee::builder().threads(1).build(),
+                )
+                .expect("pipeline")
             })
         });
         let sizes: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
@@ -55,7 +61,10 @@ fn main() {
                 // Identical results at every scale (bitwise).
                 assert_eq!(r.len(), flat.len());
                 for (a, b) in r.iter().zip(&flat) {
-                    assert!((a - b).abs() < 1e-12, "results must not depend on rank count");
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "results must not depend on rank count"
+                    );
                 }
             }
         }
@@ -80,7 +89,13 @@ fn main() {
 
     let mut ts = report::Table::new(
         "Figure 11 (modeled): strong scaling, 1.9 TB, 8 threads/node",
-        &["nodes", "compute eff(%)", "I/O eff(%)", "read(s)", "compute(s)"],
+        &[
+            "nodes",
+            "compute eff(%)",
+            "I/O eff(%)",
+            "read(s)",
+            "compute(s)",
+        ],
     );
     for p in model_fig11_strong(&m, &cal, &w, &nodes, 8) {
         ts.row(&[
@@ -96,7 +111,13 @@ fn main() {
 
     let mut tw = report::Table::new(
         "Figure 11 (modeled): weak scaling, 171 MB/core, 8 threads/node",
-        &["nodes", "compute eff(%)", "I/O eff(%)", "read(s)", "compute(s)"],
+        &[
+            "nodes",
+            "compute eff(%)",
+            "I/O eff(%)",
+            "read(s)",
+            "compute(s)",
+        ],
     );
     for p in model_fig11_weak(&m, &cal, 171 << 20, &nodes, 8) {
         tw.row(&[

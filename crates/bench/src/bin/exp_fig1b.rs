@@ -65,9 +65,11 @@ fn main() {
         .events
         .iter()
         .find_map(|e| match e {
-            Event::Earthquake { origin_s, epicenter_channel, .. } => {
-                Some((*origin_s, *epicenter_channel as usize))
-            }
+            Event::Earthquake {
+                origin_s,
+                epicenter_channel,
+                ..
+            } => Some((*origin_s, *epicenter_channel as usize)),
             _ => None,
         })
         .expect("demo scene has an earthquake");

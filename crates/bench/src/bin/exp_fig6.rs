@@ -17,7 +17,13 @@ fn main() {
 
     let mut t = report::Table::new(
         "Figure 6: search + create RCA/VCA time vs #files",
-        &["files", "search(s)", "create VCA(s)", "create RCA(s)", "RCA/VCA"],
+        &[
+            "files",
+            "search(s)",
+            "create VCA(s)",
+            "create RCA(s)",
+            "RCA/VCA",
+        ],
     );
     let mut ratios = Vec::new();
     for &n in &[4usize, 8, 16, 32, 64] {
@@ -34,7 +40,10 @@ fn main() {
 
         let vca_path = dir.join(format!("fig6-{n}.vca.dasf"));
         let (_, vca_s) = time(|| {
-            Vca::from_entries(&hits).expect("vca").save(&vca_path).expect("save")
+            Vca::from_entries(&hits)
+                .expect("vca")
+                .save(&vca_path)
+                .expect("save")
         });
 
         let rca_path = dir.join(format!("fig6-{n}.rca.dasf"));

@@ -10,7 +10,9 @@
 //!    700 MB files on Cori Lustre) via the calibrated cost model.
 
 use bench::{datasets, report, time};
-use dassa::dass::{create_rca, read_collective_per_file, read_comm_avoiding, read_rca, FileCatalog, Vca};
+use dassa::dass::{
+    create_rca, read_collective_per_file, read_comm_avoiding, read_rca, FileCatalog, Vca,
+};
 use perfmodel::{experiments::model_fig7, Machine};
 
 fn main() {
@@ -91,7 +93,13 @@ fn main() {
     let m = Machine::cori_haswell();
     let mut tm = report::Table::new(
         "Figure 7 (modeled, 90 processes on Cori, 700 MB files)",
-        &["files", "collective(s)", "comm-avoid(s)", "RCA read(s)", "speedup"],
+        &[
+            "files",
+            "collective(s)",
+            "comm-avoid(s)",
+            "RCA read(s)",
+            "speedup",
+        ],
     );
     let mut speedups = Vec::new();
     for &n in &[360u64, 720, 1440, 2880] {

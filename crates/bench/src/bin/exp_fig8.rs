@@ -39,8 +39,14 @@ fn main() {
                     local.cols(),
                     local.as_slice().iter().map(|&v| v as f64).collect(),
                 );
-                interferometry_dist(comm, &local64, total_ch, &params, &Haee::hybrid(threads))
-                    .expect("pipeline")
+                interferometry_dist(
+                    comm,
+                    &local64,
+                    total_ch,
+                    &params,
+                    &Haee::builder().threads(threads).build(),
+                )
+                .expect("pipeline")
             });
         });
         let (_, stats) = minimpi::run_with_stats(ranks, |comm| {
@@ -50,8 +56,14 @@ fn main() {
                 local.cols(),
                 local.as_slice().iter().map(|&v| v as f64).collect(),
             );
-            interferometry_dist(comm, &local64, total_ch, &params, &Haee::hybrid(threads))
-                .expect("pipeline")
+            interferometry_dist(
+                comm,
+                &local64,
+                total_ch,
+                &params,
+                &Haee::builder().threads(threads).build(),
+            )
+            .expect("pipeline")
         });
         // Master-channel bytes resident per "node" = one copy per rank.
         let own0 = partition(total_ch, 1, 0);
@@ -72,7 +84,13 @@ fn main() {
 
     let mut t = report::Table::new(
         &format!("Figure 8 (measured, {cores} cores): pure MPI vs hybrid HAEE"),
-        &["layout", "wall(s)", "p2p msgs", "master copies", "master bytes"],
+        &[
+            "layout",
+            "wall(s)",
+            "p2p msgs",
+            "master copies",
+            "master bytes",
+        ],
     );
     t.row(&[
         format!("pure MPI ({cores} ranks x 1 thread)"),
@@ -118,7 +136,14 @@ fn main() {
     let w = Workload::paper();
     let mut tm = report::Table::new(
         "Figure 8 (modeled, Cori, 1.9 TB, 16 cores/node)",
-        &["nodes", "layout", "read(s)", "compute(s)", "write(s)", "total"],
+        &[
+            "nodes",
+            "layout",
+            "read(s)",
+            "compute(s)",
+            "write(s)",
+            "total",
+        ],
     );
     for &nodes in &[91usize, 182, 364, 728] {
         for layout in [
@@ -133,9 +158,21 @@ fn main() {
             tm.row(&[
                 nodes.to_string(),
                 name.into(),
-                if p.oom { "OOM".into() } else { format!("{:.1}", p.read_s) },
-                if p.oom { "OOM".into() } else { format!("{:.1}", p.compute_s) },
-                if p.oom { "OOM".into() } else { format!("{:.2}", p.write_s) },
+                if p.oom {
+                    "OOM".into()
+                } else {
+                    format!("{:.1}", p.read_s)
+                },
+                if p.oom {
+                    "OOM".into()
+                } else {
+                    format!("{:.1}", p.compute_s)
+                },
+                if p.oom {
+                    "OOM".into()
+                } else {
+                    format!("{:.2}", p.write_s)
+                },
                 report::secs(p.total_s()),
             ]);
         }

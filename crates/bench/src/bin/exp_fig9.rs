@@ -46,7 +46,8 @@ fn main() {
     // ---------------- DASSA ------------------------------------------
     let (data64, dassa_read_s) = time(|| vca.read_all_f64().expect("read"));
     let (dassa_scores, dassa_compute_s) = time(|| {
-        interferometry(&data64, &params, &Haee::hybrid(threads)).expect("dassa pipeline")
+        interferometry(&data64, &params, &Haee::builder().threads(threads).build())
+            .expect("dassa pipeline")
     });
     let out_path = dir.join("fig9.dassa.out.dasf");
     let ((), dassa_write_s) = time(|| {
@@ -93,7 +94,9 @@ fn main() {
     }
 
     let mut t = report::Table::new(
-        &format!("Figure 9: DASSA vs MATLAB-style baseline ({channels} channels, {threads} threads)"),
+        &format!(
+            "Figure 9: DASSA vs MATLAB-style baseline ({channels} channels, {threads} threads)"
+        ),
         &["system", "read(s)", "compute(s)", "write(s)"],
     );
     t.row(&[
@@ -118,7 +121,10 @@ fn main() {
         interp.statements_executed,
         dassa_scores.len()
     );
-    assert!(interp_factor > 1.0, "compiled pipeline must beat the interpreter");
+    assert!(
+        interp_factor > 1.0,
+        "compiled pipeline must beat the interpreter"
+    );
 
     // ---------------- modeled 12-core node ----------------------------
     // This host has one core, so the paper's dominant effect is invisible
@@ -132,7 +138,12 @@ fn main() {
     let cores = 12.0_f64;
     let mut tm = report::Table::new(
         "Figure 9 (modeled 12-core node, from measured single-core times)",
-        &["builtin-parallel fraction f", "DASSA(s)", "MATLAB(s)", "speedup"],
+        &[
+            "builtin-parallel fraction f",
+            "DASSA(s)",
+            "MATLAB(s)",
+            "speedup",
+        ],
     );
     let t1 = dassa_compute_s;
     let mut speedups = Vec::new();
@@ -150,7 +161,10 @@ fn main() {
     tm.print();
     tm.write_csv("fig9_modeled").expect("csv");
     println!("\npaper: MATLAB at most 16x slower in compute; read/write comparable.");
-    println!("with f = 0.25 the model gives {:.0}x — the paper's band.", speedups[1]);
+    println!(
+        "with f = 0.25 the model gives {:.0}x — the paper's band.",
+        speedups[1]
+    );
     assert!(
         speedups.iter().any(|&s| (8.0..30.0).contains(&s)),
         "modeled speedup should bracket the paper's 16x"

@@ -77,7 +77,11 @@ fn main() {
     ]);
     t.print();
     let csv = t.write_csv("table1").expect("csv");
-    println!("\ndata size: {} across {} files", report::bytes(data_bytes), catalog.len());
+    println!(
+        "\ndata size: {} across {} files",
+        report::bytes(data_bytes),
+        catalog.len()
+    );
     println!(
         "construction speedup (RCA/VCA): {:.0}x   [paper: ~70,000x at 2880 full-size files]",
         rca_secs / vca_secs.max(1e-9)
@@ -85,7 +89,10 @@ fn main() {
     println!("csv: {}", csv.display());
 
     // Sanity contracts this table claims.
-    assert!(rca_extra as f64 >= 0.99 * data_bytes as f64, "RCA must copy all data");
+    assert!(
+        rca_extra as f64 >= 0.99 * data_bytes as f64,
+        "RCA must copy all data"
+    );
     assert!(vca_extra * 100 < data_bytes, "VCA descriptor must be tiny");
     assert!(rca_secs > vca_secs, "RCA construction must cost more");
 }

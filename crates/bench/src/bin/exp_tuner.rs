@@ -52,7 +52,10 @@ fn main() {
     for (name, obj) in [
         ("fastest wall-clock", Objective::MinTime),
         ("cheapest node-hours", Objective::MinNodeHours),
-        ("fastest at >=70% efficiency", Objective::MinTimeWithEfficiency(0.7)),
+        (
+            "fastest at >=70% efficiency",
+            Objective::MinTimeWithEfficiency(0.7),
+        ),
     ] {
         let r = recommend(&m, &cal, &w, &nodes, 16, obj).expect("viable");
         rec.row(&[

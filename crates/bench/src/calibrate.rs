@@ -1,13 +1,16 @@
-//! Local calibration of the at-scale cost model.
+//! Local calibration of the at-scale cost model, driven by `obs`.
 //!
 //! The `perfmodel` crate extrapolates to Cori scale, but its compute
 //! rates are anchored to *measured* throughput of the actual DASSA
-//! kernels on this machine — the same methodology as calibrating a
-//! simulator against microbenchmarks.
+//! kernels on this machine. Rather than wrapping each probe in bespoke
+//! stopwatch plumbing, the probes simply run and the rates are derived
+//! from the observability metrics the instrumented pipelines already
+//! emit (`span.interferometry`, `span.local_similarity`,
+//! `dasf.write.*`) — the same numbers `das_pipeline --metrics` exports.
 
 use arrayudf::Array2;
 use dassa::dasa::{interferometry, local_similarity, Haee, InterferometryParams, LocalSimiParams};
-use perfmodel::Calibration;
+use perfmodel::{Calibration, CalibrationWorkload};
 
 /// Deterministic band-limited test array (`channels × samples`, f64).
 pub fn test_array(channels: usize, samples: usize) -> Array2<f64> {
@@ -19,65 +22,96 @@ pub fn test_array(channels: usize, samples: usize) -> Array2<f64> {
     })
 }
 
-/// Measure the interferometry pipeline's single-core throughput in
-/// bytes of raw `f64` DAS input per second.
-pub fn measure_compute_rate() -> f64 {
-    let channels = 16;
-    let samples = 6000;
+/// Minimum wall time each probe accumulates before its rate is trusted.
+const MIN_PROBE_S: f64 = 0.3;
+
+/// Run the interferometry probe until it has accumulated enough wall
+/// time; the timings land in the `span.interferometry` histogram.
+/// Returns the raw input bytes pushed through.
+fn probe_interferometry() -> u64 {
+    let (channels, samples) = (16usize, 6000usize);
     let data = test_array(channels, samples);
     let params = InterferometryParams::default();
-    let haee = Haee::hybrid(1);
-    let secs = crate::time_stable(0.5, || {
-        interferometry(&data, &params, &haee).expect("pipeline runs")
-    });
-    (channels * samples * 8) as f64 / secs
+    let haee = Haee::builder().threads(1).build();
+    let mut bytes = 0u64;
+    let t0 = std::time::Instant::now();
+    while t0.elapsed().as_secs_f64() < MIN_PROBE_S {
+        std::hint::black_box(interferometry(&data, &params, &haee).expect("pipeline runs"));
+        bytes += (channels * samples * 8) as u64;
+    }
+    bytes
 }
 
-/// Measure local-similarity throughput (bytes of input per second per
-/// core).
-pub fn measure_localsim_rate() -> f64 {
-    let channels = 16;
-    let samples = 2000;
+/// Run the local-similarity probe (`span.local_similarity` histogram);
+/// returns the input bytes processed.
+fn probe_localsim() -> u64 {
+    let (channels, samples) = (16usize, 2000usize);
     let data = test_array(channels, samples);
     let params = LocalSimiParams::default();
-    let haee = Haee::hybrid(1);
-    let secs = crate::time_stable(0.5, || local_similarity(&data, &params, &haee));
-    (channels * samples * 8) as f64 / secs
+    let haee = Haee::builder().threads(1).build();
+    let mut bytes = 0u64;
+    let t0 = std::time::Instant::now();
+    while t0.elapsed().as_secs_f64() < MIN_PROBE_S {
+        std::hint::black_box(local_similarity(&data, &params, &haee));
+        bytes += (channels * samples * 8) as u64;
+    }
+    bytes
 }
 
-/// Measure sequential write bandwidth to the local filesystem.
-pub fn measure_write_bandwidth() -> f64 {
+/// Write dasf datasets until enough wall time has accumulated; bytes
+/// and nanoseconds land in the `dasf.write.*` metrics, from which the
+/// snapshot delta derives bandwidth — no return value needed.
+fn probe_write() {
     let dir = std::env::temp_dir().join("dassa-calibrate");
     std::fs::create_dir_all(&dir).expect("temp dir");
-    let path = dir.join("write_probe.bin");
-    let block = vec![0u8; 8 << 20];
-    let secs = crate::time_stable(0.3, || {
-        std::fs::write(&path, &block).expect("write probe");
-    });
+    let path = dir.join("write_probe.dasf");
+    let block = vec![0.0f32; 2 << 20]; // 8 MiB of f32 payload
+    let t0 = std::time::Instant::now();
+    while t0.elapsed().as_secs_f64() < MIN_PROBE_S {
+        let mut w = dasf::Writer::create(&path).expect("create probe file");
+        w.write_dataset_f32("/probe", &[block.len() as u64], &block)
+            .expect("write probe");
+        w.finish().expect("finish probe");
+    }
     let _ = std::fs::remove_file(&path);
-    block.len() as f64 / secs
 }
 
-/// Run the full calibration suite.
+/// Run the full calibration suite: snapshot the global metrics
+/// registry, run the probes, and let [`Calibration::from_obs_delta`]
+/// turn the metric deltas into rates.
 pub fn calibrate() -> Calibration {
-    Calibration {
-        compute_bytes_per_s_per_core: measure_compute_rate(),
-        localsim_bytes_per_s_per_core: measure_localsim_rate(),
-        write_bytes_per_s: measure_write_bandwidth(),
-    }
+    let before = obs::global().snapshot();
+    let work = CalibrationWorkload {
+        interferometry_bytes: probe_interferometry(),
+        localsim_bytes: probe_localsim(),
+    };
+    probe_write();
+    let after = obs::global().snapshot();
+    Calibration::from_obs_delta(&before, &after, &work)
 }
 
 #[cfg(test)]
 mod tests {
-    #[test]
-    fn compute_rate_is_positive_and_sane() {
-        let r = super::measure_compute_rate();
-        assert!(r > 1e4, "implausibly slow: {r} B/s");
-        assert!(r < 1e12, "implausibly fast: {r} B/s");
-    }
+    use perfmodel::Calibration;
 
     #[test]
-    fn write_bandwidth_positive() {
-        assert!(super::measure_write_bandwidth() > 1e5);
+    fn calibrate_yields_sane_measured_rates() {
+        let cal = super::calibrate();
+        for (name, rate) in [
+            ("compute", cal.compute_bytes_per_s_per_core),
+            ("localsim", cal.localsim_bytes_per_s_per_core),
+            ("write", cal.write_bytes_per_s),
+        ] {
+            assert!(rate > 1e4, "implausibly slow {name}: {rate} B/s");
+            assert!(rate < 1e12, "implausibly fast {name}: {rate} B/s");
+        }
+        // The rates must come from the snapshot delta, not the model's
+        // built-in defaults (probes always record nonzero time).
+        let d = Calibration::default();
+        assert_ne!(
+            cal.compute_bytes_per_s_per_core,
+            d.compute_bytes_per_s_per_core
+        );
+        assert_ne!(cal.write_bytes_per_s, d.write_bytes_per_s);
     }
 }

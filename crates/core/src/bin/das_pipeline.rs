@@ -1,18 +1,24 @@
 //! `das_pipeline` — run a DASSA analysis from the command line.
 //!
 //! ```text
-//! das_pipeline -d <dir> -a localsim        [-t <threads>] [-o out.dasf]
+//! das_pipeline -d <dir> -a localsim        [-t <threads>] [-o out.dasf] [--metrics[=out.json]]
 //! das_pipeline -d <dir> -a interferometry  [-t <threads>] [--master <ch>] [-o out.dasf]
 //! das_pipeline -d <dir> -a stack           [-t <threads>] [--window <n>] [-o out.dasf]
 //! ```
 //!
 //! Scans `dir`, merges every file into a VCA, runs the chosen analysis
-//! with the hybrid engine, prints a summary, and optionally writes the
-//! result as a dasf dataset.
+//! through the [`dasa::run`] dispatcher, prints a summary, and
+//! optionally writes the result as a dasf dataset.
+//!
+//! With `--metrics` the full observability snapshot (stage spans,
+//! `dasf.*` I/O counters, `minimpi.*` message counters) is rendered to
+//! stderr after the run; `--metrics=<out.json>` writes it as JSON
+//! instead. Stage timings appear as `span.pipeline.{scan,read,analyze,
+//! write}`, with the analysis's own spans nested underneath (e.g.
+//! `span.pipeline.analyze.interferometry.apply`).
 
 use dassa::dasa::{
-    interferometry, local_similarity, stacked_interferometry, Haee, InterferometryParams,
-    LocalSimiParams, StackingParams,
+    self, Analysis, AnalysisOutput, Haee, InterferometryParams, LocalSimiParams, StackingParams,
 };
 use dassa::dass::{FileCatalog, Vca};
 use std::process::ExitCode;
@@ -24,14 +30,24 @@ struct Args {
     master: usize,
     window: usize,
     out: Option<String>,
+    /// `None` = off, `Some(None)` = text to stderr, `Some(Some(p))` = JSON to `p`.
+    metrics: Option<Option<String>>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: das_pipeline -d <dir> -a <localsim|interferometry|stack>\n\
          \u{20}                     [-t <threads>] [--master <channel>=0]\n\
-         \u{20}                     [--window <samples>=512] [-o <out.dasf>]"
+         \u{20}                     [--window <samples>=512] [-o <out.dasf>]\n\
+         \u{20}                     [--metrics[=<out.json>]]"
     );
+    std::process::exit(2);
+}
+
+/// Reject a bad argument with a clear message and exit code 2 — bad
+/// invocations must fail at parse time, not panic mid-pipeline.
+fn invalid(msg: &str) -> ! {
+    eprintln!("das_pipeline: {msg}");
     std::process::exit(2);
 }
 
@@ -43,46 +59,117 @@ fn parse_args() -> Args {
         master: 0,
         window: 512,
         out: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage()
+            it.next()
+                .unwrap_or_else(|| invalid(&format!("missing value for {name}")))
+        };
+        let parse = |name: &str, raw: String| -> usize {
+            raw.parse().unwrap_or_else(|_| {
+                invalid(&format!("{name} wants a non-negative integer, got {raw:?}"))
             })
         };
         match flag.as_str() {
             "-d" | "--dir" => args.dir = value("-d"),
             "-a" | "--analysis" => args.analysis = value("-a"),
-            "-t" | "--threads" => args.threads = value("-t").parse().unwrap_or_else(|_| usage()),
-            "--master" => args.master = value("--master").parse().unwrap_or_else(|_| usage()),
-            "--window" => args.window = value("--window").parse().unwrap_or_else(|_| usage()),
+            "-t" | "--threads" => args.threads = parse("-t", value("-t")),
+            "--master" => args.master = parse("--master", value("--master")),
+            "--window" => args.window = parse("--window", value("--window")),
             "-o" | "--out" => args.out = Some(value("-o")),
+            "--metrics" => args.metrics = Some(None),
             "-h" | "--help" => usage(),
             other => {
-                eprintln!("unknown flag {other:?}");
-                usage()
+                if let Some(path) = other.strip_prefix("--metrics=") {
+                    if path.is_empty() {
+                        invalid("--metrics= wants a file path (or use bare --metrics)");
+                    }
+                    args.metrics = Some(Some(path.to_string()));
+                } else {
+                    eprintln!("unknown flag {other:?}");
+                    usage()
+                }
             }
         }
     }
     if args.dir.is_empty() || args.analysis.is_empty() {
         usage();
     }
+    if args.threads == 0 {
+        invalid("-t 0: the engine needs at least one thread");
+    }
+    if args.window == 0 {
+        invalid("--window 0: stacking windows must hold at least one sample");
+    }
     args
 }
 
-fn write_out(path: &str, dims: &[u64], data: &[f64]) -> dassa::Result<()> {
-    let mut w = dasf::Writer::create(path)?;
-    w.write_dataset_f64("/result", dims, data)?;
-    w.finish()?;
-    Ok(())
+/// Map the CLI analysis name to an [`Analysis`] (exits on unknown names).
+fn select_analysis(args: &Args) -> Analysis {
+    match args.analysis.as_str() {
+        "localsim" | "local_similarity" => Analysis::LocalSimilarity(LocalSimiParams::default()),
+        "interferometry" => Analysis::Interferometry(InterferometryParams {
+            master_channel: args.master,
+            ..Default::default()
+        }),
+        "stack" | "stacking" => Analysis::Stacking(StackingParams {
+            window: args.window,
+            hop: args.window,
+            master_channel: args.master,
+            ..Default::default()
+        }),
+        other => {
+            eprintln!("unknown analysis {other:?} (want localsim|interferometry|stack)");
+            usage();
+        }
+    }
+}
+
+fn summarize(output: &AnalysisOutput) {
+    match output {
+        AnalysisOutput::Map(map) => {
+            let peak = map.as_slice().iter().cloned().fold(f64::MIN, f64::max);
+            let mean = map.as_slice().iter().sum::<f64>() / map.len() as f64;
+            println!("similarity: mean {mean:.4}, peak {peak:.4}");
+        }
+        AnalysisOutput::Scores(scores) => {
+            for (ch, s) in scores
+                .iter()
+                .enumerate()
+                .step_by((scores.len() / 16).max(1))
+            {
+                println!("channel {ch:5}: |cos| = {s:.4}");
+            }
+        }
+        AnalysisOutput::Stacks(stacks) => {
+            for (ch, s) in stacks
+                .iter()
+                .enumerate()
+                .step_by((stacks.len() / 16).max(1))
+            {
+                println!(
+                    "channel {ch:5}: peak lag {:+5} samples, SNR {:.1} ({} windows)",
+                    s.peak_lag(),
+                    s.snr(),
+                    s.n_windows
+                );
+            }
+        }
+    }
 }
 
 fn run(args: &Args) -> dassa::Result<()> {
+    let analysis = select_analysis(args);
+    let _root = obs::span("pipeline");
+
     let t0 = std::time::Instant::now();
-    let catalog = FileCatalog::scan(&args.dir)?;
-    let vca = Vca::from_entries(catalog.entries())?;
+    let vca = {
+        let _s = obs::span("scan");
+        let catalog = FileCatalog::scan(&args.dir)?;
+        Vca::from_entries(catalog.entries())?
+    };
     eprintln!(
         "merged {} files: {} channels x {} samples @ {} Hz (scan {:.1} ms)",
         vca.n_files(),
@@ -91,71 +178,47 @@ fn run(args: &Args) -> dassa::Result<()> {
         vca.sampling_hz(),
         t0.elapsed().as_secs_f64() * 1e3
     );
+
     let t1 = std::time::Instant::now();
-    let data = vca.read_all_f64()?;
+    let data = {
+        let _s = obs::span("read");
+        vca.read_all_f64()?
+    };
     eprintln!("read {:.1} ms", t1.elapsed().as_secs_f64() * 1e3);
 
-    let haee = Haee::hybrid(args.threads);
+    let haee = Haee::builder().threads(args.threads).build();
     let t2 = std::time::Instant::now();
-    match args.analysis.as_str() {
-        "localsim" => {
-            let params = LocalSimiParams::default();
-            let map = local_similarity(&data, &params, &haee);
-            eprintln!(
-                "local similarity {:.1} ms: {} x {} map",
-                t2.elapsed().as_secs_f64() * 1e3,
-                map.rows(),
-                map.cols()
-            );
-            let peak = map.as_slice().iter().cloned().fold(f64::MIN, f64::max);
-            let mean = map.as_slice().iter().sum::<f64>() / map.len() as f64;
-            println!("similarity: mean {mean:.4}, peak {peak:.4}");
-            if let Some(out) = &args.out {
-                write_out(out, &[map.rows() as u64, map.cols() as u64], map.as_slice())?;
-                eprintln!("wrote {out}");
-            }
-        }
-        "interferometry" => {
-            let params = InterferometryParams {
-                master_channel: args.master,
-                ..Default::default()
-            };
-            let scores = interferometry(&data, &params, &haee)?;
-            eprintln!("interferometry {:.1} ms", t2.elapsed().as_secs_f64() * 1e3);
-            for (ch, s) in scores.iter().enumerate().step_by((scores.len() / 16).max(1)) {
-                println!("channel {ch:5}: |cos| = {s:.4}");
-            }
-            if let Some(out) = &args.out {
-                write_out(out, &[scores.len() as u64], &scores)?;
-                eprintln!("wrote {out}");
-            }
-        }
-        "stack" => {
-            let params = StackingParams {
-                window: args.window,
-                hop: args.window,
-                master_channel: args.master,
-                ..Default::default()
-            };
-            let stacks = stacked_interferometry(&data, &params, &haee)?;
-            eprintln!("stacking {:.1} ms", t2.elapsed().as_secs_f64() * 1e3);
-            for (ch, s) in stacks.iter().enumerate().step_by((stacks.len() / 16).max(1)) {
-                println!(
-                    "channel {ch:5}: peak lag {:+5} samples, SNR {:.1} ({} windows)",
-                    s.peak_lag(),
-                    s.snr(),
-                    s.n_windows
-                );
-            }
-            if let Some(out) = &args.out {
-                let flat: Vec<f64> = stacks.iter().flat_map(|s| s.stack.clone()).collect();
-                write_out(out, &[stacks.len() as u64, args.window as u64], &flat)?;
-                eprintln!("wrote {out}");
-            }
-        }
-        other => {
-            eprintln!("unknown analysis {other:?} (want localsim|interferometry|stack)");
-            usage();
+    let output = {
+        let _s = obs::span("analyze");
+        dasa::run(&analysis, &data, &haee)?
+    };
+    eprintln!(
+        "{} {:.1} ms",
+        analysis.name(),
+        t2.elapsed().as_secs_f64() * 1e3
+    );
+    summarize(&output);
+
+    if let Some(out) = &args.out {
+        let _s = obs::span("write");
+        let (dims, values) = output.to_dataset();
+        let mut w = dasf::Writer::create(out)?;
+        w.write_dataset_f64("/result", &dims, &values)?;
+        w.finish()?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// Emit the observability snapshot per `--metrics` (after every span
+/// guard has dropped, so the full `span.pipeline.*` tree is recorded).
+fn emit_metrics(dest: &Option<String>) -> std::io::Result<()> {
+    let snap = obs::global().snapshot();
+    match dest {
+        None => eprint!("{}", snap.render_text()),
+        Some(path) => {
+            std::fs::write(path, snap.to_json())?;
+            eprintln!("metrics written to {path}");
         }
     }
     Ok(())
@@ -163,7 +226,14 @@ fn run(args: &Args) -> dassa::Result<()> {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    match run(&args) {
+    let result = run(&args);
+    if let Some(dest) = &args.metrics {
+        if let Err(e) = emit_metrics(dest) {
+            eprintln!("das_pipeline: writing metrics failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("das_pipeline: {e}");

@@ -20,31 +20,77 @@ pub struct Haee {
     pub threads_per_process: usize,
 }
 
+/// Builder for [`Haee`], the one way to construct a configuration:
+/// `Haee::builder().threads(8).ranks(1).build()`.
+///
+/// Defaults to the paper's advocated hybrid layout — 1 rank per node,
+/// every available core as a thread. Zero arguments clamp to 1.
+#[derive(Debug, Clone, Copy)]
+pub struct HaeeBuilder {
+    ranks: usize,
+    threads: usize,
+}
+
+impl HaeeBuilder {
+    /// MPI processes (ranks) per computing node. 1 = hybrid; one per
+    /// core = the original pure-MPI ArrayUDF.
+    pub fn ranks(mut self, ranks: usize) -> HaeeBuilder {
+        self.ranks = ranks;
+        self
+    }
+
+    /// OpenMP threads inside each rank.
+    pub fn threads(mut self, threads: usize) -> HaeeBuilder {
+        self.threads = threads;
+        self
+    }
+
+    /// Finalize, clamping both dimensions to at least 1.
+    pub fn build(self) -> Haee {
+        Haee {
+            processes_per_node: self.ranks.max(1),
+            threads_per_process: self.threads.max(1),
+        }
+    }
+}
+
 impl Haee {
+    /// Start building a configuration. Defaults: 1 rank per node,
+    /// [`omp::num_procs`] threads (the paper's hybrid layout).
+    pub fn builder() -> HaeeBuilder {
+        HaeeBuilder {
+            ranks: 1,
+            threads: omp::num_procs(),
+        }
+    }
+
     /// The hybrid configuration the paper advocates: 1 process per node,
     /// all cores as threads.
+    #[deprecated(since = "0.1.0", note = "use `Haee::builder().threads(n).build()`")]
     pub fn hybrid(threads: usize) -> Haee {
-        Haee {
-            processes_per_node: 1,
-            threads_per_process: threads.max(1),
-        }
+        Haee::builder().threads(threads).build()
     }
 
     /// The original ArrayUDF configuration: one single-threaded process
     /// per core.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Haee::builder().ranks(cores).threads(1).build()`"
+    )]
     pub fn pure_mpi(cores: usize) -> Haee {
-        Haee {
-            processes_per_node: cores.max(1),
-            threads_per_process: 1,
-        }
+        Haee::builder().ranks(cores).threads(1).build()
     }
 
     /// Arbitrary mixed configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Haee::builder().ranks(p).threads(t).build()`"
+    )]
     pub fn new(processes_per_node: usize, threads_per_process: usize) -> Haee {
-        Haee {
-            processes_per_node: processes_per_node.max(1),
-            threads_per_process: threads_per_process.max(1),
-        }
+        Haee::builder()
+            .ranks(processes_per_node)
+            .threads(threads_per_process)
+            .build()
     }
 
     /// CPU cores used per node.
@@ -96,7 +142,7 @@ mod tests {
 
     #[test]
     fn hybrid_shares_master() {
-        let h = Haee::hybrid(16);
+        let h = Haee::builder().threads(16).build();
         assert_eq!(h.cores_per_node(), 16);
         assert_eq!(h.master_copies_per_node(), 1);
         assert_eq!(h.io_requests_per_node(), 1);
@@ -104,7 +150,7 @@ mod tests {
 
     #[test]
     fn pure_mpi_duplicates_master() {
-        let m = Haee::pure_mpi(16);
+        let m = Haee::builder().ranks(16).threads(1).build();
         assert_eq!(m.cores_per_node(), 16);
         assert_eq!(m.master_copies_per_node(), 16);
         assert_eq!(m.io_requests_per_node(), 16);
@@ -113,8 +159,8 @@ mod tests {
     #[test]
     fn io_request_ratio_matches_paper() {
         // "our HAEE issues 16X less I/O calls"
-        let hybrid = Haee::hybrid(16);
-        let mpi = Haee::pure_mpi(16);
+        let hybrid = Haee::builder().threads(16).build();
+        let mpi = Haee::builder().ranks(16).threads(1).build();
         assert_eq!(
             mpi.io_requests_per_node() / hybrid.io_requests_per_node(),
             16
@@ -122,22 +168,45 @@ mod tests {
     }
 
     #[test]
+    fn builder_defaults_to_hybrid() {
+        let h = Haee::builder().build();
+        assert_eq!(h.processes_per_node, 1);
+        assert_eq!(h.threads_per_process, omp::num_procs());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        assert_eq!(
+            Haee::builder().threads(8).build(),
+            Haee::builder().threads(8).build()
+        );
+        assert_eq!(
+            Haee::pure_mpi(4),
+            Haee::builder().ranks(4).threads(1).build()
+        );
+        assert_eq!(Haee::new(2, 3), Haee::builder().ranks(2).threads(3).build());
+    }
+
+    #[test]
     fn memory_model_reproduces_oom_asymmetry() {
         // With a large master channel, 16 processes blow a budget that
         // the hybrid config fits comfortably.
         let model = MemoryModel {
-            master_bytes: 8 << 30,       // 8 GiB master (big FFT buffers)
-            partition_bytes: 20 << 30,   // 20 GiB data partition
+            master_bytes: 8 << 30,     // 8 GiB master (big FFT buffers)
+            partition_bytes: 20 << 30, // 20 GiB data partition
             per_process_overhead: 64 << 20,
         };
         let capacity = 128u64 << 30; // Cori Haswell: 128 GB/node
-        assert!(model.exceeds(&Haee::pure_mpi(16), capacity));
-        assert!(!model.exceeds(&Haee::hybrid(16), capacity));
+        let pure_mpi = Haee::builder().ranks(16).threads(1).build();
+        let hybrid = Haee::builder().threads(16).build();
+        assert!(model.exceeds(&pure_mpi, capacity));
+        assert!(!model.exceeds(&hybrid, capacity));
     }
 
     #[test]
     fn zero_arguments_clamp() {
-        let h = Haee::new(0, 0);
+        let h = Haee::builder().ranks(0).threads(0).build();
         assert_eq!(h.cores_per_node(), 1);
     }
 }

@@ -108,7 +108,12 @@ pub fn interferometry(
             data.rows()
         )));
     }
-    let master = prepare_master(data.row(params.master_channel), params);
+    let _root = obs::span("interferometry");
+    let master = {
+        let _span = obs::span("prepare_master");
+        prepare_master(data.row(params.master_channel), params)
+    };
+    let _span = obs::span("apply");
     let out: SharedSlice<f64> = SharedSlice::zeroed(data.rows());
     omp::parallel(haee.threads_per_process, |ctx| {
         ctx.for_static(0..data.rows(), |ch| {
@@ -244,7 +249,7 @@ mod tests {
     fn scores_lie_in_unit_interval() {
         let p = params();
         let data = array(6, 500, false);
-        let scores = interferometry(&data, &p, &Haee::hybrid(2)).unwrap();
+        let scores = interferometry(&data, &p, &Haee::builder().threads(2).build()).unwrap();
         assert_eq!(scores.len(), 6);
         for &s in &scores {
             assert!((0.0..=1.0 + 1e-9).contains(&s), "score {s}");
@@ -255,8 +260,18 @@ mod tests {
     #[test]
     fn coherent_channels_score_higher() {
         let p = params();
-        let coh = interferometry(&array(5, 600, true), &p, &Haee::hybrid(2)).unwrap();
-        let inc = interferometry(&array(5, 600, false), &p, &Haee::hybrid(2)).unwrap();
+        let coh = interferometry(
+            &array(5, 600, true),
+            &p,
+            &Haee::builder().threads(2).build(),
+        )
+        .unwrap();
+        let inc = interferometry(
+            &array(5, 600, false),
+            &p,
+            &Haee::builder().threads(2).build(),
+        )
+        .unwrap();
         let mean = |v: &[f64]| v[1..].iter().sum::<f64>() / (v.len() - 1) as f64;
         assert!(
             mean(&coh) > mean(&inc),
@@ -270,8 +285,8 @@ mod tests {
     fn thread_count_does_not_change_results() {
         let p = params();
         let data = array(7, 400, true);
-        let one = interferometry(&data, &p, &Haee::hybrid(1)).unwrap();
-        let four = interferometry(&data, &p, &Haee::hybrid(4)).unwrap();
+        let one = interferometry(&data, &p, &Haee::builder().threads(1).build()).unwrap();
+        let four = interferometry(&data, &p, &Haee::builder().threads(4).build()).unwrap();
         assert_eq!(one, four);
     }
 
@@ -280,11 +295,12 @@ mod tests {
         let p = params();
         let total = 9;
         let data = array(total, 400, true);
-        let expected = interferometry(&data, &p, &Haee::hybrid(1)).unwrap();
+        let expected = interferometry(&data, &p, &Haee::builder().threads(1).build()).unwrap();
         let blocks = minimpi::run(3, |comm| {
             let own = dist::partition(total, comm.size(), comm.rank());
             let local = data.row_block(own.start, own.end);
-            interferometry_dist(comm, &local, total, &p, &Haee::hybrid(2)).unwrap()
+            interferometry_dist(comm, &local, total, &p, &Haee::builder().threads(2).build())
+                .unwrap()
         });
         let gathered: Vec<f64> = blocks.into_iter().flatten().collect();
         for (a, b) in gathered.iter().zip(&expected) {
@@ -298,11 +314,12 @@ mod tests {
         let total = 8;
         p.master_channel = 6; // owned by the last rank when size=2
         let data = array(total, 400, true);
-        let expected = interferometry(&data, &p, &Haee::hybrid(1)).unwrap();
+        let expected = interferometry(&data, &p, &Haee::builder().threads(1).build()).unwrap();
         let blocks = minimpi::run(2, |comm| {
             let own = dist::partition(total, comm.size(), comm.rank());
             let local = data.row_block(own.start, own.end);
-            interferometry_dist(comm, &local, total, &p, &Haee::hybrid(1)).unwrap()
+            interferometry_dist(comm, &local, total, &p, &Haee::builder().threads(1).build())
+                .unwrap()
         });
         let gathered: Vec<f64> = blocks.into_iter().flatten().collect();
         for (a, b) in gathered.iter().zip(&expected) {
@@ -316,7 +333,7 @@ mod tests {
         p.master_channel = 99;
         let data = array(3, 400, true);
         assert!(matches!(
-            interferometry(&data, &p, &Haee::hybrid(1)),
+            interferometry(&data, &p, &Haee::builder().threads(1).build()),
             Err(DassaError::BadSelection(_))
         ));
     }

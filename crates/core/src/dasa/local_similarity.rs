@@ -83,6 +83,8 @@ pub fn local_simi_udf(s: &Stencil<f64>, p: &LocalSimiParams) -> f64 {
 /// hybrid engine's threads (ApplyMT). Output shape:
 /// `channels × ceil(time / time_stride)`, values in `[0, 1]`.
 pub fn local_similarity(data: &Array2<f64>, params: &LocalSimiParams, haee: &Haee) -> Array2<f64> {
+    let _root = obs::span("local_similarity");
+    let _span = obs::span("apply");
     apply_mt(
         data,
         params.ghost(),
@@ -154,26 +156,32 @@ mod tests {
     fn output_shape_and_range() {
         let data = coherent(6, 120);
         let p = params_small();
-        let out = local_similarity(&data, &p, &Haee::hybrid(2));
+        let out = local_similarity(&data, &p, &Haee::builder().threads(2).build());
         assert_eq!(out.rows(), 6);
         assert_eq!(out.cols(), 120);
         for &v in out.as_slice() {
-            assert!((0.0..=1.0 + 1e-9).contains(&v), "similarity {v} out of range");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&v),
+                "similarity {v} out of range"
+            );
         }
     }
 
     #[test]
     fn coherent_scores_higher_than_incoherent() {
         let p = params_small();
-        let hi = local_similarity(&coherent(8, 200), &p, &Haee::hybrid(2));
-        let lo = local_similarity(&incoherent(8, 200), &p, &Haee::hybrid(2));
+        let hi = local_similarity(&coherent(8, 200), &p, &Haee::builder().threads(2).build());
+        let lo = local_similarity(&incoherent(8, 200), &p, &Haee::builder().threads(2).build());
         let mean = |a: &Array2<f64>| a.as_slice().iter().sum::<f64>() / a.len() as f64;
         let (m_hi, m_lo) = (mean(&hi), mean(&lo));
         assert!(
             m_hi > m_lo + 0.2,
             "coherent {m_hi:.3} should beat incoherent {m_lo:.3}"
         );
-        assert!(m_hi > 0.9, "plane wave should be near-perfectly similar: {m_hi:.3}");
+        assert!(
+            m_hi > 0.9,
+            "plane wave should be near-perfectly similar: {m_hi:.3}"
+        );
     }
 
     #[test]
@@ -181,7 +189,7 @@ mod tests {
         let data = coherent(4, 100);
         let mut p = params_small();
         p.time_stride = 10;
-        let out = local_similarity(&data, &p, &Haee::hybrid(1));
+        let out = local_similarity(&data, &p, &Haee::builder().threads(1).build());
         assert_eq!(out.cols(), 10);
     }
 
@@ -189,10 +197,16 @@ mod tests {
     fn udf_matches_sequential_apply() {
         let data = coherent(5, 80);
         let p = params_small();
-        let serial = apply(&data, p.ghost(), Stride { time: 1, channel: 1 }, |s| {
-            local_simi_udf(s, &p)
-        });
-        let mt = local_similarity(&data, &p, &Haee::hybrid(4));
+        let serial = apply(
+            &data,
+            p.ghost(),
+            Stride {
+                time: 1,
+                channel: 1,
+            },
+            |s| local_simi_udf(s, &p),
+        );
+        let mt = local_similarity(&data, &p, &Haee::builder().threads(4).build());
         assert_eq!(serial, mt);
     }
 
@@ -200,11 +214,11 @@ mod tests {
     fn dist_matches_local() {
         let data = coherent(12, 90);
         let p = params_small();
-        let expected = local_similarity(&data, &p, &Haee::hybrid(1));
+        let expected = local_similarity(&data, &p, &Haee::builder().threads(1).build());
         let blocks = minimpi::run(3, |comm| {
             let own = dist::partition(12, comm.size(), comm.rank());
             let local = data.row_block(own.start, own.end);
-            local_similarity_dist(comm, &local, 12, &p, &Haee::hybrid(2))
+            local_similarity_dist(comm, &local, 12, &p, &Haee::builder().threads(2).build())
         });
         assert_eq!(Array2::vstack(&blocks), expected);
     }

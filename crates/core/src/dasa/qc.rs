@@ -136,10 +136,8 @@ impl QcReport {
 
 /// Run QC over every channel with the hybrid engine's threads.
 pub fn channel_qc(data: &Array2<f64>, params: &QcParams, haee: &Haee) -> QcReport {
-    let out: SharedSlice<ChannelMetrics> = SharedSlice::from_vec(vec![
-        ChannelMetrics::default();
-        data.rows()
-    ]);
+    let out: SharedSlice<ChannelMetrics> =
+        SharedSlice::from_vec(vec![ChannelMetrics::default(); data.rows()]);
     omp::parallel(haee.threads_per_process, |ctx| {
         ctx.for_static(0..data.rows(), |ch| {
             let m = channel_metrics(data.row(ch), params);
@@ -198,7 +196,11 @@ mod tests {
     #[test]
     fn finds_injected_faults_exactly() {
         let (_, data) = faulty_scene();
-        let report = channel_qc(&data, &QcParams::default(), &Haee::hybrid(2));
+        let report = channel_qc(
+            &data,
+            &QcParams::default(),
+            &Haee::builder().threads(2).build(),
+        );
         assert_eq!(report.flagged(ChannelHealth::Dead), vec![3, 11]);
         assert_eq!(report.flagged(ChannelHealth::Noisy), vec![7]);
         assert_eq!(report.good_channels().len(), 13);
@@ -213,7 +215,11 @@ mod tests {
             raw.cols(),
             raw.as_slice().iter().map(|&v| v as f64).collect(),
         );
-        let report = channel_qc(&data, &QcParams::default(), &Haee::hybrid(2));
+        let report = channel_qc(
+            &data,
+            &QcParams::default(),
+            &Haee::builder().threads(2).build(),
+        );
         assert_eq!(report.good_channels().len(), 8);
     }
 
@@ -242,8 +248,16 @@ mod tests {
     #[test]
     fn thread_invariance() {
         let (_, data) = faulty_scene();
-        let a = channel_qc(&data, &QcParams::default(), &Haee::hybrid(1));
-        let b = channel_qc(&data, &QcParams::default(), &Haee::hybrid(4));
+        let a = channel_qc(
+            &data,
+            &QcParams::default(),
+            &Haee::builder().threads(1).build(),
+        );
+        let b = channel_qc(
+            &data,
+            &QcParams::default(),
+            &Haee::builder().threads(4).build(),
+        );
         assert_eq!(a, b);
     }
 

@@ -225,7 +225,12 @@ pub fn stacked_interferometry(
             params.window
         )));
     }
-    let master = prepare_master_windows(data.row(params.master_channel), params);
+    let _root = obs::span("stacking");
+    let master = {
+        let _span = obs::span("prepare_master");
+        prepare_master_windows(data.row(params.master_channel), params)
+    };
+    let _span = obs::span("apply");
     let placeholder = StackedCorrelation {
         stack: Vec::new(),
         n_windows: 0,
@@ -287,8 +292,8 @@ pub fn stacked_interferometry_3d(
                 let corr = dsp::ifft_real(&prod);
                 for (i, v) in corr.iter().enumerate() {
                     let lag = (i + len / 2) % len; // fftshift
-                    // SAFETY: (ch, lag, w) cells are owned by this thread
-                    // (channels are statically partitioned).
+                                                   // SAFETY: (ch, lag, w) cells are owned by this thread
+                                                   // (channels are statically partitioned).
                     unsafe { volume.write((ch * len + lag) * n_win + w, *v) };
                 }
             }
@@ -348,7 +353,8 @@ mod tests {
     fn recovers_interchannel_delay() {
         let delay = 7usize;
         let data = delayed_pair(8192, delay, 0.5);
-        let out = stacked_interferometry(&data, &params(512), &Haee::hybrid(2)).unwrap();
+        let out = stacked_interferometry(&data, &params(512), &Haee::builder().threads(2).build())
+            .unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].peak_lag(), 0, "master vs itself");
         assert_eq!(
@@ -366,8 +372,12 @@ mod tests {
         let p = params(512);
         let short = delayed_pair(512 * 4, delay, 1.0);
         let long = delayed_pair(512 * 16, delay, 1.0);
-        let snr_short = stacked_interferometry(&short, &p, &Haee::hybrid(1)).unwrap()[1].snr();
-        let snr_long = stacked_interferometry(&long, &p, &Haee::hybrid(1)).unwrap()[1].snr();
+        let snr_short = stacked_interferometry(&short, &p, &Haee::builder().threads(1).build())
+            .unwrap()[1]
+            .snr();
+        let snr_long = stacked_interferometry(&long, &p, &Haee::builder().threads(1).build())
+            .unwrap()[1]
+            .snr();
         assert!(
             snr_long > snr_short,
             "stacking must improve SNR: {snr_short:.2} -> {snr_long:.2}"
@@ -389,18 +399,23 @@ mod tests {
     fn thread_count_invariance() {
         let data = delayed_pair(4096, 3, 0.8);
         let p = params(512);
-        let a = stacked_interferometry(&data, &p, &Haee::hybrid(1)).unwrap();
-        let b = stacked_interferometry(&data, &p, &Haee::hybrid(4)).unwrap();
+        let a = stacked_interferometry(&data, &p, &Haee::builder().threads(1).build()).unwrap();
+        let b = stacked_interferometry(&data, &p, &Haee::builder().threads(4).build()).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn normalization_modes_all_run() {
         let data = delayed_pair(2048, 4, 0.5);
-        for norm in [TimeNorm::None, TimeNorm::OneBit, TimeNorm::RunningAbsMean(20)] {
+        for norm in [
+            TimeNorm::None,
+            TimeNorm::OneBit,
+            TimeNorm::RunningAbsMean(20),
+        ] {
             let mut p = params(512);
             p.time_norm = norm;
-            let out = stacked_interferometry(&data, &p, &Haee::hybrid(1)).unwrap();
+            let out =
+                stacked_interferometry(&data, &p, &Haee::builder().threads(1).build()).unwrap();
             assert_eq!(out[1].stack.len(), 512);
             assert!(out[1].stack.iter().all(|v| v.is_finite()), "{norm:?}");
         }
@@ -417,8 +432,12 @@ mod tests {
         data.set(0, spike_at, old + 500.0);
         let mut p = params(512);
         p.time_norm = TimeNorm::OneBit;
-        let out = stacked_interferometry(&data, &p, &Haee::hybrid(1)).unwrap();
-        assert_eq!(out[1].peak_lag(), delay as isize, "transient must not break the stack");
+        let out = stacked_interferometry(&data, &p, &Haee::builder().threads(1).build()).unwrap();
+        assert_eq!(
+            out[1].peak_lag(),
+            delay as isize,
+            "transient must not break the stack"
+        );
     }
 
     #[test]
@@ -427,14 +446,16 @@ mod tests {
         // stacked result (the two formulations of the same reduction).
         let data = delayed_pair(512 * 6, 4, 0.7);
         let p = params(512);
-        let volume = stacked_interferometry_3d(&data, &p, &Haee::hybrid(2)).unwrap();
+        let volume =
+            stacked_interferometry_3d(&data, &p, &Haee::builder().threads(2).build()).unwrap();
         assert_eq!(volume.dims(), (2, 512, 6));
         let collapsed = volume.mean_axis2();
-        let direct = stacked_interferometry(&data, &p, &Haee::hybrid(1)).unwrap();
-        for ch in 0..2 {
+        let direct =
+            stacked_interferometry(&data, &p, &Haee::builder().threads(1).build()).unwrap();
+        for (ch, d) in direct.iter().enumerate() {
             for lag in 0..512 {
                 let a = collapsed.get(ch, lag);
-                let b = direct[ch].stack[lag];
+                let b = d.stack[lag];
                 assert!((a - b).abs() < 1e-9, "ch={ch} lag={lag}: {a} vs {b}");
             }
         }
@@ -445,12 +466,12 @@ mod tests {
         let data = delayed_pair(1024, 2, 0.5);
         let mut p = params(512);
         p.master_channel = 9;
-        assert!(stacked_interferometry(&data, &p, &Haee::hybrid(1)).is_err());
+        assert!(stacked_interferometry(&data, &p, &Haee::builder().threads(1).build()).is_err());
         let mut p = params(4096); // longer than the series
         p.master_channel = 0;
-        assert!(stacked_interferometry(&data, &p, &Haee::hybrid(1)).is_err());
+        assert!(stacked_interferometry(&data, &p, &Haee::builder().threads(1).build()).is_err());
         let mut p = params(512);
         p.hop = 0;
-        assert!(stacked_interferometry(&data, &p, &Haee::hybrid(1)).is_err());
+        assert!(stacked_interferometry(&data, &p, &Haee::builder().threads(1).build()).is_err());
     }
 }

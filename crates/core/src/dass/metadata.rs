@@ -82,11 +82,7 @@ impl DasFileMeta {
 /// Write one DAS file in the Figure 4 schema: global attributes at the
 /// root, per-channel metadata under `/Measurement`, and the 2-D
 /// `channel × time` amplitude array at [`DATASET_PATH`].
-pub fn write_das_file(
-    path: &Path,
-    meta: &DasFileMeta,
-    data: &Array2<f32>,
-) -> Result<()> {
+pub fn write_das_file(path: &Path, meta: &DasFileMeta, data: &Array2<f32>) -> Result<()> {
     write_das_file_with_layout(path, meta, data, None)
 }
 
@@ -104,10 +100,22 @@ pub fn write_das_file_with_layout(
     assert_eq!(data.cols() as u64, meta.samples, "sample count mismatch");
     let mut w = Writer::create(path)?;
     w.set_attr("/", keys::SAMPLING_FREQUENCY, Value::Int(meta.sampling_hz))?;
-    w.set_attr("/", keys::SPATIAL_RESOLUTION, Value::Float(meta.spatial_resolution_m))?;
-    w.set_attr("/", keys::TIMESTAMP, Value::Str(meta.timestamp.to_compact()))?;
+    w.set_attr(
+        "/",
+        keys::SPATIAL_RESOLUTION,
+        Value::Float(meta.spatial_resolution_m),
+    )?;
+    w.set_attr(
+        "/",
+        keys::TIMESTAMP,
+        Value::Str(meta.timestamp.to_compact()),
+    )?;
     w.set_attr("/", keys::NUM_CHANNELS, Value::Int(meta.channels as i64))?;
-    w.set_attr("/", keys::SAMPLES_PER_CHANNEL, Value::Int(meta.samples as i64))?;
+    w.set_attr(
+        "/",
+        keys::SAMPLES_PER_CHANNEL,
+        Value::Int(meta.samples as i64),
+    )?;
     w.create_group("/Measurement")?;
     match chunk {
         None => w.write_dataset_f32(
@@ -183,8 +191,10 @@ mod tests {
             fk.read_f32(DATASET_PATH).unwrap()
         );
         assert_eq!(
-            fc.read_hyperslab_f32(DATASET_PATH, &[(1, 2), (5, 13)]).unwrap(),
-            fk.read_hyperslab_f32(DATASET_PATH, &[(1, 2), (5, 13)]).unwrap()
+            fc.read_hyperslab_f32(DATASET_PATH, &[(1, 2), (5, 13)])
+                .unwrap(),
+            fk.read_hyperslab_f32(DATASET_PATH, &[(1, 2), (5, 13)])
+                .unwrap()
         );
     }
 
@@ -193,7 +203,8 @@ mod tests {
         let path = tmpdir().join("bare.dasf");
         let mut w = Writer::create(&path).unwrap();
         w.create_group("/Measurement").unwrap();
-        w.write_dataset_f32(DATASET_PATH, &[1, 2], &[0.0, 1.0]).unwrap();
+        w.write_dataset_f32(DATASET_PATH, &[1, 2], &[0.0, 1.0])
+            .unwrap();
         w.finish().unwrap();
         let f = File::open(&path).unwrap();
         match DasFileMeta::from_file(&f) {
@@ -210,13 +221,22 @@ mod tests {
         let meta = sample_meta();
         let path = tmpdir().join("lies.dasf");
         let mut w = Writer::create(&path).unwrap();
-        w.set_attr("/", keys::SAMPLING_FREQUENCY, Value::Int(meta.sampling_hz)).unwrap();
-        w.set_attr("/", keys::SPATIAL_RESOLUTION, Value::Float(2.0)).unwrap();
-        w.set_attr("/", keys::TIMESTAMP, Value::Str(meta.timestamp.to_compact())).unwrap();
+        w.set_attr("/", keys::SAMPLING_FREQUENCY, Value::Int(meta.sampling_hz))
+            .unwrap();
+        w.set_attr("/", keys::SPATIAL_RESOLUTION, Value::Float(2.0))
+            .unwrap();
+        w.set_attr(
+            "/",
+            keys::TIMESTAMP,
+            Value::Str(meta.timestamp.to_compact()),
+        )
+        .unwrap();
         w.set_attr("/", keys::NUM_CHANNELS, Value::Int(99)).unwrap(); // lie
-        w.set_attr("/", keys::SAMPLES_PER_CHANNEL, Value::Int(30)).unwrap();
+        w.set_attr("/", keys::SAMPLES_PER_CHANNEL, Value::Int(30))
+            .unwrap();
         w.create_group("/Measurement").unwrap();
-        w.write_dataset_f32(DATASET_PATH, &[4, 30], &[0.0; 120]).unwrap();
+        w.write_dataset_f32(DATASET_PATH, &[4, 30], &[0.0; 120])
+            .unwrap();
         w.finish().unwrap();
         let f = File::open(&path).unwrap();
         assert!(matches!(

@@ -11,14 +11,16 @@
 
 mod lav;
 mod metadata;
-mod par_read;
+pub mod par_read;
 mod rca;
 mod search;
 mod timestamp;
 mod vca;
 
 pub use lav::Lav;
-pub use metadata::{das_file_name, keys, write_das_file, write_das_file_with_layout, DasFileMeta, DATASET_PATH};
+pub use metadata::{
+    das_file_name, keys, write_das_file, write_das_file_with_layout, DasFileMeta, DATASET_PATH,
+};
 pub use par_read::{read_collective_per_file, read_comm_avoiding, read_vca, ReadStrategy};
 pub use rca::{create_rca, create_rca_parallel, read_rca};
 pub use search::{FileCatalog, FileEntry};

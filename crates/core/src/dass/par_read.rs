@@ -35,14 +35,54 @@ pub enum ReadStrategy {
     CollectivePerFile,
     /// The paper's communication-avoiding method.
     CommAvoiding,
+    /// Pick per Figure 7: communication-avoiding when it can spread whole
+    /// files across ranks (`ranks > 1 && files >= ranks`), else
+    /// collective-per-file (single rank, or ranks that would sit idle in
+    /// the round-robin deal).
+    Auto,
+}
+
+impl ReadStrategy {
+    /// The concrete strategy [`ReadStrategy::Auto`] resolves to for a
+    /// world of `ranks` reading `files` member files.
+    pub fn resolve(self, ranks: usize, files: usize) -> ReadStrategy {
+        match self {
+            ReadStrategy::Auto => {
+                if ranks > 1 && files >= ranks {
+                    ReadStrategy::CommAvoiding
+                } else {
+                    ReadStrategy::CollectivePerFile
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Metric names recorded by the parallel readers, in the world's
+/// registry (see [`minimpi::Comm::registry`]) and aggregated globally.
+pub mod metric_names {
+    /// File-read time (ns) inside the collective-per-file reader.
+    pub const COLLECTIVE_READ_NS: &str = "dass.par_read.collective.read_ns";
+    /// Broadcast time (ns) inside the collective-per-file reader.
+    pub const COLLECTIVE_EXCHANGE_NS: &str = "dass.par_read.collective.exchange_ns";
+    /// Row-copy/assembly time (ns) inside the collective-per-file reader.
+    pub const COLLECTIVE_COPY_NS: &str = "dass.par_read.collective.copy_ns";
+    /// File-read time (ns) inside the communication-avoiding reader.
+    pub const CA_READ_NS: &str = "dass.par_read.comm_avoiding.read_ns";
+    /// All-to-all exchange time (ns) inside the communication-avoiding reader.
+    pub const CA_EXCHANGE_NS: &str = "dass.par_read.comm_avoiding.exchange_ns";
+    /// Pack/assembly time (ns) inside the communication-avoiding reader.
+    pub const CA_COPY_NS: &str = "dass.par_read.comm_avoiding.copy_ns";
 }
 
 /// Read `vca` in parallel with the chosen strategy; returns this rank's
 /// channel block (rows `partition(channels, size, rank)`, all samples).
 pub fn read_vca(comm: &Comm, vca: &Vca, strategy: ReadStrategy) -> Result<Array2<f32>> {
-    match strategy {
+    match strategy.resolve(comm.size(), vca.n_files()) {
         ReadStrategy::CollectivePerFile => read_collective_per_file(comm, vca),
         ReadStrategy::CommAvoiding => read_comm_avoiding(comm, vca),
+        ReadStrategy::Auto => unreachable!("resolve never returns Auto"),
     }
 }
 
@@ -55,28 +95,45 @@ pub fn read_collective_per_file(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
     let my_rows = partition(channels, size, rank);
     let total_cols = vca.total_samples() as usize;
     let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
+    let mut read_ns = std::time::Duration::ZERO;
+    let mut exchange_ns = std::time::Duration::ZERO;
+    let mut copy_ns = std::time::Duration::ZERO;
 
     for (fi, entry) in vca.entries().iter().enumerate() {
         let cols = vca.samples_of(fi) as usize;
         let root = fi % size;
         // Aggregator reads the entire file with one I/O call …
+        let t = std::time::Instant::now();
         let payload: Option<Vec<f32>> = if rank == root {
             let f = File::open(&entry.path)?;
             Some(f.read_f32(DATASET_PATH)?)
         } else {
             None
         };
+        read_ns += t.elapsed();
         // … and broadcasts it whole — the expensive step this strategy
         // pays once per file.
+        let t = std::time::Instant::now();
         let data = comm.bcast_vec(root, payload);
+        exchange_ns += t.elapsed();
+        let t = std::time::Instant::now();
         let t0 = vca.time_offset_of(fi) as usize;
         for (li, g) in my_rows.clone().enumerate() {
             let src = &data[g * cols..(g + 1) * cols];
             let dst_row = li;
-            let dst = &mut local.as_mut_slice()[dst_row * total_cols + t0..dst_row * total_cols + t0 + cols];
+            let dst = &mut local.as_mut_slice()
+                [dst_row * total_cols + t0..dst_row * total_cols + t0 + cols];
             dst.copy_from_slice(src);
         }
+        copy_ns += t.elapsed();
     }
+    let reg = comm.registry();
+    reg.histogram(metric_names::COLLECTIVE_READ_NS)
+        .record_duration(read_ns);
+    reg.histogram(metric_names::COLLECTIVE_EXCHANGE_NS)
+        .record_duration(exchange_ns);
+    reg.histogram(metric_names::COLLECTIVE_COPY_NS)
+        .record_duration(copy_ns);
     Ok(local)
 }
 
@@ -91,6 +148,7 @@ pub fn read_comm_avoiding(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
     let total_cols = vca.total_samples() as usize;
 
     // 1. Independent contiguous reads of my round-robin files.
+    let t = std::time::Instant::now();
     let mut my_file_data: Vec<(usize, Vec<f32>)> = Vec::new();
     for (fi, entry) in vca.entries().iter().enumerate() {
         if fi % size == rank {
@@ -98,28 +156,33 @@ pub fn read_comm_avoiding(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
             my_file_data.push((fi, f.read_f32(DATASET_PATH)?));
         }
     }
+    let read_ns = t.elapsed();
 
     // 2. Build per-destination buffers: for each of my files (ascending
     //    file index), the destination's channel rows back to back. The
     //    layout is deterministic, so receivers decode without framing.
+    let t = std::time::Instant::now();
     let mut buffers: Vec<Vec<f32>> = (0..size).map(|_| Vec::new()).collect();
     for (fi, data) in &my_file_data {
         let cols = vca.samples_of(*fi) as usize;
-        for dst in 0..size {
+        for (dst, buf) in buffers.iter_mut().enumerate() {
             let rows = partition(channels, size, dst);
-            let buf = &mut buffers[dst];
             buf.reserve(rows.len() * cols);
             for g in rows {
                 buf.extend_from_slice(&data[g * cols..(g + 1) * cols]);
             }
         }
     }
+    let mut copy_ns = t.elapsed();
 
     // 3. One all-to-all exchange (concurrent pairwise transfers).
+    let t = std::time::Instant::now();
     let received = comm.alltoallv(buffers);
+    let exchange_ns = t.elapsed();
 
     // 4. Assemble: block from src rank carries files fi ≡ src (mod size)
     //    in ascending order, each holding my channel rows.
+    let t = std::time::Instant::now();
     let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
     for (src, buf) in received.into_iter().enumerate() {
         let mut cursor = 0usize;
@@ -139,6 +202,14 @@ pub fn read_comm_avoiding(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
         }
         debug_assert_eq!(cursor, buf.len(), "exchange layout mismatch");
     }
+    copy_ns += t.elapsed();
+    let reg = comm.registry();
+    reg.histogram(metric_names::CA_READ_NS)
+        .record_duration(read_ns);
+    reg.histogram(metric_names::CA_EXCHANGE_NS)
+        .record_duration(exchange_ns);
+    reg.histogram(metric_names::CA_COPY_NS)
+        .record_duration(copy_ns);
     Ok(local)
 }
 
@@ -194,14 +265,11 @@ mod tests {
         // The paper's complexity claim: collective-per-file needs O(n)
         // broadcasts; communication-avoiding none at all.
         let vca = sample_vca("par-count", 6, 4, 10);
-        let (_, coll) = minimpi::run_with_stats(2, |comm| {
-            read_collective_per_file(comm, &vca).unwrap()
-        });
+        let (_, coll) =
+            minimpi::run_with_stats(2, |comm| read_collective_per_file(comm, &vca).unwrap());
         assert_eq!(coll.bcasts, 6 * 2, "one bcast per file per rank");
 
-        let (_, ca) = minimpi::run_with_stats(2, |comm| {
-            read_comm_avoiding(comm, &vca).unwrap()
-        });
+        let (_, ca) = minimpi::run_with_stats(2, |comm| read_comm_avoiding(comm, &vca).unwrap());
         assert_eq!(ca.bcasts, 0);
         assert_eq!(ca.alltoallvs, 2, "a single alltoallv per rank");
     }
@@ -228,7 +296,11 @@ mod tests {
         let serial = vca.read_all_f32().unwrap();
         for ranks in [2usize, 3, 5] {
             for strat in [ReadStrategy::CollectivePerFile, ReadStrategy::CommAvoiding] {
-                assert_eq!(run_and_gather(&vca, ranks, strat), serial, "{strat:?}/{ranks}");
+                assert_eq!(
+                    run_and_gather(&vca, ranks, strat),
+                    serial,
+                    "{strat:?}/{ranks}"
+                );
             }
         }
     }

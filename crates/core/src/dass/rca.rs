@@ -61,7 +61,7 @@ pub fn create_rca_parallel(
         .expect("rank 0 gathers")
         .into_iter()
         .map(|v| {
-            let rows = if cols == 0 { 0 } else { v.len() / cols };
+            let rows = v.len().checked_div(cols).unwrap_or(0);
             Array2::from_vec(rows, cols, v)
         })
         .collect();

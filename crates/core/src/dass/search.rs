@@ -124,7 +124,13 @@ pub(crate) mod tests {
 
     /// Create `n` one-minute DAS files starting at `start` in a fresh
     /// temp dir; returns the dir.
-    pub(crate) fn make_files(tag: &str, start: &str, n: usize, channels: u64, samples: u64) -> PathBuf {
+    pub(crate) fn make_files(
+        tag: &str,
+        start: &str,
+        n: usize,
+        channels: u64,
+        samples: u64,
+    ) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("dassa-search-{tag}"));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();

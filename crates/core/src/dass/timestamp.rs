@@ -21,7 +21,7 @@ pub struct Timestamp {
 }
 
 fn is_leap(year: u16) -> bool {
-    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
 }
 
 fn days_in_month(year: u16, month: u8) -> u8 {
@@ -46,9 +46,8 @@ impl Timestamp {
         if s.len() != 12 || !s.bytes().all(|b| b.is_ascii_digit()) {
             return Err(bad());
         }
-        let field = |range: std::ops::Range<usize>| -> u8 {
-            s[range].parse().expect("digits checked")
-        };
+        let field =
+            |range: std::ops::Range<usize>| -> u8 { s[range].parse().expect("digits checked") };
         let ts = Timestamp {
             year: 2000 + field(0..2) as u16,
             month: field(2..4),
@@ -152,7 +151,12 @@ mod tests {
 
     #[test]
     fn parse_and_format_round_trip() {
-        for s in ["170620100545", "170728224510", "000101000000", "991231235959"] {
+        for s in [
+            "170620100545",
+            "170728224510",
+            "000101000000",
+            "991231235959",
+        ] {
             let ts = Timestamp::parse(s).unwrap();
             assert_eq!(ts.to_compact(), s);
         }
@@ -166,8 +170,17 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for s in ["", "12345", "1706201005455", "17062010054x", "171320100545",
-                  "170632100545", "170620240545", "170620106045", "170620100560"] {
+        for s in [
+            "",
+            "12345",
+            "1706201005455",
+            "17062010054x",
+            "171320100545",
+            "170632100545",
+            "170620240545",
+            "170620106045",
+            "170620100560",
+        ] {
             assert!(Timestamp::parse(s).is_err(), "{s} should be rejected");
         }
     }

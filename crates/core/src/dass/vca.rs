@@ -30,7 +30,9 @@ impl Vca {
     /// sampling rate; they are sorted by timestamp.
     pub fn from_entries(entries: &[FileEntry]) -> Result<Vca> {
         if entries.is_empty() {
-            return Err(DassaError::BadSelection("VCA needs at least one file".into()));
+            return Err(DassaError::BadSelection(
+                "VCA needs at least one file".into(),
+            ));
         }
         let mut entries = entries.to_vec();
         entries.sort_by_key(|e| e.meta.timestamp);

@@ -28,19 +28,25 @@
 //!
 //! ```no_run
 //! use dassa::dass::{FileCatalog, Vca};
-//! use dassa::dasa::{Haee, LocalSimiParams};
+//! use dassa::dasa::{run, Analysis, Haee, LocalSimiParams};
 //!
 //! // Find one hour of DAS files and merge them virtually.
 //! let catalog = FileCatalog::scan("/data/das")?;
 //! let hits = catalog.search_range(170728224510, 59)?;
 //! let vca = Vca::from_entries(&hits)?;
 //!
-//! // Detect events with local similarity on 8 threads.
+//! // Detect events with local similarity on 8 threads. Every analysis
+//! // goes through the same dispatcher; the engine comes from a builder.
 //! let data = vca.read_all_f64()?;
-//! let haee = Haee::hybrid(8);
-//! let simi = dassa::dasa::local_similarity(&data, &LocalSimiParams::default(), &haee);
+//! let haee = Haee::builder().threads(8).build();
+//! let out = run(&Analysis::LocalSimilarity(LocalSimiParams::default()), &data, &haee)?;
+//! let simi = out.as_map().expect("local similarity yields a channel × time map");
 //! # Ok::<(), dassa::DassaError>(())
 //! ```
+//!
+//! Every pipeline and I/O layer reports into the [`obs`] metrics
+//! registry (span timers, byte counters); run `das_pipeline --metrics`
+//! or snapshot [`obs::global`] to see where time went.
 
 pub mod dasa;
 pub mod dass;

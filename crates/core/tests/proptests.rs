@@ -26,9 +26,9 @@ fn build_dataset(files: usize, channels: u64, samples: u64, seed: u64) -> (PathB
     for f in 0..files {
         let ts = t0.add_minutes(f as u64);
         let data = Array2::from_fn(channels as usize, samples as usize, |r, c| {
-            let mut z = seed
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add(((f * 1_000_003 + r * 1_009 + c) as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+            let mut z = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(
+                ((f * 1_000_003 + r * 1_009 + c) as u64).wrapping_mul(0xBF58476D1CE4E5B9),
+            );
             z ^= z >> 31;
             (z % 100_000) as f32 / 100.0
         });
@@ -120,6 +120,64 @@ proptest! {
         prop_assert_eq!(rca_data, expected);
     }
 
+    /// The observability counters expose the paper's §IV-B communication
+    /// asymmetry: the collective reader broadcasts every file to every
+    /// rank (O(n·p) traffic, one bcast per file per rank), while the
+    /// comm-avoiding reader does a single alltoallv per rank moving only
+    /// the misplaced blocks (O(n) traffic).
+    #[test]
+    fn par_read_obs_counters_expose_comm_asymmetry(
+        files in 1usize..4,
+        channels in 2u64..8,
+        samples in 8u64..40,
+        ranks in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        use dassa::dass::par_read::metric_names as pr;
+        use minimpi::metric_names as mm;
+        use std::sync::Arc;
+
+        let (dir, _) = build_dataset(files, channels, samples, seed);
+        let cat = FileCatalog::scan(&dir).expect("scan");
+        let vca = Vca::from_entries(cat.entries()).expect("vca");
+
+        let coll_reg = Arc::new(obs::Registry::new());
+        minimpi::run_in_registry(ranks, Arc::clone(&coll_reg), |c| {
+            read_collective_per_file(c, &vca).expect("coll")
+        });
+        let coll = coll_reg.snapshot();
+
+        let ca_reg = Arc::new(obs::Registry::new());
+        minimpi::run_in_registry(ranks, Arc::clone(&ca_reg), |c| {
+            read_comm_avoiding(c, &vca).expect("ca")
+        });
+        let ca = ca_reg.snapshot();
+
+        // Collective: one bcast per file per rank, no alltoallv.
+        prop_assert_eq!(coll.counter(mm::BCASTS), (files * ranks) as u64);
+        prop_assert_eq!(coll.counter(mm::ALLTOALLVS), 0);
+        // Comm-avoiding: exactly one alltoallv per rank, no broadcasts.
+        prop_assert_eq!(ca.counter(mm::ALLTOALLVS), ranks as u64);
+        prop_assert_eq!(ca.counter(mm::BCASTS), 0);
+        // O(n·p) vs O(n): with ≥2 ranks the broadcasts move at least as
+        // many payload bytes as the alltoallv exchange.
+        prop_assert!(
+            coll.counter(mm::P2P_BYTES) >= ca.counter(mm::P2P_BYTES),
+            "collective {} bytes < comm-avoiding {} bytes",
+            coll.counter(mm::P2P_BYTES),
+            ca.counter(mm::P2P_BYTES)
+        );
+        // Each strategy records its stage breakdown once per rank.
+        prop_assert_eq!(
+            coll.histogram(pr::COLLECTIVE_READ_NS).map(|h| h.count),
+            Some(ranks as u64)
+        );
+        prop_assert_eq!(
+            ca.histogram(pr::CA_EXCHANGE_NS).map(|h| h.count),
+            Some(ranks as u64)
+        );
+    }
+
     #[test]
     fn timestamp_roundtrip_and_arithmetic(minutes in 0u64..2_000_000) {
         let t0 = Timestamp::parse("170101000000").expect("ts");
@@ -134,4 +192,29 @@ proptest! {
             minutes * 60
         );
     }
+}
+
+/// A snapshot full of real parallel-read metrics survives the JSON
+/// exporter round-trip — what `das_pipeline --metrics=out.json` writes
+/// is exactly what a consumer parses back.
+#[test]
+fn metrics_json_round_trips_real_workload() {
+    use std::sync::Arc;
+
+    let (dir, _) = build_dataset(3, 5, 30, 0x15A);
+    let cat = FileCatalog::scan(&dir).expect("scan");
+    let vca = Vca::from_entries(cat.entries()).expect("vca");
+    let registry = Arc::new(obs::Registry::new());
+    minimpi::run_in_registry(3, Arc::clone(&registry), |c| {
+        read_comm_avoiding(c, &vca).expect("ca")
+    });
+
+    let snap = registry.snapshot();
+    assert!(!snap.counters.is_empty(), "workload produced no counters");
+    assert!(
+        !snap.histograms.is_empty(),
+        "workload produced no histograms"
+    );
+    let parsed = obs::Snapshot::from_json(&snap.to_json()).expect("parse");
+    assert_eq!(parsed, snap);
 }

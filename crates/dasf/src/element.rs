@@ -111,7 +111,14 @@ mod tests {
 
     #[test]
     fn dtype_round_trip_codes() {
-        for d in [Dtype::F32, Dtype::F64, Dtype::I16, Dtype::I32, Dtype::I64, Dtype::U8] {
+        for d in [
+            Dtype::F32,
+            Dtype::F64,
+            Dtype::I16,
+            Dtype::I32,
+            Dtype::I64,
+            Dtype::U8,
+        ] {
             assert_eq!(Dtype::from_code(d as u8), Some(d));
         }
         assert_eq!(Dtype::from_code(0), None);

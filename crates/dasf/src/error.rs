@@ -18,7 +18,11 @@ pub enum DasfError {
     /// An object exists but has the wrong kind (group vs dataset).
     WrongKind(String),
     /// A dataset was read with the wrong element type.
-    TypeMismatch { path: String, expected: &'static str, actual: &'static str },
+    TypeMismatch {
+        path: String,
+        expected: &'static str,
+        actual: &'static str,
+    },
     /// A hyperslab selection falls outside the dataset extent.
     OutOfBounds(String),
     /// Attempted to create an object that already exists.
@@ -36,13 +40,23 @@ impl fmt::Display for DasfError {
             DasfError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
             DasfError::NoSuchObject(p) => write!(f, "no such object: {p}"),
             DasfError::WrongKind(p) => write!(f, "object has wrong kind: {p}"),
-            DasfError::TypeMismatch { path, expected, actual } => {
-                write!(f, "type mismatch at {path}: expected {expected}, stored {actual}")
+            DasfError::TypeMismatch {
+                path,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "type mismatch at {path}: expected {expected}, stored {actual}"
+                )
             }
             DasfError::OutOfBounds(msg) => write!(f, "selection out of bounds: {msg}"),
             DasfError::AlreadyExists(p) => write!(f, "object already exists: {p}"),
             DasfError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape mismatch: dims require {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "shape mismatch: dims require {expected} elements, got {actual}"
+                )
             }
         }
     }

@@ -50,6 +50,7 @@
 
 mod element;
 mod error;
+pub mod metrics;
 mod object;
 mod reader;
 mod value;

@@ -1,0 +1,58 @@
+//! Instrumentation handles into the global `obs` registry.
+//!
+//! dasf is the I/O bottom of every DASSA pipeline, so it publishes the
+//! counters the paper's storage analysis is phrased in: how many file
+//! opens (VCA merge cost is open-dominated), how many dataset reads, and
+//! how many bytes moved. Handles are created once and cached; recording
+//! is two relaxed atomic ops.
+
+use obs::{Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Metric names exported by this crate.
+pub mod names {
+    /// Count of [`crate::File::open`] calls (successful or not).
+    pub const OPEN_COUNT: &str = "dasf.open.count";
+    /// Histogram of per-open wall time in nanoseconds.
+    pub const OPEN_NS: &str = "dasf.open.ns";
+    /// Count of dataset read calls (whole reads and hyperslabs).
+    pub const READ_COUNT: &str = "dasf.read.count";
+    /// Total payload bytes returned by reads.
+    pub const READ_BYTES: &str = "dasf.read.bytes";
+    /// Histogram of per-read wall time in nanoseconds.
+    pub const READ_NS: &str = "dasf.read.ns";
+    /// Count of dataset writes.
+    pub const WRITE_COUNT: &str = "dasf.write.count";
+    /// Total payload bytes written.
+    pub const WRITE_BYTES: &str = "dasf.write.bytes";
+    /// Histogram of per-write wall time in nanoseconds.
+    pub const WRITE_NS: &str = "dasf.write.ns";
+}
+
+pub(crate) struct Metrics {
+    pub open_count: Counter,
+    pub open_ns: Histogram,
+    pub read_count: Counter,
+    pub read_bytes: Counter,
+    pub read_ns: Histogram,
+    pub write_count: Counter,
+    pub write_bytes: Counter,
+    pub write_ns: Histogram,
+}
+
+pub(crate) fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = obs::global();
+        Metrics {
+            open_count: reg.counter(names::OPEN_COUNT),
+            open_ns: reg.histogram(names::OPEN_NS),
+            read_count: reg.counter(names::READ_COUNT),
+            read_bytes: reg.counter(names::READ_BYTES),
+            read_ns: reg.histogram(names::READ_NS),
+            write_count: reg.counter(names::WRITE_COUNT),
+            write_bytes: reg.counter(names::WRITE_BYTES),
+            write_ns: reg.histogram(names::WRITE_NS),
+        }
+    })
+}

@@ -181,7 +181,9 @@ impl ObjectTable {
 
     /// Set an attribute on an existing object.
     pub fn set_attr(&mut self, path: &str, key: &str, value: Value) -> Result<()> {
-        self.get_mut(path)?.attrs_mut().insert(key.to_string(), value);
+        self.get_mut(path)?
+            .attrs_mut()
+            .insert(key.to_string(), value);
         Ok(())
     }
 
@@ -272,7 +274,9 @@ impl ObjectTable {
         let mut slice = bytes;
         let root = decode_node(&mut slice)?;
         if !slice.is_empty() {
-            return Err(DasfError::Corrupt("trailing bytes after object table".into()));
+            return Err(DasfError::Corrupt(
+                "trailing bytes after object table".into(),
+            ));
         }
         match root {
             Node::Group { .. } => Ok(ObjectTable { root }),
@@ -327,7 +331,10 @@ fn encode_node(node: &Node, out: &mut Vec<u8>) {
             out.put_u64_le(d.data_offset);
             match &d.layout {
                 Layout::Contiguous => out.put_u8(LAYOUT_CONTIGUOUS),
-                Layout::Chunked { chunk_dims, chunk_offsets } => {
+                Layout::Chunked {
+                    chunk_dims,
+                    chunk_offsets,
+                } => {
                     out.put_u8(LAYOUT_CHUNKED);
                     out.put_u32_le(chunk_dims.len() as u32);
                     for &cd in chunk_dims {
@@ -384,11 +391,12 @@ fn decode_node(buf: &mut &[u8]) -> Result<Node> {
                     let nco = buf.get_u32_le() as usize;
                     check_len(buf, nco * 8)?;
                     let chunk_offsets = (0..nco).map(|_| buf.get_u64_le()).collect();
-                    Layout::Chunked { chunk_dims, chunk_offsets }
+                    Layout::Chunked {
+                        chunk_dims,
+                        chunk_offsets,
+                    }
                 }
-                other => {
-                    return Err(DasfError::Corrupt(format!("unknown layout tag {other}")))
-                }
+                other => return Err(DasfError::Corrupt(format!("unknown layout tag {other}"))),
             };
             let attrs = decode_attrs(buf)?;
             Ok(Node::Dataset(DatasetMeta {
@@ -409,9 +417,11 @@ mod tests {
 
     fn sample_table() -> ObjectTable {
         let mut t = ObjectTable::new();
-        t.set_attr("/", "SamplingFrequency(HZ)", Value::Int(500)).unwrap();
+        t.set_attr("/", "SamplingFrequency(HZ)", Value::Int(500))
+            .unwrap();
         t.create_group("/Measurement").unwrap();
-        t.set_attr("/Measurement", "note", Value::Str("west sac".into())).unwrap();
+        t.set_attr("/Measurement", "note", Value::Str("west sac".into()))
+            .unwrap();
         t.insert_dataset(
             "/Measurement/data",
             DatasetMeta {
@@ -440,9 +450,15 @@ mod tests {
         assert!(t.get("/").is_ok());
         assert!(t.get("/Measurement").is_ok());
         assert!(t.dataset("/Measurement/data").is_ok());
-        assert!(matches!(t.dataset("/Measurement"), Err(DasfError::WrongKind(_))));
+        assert!(matches!(
+            t.dataset("/Measurement"),
+            Err(DasfError::WrongKind(_))
+        ));
         assert!(matches!(t.get("/nope"), Err(DasfError::NoSuchObject(_))));
-        assert!(matches!(t.get("/Measurement/data/deeper"), Err(DasfError::NoSuchObject(_))));
+        assert!(matches!(
+            t.get("/Measurement/data/deeper"),
+            Err(DasfError::NoSuchObject(_))
+        ));
     }
 
     #[test]
@@ -455,7 +471,10 @@ mod tests {
     #[test]
     fn duplicate_creation_rejected() {
         let mut t = sample_table();
-        assert!(matches!(t.create_group("/Measurement"), Err(DasfError::AlreadyExists(_))));
+        assert!(matches!(
+            t.create_group("/Measurement"),
+            Err(DasfError::AlreadyExists(_))
+        ));
         let meta = t.dataset("/Measurement/data").unwrap().clone();
         assert!(matches!(
             t.insert_dataset("/Measurement/data", meta),

@@ -27,7 +27,16 @@ pub struct File {
 impl File {
     /// Open `path`, validating magic and object table.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<File> {
-        let path = path.as_ref().to_path_buf();
+        let m = crate::metrics::metrics();
+        m.open_count.inc();
+        let started = std::time::Instant::now();
+        let result = Self::open_impl(path.as_ref());
+        m.open_ns.record_duration(started.elapsed());
+        result
+    }
+
+    fn open_impl(path: &Path) -> Result<File> {
+        let path = path.to_path_buf();
         let mut f = FsFile::open(&path)?;
         let mut header = [0u8; 16];
         f.read_exact(&mut header).map_err(|e| {
@@ -115,12 +124,20 @@ impl File {
         self.check_dtype::<T>(path, meta)?;
         match &meta.layout {
             Layout::Contiguous => {
+                let m = crate::metrics::metrics();
+                m.read_count.inc();
+                let started = std::time::Instant::now();
                 let n = meta.len();
                 let mut bytes = vec![0u8; n * meta.dtype.size()];
-                let mut handle = self.handle.borrow_mut();
-                handle.seek(SeekFrom::Start(meta.data_offset))?;
-                handle.read_exact(&mut bytes).map_err(map_eof)?;
-                Ok(decode_slice(&bytes, n))
+                {
+                    let mut handle = self.handle.borrow_mut();
+                    handle.seek(SeekFrom::Start(meta.data_offset))?;
+                    handle.read_exact(&mut bytes).map_err(map_eof)?;
+                }
+                let out = decode_slice(&bytes, n);
+                m.read_bytes.add(bytes.len() as u64);
+                m.read_ns.record_duration(started.elapsed());
+                Ok(out)
             }
             Layout::Chunked { .. } => {
                 let full: Vec<(u64, u64)> = meta.dims.iter().map(|&d| (0, d)).collect();
@@ -133,6 +150,23 @@ impl File {
     /// dimension. Rows along the innermost dimension are fetched as
     /// contiguous runs.
     pub fn read_hyperslab<T: Element>(
+        &self,
+        path: &str,
+        selection: &[(u64, u64)],
+    ) -> Result<Vec<T>> {
+        let m = crate::metrics::metrics();
+        m.read_count.inc();
+        let started = std::time::Instant::now();
+        let result = self.read_hyperslab_impl(path, selection);
+        if let Ok(v) = &result {
+            m.read_bytes
+                .add((v.len() * std::mem::size_of::<T>()) as u64);
+        }
+        m.read_ns.record_duration(started.elapsed());
+        result
+    }
+
+    fn read_hyperslab_impl<T: Element>(
         &self,
         path: &str,
         selection: &[(u64, u64)],
@@ -157,7 +191,11 @@ impl File {
         if total == 0 {
             return Ok(Vec::new());
         }
-        if let Layout::Chunked { chunk_dims, chunk_offsets } = &meta.layout {
+        if let Layout::Chunked {
+            chunk_dims,
+            chunk_offsets,
+        } = &meta.layout
+        {
             return self.read_hyperslab_chunked(
                 meta,
                 selection,
@@ -283,9 +321,7 @@ impl File {
                 c_strides[d] = c_strides[d + 1] * lens[d + 1];
             }
             // Overlap of selection and chunk, per dimension (global).
-            let ov_lo: Vec<u64> = (0..ndim)
-                .map(|d| selection[d].0.max(starts[d]))
-                .collect();
+            let ov_lo: Vec<u64> = (0..ndim).map(|d| selection[d].0.max(starts[d])).collect();
             let ov_hi: Vec<u64> = (0..ndim)
                 .map(|d| (selection[d].0 + selection[d].1).min(starts[d] + lens[d]))
                 .collect();
@@ -421,20 +457,29 @@ mod tests {
     fn hyperslab_1d_and_3d() {
         let p = tmp("nd.dasf");
         let mut w = Writer::create(&p).unwrap();
-        w.write_dataset_f64("/one", &[10], &(0..10).map(|i| i as f64).collect::<Vec<_>>())
-            .unwrap();
+        w.write_dataset_f64(
+            "/one",
+            &[10],
+            &(0..10).map(|i| i as f64).collect::<Vec<_>>(),
+        )
+        .unwrap();
         let d3: Vec<f64> = (0..2 * 3 * 4).map(|i| i as f64).collect();
         w.write_dataset_f64("/three", &[2, 3, 4], &d3).unwrap();
         w.finish().unwrap();
         let f = File::open(&p).unwrap();
-        assert_eq!(f.read_hyperslab_f64("/one", &[(3, 4)]).unwrap(), vec![3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(
+            f.read_hyperslab_f64("/one", &[(3, 4)]).unwrap(),
+            vec![3.0, 4.0, 5.0, 6.0]
+        );
         // three[1, 0..2, 1..3]
-        let sub = f.read_hyperslab_f64("/three", &[(1, 1), (0, 2), (1, 2)]).unwrap();
+        let sub = f
+            .read_hyperslab_f64("/three", &[(1, 1), (0, 2), (1, 2)])
+            .unwrap();
         let expect: Vec<f64> = vec![
-            (1 * 12 + 0 * 4 + 1) as f64,
-            (1 * 12 + 0 * 4 + 2) as f64,
-            (1 * 12 + 1 * 4 + 1) as f64,
-            (1 * 12 + 1 * 4 + 2) as f64,
+            (12 + 1) as f64,
+            (12 + 2) as f64,
+            (12 + 4 + 1) as f64,
+            (12 + 4 + 2) as f64,
         ];
         assert_eq!(sub, expect);
     }
@@ -443,7 +488,10 @@ mod tests {
     fn empty_selection_returns_empty() {
         let p = write_2d("emptysel.dasf", 4, 4);
         let f = File::open(&p).unwrap();
-        assert!(f.read_hyperslab_f32("/data", &[(0, 0), (0, 4)]).unwrap().is_empty());
+        assert!(f
+            .read_hyperslab_f32("/data", &[(0, 0), (0, 4)])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -483,7 +531,10 @@ mod tests {
     #[test]
     fn truncated_header_rejected() {
         let p = tmp("short.bin");
-        std::fs::File::create(&p).unwrap().write_all(b"DASF").unwrap();
+        std::fs::File::create(&p)
+            .unwrap()
+            .write_all(b"DASF")
+            .unwrap();
         assert!(matches!(File::open(&p), Err(DasfError::Truncated)));
     }
 
@@ -515,20 +566,30 @@ mod tests {
     fn attrs_survive_round_trip() {
         let p = tmp("attrs.dasf");
         let mut w = Writer::create(&p).unwrap();
-        w.set_attr("/", "TimeStamp(yymmddhhmmss)", Value::Str("170620100545".into()))
-            .unwrap();
+        w.set_attr(
+            "/",
+            "TimeStamp(yymmddhhmmss)",
+            Value::Str("170620100545".into()),
+        )
+        .unwrap();
         w.create_group("/Measurement").unwrap();
         w.write_dataset_f32("/Measurement/d", &[1], &[9.0]).unwrap();
-        w.set_attr("/Measurement/d", "Number of raw data values", Value::Int(45))
-            .unwrap();
+        w.set_attr(
+            "/Measurement/d",
+            "Number of raw data values",
+            Value::Int(45),
+        )
+        .unwrap();
         w.finish().unwrap();
         let f = File::open(&p).unwrap();
         assert_eq!(
-            f.attr("/", "TimeStamp(yymmddhhmmss)").and_then(|v| v.as_str()),
+            f.attr("/", "TimeStamp(yymmddhhmmss)")
+                .and_then(|v| v.as_str()),
             Some("170620100545")
         );
         assert_eq!(
-            f.attr("/Measurement/d", "Number of raw data values").and_then(|v| v.as_int()),
+            f.attr("/Measurement/d", "Number of raw data values")
+                .and_then(|v| v.as_int()),
             Some(45)
         );
         assert_eq!(f.attr("/", "nope"), None);

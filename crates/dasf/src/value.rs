@@ -149,7 +149,10 @@ mod tests {
         let mut slice = out.as_slice();
         let back = Value::decode(&mut slice).unwrap();
         assert_eq!(back, v);
-        assert!(slice.is_empty(), "decode must consume exactly what encode wrote");
+        assert!(
+            slice.is_empty(),
+            "decode must consume exactly what encode wrote"
+        );
     }
 
     #[test]
@@ -178,13 +181,19 @@ mod tests {
         let mut out = Vec::new();
         Value::Int(7).encode(&mut out);
         let mut short = &out[..out.len() - 1];
-        assert!(matches!(Value::decode(&mut short), Err(DasfError::Truncated)));
+        assert!(matches!(
+            Value::decode(&mut short),
+            Err(DasfError::Truncated)
+        ));
     }
 
     #[test]
     fn unknown_tag_fails() {
         let bytes = [99u8, 0, 0, 0];
         let mut slice = &bytes[..];
-        assert!(matches!(Value::decode(&mut slice), Err(DasfError::Corrupt(_))));
+        assert!(matches!(
+            Value::decode(&mut slice),
+            Err(DasfError::Corrupt(_))
+        ));
     }
 }

@@ -51,7 +51,12 @@ impl Writer {
     ///
     /// `dims` is the row-major extent; `data.len()` must equal the product
     /// of `dims`.
-    pub fn write_dataset<T: Element>(&mut self, path: &str, dims: &[u64], data: &[T]) -> Result<()> {
+    pub fn write_dataset<T: Element>(
+        &mut self,
+        path: &str,
+        dims: &[u64],
+        data: &[T],
+    ) -> Result<()> {
         let expected: u64 = dims.iter().product();
         if expected as usize != data.len() {
             return Err(DasfError::ShapeMismatch {
@@ -68,9 +73,14 @@ impl Writer {
         };
         // Register first so path errors surface before any bytes move.
         self.table.insert_dataset(path, meta)?;
+        let started = std::time::Instant::now();
         let bytes = encode_slice(data);
         self.file.write_all(&bytes)?;
         self.cursor += bytes.len() as u64;
+        let m = crate::metrics::metrics();
+        m.write_count.inc();
+        m.write_bytes.add(bytes.len() as u64);
+        m.write_ns.record_duration(started.elapsed());
         Ok(())
     }
 
@@ -92,11 +102,12 @@ impl Writer {
                 actual: data.len(),
             });
         }
-        if chunk_dims.len() != dims.len() || chunk_dims.iter().any(|&c| c == 0) {
+        if chunk_dims.len() != dims.len() || chunk_dims.contains(&0) {
             return Err(DasfError::Corrupt(format!(
                 "chunk dims {chunk_dims:?} invalid for dataset dims {dims:?}"
             )));
         }
+        let started = std::time::Instant::now();
         let grid: Vec<u64> = dims
             .iter()
             .zip(chunk_dims)
@@ -176,6 +187,11 @@ impl Writer {
             attrs: BTreeMap::new(),
         };
         self.table.insert_dataset(path, meta)?;
+        let m = crate::metrics::metrics();
+        m.write_count.inc();
+        m.write_bytes
+            .add(expected * std::mem::size_of::<T>() as u64);
+        m.write_ns.record_duration(started.elapsed());
         Ok(())
     }
 
@@ -226,7 +242,13 @@ mod tests {
     fn shape_mismatch_rejected() {
         let mut w = Writer::create(tmp("shape.dasf")).unwrap();
         let err = w.write_dataset_f32("/d", &[2, 3], &[0.0; 5]).unwrap_err();
-        assert!(matches!(err, DasfError::ShapeMismatch { expected: 6, actual: 5 }));
+        assert!(matches!(
+            err,
+            DasfError::ShapeMismatch {
+                expected: 6,
+                actual: 5
+            }
+        ));
     }
 
     #[test]

@@ -11,7 +11,10 @@ static COUNTER: AtomicU64 = AtomicU64::new(0);
 fn tmp(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("dasf-proptests");
     std::fs::create_dir_all(&dir).expect("temp dir");
-    dir.join(format!("{tag}-{}.dasf", COUNTER.fetch_add(1, Ordering::Relaxed)))
+    dir.join(format!(
+        "{tag}-{}.dasf",
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 /// Reference implementation: slice a row-major 2-D array.
@@ -137,11 +140,15 @@ fn chunked_metadata_round_trips_through_reopen() {
     let data: Vec<f64> = (0..60).map(|i| i as f64).collect();
     let path = tmp("meta");
     let mut w = Writer::create(&path).unwrap();
-    w.write_dataset_chunked("/d", &[6, 10], &[4, 4], &data).unwrap();
+    w.write_dataset_chunked("/d", &[6, 10], &[4, 4], &data)
+        .unwrap();
     w.finish().unwrap();
     let f = File::open(&path).unwrap();
     match &f.dataset("/d").unwrap().layout {
-        dasf::Layout::Chunked { chunk_dims, chunk_offsets } => {
+        dasf::Layout::Chunked {
+            chunk_dims,
+            chunk_offsets,
+        } => {
             assert_eq!(chunk_dims, &vec![4, 4]);
             // 2x3 chunk grid.
             assert_eq!(chunk_offsets.len(), 6);

@@ -82,7 +82,12 @@ fn main() -> ExitCode {
             args.seed,
         )
     };
-    match write_minute_files(&scene, std::path::Path::new(&args.dir), &args.start, args.minutes) {
+    match write_minute_files(
+        &scene,
+        std::path::Path::new(&args.dir),
+        &args.start,
+        args.minutes,
+    ) {
         Ok(paths) => {
             let bytes: u64 = paths
                 .iter()

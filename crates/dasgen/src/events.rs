@@ -125,7 +125,8 @@ impl Event {
                 if d.abs() > 6.0 {
                     return 0.0;
                 }
-                amplitude * (-0.5 * d * d).exp()
+                amplitude
+                    * (-0.5 * d * d).exp()
                     * (2.0 * std::f64::consts::PI * freq_hz * t_s).sin()
             }
         }

@@ -25,8 +25,10 @@ pub fn level_profile(seed: u64, channel: usize) -> f64 {
     // Sum of a few incommensurate sinusoids keyed by the seed.
     let x = channel as f64;
     let s = (seed % 997) as f64;
-    let v = 0.5 * ((x * 0.013 + s).sin() + (x * 0.0037 + 2.0 * s).sin() * 0.6
-        + (x * 0.00091 + 3.0 * s).sin() * 0.4);
+    let v = 0.5
+        * ((x * 0.013 + s).sin()
+            + (x * 0.0037 + 2.0 * s).sin() * 0.6
+            + (x * 0.00091 + 3.0 * s).sin() * 0.4);
     1.0 + 0.5 * (v / 1.0).clamp(-1.0, 1.0)
 }
 
@@ -59,8 +61,7 @@ impl ChannelNoise {
         debug_assert!(t >= self.cursor, "noise must be drawn forward");
         while self.cursor <= t {
             let innovation = self.gauss();
-            self.state = self.rho * self.state
-                + (1.0 - self.rho * self.rho).sqrt() * innovation;
+            self.state = self.rho * self.state + (1.0 - self.rho * self.rho).sqrt() * innovation;
             self.cursor += 1;
         }
         self.level * self.state
@@ -108,7 +109,11 @@ mod tests {
         assert!((var - 1.0).abs() < 0.15, "variance {var}");
         // AR(1) lag-1 autocorrelation ≈ rho.
         let ac1: f64 = xs.windows(2).map(|w| w[0] * w[1]).sum::<f64>() / (xs.len() - 1) as f64;
-        assert!((ac1 / var - 0.6).abs() < 0.1, "lag-1 autocorr {}", ac1 / var);
+        assert!(
+            (ac1 / var - 0.6).abs() < 0.1,
+            "lag-1 autocorr {}",
+            ac1 / var
+        );
     }
 
     #[test]

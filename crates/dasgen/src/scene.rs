@@ -128,7 +128,7 @@ impl Scene {
                 }
                 noise[row + s] = if spiky {
                     // Heavy-tailed fault: occasional large spikes.
-                    let burst = if (abs_sample.wrapping_mul(2654435761) >> 22) % 97 == 0 {
+                    let burst = if (abs_sample.wrapping_mul(2654435761) >> 22).is_multiple_of(97) {
                         100.0 * n.signum()
                     } else {
                         0.0
@@ -207,9 +207,15 @@ mod tests {
         let scene = tiny_scene();
         let (noise, signal) = scene.render_components(0.0, scene.samples_for(20.0));
         let energy = |a: &Array2<f32>| {
-            a.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+            a.as_slice()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
         };
-        assert!(energy(&signal) > 0.5 * energy(&noise), "events must be visible");
+        assert!(
+            energy(&signal) > 0.5 * energy(&noise),
+            "events must be visible"
+        );
     }
 
     #[test]
@@ -230,7 +236,13 @@ mod tests {
         scene.noisy_channels = vec![4];
         let data = scene.render(0.0, 2000);
         let rms = |ch: usize| {
-            (data.row(ch).iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / 2000.0).sqrt()
+            (data
+                .row(ch)
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+                / 2000.0)
+                .sqrt()
         };
         let peak = |ch: usize| data.row(ch).iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         assert!(rms(2) < 1e-2 * rms(0), "dead channel must be quiet");

@@ -36,7 +36,11 @@ fn prototype(n: usize) -> Zpk {
             Complex::cis(theta)
         })
         .collect();
-    Zpk { z: Vec::new(), p, k: 1.0 }
+    Zpk {
+        z: Vec::new(),
+        p,
+        k: 1.0,
+    }
 }
 
 /// Lowpass prototype → lowpass at analog frequency `wo`.
@@ -57,7 +61,7 @@ fn lp2hp(zpk: Zpk, wo: f64) -> Zpk {
     let prod_p = zpk.p.iter().fold(Complex::ONE, |acc, &p| acc * (-p));
     let k = zpk.k * (prod_z / prod_p).re;
     let mut z: Vec<Complex> = zpk.z.iter().map(|&zz| Complex::real(wo) / zz).collect();
-    z.extend(std::iter::repeat(Complex::ZERO).take(degree));
+    z.extend(std::iter::repeat_n(Complex::ZERO, degree));
     let p = zpk.p.iter().map(|&pp| Complex::real(wo) / pp).collect();
     Zpk { z, p, k }
 }
@@ -76,7 +80,7 @@ fn lp2bp(zpk: Zpk, wo: f64, bw: f64) -> Zpk {
         out
     };
     let mut z = transform(&zpk.z);
-    z.extend(std::iter::repeat(Complex::ZERO).take(degree));
+    z.extend(std::iter::repeat_n(Complex::ZERO, degree));
     let p = transform(&zpk.p);
     Zpk {
         z,
@@ -94,7 +98,7 @@ fn bilinear(zpk: Zpk, fs: f64) -> Zpk {
     let prod_p = zpk.p.iter().fold(Complex::ONE, |acc, &p| acc * (fs2 - p));
     let k = zpk.k * (prod_z / prod_p).re;
     let mut z: Vec<Complex> = zpk.z.iter().map(|&zz| (fs2 + zz) / (fs2 - zz)).collect();
-    z.extend(std::iter::repeat(Complex::real(-1.0)).take(degree));
+    z.extend(std::iter::repeat_n(Complex::real(-1.0), degree));
     let p = zpk.p.iter().map(|&pp| (fs2 + pp) / (fs2 - pp)).collect();
     Zpk { z, p, k }
 }
@@ -179,8 +183,10 @@ mod tests {
             assert_eq!(a.len(), n + 1);
             assert!((mag_response(&b, &a, 0.0) - 1.0).abs() < 1e-9, "DC gain");
             let cut = mag_response(&b, &a, 0.3);
-            assert!((cut - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6,
-                    "−3 dB at cutoff, got {cut}");
+            assert!(
+                (cut - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6,
+                "−3 dB at cutoff, got {cut}"
+            );
             assert!(mag_response(&b, &a, 0.9) < 0.01, "stopband");
         }
     }
@@ -189,7 +195,10 @@ mod tests {
     fn highpass_gain_structure() {
         let (b, a) = butter(4, FilterBand::Highpass(0.4));
         assert!(mag_response(&b, &a, 0.0) < 1e-9, "DC blocked");
-        assert!((mag_response(&b, &a, 1.0 - 1e-9) - 1.0).abs() < 1e-6, "Nyquist passed");
+        assert!(
+            (mag_response(&b, &a, 1.0 - 1e-9) - 1.0).abs() < 1e-6,
+            "Nyquist passed"
+        );
         let cut = mag_response(&b, &a, 0.4);
         assert!((cut - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
     }
@@ -203,8 +212,14 @@ mod tests {
         assert!(mag_response(&b, &a, 0.99) < 1e-2);
         let lo = mag_response(&b, &a, 0.2);
         let hi = mag_response(&b, &a, 0.5);
-        assert!((lo - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6, "low edge {lo}");
-        assert!((hi - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6, "high edge {hi}");
+        assert!(
+            (lo - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6,
+            "low edge {lo}"
+        );
+        assert!(
+            (hi - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6,
+            "high edge {hi}"
+        );
         // Interior of the passband near unity.
         let mid = mag_response(&b, &a, 0.33);
         assert!(mid > 0.95, "passband sag: {mid}");

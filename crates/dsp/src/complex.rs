@@ -138,6 +138,7 @@ impl MulAssign for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division = multiply by inverse
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

@@ -89,9 +89,7 @@ pub fn xcorr_fft(x: &[f64], y: &[f64], _mode: CorrMode) -> Vec<f64> {
     for k in 0..n_neg {
         out.push(r[m - n_neg + k].re);
     }
-    for k in 0..y.len() {
-        out.push(r[k].re);
-    }
+    out.extend(r[..y.len()].iter().map(|c| c.re));
     out
 }
 
@@ -207,9 +205,7 @@ mod tests {
         let n = 128;
         let x: Vec<f64> = (0..n).map(|i| ((i * i % 37) as f64) - 18.0).collect();
         let mut y = vec![0.0; n];
-        for i in 0..n - 7 {
-            y[i + 7] = x[i];
-        }
+        y[7..n].copy_from_slice(&x[..n - 7]);
         let r = xcorr_fft(&x, &y, CorrMode::Full);
         let peak = r
             .iter()

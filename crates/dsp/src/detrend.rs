@@ -68,12 +68,18 @@ mod tests {
 
     #[test]
     fn output_has_zero_mean_and_zero_slope() {
-        let x: Vec<f64> = (0..64).map(|i| ((i * i) as f64).sin() + i as f64 * 0.2).collect();
+        let x: Vec<f64> = (0..64)
+            .map(|i| ((i * i) as f64).sin() + i as f64 * 0.2)
+            .collect();
         let y = detrend(&x);
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         assert!(mean.abs() < 1e-10);
         let t_mean = (y.len() as f64 - 1.0) / 2.0;
-        let slope_num: f64 = y.iter().enumerate().map(|(i, &v)| (i as f64 - t_mean) * v).sum();
+        let slope_num: f64 = y
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 - t_mean) * v)
+            .sum();
         assert!(slope_num.abs() < 1e-8);
     }
 

@@ -84,7 +84,7 @@ fn fft_bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
     fft_pow2(&mut a, false);
     fft_pow2(&mut b, false);
     for (x, y) in a.iter_mut().zip(&b) {
-        *x = *x * *y;
+        *x *= *y;
     }
     fft_pow2(&mut a, true);
     let scale = 1.0 / m as f64;
@@ -256,7 +256,9 @@ mod tests {
     fn linearity() {
         let n = 21;
         let x = ramp(n);
-        let y: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.2)).collect();
+        let y: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.2))
+            .collect();
         let sum: Vec<Complex> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
         let fx = fft(&x);
         let fy = fft(&y);

@@ -19,8 +19,12 @@ pub fn lfilter_zi(b: &[f64], a: &[f64], x: &[f64], zi: &[f64]) -> (Vec<f64>, Vec
     let n = b.len().max(a.len());
     // Normalize and zero-pad both coefficient vectors to length n.
     let a0 = a[0];
-    let bb: Vec<f64> = (0..n).map(|i| b.get(i).copied().unwrap_or(0.0) / a0).collect();
-    let aa: Vec<f64> = (0..n).map(|i| a.get(i).copied().unwrap_or(0.0) / a0).collect();
+    let bb: Vec<f64> = (0..n)
+        .map(|i| b.get(i).copied().unwrap_or(0.0) / a0)
+        .collect();
+    let aa: Vec<f64> = (0..n)
+        .map(|i| a.get(i).copied().unwrap_or(0.0) / a0)
+        .collect();
 
     let mut z = zi.to_vec();
     assert_eq!(z.len(), n - 1, "zi must have length max(len(a),len(b))-1");
@@ -44,8 +48,12 @@ fn filtfilt_zi(b: &[f64], a: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let a0 = a[0];
-    let bb: Vec<f64> = (0..n).map(|i| b.get(i).copied().unwrap_or(0.0) / a0).collect();
-    let aa: Vec<f64> = (0..n).map(|i| a.get(i).copied().unwrap_or(0.0) / a0).collect();
+    let bb: Vec<f64> = (0..n)
+        .map(|i| b.get(i).copied().unwrap_or(0.0) / a0)
+        .collect();
+    let aa: Vec<f64> = (0..n)
+        .map(|i| a.get(i).copied().unwrap_or(0.0) / a0)
+        .collect();
     let m = n - 1;
     // M = I − K, where K has first column −a[1..] and an identity block
     // shifted right by one on its first m−1 rows.
@@ -194,7 +202,10 @@ mod tests {
         }
         assert_eq!(best_lag, 0, "filtfilt introduced a phase shift");
         // Amplitude preserved in the passband.
-        let amp = y[100..400].iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()));
+        let amp = y[100..400]
+            .iter()
+            .cloned()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
         assert!((amp - 1.0).abs() < 0.05, "passband amplitude {amp}");
     }
 
@@ -207,7 +218,10 @@ mod tests {
             .collect();
         let (b, a) = butter(4, FilterBand::Lowpass(0.2));
         let y = filtfilt(&b, &a, &x);
-        let amp = y[100..500].iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()));
+        let amp = y[100..500]
+            .iter()
+            .cloned()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(amp < 1e-3, "stopband leak: {amp}");
     }
 

@@ -19,7 +19,7 @@ pub fn analytic(x: &[f64]) -> Vec<Complex> {
     // frequencies, 0 for negative frequencies.
     let half = n / 2;
     for (k, s) in spec.iter_mut().enumerate() {
-        if k == 0 || (n % 2 == 0 && k == half) {
+        if k == 0 || (n.is_multiple_of(2) && k == half) {
             // keep
         } else if k < half || (n % 2 == 1 && k <= half) {
             *s = s.scale(2.0);

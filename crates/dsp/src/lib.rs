@@ -49,4 +49,4 @@ pub use resample::{decimate, resample};
 pub use stft::{spectrogram, Spectrogram};
 pub use welch::{band_power, welch_psd};
 pub use whiten::whiten;
-pub use window::{hann, hamming, kaiser, tukey};
+pub use window::{hamming, hann, kaiser, tukey};

@@ -62,7 +62,9 @@ pub fn clip_std(x: &[f64], k: f64) -> Vec<f64> {
     let mean = x.iter().sum::<f64>() / x.len() as f64;
     let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64;
     let limit = k * var.sqrt();
-    x.iter().map(|&v| (v - mean).clamp(-limit, limit) + mean).collect()
+    x.iter()
+        .map(|&v| (v - mean).clamp(-limit, limit) + mean)
+        .collect()
 }
 
 #[cfg(test)]
@@ -96,7 +98,10 @@ mod tests {
             ratio_after < ratio_before / 3.0,
             "dynamic range {ratio_before:.1} -> {ratio_after:.1}: insufficient suppression"
         );
-        assert!(y[100].abs() < x[100].abs() / 2.0, "spike must be attenuated");
+        assert!(
+            y[100].abs() < x[100].abs() / 2.0,
+            "spike must be attenuated"
+        );
     }
 
     #[test]

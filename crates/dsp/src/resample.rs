@@ -127,7 +127,12 @@ mod tests {
         let expect = sine(1000, 0.02);
         // Compare away from the edges (filter transients).
         for i in 100..900 {
-            assert!((y[i] - expect[i]).abs() < 1e-3, "i={i}: {} vs {}", y[i], expect[i]);
+            assert!(
+                (y[i] - expect[i]).abs() < 1e-3,
+                "i={i}: {} vs {}",
+                y[i],
+                expect[i]
+            );
         }
     }
 

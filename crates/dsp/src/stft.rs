@@ -23,7 +23,10 @@ pub struct Spectrogram {
 impl Spectrogram {
     /// Power at `(frame, bin)`.
     pub fn at(&self, frame: usize, bin: usize) -> f64 {
-        assert!(frame < self.frames && bin < self.bins, "index out of bounds");
+        assert!(
+            frame < self.frames && bin < self.bins,
+            "index out of bounds"
+        );
         self.power[frame * self.bins + bin]
     }
 
@@ -31,8 +34,8 @@ impl Spectrogram {
     pub fn dominant_bin(&self) -> usize {
         let mut totals = vec![0.0f64; self.bins];
         for f in 0..self.frames {
-            for b in 0..self.bins {
-                totals[b] += self.at(f, b);
+            for (b, total) in totals.iter_mut().enumerate() {
+                *total += self.at(f, b);
             }
         }
         totals
@@ -138,7 +141,10 @@ mod tests {
                 .max_by(|&a, &b| s.at(f, a).partial_cmp(&s.at(f, b)).expect("finite"))
                 .expect("bins")
         };
-        assert!(peak_of(s.frames - 1) > peak_of(0) + 10, "chirp must sweep upward");
+        assert!(
+            peak_of(s.frames - 1) > peak_of(0) + 10,
+            "chirp must sweep upward"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub fn welch_psd(x: &[f64], n_fft: usize, hop: usize) -> Vec<f64> {
     let norm = 1.0 / (spec.frames as f64 * win_energy * n_fft as f64);
     for (b, p) in psd.iter_mut().enumerate() {
         // One-sided spectrum: double interior bins.
-        let one_sided = if b == 0 || (n_fft % 2 == 0 && b == bins - 1) {
+        let one_sided = if b == 0 || (n_fft.is_multiple_of(2) && b == bins - 1) {
             1.0
         } else {
             2.0
@@ -106,7 +106,10 @@ mod tests {
         let x2: Vec<f64> = x.iter().map(|v| v * 2.0).collect();
         let p1: f64 = welch_psd(&x, 256, 128).iter().sum();
         let p2: f64 = welch_psd(&x2, 256, 128).iter().sum();
-        assert!((p2 / p1 - 4.0).abs() < 0.01, "doubling amplitude quadruples power");
+        assert!(
+            (p2 / p1 - 4.0).abs() < 0.01,
+            "doubling amplitude quadruples power"
+        );
     }
 
     #[test]

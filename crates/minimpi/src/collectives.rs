@@ -7,7 +7,6 @@
 //! collective I/O costing one broadcast per file.
 
 use crate::comm::{Comm, INTERNAL_TAG_BASE};
-use std::sync::atomic::Ordering;
 
 /// Collective kinds, embedded in internal tags.
 #[derive(Clone, Copy)]
@@ -41,7 +40,7 @@ impl Comm {
     /// `MPI_Barrier`: dissemination algorithm, ⌈log₂ p⌉ rounds.
     pub fn barrier(&self) {
         let seq = self.next_seq();
-        self.stats().barriers.fetch_add(1, Ordering::Relaxed);
+        self.stats().barriers.inc();
         let (rank, size) = (self.rank(), self.size());
         let mut round = 0u64;
         let mut dist = 1usize;
@@ -66,7 +65,11 @@ impl Comm {
     }
 
     /// [`Comm::bcast`] for vectors, counting the real payload volume.
-    pub fn bcast_vec<T: Clone + Send + 'static>(&self, root: usize, value: Option<Vec<T>>) -> Vec<T> {
+    pub fn bcast_vec<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: Option<Vec<T>>,
+    ) -> Vec<T> {
         self.bcast_with_size(root, value, |v| v.len() * std::mem::size_of::<T>())
     }
 
@@ -76,7 +79,7 @@ impl Comm {
         S: Fn(&T) -> usize,
     {
         let seq = self.next_seq();
-        self.stats().bcasts.fetch_add(1, Ordering::Relaxed);
+        self.stats().bcasts.inc();
         let (rank, size) = (self.rank(), self.size());
         assert!(root < size, "bcast root {root} out of range");
         let vrank = (rank + size - root) % size;
@@ -120,14 +123,14 @@ impl Comm {
     /// `Some(vec)` in rank order, others `None`.
     pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
         let seq = self.next_seq();
-        self.stats().gathers.fetch_add(1, Ordering::Relaxed);
+        self.stats().gathers.inc();
         let tag = self.coll_tag(Kind::Gather, seq, 0);
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv_internal(src, tag));
+                    *slot = Some(self.recv_internal(src, tag));
                 }
             }
             Some(out.into_iter().map(|v| v.expect("gathered")).collect())
@@ -141,7 +144,7 @@ impl Comm {
     /// full vector in rank order.
     pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
         let seq = self.next_seq();
-        self.stats().allgathers.fetch_add(1, Ordering::Relaxed);
+        self.stats().allgathers.inc();
         let (rank, size) = (self.rank(), self.size());
         let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
         out[rank] = Some(value);
@@ -163,11 +166,15 @@ impl Comm {
     /// returns its own element.
     pub fn scatter<T: Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> T {
         let seq = self.next_seq();
-        self.stats().scatters.fetch_add(1, Ordering::Relaxed);
+        self.stats().scatters.inc();
         let tag = self.coll_tag(Kind::Scatter, seq, 0);
         if self.rank() == root {
             let values = values.expect("scatter root must supply values");
-            assert_eq!(values.len(), self.size(), "scatter needs one element per rank");
+            assert_eq!(
+                values.len(),
+                self.size(),
+                "scatter needs one element per rank"
+            );
             let mut own = None;
             for (dst, v) in values.into_iter().enumerate() {
                 if dst == root {
@@ -193,7 +200,7 @@ impl Comm {
         F: Fn(T, T) -> T,
     {
         let seq = self.next_seq();
-        self.stats().reduces.fetch_add(1, Ordering::Relaxed);
+        self.stats().reduces.inc();
         let (rank, size) = (self.rank(), self.size());
         assert!(root < size, "reduce root {root} out of range");
         let vrank = (rank + size - root) % size;
@@ -227,7 +234,7 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(T, T) -> T,
     {
-        self.stats().allreduces.fetch_add(1, Ordering::Relaxed);
+        self.stats().allreduces.inc();
         let reduced = self.reduce(0, value, op);
         self.bcast(0, reduced)
     }
@@ -238,7 +245,7 @@ impl Comm {
     /// "lots of concurrent transfers among node pairs" the paper's
     /// communication-avoiding method relies on.
     pub fn alltoall<T: Send + 'static>(&self, values: Vec<T>) -> Vec<T> {
-        self.stats().alltoalls.fetch_add(1, Ordering::Relaxed);
+        self.stats().alltoalls.inc();
         let size = self.size();
         assert_eq!(values.len(), size, "alltoall needs one element per rank");
         let mut slots: Vec<Option<T>> = values.into_iter().map(Some).collect();
@@ -251,7 +258,7 @@ impl Comm {
     /// `MPI_Alltoallv` for variable-size blocks: `buffers[j]` goes to rank
     /// `j`; returns blocks indexed by source rank.
     pub fn alltoallv<T: Send + 'static>(&self, buffers: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        self.stats().alltoallvs.fetch_add(1, Ordering::Relaxed);
+        self.stats().alltoallvs.inc();
         let size = self.size();
         assert_eq!(buffers.len(), size, "alltoallv needs one buffer per rank");
         let mut slots: Vec<Option<Vec<T>>> = buffers.into_iter().map(Some).collect();
@@ -266,7 +273,7 @@ impl Comm {
         &self,
         kind: Kind,
         seq: u64,
-        slots: &mut Vec<Option<T>>,
+        slots: &mut [Option<T>],
         sizer: S,
     ) -> Vec<T>
     where
@@ -365,7 +372,9 @@ mod tests {
     fn reduce_sum_every_root() {
         for p in [1usize, 3, 4, 6] {
             for root in 0..p {
-                let out = run(p, |comm| comm.reduce(root, comm.rank() as u64 + 1, |a, b| a + b));
+                let out = run(p, |comm| {
+                    comm.reduce(root, comm.rank() as u64 + 1, |a, b| a + b)
+                });
                 let total: u64 = (1..=p as u64).sum();
                 assert_eq!(out[root], Some(total));
             }
@@ -374,7 +383,9 @@ mod tests {
 
     #[test]
     fn allreduce_max() {
-        let out = run(6, |comm| comm.allreduce(comm.rank() as i64 * 7 % 5, i64::max));
+        let out = run(6, |comm| {
+            comm.allreduce(comm.rank() as i64 * 7 % 5, i64::max)
+        });
         assert!(out.iter().all(|&v| v == 4));
     }
 
@@ -397,9 +408,8 @@ mod tests {
         let p = 3;
         let out = run(p, |comm| {
             // Send `dst + 1` copies of our rank id to each dst.
-            let buffers: Vec<Vec<u8>> = (0..p)
-                .map(|dst| vec![comm.rank() as u8; dst + 1])
-                .collect();
+            let buffers: Vec<Vec<u8>> =
+                (0..p).map(|dst| vec![comm.rank() as u8; dst + 1]).collect();
             comm.alltoallv(buffers)
         });
         for (rank, blocks) in out.iter().enumerate() {

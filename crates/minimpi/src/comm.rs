@@ -73,6 +73,14 @@ impl Comm {
         &self.stats
     }
 
+    /// The world's observability registry. Counters and spans recorded
+    /// here are visible in [`run_with_stats`]'s world snapshot and (via
+    /// parent chaining) in [`obs::global`]. Rank code can use it to
+    /// account work alongside the communication counters.
+    pub fn registry(&self) -> &std::sync::Arc<obs::Registry> {
+        self.stats.registry()
+    }
+
     /// Send `value` to rank `dst` with `tag` (non-blocking, buffered —
     /// like `MPI_Isend` into an eager buffer).
     ///
@@ -95,7 +103,11 @@ impl Comm {
         value: T,
         approx_bytes: usize,
     ) {
-        assert!(dst < self.size, "send to rank {dst} out of range 0..{}", self.size);
+        assert!(
+            dst < self.size,
+            "send to rank {dst} out of range 0..{}",
+            self.size
+        );
         self.stats.count_message(approx_bytes);
         // Unbounded channel: send cannot fail unless the receiver thread
         // is gone, which only happens when a rank panicked — propagate.
@@ -211,13 +223,35 @@ where
 
 /// Like [`run`], additionally returning the world's communication
 /// counters.
+///
+/// The world gets a fresh [`obs::Registry`] parented to [`obs::global`],
+/// so the snapshot reflects only this world's traffic even when other
+/// worlds run concurrently (e.g. parallel tests).
 pub fn run_with_stats<R, F>(n_ranks: usize, f: F) -> (Vec<R>, crate::StatsSnapshot)
 where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
+    let registry = Arc::new(obs::Registry::with_parent(Arc::clone(obs::global())));
+    run_in_registry(n_ranks, registry, f)
+}
+
+/// Like [`run`], recording the world's communication counters into
+/// `registry` (typically a child of [`obs::global`], but any registry
+/// works — tests can pass an isolated root). Returns each rank's result
+/// and the world's [`crate::StatsSnapshot`], taken after all ranks
+/// joined.
+pub fn run_in_registry<R, F>(
+    n_ranks: usize,
+    registry: Arc<obs::Registry>,
+    f: F,
+) -> (Vec<R>, crate::StatsSnapshot)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
     assert!(n_ranks >= 1, "world must have at least one rank");
-    let stats = Arc::new(CommStats::default());
+    let stats = Arc::new(CommStats::in_registry(Arc::clone(&registry)));
     let (senders, receivers): (Vec<_>, Vec<_>) = (0..n_ranks).map(|_| unbounded()).unzip();
     let senders = Arc::new(senders);
 

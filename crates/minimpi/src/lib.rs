@@ -34,9 +34,9 @@ mod comm;
 mod nonblocking;
 mod stats;
 
-pub use comm::{run, run_with_stats, Comm, RecvError};
+pub use comm::{run, run_in_registry, run_with_stats, Comm, RecvError};
 pub use nonblocking::RecvRequest;
-pub use stats::{CommStats, StatsSnapshot};
+pub use stats::{names as metric_names, CommStats, StatsSnapshot};
 
 #[cfg(test)]
 mod tests {

@@ -28,14 +28,20 @@ impl<'c, T: Send + 'static> RecvRequest<'c, T> {
         if self.done.is_some() {
             return true;
         }
-        match self.comm.recv_timeout::<T>(self.src, self.tag, Duration::ZERO) {
+        match self
+            .comm
+            .recv_timeout::<T>(self.src, self.tag, Duration::ZERO)
+        {
             Ok(v) => {
                 self.done = Some(v);
                 true
             }
             Err(RecvError::Timeout) => false,
             Err(RecvError::TypeMismatch) => {
-                panic!("irecv type mismatch from rank {} tag {}", self.src, self.tag)
+                panic!(
+                    "irecv type mismatch from rank {} tag {}",
+                    self.src, self.tag
+                )
             }
         }
     }

@@ -1,49 +1,120 @@
-//! Communication counters.
+//! Communication counters, backed by the `obs` observability registry.
 //!
 //! DASSA's evaluation hinges on *how many* messages each I/O strategy
 //! issues (O(n) broadcasts for collective-per-file vs O(n/p) exchange
 //! steps for communication-avoiding). These counters make that claim
 //! testable, and feed the `perfmodel` crate's at-scale cost estimates.
+//!
+//! Every world owns a child of the global [`obs`] registry: counters are
+//! queryable by name (`minimpi.p2p.messages`, `minimpi.coll.bcasts`, …)
+//! in the world's own registry — isolated from concurrently running
+//! worlds — while also aggregating into [`obs::global`] for process-wide
+//! exports like `das_pipeline --metrics`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obs::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// Metric names, one per field of [`StatsSnapshot`] plus a per-message
+/// size histogram.
+pub mod names {
+    pub const P2P_MESSAGES: &str = "minimpi.p2p.messages";
+    pub const P2P_BYTES: &str = "minimpi.p2p.bytes";
+    /// Histogram of per-message payload sizes in bytes.
+    pub const P2P_MESSAGE_BYTES: &str = "minimpi.p2p.message_bytes";
+    pub const BARRIERS: &str = "minimpi.coll.barriers";
+    pub const BCASTS: &str = "minimpi.coll.bcasts";
+    pub const GATHERS: &str = "minimpi.coll.gathers";
+    pub const ALLGATHERS: &str = "minimpi.coll.allgathers";
+    pub const SCATTERS: &str = "minimpi.coll.scatters";
+    pub const REDUCES: &str = "minimpi.coll.reduces";
+    pub const ALLREDUCES: &str = "minimpi.coll.allreduces";
+    pub const ALLTOALLS: &str = "minimpi.coll.alltoalls";
+    pub const ALLTOALLVS: &str = "minimpi.coll.alltoallvs";
+}
 
 /// Shared, thread-safe communication counters for one world.
-#[derive(Debug, Default)]
+///
+/// A thin bundle of [`obs::Counter`] handles into the world's registry;
+/// the same values are reachable by name through
+/// [`CommStats::registry`].
 pub struct CommStats {
-    pub(crate) p2p_messages: AtomicU64,
-    pub(crate) p2p_bytes: AtomicU64,
-    pub(crate) barriers: AtomicU64,
-    pub(crate) bcasts: AtomicU64,
-    pub(crate) gathers: AtomicU64,
-    pub(crate) allgathers: AtomicU64,
-    pub(crate) scatters: AtomicU64,
-    pub(crate) reduces: AtomicU64,
-    pub(crate) allreduces: AtomicU64,
-    pub(crate) alltoalls: AtomicU64,
-    pub(crate) alltoallvs: AtomicU64,
+    registry: Arc<Registry>,
+    pub(crate) p2p_messages: Counter,
+    pub(crate) p2p_bytes: Counter,
+    pub(crate) p2p_message_bytes: Histogram,
+    pub(crate) barriers: Counter,
+    pub(crate) bcasts: Counter,
+    pub(crate) gathers: Counter,
+    pub(crate) allgathers: Counter,
+    pub(crate) scatters: Counter,
+    pub(crate) reduces: Counter,
+    pub(crate) allreduces: Counter,
+    pub(crate) alltoalls: Counter,
+    pub(crate) alltoallvs: Counter,
 }
 
 impl CommStats {
+    /// Bundle counter handles for `registry`.
+    pub fn in_registry(registry: Arc<Registry>) -> CommStats {
+        CommStats {
+            p2p_messages: registry.counter(names::P2P_MESSAGES),
+            p2p_bytes: registry.counter(names::P2P_BYTES),
+            p2p_message_bytes: registry.histogram(names::P2P_MESSAGE_BYTES),
+            barriers: registry.counter(names::BARRIERS),
+            bcasts: registry.counter(names::BCASTS),
+            gathers: registry.counter(names::GATHERS),
+            allgathers: registry.counter(names::ALLGATHERS),
+            scatters: registry.counter(names::SCATTERS),
+            reduces: registry.counter(names::REDUCES),
+            allreduces: registry.counter(names::ALLREDUCES),
+            alltoalls: registry.counter(names::ALLTOALLS),
+            alltoallvs: registry.counter(names::ALLTOALLVS),
+            registry,
+        }
+    }
+
+    /// The registry these counters live in (one per world).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     pub(crate) fn count_message(&self, bytes: usize) {
-        self.p2p_messages.fetch_add(1, Ordering::Relaxed);
-        self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.p2p_messages.inc();
+        self.p2p_bytes.add(bytes as u64);
+        self.p2p_message_bytes.record(bytes as u64);
     }
 
     /// An immutable snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
-            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
-            barriers: self.barriers.load(Ordering::Relaxed),
-            bcasts: self.bcasts.load(Ordering::Relaxed),
-            gathers: self.gathers.load(Ordering::Relaxed),
-            allgathers: self.allgathers.load(Ordering::Relaxed),
-            scatters: self.scatters.load(Ordering::Relaxed),
-            reduces: self.reduces.load(Ordering::Relaxed),
-            allreduces: self.allreduces.load(Ordering::Relaxed),
-            alltoalls: self.alltoalls.load(Ordering::Relaxed),
-            alltoallvs: self.alltoallvs.load(Ordering::Relaxed),
+            p2p_messages: self.p2p_messages.get(),
+            p2p_bytes: self.p2p_bytes.get(),
+            barriers: self.barriers.get(),
+            bcasts: self.bcasts.get(),
+            gathers: self.gathers.get(),
+            allgathers: self.allgathers.get(),
+            scatters: self.scatters.get(),
+            reduces: self.reduces.get(),
+            allreduces: self.allreduces.get(),
+            alltoalls: self.alltoalls.get(),
+            alltoallvs: self.alltoallvs.get(),
         }
+    }
+}
+
+impl Default for CommStats {
+    /// Standalone counters in a fresh registry parented to
+    /// [`obs::global`], as used by [`crate::run`] for each new world.
+    fn default() -> CommStats {
+        CommStats::in_registry(Arc::new(Registry::with_parent(Arc::clone(obs::global()))))
+    }
+}
+
+impl std::fmt::Debug for CommStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommStats")
+            .field("snapshot", &self.snapshot())
+            .finish()
     }
 }
 
@@ -78,5 +149,19 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.p2p_messages, 2);
         assert_eq!(snap.p2p_bytes, 150);
+    }
+
+    #[test]
+    fn counters_are_queryable_by_name() {
+        let registry = Arc::new(Registry::new());
+        let s = CommStats::in_registry(Arc::clone(&registry));
+        s.count_message(64);
+        s.bcasts.inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::P2P_MESSAGES), 1);
+        assert_eq!(snap.counter(names::P2P_BYTES), 64);
+        assert_eq!(snap.counter(names::BCASTS), 1);
+        let sizes = snap.histogram(names::P2P_MESSAGE_BYTES).expect("histogram");
+        assert_eq!((sizes.count, sizes.sum), (1, 64));
     }
 }

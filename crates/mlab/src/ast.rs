@@ -48,7 +48,10 @@ pub enum Expr {
     MatrixLit(Vec<Vec<Expr>>),
     /// `name(args)` — function call *or* indexing, resolved at runtime
     /// exactly as MATLAB does (variables shadow functions).
-    CallOrIndex { name: String, args: Vec<Index> },
+    CallOrIndex {
+        name: String,
+        args: Vec<Index>,
+    },
 }
 
 /// Unary operators.
@@ -68,9 +71,12 @@ pub enum Stmt {
         value: Expr,
     },
     /// `[a, b] = f(...)` — multi-value assignment.
-    MultiAssign { targets: Vec<String>, call: Expr },
+    MultiAssign {
+        targets: Vec<String>,
+        call: Expr,
+    },
     /// Bare expression (evaluated for effect; result stored in `ans`).
-    ExprStmt(Expr),
+    Expr(Expr),
     For {
         var: String,
         iter: Expr,

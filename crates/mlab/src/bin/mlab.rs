@@ -46,7 +46,9 @@ fn main() {
     if interactive {
         eprintln!("mlab — interactive DAS analysis shell (DASSA bridge loaded)");
         eprintln!("builtins: detrend butter filtfilt resample fft abscorr ...");
-        eprintln!("          das_generate das_read das_search das_local_similarity das_interferometry");
+        eprintln!(
+            "          das_generate das_read das_search das_local_similarity das_interferometry"
+        );
         eprintln!("type 'quit' to exit");
     }
     loop {

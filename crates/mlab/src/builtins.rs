@@ -105,13 +105,12 @@ pub fn call(interp: &mut Interp, name: &str, argv: Vec<Value>) -> Result<Vec<Val
         // ---- Table II: DasLib ------------------------------------------------
         "detrend" => {
             let x = arg(&argv, 0)?;
-            let out = if argv.len() >= 2
-                && matches!(arg(&argv, 1)?, Value::Str(s) if s == "constant")
-            {
-                dsp::detrend_constant(&x.to_real_vec()?)
-            } else {
-                dsp::detrend(&x.to_real_vec()?)
-            };
+            let out =
+                if argv.len() >= 2 && matches!(arg(&argv, 1)?, Value::Str(s) if s == "constant") {
+                    dsp::detrend_constant(&x.to_real_vec()?)
+                } else {
+                    dsp::detrend(&x.to_real_vec()?)
+                };
             one(Value::reshape_like(out, x))
         }
         "butter" => {
@@ -139,13 +138,19 @@ pub fn call(interp: &mut Interp, name: &str, argv: Vec<Value>) -> Result<Vec<Val
             let b = arg(&argv, 0)?.to_real_vec()?;
             let a = arg(&argv, 1)?.to_real_vec()?;
             let x = arg(&argv, 2)?;
-            one(Value::reshape_like(dsp::lfilter(&b, &a, &x.to_real_vec()?), x))
+            one(Value::reshape_like(
+                dsp::lfilter(&b, &a, &x.to_real_vec()?),
+                x,
+            ))
         }
         "filtfilt" => {
             let b = arg(&argv, 0)?.to_real_vec()?;
             let a = arg(&argv, 1)?.to_real_vec()?;
             let x = arg(&argv, 2)?;
-            one(Value::reshape_like(dsp::filtfilt(&b, &a, &x.to_real_vec()?), x))
+            one(Value::reshape_like(
+                dsp::filtfilt(&b, &a, &x.to_real_vec()?),
+                x,
+            ))
         }
         "resample" => {
             let x = arg(&argv, 0)?.to_real_vec()?;
@@ -270,7 +275,7 @@ pub fn call(interp: &mut Interp, name: &str, argv: Vec<Value>) -> Result<Vec<Val
     }
 }
 
-fn arg<'a>(argv: &'a [Value], i: usize) -> Result<&'a Value, String> {
+fn arg(argv: &[Value], i: usize) -> Result<&Value, String> {
     argv.get(i)
         .ok_or_else(|| format!("missing argument {}", i + 1))
 }
@@ -281,10 +286,7 @@ fn dims_from_args(argv: &[Value]) -> Result<(usize, usize), String> {
             let n = argv[0].as_scalar()? as usize;
             Ok((n, n))
         }
-        2 => Ok((
-            argv[0].as_scalar()? as usize,
-            argv[1].as_scalar()? as usize,
-        )),
+        2 => Ok((argv[0].as_scalar()? as usize, argv[1].as_scalar()? as usize)),
         n => Err(format!("expected 1 or 2 size arguments, got {n}")),
     }
 }
@@ -331,10 +333,7 @@ mod tests {
     #[test]
     fn elementwise_max_binary() {
         let i = run("m = max([1 5 2], 3);");
-        assert_eq!(
-            i.get("m"),
-            Some(&crate::Value::row(vec![3.0, 5.0, 3.0]))
-        );
+        assert_eq!(i.get("m"), Some(&crate::Value::row(vec![3.0, 5.0, 3.0])));
     }
 
     #[test]
@@ -347,12 +346,10 @@ mod tests {
 
     #[test]
     fn butter_filtfilt_pipeline() {
-        let i = run(
-            "[b, a] = butter(2, 0.4);\n\
+        let i = run("[b, a] = butter(2, 0.4);\n\
              x = sin(0.1 * (1:200));\n\
              y = filtfilt(b, a, x);\n\
-             n = length(y);",
-        );
+             n = length(y);");
         assert_eq!(i.get_scalar("n"), Some(200.0));
     }
 
@@ -364,33 +361,27 @@ mod tests {
 
     #[test]
     fn fft_roundtrip_and_abs() {
-        let i = run(
-            "x = [1 2 3 4];\n\
+        let i = run("x = [1 2 3 4];\n\
              s = fft(x);\n\
              back = real(ifft(s));\n\
-             err = max(abs(back - x));",
-        );
+             err = max(abs(back - x));");
         assert!(i.get_scalar("err").unwrap() < 1e-12);
     }
 
     #[test]
     fn abscorr_real_and_complex() {
-        let i = run(
-            "a = [1 2 3]; c1 = abscorr(a, a);\n\
-             s = fft([1 0 0 0]); c2 = abscorr(s, s);",
-        );
+        let i = run("a = [1 2 3]; c1 = abscorr(a, a);\n\
+             s = fft([1 0 0 0]); c2 = abscorr(s, s);");
         assert!((i.get_scalar("c1").unwrap() - 1.0).abs() < 1e-12);
         assert!((i.get_scalar("c2").unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn resample_and_interp1() {
-        let i = run(
-            "x = 0:99;\n\
+        let i = run("x = 0:99;\n\
              y = resample(x, 1, 2);\n\
              n = length(y);\n\
-             v = interp1([0 1], [0 10], [0.5]);",
-        );
+             v = interp1([0 1], [0 10], [0.5]);");
         assert_eq!(i.get_scalar("n"), Some(50.0));
         assert_eq!(i.get_scalar("v"), Some(5.0));
     }

@@ -13,9 +13,9 @@
 //! ```
 
 use crate::value::Value;
+use dasgen::{write_minute_files, Scene};
 use dassa::dasa::{local_similarity, Haee, InterferometryParams, LocalSimiParams};
 use dassa::dass::{FileCatalog, Vca};
-use dasgen::{write_minute_files, Scene};
 
 /// Dispatch a `das_*` builtin. Returns `None` when `name` is not a
 /// bridge builtin (the caller falls through to the core library).
@@ -30,7 +30,7 @@ pub fn call(name: &str, argv: &[Value]) -> Option<Result<Vec<Value>, String>> {
     })
 }
 
-fn arg<'a>(argv: &'a [Value], i: usize) -> Result<&'a Value, String> {
+fn arg(argv: &[Value], i: usize) -> Result<&Value, String> {
     argv.get(i)
         .ok_or_else(|| format!("missing argument {}", i + 1))
 }
@@ -61,7 +61,9 @@ fn das_read(argv: &[Value]) -> Result<Vec<Value>, String> {
         .map_err(|_| "start timestamp must be a yymmddhhmmss string".to_string())?;
     let count = usize_arg(argv, 2)?;
     let catalog = FileCatalog::scan(&dir).map_err(|e| e.to_string())?;
-    let hits = catalog.search_range(start, count).map_err(|e| e.to_string())?;
+    let hits = catalog
+        .search_range(start, count)
+        .map_err(|e| e.to_string())?;
     let vca = Vca::from_entries(&hits).map_err(|e| e.to_string())?;
     let data = vca.read_all_f64().map_err(|e| e.to_string())?;
     Ok(vec![Value::Matrix {
@@ -133,7 +135,11 @@ fn das_local_similarity(argv: &[Value]) -> Result<Vec<Value>, String> {
         search_half: usize_arg(argv, 3)?,
         time_stride: usize_arg(argv, 4)?.max(1),
     };
-    let out = local_similarity(&data, &params, &Haee::hybrid(omp::num_procs()));
+    let out = local_similarity(
+        &data,
+        &params,
+        &Haee::builder().threads(omp::num_procs()).build(),
+    );
     Ok(vec![Value::Matrix {
         rows: out.rows(),
         cols: out.cols(),
@@ -156,8 +162,12 @@ fn das_interferometry(argv: &[Value]) -> Result<Vec<Value>, String> {
         master_channel: master1 - 1,
         ..Default::default()
     };
-    let scores = dassa::dasa::interferometry(&data, &params, &Haee::hybrid(omp::num_procs()))
-        .map_err(|e| e.to_string())?;
+    let scores = dassa::dasa::interferometry(
+        &data,
+        &params,
+        &Haee::builder().threads(omp::num_procs()).build(),
+    )
+    .map_err(|e| e.to_string())?;
     Ok(vec![Value::row(scores)])
 }
 

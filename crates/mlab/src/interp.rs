@@ -109,7 +109,11 @@ impl Interp {
     fn exec(&mut self, stmt: &Stmt) -> Result<Flow, MlabError> {
         self.statements_executed += 1;
         match stmt {
-            Stmt::Assign { target, indices, value } => {
+            Stmt::Assign {
+                target,
+                indices,
+                value,
+            } => {
                 let v = self.eval(value)?;
                 match indices {
                     None => {
@@ -143,7 +147,7 @@ impl Interp {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::ExprStmt(e) => {
+            Stmt::Expr(e) => {
                 let v = self.eval(e)?;
                 self.vars.insert("ans".to_string(), v);
                 Ok(Flow::Normal)
@@ -189,7 +193,12 @@ impl Interp {
             }
             Stmt::Break => Ok(Flow::Break),
             Stmt::Return => Ok(Flow::Return),
-            Stmt::FuncDef { name, params, outputs, body } => {
+            Stmt::FuncDef {
+                name,
+                params,
+                outputs,
+                body,
+            } => {
                 self.funcs.insert(
                     name.clone(),
                     FuncDef {
@@ -244,7 +253,12 @@ impl Interp {
     }
 
     /// `x(indices) = value` with 1-D auto-grow (MATLAB behaviour).
-    fn assign_indexed(&mut self, target: &str, ix: &[Index], value: Value) -> Result<(), MlabError> {
+    fn assign_indexed(
+        &mut self,
+        target: &str,
+        ix: &[Index],
+        value: Value,
+    ) -> Result<(), MlabError> {
         let existing = self.vars.get(target).cloned().unwrap_or(Value::row(vec![]));
         let updated = match ix.len() {
             1 => {
@@ -264,7 +278,11 @@ impl Interp {
                     let (r, c) = existing.linear_to_rc(i1).map_err(MlabError)?;
                     let (_, cols) = existing.shape();
                     data[r * cols + c] = v;
-                    Value::Matrix { rows, cols: data.len() / rows, data }
+                    Value::Matrix {
+                        rows,
+                        cols: data.len() / rows,
+                        data,
+                    }
                 } else {
                     // Vector: grow with zeros as needed.
                     if i1 > data.len() {
@@ -295,8 +313,7 @@ impl Interp {
                         if r1 == 0 || r1 > rows || c1 == 0 || c1 > cols {
                             return Err(MlabError(format!("({r1},{c1}) out of bounds")));
                         }
-                        data[(r1 - 1) * cols + (c1 - 1)] =
-                            value.as_scalar().map_err(MlabError)?;
+                        data[(r1 - 1) * cols + (c1 - 1)] = value.as_scalar().map_err(MlabError)?;
                     }
                     _ => return Err(MlabError("unsupported indexed assignment form".into())),
                 }
@@ -332,10 +349,11 @@ impl Interp {
             Expr::Unary(op, inner) => {
                 let v = self.eval(inner)?;
                 match op {
-                    UnOp::Neg => elementwise(&v, &Value::Num(-1.0), |a, b| a * b).map_err(MlabError),
-                    UnOp::Not => {
-                        elementwise(&v, &Value::Num(0.0), |a, _| f64::from(a == 0.0)).map_err(MlabError)
+                    UnOp::Neg => {
+                        elementwise(&v, &Value::Num(-1.0), |a, b| a * b).map_err(MlabError)
                     }
+                    UnOp::Not => elementwise(&v, &Value::Num(0.0), |a, _| f64::from(a == 0.0))
+                        .map_err(MlabError),
                 }
             }
             Expr::Bin(op, lhs, rhs) => {
@@ -483,19 +501,11 @@ fn index_value(base: &Value, argv: &[Value]) -> Result<Value, String> {
         2 => {
             let row_sel: Vec<usize> = match &argv[0] {
                 Value::Str(s) if s == ":" => (0..rows).collect(),
-                v => v
-                    .to_real_vec()?
-                    .iter()
-                    .map(|&i| i as usize - 1)
-                    .collect(),
+                v => v.to_real_vec()?.iter().map(|&i| i as usize - 1).collect(),
             };
             let col_sel: Vec<usize> = match &argv[1] {
                 Value::Str(s) if s == ":" => (0..cols).collect(),
-                v => v
-                    .to_real_vec()?
-                    .iter()
-                    .map(|&i| i as usize - 1)
-                    .collect(),
+                v => v.to_real_vec()?.iter().map(|&i| i as usize - 1).collect(),
             };
             let mut out = Vec::with_capacity(row_sel.len() * col_sel.len());
             for &r in &row_sel {
@@ -592,8 +602,7 @@ mod tests {
 
     #[test]
     fn control_flow_composes() {
-        let i = run(
-            "acc = 0;\n\
+        let i = run("acc = 0;\n\
              for k = 1:10\n\
                if k == 5\n\
                  break\n\
@@ -603,8 +612,7 @@ mod tests {
              n = 0;\n\
              while n < 7\n\
                n = n + 2;\n\
-             end",
-        );
+             end");
         assert_eq!(i.get_scalar("acc"), Some(10.0));
         assert_eq!(i.get_scalar("n"), Some(8.0));
     }

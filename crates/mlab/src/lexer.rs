@@ -18,8 +18,8 @@ pub enum Tok {
     DotSlash,
     DotCaret,
     Assign,
-    Eq,  // ==
-    Ne,  // ~=
+    Eq, // ==
+    Ne, // ~=
     Lt,
     Gt,
     Le,
@@ -81,7 +81,9 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, String> {
                 out.push(Tok::Newline);
                 i += 1;
             }
-            '0'..='9' | '.' if c.is_ascii_digit() || chars.get(i + 1).is_some_and(|n| n.is_ascii_digit()) => {
+            '0'..='9' | '.'
+                if c.is_ascii_digit() || chars.get(i + 1).is_some_and(|n| n.is_ascii_digit()) =>
+            {
                 let start = i;
                 while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
                     // A `.` followed by an operator char is elementwise-op,
@@ -336,7 +338,9 @@ mod tests {
     #[test]
     fn comments_stripped() {
         let toks = lex("x = 1; % the answer\ny = 2;").unwrap();
-        assert!(toks.iter().all(|t| !matches!(t, Tok::Ident(s) if s == "the")));
+        assert!(toks
+            .iter()
+            .all(|t| !matches!(t, Tok::Ident(s) if s == "the")));
         assert!(toks.contains(&Tok::Newline));
     }
 
@@ -370,7 +374,10 @@ mod tests {
         assert!(!nested.contains(&Tok::Comma), "{nested:?}");
         // Outside brackets nothing changes.
         let plain = lex("a -b").unwrap();
-        assert_eq!(plain, vec![Tok::Ident("a".into()), Tok::Minus, Tok::Ident("b".into())]);
+        assert_eq!(
+            plain,
+            vec![Tok::Ident("a".into()), Tok::Minus, Tok::Ident("b".into())]
+        );
     }
 
     #[test]

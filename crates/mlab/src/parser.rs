@@ -50,7 +50,10 @@ impl Parser {
     }
 
     fn skip_separators(&mut self) {
-        while matches!(self.peek(), Some(Tok::Newline) | Some(Tok::Semi) | Some(Tok::Comma)) {
+        while matches!(
+            self.peek(),
+            Some(Tok::Newline) | Some(Tok::Semi) | Some(Tok::Comma)
+        ) {
             self.pos += 1;
         }
     }
@@ -116,15 +119,13 @@ impl Parser {
         }
         let name = self.ident()?;
         let mut params = Vec::new();
-        if self.eat(&Tok::LParen) {
-            if !self.eat(&Tok::RParen) {
-                loop {
-                    params.push(self.ident()?);
-                    if self.eat(&Tok::RParen) {
-                        break;
-                    }
-                    self.expect(&Tok::Comma)?;
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if self.eat(&Tok::RParen) {
+                    break;
                 }
+                self.expect(&Tok::Comma)?;
             }
         }
         let body = self.block(&[Tok::End])?;
@@ -205,7 +206,7 @@ impl Parser {
         // Not a multi-assign: rewind and parse as an expression.
         self.pos = save;
         let e = self.expr()?;
-        Ok(Stmt::ExprStmt(e))
+        Ok(Stmt::Expr(e))
     }
 
     fn assign_or_expr(&mut self) -> Result<Stmt, String> {
@@ -236,7 +237,7 @@ impl Parser {
             self.pos = save;
         }
         let e = self.expr()?;
-        Ok(Stmt::ExprStmt(e))
+        Ok(Stmt::Expr(e))
     }
 
     fn ident(&mut self) -> Result<String, String> {
@@ -456,7 +457,11 @@ mod tests {
         let stmts = parse("x = 1 + 2 * 3;").unwrap();
         assert_eq!(stmts.len(), 1);
         match &stmts[0] {
-            Stmt::Assign { target, indices, value } => {
+            Stmt::Assign {
+                target,
+                indices,
+                value,
+            } => {
                 assert_eq!(target, "x");
                 assert!(indices.is_none());
                 // 1 + (2 * 3) by precedence
@@ -491,7 +496,10 @@ mod tests {
     fn parses_matrix_literal_rows() {
         let stmts = parse("m = [1 2 3; 4 5 6];").unwrap();
         match &stmts[0] {
-            Stmt::Assign { value: Expr::MatrixLit(rows), .. } => {
+            Stmt::Assign {
+                value: Expr::MatrixLit(rows),
+                ..
+            } => {
                 assert_eq!(rows.len(), 2);
                 assert_eq!(rows[0].len(), 3);
             }
@@ -502,8 +510,20 @@ mod tests {
     #[test]
     fn parses_ranges() {
         let stmts = parse("r = 1:10; s = 0:0.5:5;").unwrap();
-        assert!(matches!(&stmts[0], Stmt::Assign { value: Expr::Range { step: None, .. }, .. }));
-        assert!(matches!(&stmts[1], Stmt::Assign { value: Expr::Range { step: Some(_), .. }, .. }));
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Assign {
+                value: Expr::Range { step: None, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &stmts[1],
+            Stmt::Assign {
+                value: Expr::Range { step: Some(_), .. },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -546,7 +566,10 @@ mod tests {
     fn call_with_colon_index() {
         let stmts = parse("row = data(3, :);").unwrap();
         match &stmts[0] {
-            Stmt::Assign { value: Expr::CallOrIndex { name, args }, .. } => {
+            Stmt::Assign {
+                value: Expr::CallOrIndex { name, args },
+                ..
+            } => {
                 assert_eq!(name, "data");
                 assert_eq!(args.len(), 2);
                 assert_eq!(args[1], Index::All);

@@ -12,9 +12,17 @@ pub enum Value {
     /// A real scalar (also represents logicals as 0.0 / 1.0).
     Num(f64),
     /// A dense real matrix, row-major storage.
-    Matrix { rows: usize, cols: usize, data: Vec<f64> },
+    Matrix {
+        rows: usize,
+        cols: usize,
+        data: Vec<f64>,
+    },
     /// A dense complex matrix (results of `fft` etc.).
-    CMatrix { rows: usize, cols: usize, data: Vec<Complex> },
+    CMatrix {
+        rows: usize,
+        cols: usize,
+        data: Vec<Complex>,
+    },
     /// A string (used for option flags like `'high'`).
     Str(String),
 }
@@ -115,7 +123,11 @@ impl Value {
     pub fn get2(&self, r: usize, c: usize) -> Result<f64, String> {
         let (rows, cols) = self.shape();
         if r >= rows || c >= cols {
-            return Err(format!("index ({},{}) out of bounds {rows}x{cols}", r + 1, c + 1));
+            return Err(format!(
+                "index ({},{}) out of bounds {rows}x{cols}",
+                r + 1,
+                c + 1
+            ));
         }
         match self {
             Value::Num(v) => Ok(*v),
@@ -128,7 +140,9 @@ impl Value {
     pub fn linear_to_rc(&self, idx1: usize) -> Result<(usize, usize), String> {
         let (rows, cols) = self.shape();
         if idx1 == 0 || idx1 > rows * cols {
-            return Err(format!("linear index {idx1} out of bounds for {rows}x{cols}"));
+            return Err(format!(
+                "linear index {idx1} out of bounds for {rows}x{cols}"
+            ));
         }
         let k = idx1 - 1;
         Ok((k % rows, k / rows))
@@ -136,11 +150,7 @@ impl Value {
 }
 
 /// Element-wise binary op with scalar broadcasting.
-pub fn elementwise(
-    a: &Value,
-    b: &Value,
-    op: impl Fn(f64, f64) -> f64,
-) -> Result<Value, String> {
+pub fn elementwise(a: &Value, b: &Value, op: impl Fn(f64, f64) -> f64) -> Result<Value, String> {
     match (a, b) {
         (Value::Num(x), Value::Num(y)) => Ok(Value::Num(op(*x, *y))),
         (Value::Num(x), Value::Matrix { rows, cols, data }) => Ok(Value::Matrix {
@@ -154,8 +164,16 @@ pub fn elementwise(
             data: data.iter().map(|&x| op(x, *y)).collect(),
         }),
         (
-            Value::Matrix { rows: r1, cols: c1, data: d1 },
-            Value::Matrix { rows: r2, cols: c2, data: d2 },
+            Value::Matrix {
+                rows: r1,
+                cols: c1,
+                data: d1,
+            },
+            Value::Matrix {
+                rows: r2,
+                cols: c2,
+                data: d2,
+            },
         ) => {
             if (r1, c1) != (r2, c2) {
                 return Err(format!("shape mismatch: {r1}x{c1} vs {r2}x{c2}"));
@@ -185,7 +203,11 @@ pub fn elementwise_complex(
     } else if db.len() == 1 {
         (ra, ca, da.iter().map(|&x| op(x, db[0])).collect())
     } else if (ra, ca) == (rb, cb) {
-        (ra, ca, da.iter().zip(&db).map(|(&x, &y)| op(x, y)).collect())
+        (
+            ra,
+            ca,
+            da.iter().zip(&db).map(|(&x, &y)| op(x, y)).collect(),
+        )
     } else {
         return Err(format!("shape mismatch: {ra}x{ca} vs {rb}x{cb}"));
     };
@@ -200,8 +222,16 @@ pub fn matmul(a: &Value, b: &Value) -> Result<Value, String> {
     }
     match (a, b) {
         (
-            Value::Matrix { rows: r1, cols: c1, data: d1 },
-            Value::Matrix { rows: r2, cols: c2, data: d2 },
+            Value::Matrix {
+                rows: r1,
+                cols: c1,
+                data: d1,
+            },
+            Value::Matrix {
+                rows: r2,
+                cols: c2,
+                data: d2,
+            },
         ) => {
             if c1 != r2 {
                 return Err(format!("inner dimensions disagree: {r1}x{c1} * {r2}x{c2}"));

@@ -6,48 +6,43 @@ use mlab::{Interp, Value};
 
 fn run(src: &str) -> Interp {
     let mut i = Interp::new();
-    i.run(src).unwrap_or_else(|e| panic!("{e}\nin script:\n{src}"));
+    i.run(src)
+        .unwrap_or_else(|e| panic!("{e}\nin script:\n{src}"));
     i
 }
 
 #[test]
 fn single_output_function() {
-    let i = run(
-        "function y = square(x)\n\
+    let i = run("function y = square(x)\n\
            y = x .* x;\n\
          end\n\
          a = square(7);\n\
-         v = square([1 2 3]);",
-    );
+         v = square([1 2 3]);");
     assert_eq!(i.get_scalar("a"), Some(49.0));
     assert_eq!(i.get("v"), Some(&Value::row(vec![1.0, 4.0, 9.0])));
 }
 
 #[test]
 fn multi_output_function() {
-    let i = run(
-        "function [lo, hi] = bounds(v)\n\
+    let i = run("function [lo, hi] = bounds(v)\n\
            lo = min(v);\n\
            hi = max(v);\n\
          end\n\
-         [a, b] = bounds([3 1 4 1 5]);",
-    );
+         [a, b] = bounds([3 1 4 1 5]);");
     assert_eq!(i.get_scalar("a"), Some(1.0));
     assert_eq!(i.get_scalar("b"), Some(5.0));
 }
 
 #[test]
 fn function_workspace_is_isolated() {
-    let i = run(
-        "secret = 99;\n\
+    let i = run("secret = 99;\n\
          function y = peek()\n\
            if isempty(zeros(0, 0))\n\
              y = 1;\n\
            end\n\
          end\n\
          out = peek();\n\
-         still = secret;",
-    );
+         still = secret;");
     assert_eq!(i.get_scalar("out"), Some(1.0));
     assert_eq!(i.get_scalar("still"), Some(99.0));
 
@@ -67,23 +62,20 @@ fn function_workspace_is_isolated() {
 
 #[test]
 fn function_does_not_clobber_caller_variables() {
-    let i = run(
-        "x = 10;\n\
+    let i = run("x = 10;\n\
          function y = shadow(x)\n\
            x = x + 1;\n\
            y = x;\n\
          end\n\
          r = shadow(1);\n\
-         keep = x;",
-    );
+         keep = x;");
     assert_eq!(i.get_scalar("r"), Some(2.0));
     assert_eq!(i.get_scalar("keep"), Some(10.0), "caller x untouched");
 }
 
 #[test]
 fn early_return() {
-    let i = run(
-        "function y = clamped(x)\n\
+    let i = run("function y = clamped(x)\n\
            y = x;\n\
            if x > 10\n\
              y = 10;\n\
@@ -92,16 +84,14 @@ fn early_return() {
            y = y + 1;\n\
          end\n\
          a = clamped(3);\n\
-         b = clamped(50);",
-    );
+         b = clamped(50);");
     assert_eq!(i.get_scalar("a"), Some(4.0));
     assert_eq!(i.get_scalar("b"), Some(10.0), "return skips the +1");
 }
 
 #[test]
 fn return_propagates_out_of_loops() {
-    let i = run(
-        "function y = first_over(v, limit)\n\
+    let i = run("function y = first_over(v, limit)\n\
            y = -1;\n\
            for k = 1:length(v)\n\
              if v(k) > limit\n\
@@ -110,23 +100,20 @@ fn return_propagates_out_of_loops() {
              end\n\
            end\n\
          end\n\
-         idx = first_over([1 5 2 9 3], 4);",
-    );
+         idx = first_over([1 5 2 9 3], 4);");
     assert_eq!(i.get_scalar("idx"), Some(2.0));
 }
 
 #[test]
 fn recursion_with_limit() {
-    let i = run(
-        "function y = fact(n)\n\
+    let i = run("function y = fact(n)\n\
            if n <= 1\n\
              y = 1;\n\
            else\n\
              y = n * fact(n - 1);\n\
            end\n\
          end\n\
-         f = fact(10);",
-    );
+         f = fact(10);");
     assert_eq!(i.get_scalar("f"), Some(3_628_800.0));
 
     let mut j = Interp::new();
@@ -143,15 +130,13 @@ fn recursion_with_limit() {
 
 #[test]
 fn functions_can_call_builtins_and_each_other() {
-    let i = run(
-        "function y = rms(x)\n\
+    let i = run("function y = rms(x)\n\
            y = sqrt(mean(x .* x));\n\
          end\n\
          function y = db(x)\n\
            y = 20 * log(rms(x)) / log(10);\n\
          end\n\
-         v = db([3 3 3 3]);",
-    );
+         v = db([3 3 3 3]);");
     let expect = 20.0 * 3.0f64.log10();
     assert!((i.get_scalar("v").unwrap() - expect).abs() < 1e-9);
 }
@@ -159,16 +144,14 @@ fn functions_can_call_builtins_and_each_other() {
 #[test]
 fn pipeline_helper_function_matches_inline() {
     // The realistic use: wrap the per-channel preprocessing in a helper.
-    let i = run(
-        "function w = preprocess(x, b, a)\n\
+    let i = run("function w = preprocess(x, b, a)\n\
            w = resample(filtfilt(b, a, detrend(x)), 1, 2);\n\
          end\n\
          [b, a] = butter(3, 0.4);\n\
          x = sin(0.1 * (1:300));\n\
          via_fn = preprocess(x, b, a);\n\
          inline = resample(filtfilt(b, a, detrend(x)), 1, 2);\n\
-         err = max(abs(via_fn - inline));",
-    );
+         err = max(abs(via_fn - inline));");
     assert_eq!(i.get_scalar("err"), Some(0.0));
 }
 
@@ -202,11 +185,9 @@ fn too_many_arguments_rejected() {
 
 #[test]
 fn zero_output_function_for_side_effects() {
-    let i = run(
-        "function shout(msg)\n\
+    let i = run("function shout(msg)\n\
            disp(msg);\n\
          end\n\
-         shout('processing channel');",
-    );
+         shout('processing channel');");
     assert_eq!(i.output, "processing channel\n");
 }

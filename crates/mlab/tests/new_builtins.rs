@@ -11,11 +11,9 @@ fn run(src: &str) -> Interp {
 
 #[test]
 fn envelope_matches_native() {
-    let i = run(
-        "x = sin(0.3 * (1:256));\n\
+    let i = run("x = sin(0.3 * (1:256));\n\
          e = envelope(x);\n\
-         m = mean(e(64:192));",
-    );
+         m = mean(e(64:192));");
     // Envelope of a unit tone is ~1 away from the edges.
     let m = i.get_scalar("m").unwrap();
     assert!((m - 1.0).abs() < 0.05, "envelope mean {m}");
@@ -34,11 +32,9 @@ fn envelope_matches_native() {
 
 #[test]
 fn whiten_flattens_band() {
-    let i = run(
-        "x = 100 * sin(0.3 * (1:512)) + sin(1.1 * (1:512));\n\
+    let i = run("x = 100 * sin(0.3 * (1:512)) + sin(1.1 * (1:512));\n\
          w = whiten(x, 0.05, 0.6);\n\
-         n = length(w);",
-    );
+         n = length(w);");
     assert_eq!(i.get_scalar("n"), Some(512.0));
 }
 
@@ -68,13 +64,14 @@ fn std_and_var_consistent() {
 
 #[test]
 fn sort_and_find() {
-    let i = run(
-        "v = [3 0 -1 0 2];\n\
+    let i = run("v = [3 0 -1 0 2];\n\
          s = sort(v);\n\
          idx = find(v);\n\
-         hits = find(v > 1);",
+         hits = find(v > 1);");
+    assert_eq!(
+        i.get("s"),
+        Some(&Value::row(vec![-1.0, 0.0, 0.0, 2.0, 3.0]))
     );
-    assert_eq!(i.get("s"), Some(&Value::row(vec![-1.0, 0.0, 0.0, 2.0, 3.0])));
     assert_eq!(i.get("idx"), Some(&Value::row(vec![1.0, 3.0, 5.0])));
     assert_eq!(i.get("hits"), Some(&Value::row(vec![1.0, 5.0])));
 }
@@ -83,14 +80,12 @@ fn sort_and_find() {
 fn ambient_noise_script_end_to_end() {
     // A realistic preprocessing snippet using the new toolbox, written
     // the way a geophysicist would.
-    let i = run(
-        "function w = prep(x)\n\
+    let i = run("function w = prep(x)\n\
            w = whiten(onebit(detrend(x)), 0.05, 0.8);\n\
          end\n\
          data = das_generate(6, 25, 30, 4);\n\
          ref = prep(data(1, :));\n\
          c = abscorr(ref, prep(data(2, :)));\n\
-         ok = c >= 0 && c <= 1;",
-    );
+         ok = c >= 0 && c <= 1;");
     assert_eq!(i.get_scalar("ok"), Some(1.0));
 }

@@ -1,0 +1,300 @@
+//! Minimal hand-written JSON support for metric snapshots.
+//!
+//! Only the subset a [`crate::Snapshot`] needs: objects, arrays,
+//! strings, and **unsigned integers**. Floats, negatives, booleans, and
+//! null are rejected — metrics are integer-valued by design so that
+//! export → import is bit-exact.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value (snapshot subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    Object(BTreeMap<String, JsonValue>),
+    Array(Vec<JsonValue>),
+    String(String),
+    Number(u64),
+}
+
+/// Error from [`parse`] / [`crate::Snapshot::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new<S: Into<String>>(message: S) -> ParseError {
+        ParseError {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn missing(owner: &str, key: &str) -> ParseError {
+        ParseError::new(format!("{owner}: missing field `{key}`"))
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid metrics JSON: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Append `s` as a quoted, escaped JSON string.
+pub(crate) fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed).
+pub(crate) fn parse(text: &str) -> Result<JsonValue, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError::new("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(ParseError::new(format!(
+                "unexpected `{}` at byte {} (only objects, arrays, strings, \
+                 and unsigned integers are valid in metrics JSON)",
+                other as char, self.pos
+            ))),
+            None => Err(ParseError::new("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => {
+                    return Err(ParseError::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => {
+                    return Err(ParseError::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(ParseError::new(format!(
+                "non-integer number at byte {start}"
+            )));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+        text.parse::<u64>()
+            .map(JsonValue::Number)
+            .map_err(|_| ParseError::new(format!("integer out of range at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(ParseError::new("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| ParseError::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| ParseError::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| ParseError::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(ParseError::new("unknown escape in string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, however many bytes.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| ParseError::new("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a":{"b":[1,2,[3]]},"s":"hi"}"#).unwrap();
+        let JsonValue::Object(o) = v else { panic!() };
+        assert!(matches!(o["s"], JsonValue::String(ref s) if s == "hi"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a\"b\\c\nd\te\u{1}f✓";
+        let mut encoded = String::new();
+        write_string(&mut encoded, original);
+        let JsonValue::String(decoded) = parse(&encoded).unwrap() else {
+            panic!()
+        };
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn rejects_non_integer_numbers() {
+        assert!(parse("1.5").is_err());
+        assert!(parse("-3").is_err());
+        assert!(parse("1e9").is_err());
+        assert!(parse("true").is_err());
+        assert!(parse("null").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn u64_max_parses() {
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            JsonValue::Number(u64::MAX)
+        );
+        assert!(parse("18446744073709551616").is_err());
+    }
+}

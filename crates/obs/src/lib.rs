@@ -1,0 +1,58 @@
+//! Observability for the DASSA workspace: named counters, histograms,
+//! and span timers, exportable as JSON or human-readable text.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Zero dependencies, near-zero overhead.** Counters are plain
+//!    relaxed atomics; a histogram record is two atomic adds and two
+//!    compare-exchange loops. Nothing allocates on the hot path once a
+//!    handle exists.
+//! 2. **Thread safety without coordination.** Handles are cheap clones
+//!    of `Arc`s; any thread may record through any handle concurrently.
+//! 3. **Isolation with aggregation.** A [`Registry`] may have a parent:
+//!    increments recorded in a child also land in the parent under the
+//!    same name. `minimpi` gives each world a child of the global
+//!    registry, so concurrently running tests observe only their own
+//!    traffic while `das_pipeline --metrics` still sees everything.
+//! 4. **Exact round-trips.** All recorded values are integers
+//!    (nanoseconds, bytes, counts), so JSON export/import loses nothing.
+//!
+//! # Quick start
+//!
+//! ```
+//! use obs::Registry;
+//! use std::sync::Arc;
+//!
+//! let reg = Arc::new(Registry::new());
+//! reg.counter("dasf.open.count").inc();
+//! reg.histogram("dasf.read.bytes").record(4096);
+//! {
+//!     let _guard = obs::span_in(&reg, "pipeline.fft");
+//!     // ... timed work; elapsed ns recorded on drop under
+//!     // "span.pipeline.fft"
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("dasf.open.count"), 1);
+//! let json = snap.to_json();
+//! let back = obs::Snapshot::from_json(&json).unwrap();
+//! assert_eq!(back, snap);
+//! ```
+//!
+//! # Metric naming
+//!
+//! Dotted lowercase paths, `<crate>.<subsystem>.<quantity>`, with units
+//! as the final segment where they matter: `minimpi.p2p.bytes`,
+//! `dasf.open.ns`, `span.pipeline.interferometry.fft`. Span histograms
+//! are always prefixed `span.` followed by the dotted nesting path of
+//! active spans on that thread.
+
+mod json;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use registry::{global, Counter, Histogram, Registry};
+pub use snapshot::{HistogramSnapshot, Snapshot};
+pub use span::{span, span_in, SpanGuard};
+
+pub use json::ParseError;

@@ -1,0 +1,348 @@
+//! Named counters and histograms, grouped in a [`Registry`] that may
+//! chain to a parent for aggregation.
+
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values
+/// `v` with `64 - v.leading_zeros() == i`, i.e. bucket 0 holds `v == 0`,
+/// bucket 1 holds `v == 1`, bucket i holds `2^(i-1) <= v < 2^i`.
+pub(crate) const BUCKETS: usize = 65;
+
+#[derive(Default)]
+pub(crate) struct CounterCell {
+    value: AtomicU64,
+}
+
+pub(crate) struct HistogramCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistogramCells {
+    fn default() -> HistogramCells {
+        HistogramCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Handle to a named monotonic counter. Cloning is cheap; all clones
+/// share the same cells. If the owning registry has a parent, the handle
+/// carries the parent's cell too and every increment lands in both.
+#[derive(Clone)]
+pub struct Counter {
+    cells: Arc<[Arc<CounterCell>]>,
+}
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        for cell in self.cells.iter() {
+            cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value in the registry this handle was created from
+    /// (not the parent's aggregate).
+    pub fn get(&self) -> u64 {
+        self.cells[0].value.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a named histogram of `u64` samples (ns, bytes, counts).
+/// Tracks count, sum, min, max, and power-of-two bucket counts.
+#[derive(Clone)]
+pub struct Histogram {
+    cells: Arc<[Arc<HistogramCells>]>,
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        let bucket = bucket_index(value);
+        for h in self.cells.iter() {
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(value, Ordering::Relaxed);
+            h.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            h.min.fetch_min(value, Ordering::Relaxed);
+            h.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a [`std::time::Duration`] in nanoseconds (saturating).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Sum of recorded samples in this registry (not the parent's).
+    pub fn sum(&self) -> u64 {
+        self.cells[0].sum.load(Ordering::Relaxed)
+    }
+
+    /// Number of recorded samples in this registry.
+    pub fn count(&self) -> u64 {
+        self.cells[0].count.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Tables {
+    counters: BTreeMap<String, Arc<CounterCell>>,
+    histograms: BTreeMap<String, Arc<HistogramCells>>,
+}
+
+/// A collection of named metrics. See the crate docs for the parenting
+/// model; `Registry::new()` makes a standalone root.
+#[derive(Default)]
+pub struct Registry {
+    tables: Mutex<Tables>,
+    parent: Option<Arc<Registry>>,
+}
+
+impl Registry {
+    /// Standalone registry with no parent.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Child registry: metrics recorded here also aggregate into
+    /// `parent` under the same names.
+    pub fn with_parent(parent: Arc<Registry>) -> Registry {
+        Registry {
+            tables: Mutex::new(Tables::default()),
+            parent: Some(parent),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Tables> {
+        match self.tables.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<CounterCell> {
+        let mut t = self.lock();
+        if let Some(c) = t.counters.get(name) {
+            return Arc::clone(c);
+        }
+        let cell = Arc::new(CounterCell::default());
+        t.counters.insert(name.to_string(), Arc::clone(&cell));
+        cell
+    }
+
+    fn histogram_cells(&self, name: &str) -> Arc<HistogramCells> {
+        let mut t = self.lock();
+        if let Some(h) = t.histograms.get(name) {
+            return Arc::clone(h);
+        }
+        let cells = Arc::new(HistogramCells::default());
+        t.histograms.insert(name.to_string(), Arc::clone(&cells));
+        cells
+    }
+
+    /// Get or create the counter `name`. The returned handle's index 0
+    /// is this registry; ancestors follow.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut cells = vec![self.counter_cell(name)];
+        let mut ancestor = self.parent.as_ref().map(Arc::clone);
+        while let Some(reg) = ancestor {
+            cells.push(reg.counter_cell(name));
+            ancestor = reg.parent.as_ref().map(Arc::clone);
+        }
+        Counter {
+            cells: cells.into(),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut cells = vec![self.histogram_cells(name)];
+        let mut ancestor = self.parent.as_ref().map(Arc::clone);
+        while let Some(reg) = ancestor {
+            cells.push(reg.histogram_cells(name));
+            ancestor = reg.parent.as_ref().map(Arc::clone);
+        }
+        Histogram {
+            cells: cells.into(),
+        }
+    }
+
+    /// Consistent-enough point-in-time copy of every metric in this
+    /// registry (parents are not included; snapshot them separately).
+    pub fn snapshot(&self) -> Snapshot {
+        let t = self.lock();
+        let counters = t
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = t
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.count.load(Ordering::Relaxed) > 0)
+            .map(|(k, h)| {
+                let count = h.count.load(Ordering::Relaxed);
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let n = b.load(Ordering::Relaxed);
+                        (n > 0).then_some((i as u32, n))
+                    })
+                    .collect();
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count,
+                        sum: h.sum.load(Ordering::Relaxed),
+                        min: h.min.load(Ordering::Relaxed),
+                        max: h.max.load(Ordering::Relaxed),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Zero every metric in this registry (parents unaffected).
+    pub fn reset(&self) {
+        let t = self.lock();
+        for c in t.counters.values() {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for h in t.histograms.values() {
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            h.min.store(u64::MAX, Ordering::Relaxed);
+            h.max.store(0, Ordering::Relaxed);
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The process-wide root registry. Library instrumentation records here
+/// by default; `das_pipeline --metrics` snapshots it.
+pub fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shared_across_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot().counter("x"), 4);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [0, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = &snap.histograms["lat"];
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.sum, 1030);
+        assert_eq!(hs.min, 0);
+        assert_eq!(hs.max, 1024);
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 1024 → bucket 11.
+        assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (2, 2), (11, 1)]);
+    }
+
+    #[test]
+    fn child_increments_propagate_to_parent() {
+        let parent = Arc::new(Registry::new());
+        let child_a = Registry::with_parent(Arc::clone(&parent));
+        let child_b = Registry::with_parent(Arc::clone(&parent));
+        child_a.counter("msgs").add(5);
+        child_b.counter("msgs").add(7);
+        child_a.histogram("bytes").record(100);
+        child_b.histogram("bytes").record(200);
+
+        assert_eq!(child_a.snapshot().counter("msgs"), 5);
+        assert_eq!(child_b.snapshot().counter("msgs"), 7);
+        let p = parent.snapshot();
+        assert_eq!(p.counter("msgs"), 12);
+        assert_eq!(p.histograms["bytes"].count, 2);
+        assert_eq!(p.histograms["bytes"].sum, 300);
+    }
+
+    #[test]
+    fn reset_zeroes_without_touching_parent() {
+        let parent = Arc::new(Registry::new());
+        let child = Registry::with_parent(Arc::clone(&parent));
+        child.counter("c").add(9);
+        child.reset();
+        assert_eq!(child.snapshot().counter("c"), 0);
+        assert_eq!(parent.snapshot().counter("c"), 9);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let c = reg.counter("n");
+                    let h = reg.histogram("v");
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("n"), 8000);
+        assert_eq!(snap.histograms["v"].count, 8000);
+        assert_eq!(snap.histograms["v"].sum, 8 * (0..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+}

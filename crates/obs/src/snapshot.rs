@@ -1,0 +1,306 @@
+//! Point-in-time metric values, with JSON and text exporters.
+
+use crate::json::{self, JsonValue, ParseError};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Sparse power-of-two buckets as `(bucket_index, count)`, ascending
+    /// by index; zero-count buckets are omitted.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Frozen state of a [`crate::Registry`]: every counter and every
+/// non-empty histogram, keyed by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value, or 0 if the counter was never created.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name, if it recorded anything.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of a histogram's samples, or 0 if absent. Convenient for
+    /// span histograms, where the sum is total time in the span.
+    pub fn histogram_sum(&self, name: &str) -> u64 {
+        self.histograms.get(name).map_or(0, |h| h.sum)
+    }
+
+    /// Serialize to a single-line JSON object. Integer-exact: feeding
+    /// the output to [`Snapshot::from_json`] reproduces `self`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, k);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.min, h.max
+            );
+            for (j, (bucket, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{bucket},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse a snapshot previously produced by [`Snapshot::to_json`]
+    /// (or any JSON object with the same shape).
+    pub fn from_json(text: &str) -> Result<Snapshot, ParseError> {
+        let root = json::parse(text)?;
+        let obj = root.as_object("top level")?;
+        let mut snap = Snapshot::default();
+        if let Some(counters) = obj.get("counters") {
+            for (name, value) in counters.as_object("counters")? {
+                snap.counters.insert(name.clone(), value.as_u64(name)?);
+            }
+        }
+        if let Some(hists) = obj.get("histograms") {
+            for (name, value) in hists.as_object("histograms")? {
+                let h = value.as_object(name)?;
+                let field = |key: &str| -> Result<u64, ParseError> {
+                    h.get(key)
+                        .ok_or_else(|| ParseError::missing(name, key))?
+                        .as_u64(key)
+                };
+                let mut buckets = Vec::new();
+                if let Some(raw) = h.get("buckets") {
+                    for pair in raw.as_array("buckets")? {
+                        let pair = pair.as_array("bucket pair")?;
+                        if pair.len() != 2 {
+                            return Err(ParseError::new(
+                                "bucket pair must have exactly two elements",
+                            ));
+                        }
+                        buckets.push((
+                            pair[0].as_u64("bucket index")? as u32,
+                            pair[1].as_u64("bucket count")?,
+                        ));
+                    }
+                }
+                snap.histograms.insert(
+                    name.clone(),
+                    HistogramSnapshot {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        buckets,
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Multi-line human-readable rendering: counters first, then
+    /// histograms with count/mean/min/max. Durations (names ending in
+    /// `ns` or under `span.`) are scaled to readable units.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<width$}  {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, h) in &self.histograms {
+                let time_like = k.starts_with("span.") || k.ends_with("ns");
+                let fmt = |v: f64| -> String {
+                    if time_like {
+                        format_ns(v)
+                    } else {
+                        format!("{v:.0}")
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "  {k:<width$}  count={} mean={} min={} max={} total={}",
+                    h.count,
+                    fmt(h.mean()),
+                    fmt(h.min as f64),
+                    fmt(h.max as f64),
+                    fmt(h.sum as f64),
+                );
+            }
+        }
+        out
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+trait JsonValueExt {
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, JsonValue>, ParseError>;
+    fn as_array(&self, what: &str) -> Result<&[JsonValue], ParseError>;
+    fn as_u64(&self, what: &str) -> Result<u64, ParseError>;
+}
+
+impl JsonValueExt for JsonValue {
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, JsonValue>, ParseError> {
+        match self {
+            JsonValue::Object(m) => Ok(m),
+            _ => Err(ParseError::new(format!("{what}: expected object"))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[JsonValue], ParseError> {
+        match self {
+            JsonValue::Array(v) => Ok(v),
+            _ => Err(ParseError::new(format!("{what}: expected array"))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, ParseError> {
+        match self {
+            JsonValue::Number(n) => Ok(*n),
+            _ => Err(ParseError::new(format!("{what}: expected integer"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("minimpi.p2p.messages").add(17);
+        reg.counter("dasf.open.count").add(3);
+        let h = reg.histogram("dasf.open.ns");
+        h.record(1_500);
+        h.record(900_000);
+        reg.histogram("dasf.read.bytes").record(1 << 20);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = sample();
+        let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+
+    #[test]
+    fn names_with_escapes_round_trip() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("weird \"name\"\\path\n".into(), 9);
+        assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("big".into(), u64::MAX);
+        snap.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                count: 1,
+                sum: u64::MAX,
+                min: u64::MAX,
+                max: u64::MAX,
+                buckets: vec![(64, 1)],
+            },
+        );
+        assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+
+    #[test]
+    fn accessors() {
+        let snap = sample();
+        assert_eq!(snap.counter("minimpi.p2p.messages"), 17);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.histogram_sum("dasf.open.ns"), 901_500);
+        assert_eq!(snap.histogram("dasf.open.ns").unwrap().count, 2);
+        assert!((snap.histogram("dasf.open.ns").unwrap().mean() - 450_750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_text_mentions_every_metric() {
+        let snap = sample();
+        let text = snap.render_text();
+        for name in ["minimpi.p2p.messages", "dasf.open.count", "dasf.open.ns"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("900.00us"), "ns scaling missing:\n{text}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,2]",
+            "{\"counters\":{\"x\":-1}}",
+            "{\"counters\":{\"x\":1.5}}",
+            "{\"histograms\":{\"h\":{\"count\":1}}}",
+            "{\"histograms\":{\"h\":{\"count\":1,\"sum\":2,\"min\":3,\"max\":4,\"buckets\":[[1]]}}}",
+        ] {
+            assert!(Snapshot::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Named span timers with per-thread nesting.
+//!
+//! A span measures the wall-clock time between [`span_in`] and the drop
+//! of the returned [`SpanGuard`]. Spans nest per thread: opening
+//! `"read"` inside `"pipeline.interferometry"` records into the
+//! histogram `span.pipeline.interferometry.read`, so the exported
+//! snapshot encodes the stage hierarchy in the metric names themselves.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a span on the global registry. See [`span_in`].
+pub fn span(name: &str) -> SpanGuard {
+    span_in(crate::registry::global(), name)
+}
+
+/// Open a named span recording into `registry` when dropped.
+///
+/// The histogram name is `span.` followed by the dotted path of every
+/// span open on this thread, innermost last.
+pub fn span_in(registry: &Arc<Registry>, name: &str) -> SpanGuard {
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name.to_string());
+        stack.join(".")
+    });
+    SpanGuard {
+        registry: Arc::clone(registry),
+        metric: format!("span.{path}"),
+        started: Instant::now(),
+    }
+}
+
+/// Live span; records elapsed nanoseconds on drop.
+///
+/// Guards must drop in reverse creation order on a given thread (the
+/// natural result of scoping them); dropping out of order would
+/// mis-attribute the nesting path of spans opened afterwards.
+pub struct SpanGuard {
+    registry: Arc<Registry>,
+    metric: String,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// The full metric name this span records to, e.g.
+    /// `span.pipeline.interferometry.fft`.
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        self.registry
+            .histogram(&self.metric)
+            .record_duration(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn span_records_elapsed_time() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _g = span_in(&reg, "work");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("span.work").expect("recorded");
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 4_000_000, "expected >=4ms, got {}ns", h.sum);
+    }
+
+    #[test]
+    fn nested_spans_record_dotted_paths() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _outer = span_in(&reg, "pipeline");
+            {
+                let inner = span_in(&reg, "fft");
+                assert_eq!(inner.metric(), "span.pipeline.fft");
+            }
+            {
+                let _inner = span_in(&reg, "xcorr");
+            }
+        }
+        // Sibling after the outer span closed: back to a root path.
+        {
+            let _g = span_in(&reg, "write");
+        }
+        let snap = reg.snapshot();
+        for name in [
+            "span.pipeline",
+            "span.pipeline.fft",
+            "span.pipeline.xcorr",
+            "span.write",
+        ] {
+            assert_eq!(
+                snap.histogram(name).map(|h| h.count),
+                Some(1),
+                "missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn nesting_is_per_thread() {
+        let reg = Arc::new(Registry::new());
+        let _outer = span_in(&reg, "main");
+        let reg2 = Arc::clone(&reg);
+        std::thread::spawn(move || {
+            let g = span_in(&reg2, "worker");
+            assert_eq!(g.metric(), "span.worker");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        let reg = Arc::new(Registry::new());
+        for _ in 0..10 {
+            let _g = span_in(&reg, "loop");
+        }
+        assert_eq!(reg.snapshot().histogram("span.loop").unwrap().count, 10);
+    }
+}

@@ -214,7 +214,13 @@ where
 
 /// Parallel map-reduce over `range`: `reduce(map(i))` folded across the
 /// team, analogous to `#pragma omp parallel for reduction(op:acc)`.
-pub fn parallel_reduce<T, M, R>(num_threads: usize, range: Range<usize>, identity: T, map: M, reduce: R) -> T
+pub fn parallel_reduce<T, M, R>(
+    num_threads: usize,
+    range: Range<usize>,
+    identity: T,
+    map: M,
+    reduce: R,
+) -> T
 where
     T: Send + Sync + Clone,
     M: Fn(usize) -> T + Sync,
@@ -228,10 +234,7 @@ where
         });
         partials.lock().push(acc);
     });
-    partials
-        .into_inner()
-        .into_iter()
-        .fold(identity, |a, b| reduce(a, b))
+    partials.into_inner().into_iter().fold(identity, &reduce)
 }
 
 #[cfg(test)]
@@ -398,7 +401,11 @@ mod tests {
             ctx.sections(&refs);
         });
         for (i, h) in hits.iter().enumerate() {
-            assert_eq!(h.load(Ordering::Relaxed), 1, "section {i} runs exactly once");
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "section {i} runs exactly once"
+            );
             assert_eq!(owner[i].load(Ordering::Relaxed), i % 3, "round-robin owner");
         }
     }

@@ -47,9 +47,10 @@ pub fn model_fig7(
 
     // RCA: one open, p contiguous slab reads, but the single file only
     // spans `stripe_count` OSTs.
-    let rca_bw = (rca_stripe_count as f64 * m.ost_bandwidth)
-        .min(nodes as f64 * m.client_io_bandwidth);
-    let rca = m.open_time(1) + p as f64 / (m.n_ost as f64 * m.ost_iops) + total_bytes as f64 / rca_bw;
+    let rca_bw =
+        (rca_stripe_count as f64 * m.ost_bandwidth).min(nodes as f64 * m.client_io_bandwidth);
+    let rca =
+        m.open_time(1) + p as f64 / (m.n_ost as f64 * m.ost_iops) + total_bytes as f64 / rca_bw;
 
     Fig7Model {
         collective_per_file_s: collective,
@@ -251,7 +252,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (Machine, Calibration, Workload) {
-        (Machine::cori_haswell(), Calibration::default(), Workload::paper())
+        (
+            Machine::cori_haswell(),
+            Calibration::default(),
+            Workload::paper(),
+        )
     }
 
     #[test]
@@ -310,8 +315,16 @@ mod tests {
         let (m, cal, w) = setup();
         let p = model_fig8(&m, &cal, &w, 728, Layout::PureMpi { procs_per_node: 16 });
         let h = model_fig8(&m, &cal, &w, 728, Layout::Hybrid { threads: 16 });
-        assert!(h.read_s < p.read_s, "hybrid read {} !< pure {}", h.read_s, p.read_s);
-        assert!((h.compute_s - p.compute_s).abs() < 1e-9, "same cores, same compute");
+        assert!(
+            h.read_s < p.read_s,
+            "hybrid read {} !< pure {}",
+            h.read_s,
+            p.read_s
+        );
+        assert!(
+            (h.compute_s - p.compute_s).abs() < 1e-9,
+            "same cores, same compute"
+        );
         assert!((h.write_s - p.write_s).abs() < 1e-12, "same write path");
     }
 
@@ -327,7 +340,10 @@ mod tests {
             let h = model_fig8(&m, &cal, &w, nodes, Layout::Hybrid { threads: 16 });
             p.read_s - h.read_s
         };
-        assert!(gap(728) > gap(182), "request-storm penalty grows with scale");
+        assert!(
+            gap(728) > gap(182),
+            "request-storm penalty grows with scale"
+        );
     }
 
     #[test]
@@ -351,7 +367,10 @@ mod tests {
                 w2[1].io_eff
             );
         }
-        assert!(pts.last().unwrap().io_eff < 50.0, "paper shows strong decay by 1456 nodes");
+        assert!(
+            pts.last().unwrap().io_eff < 50.0,
+            "paper shows strong decay by 1456 nodes"
+        );
     }
 
     #[test]

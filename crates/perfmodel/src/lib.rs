@@ -25,5 +25,5 @@ pub mod experiments;
 mod machine;
 pub mod tuner;
 
-pub use machine::{Calibration, Machine};
+pub use machine::{Calibration, CalibrationWorkload, Machine};
 pub use tuner::{recommend, Objective, Recommendation};

@@ -35,11 +35,11 @@ impl Machine {
             cores_per_node: 32,
             mem_per_node: 128 << 30,
             n_ost: 248,
-            ost_bandwidth: 2.8e9,     // ≈ 700 GB/s aggregate
+            ost_bandwidth: 2.8e9, // ≈ 700 GB/s aggregate
             ost_iops: 15_000.0,
             file_open_s: 2.0e-3,
-            net_latency: 1.5e-6,      // Aries interconnect
-            injection_bandwidth: 10e9, // ≈ 10 GB/s per node
+            net_latency: 1.5e-6,        // Aries interconnect
+            injection_bandwidth: 10e9,  // ≈ 10 GB/s per node
             client_io_bandwidth: 2.5e9, // per-node Lustre client limit
             contention_power: 0.6,
         }
@@ -54,11 +54,11 @@ impl Machine {
     /// degradation under request storms.
     pub fn cori_burst_buffer() -> Machine {
         Machine {
-            n_ost: 288,                 // DataWarp server nodes
-            ost_bandwidth: 5.9e9,       // ≈ 1.7 TB/s aggregate
-            ost_iops: 1_000_000.0,      // SSD IOPS per server
+            n_ost: 288,            // DataWarp server nodes
+            ost_bandwidth: 5.9e9,  // ≈ 1.7 TB/s aggregate
+            ost_iops: 1_000_000.0, // SSD IOPS per server
             file_open_s: 0.3e-3,
-            contention_power: 0.15,     // SSDs shrug off concurrency
+            contention_power: 0.15, // SSDs shrug off concurrency
             ..Machine::cori_haswell()
         }
     }
@@ -89,7 +89,13 @@ impl Machine {
     /// requests issued from `nodes` nodes with `concurrent` requests
     /// outstanding at once (≈ the number of reading processes):
     /// per-request IOPS cost plus streaming at the effective bandwidth.
-    pub fn read_time(&self, nodes: usize, concurrent: usize, n_requests: u64, total_bytes: u64) -> f64 {
+    pub fn read_time(
+        &self,
+        nodes: usize,
+        concurrent: usize,
+        n_requests: u64,
+        total_bytes: u64,
+    ) -> f64 {
         if total_bytes == 0 && n_requests == 0 {
             return 0.0;
         }
@@ -123,8 +129,7 @@ impl Machine {
         if p <= 1 {
             return 0.0;
         }
-        (p as f64 - 1.0) * self.net_latency
-            + bytes_per_rank as f64 / self.injection_bandwidth
+        (p as f64 - 1.0) * self.net_latency + bytes_per_rank as f64 / self.injection_bandwidth
     }
 
     /// Would a per-node memory footprint of `bytes` exceed capacity?
@@ -155,6 +160,62 @@ impl Default for Calibration {
             compute_bytes_per_s_per_core: 25.0e6,
             localsim_bytes_per_s_per_core: 8.0e6,
             write_bytes_per_s: 500.0e6,
+        }
+    }
+}
+
+/// How many input bytes the calibration probes pushed through each
+/// pipeline — the one piece of information the metrics snapshot cannot
+/// carry (it times the pipelines but does not know their input sizes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CalibrationWorkload {
+    /// Raw `f64` DAS bytes fed to the interferometry probe runs.
+    pub interferometry_bytes: u64,
+    /// Raw `f64` DAS bytes fed to the local-similarity probe runs.
+    pub localsim_bytes: u64,
+}
+
+impl Calibration {
+    /// Derive measured rates from two [`obs`] snapshots taken around the
+    /// calibration probe runs — no bespoke stopwatch plumbing.
+    ///
+    /// Consumes the standard instrumentation the pipelines already emit:
+    /// `span.interferometry` and `span.local_similarity` span timings for
+    /// compute rates, and `dasf.write.bytes` / `dasf.write.ns` for write
+    /// bandwidth. Any rate whose metrics are absent from the delta (e.g.
+    /// a probe was skipped) keeps its [`Default`] value.
+    pub fn from_obs_delta(
+        before: &obs::Snapshot,
+        after: &obs::Snapshot,
+        work: &CalibrationWorkload,
+    ) -> Calibration {
+        let span_ns = |name: &str| -> u64 {
+            let prev = before.histogram(name).map_or(0, |h| h.sum);
+            after
+                .histogram(name)
+                .map_or(0, |h| h.sum)
+                .saturating_sub(prev)
+        };
+        let rate = |bytes: u64, ns: u64| -> Option<f64> {
+            (bytes > 0 && ns > 0).then(|| bytes as f64 / (ns as f64 / 1e9))
+        };
+        let defaults = Calibration::default();
+        let write_bytes = after
+            .counter("dasf.write.bytes")
+            .saturating_sub(before.counter("dasf.write.bytes"));
+        Calibration {
+            compute_bytes_per_s_per_core: rate(
+                work.interferometry_bytes,
+                span_ns("span.interferometry"),
+            )
+            .unwrap_or(defaults.compute_bytes_per_s_per_core),
+            localsim_bytes_per_s_per_core: rate(
+                work.localsim_bytes,
+                span_ns("span.local_similarity"),
+            )
+            .unwrap_or(defaults.localsim_bytes_per_s_per_core),
+            write_bytes_per_s: rate(write_bytes, span_ns("dasf.write.ns"))
+                .unwrap_or(defaults.write_bytes_per_s),
         }
     }
 }
@@ -198,7 +259,10 @@ mod tests {
         let base = m.read_time(90, 90, 90, 1 << 30);
         assert!(m.read_time(90, 90, 90, 2 << 30) > base);
         assert!(m.read_time(90, 90, 9000, 1 << 30) > base);
-        assert!(m.read_time(90, 9000, 9000, 1 << 30) > base, "contention adds cost");
+        assert!(
+            m.read_time(90, 9000, 9000, 1 << 30) > base,
+            "contention adds cost"
+        );
         assert_eq!(m.read_time(90, 0, 0, 0), 0.0);
     }
 
@@ -221,6 +285,48 @@ mod tests {
         let a2a = m.alltoallv_time(p, per_rank);
         let bcasts = p as f64 * m.bcast_time(p, per_rank);
         assert!(a2a < bcasts / 10.0, "{a2a} vs {bcasts}");
+    }
+
+    #[test]
+    fn calibration_from_obs_delta() {
+        let before = obs::Snapshot::default();
+        let mut after = obs::Snapshot::default();
+        // 80 MB of interferometry input in 2 s → 40 MB/s.
+        after.histograms.insert(
+            "span.interferometry".into(),
+            obs::HistogramSnapshot {
+                count: 4,
+                sum: 2_000_000_000,
+                min: 400_000_000,
+                max: 600_000_000,
+                buckets: vec![],
+            },
+        );
+        // 500 MB written in 1 s → 500 MB/s.
+        after
+            .counters
+            .insert("dasf.write.bytes".into(), 500_000_000);
+        after.histograms.insert(
+            "dasf.write.ns".into(),
+            obs::HistogramSnapshot {
+                count: 1,
+                sum: 1_000_000_000,
+                min: 1_000_000_000,
+                max: 1_000_000_000,
+                buckets: vec![],
+            },
+        );
+        let work = CalibrationWorkload {
+            interferometry_bytes: 80_000_000,
+            localsim_bytes: 0, // probe skipped → default rate kept
+        };
+        let cal = Calibration::from_obs_delta(&before, &after, &work);
+        assert!((cal.compute_bytes_per_s_per_core - 40.0e6).abs() < 1.0);
+        assert!((cal.write_bytes_per_s - 500.0e6).abs() < 1.0);
+        assert_eq!(
+            cal.localsim_bytes_per_s_per_core,
+            Calibration::default().localsim_bytes_per_s_per_core
+        );
     }
 
     #[test]

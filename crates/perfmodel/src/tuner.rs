@@ -52,8 +52,12 @@ pub fn recommend(
     let mut considered = Vec::new();
     for &nodes in node_choices {
         for layout in [
-            Layout::Hybrid { threads: cores_per_node },
-            Layout::PureMpi { procs_per_node: cores_per_node },
+            Layout::Hybrid {
+                threads: cores_per_node,
+            },
+            Layout::PureMpi {
+                procs_per_node: cores_per_node,
+            },
         ] {
             considered.push(model_fig8(machine, cal, workload, nodes, layout));
         }

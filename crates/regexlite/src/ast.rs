@@ -8,7 +8,10 @@ pub enum CharMatcher {
     /// Any character (`.`).
     Any,
     /// A character class: a set of ranges, possibly negated.
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
 }
 
 impl CharMatcher {
@@ -37,7 +40,11 @@ pub enum Ast {
     /// Alternation (`|`) of sub-expressions.
     Alternate(Vec<Ast>),
     /// Repetition: `min..=max` copies (`max == None` means unbounded).
-    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
     /// `^` anchor.
     StartAnchor,
     /// `$` anchor.

@@ -14,7 +14,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -104,17 +108,29 @@ impl Parser {
                 Some('*') => {
                     self.bump();
                     self.check_repeatable(&node)?;
-                    node = Ast::Repeat { node: Box::new(node), min: 0, max: None };
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: 0,
+                        max: None,
+                    };
                 }
                 Some('+') => {
                     self.bump();
                     self.check_repeatable(&node)?;
-                    node = Ast::Repeat { node: Box::new(node), min: 1, max: None };
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: 1,
+                        max: None,
+                    };
                 }
                 Some('?') => {
                     self.bump();
                     self.check_repeatable(&node)?;
-                    node = Ast::Repeat { node: Box::new(node), min: 0, max: Some(1) };
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: 0,
+                        max: Some(1),
+                    };
                 }
                 Some('{') => {
                     // `{` only opens a counted repetition when it looks like
@@ -122,7 +138,11 @@ impl Parser {
                     if let Some((min, max, consumed)) = self.try_parse_bounds()? {
                         self.pos += consumed;
                         self.check_repeatable(&node)?;
-                        node = Ast::Repeat { node: Box::new(node), min, max };
+                        node = Ast::Repeat {
+                            node: Box::new(node),
+                            min,
+                            max,
+                        };
                     } else {
                         break;
                     }
@@ -191,7 +211,7 @@ impl Parser {
             }
         }
         const MAX_REPEAT: u32 = 1 << 12;
-        if min > MAX_REPEAT || max.map_or(false, |m| m > MAX_REPEAT) {
+        if min > MAX_REPEAT || max.is_some_and(|m| m > MAX_REPEAT) {
             return Err(ParseError {
                 position: self.pos,
                 message: format!("repetition bound exceeds maximum of {}", MAX_REPEAT),
@@ -257,10 +277,15 @@ impl Parser {
             let c = match self.bump() {
                 Some(']') => break,
                 Some('\\') => {
-                    let e = self.bump().ok_or_else(|| self.err("dangling escape in class"))?;
+                    let e = self
+                        .bump()
+                        .ok_or_else(|| self.err("dangling escape in class"))?;
                     match escape_matcher(e) {
                         CharMatcher::Literal(l) => l,
-                        CharMatcher::Class { ranges: mut r, negated: false } => {
+                        CharMatcher::Class {
+                            ranges: mut r,
+                            negated: false,
+                        } => {
                             ranges.append(&mut r);
                             continue;
                         }
@@ -302,8 +327,14 @@ impl Parser {
 /// Expand an escape character into its matcher.
 fn escape_matcher(c: char) -> CharMatcher {
     match c {
-        'd' => CharMatcher::Class { negated: false, ranges: vec![('0', '9')] },
-        'D' => CharMatcher::Class { negated: true, ranges: vec![('0', '9')] },
+        'd' => CharMatcher::Class {
+            negated: false,
+            ranges: vec![('0', '9')],
+        },
+        'D' => CharMatcher::Class {
+            negated: true,
+            ranges: vec![('0', '9')],
+        },
         'w' => CharMatcher::Class {
             negated: false,
             ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
@@ -314,11 +345,23 @@ fn escape_matcher(c: char) -> CharMatcher {
         },
         's' => CharMatcher::Class {
             negated: false,
-            ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')],
+            ranges: vec![
+                (' ', ' '),
+                ('\t', '\t'),
+                ('\n', '\n'),
+                ('\r', '\r'),
+                ('\x0b', '\x0c'),
+            ],
         },
         'S' => CharMatcher::Class {
             negated: true,
-            ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')],
+            ranges: vec![
+                (' ', ' '),
+                ('\t', '\t'),
+                ('\n', '\n'),
+                ('\r', '\r'),
+                ('\x0b', '\x0c'),
+            ],
         },
         'n' => CharMatcher::Literal('\n'),
         't' => CharMatcher::Literal('\t'),

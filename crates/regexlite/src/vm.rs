@@ -79,7 +79,7 @@ fn add_thread(
         Inst::Match => {
             list.stamp[pc] = list.generation;
             // Keep the earliest-starting match (leftmost semantics).
-            if matched.map_or(true, |s| start < s) {
+            if matched.is_none_or(|s| start < s) {
                 *matched = Some(start);
             }
         }
@@ -111,7 +111,15 @@ fn run(program: &Program, text: &str, anchored: bool) -> Option<(usize, usize)> 
             // can beat it; stop seeding.
             if best.is_none() {
                 let mut matched = None;
-                add_thread(program, &mut current, 0, byte_pos, at_start, at_end, &mut matched);
+                add_thread(
+                    program,
+                    &mut current,
+                    0,
+                    byte_pos,
+                    at_start,
+                    at_end,
+                    &mut matched,
+                );
                 if let Some(s) = matched {
                     best = merge_match(best, s, byte_pos);
                 }
@@ -138,8 +146,13 @@ fn run(program: &Program, text: &str, anchored: bool) -> Option<(usize, usize)> 
                 if m.matches(c) {
                     let mut matched = None;
                     add_thread(
-                        program, &mut next, pc + 1, *start,
-                        /*at_start=*/ false, next_at_end, &mut matched,
+                        program,
+                        &mut next,
+                        pc + 1,
+                        *start,
+                        /*at_start=*/ false,
+                        next_at_end,
+                        &mut matched,
                     );
                     if let Some(s) = matched {
                         best = merge_match(best, s, next_byte);

@@ -32,7 +32,7 @@ fn main() {
         time_stride: hz as usize, // one score per second
     };
     println!("running local similarity (Algorithm 2) on 4 threads...");
-    let simi = local_similarity(&data, &params, &Haee::hybrid(4));
+    let simi = local_similarity(&data, &params, &Haee::builder().threads(4).build());
 
     // Per-event verification: at moments each event is active, some
     // nearby cell must score above the background.

@@ -51,11 +51,12 @@ fn main() {
     };
 
     println!("running interferometry (Algorithm 3) over {channels} channels...");
-    let scores = interferometry(&data, &params, &Haee::hybrid(4)).expect("pipeline");
+    let scores =
+        interferometry(&data, &params, &Haee::builder().threads(4).build()).expect("pipeline");
     println!("\nchannel  |cos| vs master   xcorr peak lag (samples)");
     let master = prepare_master(data.row(0), &params);
     let mut lags = Vec::new();
-    for ch in 0..channels {
+    for (ch, &score) in scores.iter().enumerate() {
         let corr = cross_correlation_with_master(data.row(ch), &master, &params);
         let mid = corr.len() / 2;
         let peak = corr
@@ -67,7 +68,7 @@ fn main() {
             - mid as isize;
         lags.push(peak);
         if ch % 4 == 0 {
-            println!("{ch:7}  {:<16.3} {peak}", scores[ch]);
+            println!("{ch:7}  {score:<16.3} {peak}");
         }
     }
 

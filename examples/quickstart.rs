@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = std::fs::remove_dir_all(&dir);
     let scene = Scene::demo(32, 50.0, 180.0, 7);
     let files = write_minute_files(&scene, &dir, "170728224510", 3)?;
-    println!("wrote {} one-minute files to {}", files.len(), dir.display());
+    println!(
+        "wrote {} one-minute files to {}",
+        files.len(),
+        dir.display()
+    );
 
     // 2. Search the catalog (the paper's das_search, §IV-A).
     let catalog = FileCatalog::scan(&dir)?;
@@ -56,12 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         search_half: 8,
         time_stride: 50,
     };
-    let simi = local_similarity(&data, &params, &Haee::hybrid(4));
-    let peak = simi
-        .as_slice()
-        .iter()
-        .cloned()
-        .fold(f64::MIN, f64::max);
+    let simi = local_similarity(&data, &params, &Haee::builder().threads(4).build());
+    let peak = simi.as_slice().iter().cloned().fold(f64::MIN, f64::max);
     let mean = simi.as_slice().iter().sum::<f64>() / simi.len() as f64;
     println!(
         "local similarity map: {} x {}; mean {:.3}, peak {:.3}",

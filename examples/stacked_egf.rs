@@ -30,9 +30,16 @@ fn noise(seed: u64, n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn build_array(channels: usize, samples: usize, delay_per_ch: usize, local_amp: f64) -> Array2<f64> {
+fn build_array(
+    channels: usize,
+    samples: usize,
+    delay_per_ch: usize,
+    local_amp: f64,
+) -> Array2<f64> {
     let common = noise(1, samples + channels * delay_per_ch);
-    let locals: Vec<Vec<f64>> = (0..channels).map(|ch| noise(100 + ch as u64, samples)).collect();
+    let locals: Vec<Vec<f64>> = (0..channels)
+        .map(|ch| noise(100 + ch as u64, samples))
+        .collect();
     Array2::from_fn(channels, samples, |ch, t| {
         let src = t + (channels - 1 - ch) * delay_per_ch; // wave moves up-channel
         common[src] + local_amp * locals[ch][t]
@@ -55,8 +62,12 @@ fn main() {
         master_channel: channels - 1, // the wave reaches it first
     };
 
-    println!("stacking {} windows per channel on 4 threads...", params.n_windows(data.cols()));
-    let stacks = stacked_interferometry(&data, &params, &Haee::hybrid(4)).expect("stack");
+    println!(
+        "stacking {} windows per channel on 4 threads...",
+        params.n_windows(data.cols())
+    );
+    let stacks =
+        stacked_interferometry(&data, &params, &Haee::builder().threads(4).build()).expect("stack");
 
     println!("\nchannel  peak lag (samples)  expected  SNR");
     let mut correct = 0;
@@ -79,7 +90,8 @@ fn main() {
     println!("\nwindows stacked -> SNR of the farthest channel:");
     for windows in [2usize, 6, 12, 24] {
         let prefix = Array2::from_fn(channels, window * windows, |r, c| data.get(r, c));
-        let st = stacked_interferometry(&prefix, &params, &Haee::hybrid(4)).expect("stack");
+        let st = stacked_interferometry(&prefix, &params, &Haee::builder().threads(4).build())
+            .expect("stack");
         println!("  {windows:3} windows: SNR {:.2}", st[0].snr());
     }
     println!("\ncoherent signal adds linearly, noise as sqrt(N) — the reason the");

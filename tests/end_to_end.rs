@@ -30,8 +30,13 @@ fn generate_search_merge_read_pipeline() {
     // Search both ways; select the middle two files.
     let range_hits = catalog.search_range(170728224610, 1).expect("range");
     assert_eq!(range_hits.len(), 2);
-    let regex_hits = catalog.search_regex("1707282246.0|1707282247.0").expect("regex");
-    assert_eq!(regex_hits, range_hits, "both query types find the same files");
+    let regex_hits = catalog
+        .search_regex("1707282246.0|1707282247.0")
+        .expect("regex");
+    assert_eq!(
+        regex_hits, range_hits,
+        "both query types find the same files"
+    );
 
     // VCA over the hits reads exactly the scene windows.
     let vca = Vca::from_entries(&range_hits).expect("vca");
@@ -101,11 +106,17 @@ fn distributed_pipelines_equal_single_process_results() {
         search_half: 4,
         time_stride: 20,
     };
-    let ls_serial = local_similarity(&data, &ls_params, &Haee::hybrid(1));
+    let ls_serial = local_similarity(&data, &ls_params, &Haee::builder().threads(1).build());
     let ls_blocks = minimpi::run(3, |comm| {
         let own = partition(total, comm.size(), comm.rank());
         let local = data.row_block(own.start, own.end);
-        local_similarity_dist(comm, &local, total, &ls_params, &Haee::hybrid(2))
+        local_similarity_dist(
+            comm,
+            &local,
+            total,
+            &ls_params,
+            &Haee::builder().threads(2).build(),
+        )
     });
     assert_eq!(Array2::vstack(&ls_blocks), ls_serial);
 
@@ -114,7 +125,8 @@ fn distributed_pipelines_equal_single_process_results() {
         band: (0.02, 0.45),
         ..Default::default()
     };
-    let if_serial = interferometry(&data, &if_params, &Haee::hybrid(1)).expect("serial");
+    let if_serial =
+        interferometry(&data, &if_params, &Haee::builder().threads(1).build()).expect("serial");
     let if_blocks = minimpi::run(4, |comm| {
         let local32 = read_comm_avoiding(comm, &vca).expect("read");
         let local = Array2::from_vec(
@@ -122,7 +134,14 @@ fn distributed_pipelines_equal_single_process_results() {
             local32.cols(),
             local32.as_slice().iter().map(|&v| v as f64).collect(),
         );
-        interferometry_dist(comm, &local, total, &if_params, &Haee::hybrid(1)).expect("dist")
+        interferometry_dist(
+            comm,
+            &local,
+            total,
+            &if_params,
+            &Haee::builder().threads(1).build(),
+        )
+        .expect("dist")
     });
     let gathered: Vec<f64> = if_blocks.into_iter().flatten().collect();
     assert_eq!(gathered.len(), if_serial.len());
@@ -141,16 +160,34 @@ fn das_search_cli_binary_works() {
     exe.pop(); // <profile>/
     exe.push("das_search");
     if !exe.exists() {
-        eprintln!("skipping: {} not built (run `cargo build --workspace` first)", exe.display());
+        eprintln!(
+            "skipping: {} not built (run `cargo build --workspace` first)",
+            exe.display()
+        );
         return;
     }
     let out = std::process::Command::new(&exe)
-        .args(["-d", dir.to_str().expect("utf8 path"), "-s", "170728224510", "-c", "1"])
+        .args([
+            "-d",
+            dir.to_str().expect("utf8 path"),
+            "-s",
+            "170728224510",
+            "-c",
+            "1",
+        ])
         .output()
         .expect("run das_search");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(stdout.lines().count(), 2, "-c 1 returns two files:\n{stdout}");
+    assert_eq!(
+        stdout.lines().count(),
+        2,
+        "-c 1 returns two files:\n{stdout}"
+    );
     assert!(stdout.contains("170728224510"));
     assert!(stdout.contains("170728224610"));
 

@@ -37,7 +37,10 @@ fn scan_rejects_truncated_file() {
         .expect("a dasf file");
     let bytes = std::fs::read(&victim).expect("read");
     std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate");
-    assert!(FileCatalog::scan(&dir).is_err(), "truncation must not pass silently");
+    assert!(
+        FileCatalog::scan(&dir).is_err(),
+        "truncation must not pass silently"
+    );
 }
 
 #[test]
@@ -72,7 +75,10 @@ fn vca_member_deleted_between_save_and_load() {
     vca.save(&desc).expect("save");
     // Remove one member file.
     std::fs::remove_file(&catalog.entries()[1].path).expect("delete member");
-    assert!(Vca::load(&desc).is_err(), "dangling member must fail loudly");
+    assert!(
+        Vca::load(&desc).is_err(),
+        "dangling member must fail loudly"
+    );
 }
 
 #[test]
@@ -85,8 +91,12 @@ fn vca_member_shrunk_after_construction() {
     let vca = Vca::from_entries(catalog.entries()).expect("vca");
     let victim = &catalog.entries()[1];
     let mut w = dasf::Writer::create(&victim.path).expect("rewrite");
-    w.set_attr("/", "TimeStamp(yymmddhhmmss)", dasf::Value::Str("170728224610".into()))
-        .expect("attr");
+    w.set_attr(
+        "/",
+        "TimeStamp(yymmddhhmmss)",
+        dasf::Value::Str("170728224610".into()),
+    )
+    .expect("attr");
     w.create_group("/Measurement").expect("group");
     w.write_dataset_f32("/Measurement/data", &[6, 10], &[0.0; 60])
         .expect("small data");

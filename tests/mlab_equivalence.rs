@@ -23,7 +23,8 @@ fn interferometry_pipeline_matches_native_bitwise_tolerance() {
         resample_q: 2,
         master_channel: 0,
     };
-    let native = interferometry(&data, &params, &Haee::hybrid(2)).expect("native");
+    let native =
+        interferometry(&data, &params, &Haee::builder().threads(2).build()).expect("native");
 
     let mut interp = Interp::new();
     interp.set(
@@ -65,7 +66,9 @@ fn interferometry_pipeline_matches_native_bitwise_tolerance() {
 #[test]
 fn individual_kernels_match_through_the_interpreter() {
     // Each Table II operation, called from script vs called natively.
-    let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin() + i as f64 * 0.01).collect();
+    let x: Vec<f64> = (0..256)
+        .map(|i| (i as f64 * 0.1).sin() + i as f64 * 0.01)
+        .collect();
     let mut interp = Interp::new();
     interp.set("x", Value::row(x.clone()));
     interp

@@ -25,10 +25,13 @@ fn model_and_implementation_agree_on_communication_structure() {
     let ranks = 3usize;
     let vca = small_vca("structure", n_files);
 
-    let (_, coll) = minimpi::run_with_stats(ranks, |c| {
-        read_collective_per_file(c, &vca).expect("read")
-    });
-    assert_eq!(coll.bcasts as usize, n_files * ranks, "n bcasts (counted per rank)");
+    let (_, coll) =
+        minimpi::run_with_stats(ranks, |c| read_collective_per_file(c, &vca).expect("read"));
+    assert_eq!(
+        coll.bcasts as usize,
+        n_files * ranks,
+        "n bcasts (counted per rank)"
+    );
     assert_eq!(coll.alltoallvs, 0);
 
     let (_, ca) = minimpi::run_with_stats(ranks, |c| read_comm_avoiding(c, &vca).expect("read"));
@@ -46,9 +49,8 @@ fn model_byte_volumes_match_measurement() {
     let vca = small_vca("volume", n_files);
     let file_bytes = (vca.channels() * vca.samples_of(0) * 4) as f64;
 
-    let (_, coll) = minimpi::run_with_stats(ranks, |c| {
-        read_collective_per_file(c, &vca).expect("read")
-    });
+    let (_, coll) =
+        minimpi::run_with_stats(ranks, |c| read_collective_per_file(c, &vca).expect("read"));
     let (_, ca) = minimpi::run_with_stats(ranks, |c| read_comm_avoiding(c, &vca).expect("read"));
 
     // Binomial bcast of a file sends p−1 copies in total.
@@ -87,9 +89,8 @@ fn modeled_orderings_match_measured_orderings() {
     assert!(f.comm_avoiding_s < f.collective_per_file_s);
     // …and in measurement (byte volume as the robust proxy).
     let vca = small_vca("ordering", 6);
-    let (_, coll) = minimpi::run_with_stats(3, |c| {
-        read_collective_per_file(c, &vca).expect("read")
-    });
+    let (_, coll) =
+        minimpi::run_with_stats(3, |c| read_collective_per_file(c, &vca).expect("read"));
     let (_, ca) = minimpi::run_with_stats(3, |c| read_comm_avoiding(c, &vca).expect("read"));
     assert!(ca.p2p_bytes < coll.p2p_bytes);
 
@@ -101,7 +102,14 @@ fn modeled_orderings_match_measured_orderings() {
         assert!(h.read_s <= p.read_s + 1e-12, "nodes={nodes}");
     }
     use dassa::dasa::Haee;
-    assert!(Haee::hybrid(16).io_requests_per_node() < Haee::pure_mpi(16).io_requests_per_node());
+    assert!(
+        Haee::builder().threads(16).build().io_requests_per_node()
+            < Haee::builder()
+                .ranks(16)
+                .threads(1)
+                .build()
+                .io_requests_per_node()
+    );
 
     // 3. Weak-scaling I/O efficiency decays monotonically.
     let pts = model_fig11_weak(&m, &cal, 171 << 20, &[91, 182, 364, 728, 1456], 8);

@@ -1,0 +1,311 @@
+//! Vendored shim for `criterion`: enough API to compile and run the
+//! workspace's benches without the real statistics engine.
+//!
+//! Each benchmark runs a short warm-up + timing loop and prints the mean
+//! iteration time (plus throughput when declared). Under `cargo test`
+//! (cargo passes `--test` to `harness = false` bench targets) every
+//! benchmark body executes exactly once, so the benches double as smoke
+//! tests without minutes of timing loops.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measured quantity per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new<P: Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (group name supplies the prefix).
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// `--test` mode: run each body once, skip timing.
+    smoke_only: bool,
+}
+
+impl Config {
+    fn detect() -> Config {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+            smoke_only: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+/// Top-level benchmark driver (a stand-in for criterion's `Criterion`).
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            config: Config::detect(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (capped loop count in the shim).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement duration (capped at 200 ms in the shim so
+    /// bench binaries stay quick).
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.config.measurement_time = t.min(Duration::from_millis(200));
+        self
+    }
+
+    /// Warm-up duration (capped at 20 ms in the shim).
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.config.warm_up_time = t.min(Duration::from_millis(20));
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            config,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.config, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Override measurement time for this group (capped, see shim note).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t.min(Duration::from_millis(200));
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(&full, self.config, self.throughput, f);
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(&full, self.config, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark bodies; `iter` runs the measured routine.
+pub struct Bencher {
+    config: Config,
+    /// Mean ns/iter from the most recent `iter` call.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.smoke_only {
+            std::hint::black_box(routine());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: bounded by both sample count and wall-clock.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= self.config.sample_size as u64
+                || start.elapsed() >= self.config.measurement_time
+            {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    config: Config,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        config,
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    if config.smoke_only {
+        println!("bench {id:<50} ok (smoke)");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if bencher.mean_ns > 0.0 => {
+            format!(
+                "  {:>9.1} MiB/s",
+                b as f64 / bencher.mean_ns * 1e9 / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if bencher.mean_ns > 0.0 => {
+            format!("  {:>9.2} Melem/s", n as f64 / bencher.mean_ns * 1e9 / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("bench {id:<50} {:>12.0} ns/iter{rate}", bencher.mean_ns);
+}
+
+/// Declare a group function running the listed benchmark functions.
+///
+/// Supports both the simple form `criterion_group!(name, f1, f2)` and
+/// the block form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fft", 1024).to_string(), "fft/1024");
+        assert_eq!(BenchmarkId::from_parameter("coll").to_string(), "coll");
+    }
+
+    #[test]
+    fn iter_runs_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        c.config.smoke_only = false;
+        c.config.warm_up_time = Duration::from_micros(1);
+        c.config.measurement_time = Duration::from_millis(5);
+        let mut calls = 0u32;
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls >= 2, "warm-up + at least one sample, got {calls}");
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn noop(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group! {
+            name = shim_group;
+            config = Criterion::default().sample_size(1);
+            targets = noop
+        }
+        shim_group();
+    }
+}

@@ -1,0 +1,74 @@
+//! Vendored shim for `parking_lot`: a [`Mutex`] with the non-poisoning
+//! `lock()` signature, backed by `std::sync::Mutex`.
+//!
+//! Poisoning is deliberately swallowed: `parking_lot` mutexes have no
+//! poison state, and the workspace relies on that (a panicking thread in
+//! an `omp` team must not poison the shared team state for its peers).
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// Non-poisoning mutual exclusion, API-compatible with
+/// `parking_lot::Mutex` for the operations this workspace uses.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking the current thread. Unlike
+    /// `std::sync::Mutex`, a panic in a previous holder does not poison
+    /// the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn survives_holder_panic() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("die holding the lock");
+        })
+        .join();
+        // A poisoned std mutex would panic here; the shim must not.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Vendored shim for `rand`: seedable pseudo-random `f64`s.
+//!
+//! Provides the surface `dasgen` uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen, gen_range}` over `f64`
+//! ranges. The generator is SplitMix64: not the real `StdRng` (ChaCha),
+//! but statistically fine for synthesizing Gaussian test noise, and
+//! deterministic for a given seed.
+
+use std::ops::Range;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable uniformly from the generator's full output.
+pub trait Standard: Sized {
+    fn sample(next_u64: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(next_u64: u64) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (next_u64 >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(next_u64: u64) -> u64 {
+        next_u64
+    }
+}
+
+/// Random value generation on top of a raw `u64` stream.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value uniformly (e.g. `f64` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Sample uniformly from a half-open `f64` range.
+    fn gen_range(&mut self, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty gen_range");
+        let unit: f64 = self.gen();
+        let v = range.start + unit * (range.end - range.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= range.end {
+            range.end - (range.end - range.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64-backed stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn output_is_not_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let first = rng.next_u64();
+        assert!((0..100).any(|_| rng.next_u64() != first));
+    }
+}
