@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate for DASSA-rs. Run from the repo root; fails fast.
 #
-#   ./ci.sh          # tier-1 + lints
+#   ./ci.sh          # tier-1 + lints + chaos matrix
 #   ./ci.sh --quick  # lints only (skip the release build + tests)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -20,6 +20,22 @@ if [[ $quick -eq 0 ]]; then
     cargo build --release
     echo "==> tier-1: cargo test -q"
     cargo test -q
+
+    # Chaos matrix: the seeded fault-injection suite over 8 seeds, run
+    # twice with outcome digests. Any nondeterminism — a fault plan
+    # whose outcome differs between two identically-seeded runs, within
+    # a process or across the two passes — fails the gate.
+    echo "==> chaos: seeded fault matrix (8 seeds, two passes)"
+    digest_dir="$(mktemp -d)"
+    trap 'rm -rf "$digest_dir"' EXIT
+    DASSA_CHAOS_SEEDS=8 DASSA_CHAOS_DIGEST="$digest_dir/pass1" \
+        cargo test -q -p bench --test chaos
+    DASSA_CHAOS_SEEDS=8 DASSA_CHAOS_DIGEST="$digest_dir/pass2" \
+        cargo test -q -p bench --test chaos
+    if ! diff -u "$digest_dir/pass1" "$digest_dir/pass2"; then
+        echo "chaos: same seeds produced different outcomes across runs" >&2
+        exit 1
+    fi
 fi
 
 echo "==> CI green"

@@ -16,11 +16,17 @@
 //! instead. Stage timings appear as `span.pipeline.{scan,read,analyze,
 //! write}`, with the analysis's own spans nested underneath (e.g.
 //! `span.pipeline.analyze.interferometry.apply`).
+//!
+//! With `--fault-plan <spec>` (e.g. `seed=42,dasf.read.err=0.05`) a
+//! deterministic `faultline` plan is installed for the whole run and the
+//! read stage switches to the resilient reader: unreadable member files
+//! are retried, then quarantined and zero-filled, and the quarantine
+//! report is printed instead of aborting the pipeline.
 
 use dassa::dasa::{
     self, Analysis, AnalysisOutput, Haee, InterferometryParams, LocalSimiParams, StackingParams,
 };
-use dassa::dass::{FileCatalog, Vca};
+use dassa::dass::{FileCatalog, ReadStrategy, Vca};
 use std::process::ExitCode;
 
 struct Args {
@@ -32,6 +38,7 @@ struct Args {
     out: Option<String>,
     /// `None` = off, `Some(None)` = text to stderr, `Some(Some(p))` = JSON to `p`.
     metrics: Option<Option<String>>,
+    fault_plan: Option<faultline::FaultPlan>,
 }
 
 fn usage() -> ! {
@@ -39,7 +46,8 @@ fn usage() -> ! {
         "usage: das_pipeline -d <dir> -a <localsim|interferometry|stack>\n\
          \u{20}                     [-t <threads>] [--master <channel>=0]\n\
          \u{20}                     [--window <samples>=512] [-o <out.dasf>]\n\
-         \u{20}                     [--metrics[=<out.json>]]"
+         \u{20}                     [--metrics[=<out.json>]]\n\
+         \u{20}                     [--fault-plan <seed=N,site=rate,...>]"
     );
     std::process::exit(2);
 }
@@ -60,6 +68,11 @@ fn parse_args() -> Args {
         window: 512,
         out: None,
         metrics: None,
+        fault_plan: None,
+    };
+    let parse_plan = |spec: &str| -> faultline::FaultPlan {
+        faultline::FaultPlan::parse(spec)
+            .unwrap_or_else(|e| invalid(&format!("--fault-plan {spec:?}: {e}")))
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,6 +93,7 @@ fn parse_args() -> Args {
             "--window" => args.window = parse("--window", value("--window")),
             "-o" | "--out" => args.out = Some(value("-o")),
             "--metrics" => args.metrics = Some(None),
+            "--fault-plan" => args.fault_plan = Some(parse_plan(&value("--fault-plan"))),
             "-h" | "--help" => usage(),
             other => {
                 if let Some(path) = other.strip_prefix("--metrics=") {
@@ -87,6 +101,8 @@ fn parse_args() -> Args {
                         invalid("--metrics= wants a file path (or use bare --metrics)");
                     }
                     args.metrics = Some(Some(path.to_string()));
+                } else if let Some(spec) = other.strip_prefix("--fault-plan=") {
+                    args.fault_plan = Some(parse_plan(spec));
                 } else {
                     eprintln!("unknown flag {other:?}");
                     usage()
@@ -182,7 +198,10 @@ fn run(args: &Args) -> dassa::Result<()> {
     let t1 = std::time::Instant::now();
     let data = {
         let _s = obs::span("read");
-        vca.read_all_f64()?
+        match &args.fault_plan {
+            None => vca.read_all_f64()?,
+            Some(plan) => read_resilient_f64(&vca, plan)?,
+        }
     };
     eprintln!("read {:.1} ms", t1.elapsed().as_secs_f64() * 1e3);
 
@@ -210,6 +229,35 @@ fn run(args: &Args) -> dassa::Result<()> {
     Ok(())
 }
 
+/// Read the VCA under a fault plan: a single-rank chaos world drives the
+/// resilient reader (retry, then quarantine + zero-fill), the quarantine
+/// report goes to stderr, and the f32 block widens to the f64 array the
+/// analyses consume.
+fn read_resilient_f64(
+    vca: &Vca,
+    plan: &faultline::FaultPlan,
+) -> dassa::Result<arrayudf::Array2<f64>> {
+    let plan = std::sync::Arc::new(plan.clone());
+    let (mut results, _) = minimpi::run_chaos(1, plan, minimpi::RetryPolicy::default(), |comm| {
+        dassa::dass::read_vca_resilient(comm, vca, ReadStrategy::Auto)
+    });
+    let (block, report) = results.remove(0)?;
+    if report.is_clean() {
+        eprintln!("fault plan active: clean read, no faults struck");
+    } else {
+        eprintln!(
+            "fault plan active: quarantined {}/{} files {:?}, {} read retries, {} samples zero-filled",
+            report.quarantined.len(),
+            vca.n_files(),
+            report.quarantined,
+            report.io_retries,
+            report.zero_samples
+        );
+    }
+    let data: Vec<f64> = block.as_slice().iter().map(|&v| v as f64).collect();
+    Ok(arrayudf::Array2::from_vec(block.rows(), block.cols(), data))
+}
+
 /// Emit the observability snapshot per `--metrics` (after every span
 /// guard has dropped, so the full `span.pipeline.*` tree is recorded).
 fn emit_metrics(dest: &Option<String>) -> std::io::Result<()> {
@@ -226,6 +274,10 @@ fn emit_metrics(dest: &Option<String>) -> std::io::Result<()> {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(plan) = &args.fault_plan {
+        // Process-wide, so dasf faults also strike scan and write stages.
+        faultline::install_global(std::sync::Arc::new(plan.clone()));
+    }
     let result = run(&args);
     if let Some(dest) = &args.metrics {
         if let Err(e) = emit_metrics(dest) {

@@ -21,7 +21,10 @@ pub use lav::Lav;
 pub use metadata::{
     das_file_name, keys, write_das_file, write_das_file_with_layout, DasFileMeta, DATASET_PATH,
 };
-pub use par_read::{read_collective_per_file, read_comm_avoiding, read_vca, ReadStrategy};
+pub use par_read::{
+    read_collective_per_file, read_collective_per_file_resilient, read_comm_avoiding,
+    read_comm_avoiding_resilient, read_vca, read_vca_resilient, ReadReport, ReadStrategy,
+};
 pub use rca::{create_rca, create_rca_parallel, read_rca};
 pub use search::{FileCatalog, FileEntry};
 pub use timestamp::Timestamp;

@@ -74,6 +74,101 @@ pub mod metric_names {
     pub const CA_EXCHANGE_NS: &str = "dass.par_read.comm_avoiding.exchange_ns";
     /// Pack/assembly time (ns) inside the communication-avoiding reader.
     pub const CA_COPY_NS: &str = "dass.par_read.comm_avoiding.copy_ns";
+    /// Member files quarantined by the resilient readers (counted once,
+    /// on the owner rank, when the retry budget is exhausted).
+    pub const QUARANTINED: &str = "par_read.quarantined";
+    /// Repeated member-file read attempts in the resilient readers
+    /// (counted once per repeat, on the owner rank).
+    pub const RETRIES: &str = "par_read.retries";
+}
+
+/// Read attempts per member file in the resilient readers before the
+/// file is quarantined.
+pub const MAX_READ_ATTEMPTS: u32 = 3;
+
+/// What a resilient read survived: which member files were quarantined
+/// (skipped, their span zero-filled), and how hard the world worked to
+/// avoid quarantining more.
+///
+/// The report is **identical on every rank and across both read
+/// strategies** for a given (VCA, world size, fault plan): quarantine
+/// decisions depend only on per-file fault schedules keyed by file name
+/// and index, and both strategies give file `fi` to owner rank
+/// `fi % size`. Communication-level retries are deliberately *not* in
+/// here — the two strategies issue different collective sequences, so
+/// their `minimpi.retries` legitimately differ.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadReport {
+    /// Indices (into [`Vca::entries`]) of quarantined member files,
+    /// ascending.
+    pub quarantined: Vec<usize>,
+    /// World-total repeated read attempts (sum over all ranks).
+    pub io_retries: u64,
+    /// Total f32 samples zero-filled across the full VCA extent
+    /// (`channels × samples` summed over quarantined files).
+    pub zero_samples: u64,
+}
+
+impl ReadReport {
+    /// True when every member file was read cleanly on the first try.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.io_retries == 0
+    }
+}
+
+/// Read one member file with bounded retries. Returns the data (`None`
+/// after [`MAX_READ_ATTEMPTS`] failures ⇒ quarantine) and the number of
+/// repeated attempts.
+///
+/// Failures come from two places, both deterministic under a
+/// [`faultline`] plan: real `dasf` errors (fault sites keyed by file
+/// *name* — a "bad sector", failing every attempt identically) and
+/// transient injected failures at `par_read.file` (keyed by file
+/// *index*; the failure count is capped below the budget, so a purely
+/// transient fault retries and then succeeds, never quarantines).
+fn read_member_with_retries(comm: &Comm, vca: &Vca, fi: usize) -> (Option<Vec<f32>>, u64) {
+    let transient = match faultline::current() {
+        Some(plan) if plan.fires(faultline::site::PAR_READ_FILE, fi as u64) => {
+            1 + plan.value_below(
+                faultline::site::PAR_READ_FILE,
+                fi as u64,
+                MAX_READ_ATTEMPTS as u64 - 1,
+            ) as u32
+        }
+        _ => 0,
+    };
+    let reg = comm.registry();
+    let mut retries = 0u64;
+    for attempt in 0..MAX_READ_ATTEMPTS {
+        let result: Result<Vec<f32>> = if attempt < transient {
+            Err(crate::DassaError::Io(std::io::Error::other(
+                "faultline: injected member-file read failure (par_read.file)",
+            )))
+        } else {
+            let entry = &vca.entries()[fi];
+            File::open(&entry.path)
+                .and_then(|f| f.read_f32(DATASET_PATH))
+                .map_err(Into::into)
+        };
+        match result {
+            Ok(data) => return (Some(data), retries),
+            Err(_) if attempt + 1 < MAX_READ_ATTEMPTS => {
+                retries += 1;
+                reg.counter(metric_names::RETRIES).inc();
+            }
+            Err(_) => {}
+        }
+    }
+    reg.counter(metric_names::QUARANTINED).inc();
+    (None, retries)
+}
+
+/// The global zero-filled sample count implied by a quarantine set.
+fn zero_samples_of(vca: &Vca, quarantined: &[usize]) -> u64 {
+    quarantined
+        .iter()
+        .map(|&fi| vca.channels() * vca.samples_of(fi))
+        .sum()
 }
 
 /// Read `vca` in parallel with the chosen strategy; returns this rank's
@@ -213,11 +308,172 @@ pub fn read_comm_avoiding(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
     Ok(local)
 }
 
+/// Resilient variant of [`read_vca`]: unreadable member files are retried
+/// up to [`MAX_READ_ATTEMPTS`] times, then *quarantined* — skipped, their
+/// span zero-filled — instead of failing the whole read. Returns this
+/// rank's channel block plus a [`ReadReport`] that is identical on every
+/// rank.
+///
+/// Communication failures (a dead rank in a [`minimpi::run_chaos`]
+/// world) still return `Err` — resilience covers data, not the world.
+pub fn read_vca_resilient(
+    comm: &Comm,
+    vca: &Vca,
+    strategy: ReadStrategy,
+) -> Result<(Array2<f32>, ReadReport)> {
+    match strategy.resolve(comm.size(), vca.n_files()) {
+        ReadStrategy::CollectivePerFile => read_collective_per_file_resilient(comm, vca),
+        ReadStrategy::CommAvoiding => read_comm_avoiding_resilient(comm, vca),
+        ReadStrategy::Auto => unreachable!("resolve never returns Auto"),
+    }
+}
+
+/// [`read_collective_per_file`] with retry/quarantine: before each data
+/// broadcast the aggregator broadcasts a small header (did the read
+/// succeed, and after how many retries), so every rank tracks the same
+/// quarantine set and retry total without extra collectives.
+pub fn read_collective_per_file_resilient(
+    comm: &Comm,
+    vca: &Vca,
+) -> Result<(Array2<f32>, ReadReport)> {
+    let (rank, size) = (comm.rank(), comm.size());
+    let channels = vca.channels() as usize;
+    let my_rows = partition(channels, size, rank);
+    let total_cols = vca.total_samples() as usize;
+    let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
+    let mut quarantined = Vec::new();
+    let mut io_retries = 0u64;
+
+    for fi in 0..vca.n_files() {
+        let cols = vca.samples_of(fi) as usize;
+        let root = fi % size;
+        let (payload, my_retries) = if rank == root {
+            read_member_with_retries(comm, vca, fi)
+        } else {
+            (None, 0)
+        };
+        let (ok, retries) = comm.try_bcast(
+            root,
+            (rank == root).then(|| (payload.is_some(), my_retries)),
+        )?;
+        io_retries += retries;
+        if !ok {
+            // Quarantined: no data broadcast; the span stays zero.
+            quarantined.push(fi);
+            continue;
+        }
+        let data = comm.try_bcast_vec(root, payload)?;
+        let t0 = vca.time_offset_of(fi) as usize;
+        for (li, g) in my_rows.clone().enumerate() {
+            let src = &data[g * cols..(g + 1) * cols];
+            let dst = &mut local.as_mut_slice()[li * total_cols + t0..li * total_cols + t0 + cols];
+            dst.copy_from_slice(src);
+        }
+    }
+    let zero_samples = zero_samples_of(vca, &quarantined);
+    Ok((
+        local,
+        ReadReport {
+            quarantined,
+            io_retries,
+            zero_samples,
+        },
+    ))
+}
+
+/// [`read_comm_avoiding`] with retry/quarantine: after the local reads,
+/// one extra allgather merges every rank's quarantine list and retry
+/// count, so all ranks agree on which blocks the `alltoallv` will *not*
+/// carry; quarantined spans stay zero-filled.
+pub fn read_comm_avoiding_resilient(comm: &Comm, vca: &Vca) -> Result<(Array2<f32>, ReadReport)> {
+    let (rank, size) = (comm.rank(), comm.size());
+    let channels = vca.channels() as usize;
+    let my_rows = partition(channels, size, rank);
+    let total_cols = vca.total_samples() as usize;
+
+    // 1. Independent contiguous reads of my round-robin files, with
+    //    bounded retries; failures become local quarantine entries.
+    let mut my_file_data: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut my_quarantined: Vec<u64> = Vec::new();
+    let mut my_retries = 0u64;
+    for fi in 0..vca.n_files() {
+        if fi % size != rank {
+            continue;
+        }
+        let (data, retries) = read_member_with_retries(comm, vca, fi);
+        my_retries += retries;
+        match data {
+            Some(data) => my_file_data.push((fi, data)),
+            None => my_quarantined.push(fi as u64),
+        }
+    }
+
+    // 2. Agree on the global quarantine set and retry total before the
+    //    exchange, so receivers know which blocks will not arrive.
+    let merged = comm.try_allgather((my_quarantined, my_retries))?;
+    let mut quarantined: Vec<usize> = merged
+        .iter()
+        .flat_map(|(q, _)| q.iter().map(|&fi| fi as usize))
+        .collect();
+    quarantined.sort_unstable();
+    let io_retries: u64 = merged.iter().map(|(_, r)| r).sum();
+
+    // 3. Build per-destination buffers from the files that survived
+    //    (quarantined files are simply absent from `my_file_data`).
+    let mut buffers: Vec<Vec<f32>> = (0..size).map(|_| Vec::new()).collect();
+    for (fi, data) in &my_file_data {
+        let cols = vca.samples_of(*fi) as usize;
+        for (dst, buf) in buffers.iter_mut().enumerate() {
+            let rows = partition(channels, size, dst);
+            buf.reserve(rows.len() * cols);
+            for g in rows {
+                buf.extend_from_slice(&data[g * cols..(g + 1) * cols]);
+            }
+        }
+    }
+
+    // 4. One all-to-all exchange (concurrent pairwise transfers).
+    let received = comm.try_alltoallv(buffers)?;
+
+    // 5. Assemble, skipping quarantined files — their spans stay zero.
+    let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
+    for (src, buf) in received.into_iter().enumerate() {
+        let mut cursor = 0usize;
+        for fi in (src..vca.n_files()).step_by(size.max(1)) {
+            if fi % size != src || quarantined.binary_search(&fi).is_ok() {
+                continue;
+            }
+            let cols = vca.samples_of(fi) as usize;
+            let t0 = vca.time_offset_of(fi) as usize;
+            for li in 0..my_rows.len() {
+                let src_slice = &buf[cursor..cursor + cols];
+                let dst =
+                    &mut local.as_mut_slice()[li * total_cols + t0..li * total_cols + t0 + cols];
+                dst.copy_from_slice(src_slice);
+                cursor += cols;
+            }
+        }
+        debug_assert_eq!(cursor, buf.len(), "exchange layout mismatch");
+    }
+    let zero_samples = zero_samples_of(vca, &quarantined);
+    Ok((
+        local,
+        ReadReport {
+            quarantined,
+            io_retries,
+            zero_samples,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dass::search::tests::make_files;
     use crate::dass::FileCatalog;
+    use faultline::{site, FaultPlan};
+    use minimpi::{run_chaos, RetryPolicy};
+    use std::sync::Arc;
 
     fn sample_vca(tag: &str, files: usize, channels: u64, samples: u64) -> Vca {
         let dir = make_files(tag, "170728224510", files, channels, samples);
@@ -288,6 +544,112 @@ mod tests {
             ca.p2p_bytes,
             coll.p2p_bytes
         );
+    }
+
+    /// A plan injecting permanent (file-name-keyed) read errors at
+    /// `rate`, plus the quarantine set it implies for `vca` — computed
+    /// independently of the reader, straight from the plan.
+    fn quarantine_plan(vca: &Vca, seed: u64, rate: f64) -> (Arc<FaultPlan>, Vec<usize>) {
+        let plan = FaultPlan::new(seed).with(site::DASF_READ_ERR, rate);
+        let expected: Vec<usize> = vca
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                let name = e.path.file_name().expect("member file name");
+                plan.fires(
+                    site::DASF_READ_ERR,
+                    faultline::key_of(name.as_encoded_bytes()),
+                )
+            })
+            .map(|(fi, _)| fi)
+            .collect();
+        (Arc::new(plan), expected)
+    }
+
+    #[test]
+    fn resilient_clean_run_matches_plain_reader() {
+        let vca = sample_vca("par-res-clean", 4, 6, 30);
+        let serial = vca.read_all_f32().unwrap();
+        for strat in [ReadStrategy::CollectivePerFile, ReadStrategy::CommAvoiding] {
+            let results = minimpi::run(3, |comm| {
+                read_vca_resilient(comm, &vca, strat).expect("resilient read")
+            });
+            let (blocks, reports): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+            assert_eq!(Array2::vstack(&blocks), serial, "{strat:?}");
+            for r in &reports {
+                assert!(r.is_clean(), "{strat:?}: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quarantine_zero_fills_and_strategies_agree() {
+        let vca = sample_vca("par-res-quar", 6, 5, 20);
+        let serial = vca.read_all_f32().unwrap();
+        let (plan, expected) = quarantine_plan(&vca, 33, 0.5);
+        assert!(
+            !expected.is_empty() && expected.len() < vca.n_files(),
+            "seed 33 should quarantine some but not all of {} files (got {expected:?})",
+            vca.n_files()
+        );
+        let mut per_strategy = Vec::new();
+        for strat in [ReadStrategy::CollectivePerFile, ReadStrategy::CommAvoiding] {
+            let (results, _) = run_chaos(3, Arc::clone(&plan), RetryPolicy::default(), |comm| {
+                read_vca_resilient(comm, &vca, strat).expect("resilient read")
+            });
+            let (blocks, reports): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+            let full = Array2::vstack(&blocks);
+            // Every rank reports the same thing, and it matches the
+            // plan-derived expectation.
+            for r in &reports {
+                assert_eq!(r.quarantined, expected, "{strat:?}");
+                assert_eq!(
+                    r.zero_samples,
+                    expected
+                        .iter()
+                        .map(|&fi| vca.channels() * vca.samples_of(fi))
+                        .sum::<u64>()
+                );
+            }
+            // Quarantined spans are zero; everything else matches the
+            // clean serial read.
+            for fi in 0..vca.n_files() {
+                let t0 = vca.time_offset_of(fi) as usize;
+                let cols = vca.samples_of(fi) as usize;
+                let quarantined = expected.contains(&fi);
+                for ch in 0..vca.channels() as usize {
+                    for c in t0..t0 + cols {
+                        let got = full.get(ch, c);
+                        let want = if quarantined { 0.0 } else { serial.get(ch, c) };
+                        assert_eq!(got, want, "{strat:?} file {fi} ch {ch} col {c}");
+                    }
+                }
+            }
+            per_strategy.push(full);
+        }
+        assert_eq!(per_strategy[0], per_strategy[1], "strategies agree");
+    }
+
+    #[test]
+    fn transient_faults_retry_and_recover() {
+        // `par_read.file` failures are capped below the retry budget:
+        // every file eventually reads, the report only shows effort.
+        let vca = sample_vca("par-res-transient", 5, 4, 16);
+        let serial = vca.read_all_f32().unwrap();
+        let plan = Arc::new(FaultPlan::new(9).with(site::PAR_READ_FILE, 1.0));
+        let mut reports = Vec::new();
+        for _ in 0..2 {
+            let (results, _) = run_chaos(2, Arc::clone(&plan), RetryPolicy::default(), |comm| {
+                read_vca_resilient(comm, &vca, ReadStrategy::CommAvoiding).expect("resilient read")
+            });
+            let (blocks, mut rep): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+            assert_eq!(Array2::vstack(&blocks), serial);
+            assert!(rep[0].quarantined.is_empty());
+            assert!(rep[0].io_retries >= vca.n_files() as u64);
+            reports.push(rep.remove(0));
+        }
+        assert_eq!(reports[0], reports[1], "retry counts are deterministic");
     }
 
     #[test]

@@ -19,6 +19,8 @@ pub enum DassaError {
     BadSelection(String),
     /// A DAS file lacks required metadata.
     MissingMetadata { path: String, key: &'static str },
+    /// A collective gave up in a bounded-retry (chaos) world.
+    Comm(minimpi::CommError),
 }
 
 impl fmt::Display for DassaError {
@@ -33,6 +35,7 @@ impl fmt::Display for DassaError {
             DassaError::MissingMetadata { path, key } => {
                 write!(f, "file {path} lacks required metadata key {key:?}")
             }
+            DassaError::Comm(e) => write!(f, "communication error: {e}"),
         }
     }
 }
@@ -43,6 +46,7 @@ impl std::error::Error for DassaError {
             DassaError::Dasf(e) => Some(e),
             DassaError::Io(e) => Some(e),
             DassaError::Regex(e) => Some(e),
+            DassaError::Comm(e) => Some(e),
             _ => None,
         }
     }
@@ -63,5 +67,11 @@ impl From<std::io::Error> for DassaError {
 impl From<regexlite::ParseError> for DassaError {
     fn from(e: regexlite::ParseError) -> Self {
         DassaError::Regex(e)
+    }
+}
+
+impl From<minimpi::CommError> for DassaError {
+    fn from(e: minimpi::CommError) -> Self {
+        DassaError::Comm(e)
     }
 }

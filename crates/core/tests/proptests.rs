@@ -4,7 +4,8 @@
 
 use arrayudf::Array2;
 use dassa::dass::{
-    create_rca, read_collective_per_file, read_comm_avoiding, read_rca, FileCatalog, Lav,
+    create_rca, read_collective_per_file, read_collective_per_file_resilient, read_comm_avoiding,
+    read_comm_avoiding_resilient, read_rca, read_vca_resilient, FileCatalog, Lav, ReadStrategy,
     Timestamp, Vca,
 };
 use dassa::dass::{das_file_name, write_das_file, DasFileMeta};
@@ -176,6 +177,56 @@ proptest! {
             ca.histogram(pr::CA_EXCHANGE_NS).map(|h| h.count),
             Some(ranks as u64)
         );
+    }
+
+    /// With faults disabled, the resilient readers are *exactly* the
+    /// plain readers: same array from both strategies on any
+    /// file/channel/rank split, a clean [`ReadReport`] on every rank,
+    /// and the same answer whether the world is a classic blocking one
+    /// or a chaos world carrying an empty fault plan.
+    #[test]
+    fn resilient_readers_match_plain_when_faults_are_off(
+        files in 1usize..4,
+        channels in 1u64..7,
+        samples in 1u64..24,
+        ranks in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use std::sync::Arc;
+
+        let (dir, expected) = build_dataset(files, channels, samples, seed);
+        let cat = FileCatalog::scan(&dir).expect("scan");
+        let vca = Vca::from_entries(cat.entries()).expect("vca");
+
+        let coll = minimpi::run(ranks, |c| {
+            read_collective_per_file_resilient(c, &vca).expect("coll")
+        });
+        let ca = minimpi::run(ranks, |c| {
+            read_comm_avoiding_resilient(c, &vca).expect("ca")
+        });
+        for (block_report, what) in coll.iter().chain(&ca).map(|r| (r, "resilient")) {
+            prop_assert!(block_report.1.is_clean(), "{what}: dirty report {:?}", block_report.1);
+        }
+        let coll_blocks: Vec<_> = coll.into_iter().map(|(b, _)| b).collect();
+        let ca_blocks: Vec<_> = ca.into_iter().map(|(b, _)| b).collect();
+        prop_assert_eq!(Array2::vstack(&coll_blocks), expected.clone());
+        prop_assert_eq!(Array2::vstack(&ca_blocks), expected.clone());
+
+        // An installed-but-empty plan (no site rates) must change nothing:
+        // bounded retries, timeouts, and the fault hooks all stay inert.
+        let plan = Arc::new(faultline::FaultPlan::new(seed));
+        let (results, _reg) = minimpi::run_chaos(
+            ranks,
+            plan,
+            minimpi::RetryPolicy::default(),
+            |c| read_vca_resilient(c, &vca, ReadStrategy::Auto).expect("chaos clean"),
+        );
+        let mut blocks = Vec::new();
+        for (block, report) in results {
+            prop_assert!(report.is_clean(), "empty plan produced faults: {report:?}");
+            blocks.push(block);
+        }
+        prop_assert_eq!(Array2::vstack(&blocks), expected);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! `faultline` injection hooks for the dasf I/O layer.
+//!
+//! Faults are keyed by *file name* (DAS minute-file names encode
+//! timestamps, so they are stable across runs and identical no matter
+//! which rank or strategy touches the file): under a given plan a file
+//! is either permanently unreadable or permanently healthy — the
+//! bad-sector model. Transient faults live at the `par_read` and
+//! `minimpi` layers, which key by attempt.
+//!
+//! Injected errors are always *detected* errors ([`DasfError::Io`],
+//! [`DasfError::Truncated`], [`DasfError::Corrupt`]) — corruption
+//! surfaces the way a checksum mismatch would, never as silently wrong
+//! bytes in a successful read.
+
+use crate::error::DasfError;
+use crate::Result;
+use faultline::site;
+use std::path::Path;
+use std::time::Duration;
+
+/// Upper bound on injected read latency. Long enough to perturb
+/// schedules (and show up in `dasf.read.ns`), short enough that chaos
+/// matrices over many seeds stay fast.
+const MAX_LATENCY_NS: u64 = 200_000;
+
+/// The injection key for `path`: a stable hash of its file name.
+fn file_key(path: &Path) -> u64 {
+    faultline::key_of(
+        path.file_name()
+            .map(|n| n.as_encoded_bytes())
+            .unwrap_or_default(),
+    )
+}
+
+fn injected(what: &str) -> DasfError {
+    crate::metrics::metrics().faults_injected.inc();
+    DasfError::Io(std::io::Error::other(format!("faultline: injected {what}")))
+}
+
+/// Open-time hook: may fail [`crate::File::open`] for this path.
+pub(crate) fn check_open(path: &Path) -> Result<()> {
+    let Some(plan) = faultline::current() else {
+        return Ok(());
+    };
+    if plan.fires(site::DASF_OPEN_ERR, file_key(path)) {
+        return Err(injected("open failure (dasf.open.err)"));
+    }
+    Ok(())
+}
+
+/// Read-time hook: may stall briefly, then may fail the read with a
+/// detected error. Called once per dataset read (whole or hyperslab).
+pub(crate) fn check_read(path: &Path) -> Result<()> {
+    let Some(plan) = faultline::current() else {
+        return Ok(());
+    };
+    let key = file_key(path);
+    if plan.fires(site::DASF_READ_LATENCY, key) {
+        let ns = 1 + plan.value_below(site::DASF_READ_LATENCY, key, MAX_LATENCY_NS);
+        std::thread::sleep(Duration::from_nanos(ns));
+        crate::metrics::metrics().faults_injected.inc();
+    }
+    if plan.fires(site::DASF_READ_ERR, key) {
+        return Err(injected("read failure (dasf.read.err)"));
+    }
+    if plan.fires(site::DASF_READ_SHORT, key) {
+        crate::metrics::metrics().faults_injected.inc();
+        return Err(DasfError::Truncated);
+    }
+    if plan.fires(site::DASF_READ_CORRUPT, key) {
+        crate::metrics::metrics().faults_injected.inc();
+        return Err(DasfError::Corrupt(
+            "faultline: injected page corruption (dasf.read.corrupt)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Write-time hook, keyed by file name × dataset path.
+pub(crate) fn check_write(file: &Path, dataset: &str) -> Result<()> {
+    let Some(plan) = faultline::current() else {
+        return Ok(());
+    };
+    let key = file_key(file) ^ faultline::key_of(dataset.as_bytes());
+    if plan.fires(site::DASF_WRITE_ERR, key) {
+        return Err(injected("write failure (dasf.write.err)"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{File, Writer};
+    use faultline::FaultPlan;
+    use std::sync::Arc;
+
+    fn sample(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dasf-fault-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let mut w = Writer::create(&p).unwrap();
+        w.write_dataset_f32("/d", &[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
+        w.finish().unwrap();
+        p
+    }
+
+    #[test]
+    fn no_plan_is_a_noop() {
+        let p = sample("noplan.dasf");
+        let f = File::open(&p).unwrap();
+        assert_eq!(f.read_f32("/d").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn injected_faults_fire_deterministically() {
+        let p = sample("inject.dasf");
+        let open_err = Arc::new(FaultPlan::new(1).with(site::DASF_OPEN_ERR, 1.0));
+        faultline::with_plan(open_err, || {
+            assert!(matches!(File::open(&p), Err(DasfError::Io(_))));
+        });
+        let read_corrupt = Arc::new(FaultPlan::new(1).with(site::DASF_READ_CORRUPT, 1.0));
+        faultline::with_plan(read_corrupt, || {
+            let f = File::open(&p).unwrap();
+            assert!(matches!(f.read_f32("/d"), Err(DasfError::Corrupt(_))));
+            assert!(matches!(
+                f.read_hyperslab_f32("/d", &[(0, 1), (0, 2)]),
+                Err(DasfError::Corrupt(_))
+            ));
+        });
+        let read_short = Arc::new(FaultPlan::new(1).with(site::DASF_READ_SHORT, 1.0));
+        faultline::with_plan(read_short, || {
+            let f = File::open(&p).unwrap();
+            assert!(matches!(f.read_f32("/d"), Err(DasfError::Truncated)));
+        });
+        // Data is untouched once the plan is gone.
+        let f = File::open(&p).unwrap();
+        assert_eq!(f.read_f32("/d").unwrap()[5], 6.0);
+    }
+
+    #[test]
+    fn latency_fault_returns_correct_data() {
+        let p = sample("latency.dasf");
+        let plan = Arc::new(FaultPlan::new(2).with(site::DASF_READ_LATENCY, 1.0));
+        faultline::with_plan(plan, || {
+            let f = File::open(&p).unwrap();
+            assert_eq!(
+                f.read_f32("/d").unwrap(),
+                vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+            );
+        });
+    }
+
+    #[test]
+    fn write_fault_fails_writer() {
+        let dir = std::env::temp_dir().join("dasf-fault-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("wfail.dasf");
+        let plan = Arc::new(FaultPlan::new(3).with(site::DASF_WRITE_ERR, 1.0));
+        faultline::with_plan(plan, || {
+            let mut w = Writer::create(&p).unwrap();
+            assert!(matches!(
+                w.write_dataset_f32("/d", &[1], &[1.0]),
+                Err(DasfError::Io(_))
+            ));
+        });
+    }
+}

@@ -50,6 +50,7 @@
 
 mod element;
 mod error;
+mod faults;
 pub mod metrics;
 mod object;
 mod reader;

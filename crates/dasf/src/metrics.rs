@@ -27,6 +27,9 @@ pub mod names {
     pub const WRITE_BYTES: &str = "dasf.write.bytes";
     /// Histogram of per-write wall time in nanoseconds.
     pub const WRITE_NS: &str = "dasf.write.ns";
+    /// Count of faults injected by an active `faultline` plan (errors
+    /// and latency stalls).
+    pub const FAULTS_INJECTED: &str = "dasf.faults.injected";
 }
 
 pub(crate) struct Metrics {
@@ -38,6 +41,7 @@ pub(crate) struct Metrics {
     pub write_count: Counter,
     pub write_bytes: Counter,
     pub write_ns: Histogram,
+    pub faults_injected: Counter,
 }
 
 pub(crate) fn metrics() -> &'static Metrics {
@@ -53,6 +57,7 @@ pub(crate) fn metrics() -> &'static Metrics {
             write_count: reg.counter(names::WRITE_COUNT),
             write_bytes: reg.counter(names::WRITE_BYTES),
             write_ns: reg.histogram(names::WRITE_NS),
+            faults_injected: reg.counter(names::FAULTS_INJECTED),
         }
     })
 }

@@ -36,6 +36,7 @@ impl File {
     }
 
     fn open_impl(path: &Path) -> Result<File> {
+        crate::faults::check_open(path)?;
         let path = path.to_path_buf();
         let mut f = FsFile::open(&path)?;
         let mut header = [0u8; 16];
@@ -126,6 +127,7 @@ impl File {
             Layout::Contiguous => {
                 let m = crate::metrics::metrics();
                 m.read_count.inc();
+                crate::faults::check_read(&self.path)?;
                 let started = std::time::Instant::now();
                 let n = meta.len();
                 let mut bytes = vec![0u8; n * meta.dtype.size()];
@@ -171,6 +173,7 @@ impl File {
         path: &str,
         selection: &[(u64, u64)],
     ) -> Result<Vec<T>> {
+        crate::faults::check_read(&self.path)?;
         let meta = self.table.dataset(path)?;
         self.check_dtype::<T>(path, meta)?;
         if selection.len() != meta.dims.len() {

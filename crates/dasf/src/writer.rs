@@ -14,6 +14,7 @@ use std::path::Path;
 /// `finish` writes the object table footer and patches the superblock.
 pub struct Writer {
     file: BufWriter<FsFile>,
+    path: std::path::PathBuf,
     table: ObjectTable,
     /// Next free byte in the data region.
     cursor: u64,
@@ -26,12 +27,13 @@ impl Writer {
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
+            .open(path.as_ref())?;
         let mut w = BufWriter::new(file);
         w.write_all(MAGIC)?;
         w.write_all(&0u64.to_le_bytes())?; // placeholder table offset
         Ok(Writer {
             file: w,
+            path: path.as_ref().to_path_buf(),
             table: ObjectTable::new(),
             cursor: 16,
         })
@@ -73,6 +75,7 @@ impl Writer {
         };
         // Register first so path errors surface before any bytes move.
         self.table.insert_dataset(path, meta)?;
+        crate::faults::check_write(&self.path, path)?;
         let started = std::time::Instant::now();
         let bytes = encode_slice(data);
         self.file.write_all(&bytes)?;
@@ -107,6 +110,7 @@ impl Writer {
                 "chunk dims {chunk_dims:?} invalid for dataset dims {dims:?}"
             )));
         }
+        crate::faults::check_write(&self.path, path)?;
         let started = std::time::Instant::now();
         let grid: Vec<u64> = dims
             .iter()

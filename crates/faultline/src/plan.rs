@@ -1,0 +1,283 @@
+//! The seeded fault plan: sites, rates, and the deterministic roll.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Rates are stored in parts-per-[`RATE_DENOM`] so that plans compare,
+/// hash, and round-trip exactly (no floating-point spec drift).
+pub const RATE_DENOM: u64 = 1_000_000;
+
+/// A seeded, deterministic fault plan: site name → firing rate.
+///
+/// All randomness derives from [`FaultPlan::seed`] via a splitmix64-style
+/// hash of `(seed, site, key)`; the plan itself holds no mutable state,
+/// so it can be shared (`Arc`) across rank threads without any
+/// synchronization or ordering sensitivity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Site → rate in parts-per-[`RATE_DENOM`].
+    sites: BTreeMap<String, u64>,
+}
+
+/// Errors from [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A clause is not `name=value`.
+    Malformed(String),
+    /// The numeric part of a clause did not parse.
+    BadValue(String),
+    /// A rate lies outside `[0, 1]`.
+    RateOutOfRange(String),
+    /// A site name is not one of [`crate::site::ALL`].
+    UnknownSite(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Malformed(c) => write!(f, "malformed clause {c:?} (want name=value)"),
+            PlanError::BadValue(c) => write!(f, "bad numeric value in clause {c:?}"),
+            PlanError::RateOutOfRange(c) => write!(f, "rate outside [0,1] in clause {c:?}"),
+            PlanError::UnknownSite(s) => write!(f, "unknown fault site {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl FaultPlan {
+    /// An empty plan (no site ever fires) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            sites: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style: set `site` to fire at `rate` (a fraction in
+    /// `[0, 1]`, quantized to parts-per-[`RATE_DENOM`]).
+    ///
+    /// # Panics
+    /// Panics when `rate` is outside `[0, 1]` — plans are authored by
+    /// tests and CLI parsing, where that is a programming error.
+    pub fn with(mut self, site: &str, rate: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0,1]");
+        self.sites
+            .insert(site.to_string(), (rate * RATE_DENOM as f64).round() as u64);
+        self
+    }
+
+    /// The seed all rolls derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured rate of `site` in parts-per-[`RATE_DENOM`]
+    /// (0 when unset).
+    pub fn rate_ppm(&self, site: &str) -> u64 {
+        self.sites.get(site).copied().unwrap_or(0)
+    }
+
+    /// Parse a plan spec: comma-separated `name=value` clauses, e.g.
+    /// `"seed=42,dasf.read.err=0.25,minimpi.recv.drop=0.1"`. `seed`
+    /// (default 0) takes a `u64`; every other clause must name a known
+    /// injection site with a rate in `[0, 1]`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, PlanError> {
+        let mut plan = FaultPlan::new(0);
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (name, value) = clause
+                .split_once('=')
+                .ok_or_else(|| PlanError::Malformed(clause.to_string()))?;
+            let (name, value) = (name.trim(), value.trim());
+            if name == "seed" {
+                plan.seed = value
+                    .parse()
+                    .map_err(|_| PlanError::BadValue(clause.to_string()))?;
+                continue;
+            }
+            if !crate::site::ALL.contains(&name) {
+                return Err(PlanError::UnknownSite(name.to_string()));
+            }
+            let rate: f64 = value
+                .parse()
+                .map_err(|_| PlanError::BadValue(clause.to_string()))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(PlanError::RateOutOfRange(clause.to_string()));
+            }
+            plan.sites
+                .insert(name.to_string(), (rate * RATE_DENOM as f64).round() as u64);
+        }
+        Ok(plan)
+    }
+
+    /// Render the plan as a spec [`FaultPlan::parse`] accepts;
+    /// `parse(to_spec())` reproduces the plan exactly.
+    pub fn to_spec(&self) -> String {
+        let mut out = format!("seed={}", self.seed);
+        for (site, ppm) in &self.sites {
+            out.push_str(&format!(",{site}={}", *ppm as f64 / RATE_DENOM as f64));
+        }
+        out
+    }
+
+    /// The deterministic 64-bit roll for `(site, key)` — uniform over
+    /// `u64`, independent of any other `(site, key)` pair.
+    pub fn roll(&self, site: &str, key: u64) -> u64 {
+        splitmix64(self.seed ^ fnv1a(site.as_bytes()) ^ splitmix64(key))
+    }
+
+    /// Does `site` fire for `key` under this plan?
+    pub fn fires(&self, site: &str, key: u64) -> bool {
+        let ppm = self.rate_ppm(site);
+        ppm > 0 && self.roll(site, key) % RATE_DENOM < ppm
+    }
+
+    /// A deterministic value in `0..n` for `(site, key)`, decorrelated
+    /// from [`FaultPlan::fires`] on the same pair. Used to size injected
+    /// latencies and transient-failure counts.
+    pub fn value_below(&self, site: &str, key: u64, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // A second mix round keeps this independent of the fire roll.
+        splitmix64(self.roll(site, key)) % n
+    }
+}
+
+/// Derive a stable injection key from an identifier (e.g. a file name).
+///
+/// Hooks that have no natural integer key hash a stable name instead —
+/// DAS minute-file names encode timestamps, so the same file keys the
+/// same faults in every run and in every read strategy.
+pub fn key_of(name: &[u8]) -> u64 {
+    fnv1a(name)
+}
+
+/// Fowler–Noll–Vo 1a, used to fold site names into the hash stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Sebastiano Vigna's splitmix64 finalizer: a cheap, well-mixed
+/// bijection on `u64`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::new(123);
+        for key in 0..1000 {
+            assert!(!plan.fires(site::DASF_READ_ERR, key));
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fires_rate_zero_never() {
+        let always = FaultPlan::new(5).with(site::PAR_READ_FILE, 1.0);
+        let never = FaultPlan::new(5).with(site::PAR_READ_FILE, 0.0);
+        for key in 0..1000 {
+            assert!(always.fires(site::PAR_READ_FILE, key));
+            assert!(!never.fires(site::PAR_READ_FILE, key));
+        }
+    }
+
+    #[test]
+    fn firing_rate_tracks_configured_rate() {
+        let plan = FaultPlan::new(99).with(site::DASF_READ_ERR, 0.3);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|&k| plan.fires(site::DASF_READ_ERR, k))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let plan = FaultPlan::new(7)
+            .with(site::DASF_READ_ERR, 0.5)
+            .with(site::DASF_OPEN_ERR, 0.5);
+        let agree = (0..4096)
+            .filter(|&k| plan.fires(site::DASF_READ_ERR, k) == plan.fires(site::DASF_OPEN_ERR, k))
+            .count();
+        // Perfect correlation would agree 4096 times; independence ~2048.
+        assert!((1700..2400).contains(&agree), "agreement {agree}");
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = FaultPlan::new(1).with(site::PAR_READ_FILE, 0.5);
+        let b = FaultPlan::new(2).with(site::PAR_READ_FILE, 0.5);
+        let differ = (0..4096)
+            .filter(|&k| a.fires(site::PAR_READ_FILE, k) != b.fires(site::PAR_READ_FILE, k))
+            .count();
+        assert!(differ > 1500, "only {differ} rolls differ across seeds");
+    }
+
+    #[test]
+    fn spec_round_trip_is_exact() {
+        let plan = FaultPlan::new(42)
+            .with(site::DASF_READ_ERR, 0.25)
+            .with(site::MINIMPI_RECV_DROP, 0.125)
+            .with(site::PAR_READ_FILE, 1.0);
+        let back = FaultPlan::parse(&plan.to_spec()).expect("parse own spec");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            FaultPlan::parse("seed"),
+            Err(PlanError::Malformed(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("seed=abc"),
+            Err(PlanError::BadValue(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("dasf.read.err=1.5"),
+            Err(PlanError::RateOutOfRange(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("no.such.site=0.1"),
+            Err(PlanError::UnknownSite(_))
+        ));
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_and_empty_clauses() {
+        let plan = FaultPlan::parse(" seed=9 , dasf.read.err = 0.5 ,, ").expect("parse");
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.rate_ppm(site::DASF_READ_ERR), RATE_DENOM / 2);
+    }
+
+    #[test]
+    fn value_below_is_deterministic_and_bounded() {
+        let plan = FaultPlan::new(3).with(site::MINIMPI_RECV_DROP, 1.0);
+        for key in 0..100 {
+            let v = plan.value_below(site::MINIMPI_RECV_DROP, key, 4);
+            assert!(v < 4);
+            assert_eq!(v, plan.value_below(site::MINIMPI_RECV_DROP, key, 4));
+        }
+        assert_eq!(plan.value_below(site::MINIMPI_RECV_DROP, 0, 0), 0);
+    }
+}

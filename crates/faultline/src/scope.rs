@@ -1,0 +1,152 @@
+//! Plan activation: which [`FaultPlan`] do injection hooks consult?
+//!
+//! Two scopes compose:
+//!
+//! * **Thread-local** ([`with_plan`] / [`PlanGuard`]): the plan is active
+//!   only on the current thread, so concurrently running tests never see
+//!   each other's faults. `minimpi`'s chaos worlds install the world's
+//!   plan in every rank thread the same way.
+//! * **Process-global** ([`install_global`]): for dedicated processes
+//!   like `das_pipeline --fault-plan=…`, where every thread should see
+//!   the plan.
+//!
+//! [`current`] checks the thread-local slot first, then the global one.
+//! With neither set, hooks cost one TLS read and one relaxed atomic
+//! load.
+
+use crate::FaultPlan;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<FaultPlan>>> = const { RefCell::new(None) };
+}
+
+/// Fast path: skip the global mutex entirely while nothing was ever
+/// installed (the common case for library users and most tests).
+static GLOBAL_SET: AtomicBool = AtomicBool::new(false);
+
+fn global_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static GLOBAL: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+    &GLOBAL
+}
+
+/// Install `plan` process-wide (until [`clear_global`]). Thread-local
+/// plans installed via [`with_plan`] still take precedence on their
+/// threads.
+pub fn install_global(plan: Arc<FaultPlan>) {
+    *global_slot().lock().unwrap_or_else(|p| p.into_inner()) = Some(plan);
+    GLOBAL_SET.store(true, Ordering::Release);
+}
+
+/// Remove the process-wide plan.
+pub fn clear_global() {
+    *global_slot().lock().unwrap_or_else(|p| p.into_inner()) = None;
+    GLOBAL_SET.store(false, Ordering::Release);
+}
+
+/// The plan injection hooks consult right now on this thread:
+/// thread-local first, then global, else `None`.
+pub fn current() -> Option<Arc<FaultPlan>> {
+    let local = LOCAL.with(|slot| slot.borrow().clone());
+    if local.is_some() {
+        return local;
+    }
+    if !GLOBAL_SET.load(Ordering::Acquire) {
+        return None;
+    }
+    global_slot()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()
+}
+
+/// Does `site` fire for `key` under the currently active plan (if any)?
+/// The hook form used by instrumented crates.
+pub fn fires(site: &str, key: u64) -> bool {
+    current().is_some_and(|p| p.fires(site, key))
+}
+
+/// [`FaultPlan::value_below`] against the currently active plan;
+/// 0 when no plan is active or the plan does not configure `site`.
+pub fn value_below(site: &str, key: u64, n: u64) -> u64 {
+    current().map_or(0, |p| {
+        if p.rate_ppm(site) == 0 {
+            0
+        } else {
+            p.value_below(site, key, n)
+        }
+    })
+}
+
+/// RAII guard restoring the thread-local slot on drop; see [`with_plan`]
+/// for the closure form. Holding a guard across a scope makes the plan
+/// active for everything that scope calls on this thread.
+pub struct PlanGuard {
+    previous: Option<Arc<FaultPlan>>,
+}
+
+impl PlanGuard {
+    /// Activate `plan` on this thread until the guard drops.
+    pub fn install(plan: Arc<FaultPlan>) -> PlanGuard {
+        let previous = LOCAL.with(|slot| slot.borrow_mut().replace(plan));
+        PlanGuard { previous }
+    }
+}
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        LOCAL.with(|slot| *slot.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Run `f` with `plan` active on this thread (nesting restores the
+/// outer plan afterwards).
+pub fn with_plan<R>(plan: Arc<FaultPlan>, f: impl FnOnce() -> R) -> R {
+    let _guard = PlanGuard::install(plan);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site;
+
+    #[test]
+    fn no_plan_means_no_fires() {
+        assert!(!fires(site::DASF_READ_ERR, 1));
+        assert_eq!(value_below(site::DASF_READ_ERR, 1, 10), 0);
+    }
+
+    #[test]
+    fn with_plan_scopes_to_thread_and_restores() {
+        let plan = Arc::new(FaultPlan::new(1).with(site::PAR_READ_FILE, 1.0));
+        assert!(!fires(site::PAR_READ_FILE, 0));
+        with_plan(Arc::clone(&plan), || {
+            assert!(fires(site::PAR_READ_FILE, 0));
+            // Other threads are unaffected.
+            std::thread::scope(|s| {
+                s.spawn(|| assert!(!fires(site::PAR_READ_FILE, 0)));
+            });
+            // Nested plans shadow and restore.
+            let inner = Arc::new(FaultPlan::new(1));
+            with_plan(inner, || assert!(!fires(site::PAR_READ_FILE, 0)));
+            assert!(fires(site::PAR_READ_FILE, 0));
+        });
+        assert!(!fires(site::PAR_READ_FILE, 0));
+    }
+
+    #[test]
+    fn thread_local_overrides_global() {
+        // Serialize against other tests touching the global slot: this
+        // test owns it for its duration.
+        let global = Arc::new(FaultPlan::new(2).with(site::DASF_OPEN_ERR, 1.0));
+        install_global(Arc::clone(&global));
+        assert!(fires(site::DASF_OPEN_ERR, 7));
+        let local = Arc::new(FaultPlan::new(2));
+        with_plan(local, || assert!(!fires(site::DASF_OPEN_ERR, 7)));
+        clear_global();
+        assert!(!fires(site::DASF_OPEN_ERR, 7));
+    }
+}

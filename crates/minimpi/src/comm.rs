@@ -1,7 +1,9 @@
 //! World setup and point-to-point messaging with tag matching.
 
+use crate::error::{CommError, RetryPolicy};
 use crate::stats::CommStats;
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use faultline::{site, FaultPlan};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -52,6 +54,13 @@ pub struct Comm {
     /// tags of back-to-back collectives.
     pub(crate) coll_seq: Cell<u64>,
     stats: Arc<CommStats>,
+    /// Receive patience for the fallible (`try_*`) collectives.
+    policy: RetryPolicy,
+    /// The world's fault plan, if this is a chaos world.
+    faults: Option<Arc<FaultPlan>>,
+    /// Is this rank dead under the fault plan? Dead ranks send nothing
+    /// and their fallible collectives return [`CommError::RankDead`].
+    dead: bool,
 }
 
 /// User-visible tags live below this bit; collectives tag above it.
@@ -108,16 +117,32 @@ impl Comm {
             "send to rank {dst} out of range 0..{}",
             self.size
         );
+        if self.dead {
+            // A dead rank's traffic never reaches the wire; peers see
+            // it as silence and time out.
+            self.stats.suppressed_sends.inc();
+            return;
+        }
         self.stats.count_message(approx_bytes);
-        // Unbounded channel: send cannot fail unless the receiver thread
-        // is gone, which only happens when a rank panicked — propagate.
-        self.senders[dst]
-            .send(Envelope {
-                src: self.rank,
-                tag,
-                payload: Box::new(value),
-            })
-            .expect("destination rank has terminated");
+        // Unbounded channel: the send only fails when the destination
+        // already finished. In a bounded-policy (chaos) world ranks bail
+        // out of collectives routinely, so a message to a gone rank is
+        // degradation, not a crash — count it and move on, like MPI
+        // after a peer abort with error handlers installed. In classic
+        // blocking worlds a finished receiver means a rank panicked;
+        // propagate as before so bugs stay loud.
+        let result = self.senders[dst].send(Envelope {
+            src: self.rank,
+            tag,
+            payload: Box::new(value),
+        });
+        if result.is_err() {
+            if self.policy.base_timeout.is_some() {
+                self.stats.suppressed_sends.inc();
+            } else {
+                panic!("destination rank has terminated");
+            }
+        }
     }
 
     /// Blocking receive of a `T` from rank `src` with matching `tag`
@@ -202,6 +227,86 @@ impl Comm {
     }
 }
 
+impl Comm {
+    /// This world's retry policy (blocking for [`run`] worlds).
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// The active fault plan, if this is a chaos world.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Is this rank dead under the world's fault plan?
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Fallible collectives refuse to run on a dead rank.
+    pub(crate) fn check_alive(&self) -> Result<(), CommError> {
+        if self.dead {
+            Err(CommError::RankDead(self.rank))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The receive primitive under every fallible collective: retry with
+    /// the world's [`RetryPolicy`], honouring injected message drops and
+    /// delays.
+    ///
+    /// `key` identifies this (collective, round, src→dst) edge
+    /// deterministically; an injected drop at that key loses the first
+    /// delivery attempt(s) — always fewer than the budget — each counted
+    /// in `minimpi.retries`, and the message (which really was sent) is
+    /// found by a later attempt, transparently to the caller. Drops
+    /// therefore slow a collective but never fail it; [`CommError::
+    /// Timeout`] is reserved for peers that genuinely sent nothing
+    /// (dead or already failed).
+    pub(crate) fn recv_coll<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        key: u64,
+    ) -> Result<T, CommError> {
+        let attempts = self.policy.attempts.max(1);
+        let drops = match &self.faults {
+            Some(plan) if attempts > 1 && plan.fires(site::MINIMPI_RECV_DROP, key) => {
+                1 + plan.value_below(site::MINIMPI_RECV_DROP, key, attempts as u64 - 1) as u32
+            }
+            _ => 0,
+        };
+        if let Some(plan) = &self.faults {
+            // A delayed message: stall briefly before looking. Bounded
+            // well below the base timeout, so delays never become
+            // timeouts — they only reorder schedules.
+            if plan.fires(site::MINIMPI_RECV_DELAY, key) {
+                let ns = 1 + plan.value_below(site::MINIMPI_RECV_DELAY, key, 100_000);
+                std::thread::sleep(Duration::from_nanos(ns));
+            }
+        }
+        for attempt in 0..attempts {
+            if attempt < drops {
+                // Simulated lost delivery: don't even look at the wire.
+                self.stats.retries.inc();
+                continue;
+            }
+            match self.policy.timeout_for(attempt) {
+                None => return Ok(self.recv_internal(src, tag)),
+                Some(t) => match self.recv_internal_timeout(src, tag, Some(t)) {
+                    Ok(v) => return Ok(v),
+                    Err(RecvError::Timeout) => self.stats.retries.inc(),
+                    Err(RecvError::TypeMismatch) => {
+                        return Err(CommError::Protocol("payload type mismatch"))
+                    }
+                },
+            }
+        }
+        Err(CommError::Timeout { src, attempts })
+    }
+}
+
 fn downcast<T: 'static>(env: Envelope) -> Result<T, RecvError> {
     env.payload
         .downcast::<T>()
@@ -250,6 +355,68 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
+    run_world(n_ranks, registry, RetryPolicy::blocking(), None, f)
+}
+
+/// Spawn a *chaos world*: like [`run`], but every rank lives under
+/// `plan` (a [`faultline::FaultPlan`]) and the fallible (`try_*`)
+/// collectives wait with the bounded `policy` instead of blocking
+/// forever.
+///
+/// Under the plan, a rank for which `minimpi.rank.dead` fires is *dead*:
+/// it sends nothing (counted in `minimpi.send.suppressed`) and its
+/// fallible collectives return [`CommError::RankDead`] immediately;
+/// surviving ranks observe it as [`CommError::Timeout`] after exhausting
+/// their retries. The plan is also installed thread-locally on each rank
+/// thread, so dasf I/O performed by rank code sees the same schedule.
+///
+/// # Panics
+/// Panics if `policy` has no `base_timeout` — a chaos world with
+/// infinite patience would deadlock on the first dead rank.
+pub fn run_chaos<R, F>(
+    n_ranks: usize,
+    plan: Arc<FaultPlan>,
+    policy: RetryPolicy,
+    f: F,
+) -> (Vec<R>, crate::StatsSnapshot)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    let registry = Arc::new(obs::Registry::with_parent(Arc::clone(obs::global())));
+    run_chaos_in_registry(n_ranks, registry, plan, policy, f)
+}
+
+/// [`run_chaos`] recording into a caller-supplied registry.
+pub fn run_chaos_in_registry<R, F>(
+    n_ranks: usize,
+    registry: Arc<obs::Registry>,
+    plan: Arc<FaultPlan>,
+    policy: RetryPolicy,
+    f: F,
+) -> (Vec<R>, crate::StatsSnapshot)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    assert!(
+        policy.base_timeout.is_some(),
+        "a chaos world needs a bounded RetryPolicy, or dead ranks deadlock it"
+    );
+    run_world(n_ranks, registry, policy, Some(plan), f)
+}
+
+fn run_world<R, F>(
+    n_ranks: usize,
+    registry: Arc<obs::Registry>,
+    policy: RetryPolicy,
+    plan: Option<Arc<FaultPlan>>,
+    f: F,
+) -> (Vec<R>, crate::StatsSnapshot)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
     assert!(n_ranks >= 1, "world must have at least one rank");
     let stats = Arc::new(CommStats::in_registry(Arc::clone(&registry)));
     let (senders, receivers): (Vec<_>, Vec<_>) = (0..n_ranks).map(|_| unbounded()).unzip();
@@ -261,8 +428,17 @@ where
         for (rank, receiver) in receivers.into_iter().enumerate() {
             let senders = Arc::clone(&senders);
             let stats = Arc::clone(&stats);
+            let plan = plan.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
+                let dead = plan
+                    .as_ref()
+                    .is_some_and(|p| p.fires(site::MINIMPI_RANK_DEAD, rank as u64));
+                // Rank code (e.g. dasf reads) sees the world's plan via
+                // the thread-local scope for the life of this rank.
+                let _guard = plan
+                    .as_ref()
+                    .map(|p| faultline::PlanGuard::install(Arc::clone(p)));
                 let comm = Comm {
                     rank,
                     size: n_ranks,
@@ -271,6 +447,9 @@ where
                     pending: RefCell::new(VecDeque::new()),
                     coll_seq: Cell::new(0),
                     stats,
+                    policy,
+                    faults: plan,
+                    dead,
                 };
                 f(&comm)
             }));

@@ -1,0 +1,121 @@
+//! Typed communication errors and the bounded retry policy.
+//!
+//! The infallible collectives ([`crate::Comm::bcast`] & co.) keep MPI's
+//! classic contract: block forever, panic on misuse. Production DAS
+//! ingest cannot afford either, so every collective also has a `try_*`
+//! form returning [`CommError`]; how patiently those wait is governed by
+//! a [`RetryPolicy`] fixed per world at construction time
+//! ([`crate::run_chaos`]).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a fallible collective gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No message arrived from `src` within the retry budget — how a
+    /// dead or wedged peer manifests to the ranks still alive.
+    Timeout {
+        /// The rank we were waiting on.
+        src: usize,
+        /// Receive attempts made before giving up.
+        attempts: u32,
+    },
+    /// This rank itself is dead under the active fault plan; its
+    /// collectives refuse immediately rather than half-participating.
+    RankDead(usize),
+    /// The collective was misused (e.g. a non-root supplied no value) or
+    /// a payload arrived with the wrong type.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout { src, attempts } => {
+                write!(f, "no message from rank {src} after {attempts} attempts")
+            }
+            CommError::RankDead(rank) => write!(f, "rank {rank} is dead"),
+            CommError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// How long a fallible receive waits and how often it retries.
+///
+/// Attempt `i` waits `base_timeout << i` (exponential backoff), so the
+/// total patience for `attempts = 3`, `base_timeout = 25ms` is
+/// 25 + 50 + 100 = 175 ms before [`CommError::Timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Receive attempts per message (≥ 1).
+    pub attempts: u32,
+    /// Deadline of the first attempt; `None` waits forever (the classic
+    /// MPI behaviour — retries and fault drops are then meaningless).
+    pub base_timeout: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// Wait forever, never retry: the behaviour of [`crate::run`] worlds.
+    pub fn blocking() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            base_timeout: None,
+        }
+    }
+
+    /// Bounded waiting: `attempts` tries starting at `base_timeout`,
+    /// doubling each retry.
+    pub fn bounded(attempts: u32, base_timeout: Duration) -> RetryPolicy {
+        assert!(attempts >= 1, "a policy needs at least one attempt");
+        RetryPolicy {
+            attempts,
+            base_timeout: Some(base_timeout),
+        }
+    }
+
+    /// The deadline for 0-based attempt `i`.
+    pub(crate) fn timeout_for(&self, attempt: u32) -> Option<Duration> {
+        self.base_timeout
+            .map(|t| t.saturating_mul(1u32 << attempt.min(16)))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts starting at 25 ms — tight enough that a chaos test
+    /// over many seeds finishes quickly, patient enough that an injected
+    /// sub-millisecond delay never times out.
+    fn default() -> RetryPolicy {
+        RetryPolicy::bounded(3, Duration::from_millis(25))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles() {
+        let p = RetryPolicy::bounded(3, Duration::from_millis(10));
+        assert_eq!(p.timeout_for(0), Some(Duration::from_millis(10)));
+        assert_eq!(p.timeout_for(1), Some(Duration::from_millis(20)));
+        assert_eq!(p.timeout_for(2), Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn blocking_never_times_out() {
+        assert_eq!(RetryPolicy::blocking().timeout_for(5), None);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = CommError::Timeout {
+            src: 3,
+            attempts: 2,
+        };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(CommError::RankDead(1).to_string().contains("dead"));
+    }
+}

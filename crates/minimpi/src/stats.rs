@@ -30,6 +30,13 @@ pub mod names {
     pub const ALLREDUCES: &str = "minimpi.coll.allreduces";
     pub const ALLTOALLS: &str = "minimpi.coll.alltoalls";
     pub const ALLTOALLVS: &str = "minimpi.coll.alltoallvs";
+    /// Receive attempts that had to be repeated (timeouts waited out and
+    /// injected message drops) before a fallible collective succeeded or
+    /// gave up.
+    pub const RETRIES: &str = "minimpi.retries";
+    /// Sends swallowed because this rank is dead under a fault plan, or
+    /// because the destination already left a bounded-policy world.
+    pub const SUPPRESSED_SENDS: &str = "minimpi.send.suppressed";
 }
 
 /// Shared, thread-safe communication counters for one world.
@@ -51,6 +58,8 @@ pub struct CommStats {
     pub(crate) allreduces: Counter,
     pub(crate) alltoalls: Counter,
     pub(crate) alltoallvs: Counter,
+    pub(crate) retries: Counter,
+    pub(crate) suppressed_sends: Counter,
 }
 
 impl CommStats {
@@ -69,6 +78,8 @@ impl CommStats {
             allreduces: registry.counter(names::ALLREDUCES),
             alltoalls: registry.counter(names::ALLTOALLS),
             alltoallvs: registry.counter(names::ALLTOALLVS),
+            retries: registry.counter(names::RETRIES),
+            suppressed_sends: registry.counter(names::SUPPRESSED_SENDS),
             registry,
         }
     }
@@ -98,6 +109,8 @@ impl CommStats {
             allreduces: self.allreduces.get(),
             alltoalls: self.alltoalls.get(),
             alltoallvs: self.alltoallvs.get(),
+            retries: self.retries.get(),
+            suppressed_sends: self.suppressed_sends.get(),
         }
     }
 }
@@ -135,6 +148,12 @@ pub struct StatsSnapshot {
     pub allreduces: u64,
     pub alltoalls: u64,
     pub alltoallvs: u64,
+    /// Repeated receive attempts in fallible collectives (see
+    /// [`names::RETRIES`]).
+    pub retries: u64,
+    /// Sends swallowed by dead ranks or departed receivers (see
+    /// [`names::SUPPRESSED_SENDS`]).
+    pub suppressed_sends: u64,
 }
 
 #[cfg(test)]

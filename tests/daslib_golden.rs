@@ -1,0 +1,299 @@
+//! Golden-value regression tests for the DasLib kernels (Table II).
+//!
+//! Three layers of defence against silent numerical drift:
+//! 1. **Oracle agreement** — each native kernel must match the same
+//!    operation run through the `mlab` interpreter (exercising the
+//!    interpreter's argument plumbing and the kernel together);
+//! 2. **Analytic identities** — properties that hold in exact
+//!    arithmetic (detrended ramps vanish, filtfilt is zero-phase,
+//!    interpolation is exact at knots);
+//! 3. **Pinned goldens** — checksums and spot values of each kernel on
+//!    a fixed probe signal, frozen at the values the kernels produced
+//!    when this suite was written. A legitimate algorithm change must
+//!    update these constants *consciously*.
+//!
+//! All tolerances live in [`tol`] — one place to reason about how tight
+//! the pins are.
+
+use dsp::FilterBand;
+use mlab::{Interp, Value};
+
+/// Every tolerance used by this suite.
+mod tol {
+    /// Native kernel vs the `mlab` interpreter oracle.
+    pub const ORACLE: f64 = 1e-12;
+    /// Analytic identities (exact up to rounding accumulation).
+    pub const ANALYTIC: f64 = 1e-8;
+    /// Pinned golden values (same algorithm, any IEEE-754 double
+    /// platform; loose enough for reassociation by future compilers).
+    pub const GOLDEN: f64 = 1e-9;
+    /// filtfilt zero-phase symmetry. Not an exact identity: the
+    /// reflect-padding that suppresses startup transients is only
+    /// approximately symmetric, leaving ~4e-6 edge asymmetry (measured
+    /// 4.4e-6 at the edges, 5.7e-7 deep interior for the golden filter).
+    pub const FILTFILT_SYMMETRY: f64 = 1e-5;
+    /// resample DC preservation. Bounded by the anti-imaging FIR's
+    /// passband ripple, ~2.3e-3 absolute on a 2.5 DC input (~0.1%
+    /// relative) — a property of the fixed filter design, not an edge
+    /// transient.
+    pub const RESAMPLE_DC: f64 = 1e-2;
+}
+
+/// The fixed probe signal all goldens are pinned against: two
+/// incommensurate tones plus a linear trend.
+fn probe(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            (0.07 * t).sin() + 0.4 * (0.23 * t + 1.1).cos() + 0.01 * t
+        })
+        .collect()
+}
+
+fn assert_close(what: &str, got: &[f64], want: &[f64], tolerance: f64) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= tolerance,
+            "{what}[{i}]: got {g}, want {w} (tol {tolerance})"
+        );
+    }
+}
+
+/// Run `script` with `x` bound, returning variable `out` as a row.
+fn oracle(x: &[f64], script: &str, out: &str) -> Vec<f64> {
+    let mut interp = Interp::new();
+    interp.set("x", Value::row(x.to_vec()));
+    interp.run(script).expect("oracle script");
+    match interp.get(out).expect(out) {
+        Value::Matrix { data, .. } => data.clone(),
+        Value::Num(v) => vec![*v],
+        other => panic!("unexpected oracle value {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------- detrend
+
+#[test]
+fn detrend_matches_oracle() {
+    let x = probe(200);
+    let want = oracle(&x, "y = detrend(x);", "y");
+    assert_close("detrend", &dsp::detrend(&x), &want, tol::ORACLE);
+}
+
+#[test]
+fn detrend_annihilates_lines() {
+    // A pure line is its own least-squares fit: detrending leaves ~0.
+    let line: Vec<f64> = (0..300).map(|i| 3.25 - 0.75 * i as f64).collect();
+    for (i, v) in dsp::detrend(&line).iter().enumerate() {
+        assert!(v.abs() < tol::ANALYTIC, "residual {v} at {i}");
+    }
+    // And the residual of anything has zero mean.
+    let d = dsp::detrend(&probe(256));
+    let mean = d.iter().sum::<f64>() / d.len() as f64;
+    assert!(mean.abs() < tol::ANALYTIC, "mean {mean}");
+}
+
+#[test]
+fn detrend_golden() {
+    let d = dsp::detrend(&probe(128));
+    golden_signature(
+        "detrend",
+        &d,
+        6.957_653_915_295_15e1,
+        &[
+            (0, -7.821_494_416_619_39e-3),
+            (64, -1.557_392_056_594_811e0),
+            (127, 5.046_319_981_868_999e-1),
+        ],
+    );
+}
+
+// ------------------------------------------------------ butter + filtfilt
+
+/// The fixed filter all filtering goldens use: 4th-order Butterworth
+/// bandpass over (0.05, 0.45) of Nyquist.
+fn golden_filter() -> (Vec<f64>, Vec<f64>) {
+    dsp::butter(4, FilterBand::Bandpass(0.05, 0.45))
+}
+
+#[test]
+fn butter_filtfilt_matches_oracle() {
+    let x = probe(200);
+    let (b, a) = golden_filter();
+    let want = oracle(
+        &x,
+        "[b, a] = butter(4, [0.05 0.45]); y = filtfilt(b, a, x);",
+        "y",
+    );
+    assert_close("filtfilt", &dsp::filtfilt(&b, &a, &x), &want, tol::ORACLE);
+}
+
+#[test]
+fn butter_coefficients_golden() {
+    let (b, a) = golden_filter();
+    let want_b = [
+        0.046_582_906_636_443_65,
+        0.0,
+        -0.186_331_626_545_774_6,
+        0.0,
+        0.279_497_439_818_661_9,
+        0.0,
+        -0.186_331_626_545_774_6,
+        0.0,
+        0.046_582_906_636_443_65,
+    ];
+    let want_a = [
+        1.0,
+        -4.179_704_463_951_913,
+        7.677_547_403_589_494,
+        -8.506_814_082_456_277,
+        6.529_898_257_914_022,
+        -3.544_249_773_212_235,
+        1.258_841_153_578_204,
+        -0.264_963_862_648_782_2,
+        0.030_118_875_043_169_235,
+    ];
+    assert_close("butter b", &b, &want_b, tol::GOLDEN);
+    assert_close("butter a", &a, &want_a, tol::GOLDEN);
+}
+
+#[test]
+fn filtfilt_is_zero_phase() {
+    // filtfilt of a time-symmetric signal stays time-symmetric — the
+    // whole point of the forward-backward pass (no group delay).
+    let n = 257;
+    let x: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = (i as f64 - (n - 1) as f64 / 2.0).abs();
+            (-t * t / 900.0).exp()
+        })
+        .collect();
+    let (b, a) = golden_filter();
+    let y = dsp::filtfilt(&b, &a, &x);
+    for i in 0..n / 2 {
+        let asym = (y[i] - y[n - 1 - i]).abs();
+        assert!(asym < tol::FILTFILT_SYMMETRY, "asymmetry {asym} at {i}");
+    }
+}
+
+#[test]
+fn filtfilt_golden() {
+    let (b, a) = golden_filter();
+    let y = dsp::filtfilt(&b, &a, &probe(128));
+    golden_signature(
+        "filtfilt",
+        &y,
+        1.009_218_874_106_103e1,
+        &[
+            (0, -2.046_199_835_918_581e-2),
+            (64, -3.835_300_920_145_384e-1),
+            (127, -5.720_643_956_843_591e-2),
+        ],
+    );
+}
+
+// --------------------------------------------------------------- resample
+
+#[test]
+fn resample_matches_oracle() {
+    let x = probe(200);
+    let want = oracle(&x, "y = resample(x, 2, 3);", "y");
+    assert_close("resample", &dsp::resample(&x, 2, 3), &want, tol::ORACLE);
+}
+
+#[test]
+fn resample_identity_and_dc() {
+    let x = probe(150);
+    assert_close("resample 1:1", &dsp::resample(&x, 1, 1), &x, tol::ANALYTIC);
+    // Rate conversion preserves DC up to the anti-imaging filter's
+    // passband ripple (see `tol::RESAMPLE_DC`).
+    let dc = vec![2.5; 400];
+    let y = dsp::resample(&dc, 3, 2);
+    for (i, v) in y.iter().enumerate().skip(30).take(y.len() - 60) {
+        assert!((v - 2.5).abs() < tol::RESAMPLE_DC, "DC drift {v} at {i}");
+    }
+}
+
+#[test]
+fn resample_golden() {
+    let y = dsp::resample(&probe(128), 2, 3);
+    assert_eq!(y.len(), 86, "output length ⌈128·2/3⌉");
+    golden_signature(
+        "resample",
+        &y,
+        1.151_476_770_486_518e2,
+        &[
+            (0, 1.507_694_780_108_733e-1),
+            (43, -7.257_636_953_399_225e-1),
+            (85, 9.810_952_058_321_636e-1),
+        ],
+    );
+}
+
+// ---------------------------------------------------------------- interp1
+
+#[test]
+fn interp1_matches_oracle() {
+    let x0: Vec<f64> = (0..16).map(|i| i as f64).collect();
+    let y0: Vec<f64> = x0.iter().map(|&v| (0.5 * v).sin()).collect();
+    let xq: Vec<f64> = (0..31).map(|i| i as f64 * 0.5).collect();
+    let mut interp = Interp::new();
+    interp.set("x0", Value::row(x0.clone()));
+    interp.set("y0", Value::row(y0.clone()));
+    interp.set("xq", Value::row(xq.clone()));
+    interp.run("y = interp1(x0, y0, xq);").expect("script");
+    let want = match interp.get("y").expect("y") {
+        Value::Matrix { data, .. } => data.clone(),
+        other => panic!("{other:?}"),
+    };
+    assert_close("interp1", &dsp::interp1(&x0, &y0, &xq), &want, tol::ORACLE);
+}
+
+#[test]
+fn interp1_exact_at_knots_and_linear_between() {
+    let x0 = [0.0, 1.0, 4.0, 6.0];
+    let y0 = [10.0, -2.0, 7.0, 7.0];
+    // At the knots: exact.
+    assert_close("knots", &dsp::interp1(&x0, &y0, &x0), &y0, tol::ANALYTIC);
+    // Between knots: the chord.
+    let q = dsp::interp1(&x0, &y0, &[0.5, 2.5, 5.0]);
+    assert_close("chords", &q, &[4.0, 2.5, 7.0], tol::ANALYTIC);
+}
+
+#[test]
+fn interp1_golden() {
+    let x0: Vec<f64> = (0..16).map(|i| i as f64).collect();
+    let y0: Vec<f64> = x0.iter().map(|&v| (0.5 * v).sin()).collect();
+    let xq: Vec<f64> = (0..31).map(|i| i as f64 * 0.5).collect();
+    let y = dsp::interp1(&x0, &y0, &xq);
+    golden_signature(
+        "interp1",
+        &y,
+        1.436_492_891_350_379e1,
+        &[
+            (0, 0.0),
+            (15, -5.537_928_614_987_74e-1),
+            (30, 9.379_999_767_747_389e-1),
+        ],
+    );
+}
+
+// ------------------------------------------------------------------ shared
+
+/// Assert a kernel output's pinned signature: its energy (Σv²) and a
+/// few spot values. Catches both global drift and localized changes.
+fn golden_signature(what: &str, v: &[f64], sumsq: f64, spots: &[(usize, f64)]) {
+    let got_sumsq: f64 = v.iter().map(|e| e * e).sum();
+    assert!(
+        (got_sumsq - sumsq).abs() <= tol::GOLDEN * sumsq.abs().max(1.0),
+        "{what}: energy drifted, got {got_sumsq:.15e}, pinned {sumsq:.15e}"
+    );
+    for &(i, want) in spots {
+        assert!(
+            (v[i] - want).abs() <= tol::GOLDEN,
+            "{what}[{i}]: got {:.15e}, pinned {want:.15e}",
+            v[i]
+        );
+    }
+}
