@@ -36,6 +36,43 @@ if [[ $quick -eq 0 ]]; then
         echo "chaos: same seeds produced different outcomes across runs" >&2
         exit 1
     fi
+
+    # Integrity scrub: generate a small corpus, damage two files the
+    # two ways that matter (bit-rot vs torn write), and check das_fsck
+    # classifies every file correctly with a nonzero exit.
+    echo "==> scrub: das_fsck over a damaged corpus"
+    scrub_dir="$(mktemp -d)"
+    trap 'rm -rf "$digest_dir" "$scrub_dir"' EXIT
+    target/release/das_gen -d "$scrub_dir" -c 4 -r 20 -m 6 >/dev/null
+    members=("$scrub_dir"/*.dasf)
+    [[ ${#members[@]} -eq 6 ]] || { echo "scrub: expected 6 members" >&2; exit 1; }
+    # Bit-rot: flip payload bytes in the first member.
+    printf '\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff' |
+        dd of="${members[0]}" bs=1 seek=64 conv=notrunc status=none
+    # Torn write: chop the tail off the second member.
+    truncate -s -20 "${members[1]}"
+    fsck_json="$scrub_dir/fsck.json"
+    if target/release/das_fsck --json "$scrub_dir" >"$fsck_json"; then
+        echo "scrub: das_fsck exited 0 on a damaged corpus" >&2
+        exit 1
+    fi
+    for want in '"scanned":6' '"clean":4' '"corrupt":1' '"torn":1' '"errors":0'; do
+        grep -qF "$want" "$fsck_json" || {
+            echo "scrub: missing $want in das_fsck report:" >&2
+            cat "$fsck_json" >&2
+            exit 1
+        }
+    done
+    grep -qF "\"path\":\"${members[0]}\",\"status\":\"corrupt\"" "$fsck_json" || {
+        echo "scrub: bit-rot not attributed to ${members[0]}" >&2
+        cat "$fsck_json" >&2
+        exit 1
+    }
+    grep -qF "\"path\":\"${members[1]}\",\"status\":\"torn\"" "$fsck_json" || {
+        echo "scrub: truncation not attributed to ${members[1]}" >&2
+        cat "$fsck_json" >&2
+        exit 1
+    }
 fi
 
 echo "==> CI green"

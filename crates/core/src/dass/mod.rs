@@ -5,10 +5,12 @@
 //! a metadata schema ([`DasFileMeta`], Figure 4), search over file
 //! catalogs ([`FileCatalog`], the `das_search` tool of §IV-A), virtual
 //! and real concatenation ([`Vca`], [`create_rca`]), logical subsetting
-//! ([`Lav`]), and the parallel read strategies of §IV-B
+//! ([`Lav`]), the parallel read strategies of §IV-B
 //! ([`read_collective_per_file`] vs the communication-avoiding
-//! [`read_comm_avoiding`]).
+//! [`read_comm_avoiding`]), and offline integrity scrubbing
+//! ([`scrub_paths`], the `das_fsck` tool).
 
+pub mod fsck;
 mod lav;
 mod metadata;
 pub mod par_read;
@@ -17,6 +19,7 @@ mod search;
 mod timestamp;
 mod vca;
 
+pub use fsck::{collect_targets, quarantine, scrub_file, scrub_paths, FileStatus, FsckReport};
 pub use lav::Lav;
 pub use metadata::{
     das_file_name, keys, write_das_file, write_das_file_with_layout, DasFileMeta, DATASET_PATH,

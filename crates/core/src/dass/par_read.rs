@@ -80,6 +80,9 @@ pub mod metric_names {
     /// Repeated member-file read attempts in the resilient readers
     /// (counted once per repeat, on the owner rank).
     pub const RETRIES: &str = "par_read.retries";
+    /// Member-file read attempts that failed with a dasf checksum
+    /// mismatch (real bit-rot detected by the v3 integrity layer).
+    pub const CHECKSUM_MISMATCH: &str = "par_read.checksum_mismatch";
 }
 
 /// Read attempts per member file in the resilient readers before the
@@ -104,6 +107,10 @@ pub struct ReadReport {
     pub quarantined: Vec<usize>,
     /// World-total repeated read attempts (sum over all ranks).
     pub io_retries: u64,
+    /// World-total member-read attempts that failed with a
+    /// [`dasf::DasfError::ChecksumMismatch`] — detected bit-rot, as
+    /// opposed to I/O errors or truncation.
+    pub checksum_mismatches: u64,
     /// Total f32 samples zero-filled across the full VCA extent
     /// (`channels × samples` summed over quarantined files).
     pub zero_samples: u64,
@@ -112,21 +119,33 @@ pub struct ReadReport {
 impl ReadReport {
     /// True when every member file was read cleanly on the first try.
     pub fn is_clean(&self) -> bool {
-        self.quarantined.is_empty() && self.io_retries == 0
+        self.quarantined.is_empty() && self.io_retries == 0 && self.checksum_mismatches == 0
     }
 }
 
-/// Read one member file with bounded retries. Returns the data (`None`
-/// after [`MAX_READ_ATTEMPTS`] failures ⇒ quarantine) and the number of
-/// repeated attempts.
+/// What [`read_member_with_retries`] observed for one member file.
+struct MemberRead {
+    /// The data, or `None` after [`MAX_READ_ATTEMPTS`] failures
+    /// (⇒ quarantine).
+    data: Option<Vec<f32>>,
+    /// Repeated attempts (first attempt is free).
+    retries: u64,
+    /// Attempts that failed with a checksum mismatch — the file's bytes
+    /// were readable but rotten.
+    mismatches: u64,
+}
+
+/// Read one member file with bounded retries.
 ///
 /// Failures come from two places, both deterministic under a
 /// [`faultline`] plan: real `dasf` errors (fault sites keyed by file
-/// *name* — a "bad sector", failing every attempt identically) and
-/// transient injected failures at `par_read.file` (keyed by file
-/// *index*; the failure count is capped below the budget, so a purely
-/// transient fault retries and then succeeds, never quarantines).
-fn read_member_with_retries(comm: &Comm, vca: &Vca, fi: usize) -> (Option<Vec<f32>>, u64) {
+/// *name* — a "bad sector", failing every attempt identically; this
+/// includes `dasf.read.corrupt` bit-rot, which the v3 checksum layer
+/// turns into `ChecksumMismatch`) and transient injected failures at
+/// `par_read.file` (keyed by file *index*; the failure count is capped
+/// below the budget, so a purely transient fault retries and then
+/// succeeds, never quarantines).
+fn read_member_with_retries(comm: &Comm, vca: &Vca, fi: usize) -> MemberRead {
     let transient = match faultline::current() {
         Some(plan) if plan.fires(faultline::site::PAR_READ_FILE, fi as u64) => {
             1 + plan.value_below(
@@ -139,6 +158,7 @@ fn read_member_with_retries(comm: &Comm, vca: &Vca, fi: usize) -> (Option<Vec<f3
     };
     let reg = comm.registry();
     let mut retries = 0u64;
+    let mut mismatches = 0u64;
     for attempt in 0..MAX_READ_ATTEMPTS {
         let result: Result<Vec<f32>> = if attempt < transient {
             Err(crate::DassaError::Io(std::io::Error::other(
@@ -151,16 +171,34 @@ fn read_member_with_retries(comm: &Comm, vca: &Vca, fi: usize) -> (Option<Vec<f3
                 .map_err(Into::into)
         };
         match result {
-            Ok(data) => return (Some(data), retries),
-            Err(_) if attempt + 1 < MAX_READ_ATTEMPTS => {
-                retries += 1;
-                reg.counter(metric_names::RETRIES).inc();
+            Ok(data) => {
+                return MemberRead {
+                    data: Some(data),
+                    retries,
+                    mismatches,
+                }
             }
-            Err(_) => {}
+            Err(e) => {
+                if matches!(
+                    e,
+                    crate::DassaError::Dasf(dasf::DasfError::ChecksumMismatch { .. })
+                ) {
+                    mismatches += 1;
+                    reg.counter(metric_names::CHECKSUM_MISMATCH).inc();
+                }
+                if attempt + 1 < MAX_READ_ATTEMPTS {
+                    retries += 1;
+                    reg.counter(metric_names::RETRIES).inc();
+                }
+            }
         }
     }
     reg.counter(metric_names::QUARANTINED).inc();
-    (None, retries)
+    MemberRead {
+        data: None,
+        retries,
+        mismatches,
+    }
 }
 
 /// The global zero-filled sample count implied by a quarantine set.
@@ -343,20 +381,31 @@ pub fn read_collective_per_file_resilient(
     let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
     let mut quarantined = Vec::new();
     let mut io_retries = 0u64;
+    let mut checksum_mismatches = 0u64;
 
     for fi in 0..vca.n_files() {
         let cols = vca.samples_of(fi) as usize;
         let root = fi % size;
-        let (payload, my_retries) = if rank == root {
+        let member = if rank == root {
             read_member_with_retries(comm, vca, fi)
         } else {
-            (None, 0)
+            MemberRead {
+                data: None,
+                retries: 0,
+                mismatches: 0,
+            }
         };
-        let (ok, retries) = comm.try_bcast(
+        let MemberRead {
+            data: payload,
+            retries: my_retries,
+            mismatches: my_mismatches,
+        } = member;
+        let (ok, retries, mismatches) = comm.try_bcast(
             root,
-            (rank == root).then(|| (payload.is_some(), my_retries)),
+            (rank == root).then(|| (payload.is_some(), my_retries, my_mismatches)),
         )?;
         io_retries += retries;
+        checksum_mismatches += mismatches;
         if !ok {
             // Quarantined: no data broadcast; the span stays zero.
             quarantined.push(fi);
@@ -376,6 +425,7 @@ pub fn read_collective_per_file_resilient(
         ReadReport {
             quarantined,
             io_retries,
+            checksum_mismatches,
             zero_samples,
         },
     ))
@@ -396,27 +446,31 @@ pub fn read_comm_avoiding_resilient(comm: &Comm, vca: &Vca) -> Result<(Array2<f3
     let mut my_file_data: Vec<(usize, Vec<f32>)> = Vec::new();
     let mut my_quarantined: Vec<u64> = Vec::new();
     let mut my_retries = 0u64;
+    let mut my_mismatches = 0u64;
     for fi in 0..vca.n_files() {
         if fi % size != rank {
             continue;
         }
-        let (data, retries) = read_member_with_retries(comm, vca, fi);
-        my_retries += retries;
-        match data {
+        let member = read_member_with_retries(comm, vca, fi);
+        my_retries += member.retries;
+        my_mismatches += member.mismatches;
+        match member.data {
             Some(data) => my_file_data.push((fi, data)),
             None => my_quarantined.push(fi as u64),
         }
     }
 
-    // 2. Agree on the global quarantine set and retry total before the
-    //    exchange, so receivers know which blocks will not arrive.
-    let merged = comm.try_allgather((my_quarantined, my_retries))?;
+    // 2. Agree on the global quarantine set and the retry/mismatch
+    //    totals before the exchange, so receivers know which blocks
+    //    will not arrive.
+    let merged = comm.try_allgather((my_quarantined, my_retries, my_mismatches))?;
     let mut quarantined: Vec<usize> = merged
         .iter()
-        .flat_map(|(q, _)| q.iter().map(|&fi| fi as usize))
+        .flat_map(|(q, _, _)| q.iter().map(|&fi| fi as usize))
         .collect();
     quarantined.sort_unstable();
-    let io_retries: u64 = merged.iter().map(|(_, r)| r).sum();
+    let io_retries: u64 = merged.iter().map(|(_, r, _)| r).sum();
+    let checksum_mismatches: u64 = merged.iter().map(|(_, _, m)| m).sum();
 
     // 3. Build per-destination buffers from the files that survived
     //    (quarantined files are simply absent from `my_file_data`).
@@ -461,6 +515,7 @@ pub fn read_comm_avoiding_resilient(comm: &Comm, vca: &Vca) -> Result<(Array2<f3
         ReadReport {
             quarantined,
             io_retries,
+            checksum_mismatches,
             zero_samples,
         },
     ))
@@ -627,6 +682,65 @@ mod tests {
                 }
             }
             per_strategy.push(full);
+        }
+        assert_eq!(per_strategy[0], per_strategy[1], "strategies agree");
+    }
+
+    #[test]
+    fn bitrot_quarantines_with_attributed_mismatches() {
+        // `dasf.read.corrupt` now flips real bytes; the v3 checksum
+        // layer turns every attempt into a ChecksumMismatch, so the
+        // file quarantines after MAX_READ_ATTEMPTS detected mismatches.
+        let vca = sample_vca("par-res-rot", 6, 5, 20);
+        let serial = vca.read_all_f32().unwrap();
+        let plan = FaultPlan::new(5).with(site::DASF_READ_CORRUPT, 0.5);
+        let expected: Vec<usize> = vca
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                let name = e.path.file_name().expect("member file name");
+                plan.fires(
+                    site::DASF_READ_CORRUPT,
+                    faultline::key_of(name.as_encoded_bytes()),
+                )
+            })
+            .map(|(fi, _)| fi)
+            .collect();
+        assert!(
+            !expected.is_empty() && expected.len() < vca.n_files(),
+            "seed 5 should rot some but not all of {} files (got {expected:?})",
+            vca.n_files()
+        );
+        let plan = Arc::new(plan);
+        let mut per_strategy = Vec::new();
+        for strat in [ReadStrategy::CollectivePerFile, ReadStrategy::CommAvoiding] {
+            let (results, _) = run_chaos(3, Arc::clone(&plan), RetryPolicy::default(), |comm| {
+                read_vca_resilient(comm, &vca, strat).expect("resilient read")
+            });
+            let (blocks, reports): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+            for r in &reports {
+                assert_eq!(r.quarantined, expected, "{strat:?}");
+                assert_eq!(
+                    r.checksum_mismatches,
+                    expected.len() as u64 * MAX_READ_ATTEMPTS as u64,
+                    "{strat:?}: every attempt on a rotten file detects the rot"
+                );
+                assert!(!r.is_clean());
+            }
+            let full = Array2::vstack(&blocks);
+            for fi in 0..vca.n_files() {
+                let t0 = vca.time_offset_of(fi) as usize;
+                let cols = vca.samples_of(fi) as usize;
+                let rotten = expected.contains(&fi);
+                for ch in 0..vca.channels() as usize {
+                    for c in t0..t0 + cols {
+                        let want = if rotten { 0.0 } else { serial.get(ch, c) };
+                        assert_eq!(full.get(ch, c), want, "{strat:?} file {fi}");
+                    }
+                }
+            }
+            per_strategy.push((full, reports.into_iter().next().unwrap()));
         }
         assert_eq!(per_strategy[0], per_strategy[1], "strategies agree");
     }

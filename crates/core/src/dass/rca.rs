@@ -141,6 +141,57 @@ mod tests {
     }
 
     #[test]
+    fn rca_output_is_checksummed_and_verifies_clean() {
+        // The RCA writer goes through dasf::Writer, so the merged file
+        // inherits the v3 integrity layer: a full scrub passes, and a
+        // flipped byte in the merged payload is detected.
+        let dir = make_files("rca-verify", "170728224510", 3, 4, 30);
+        let cat = FileCatalog::scan(&dir).unwrap();
+        let out = dir.join("merged.rca.dasf");
+        create_rca(cat.entries(), &out).unwrap();
+
+        let f = File::open(&out).unwrap();
+        assert_eq!(f.version(), dasf::Version::V3);
+        let v = f.verify_all().unwrap();
+        assert!(v.is_clean());
+        assert_eq!(v.unverified_datasets, 0);
+        drop(f);
+
+        let mut bytes = std::fs::read(&out).unwrap();
+        bytes[30] ^= 0x10; // inside the merged payload
+        std::fs::write(&out, &bytes).unwrap();
+        assert!(matches!(
+            read_rca(&out),
+            Err(crate::DassaError::Dasf(
+                dasf::DasfError::ChecksumMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn failed_rca_write_leaves_no_partial_file() {
+        // Crash-consistency inherited from dasf::Writer: when the
+        // injected write fault kills RCA construction, neither the final
+        // path nor its temp staging file survives.
+        use faultline::{site, FaultPlan};
+        use std::sync::Arc;
+        let dir = make_files("rca-abort", "170728224510", 2, 3, 20);
+        let cat = FileCatalog::scan(&dir).unwrap();
+        let out = dir.join("aborted.rca.dasf");
+        let plan = Arc::new(FaultPlan::new(11).with(site::DASF_WRITE_ERR, 1.0));
+        faultline::with_plan(plan, || {
+            assert!(create_rca(cat.entries(), &out).is_err());
+        });
+        assert!(!out.exists(), "no torn RCA at the final path");
+        let tmp = {
+            let mut os = out.clone().into_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        assert!(!tmp.exists(), "staging file cleaned up");
+    }
+
+    #[test]
     fn rca_file_is_larger_than_vca_descriptor() {
         // Table I: RCA needs ~100% extra space, VCA ~0%.
         let dir = make_files("rca-size", "170728224510", 3, 4, 60);

@@ -9,10 +9,20 @@ pub enum DasfError {
     Io(std::io::Error),
     /// The file does not start with the dasf magic.
     BadMagic,
-    /// The file ends before a structure it promises.
+    /// The file ends before a structure it promises (including a v3
+    /// file whose trailing commit record is missing or torn).
     Truncated,
     /// Structural corruption with a description.
     Corrupt(String),
+    /// Stored bytes no longer hash to their recorded CRC32C. `dataset`
+    /// is the dataset path, or `"(object table)"` / `"(superblock)"` /
+    /// `"(commit record)"` for metadata regions; `chunk` is the verify
+    /// unit within the dataset (0 for metadata regions).
+    ChecksumMismatch {
+        path: String,
+        dataset: String,
+        chunk: usize,
+    },
     /// A path names no object.
     NoSuchObject(String),
     /// An object exists but has the wrong kind (group vs dataset).
@@ -38,6 +48,16 @@ impl fmt::Display for DasfError {
             DasfError::BadMagic => write!(f, "not a dasf file (bad magic)"),
             DasfError::Truncated => write!(f, "file truncated"),
             DasfError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+            DasfError::ChecksumMismatch {
+                path,
+                dataset,
+                chunk,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch in {path}: dataset {dataset}, chunk {chunk}"
+                )
+            }
             DasfError::NoSuchObject(p) => write!(f, "no such object: {p}"),
             DasfError::WrongKind(p) => write!(f, "object has wrong kind: {p}"),
             DasfError::TypeMismatch {

@@ -7,10 +7,13 @@
 //! bad-sector model. Transient faults live at the `par_read` and
 //! `minimpi` layers, which key by attempt.
 //!
-//! Injected errors are always *detected* errors ([`DasfError::Io`],
-//! [`DasfError::Truncated`], [`DasfError::Corrupt`]) — corruption
-//! surfaces the way a checksum mismatch would, never as silently wrong
-//! bytes in a successful read.
+//! Most injected errors are *detected* errors ([`DasfError::Io`],
+//! [`DasfError::Truncated`]). The exception is `dasf.read.corrupt`,
+//! which injects *real* bit-rot: one deterministic byte of the data
+//! region reads back XOR-flipped, and it is the v3 checksum layer — not
+//! the injector — that must turn it into
+//! [`DasfError::ChecksumMismatch`]. Against a v2 file the flip is
+//! silent, which is exactly the gap the v3 format closes.
 
 use crate::error::DasfError;
 use crate::Result;
@@ -67,13 +70,44 @@ pub(crate) fn check_read(path: &Path) -> Result<()> {
         crate::metrics::metrics().faults_injected.inc();
         return Err(DasfError::Truncated);
     }
-    if plan.fires(site::DASF_READ_CORRUPT, key) {
-        crate::metrics::metrics().faults_injected.inc();
-        return Err(DasfError::Corrupt(
-            "faultline: injected page corruption (dasf.read.corrupt)".into(),
-        ));
-    }
     Ok(())
+}
+
+/// One byte of the data region that reads back flipped — the bad-sector
+/// model of bit-rot. Deterministic per file name, so every rank and
+/// both read strategies see the identical fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Corruption {
+    /// Absolute file offset of the rotten byte (inside `[16, 16+data)`).
+    pub offset: u64,
+    /// Nonzero XOR mask applied to it.
+    pub mask: u8,
+}
+
+/// The corruption this file suffers under the active plan, if any.
+/// Decided at open time from the `dasf.read.corrupt` site.
+pub(crate) fn payload_corruption(path: &Path, data_region_bytes: u64) -> Option<Corruption> {
+    let plan = faultline::current()?;
+    if data_region_bytes == 0 {
+        return None;
+    }
+    let key = file_key(path);
+    if !plan.fires(site::DASF_READ_CORRUPT, key) {
+        return None;
+    }
+    let offset = 16 + plan.value_below(site::DASF_READ_CORRUPT, key, data_region_bytes);
+    let mask =
+        1 + plan.value_below(site::DASF_READ_CORRUPT, key ^ 0x9e37_79b9_7f4a_7c15, 255) as u8;
+    Some(Corruption { offset, mask })
+}
+
+/// Flip the rotten byte in `buf` if this read (starting at absolute file
+/// offset `buf_file_offset`) covers it.
+pub(crate) fn apply_corruption(c: &Corruption, buf_file_offset: u64, buf: &mut [u8]) {
+    if c.offset >= buf_file_offset && c.offset - buf_file_offset < buf.len() as u64 {
+        buf[(c.offset - buf_file_offset) as usize] ^= c.mask;
+        crate::metrics::metrics().faults_injected.inc();
+    }
 }
 
 /// Write-time hook, keyed by file name × dataset path.
@@ -122,11 +156,16 @@ mod tests {
         });
         let read_corrupt = Arc::new(FaultPlan::new(1).with(site::DASF_READ_CORRUPT, 1.0));
         faultline::with_plan(read_corrupt, || {
+            // Real bytes are flipped in the read buffer; it is the v3
+            // checksum layer that reports them.
             let f = File::open(&p).unwrap();
-            assert!(matches!(f.read_f32("/d"), Err(DasfError::Corrupt(_))));
+            assert!(matches!(
+                f.read_f32("/d"),
+                Err(DasfError::ChecksumMismatch { .. })
+            ));
             assert!(matches!(
                 f.read_hyperslab_f32("/d", &[(0, 1), (0, 2)]),
-                Err(DasfError::Corrupt(_))
+                Err(DasfError::ChecksumMismatch { .. })
             ));
         });
         let read_short = Arc::new(FaultPlan::new(1).with(site::DASF_READ_SHORT, 1.0));

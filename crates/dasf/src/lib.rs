@@ -17,14 +17,32 @@
 //! fast), while dataset reads seek directly to contiguous row-major
 //! runs.
 //!
-//! # File layout
+//! # File layout (v3, `DASF0003`)
 //!
 //! ```text
-//! [ 0.. 8)  magic "DASF0002"
+//! [ 0.. 8)  magic "DASF0003"
 //! [ 8..16)  u64: offset of the object table
 //! [16.. X)  raw dataset payloads, contiguous row-major
-//! [ X.. Y)  object table: root group tree w/ attributes
+//! [ X.. Y)  object table: root group tree w/ attributes and
+//!           per-dataset chunked CRC32C checksums
+//! [ Y..EOF) 32-byte commit record:
+//!             u64 table offset · u64 table length ·
+//!             u32 CRC32C(table) · u32 CRC32C(superblock ∥ record) ·
+//!             8-byte commit magic "DASF3END"
 //! ```
+//!
+//! Every dataset payload is checksummed in chunks (64 KiB units for
+//! contiguous layout, one unit per storage chunk for chunked layout);
+//! the reader verifies the units a read touches and caches the verified
+//! set, so repeated reads do not re-hash. A flipped byte anywhere —
+//! payload, object table, or superblock — surfaces as
+//! [`DasfError::ChecksumMismatch`], and a file truncated before its
+//! commit record is complete is always [`DasfError::Truncated`], never
+//! half-readable. Writers are crash-consistent: bytes stream to
+//! `<name>.tmp`, which is fsynced and atomically renamed into place by
+//! [`Writer::finish`]; an unfinished writer removes its temp file on
+//! drop. Version-2 files (`DASF0002`, no checksums, no commit record)
+//! still open read-only.
 //!
 //! # Example
 //! ```
@@ -48,6 +66,7 @@
 //! assert_eq!(sub.len(), 6);
 //! ```
 
+pub mod crc;
 mod element;
 mod error;
 mod faults;
@@ -60,12 +79,35 @@ mod writer;
 pub use element::{Dtype, Element};
 pub use error::DasfError;
 pub use object::{DatasetMeta, Layout, Node, ObjectTable};
-pub use reader::File;
+pub use reader::{ChecksumFault, File, VerifyOutcome};
 pub use value::Value;
 pub use writer::Writer;
 
-/// Magic bytes at the start of every dasf file.
-pub const MAGIC: &[u8; 8] = b"DASF0002";
+/// Magic bytes at the start of every current (v3) dasf file.
+pub const MAGIC: &[u8; 8] = b"DASF0003";
+
+/// Magic of the legacy v2 format, still opened read-only.
+pub const MAGIC_V2: &[u8; 8] = b"DASF0002";
+
+/// Trailing bytes of the v3 commit record; a file that does not end
+/// with them was interrupted before `finish` completed.
+pub const COMMIT_MAGIC: &[u8; 8] = b"DASF3END";
+
+/// Size of the v3 commit record at the end of the file.
+pub const FOOTER_LEN: u64 = 32;
+
+/// Checksum granularity for contiguous-layout payloads: one CRC32C per
+/// this many payload bytes (chunked layouts checksum per storage chunk).
+pub const VERIFY_CHUNK_BYTES: u64 = 64 * 1024;
+
+/// On-disk format version of an open file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `DASF0002`: no checksums, no commit record. Read-only legacy.
+    V2,
+    /// `DASF0003`: chunked CRC32C checksums + trailing commit record.
+    V3,
+}
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, DasfError>;

@@ -27,9 +27,18 @@ pub mod names {
     pub const WRITE_BYTES: &str = "dasf.write.bytes";
     /// Histogram of per-write wall time in nanoseconds.
     pub const WRITE_NS: &str = "dasf.write.ns";
-    /// Count of faults injected by an active `faultline` plan (errors
-    /// and latency stalls).
+    /// Count of faults injected by an active `faultline` plan (errors,
+    /// latency stalls, and corrupted-byte applications).
     pub const FAULTS_INJECTED: &str = "dasf.faults.injected";
+    /// Count of verify units (64 KiB slices / storage chunks) hashed.
+    pub const VERIFY_CHUNKS: &str = "dasf.verify.chunks";
+    /// Total payload bytes hashed during verification.
+    pub const VERIFY_BYTES: &str = "dasf.verify.bytes";
+    /// Count of checksum mismatches detected (payload units and
+    /// metadata regions).
+    pub const VERIFY_MISMATCH: &str = "dasf.verify.mismatch";
+    /// Histogram of per-call verification wall time in nanoseconds.
+    pub const VERIFY_NS: &str = "dasf.verify.ns";
 }
 
 pub(crate) struct Metrics {
@@ -42,6 +51,10 @@ pub(crate) struct Metrics {
     pub write_bytes: Counter,
     pub write_ns: Histogram,
     pub faults_injected: Counter,
+    pub verify_chunks: Counter,
+    pub verify_bytes: Counter,
+    pub verify_mismatch: Counter,
+    pub verify_ns: Histogram,
 }
 
 pub(crate) fn metrics() -> &'static Metrics {
@@ -58,6 +71,10 @@ pub(crate) fn metrics() -> &'static Metrics {
             write_bytes: reg.counter(names::WRITE_BYTES),
             write_ns: reg.histogram(names::WRITE_NS),
             faults_injected: reg.counter(names::FAULTS_INJECTED),
+            verify_chunks: reg.counter(names::VERIFY_CHUNKS),
+            verify_bytes: reg.counter(names::VERIFY_BYTES),
+            verify_mismatch: reg.counter(names::VERIFY_MISMATCH),
+            verify_ns: reg.histogram(names::VERIFY_NS),
         }
     })
 }

@@ -6,7 +6,7 @@
 
 use crate::error::DasfError;
 use crate::value::{check_len, get_string, put_string, Value};
-use crate::{Dtype, Result};
+use crate::{Dtype, Result, Version, VERIFY_CHUNK_BYTES};
 use bytes::{Buf, BufMut};
 use std::collections::BTreeMap;
 
@@ -24,6 +24,11 @@ pub struct DatasetMeta {
     pub layout: Layout,
     /// Attributes attached to the dataset.
     pub attrs: BTreeMap<String, Value>,
+    /// CRC32C per verify unit: [`VERIFY_CHUNK_BYTES`]-sized slices of
+    /// the payload for contiguous layout, one per storage chunk for
+    /// chunked layout. Empty for datasets read from v2 files, which
+    /// carry no checksums and are never verified.
+    pub checksums: Vec<u32>,
 }
 
 /// Dataset storage layout, mirroring HDF5's contiguous vs chunked
@@ -58,6 +63,49 @@ impl DatasetMeta {
     /// Payload size in bytes.
     pub fn byte_len(&self) -> u64 {
         self.len() as u64 * self.dtype.size() as u64
+    }
+
+    /// Number of verify units this dataset's checksum vector must have.
+    pub fn verify_unit_count(&self) -> usize {
+        match &self.layout {
+            Layout::Contiguous => self.byte_len().div_ceil(VERIFY_CHUNK_BYTES) as usize,
+            Layout::Chunked { chunk_offsets, .. } => chunk_offsets.len(),
+        }
+    }
+
+    /// Clipped element count of storage chunk `flat` (row-major
+    /// chunk-grid order). Zero for contiguous layout or out-of-range
+    /// indices.
+    pub fn chunk_elems(&self, flat: usize) -> u64 {
+        let Layout::Chunked { chunk_dims, .. } = &self.layout else {
+            return 0;
+        };
+        let grid: Vec<u64> = self
+            .dims
+            .iter()
+            .zip(chunk_dims)
+            .map(|(&d, &c)| d.div_ceil(c.max(1)))
+            .collect();
+        if grid.iter().product::<u64>() <= flat as u64 {
+            return 0;
+        }
+        // Decompose `flat` into per-dimension grid coordinates.
+        let mut rem = flat as u64;
+        let mut elems = 1u64;
+        for d in (0..grid.len()).rev() {
+            let g = rem % grid[d];
+            rem /= grid[d];
+            let start = g * chunk_dims[d];
+            elems *= chunk_dims[d].min(self.dims[d] - start);
+        }
+        elems
+    }
+
+    /// Byte range `(offset, len)` of verify unit `unit`, relative to the
+    /// start of this dataset's contiguous payload.
+    pub fn unit_range(&self, unit: usize) -> (u64, u64) {
+        let start = unit as u64 * VERIFY_CHUNK_BYTES;
+        (start, VERIFY_CHUNK_BYTES.min(self.byte_len() - start))
     }
 }
 
@@ -262,17 +310,24 @@ impl ObjectTable {
 
     // ---- serialization -------------------------------------------------
 
-    /// Serialize the whole tree.
+    /// Serialize the whole tree in the current (v3) layout.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(Version::V3)
+    }
+
+    /// Serialize the whole tree in a specific format version. V2 drops
+    /// the per-dataset checksum vectors (the v2 node layout has no slot
+    /// for them); it exists for fixtures and compatibility tests.
+    pub fn encode_versioned(&self, version: Version) -> Vec<u8> {
         let mut out = Vec::new();
-        encode_node(&self.root, &mut out);
+        encode_node(&self.root, &mut out, version);
         out
     }
 
     /// Deserialize a tree; must consume `bytes` exactly.
-    pub fn decode(bytes: &[u8]) -> Result<Self> {
+    pub fn decode(bytes: &[u8], version: Version) -> Result<Self> {
         let mut slice = bytes;
-        let root = decode_node(&mut slice)?;
+        let root = decode_node(&mut slice, version)?;
         if !slice.is_empty() {
             return Err(DasfError::Corrupt(
                 "trailing bytes after object table".into(),
@@ -310,7 +365,7 @@ fn decode_attrs(buf: &mut &[u8]) -> Result<BTreeMap<String, Value>> {
     Ok(attrs)
 }
 
-fn encode_node(node: &Node, out: &mut Vec<u8>) {
+fn encode_node(node: &Node, out: &mut Vec<u8>, version: Version) {
     match node {
         Node::Group { attrs, children } => {
             out.put_u8(NODE_GROUP);
@@ -318,7 +373,7 @@ fn encode_node(node: &Node, out: &mut Vec<u8>) {
             out.put_u32_le(children.len() as u32);
             for (name, child) in children {
                 put_string(out, name);
-                encode_node(child, out);
+                encode_node(child, out, version);
             }
         }
         Node::Dataset(d) => {
@@ -346,12 +401,18 @@ fn encode_node(node: &Node, out: &mut Vec<u8>) {
                     }
                 }
             }
+            if version == Version::V3 {
+                out.put_u32_le(d.checksums.len() as u32);
+                for &c in &d.checksums {
+                    out.put_u32_le(c);
+                }
+            }
             encode_attrs(&d.attrs, out);
         }
     }
 }
 
-fn decode_node(buf: &mut &[u8]) -> Result<Node> {
+fn decode_node(buf: &mut &[u8], version: Version) -> Result<Node> {
     check_len(buf, 1)?;
     match buf.get_u8() {
         NODE_GROUP => {
@@ -361,7 +422,7 @@ fn decode_node(buf: &mut &[u8]) -> Result<Node> {
             let mut children = BTreeMap::new();
             for _ in 0..n {
                 let name = get_string(buf)?;
-                let child = decode_node(buf)?;
+                let child = decode_node(buf, version)?;
                 children.insert(name, child);
             }
             Ok(Node::Group { attrs, children })
@@ -398,6 +459,14 @@ fn decode_node(buf: &mut &[u8]) -> Result<Node> {
                 }
                 other => return Err(DasfError::Corrupt(format!("unknown layout tag {other}"))),
             };
+            let checksums = if version == Version::V3 {
+                check_len(buf, 4)?;
+                let n = buf.get_u32_le() as usize;
+                check_len(buf, n * 4)?;
+                (0..n).map(|_| buf.get_u32_le()).collect()
+            } else {
+                Vec::new()
+            };
             let attrs = decode_attrs(buf)?;
             Ok(Node::Dataset(DatasetMeta {
                 dtype,
@@ -405,6 +474,7 @@ fn decode_node(buf: &mut &[u8]) -> Result<Node> {
                 data_offset,
                 layout,
                 attrs,
+                checksums,
             }))
         }
         other => Err(DasfError::Corrupt(format!("unknown node tag {other}"))),
@@ -430,6 +500,7 @@ mod tests {
                 data_offset: 16,
                 layout: Layout::Contiguous,
                 attrs: BTreeMap::new(),
+                checksums: vec![0xDEAD_BEEF],
             },
         )
         .unwrap();
@@ -440,8 +511,27 @@ mod tests {
     fn encode_decode_round_trip() {
         let t = sample_table();
         let bytes = t.encode();
-        let back = ObjectTable::decode(&bytes).unwrap();
+        let back = ObjectTable::decode(&bytes, Version::V3).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn v2_encoding_round_trips_without_checksums() {
+        let t = sample_table();
+        let bytes = t.encode_versioned(Version::V2);
+        let back = ObjectTable::decode(&bytes, Version::V2).unwrap();
+        // Identical except the checksum vector, which v2 cannot carry.
+        let mut expect = t.clone();
+        if let Node::Group { children, .. } = &mut expect.root {
+            if let Some(Node::Group { children, .. }) = children.get_mut("Measurement") {
+                if let Some(Node::Dataset(d)) = children.get_mut("data") {
+                    d.checksums.clear();
+                }
+            }
+        }
+        assert_eq!(back, expect);
+        // And the v2 bytes are strictly smaller (no checksum slot).
+        assert!(bytes.len() < t.encode().len());
     }
 
     #[test]
@@ -497,6 +587,7 @@ mod tests {
                     chunk_offsets: vec![999, 1015],
                 },
                 attrs: BTreeMap::new(),
+                checksums: vec![1, 2],
             },
         )
         .unwrap();
@@ -507,11 +598,13 @@ mod tests {
 
     #[test]
     fn corrupt_bytes_rejected() {
-        assert!(ObjectTable::decode(&[]).is_err());
-        assert!(ObjectTable::decode(&[77]).is_err());
+        for v in [Version::V2, Version::V3] {
+            assert!(ObjectTable::decode(&[], v).is_err());
+            assert!(ObjectTable::decode(&[77], v).is_err());
+        }
         let mut bytes = sample_table().encode();
         bytes.push(0); // trailing garbage
-        assert!(ObjectTable::decode(&bytes).is_err());
+        assert!(ObjectTable::decode(&bytes, Version::V3).is_err());
     }
 
     #[test]
@@ -522,6 +615,7 @@ mod tests {
             data_offset: 0,
             layout: Layout::Contiguous,
             attrs: BTreeMap::new(),
+            checksums: Vec::new(),
         };
         assert_eq!(m.len(), 200);
         assert_eq!(m.byte_len(), 1600);

@@ -1,31 +1,80 @@
-//! Reading dasf files: cheap metadata opens and hyperslab dataset reads.
+//! Reading dasf files: cheap metadata opens and verified hyperslab reads.
 
+use crate::crc::crc32c;
 use crate::element::{decode_slice, Element};
 use crate::error::DasfError;
 use crate::object::{DatasetMeta, Layout, ObjectTable};
 use crate::value::Value;
-use crate::{Result, MAGIC};
-use std::collections::BTreeMap;
+use crate::{Result, Version, COMMIT_MAGIC, FOOTER_LEN, MAGIC, MAGIC_V2, VERIFY_CHUNK_BYTES};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::File as FsFile;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
+/// A checksum fault found by [`File::verify_all`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChecksumFault {
+    /// Dataset path within the file.
+    pub dataset: String,
+    /// Verify unit (contiguous 64 KiB slice index, or storage chunk
+    /// index for chunked layout) whose bytes no longer match.
+    pub chunk: usize,
+}
+
+/// Result of scrubbing every dataset of a file ([`File::verify_all`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Datasets visited.
+    pub datasets: usize,
+    /// Verify units hashed.
+    pub chunks_verified: u64,
+    /// Payload bytes hashed.
+    pub bytes_verified: u64,
+    /// Every unit whose CRC32C no longer matches the object table.
+    pub mismatches: Vec<ChecksumFault>,
+    /// Datasets that carry no checksums (v2 files) and were skipped.
+    pub unverified_datasets: usize,
+}
+
+impl VerifyOutcome {
+    /// True when nothing mismatched (unverifiable v2 datasets count as
+    /// clean — they have no checksums to fail).
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
 /// An open dasf file.
 ///
-/// `open` reads only the 16-byte superblock and the object-table footer —
-/// array payloads stay on disk until a read method asks for them. That is
-/// the property DASSA's VCA exploits: merging a thousand files costs a
-/// thousand metadata opens, not a terabyte of data movement.
+/// `open` reads only the 16-byte superblock, the object-table footer,
+/// and (v3) the 32-byte commit record — array payloads stay on disk
+/// until a read method asks for them. That is the property DASSA's VCA
+/// exploits: merging a thousand files costs a thousand metadata opens,
+/// not a terabyte of data movement.
+///
+/// For v3 files every read verifies the CRC32C of the verify units it
+/// touches before returning data, and caches which units passed so
+/// repeated reads do not re-hash. The cache is per-handle: bytes that
+/// rot on disk *after* a unit verified are not re-detected through the
+/// same handle, but a fresh `open` re-verifies everything it reads.
 pub struct File {
     path: PathBuf,
-    handle: std::cell::RefCell<FsFile>,
+    handle: RefCell<FsFile>,
     table: ObjectTable,
     /// Size of the data region in bytes (table offset − superblock).
     data_region_bytes: u64,
+    version: Version,
+    /// Per-dataset bitmap of verify units already hashed clean.
+    verified: RefCell<HashMap<String, Vec<bool>>>,
+    /// Deterministic injected bit-rot (faultline `dasf.read.corrupt`):
+    /// one byte of the data region reads back flipped.
+    corruption: Option<crate::faults::Corruption>,
 }
 
 impl File {
-    /// Open `path`, validating magic and object table.
+    /// Open `path`, validating magic, object table, and (v3) the commit
+    /// record and its checksums.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<File> {
         let m = crate::metrics::metrics();
         m.open_count.inc();
@@ -39,42 +88,105 @@ impl File {
         crate::faults::check_open(path)?;
         let path = path.to_path_buf();
         let mut f = FsFile::open(&path)?;
-        let mut header = [0u8; 16];
-        f.read_exact(&mut header).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                DasfError::Truncated
-            } else {
-                DasfError::Io(e)
-            }
-        })?;
-        if &header[..8] != MAGIC {
-            return Err(DasfError::BadMagic);
-        }
-        let table_offset = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-        if table_offset < 16 {
-            return Err(DasfError::Corrupt(format!(
-                "object table offset {table_offset} inside superblock (unfinished write?)"
-            )));
-        }
         let file_len = f.metadata()?.len();
-        if table_offset > file_len {
-            return Err(DasfError::Truncated);
-        }
-        f.seek(SeekFrom::Start(table_offset))?;
-        let mut table_bytes = Vec::with_capacity((file_len - table_offset) as usize);
-        f.read_to_end(&mut table_bytes)?;
-        let table = ObjectTable::decode(&table_bytes)?;
+        let mut header = [0u8; 16];
+        f.read_exact(&mut header).map_err(map_eof)?;
+        let version = if &header[..8] == MAGIC {
+            Version::V3
+        } else if &header[..8] == MAGIC_V2 {
+            Version::V2
+        } else {
+            return Err(DasfError::BadMagic);
+        };
+        let header_offset = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+
+        let (table_offset, table_bytes) = match version {
+            Version::V2 => {
+                // Legacy open: no commit record, no checksums. The
+                // in-place superblock patch means an unfinished v2 write
+                // is only detectable by its placeholder offset.
+                if header_offset < 16 {
+                    return Err(DasfError::Corrupt(format!(
+                        "object table offset {header_offset} inside superblock (unfinished write?)"
+                    )));
+                }
+                if header_offset > file_len {
+                    return Err(DasfError::Truncated);
+                }
+                f.seek(SeekFrom::Start(header_offset))?;
+                let mut tb = Vec::with_capacity((file_len - header_offset) as usize);
+                f.read_to_end(&mut tb)?;
+                (header_offset, tb)
+            }
+            Version::V3 => {
+                if file_len < 16 + FOOTER_LEN {
+                    return Err(DasfError::Truncated);
+                }
+                let mut footer = [0u8; FOOTER_LEN as usize];
+                f.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+                f.read_exact(&mut footer).map_err(map_eof)?;
+                if &footer[24..32] != COMMIT_MAGIC {
+                    // Torn write: the file ends before the commit record.
+                    return Err(DasfError::Truncated);
+                }
+                let t_off = u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes"));
+                let t_len = u64::from_le_bytes(footer[8..16].try_into().expect("8 bytes"));
+                let table_crc = u32::from_le_bytes(footer[16..20].try_into().expect("4 bytes"));
+                let footer_crc = u32::from_le_bytes(footer[20..24].try_into().expect("4 bytes"));
+                // The footer CRC covers the reconstructed superblock
+                // plus the record prefix, so flipped bytes in either are
+                // distinguishable from truncation.
+                let mut covered = Vec::with_capacity(36);
+                covered.extend_from_slice(MAGIC);
+                covered.extend_from_slice(&footer[0..8]);
+                covered.extend_from_slice(&footer[..20]);
+                if crc32c(&covered) != footer_crc {
+                    return Err(metadata_mismatch(&path, "(commit record)"));
+                }
+                if header_offset != t_off {
+                    return Err(metadata_mismatch(&path, "(superblock)"));
+                }
+                if t_off < 16 {
+                    return Err(DasfError::Truncated);
+                }
+                if t_off
+                    .checked_add(t_len)
+                    .and_then(|v| v.checked_add(FOOTER_LEN))
+                    != Some(file_len)
+                {
+                    return Err(DasfError::Truncated);
+                }
+                f.seek(SeekFrom::Start(t_off))?;
+                let mut tb = vec![0u8; t_len as usize];
+                f.read_exact(&mut tb).map_err(map_eof)?;
+                if crc32c(&tb) != table_crc {
+                    return Err(metadata_mismatch(&path, "(object table)"));
+                }
+                (t_off, tb)
+            }
+        };
+        let table = ObjectTable::decode(&table_bytes, version)?;
+        let data_region_bytes = table_offset - 16;
+        let corruption = crate::faults::payload_corruption(&path, data_region_bytes);
         Ok(File {
             path,
-            handle: std::cell::RefCell::new(f),
+            handle: RefCell::new(f),
             table,
-            data_region_bytes: table_offset - 16,
+            data_region_bytes,
+            version,
+            verified: RefCell::new(HashMap::new()),
+            corruption,
         })
     }
 
     /// The path this file was opened from.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// On-disk format version ([`Version::V3`] for current files).
+    pub fn version(&self) -> Version {
+        self.version
     }
 
     /// The parsed object table.
@@ -118,8 +230,164 @@ impl File {
         Ok(())
     }
 
+    /// Positioned read through the shared handle, with injected bit-rot
+    /// applied afterwards so it behaves exactly like a flaky sector.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        {
+            let mut handle = self.handle.borrow_mut();
+            handle.seek(SeekFrom::Start(offset))?;
+            handle.read_exact(buf).map_err(map_eof)?;
+        }
+        if let Some(c) = &self.corruption {
+            crate::faults::apply_corruption(c, offset, buf);
+        }
+        Ok(())
+    }
+
+    /// This file's expected per-unit checksums for `meta`, or `None`
+    /// when the format cannot carry them (v2).
+    fn expected_sums<'a>(&self, dataset: &str, meta: &'a DatasetMeta) -> Result<Option<&'a [u32]>> {
+        if self.version == Version::V2 {
+            return Ok(None);
+        }
+        if meta.checksums.len() != meta.verify_unit_count() {
+            return Err(DasfError::Corrupt(format!(
+                "dataset {dataset} carries {} checksums for {} verify units",
+                meta.checksums.len(),
+                meta.verify_unit_count()
+            )));
+        }
+        Ok(Some(&meta.checksums))
+    }
+
+    fn mismatch(&self, dataset: &str, chunk: usize) -> DasfError {
+        crate::metrics::metrics().verify_mismatch.inc();
+        DasfError::ChecksumMismatch {
+            path: self.path.display().to_string(),
+            dataset: dataset.to_string(),
+            chunk,
+        }
+    }
+
+    fn is_verified(&self, dataset: &str, unit: usize) -> bool {
+        self.verified
+            .borrow()
+            .get(dataset)
+            .is_some_and(|v| v.get(unit).copied().unwrap_or(false))
+    }
+
+    fn mark_verified(&self, dataset: &str, unit: usize, n_units: usize) {
+        let mut map = self.verified.borrow_mut();
+        let v = map
+            .entry(dataset.to_string())
+            .or_insert_with(|| vec![false; n_units]);
+        v[unit] = true;
+    }
+
+    /// Verify the units covering payload byte range `[lo, hi)` of a
+    /// contiguous dataset, reading each unverified unit from disk.
+    fn verify_contiguous_range(
+        &self,
+        dataset: &str,
+        meta: &DatasetMeta,
+        lo: u64,
+        hi: u64,
+    ) -> Result<()> {
+        let Some(sums) = self.expected_sums(dataset, meta)? else {
+            return Ok(());
+        };
+        if hi <= lo {
+            return Ok(());
+        }
+        let m = crate::metrics::metrics();
+        let started = std::time::Instant::now();
+        let first = (lo / VERIFY_CHUNK_BYTES) as usize;
+        let last = ((hi - 1) / VERIFY_CHUNK_BYTES) as usize;
+        let mut buf = Vec::new();
+        let result = (|| {
+            for unit in first..=last {
+                if self.is_verified(dataset, unit) {
+                    continue;
+                }
+                let (start, len) = meta.unit_range(unit);
+                buf.resize(len as usize, 0);
+                self.read_at(meta.data_offset + start, &mut buf)?;
+                m.verify_chunks.inc();
+                m.verify_bytes.add(len);
+                if crc32c(&buf) != sums[unit] {
+                    return Err(self.mismatch(dataset, unit));
+                }
+                self.mark_verified(dataset, unit, sums.len());
+            }
+            Ok(())
+        })();
+        m.verify_ns.record_duration(started.elapsed());
+        result
+    }
+
+    /// Verify every unit of a contiguous dataset against its full
+    /// payload already in memory (zero extra I/O on whole reads).
+    fn verify_contiguous_buffer(
+        &self,
+        dataset: &str,
+        meta: &DatasetMeta,
+        payload: &[u8],
+    ) -> Result<()> {
+        let Some(sums) = self.expected_sums(dataset, meta)? else {
+            return Ok(());
+        };
+        let m = crate::metrics::metrics();
+        let started = std::time::Instant::now();
+        let result = (|| {
+            for unit in 0..sums.len() {
+                if self.is_verified(dataset, unit) {
+                    continue;
+                }
+                let (start, len) = meta.unit_range(unit);
+                let slice = &payload[start as usize..(start + len) as usize];
+                m.verify_chunks.inc();
+                m.verify_bytes.add(len);
+                if crc32c(slice) != sums[unit] {
+                    return Err(self.mismatch(dataset, unit));
+                }
+                self.mark_verified(dataset, unit, sums.len());
+            }
+            Ok(())
+        })();
+        m.verify_ns.record_duration(started.elapsed());
+        result
+    }
+
+    /// Verify one storage chunk of a chunked dataset from bytes already
+    /// read off disk.
+    fn verify_chunk_bytes(
+        &self,
+        dataset: &str,
+        meta: &DatasetMeta,
+        unit: usize,
+        bytes: &[u8],
+    ) -> Result<()> {
+        let Some(sums) = self.expected_sums(dataset, meta)? else {
+            return Ok(());
+        };
+        if self.is_verified(dataset, unit) {
+            return Ok(());
+        }
+        let m = crate::metrics::metrics();
+        let started = std::time::Instant::now();
+        m.verify_chunks.inc();
+        m.verify_bytes.add(bytes.len() as u64);
+        let ok = crc32c(bytes) == sums[unit];
+        m.verify_ns.record_duration(started.elapsed());
+        if !ok {
+            return Err(self.mismatch(dataset, unit));
+        }
+        self.mark_verified(dataset, unit, sums.len());
+        Ok(())
+    }
+
     /// Read an entire dataset (one I/O call for contiguous layout, one
-    /// per chunk for chunked layout).
+    /// per chunk for chunked layout). Verifies every touched unit first.
     pub fn read<T: Element>(&self, path: &str) -> Result<Vec<T>> {
         let meta = self.table.dataset(path)?;
         self.check_dtype::<T>(path, meta)?;
@@ -131,11 +399,8 @@ impl File {
                 let started = std::time::Instant::now();
                 let n = meta.len();
                 let mut bytes = vec![0u8; n * meta.dtype.size()];
-                {
-                    let mut handle = self.handle.borrow_mut();
-                    handle.seek(SeekFrom::Start(meta.data_offset))?;
-                    handle.read_exact(&mut bytes).map_err(map_eof)?;
-                }
+                self.read_at(meta.data_offset, &mut bytes)?;
+                self.verify_contiguous_buffer(path, meta, &bytes)?;
                 let out = decode_slice(&bytes, n);
                 m.read_bytes.add(bytes.len() as u64);
                 m.read_ns.record_duration(started.elapsed());
@@ -150,7 +415,8 @@ impl File {
 
     /// Read a rectangular hyperslab: `selection[d] = (offset, count)` per
     /// dimension. Rows along the innermost dimension are fetched as
-    /// contiguous runs.
+    /// contiguous runs; the verify units covering the selection's
+    /// bounding byte range are checked before any data is returned.
     pub fn read_hyperslab<T: Element>(
         &self,
         path: &str,
@@ -200,6 +466,7 @@ impl File {
         } = &meta.layout
         {
             return self.read_hyperslab_chunked(
+                path,
                 meta,
                 selection,
                 &chunk_dims.clone(),
@@ -215,9 +482,18 @@ impl File {
         }
 
         let elem = meta.dtype.size() as u64;
+        // Verify the bounding byte range before touching any run: every
+        // byte a run read below can return lies inside it.
+        let mut lo_elem = 0u64;
+        let mut hi_elem = 0u64;
+        for d in 0..ndim {
+            lo_elem += selection[d].0 * strides[d];
+            hi_elem += (selection[d].0 + selection[d].1 - 1) * strides[d];
+        }
+        self.verify_contiguous_range(path, meta, lo_elem * elem, (hi_elem + 1) * elem)?;
+
         let run_len = selection[ndim - 1].1; // contiguous elements per run
         let mut out_bytes = Vec::with_capacity((total * elem) as usize);
-        let mut handle = self.handle.borrow_mut();
 
         // Odometer over all dims except the innermost.
         let mut idx = vec![0u64; ndim.saturating_sub(1)];
@@ -229,10 +505,7 @@ impl File {
             let byte_offset = meta.data_offset + elem_offset * elem;
             let start = out_bytes.len();
             out_bytes.resize(start + (run_len * elem) as usize, 0);
-            handle.seek(SeekFrom::Start(byte_offset))?;
-            handle
-                .read_exact(&mut out_bytes[start..])
-                .map_err(map_eof)?;
+            self.read_at(byte_offset, &mut out_bytes[start..])?;
 
             // Advance the odometer.
             let mut d = ndim.saturating_sub(1);
@@ -251,9 +524,10 @@ impl File {
     }
 
     /// Chunked-layout hyperslab: read each intersecting chunk with one
-    /// I/O call, then scatter the overlap into the output.
+    /// I/O call, verify it, then scatter the overlap into the output.
     fn read_hyperslab_chunked<T: Element>(
         &self,
+        path: &str,
         meta: &DatasetMeta,
         selection: &[(u64, u64)],
         chunk_dims: &[u64],
@@ -297,7 +571,6 @@ impl File {
             .map(|(&(off, cnt), &c)| (off + cnt - 1) / c.max(1))
             .collect();
 
-        let mut handle = self.handle.borrow_mut();
         let mut gidx = lo_chunk.clone();
         loop {
             // Linear chunk index in the grid.
@@ -315,8 +588,8 @@ impl File {
                 .collect();
             let chunk_elems: u64 = lens.iter().product();
             let mut bytes = vec![0u8; chunk_elems as usize * meta.dtype.size()];
-            handle.seek(SeekFrom::Start(chunk_offsets[flat_chunk as usize]))?;
-            handle.read_exact(&mut bytes).map_err(map_eof)?;
+            self.read_at(chunk_offsets[flat_chunk as usize], &mut bytes)?;
+            self.verify_chunk_bytes(path, meta, flat_chunk as usize, &bytes)?;
             let chunk: Vec<T> = decode_slice(&bytes, chunk_elems as usize);
             // Chunk-local strides.
             let mut c_strides = vec![1u64; ndim];
@@ -371,6 +644,55 @@ impl File {
         }
     }
 
+    /// Scrub every dataset: hash all verify units against the object
+    /// table and collect mismatches instead of failing on the first one.
+    /// I/O errors and reads past EOF still abort with `Err` — the file
+    /// is torn, not merely corrupt. v2 datasets (no checksums) are
+    /// counted in `unverified_datasets` and otherwise skipped.
+    pub fn verify_all(&self) -> Result<VerifyOutcome> {
+        let m = crate::metrics::metrics();
+        let started = std::time::Instant::now();
+        let mut out = VerifyOutcome::default();
+        let mut buf = Vec::new();
+        for path in self.dataset_paths() {
+            let meta = self.table.dataset(&path)?;
+            out.datasets += 1;
+            let Some(sums) = self.expected_sums(&path, meta)? else {
+                out.unverified_datasets += 1;
+                continue;
+            };
+            for unit in 0..sums.len() {
+                let (off, len) = match &meta.layout {
+                    Layout::Contiguous => {
+                        let (start, len) = meta.unit_range(unit);
+                        (meta.data_offset + start, len)
+                    }
+                    Layout::Chunked { chunk_offsets, .. } => (
+                        chunk_offsets[unit],
+                        meta.chunk_elems(unit) * meta.dtype.size() as u64,
+                    ),
+                };
+                buf.resize(len as usize, 0);
+                self.read_at(off, &mut buf)?;
+                m.verify_chunks.inc();
+                m.verify_bytes.add(len);
+                out.chunks_verified += 1;
+                out.bytes_verified += len;
+                if crc32c(&buf) == sums[unit] {
+                    self.mark_verified(&path, unit, sums.len());
+                } else {
+                    m.verify_mismatch.inc();
+                    out.mismatches.push(ChecksumFault {
+                        dataset: path.clone(),
+                        chunk: unit,
+                    });
+                }
+            }
+        }
+        m.verify_ns.record_duration(started.elapsed());
+        Ok(out)
+    }
+
     /// `f32` whole-dataset read.
     pub fn read_f32(&self, path: &str) -> Result<Vec<f32>> {
         self.read(path)
@@ -389,6 +711,16 @@ impl File {
     /// `f64` hyperslab read.
     pub fn read_hyperslab_f64(&self, path: &str, selection: &[(u64, u64)]) -> Result<Vec<f64>> {
         self.read_hyperslab(path, selection)
+    }
+}
+
+/// `ChecksumMismatch` for a metadata region of the file.
+fn metadata_mismatch(path: &Path, region: &str) -> DasfError {
+    crate::metrics::metrics().verify_mismatch.inc();
+    DasfError::ChecksumMismatch {
+        path: path.display().to_string(),
+        dataset: region.to_string(),
+        chunk: 0,
     }
 }
 
@@ -425,6 +757,7 @@ mod tests {
     fn whole_read_round_trip() {
         let p = write_2d("whole.dasf", 5, 7);
         let f = File::open(&p).unwrap();
+        assert_eq!(f.version(), crate::Version::V3);
         let v = f.read_f32("/data").unwrap();
         assert_eq!(v.len(), 35);
         assert_eq!(v[0], 0.0);
@@ -542,27 +875,41 @@ mod tests {
     }
 
     #[test]
-    fn unfinished_write_rejected() {
-        // A writer that never called finish leaves table offset = 0.
+    fn unfinished_write_leaves_no_file() {
+        // The crash-consistent writer never exposes a torn file: an
+        // unfinished write means there is nothing at the final path.
         let p = tmp("unfinished.dasf");
+        std::fs::remove_file(&p).ok(); // stale runs of older suites
         {
             let mut w = Writer::create(&p).unwrap();
             w.write_dataset_f32("/d", &[2], &[1.0, 2.0]).unwrap();
             // no finish()
         }
-        assert!(matches!(File::open(&p), Err(DasfError::Corrupt(_))));
+        assert!(!p.exists());
+        assert!(matches!(File::open(&p), Err(DasfError::Io(_))));
     }
 
     #[test]
-    fn truncated_payload_detected_on_read() {
+    fn truncated_file_detected_at_open() {
         let p = write_2d("truncpay.dasf", 8, 8);
-        // Corrupt: claim the table starts beyond EOF.
         let bytes = std::fs::read(&p).unwrap();
         let mut cut = bytes.clone();
         cut.truncate(bytes.len() - 10);
         let p2 = tmp("truncpay2.dasf");
         std::fs::write(&p2, &cut).unwrap();
-        assert!(File::open(&p2).is_err());
+        assert!(matches!(File::open(&p2), Err(DasfError::Truncated)));
+    }
+
+    #[test]
+    fn verify_all_reports_clean_round_trip() {
+        let p = write_2d("scrub.dasf", 8, 8);
+        let f = File::open(&p).unwrap();
+        let v = f.verify_all().unwrap();
+        assert!(v.is_clean());
+        assert_eq!(v.datasets, 1);
+        assert_eq!(v.chunks_verified, 1);
+        assert_eq!(v.bytes_verified, 8 * 8 * 4);
+        assert_eq!(v.unverified_datasets, 0);
     }
 
     #[test]

@@ -1,42 +1,73 @@
-//! Writing dasf files.
+//! Writing dasf files (v3, crash-consistent).
+//!
+//! Bytes stream into `<name>.tmp`; `finish` writes the object table and
+//! commit record, fsyncs, and atomically renames the temp file into
+//! place. Until that rename, the final path either does not exist or
+//! still holds its previous (complete) content — a crash mid-write can
+//! never leave a torn file under the final name. Dropping an unfinished
+//! writer removes the temp file.
 
+use crate::crc::crc32c;
 use crate::element::{encode_slice, Element};
 use crate::error::DasfError;
 use crate::object::{DatasetMeta, Layout, ObjectTable};
 use crate::value::Value;
-use crate::{Result, MAGIC};
+use crate::{Result, Version, COMMIT_MAGIC, MAGIC, VERIFY_CHUNK_BYTES};
 use std::collections::BTreeMap;
 use std::fs::{File as FsFile, OpenOptions};
 use std::io::{BufWriter, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Streaming writer: datasets append to the data region as they arrive;
-/// `finish` writes the object table footer and patches the superblock.
+/// `finish` writes the object table, commit record, and superblock, then
+/// publishes the file with an atomic rename.
 pub struct Writer {
-    file: BufWriter<FsFile>,
-    path: std::path::PathBuf,
+    /// Open handle on the temp file; `None` only transiently inside
+    /// `finish` and `Drop`.
+    file: Option<BufWriter<FsFile>>,
+    final_path: PathBuf,
+    tmp_path: PathBuf,
     table: ObjectTable,
     /// Next free byte in the data region.
     cursor: u64,
+    finished: bool,
+}
+
+/// `<path>.tmp` — the staging name a writer streams into.
+fn tmp_path_for(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
 }
 
 impl Writer {
-    /// Create (truncate) `path` and write the superblock.
+    /// Start writing the file that will appear at `path` once `finish`
+    /// succeeds. Creates (truncates) `path.tmp` and writes the
+    /// superblock there; `path` itself is untouched until the final
+    /// atomic rename.
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Writer> {
+        let final_path = path.as_ref().to_path_buf();
+        let tmp_path = tmp_path_for(&final_path);
         let file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path.as_ref())?;
+            .open(&tmp_path)?;
         let mut w = BufWriter::new(file);
         w.write_all(MAGIC)?;
         w.write_all(&0u64.to_le_bytes())?; // placeholder table offset
         Ok(Writer {
-            file: w,
-            path: path.as_ref().to_path_buf(),
+            file: Some(w),
+            final_path,
+            tmp_path,
             table: ObjectTable::new(),
             cursor: 16,
+            finished: false,
         })
+    }
+
+    fn fh(&mut self) -> &mut BufWriter<FsFile> {
+        self.file.as_mut().expect("writer file open")
     }
 
     /// Create a group (parents must exist). Root `/` always exists.
@@ -52,7 +83,8 @@ impl Writer {
     /// Write a dataset of any supported element type.
     ///
     /// `dims` is the row-major extent; `data.len()` must equal the product
-    /// of `dims`.
+    /// of `dims`. The payload is checksummed in [`VERIFY_CHUNK_BYTES`]
+    /// units as it is encoded.
     pub fn write_dataset<T: Element>(
         &mut self,
         path: &str,
@@ -66,19 +98,24 @@ impl Writer {
                 actual: data.len(),
             });
         }
+        let bytes = encode_slice(data);
+        let checksums: Vec<u32> = bytes
+            .chunks(VERIFY_CHUNK_BYTES as usize)
+            .map(crc32c)
+            .collect();
         let meta = DatasetMeta {
             dtype: T::DTYPE,
             dims: dims.to_vec(),
             data_offset: self.cursor,
             layout: Layout::Contiguous,
             attrs: BTreeMap::new(),
+            checksums,
         };
         // Register first so path errors surface before any bytes move.
         self.table.insert_dataset(path, meta)?;
-        crate::faults::check_write(&self.path, path)?;
+        crate::faults::check_write(&self.final_path, path)?;
         let started = std::time::Instant::now();
-        let bytes = encode_slice(data);
-        self.file.write_all(&bytes)?;
+        self.fh().write_all(&bytes)?;
         self.cursor += bytes.len() as u64;
         let m = crate::metrics::metrics();
         m.write_count.inc();
@@ -91,6 +128,7 @@ impl Writer {
     /// split on a `chunk_dims` grid and each chunk is stored as its own
     /// contiguous run, so later hyperslab reads touch only the chunks
     /// they intersect. Edge chunks are clipped to the dataset extent.
+    /// Each stored chunk carries its own CRC32C.
     pub fn write_dataset_chunked<T: Element>(
         &mut self,
         path: &str,
@@ -110,7 +148,7 @@ impl Writer {
                 "chunk dims {chunk_dims:?} invalid for dataset dims {dims:?}"
             )));
         }
-        crate::faults::check_write(&self.path, path)?;
+        crate::faults::check_write(&self.final_path, path)?;
         let started = std::time::Instant::now();
         let grid: Vec<u64> = dims
             .iter()
@@ -127,6 +165,7 @@ impl Writer {
         }
 
         let mut chunk_offsets = Vec::with_capacity(n_chunks as usize);
+        let mut checksums = Vec::with_capacity(n_chunks as usize);
         let mut grid_idx = vec![0u64; ndim];
         for _ in 0..n_chunks {
             // Clipped extent of this chunk.
@@ -169,7 +208,8 @@ impl Writer {
             }
             chunk_offsets.push(self.cursor);
             let bytes = encode_slice(&chunk);
-            self.file.write_all(&bytes)?;
+            checksums.push(crc32c(&bytes));
+            self.fh().write_all(&bytes)?;
             self.cursor += bytes.len() as u64;
             // Advance the chunk-grid odometer.
             for d in (0..ndim).rev() {
@@ -189,6 +229,7 @@ impl Writer {
                 chunk_offsets,
             },
             attrs: BTreeMap::new(),
+            checksums,
         };
         self.table.insert_dataset(path, meta)?;
         let m = crate::metrics::metrics();
@@ -214,20 +255,62 @@ impl Writer {
         self.cursor - 16
     }
 
-    /// Write the object table and patch the superblock. Consumes the
-    /// writer; dropping without calling this leaves an unreadable file.
+    /// Write the object table and commit record, patch the superblock,
+    /// fsync, and atomically rename the temp file to its final path.
+    /// Consumes the writer; dropping without calling this removes the
+    /// temp file and leaves the final path untouched.
     pub fn finish(mut self) -> Result<()> {
-        let table_bytes = self.table.encode();
-        self.file.write_all(&table_bytes)?;
-        self.file.flush()?;
+        let table_offset = self.cursor;
+        let table_bytes = self.table.encode_versioned(Version::V3);
+
+        // 32-byte commit record. Its own CRC covers the reconstructed
+        // superblock plus the record prefix, so a flipped byte in either
+        // the stored superblock or the record itself is detectable.
+        let mut footer = Vec::with_capacity(32);
+        footer.extend_from_slice(&table_offset.to_le_bytes());
+        footer.extend_from_slice(&(table_bytes.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&crc32c(&table_bytes).to_le_bytes());
+        let mut covered = Vec::with_capacity(36);
+        covered.extend_from_slice(MAGIC);
+        covered.extend_from_slice(&table_offset.to_le_bytes());
+        covered.extend_from_slice(&footer[..20]);
+        footer.extend_from_slice(&crc32c(&covered).to_le_bytes());
+        footer.extend_from_slice(COMMIT_MAGIC);
+        debug_assert_eq!(footer.len(), 32);
+
+        let w = self.fh();
+        w.write_all(&table_bytes)?;
+        w.write_all(&footer)?;
+        w.flush()?;
         let mut inner = self
             .file
+            .take()
+            .expect("writer file open")
             .into_inner()
             .map_err(|e| DasfError::Io(e.into_error()))?;
         inner.seek(SeekFrom::Start(8))?;
-        inner.write_all(&self.cursor.to_le_bytes())?;
-        inner.sync_data().ok(); // best effort; tmpfs test dirs may refuse
+        inner.write_all(&table_offset.to_le_bytes())?;
+        inner.sync_all().ok(); // best effort; tmpfs test dirs may refuse
+        drop(inner);
+        std::fs::rename(&self.tmp_path, &self.final_path)?;
+        // Persist the rename itself (best effort, same rationale).
+        if let Some(dir) = self.final_path.parent() {
+            if let Ok(d) = FsFile::open(dir) {
+                d.sync_all().ok();
+            }
+        }
+        self.finished = true;
         Ok(())
+    }
+}
+
+impl Drop for Writer {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Close the handle before unlinking, then abort the write.
+            drop(self.file.take());
+            std::fs::remove_file(&self.tmp_path).ok();
+        }
     }
 }
 
@@ -276,5 +359,57 @@ mod tests {
         assert_eq!(w.data_bytes_written(), 0);
         w.write_dataset_f64("/a", &[8], &[0.0; 8]).unwrap();
         assert_eq!(w.data_bytes_written(), 64);
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_no_file_behind() {
+        let p = tmp("aborted.dasf");
+        let staging = tmp_path_for(&p);
+        {
+            let mut w = Writer::create(&p).unwrap();
+            w.write_dataset_f32("/d", &[2], &[1.0, 2.0]).unwrap();
+            assert!(staging.exists(), "writer streams into the temp file");
+            assert!(!p.exists(), "final path untouched before finish");
+            // no finish()
+        }
+        assert!(!staging.exists(), "drop removes the temp file");
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn finish_replaces_previous_content_atomically() {
+        let p = tmp("replace.dasf");
+        let mut w = Writer::create(&p).unwrap();
+        w.write_dataset_f32("/d", &[1], &[1.0]).unwrap();
+        w.finish().unwrap();
+
+        // While a second writer is mid-flight, the old file is intact.
+        let mut w2 = Writer::create(&p).unwrap();
+        w2.write_dataset_f32("/d", &[1], &[2.0]).unwrap();
+        assert_eq!(File::open(&p).unwrap().read_f32("/d").unwrap(), vec![1.0]);
+        w2.finish().unwrap();
+        assert_eq!(File::open(&p).unwrap().read_f32("/d").unwrap(), vec![2.0]);
+        assert!(!tmp_path_for(&p).exists());
+    }
+
+    #[test]
+    fn contiguous_checksums_cover_every_unit() {
+        let p = tmp("sums.dasf");
+        let mut w = Writer::create(&p).unwrap();
+        // 3 × 64 KiB units: 40k f32 = 160_000 bytes → units of 65536,
+        // 65536, 28928 bytes.
+        let data: Vec<f32> = (0..40_000).map(|i| i as f32).collect();
+        w.write_dataset_f32("/big", &[40_000], &data).unwrap();
+        w.write_dataset_chunked("/ch", &[4, 4], &[2, 3], &data[..16])
+            .unwrap();
+        w.finish().unwrap();
+        let f = File::open(&p).unwrap();
+        let big = f.dataset("/big").unwrap();
+        assert_eq!(big.checksums.len(), 3);
+        assert_eq!(big.checksums.len(), big.verify_unit_count());
+        let ch = f.dataset("/ch").unwrap();
+        // Grid 2×2 → 4 chunks, one checksum each.
+        assert_eq!(ch.checksums.len(), 4);
+        assert_eq!(ch.checksums.len(), ch.verify_unit_count());
     }
 }

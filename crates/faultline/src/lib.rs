@@ -53,9 +53,11 @@ pub mod site {
     /// A dataset read observes a short (truncated) payload. Key: hash of
     /// file name.
     pub const DASF_READ_SHORT: &str = "dasf.read.short";
-    /// A dataset read detects page corruption (as a checksum mismatch
-    /// would): surfaces as `DasfError::Corrupt`, never as wrong bytes.
-    /// Key: hash of file name.
+    /// Bit-rot: one deterministic byte of the file's payload region is
+    /// flipped in every read buffer that covers it — the fault layer
+    /// does *not* report it. On DASF v3 files the checksum layer turns
+    /// the flip into `DasfError::ChecksumMismatch`; on v2 files it
+    /// passes silently (the gap v3 closes). Key: hash of file name.
     pub const DASF_READ_CORRUPT: &str = "dasf.read.corrupt";
     /// A dataset read stalls briefly (bounded injected latency; data is
     /// still correct). Key: hash of file name.

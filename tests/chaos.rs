@@ -39,18 +39,25 @@ fn seed_matrix() -> Vec<u64> {
     (0..n).map(|i| 0xDA55A + i * 7919).collect()
 }
 
-/// A plan exercising every layer: permanent I/O errors (file-name
-/// keyed), read latency, transient per-file failures, and comm-level
-/// message drops and delays.
+/// A plan exercising every layer: permanent I/O errors and real
+/// bit-rot (both file-name keyed), read latency, transient per-file
+/// failures, and comm-level message drops and delays.
 fn chaos_plan(seed: u64) -> Arc<FaultPlan> {
     Arc::new(
         FaultPlan::new(seed)
             .with(site::DASF_READ_ERR, 0.25)
+            .with(site::DASF_READ_CORRUPT, 0.25)
             .with(site::DASF_READ_LATENCY, 0.3)
             .with(site::PAR_READ_FILE, 0.4)
             .with(site::MINIMPI_RECV_DROP, 0.2)
             .with(site::MINIMPI_RECV_DELAY, 0.2),
     )
+}
+
+/// Does a file-name-keyed site fire for member `fi` of `vca`?
+fn fires_for_member(vca: &Vca, plan: &FaultPlan, s: &str, fi: usize) -> bool {
+    let name = vca.entries()[fi].path.file_name().expect("member name");
+    plan.fires(s, faultline::key_of(name.as_encoded_bytes()))
 }
 
 fn dataset(tag: &str) -> PathBuf {
@@ -84,21 +91,43 @@ fn chaos_read(
 }
 
 /// The quarantine set `plan` implies for `vca`, computed straight from
-/// the plan (file-name keyed permanent errors), independent of the
-/// reader under test.
+/// the plan (file-name keyed permanent errors and bit-rot), independent
+/// of the reader under test.
 fn expected_quarantine(vca: &Vca, plan: &FaultPlan) -> Vec<usize> {
-    vca.entries()
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| {
-            let name = e.path.file_name().expect("member name");
-            plan.fires(
-                site::DASF_READ_ERR,
-                faultline::key_of(name.as_encoded_bytes()),
-            )
+    (0..vca.n_files())
+        .filter(|&fi| {
+            fires_for_member(vca, plan, site::DASF_READ_ERR, fi)
+                || fires_for_member(vca, plan, site::DASF_READ_CORRUPT, fi)
         })
-        .map(|(fi, _)| fi)
         .collect()
+}
+
+/// The per-file transient failure count `plan` implies (capped below
+/// the retry budget, keyed by file index).
+fn expected_transient(plan: &FaultPlan, fi: usize) -> u64 {
+    if plan.fires(site::PAR_READ_FILE, fi as u64) {
+        1 + plan.value_below(site::PAR_READ_FILE, fi as u64, MAX_READ_ATTEMPTS as u64 - 1)
+    } else {
+        0
+    }
+}
+
+/// The world-total checksum mismatches `plan` implies: a rotten file
+/// reports one mismatch per attempt that reaches the actual read —
+/// unless `dasf.read.err` also fires, which fails the read before any
+/// bytes (and hence any checksums) are touched.
+fn expected_mismatches(vca: &Vca, plan: &FaultPlan) -> u64 {
+    (0..vca.n_files())
+        .map(|fi| {
+            if fires_for_member(vca, plan, site::DASF_READ_CORRUPT, fi)
+                && !fires_for_member(vca, plan, site::DASF_READ_ERR, fi)
+            {
+                MAX_READ_ATTEMPTS as u64 - expected_transient(plan, fi)
+            } else {
+                0
+            }
+        })
+        .sum()
 }
 
 /// The world-total read retries `plan` implies: permanently bad files
@@ -110,11 +139,7 @@ fn expected_io_retries(vca: &Vca, plan: &FaultPlan, quarantined: &[usize]) -> u6
             if quarantined.contains(&fi) {
                 return (MAX_READ_ATTEMPTS - 1) as u64;
             }
-            if plan.fires(site::PAR_READ_FILE, fi as u64) {
-                1 + plan.value_below(site::PAR_READ_FILE, fi as u64, MAX_READ_ATTEMPTS as u64 - 1)
-            } else {
-                0
-            }
+            expected_transient(plan, fi)
         })
         .sum()
 }
@@ -205,6 +230,11 @@ fn quarantine_and_retries_match_the_plan_exactly() {
         let report = &results[0].1;
         assert_eq!(report.quarantined, expected_q, "seed {seed}");
         assert_eq!(report.io_retries, expected_r, "seed {seed}");
+        assert_eq!(
+            report.checksum_mismatches,
+            expected_mismatches(&vca, &plan),
+            "seed {seed}: mismatch count must be derivable from the plan"
+        );
 
         // Every retry/quarantine event increments exactly one metric:
         // the world-registry counters equal the report, with no leakage
@@ -309,6 +339,46 @@ fn dead_rank_fails_the_read_with_an_error_not_a_hang() {
         })) => {}
         other => panic!("survivor must time out after bounded retries, got {other:?}"),
     }
+}
+
+#[test]
+fn bitrot_is_attributed_to_exact_files_identically_on_both_strategies() {
+    // Satellite: `dasf.read.corrupt` now flips real bytes, and the
+    // quarantine report must attribute the resulting checksum
+    // mismatches to the exact member files — the same way under both
+    // §IV-B strategies, with counts derived purely from the plan.
+    let dir = dataset("bitrot-attribution");
+    let vca = load_vca(&dir);
+    let mut rotten_seen = 0usize;
+    for seed in seed_matrix() {
+        let plan = chaos_plan(seed);
+        let rotten: Vec<usize> = (0..vca.n_files())
+            .filter(|&fi| fires_for_member(&vca, &plan, site::DASF_READ_CORRUPT, fi))
+            .collect();
+        rotten_seen += rotten.len();
+        let expected_q = expected_quarantine(&vca, &plan);
+        let expected_m = expected_mismatches(&vca, &plan);
+        let (coll, coll_rep) = chaos_read(&vca, &plan, ReadStrategy::CollectivePerFile);
+        let (ca, ca_rep) = chaos_read(&vca, &plan, ReadStrategy::CommAvoiding);
+        // Every rotten file is quarantined (it is in the expected set).
+        for fi in &rotten {
+            assert!(
+                coll_rep.quarantined.contains(fi),
+                "seed {seed}: rotten file {fi} must be quarantined"
+            );
+        }
+        assert_eq!(coll_rep.quarantined, expected_q, "seed {seed}");
+        assert_eq!(coll_rep.checksum_mismatches, expected_m, "seed {seed}");
+        assert_eq!(
+            coll_rep, ca_rep,
+            "seed {seed}: both strategies must attribute identically"
+        );
+        assert_eq!(coll, ca, "seed {seed}: both strategies, same bytes");
+    }
+    assert!(
+        rotten_seen > 0,
+        "the seed matrix must exercise at least one rotten file"
+    );
 }
 
 /// With `DASSA_CHAOS_DIGEST=<path>` set, write one line per

@@ -60,9 +60,12 @@ fn read_detects_payload_corruption_in_offsets() {
     f.seek(SeekFrom::Start(8)).expect("seek");
     f.write_all(&u64::MAX.to_le_bytes()).expect("poison offset");
     drop(f);
+    // v3 catches this either as a structurally impossible offset
+    // (Truncated) or as a superblock/commit-record checksum mismatch,
+    // depending on which check trips first — both are hard errors.
     assert!(matches!(
         dasf::File::open(&victim),
-        Err(dasf::DasfError::Truncated)
+        Err(dasf::DasfError::Truncated | dasf::DasfError::ChecksumMismatch { .. })
     ));
 }
 
