@@ -73,6 +73,59 @@ if [[ $quick -eq 0 ]]; then
         cat "$fsck_json" >&2
         exit 1
     }
+
+    # Timeline + cluster metrics: run the pipeline under a 4-rank comm
+    # world with tracing on. das_trace must parse both artifacts (it
+    # exits nonzero otherwise), and the documents must carry the fields
+    # Perfetto and the cluster parser rely on.
+    echo "==> trace: das_pipeline --ranks 4 --trace/--metrics round-trip"
+    trace_dir="$(mktemp -d)"
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir"' EXIT
+    target/release/das_gen -d "$trace_dir" -c 8 -r 20 -m 6 >/dev/null
+    target/release/das_pipeline -d "$trace_dir" -a localsim --ranks 4 \
+        --trace="$trace_dir/trace.json" --metrics="$trace_dir/m.json" \
+        >/dev/null 2>&1
+    target/release/das_trace "$trace_dir/trace.json" \
+        --metrics "$trace_dir/m.json" >/dev/null
+    for want in '"ph":' '"ts":' '"pid":' '"tid":' '"name":' '"dropped":0'; do
+        grep -qF "$want" "$trace_dir/trace.json" || {
+            echo "trace: missing $want in trace.json" >&2
+            exit 1
+        }
+    done
+    for want in '"counters":' '"histograms":' \
+        '"cluster":{"ranks":{"0":' '"3":{"counters":'; do
+        grep -qF "$want" "$trace_dir/m.json" || {
+            echo "trace: missing $want in metrics json" >&2
+            exit 1
+        }
+    done
+
+    # Perf trajectory: the quick experiment binaries emit per-run JSON
+    # (wall time + obs counters); consolidate them into one document a
+    # dashboard can diff across commits.
+    echo "==> bench: perf trajectory (results/BENCH_pipeline.json)"
+    bench_dir="$(mktemp -d)"
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir"' EXIT
+    for exp in exp_fig6 exp_fig9 exp_table1 exp_tuner; do
+        DASSA_RESULTS="$bench_dir" "target/release/$exp" --json >/dev/null
+    done
+    mkdir -p results
+    {
+        printf '{"generated_unix_ns":%s,"experiments":[' "$(date +%s%N)"
+        first=1
+        for f in "$bench_dir"/*.json; do
+            [[ $first -eq 1 ]] || printf ','
+            first=0
+            cat "$f"
+        done
+        printf ']}'
+    } >results/BENCH_pipeline.json
+    grep -qF '"wall_ms":' results/BENCH_pipeline.json || {
+        echo "bench: BENCH_pipeline.json has no wall_ms entries" >&2
+        exit 1
+    }
+    echo "    $(wc -c <results/BENCH_pipeline.json) bytes, $(grep -oF '"experiment":' results/BENCH_pipeline.json | wc -l) experiments"
 fi
 
 echo "==> CI green"

@@ -135,8 +135,13 @@ where
     // p[h] = number of results thread h produced (then prefix-scanned).
     let prefix = Mutex::new(vec![0usize; threads.max(1) + 1]);
 
+    // omp workers are fresh threads: forward the caller's rank tag so
+    // their trace events land on the right process row of the timeline.
+    let rank = obs::trace::current_rank();
     omp::parallel(threads, |ctx| {
+        obs::trace::set_rank(rank);
         // -- #pragma omp for schedule(static): private result vector Rp.
+        let compute_trace = obs::trace::scope("arrayudf.compute");
         let compute_started = std::time::Instant::now();
         let mut rp: Vec<R> = Vec::new();
         ctx.for_static(0..total, |i| {
@@ -145,6 +150,7 @@ where
             rp.push(f(&s));
         });
         m.apply_thread_ns.record_duration(compute_started.elapsed());
+        drop(compute_trace);
         // -- p[h] = Rp.size()
         prefix.lock().expect("prefix lock")[ctx.thread_num() + 1] = rp.len();
         // -- #pragma omp barrier
@@ -157,6 +163,7 @@ where
             }
         });
         // -- R[p[h-1] : p[h]] = Rp (disjoint by construction).
+        let _merge_trace = obs::trace::scope("arrayudf.merge");
         let merge_started = std::time::Instant::now();
         let offset = prefix.lock().expect("prefix lock")[ctx.thread_num()];
         // SAFETY: prefix offsets partition 0..total disjointly across

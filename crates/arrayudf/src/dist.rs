@@ -54,6 +54,7 @@ pub fn exchange_halo<T: Copy + Default + Send + 'static>(
     }
     let m = crate::metrics::metrics();
     m.halo_exchanges.inc();
+    let _trace = obs::trace::scope_in(comm.registry(), "arrayudf.halo");
     let halo_started = std::time::Instant::now();
     // Single-hop exchange: each rank's halo comes from its immediate
     // neighbours only, so the declared reach must fit inside the
@@ -171,7 +172,12 @@ where
 
     let m = crate::metrics::metrics();
     m.apply_calls.inc();
+    // Forward this rank's tag into the fresh omp worker threads so their
+    // compute/merge spans are attributed to the right rank row.
+    let rank_tag = obs::trace::current_rank();
     omp::parallel(threads, |ctx| {
+        obs::trace::set_rank(rank_tag);
+        let compute_trace = obs::trace::scope("arrayudf.compute");
         let compute_started = std::time::Instant::now();
         let mut rp: Vec<R> = Vec::new();
         ctx.for_static(0..total_cells, |i| {
@@ -181,6 +187,7 @@ where
             rp.push(f(&s));
         });
         m.apply_thread_ns.record_duration(compute_started.elapsed());
+        drop(compute_trace);
         prefix.lock().expect("prefix lock")[ctx.thread_num() + 1] = rp.len();
         ctx.barrier();
         ctx.single(|| {
@@ -189,6 +196,7 @@ where
                 p[h] += p[h - 1];
             }
         });
+        let _merge_trace = obs::trace::scope("arrayudf.merge");
         let merge_started = std::time::Instant::now();
         let off = prefix.lock().expect("prefix lock")[ctx.thread_num()];
         // SAFETY: prefix offsets partition the output disjointly.

@@ -13,6 +13,7 @@ use dassa::dasa::{local_similarity, Haee, LocalSimiParams};
 use dassa::dass::{FileCatalog, Vca};
 
 fn main() {
+    let json_run = report::JsonRun::start("fig10");
     let (channels, hz, minutes) = (64, 50.0, 6);
     let dir = datasets::minute_dataset("fig10", channels, hz, minutes);
     let scene = datasets::minute_scene(channels, hz, minutes);
@@ -120,4 +121,5 @@ fn main() {
         precision > 0.5,
         "detections mostly real (precision {precision:.2})"
     );
+    json_run.finish(&[&t]);
 }

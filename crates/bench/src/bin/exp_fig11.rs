@@ -18,6 +18,7 @@ use perfmodel::experiments::{model_fig11_strong, model_fig11_weak, Workload};
 use perfmodel::Machine;
 
 fn main() {
+    let json_run = report::JsonRun::start("fig11");
     // ---------------- measured, local scale ---------------------------
     let (channels, hz, minutes) = (24, 40.0, 4);
     let dir = datasets::minute_dataset("fig11", channels, hz, minutes);
@@ -153,4 +154,5 @@ fn main() {
     println!("\npaper shape: compute efficiency ~100% throughout; I/O efficiency decays");
     println!("as node counts grow (fixed number of Lustre OSTs absorbs more requests);");
     println!("the burst buffer column shows the paper's proposed remedy working.");
+    json_run.finish(&[&t, &ts, &tw, &tb]);
 }

@@ -13,6 +13,7 @@ use dassa::dass::{FileCatalog, Vca};
 use dsp::{envelope, spectrogram};
 
 fn main() {
+    let json_run = report::JsonRun::start("fig1b");
     let (channels, hz, minutes) = (64, 50.0, 6);
     let dir = datasets::minute_dataset("fig1b", channels, hz, minutes);
     let scene = datasets::minute_scene(channels, hz, minutes);
@@ -113,4 +114,5 @@ fn main() {
     println!("\ncsv: {}", csv.display());
     println!("paper: vehicles and the M4.4 earthquake are visible in the raw record —");
     println!("here the same structures appear and the quake onset is picked within seconds.");
+    json_run.finish(&[&t]);
 }

@@ -10,6 +10,7 @@ use bench::{datasets, report, time};
 use dassa::dass::{create_rca, FileCatalog, Vca};
 
 fn main() {
+    let json_run = report::JsonRun::start("fig6");
     let (channels, hz) = (16, 50.0);
     let max_minutes = 64usize;
     let dir = datasets::minute_dataset("fig6", channels, hz, max_minutes);
@@ -68,4 +69,5 @@ fn main() {
     println!("csv: {}", csv.display());
 
     assert!(mean_ratio > 10.0, "VCA must beat RCA by a wide margin");
+    json_run.finish(&[&t]);
 }

@@ -16,6 +16,7 @@ use dassa::dass::{
 use perfmodel::{experiments::model_fig7, Machine};
 
 fn main() {
+    let json_run = report::JsonRun::start("fig7");
     // ---------------- measured, local scale ---------------------------
     let (channels, hz, minutes) = (24, 40.0, 12);
     let dir = datasets::minute_dataset("fig7", channels, hz, minutes);
@@ -118,4 +119,5 @@ fn main() {
     let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
     println!("\nmean modeled speedup: {mean:.0}x   [paper: ~37x on average]");
     println!("ordering check: collective-per-file > RCA > communication-avoiding (as in Fig. 7)");
+    json_run.finish(&[&t, &tm]);
 }

@@ -18,6 +18,7 @@ use perfmodel::experiments::{model_fig8, Layout, Workload};
 use perfmodel::Machine;
 
 fn main() {
+    let json_run = report::JsonRun::start("fig8");
     // ---------------- measured, local scale ---------------------------
     let (channels, hz, minutes) = (24, 40.0, 8);
     let dir = datasets::minute_dataset("fig8", channels, hz, minutes);
@@ -181,4 +182,5 @@ fn main() {
     tm.write_csv("fig8_modeled").expect("csv");
     println!("\npaper shape: pure MPI OOMs at 91 nodes; at 728 nodes its read time");
     println!("balloons (11648 concurrent I/O requests); HAEE issues 16x fewer calls.");
+    json_run.finish(&[&t, &tm]);
 }

@@ -32,6 +32,7 @@ end
 ";
 
 fn main() {
+    let json_run = report::JsonRun::start("fig9");
     // One "file" scaled down from the paper's 700 MB minute.
     let (channels, hz, minutes) = (48, 100.0, 1);
     let dir = datasets::minute_dataset("fig9", channels, hz, minutes);
@@ -169,4 +170,5 @@ fn main() {
         speedups.iter().any(|&s| (8.0..30.0).contains(&s)),
         "modeled speedup should bracket the paper's 16x"
     );
+    json_run.finish(&[&t, &tm]);
 }

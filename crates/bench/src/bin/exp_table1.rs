@@ -20,6 +20,7 @@ fn dir_size(dir: &std::path::Path) -> u64 {
 }
 
 fn main() {
+    let json_run = report::JsonRun::start("table1");
     let (channels, hz, minutes) = (32, 50.0, 16);
     let dir = datasets::minute_dataset("table1", channels, hz, minutes);
     let catalog = FileCatalog::scan(&dir).expect("scan dataset");
@@ -95,4 +96,5 @@ fn main() {
     );
     assert!(vca_extra * 100 < data_bytes, "VCA descriptor must be tiny");
     assert!(rca_secs > vca_secs, "RCA construction must cost more");
+    json_run.finish(&[&t]);
 }

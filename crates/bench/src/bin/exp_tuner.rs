@@ -19,6 +19,7 @@ fn layout_name(l: &Layout) -> &'static str {
 }
 
 fn main() {
+    let json_run = report::JsonRun::start("tuner");
     let cal = calibrate::calibrate();
     let m = Machine::cori_haswell();
     let w = Workload::paper();
@@ -71,4 +72,5 @@ fn main() {
     println!("\nnotes: the tuner never selects the 91-node pure-MPI configuration the");
     println!("paper reports as out-of-memory, always prefers the hybrid layout, and");
     println!("under an efficiency constraint lands near the paper's 364-node sweet spot.");
+    json_run.finish(&[&sweep, &rec]);
 }

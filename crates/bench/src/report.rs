@@ -1,7 +1,10 @@
-//! Tabular stdout reporting and CSV output for experiment binaries.
+//! Tabular stdout reporting, CSV output, and (with `--json`) the
+//! machine-readable result files the perf-trajectory harness in `ci.sh`
+//! consolidates into `BENCH_pipeline.json`.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// A simple column-aligned table, printed like the paper's result rows.
 pub struct Table {
@@ -70,6 +73,91 @@ impl Table {
         }
         std::fs::write(&path, out)?;
         Ok(path)
+    }
+}
+
+/// Wall-clock + obs-counter capture for one experiment run, emitted as
+/// JSON when the binary was invoked with `--json`.
+///
+/// Start one at the top of an experiment's `main`, finish it with the
+/// result tables at the end:
+///
+/// ```no_run
+/// let run = bench::report::JsonRun::start("fig6");
+/// let t = bench::report::Table::new("demo", &["a"]);
+/// // ... experiment ...
+/// run.finish(&[&t]);
+/// ```
+///
+/// The file lands at `<results_dir>/<name>.json` as
+/// `{"experiment":...,"wall_ms":N,"counters":{...},"tables":[...]}`,
+/// written through the workspace-shared [`obs::json::JsonWriter`].
+/// `wall_ms` covers start-to-finish; `counters` is the full integer
+/// counter set of the global obs registry (`dasf.*` I/O, `minimpi.*`
+/// traffic, `arrayudf.*` kernel work), so a perf trajectory can track
+/// work done, not just time taken.
+pub struct JsonRun {
+    name: &'static str,
+    started: Instant,
+    enabled: bool,
+}
+
+impl JsonRun {
+    /// Begin timing; emission is armed only if `--json` is among the
+    /// process arguments.
+    pub fn start(name: &'static str) -> JsonRun {
+        JsonRun {
+            name,
+            started: Instant::now(),
+            enabled: std::env::args().any(|a| a == "--json"),
+        }
+    }
+
+    /// Write the JSON result file (no-op without `--json`); returns the
+    /// path when one was written.
+    pub fn finish(self, tables: &[&Table]) -> Option<PathBuf> {
+        if !self.enabled {
+            return None;
+        }
+        let wall_ms = self.started.elapsed().as_millis() as u64;
+        let snap = obs::global().snapshot();
+        let mut w = obs::json::JsonWriter::with_capacity(1024);
+        w.begin_object();
+        w.key("experiment").string(self.name);
+        w.key("wall_ms").uint(wall_ms);
+        w.key("counters").begin_object();
+        for (name, value) in &snap.counters {
+            w.key(name).uint(*value);
+        }
+        w.end_object();
+        w.key("tables").begin_array();
+        for t in tables {
+            w.begin_object();
+            w.key("title").string(&t.title);
+            w.key("headers").begin_array();
+            for h in &t.headers {
+                w.string(h);
+            }
+            w.end_array();
+            w.key("rows").begin_array();
+            for row in &t.rows {
+                w.begin_array();
+                for cell in row {
+                    w.string(cell);
+                }
+                w.end_array();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, w.finish()).expect("write json result");
+        println!("json: {}", path.display());
+        Some(path)
     }
 }
 

@@ -4,6 +4,7 @@
 //! das_pipeline -d <dir> -a localsim        [-t <threads>] [-o out.dasf] [--metrics[=out.json]]
 //! das_pipeline -d <dir> -a interferometry  [-t <threads>] [--master <ch>] [-o out.dasf]
 //! das_pipeline -d <dir> -a stack           [-t <threads>] [--window <n>] [-o out.dasf]
+//! das_pipeline -d <dir> -a <any> --ranks 4 --trace=trace.json --metrics=m.json
 //! ```
 //!
 //! Scans `dir`, merges every file into a VCA, runs the chosen analysis
@@ -16,6 +17,19 @@
 //! instead. Stage timings appear as `span.pipeline.{scan,read,analyze,
 //! write}`, with the analysis's own spans nested underneath (e.g.
 //! `span.pipeline.analyze.interferometry.apply`).
+//!
+//! With `--ranks <n>` (n > 1) the read stage runs under an in-process
+//! `minimpi` world of n ranks, and the metrics output gains a
+//! per-rank `cluster` section (min/mean/max/imbalance per metric in
+//! text mode, exact per-rank values in JSON).
+//!
+//! With `--trace` the run records begin/end events from every
+//! instrumented span into per-thread ring buffers; bare `--trace`
+//! prints a summary (top spans, per-thread utilisation, critical-path
+//! estimate) to stderr, `--trace=<out.json>` writes the full timeline
+//! as Chrome trace-event JSON — load it in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`, or inspect it
+//! with `das_trace`.
 //!
 //! With `--fault-plan <spec>` (e.g. `seed=42,dasf.read.err=0.05`) a
 //! deterministic `faultline` plan is installed for the whole run and the
@@ -35,9 +49,12 @@ struct Args {
     threads: usize,
     master: usize,
     window: usize,
+    ranks: usize,
     out: Option<String>,
     /// `None` = off, `Some(None)` = text to stderr, `Some(Some(p))` = JSON to `p`.
     metrics: Option<Option<String>>,
+    /// `None` = off, `Some(None)` = summary to stderr, `Some(Some(p))` = Chrome JSON to `p`.
+    trace: Option<Option<String>>,
     fault_plan: Option<faultline::FaultPlan>,
 }
 
@@ -46,7 +63,8 @@ fn usage() -> ! {
         "usage: das_pipeline -d <dir> -a <localsim|interferometry|stack>\n\
          \u{20}                     [-t <threads>] [--master <channel>=0]\n\
          \u{20}                     [--window <samples>=512] [-o <out.dasf>]\n\
-         \u{20}                     [--metrics[=<out.json>]]\n\
+         \u{20}                     [--ranks <n>=1] [--metrics[=<out.json>]]\n\
+         \u{20}                     [--trace[=<out.json>]]\n\
          \u{20}                     [--fault-plan <seed=N,site=rate,...>]"
     );
     std::process::exit(2);
@@ -66,8 +84,10 @@ fn parse_args() -> Args {
         threads: omp::num_procs(),
         master: 0,
         window: 512,
+        ranks: 1,
         out: None,
         metrics: None,
+        trace: None,
         fault_plan: None,
     };
     let parse_plan = |spec: &str| -> faultline::FaultPlan {
@@ -91,8 +111,10 @@ fn parse_args() -> Args {
             "-t" | "--threads" => args.threads = parse("-t", value("-t")),
             "--master" => args.master = parse("--master", value("--master")),
             "--window" => args.window = parse("--window", value("--window")),
+            "--ranks" => args.ranks = parse("--ranks", value("--ranks")),
             "-o" | "--out" => args.out = Some(value("-o")),
             "--metrics" => args.metrics = Some(None),
+            "--trace" => args.trace = Some(None),
             "--fault-plan" => args.fault_plan = Some(parse_plan(&value("--fault-plan"))),
             "-h" | "--help" => usage(),
             other => {
@@ -101,6 +123,11 @@ fn parse_args() -> Args {
                         invalid("--metrics= wants a file path (or use bare --metrics)");
                     }
                     args.metrics = Some(Some(path.to_string()));
+                } else if let Some(path) = other.strip_prefix("--trace=") {
+                    if path.is_empty() {
+                        invalid("--trace= wants a file path (or use bare --trace)");
+                    }
+                    args.trace = Some(Some(path.to_string()));
                 } else if let Some(spec) = other.strip_prefix("--fault-plan=") {
                     args.fault_plan = Some(parse_plan(spec));
                 } else {
@@ -118,6 +145,9 @@ fn parse_args() -> Args {
     }
     if args.window == 0 {
         invalid("--window 0: stacking windows must hold at least one sample");
+    }
+    if args.ranks == 0 {
+        invalid("--ranks 0: the comm world needs at least one rank");
     }
     args
 }
@@ -176,7 +206,7 @@ fn summarize(output: &AnalysisOutput) {
     }
 }
 
-fn run(args: &Args) -> dassa::Result<()> {
+fn run(args: &Args) -> dassa::Result<Option<obs::ClusterSnapshot>> {
     let analysis = select_analysis(args);
     let _root = obs::span("pipeline");
 
@@ -196,11 +226,16 @@ fn run(args: &Args) -> dassa::Result<()> {
     );
 
     let t1 = std::time::Instant::now();
-    let data = {
+    let (data, cluster) = {
         let _s = obs::span("read");
-        match &args.fault_plan {
-            None => vca.read_all_f64()?,
-            Some(plan) => read_resilient_f64(&vca, plan)?,
+        if args.ranks > 1 {
+            read_distributed_f64(&vca, args.ranks, args.fault_plan.as_ref())?
+        } else {
+            let data = match &args.fault_plan {
+                None => vca.read_all_f64()?,
+                Some(plan) => read_resilient_f64(&vca, plan)?,
+            };
+            (data, None)
         }
     };
     eprintln!("read {:.1} ms", t1.elapsed().as_secs_f64() * 1e3);
@@ -226,7 +261,59 @@ fn run(args: &Args) -> dassa::Result<()> {
         w.finish()?;
         eprintln!("wrote {out}");
     }
-    Ok(())
+    Ok(cluster)
+}
+
+/// Read the VCA under an in-process comm world of `ranks` ranks: every
+/// rank reads its channel block with the auto-selected parallel
+/// strategy (resilient when a fault plan is active), rank 0 gathers the
+/// blocks back into the full array and the per-rank observability
+/// registries into a [`obs::ClusterSnapshot`] for `--metrics`.
+fn read_distributed_f64(
+    vca: &Vca,
+    ranks: usize,
+    plan: Option<&faultline::FaultPlan>,
+) -> dassa::Result<(arrayudf::Array2<f64>, Option<obs::ClusterSnapshot>)> {
+    let comm_err = |e: minimpi::CommError| dassa::DassaError::Io(std::io::Error::other(e));
+    let body = |comm: &minimpi::Comm| -> dassa::Result<_> {
+        let block = match plan {
+            None => dassa::dass::read_vca(comm, vca, ReadStrategy::Auto)?,
+            Some(_) => {
+                let (block, report) =
+                    dassa::dass::read_vca_resilient(comm, vca, ReadStrategy::Auto)?;
+                if comm.rank() == 0 && !report.is_clean() {
+                    eprintln!(
+                        "fault plan active: quarantined {}/{} files {:?}, {} read retries, {} samples zero-filled",
+                        report.quarantined.len(),
+                        vca.n_files(),
+                        report.quarantined,
+                        report.io_retries,
+                        report.zero_samples
+                    );
+                }
+                block
+            }
+        };
+        let cluster = comm.try_cluster_snapshot().map_err(comm_err)?;
+        Ok((arrayudf::dist::gather_rows(comm, block), cluster))
+    };
+    let mut results = match plan {
+        None => minimpi::run(ranks, body),
+        Some(p) => {
+            let plan = std::sync::Arc::new(p.clone());
+            minimpi::run_chaos(ranks, plan, minimpi::RetryPolicy::default(), body).0
+        }
+    };
+    let (full, cluster) = results.remove(0)?;
+    for r in results {
+        r?;
+    }
+    let block = full.expect("rank 0 gathers the full array");
+    let data: Vec<f64> = block.as_slice().iter().map(|&v| v as f64).collect();
+    Ok((
+        arrayudf::Array2::from_vec(block.rows(), block.cols(), data),
+        cluster,
+    ))
 }
 
 /// Read the VCA under a fault plan: a single-rank chaos world drives the
@@ -260,13 +347,45 @@ fn read_resilient_f64(
 
 /// Emit the observability snapshot per `--metrics` (after every span
 /// guard has dropped, so the full `span.pipeline.*` tree is recorded).
-fn emit_metrics(dest: &Option<String>) -> std::io::Result<()> {
+/// With a cluster snapshot from a `--ranks` world the JSON gains a
+/// `cluster` key and the text report appends the per-rank breakdown.
+fn emit_metrics(
+    dest: &Option<String>,
+    cluster: Option<&obs::ClusterSnapshot>,
+) -> std::io::Result<()> {
     let snap = obs::global().snapshot();
     match dest {
-        None => eprint!("{}", snap.render_text()),
+        None => {
+            eprint!("{}", snap.render_text());
+            if let Some(c) = cluster {
+                eprint!("{}", c.render_text());
+            }
+        }
         Some(path) => {
-            std::fs::write(path, snap.to_json())?;
+            let json = match cluster {
+                Some(c) => snap.to_json_with_cluster(c),
+                None => snap.to_json(),
+            };
+            std::fs::write(path, json)?;
             eprintln!("metrics written to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Emit the recorded timeline per `--trace`: a text summary to stderr,
+/// or Chrome trace-event JSON to a file.
+fn emit_trace(dest: &Option<String>, tracer: &obs::Tracer) -> std::io::Result<()> {
+    let trace = tracer.collect();
+    match dest {
+        None => eprint!("{}", trace.summary().render_text()),
+        Some(path) => {
+            std::fs::write(path, trace.to_chrome_json())?;
+            eprintln!(
+                "trace written to {path} ({} events, {} dropped)",
+                trace.events.len(),
+                trace.dropped
+            );
         }
     }
     Ok(())
@@ -278,16 +397,34 @@ fn main() -> ExitCode {
         // Process-wide, so dasf faults also strike scan and write stages.
         faultline::install_global(std::sync::Arc::new(plan.clone()));
     }
+    // Install the tracer before any span opens so the whole run lands
+    // on the timeline.
+    let tracer = args
+        .trace
+        .as_ref()
+        .map(|_| obs::trace::enable_global(obs::trace::DEFAULT_CAPACITY));
     let result = run(&args);
-    if let Some(dest) = &args.metrics {
-        if let Err(e) = emit_metrics(dest) {
-            eprintln!("das_pipeline: writing metrics failed: {e}");
+    if let Some(dest) = &args.trace {
+        let tracer = tracer.expect("tracer installed when --trace given");
+        if let Err(e) = emit_trace(dest, &tracer) {
+            eprintln!("das_pipeline: writing trace failed: {e}");
             return ExitCode::FAILURE;
         }
     }
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
+    match &result {
+        Ok(cluster) => {
+            if let Some(dest) = &args.metrics {
+                if let Err(e) = emit_metrics(dest, cluster.as_ref()) {
+                    eprintln!("das_pipeline: writing metrics failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
+            if let Some(dest) = &args.metrics {
+                let _ = emit_metrics(dest, None);
+            }
             eprintln!("das_pipeline: {e}");
             ExitCode::FAILURE
         }

@@ -1,0 +1,91 @@
+//! `das_trace` — summarize a Chrome trace-event JSON timeline.
+//!
+//! ```text
+//! das_trace <trace.json> [--metrics <m.json>]
+//! ```
+//!
+//! Reads a trace produced by `das_pipeline --trace=<file>` (or any
+//! Chrome trace-event document with the same integer-only shape) and
+//! prints the same report as bare `--trace`: top spans by total time,
+//! per-thread utilisation, and a critical-path estimate. With
+//! `--metrics` it also parses a `das_pipeline --metrics=<file>`
+//! document and, when that run held a `--ranks` comm world, renders the
+//! per-rank cluster breakdown. Exit status is nonzero when either file
+//! fails to parse, so CI can use this binary as the validator for both
+//! artifacts. For the full interactive timeline load the trace in
+//! Perfetto (<https://ui.perfetto.dev>) instead.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: das_trace <trace.json> [--metrics <m.json>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return usage(),
+            "--metrics" => match it.next() {
+                Some(p) => metrics_path = Some(p),
+                None => return usage(),
+            },
+            _ if trace_path.is_none() => trace_path = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("das_trace: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match obs::Trace::from_chrome_json(&text) {
+        Ok(trace) => print!("{}", trace.summary().render_text()),
+        Err(e) => {
+            eprintln!("das_trace: {trace_path}: not a readable trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = metrics_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("das_trace: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snap = match obs::Snapshot::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("das_trace: {path}: not a readable metrics snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "metrics: {} counter(s), {} histogram(s)",
+            snap.counters.len(),
+            snap.histograms.len()
+        );
+        // A `--ranks` run embeds the per-rank cluster view; render it.
+        if text.contains("\"cluster\"") {
+            match obs::ClusterSnapshot::from_json(&text) {
+                Ok(cluster) => print!("{}", cluster.render_text()),
+                Err(e) => {
+                    eprintln!("das_trace: {path}: bad cluster section: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

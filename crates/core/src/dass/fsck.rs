@@ -157,49 +157,31 @@ impl FsckReport {
     /// Render as one machine-readable JSON object:
     /// `{"scanned":N,"clean":N,"corrupt":N,"torn":N,"errors":N,
     ///   "files":[{"path":"…","status":"…","detail":"…"},…]}`.
+    ///
+    /// Emitted through the workspace-shared [`obs::json::JsonWriter`],
+    /// the same serializer behind `--metrics` and `--trace` output, so
+    /// every binary quotes and escapes identically. The field order
+    /// above is load-bearing: `ci.sh` greps for adjacent fields.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256 + self.files.len() * 96);
-        out.push_str(&format!(
-            "{{\"scanned\":{},\"clean\":{},\"corrupt\":{},\"torn\":{},\"errors\":{},\"files\":[",
-            self.scanned(),
-            self.clean(),
-            self.corrupt(),
-            self.torn(),
-            self.errors()
-        ));
-        for (i, v) in self.files.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"path\":{},\"status\":{},\"detail\":{}}}",
-                json_string(&v.path.display().to_string()),
-                json_string(v.status.as_str()),
-                json_string(&v.detail)
-            ));
+        let mut w = obs::json::JsonWriter::with_capacity(256 + self.files.len() * 96);
+        w.begin_object();
+        w.key("scanned").uint(self.scanned() as u64);
+        w.key("clean").uint(self.clean() as u64);
+        w.key("corrupt").uint(self.corrupt() as u64);
+        w.key("torn").uint(self.torn() as u64);
+        w.key("errors").uint(self.errors() as u64);
+        w.key("files").begin_array();
+        for v in &self.files {
+            w.begin_object();
+            w.key("path").string(&v.path.display().to_string());
+            w.key("status").string(v.status.as_str());
+            w.key("detail").string(&v.detail);
+            w.end_object();
         }
-        out.push_str("]}");
-        out
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
-}
-
-/// JSON string literal with the escapes the grammar requires.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// Scrub one file: open it, then verify every checksum unit.
@@ -440,8 +422,22 @@ mod tests {
     }
 
     #[test]
-    fn json_escapes_are_valid() {
-        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
-        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    fn json_escapes_and_field_order_survive_the_shared_writer() {
+        let report = FsckReport {
+            files: vec![FileVerdict {
+                path: std::path::PathBuf::from("a\"b.dasf"),
+                status: FileStatus::Error,
+                detail: "line1\nline2\u{1}".into(),
+            }],
+        };
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"scanned\":1,\"clean\":0,\"corrupt\":0,\"torn\":0,\"errors\":1,\
+             \"files\":[{\"path\":\"a\\\"b.dasf\",\"status\":\"error\",\
+             \"detail\":\"line1\\nline2\\u0001\"}]}"
+        );
+        // The shared parser accepts its sibling writer's escapes.
+        obs::json::parse(&json).unwrap();
     }
 }

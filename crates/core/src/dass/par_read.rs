@@ -223,6 +223,7 @@ pub fn read_vca(comm: &Comm, vca: &Vca, strategy: ReadStrategy) -> Result<Array2
 /// aggregator rank `file_index % size` reads the whole file and
 /// broadcasts it; every rank copies out its channel rows.
 pub fn read_collective_per_file(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
+    let _trace = obs::trace::scope_in(comm.registry(), "par_read.collective");
     let (rank, size) = (comm.rank(), comm.size());
     let channels = vca.channels() as usize;
     let my_rows = partition(channels, size, rank);
@@ -238,6 +239,7 @@ pub fn read_collective_per_file(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
         // Aggregator reads the entire file with one I/O call …
         let t = std::time::Instant::now();
         let payload: Option<Vec<f32>> = if rank == root {
+            let _s = obs::trace::scope_in(comm.registry(), "par_read.read");
             let f = File::open(&entry.path)?;
             Some(f.read_f32(DATASET_PATH)?)
         } else {
@@ -249,6 +251,7 @@ pub fn read_collective_per_file(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
         let t = std::time::Instant::now();
         let data = comm.bcast_vec(root, payload);
         exchange_ns += t.elapsed();
+        let _copy = obs::trace::scope_in(comm.registry(), "par_read.copy");
         let t = std::time::Instant::now();
         let t0 = vca.time_offset_of(fi) as usize;
         for (li, g) in my_rows.clone().enumerate() {
@@ -275,12 +278,14 @@ pub fn read_collective_per_file(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
 /// per-destination channel blocks, and one `alltoallv` delivers every
 /// block to its owner.
 pub fn read_comm_avoiding(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
+    let _trace = obs::trace::scope_in(comm.registry(), "par_read.ca");
     let (rank, size) = (comm.rank(), comm.size());
     let channels = vca.channels() as usize;
     let my_rows = partition(channels, size, rank);
     let total_cols = vca.total_samples() as usize;
 
     // 1. Independent contiguous reads of my round-robin files.
+    let read_trace = obs::trace::scope_in(comm.registry(), "par_read.read");
     let t = std::time::Instant::now();
     let mut my_file_data: Vec<(usize, Vec<f32>)> = Vec::new();
     for (fi, entry) in vca.entries().iter().enumerate() {
@@ -290,6 +295,7 @@ pub fn read_comm_avoiding(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
         }
     }
     let read_ns = t.elapsed();
+    drop(read_trace);
 
     // 2. Build per-destination buffers: for each of my files (ascending
     //    file index), the destination's channel rows back to back. The
@@ -315,6 +321,7 @@ pub fn read_comm_avoiding(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
 
     // 4. Assemble: block from src rank carries files fi ≡ src (mod size)
     //    in ascending order, each holding my channel rows.
+    let _copy = obs::trace::scope_in(comm.registry(), "par_read.copy");
     let t = std::time::Instant::now();
     let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
     for (src, buf) in received.into_iter().enumerate() {
@@ -374,6 +381,7 @@ pub fn read_collective_per_file_resilient(
     comm: &Comm,
     vca: &Vca,
 ) -> Result<(Array2<f32>, ReadReport)> {
+    let _trace = obs::trace::scope_in(comm.registry(), "par_read.collective");
     let (rank, size) = (comm.rank(), comm.size());
     let channels = vca.channels() as usize;
     let my_rows = partition(channels, size, rank);
@@ -387,6 +395,7 @@ pub fn read_collective_per_file_resilient(
         let cols = vca.samples_of(fi) as usize;
         let root = fi % size;
         let member = if rank == root {
+            let _s = obs::trace::scope_in(comm.registry(), "par_read.read");
             read_member_with_retries(comm, vca, fi)
         } else {
             MemberRead {
@@ -436,6 +445,7 @@ pub fn read_collective_per_file_resilient(
 /// count, so all ranks agree on which blocks the `alltoallv` will *not*
 /// carry; quarantined spans stay zero-filled.
 pub fn read_comm_avoiding_resilient(comm: &Comm, vca: &Vca) -> Result<(Array2<f32>, ReadReport)> {
+    let _trace = obs::trace::scope_in(comm.registry(), "par_read.ca");
     let (rank, size) = (comm.rank(), comm.size());
     let channels = vca.channels() as usize;
     let my_rows = partition(channels, size, rank);
@@ -443,6 +453,7 @@ pub fn read_comm_avoiding_resilient(comm: &Comm, vca: &Vca) -> Result<(Array2<f3
 
     // 1. Independent contiguous reads of my round-robin files, with
     //    bounded retries; failures become local quarantine entries.
+    let read_trace = obs::trace::scope_in(comm.registry(), "par_read.read");
     let mut my_file_data: Vec<(usize, Vec<f32>)> = Vec::new();
     let mut my_quarantined: Vec<u64> = Vec::new();
     let mut my_retries = 0u64;
@@ -459,6 +470,7 @@ pub fn read_comm_avoiding_resilient(comm: &Comm, vca: &Vca) -> Result<(Array2<f3
             None => my_quarantined.push(fi as u64),
         }
     }
+    drop(read_trace);
 
     // 2. Agree on the global quarantine set and the retry/mismatch
     //    totals before the exchange, so receivers know which blocks
@@ -490,6 +502,7 @@ pub fn read_comm_avoiding_resilient(comm: &Comm, vca: &Vca) -> Result<(Array2<f3
     let received = comm.try_alltoallv(buffers)?;
 
     // 5. Assemble, skipping quarantined files — their spans stay zero.
+    let _copy = obs::trace::scope_in(comm.registry(), "par_read.copy");
     let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
     for (src, buf) in received.into_iter().enumerate() {
         let mut cursor = 0usize;

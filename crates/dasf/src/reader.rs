@@ -78,6 +78,7 @@ impl File {
     pub fn open<P: AsRef<Path>>(path: P) -> Result<File> {
         let m = crate::metrics::metrics();
         m.open_count.inc();
+        let _trace = obs::trace::scope("dasf.open");
         let started = std::time::Instant::now();
         let result = Self::open_impl(path.as_ref());
         m.open_ns.record_duration(started.elapsed());
@@ -395,6 +396,7 @@ impl File {
             Layout::Contiguous => {
                 let m = crate::metrics::metrics();
                 m.read_count.inc();
+                let _trace = obs::trace::scope("dasf.read");
                 crate::faults::check_read(&self.path)?;
                 let started = std::time::Instant::now();
                 let n = meta.len();
@@ -424,6 +426,7 @@ impl File {
     ) -> Result<Vec<T>> {
         let m = crate::metrics::metrics();
         m.read_count.inc();
+        let _trace = obs::trace::scope("dasf.read");
         let started = std::time::Instant::now();
         let result = self.read_hyperslab_impl(path, selection);
         if let Ok(v) = &result {
@@ -651,6 +654,7 @@ impl File {
     /// counted in `unverified_datasets` and otherwise skipped.
     pub fn verify_all(&self) -> Result<VerifyOutcome> {
         let m = crate::metrics::metrics();
+        let _trace = obs::trace::scope("dasf.verify");
         let started = std::time::Instant::now();
         let mut out = VerifyOutcome::default();
         let mut buf = Vec::new();

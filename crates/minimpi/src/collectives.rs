@@ -66,6 +66,7 @@ impl Comm {
     /// Fallible [`Comm::barrier`].
     pub fn try_barrier(&self) -> Result<(), CommError> {
         self.check_alive()?;
+        let _span = obs::span_in(self.registry(), "minimpi.barrier");
         let seq = self.next_seq();
         self.stats().barriers.inc();
         let (rank, size) = (self.rank(), self.size());
@@ -134,6 +135,7 @@ impl Comm {
         self.check_alive()?;
         let seq = self.next_seq();
         self.stats().bcasts.inc();
+        let _span = obs::span_in(self.registry(), "minimpi.bcast");
         let (rank, size) = (self.rank(), self.size());
         if root >= size {
             return Err(CommError::Protocol("bcast root out of range"));
@@ -191,6 +193,7 @@ impl Comm {
         self.check_alive()?;
         let seq = self.next_seq();
         self.stats().gathers.inc();
+        let _span = obs::span_in(self.registry(), "minimpi.gather");
         let tag = self.coll_tag(Kind::Gather, seq, 0);
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
@@ -223,6 +226,7 @@ impl Comm {
         self.check_alive()?;
         let seq = self.next_seq();
         self.stats().allgathers.inc();
+        let _span = obs::span_in(self.registry(), "minimpi.allgather");
         let (rank, size) = (self.rank(), self.size());
         let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
         out[rank] = Some(value);
@@ -260,6 +264,7 @@ impl Comm {
         self.check_alive()?;
         let seq = self.next_seq();
         self.stats().scatters.inc();
+        let _span = obs::span_in(self.registry(), "minimpi.scatter");
         let tag = self.coll_tag(Kind::Scatter, seq, 0);
         if self.rank() == root {
             let values = values.ok_or(CommError::Protocol("scatter root must supply values"))?;
@@ -303,6 +308,7 @@ impl Comm {
         self.check_alive()?;
         let seq = self.next_seq();
         self.stats().reduces.inc();
+        let _span = obs::span_in(self.registry(), "minimpi.reduce");
         let (rank, size) = (self.rank(), self.size());
         if root >= size {
             return Err(CommError::Protocol("reduce root out of range"));
@@ -350,6 +356,7 @@ impl Comm {
     {
         self.check_alive()?;
         self.stats().allreduces.inc();
+        let _span = obs::span_in(self.registry(), "minimpi.allreduce");
         let reduced = self.try_reduce(0, value, op)?;
         self.try_bcast(0, reduced)
     }
@@ -368,6 +375,7 @@ impl Comm {
     pub fn try_alltoall<T: Send + 'static>(&self, values: Vec<T>) -> Result<Vec<T>, CommError> {
         self.check_alive()?;
         self.stats().alltoalls.inc();
+        let _span = obs::span_in(self.registry(), "minimpi.alltoall");
         let size = self.size();
         if values.len() != size {
             return Err(CommError::Protocol("alltoall needs one element per rank"));
@@ -393,6 +401,7 @@ impl Comm {
     ) -> Result<Vec<Vec<T>>, CommError> {
         self.check_alive()?;
         self.stats().alltoallvs.inc();
+        let _span = obs::span_in(self.registry(), "minimpi.alltoallv");
         let size = self.size();
         if buffers.len() != size {
             return Err(CommError::Protocol("alltoallv needs one buffer per rank"));

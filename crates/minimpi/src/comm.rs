@@ -54,6 +54,9 @@ pub struct Comm {
     /// tags of back-to-back collectives.
     pub(crate) coll_seq: Cell<u64>,
     stats: Arc<CommStats>,
+    /// This rank's own registry, a child of the world registry: the
+    /// per-rank view gathered by [`Comm::try_cluster_snapshot`].
+    rank_registry: Arc<obs::Registry>,
     /// Receive patience for the fallible (`try_*`) collectives.
     policy: RetryPolicy,
     /// The world's fault plan, if this is a chaos world.
@@ -77,17 +80,40 @@ impl Comm {
         self.size
     }
 
-    /// The world's shared communication counters.
+    /// This rank's communication counters. Increments chain into the
+    /// world registry (and [`obs::global`]), so world-level totals are
+    /// unchanged while the per-rank breakdown stays queryable.
     pub fn stats(&self) -> &CommStats {
         &self.stats
     }
 
-    /// The world's observability registry. Counters and spans recorded
-    /// here are visible in [`run_with_stats`]'s world snapshot and (via
-    /// parent chaining) in [`obs::global`]. Rank code can use it to
-    /// account work alongside the communication counters.
+    /// This rank's observability registry, a child of the world's.
+    /// Counters and spans recorded here are visible per rank in
+    /// [`Comm::try_cluster_snapshot`], in [`run_with_stats`]'s world
+    /// snapshot, and (via parent chaining) in [`obs::global`]. Rank
+    /// code can use it to account work alongside the communication
+    /// counters.
     pub fn registry(&self) -> &std::sync::Arc<obs::Registry> {
+        &self.rank_registry
+    }
+
+    /// The world-level registry every rank's metrics aggregate into.
+    pub fn world_registry(&self) -> &std::sync::Arc<obs::Registry> {
         self.stats.registry()
+    }
+
+    /// Gather every rank's metric snapshot to rank 0: the root returns
+    /// `Some(cluster)` with one section per rank (plus per-metric
+    /// min/mean/max and imbalance accessors), other ranks `None`.
+    ///
+    /// Costs one gather. Under a fault plan a dead rank refuses with
+    /// [`CommError::RankDead`] and the root times out waiting for its
+    /// snapshot, like any other collective.
+    pub fn try_cluster_snapshot(&self) -> Result<Option<obs::ClusterSnapshot>, CommError> {
+        let snap = self.rank_registry.snapshot();
+        Ok(self
+            .try_gather(0, snap)?
+            .map(obs::ClusterSnapshot::from_gathered))
     }
 
     /// Send `value` to rank `dst` with `tag` (non-blocking, buffered —
@@ -418,7 +444,9 @@ where
     F: Fn(&Comm) -> R + Sync,
 {
     assert!(n_ranks >= 1, "world must have at least one rank");
-    let stats = Arc::new(CommStats::in_registry(Arc::clone(&registry)));
+    // World-level handle bundle: every rank's increments chain up into
+    // `registry`, so this snapshot sees the whole world's traffic.
+    let world_stats = Arc::new(CommStats::in_registry(Arc::clone(&registry)));
     let (senders, receivers): (Vec<_>, Vec<_>) = (0..n_ranks).map(|_| unbounded()).unzip();
     let senders = Arc::new(senders);
 
@@ -427,10 +455,12 @@ where
         let mut handles = Vec::with_capacity(n_ranks);
         for (rank, receiver) in receivers.into_iter().enumerate() {
             let senders = Arc::clone(&senders);
-            let stats = Arc::clone(&stats);
+            let world_registry = Arc::clone(&registry);
             let plan = plan.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
+                // Trace events recorded on this thread carry the rank id.
+                obs::trace::set_rank(rank as u32);
                 let dead = plan
                     .as_ref()
                     .is_some_and(|p| p.fires(site::MINIMPI_RANK_DEAD, rank as u64));
@@ -439,6 +469,11 @@ where
                 let _guard = plan
                     .as_ref()
                     .map(|p| faultline::PlanGuard::install(Arc::clone(p)));
+                // Each rank records into its own child of the world
+                // registry, so per-rank breakdowns survive aggregation.
+                let rank_registry =
+                    Arc::new(obs::Registry::with_parent(Arc::clone(&world_registry)));
+                let stats = Arc::new(CommStats::in_registry(Arc::clone(&rank_registry)));
                 let comm = Comm {
                     rank,
                     size: n_ranks,
@@ -447,11 +482,14 @@ where
                     pending: RefCell::new(VecDeque::new()),
                     coll_seq: Cell::new(0),
                     stats,
+                    rank_registry,
                     policy,
                     faults: plan,
                     dead,
                 };
-                f(&comm)
+                let out = f(&comm);
+                obs::trace::set_rank(0);
+                out
             }));
         }
         for (rank, handle) in handles.into_iter().enumerate() {
@@ -465,7 +503,7 @@ where
         .into_iter()
         .map(|r| r.expect("all ranks joined"))
         .collect();
-    (results, stats.snapshot())
+    (results, world_stats.snapshot())
 }
 
 #[cfg(test)]
@@ -549,6 +587,66 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn send_to_invalid_rank_panics() {
         run(1, |comm| comm.send(5, 0, 1u8));
+    }
+
+    #[test]
+    fn cluster_snapshot_keeps_per_rank_breakdown() {
+        let registry = Arc::new(obs::Registry::new());
+        let (out, _) = run_in_registry(4, Arc::clone(&registry), |comm| {
+            comm.registry()
+                .counter("work.items")
+                .add(comm.rank() as u64 + 1);
+            comm.try_cluster_snapshot().unwrap()
+        });
+        let cluster = out[0].clone().expect("root gets the cluster view");
+        assert!(out[1..].iter().all(|c| c.is_none()));
+        assert_eq!(cluster.size(), 4);
+        for rank in 0..4u32 {
+            assert_eq!(
+                cluster.ranks[&rank].counter("work.items"),
+                u64::from(rank) + 1
+            );
+        }
+        let stats = cluster.counter_stats("work.items").expect("stats");
+        assert_eq!((stats.min, stats.max, stats.sum), (1, 4, 10));
+        assert!((stats.imbalance() - 1.6).abs() < 1e-12);
+        // Rank increments still aggregate into the world registry.
+        assert_eq!(registry.snapshot().counter("work.items"), 10);
+    }
+
+    #[test]
+    fn per_rank_comm_counters_differ_while_world_totals_hold() {
+        let (out, stats) = run_with_stats(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vec(1, 5, vec![0u8; 100]);
+            } else {
+                let _ = comm.recv::<Vec<u8>>(0, 5);
+            }
+            comm.registry()
+                .snapshot()
+                .counter(crate::stats::names::P2P_MESSAGES)
+        });
+        // Only rank 0 sent; its rank registry shows 1, rank 1's shows 0,
+        // and the world total is their sum.
+        assert_eq!(out, vec![1, 0]);
+        assert_eq!(stats.p2p_messages, 1);
+    }
+
+    #[test]
+    fn collectives_emit_rank_tagged_trace_events() {
+        let registry = Arc::new(obs::Registry::new());
+        registry.install_tracer(Arc::new(obs::Tracer::new()));
+        run_in_registry(3, Arc::clone(&registry), |comm| {
+            comm.barrier();
+        });
+        let trace = registry.tracer().expect("installed").collect();
+        assert_eq!(trace.dropped, 0);
+        let ranks: std::collections::BTreeSet<u32> = trace.events.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, (0..3).collect());
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.name.contains("minimpi.barrier")));
     }
 
     #[test]

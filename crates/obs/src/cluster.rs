@@ -1,0 +1,408 @@
+//! Cross-rank metric aggregation: per-rank [`Snapshot`]s combined into
+//! one [`ClusterSnapshot`] with skew statistics per metric.
+//!
+//! `minimpi` worlds give each rank its own child registry; gathering
+//! the per-rank snapshots to rank 0 (see `Comm::try_cluster_snapshot`)
+//! yields a cluster view that keeps the per-rank breakdown *and*
+//! derives min/mean/max and an **imbalance ratio** per metric:
+//!
+//! ```text
+//! imbalance(name) = max over ranks / mean over ranks   (1.0 = balanced)
+//! ```
+//!
+//! Ranks missing a metric count as 0 — a metric only one of four ranks
+//! touched has imbalance 4.0, which is exactly the skew a scheduler
+//! needs to see. [`ClusterSnapshot::merge`] is associative and
+//! commutative (rank-keyed union, colliding ranks merged via
+//! [`Snapshot::merge`]), so partial gathers from chaos worlds or HAEE
+//! hybrid runs aggregate identically regardless of arrival order.
+
+use crate::json::{self, JsonValue, JsonWriter, ParseError};
+use crate::snapshot::{format_ns, Snapshot};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Per-rank snapshots, keyed by rank id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterSnapshot {
+    pub ranks: BTreeMap<u32, Snapshot>,
+}
+
+/// Distribution of one metric across the ranks of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricStats {
+    pub min: u64,
+    pub max: u64,
+    pub sum: u64,
+    /// Number of ranks the statistic spans (including zero-valued).
+    pub ranks: u32,
+}
+
+impl MetricStats {
+    /// Mean value per rank, or 0 for an empty cluster.
+    pub fn mean(&self) -> f64 {
+        if self.ranks == 0 {
+            0.0
+        } else {
+            self.sum as f64 / f64::from(self.ranks)
+        }
+    }
+
+    /// `max / mean` across ranks: 1.0 is perfectly balanced, `ranks`
+    /// is maximally skewed (all load on one rank). Defined as 1.0 when
+    /// every rank reports zero.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max as f64 / mean
+        }
+    }
+}
+
+impl ClusterSnapshot {
+    /// Empty cluster.
+    pub fn new() -> ClusterSnapshot {
+        ClusterSnapshot::default()
+    }
+
+    /// Adopt gathered snapshots in rank order (index = rank id), the
+    /// shape `minimpi::try_gather` delivers at the root.
+    pub fn from_gathered(snaps: Vec<Snapshot>) -> ClusterSnapshot {
+        let mut cluster = ClusterSnapshot::new();
+        for (rank, snap) in snaps.into_iter().enumerate() {
+            cluster.insert(rank as u32, snap);
+        }
+        cluster
+    }
+
+    /// Add one rank's snapshot; if the rank is already present the two
+    /// snapshots merge (see [`Snapshot::merge`]).
+    pub fn insert(&mut self, rank: u32, snap: Snapshot) {
+        match self.ranks.entry(rank) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(snap);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().merge(&snap);
+            }
+        }
+    }
+
+    /// Union with `other`. Associative and commutative.
+    pub fn merge(&mut self, other: &ClusterSnapshot) {
+        for (rank, snap) in &other.ranks {
+            self.insert(*rank, snap.clone());
+        }
+    }
+
+    /// Number of ranks represented.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// One snapshot with every rank's metrics merged together.
+    pub fn aggregate(&self) -> Snapshot {
+        let mut total = Snapshot::default();
+        for snap in self.ranks.values() {
+            total.merge(snap);
+        }
+        total
+    }
+
+    /// Distribution of counter `name` across all ranks (missing = 0),
+    /// or `None` for an empty cluster.
+    pub fn counter_stats(&self, name: &str) -> Option<MetricStats> {
+        self.stats(|snap| snap.counter(name))
+    }
+
+    /// Distribution of histogram `name`'s total (sum of samples)
+    /// across all ranks (missing = 0), or `None` for an empty cluster.
+    pub fn histogram_sum_stats(&self, name: &str) -> Option<MetricStats> {
+        self.stats(|snap| snap.histogram_sum(name))
+    }
+
+    fn stats(&self, value: impl Fn(&Snapshot) -> u64) -> Option<MetricStats> {
+        if self.ranks.is_empty() {
+            return None;
+        }
+        let mut stats = MetricStats {
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+            ranks: self.ranks.len() as u32,
+        };
+        for snap in self.ranks.values() {
+            let v = value(snap);
+            stats.min = stats.min.min(v);
+            stats.max = stats.max.max(v);
+            stats.sum = stats.sum.saturating_add(v);
+        }
+        Some(stats)
+    }
+
+    /// Every counter name appearing on any rank.
+    pub fn counter_names(&self) -> BTreeSet<&str> {
+        self.ranks
+            .values()
+            .flat_map(|s| s.counters.keys().map(String::as_str))
+            .collect()
+    }
+
+    /// Every histogram name appearing on any rank.
+    pub fn histogram_names(&self) -> BTreeSet<&str> {
+        self.ranks
+            .values()
+            .flat_map(|s| s.histograms.keys().map(String::as_str))
+            .collect()
+    }
+
+    /// Serialize to a single-line JSON object with one section per
+    /// rank: `{"ranks":{"0":{...},"1":{...}}}`. Integer-exact
+    /// round-trip via [`ClusterSnapshot::from_json`]; derived floats
+    /// (mean, imbalance) are intentionally not serialized — recompute
+    /// them from the exact per-rank values.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(256 * self.ranks.len().max(1));
+        w.begin_object();
+        self.write_json(&mut w);
+        w.end_object();
+        w.finish()
+    }
+
+    /// Write this cluster's `ranks` key into an already-open object on
+    /// `w` (shared by [`ClusterSnapshot::to_json`] and
+    /// [`Snapshot::to_json_with_cluster`]).
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        w.key("ranks");
+        w.begin_object();
+        for (rank, snap) in &self.ranks {
+            w.key(&rank.to_string());
+            w.begin_object();
+            snap.write_json(w);
+            w.end_object();
+        }
+        w.end_object();
+    }
+
+    /// Parse a document produced by [`ClusterSnapshot::to_json`], or a
+    /// combined metrics document ([`Snapshot::to_json_with_cluster`])
+    /// whose cluster section lives under a top-level `cluster` key.
+    pub fn from_json(text: &str) -> Result<ClusterSnapshot, ParseError> {
+        let root = json::parse(text)?;
+        let JsonValue::Object(root) = root else {
+            return Err(ParseError::new("cluster: expected top-level object"));
+        };
+        let root = match root.get("cluster") {
+            Some(JsonValue::Object(nested)) => nested,
+            Some(_) => return Err(ParseError::new("cluster: `cluster` must be an object")),
+            None => &root,
+        };
+        let Some(JsonValue::Object(ranks)) = root.get("ranks") else {
+            return Err(ParseError::new("cluster: missing `ranks` object"));
+        };
+        let mut cluster = ClusterSnapshot::new();
+        for (key, value) in ranks {
+            let rank: u32 = key
+                .parse()
+                .map_err(|_| ParseError::new(format!("cluster: bad rank key {key:?}")))?;
+            cluster.insert(rank, Snapshot::from_value(value)?);
+        }
+        Ok(cluster)
+    }
+
+    /// Human-readable cluster report: per-metric min/mean/max across
+    /// ranks with the imbalance ratio, counters first.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "cluster: {} rank(s)", self.ranks.len());
+        let fmt_for = |name: &str, v: f64| -> String {
+            if name.starts_with("span.") || name.ends_with("ns") {
+                format_ns(v)
+            } else {
+                format!("{v:.0}")
+            }
+        };
+        let counters = self.counter_names();
+        if !counters.is_empty() {
+            out.push_str("counters (per-rank min/mean/max, imbalance = max/mean):\n");
+            let width = counters.iter().map(|k| k.len()).max().unwrap_or(0);
+            for name in &counters {
+                let s = self.counter_stats(name).expect("non-empty");
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  min={} mean={} max={} imbalance={:.2}x",
+                    fmt_for(name, s.min as f64),
+                    fmt_for(name, s.mean()),
+                    fmt_for(name, s.max as f64),
+                    s.imbalance(),
+                );
+            }
+        }
+        let histograms = self.histogram_names();
+        if !histograms.is_empty() {
+            out.push_str("histogram totals (per-rank min/mean/max, imbalance = max/mean):\n");
+            let width = histograms.iter().map(|k| k.len()).max().unwrap_or(0);
+            for name in &histograms {
+                let s = self.histogram_sum_stats(name).expect("non-empty");
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  min={} mean={} max={} imbalance={:.2}x",
+                    fmt_for(name, s.min as f64),
+                    fmt_for(name, s.mean()),
+                    fmt_for(name, s.max as f64),
+                    s.imbalance(),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn rank_snap(counter: u64, hist: u64) -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("work.items").add(counter);
+        if hist > 0 {
+            reg.histogram("span.read").record(hist);
+        }
+        reg.snapshot()
+    }
+
+    fn sample_cluster() -> ClusterSnapshot {
+        ClusterSnapshot::from_gathered(vec![
+            rank_snap(10, 100),
+            rank_snap(20, 200),
+            rank_snap(30, 300),
+            rank_snap(40, 400),
+        ])
+    }
+
+    #[test]
+    fn stats_and_imbalance() {
+        let c = sample_cluster();
+        let s = c.counter_stats("work.items").unwrap();
+        assert_eq!((s.min, s.max, s.sum, s.ranks), (10, 40, 100, 4));
+        assert!((s.mean() - 25.0).abs() < 1e-12);
+        assert!((s.imbalance() - 1.6).abs() < 1e-12);
+        let h = c.histogram_sum_stats("span.read").unwrap();
+        assert_eq!((h.min, h.max, h.sum), (100, 400, 1000));
+    }
+
+    #[test]
+    fn missing_metric_counts_as_zero() {
+        let mut c = ClusterSnapshot::new();
+        c.insert(0, rank_snap(8, 0));
+        c.insert(1, Snapshot::default());
+        c.insert(2, Snapshot::default());
+        c.insert(3, Snapshot::default());
+        let s = c.counter_stats("work.items").unwrap();
+        assert_eq!((s.min, s.max), (0, 8));
+        // All load on one of four ranks: maximal skew.
+        assert!((s.imbalance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_metric_is_balanced() {
+        let mut c = ClusterSnapshot::new();
+        c.insert(0, Snapshot::default());
+        c.insert(1, Snapshot::default());
+        let s = c.counter_stats("absent").unwrap();
+        assert_eq!(s.imbalance(), 1.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_cluster_has_no_stats() {
+        let c = ClusterSnapshot::new();
+        assert!(c.counter_stats("x").is_none());
+        assert!(c.histogram_sum_stats("x").is_none());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut a = ClusterSnapshot::new();
+        a.insert(0, rank_snap(1, 10));
+        a.insert(1, rank_snap(2, 20));
+        let mut b = ClusterSnapshot::new();
+        b.insert(1, rank_snap(3, 30)); // collides with a's rank 1
+        b.insert(2, rank_snap(4, 40));
+        let mut c = ClusterSnapshot::new();
+        c.insert(0, rank_snap(5, 50)); // collides with a's rank 0
+        c.insert(3, rank_snap(6, 60));
+
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ∪ b == b ∪ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Colliding ranks actually merged, not overwritten.
+        assert_eq!(ab.ranks[&1].counter("work.items"), 5);
+        assert_eq!(left.ranks[&0].counter("work.items"), 6);
+    }
+
+    #[test]
+    fn aggregate_equals_merging_every_rank() {
+        let c = sample_cluster();
+        let total = c.aggregate();
+        assert_eq!(total.counter("work.items"), 100);
+        assert_eq!(total.histograms["span.read"].count, 4);
+        assert_eq!(total.histograms["span.read"].sum, 1000);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let c = sample_cluster();
+        let json = c.to_json();
+        assert!(json.starts_with("{\"ranks\":{\"0\":{\"counters\":"));
+        assert_eq!(ClusterSnapshot::from_json(&json).unwrap(), c);
+        let empty = ClusterSnapshot::new();
+        assert_eq!(ClusterSnapshot::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn render_text_reports_imbalance() {
+        let text = sample_cluster().render_text();
+        assert!(text.contains("cluster: 4 rank(s)"));
+        assert!(text.contains("work.items"));
+        assert!(text.contains("imbalance=1.60x"), "got:\n{text}");
+    }
+
+    #[test]
+    fn combined_metrics_document_serves_both_parsers() {
+        let cluster = sample_cluster();
+        let world = cluster.aggregate();
+        let combined = world.to_json_with_cluster(&cluster);
+        assert!(combined.starts_with("{\"counters\":"));
+        assert!(combined.contains("\"cluster\":{\"ranks\":{\"0\":"));
+        // The flat parser ignores the cluster key; the cluster parser
+        // descends into it. Both recover their half exactly.
+        assert_eq!(Snapshot::from_json(&combined).unwrap(), world);
+        assert_eq!(ClusterSnapshot::from_json(&combined).unwrap(), cluster);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        for bad in ["", "[]", "{\"ranks\":[]}", "{\"ranks\":{\"x\":{}}}"] {
+            assert!(ClusterSnapshot::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

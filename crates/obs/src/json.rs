@@ -1,9 +1,15 @@
-//! Minimal hand-written JSON support for metric snapshots.
+//! Minimal hand-written JSON support for metric snapshots and traces.
 //!
-//! Only the subset a [`crate::Snapshot`] needs: objects, arrays,
-//! strings, and **unsigned integers**. Floats, negatives, booleans, and
-//! null are rejected — metrics are integer-valued by design so that
-//! export → import is bit-exact.
+//! Only the subset DASSA's exports need: objects, arrays, strings, and
+//! **unsigned integers**. Floats, negatives, booleans, and null are
+//! rejected — metrics are integer-valued by design so that export →
+//! import is bit-exact.
+//!
+//! [`JsonWriter`] is the one JSON emitter shared by every exporter in
+//! the workspace (`Snapshot`, Chrome traces, `ClusterSnapshot`,
+//! `das_fsck` reports, bench results): a streaming writer that
+//! preserves insertion order, so output layouts are stable across
+//! releases and greppable by CI.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -43,8 +49,131 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Streaming JSON writer: order-preserving, escape-correct, no
+/// intermediate tree. Call [`JsonWriter::finish`] to take the text.
+///
+/// The writer does not validate call sequences beyond comma placement;
+/// callers are expected to emit well-formed nesting (every exporter in
+/// this workspace is covered by a round-trip test against [`parse`]).
+///
+/// ```
+/// use obs::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("files");
+/// w.begin_array();
+/// w.uint(3);
+/// w.string("a\"b");
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"files":[3,"a\"b"]}"#);
+/// ```
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One flag per open container: does the next element need a comma?
+    comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Fresh writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            comma: vec![false],
+        }
+    }
+
+    /// Writer with a pre-sized output buffer.
+    pub fn with_capacity(bytes: usize) -> JsonWriter {
+        JsonWriter {
+            out: String::with_capacity(bytes),
+            comma: vec![false],
+        }
+    }
+
+    fn sep(&mut self) {
+        if let Some(flag) = self.comma.last_mut() {
+            if *flag {
+                self.out.push(',');
+            }
+            *flag = true;
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.sep();
+        self.out.push('{');
+        self.comma.push(false);
+        self
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.out.push('}');
+        self.comma.pop();
+        self
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.sep();
+        self.out.push('[');
+        self.comma.push(false);
+        self
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.out.push(']');
+        self.comma.pop();
+        self
+    }
+
+    /// Object key; the next value call supplies its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.sep();
+        write_string(&mut self.out, k);
+        self.out.push(':');
+        // The value that follows must not emit its own comma.
+        if let Some(flag) = self.comma.last_mut() {
+            *flag = false;
+        }
+        self
+    }
+
+    /// String value (escaped).
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.sep();
+        write_string(&mut self.out, s);
+        self
+    }
+
+    /// Unsigned integer value — the only number metrics JSON admits.
+    pub fn uint(&mut self, v: u64) -> &mut Self {
+        self.sep();
+        use fmt::Write as _;
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Splice pre-rendered JSON (e.g. a [`crate::Snapshot::to_json`]
+    /// document) as one value. The caller vouches it is well-formed.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.sep();
+        self.out.push_str(json);
+        self
+    }
+
+    /// Take the rendered document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
 /// Append `s` as a quoted, escaped JSON string.
-pub(crate) fn write_string(out: &mut String, s: &str) {
+pub fn write_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -64,7 +193,7 @@ pub(crate) fn write_string(out: &mut String, s: &str) {
 }
 
 /// Parse a complete JSON document (trailing whitespace allowed).
-pub(crate) fn parse(text: &str) -> Result<JsonValue, ParseError> {
+pub fn parse(text: &str) -> Result<JsonValue, ParseError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -287,6 +416,57 @@ mod tests {
     fn rejects_trailing_garbage() {
         assert!(parse("{} x").is_err());
         assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn writer_produces_parseable_nested_document() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        w.key("a").uint(1);
+        w.key("b").uint(u64::MAX);
+        w.end_object();
+        w.key("names");
+        w.begin_array();
+        w.string("x\ny");
+        w.begin_array();
+        w.uint(7);
+        w.end_array();
+        w.end_array();
+        w.end_object();
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "{\"counters\":{\"a\":1,\"b\":18446744073709551615},\
+             \"names\":[\"x\\ny\",[7]]}"
+        );
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn writer_empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("o");
+        w.begin_object();
+        w.end_object();
+        w.key("a");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), "{\"o\":{},\"a\":[]}");
+    }
+
+    #[test]
+    fn writer_raw_splices_value_with_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.uint(1);
+        w.raw("{\"k\":2}");
+        w.uint(3);
+        w.end_array();
+        assert_eq!(w.finish(), "[1,{\"k\":2},3]");
     }
 
     #[test]

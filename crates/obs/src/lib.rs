@@ -46,13 +46,17 @@
 //! are always prefixed `span.` followed by the dotted nesting path of
 //! active spans on that thread.
 
-mod json;
+mod cluster;
+pub mod json;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
 
+pub use cluster::{ClusterSnapshot, MetricStats};
 pub use registry::{global, Counter, Histogram, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::{span, span_in, SpanGuard};
+pub use trace::{Trace, TraceEvent, Tracer};
 
 pub use json::ParseError;

@@ -2,6 +2,7 @@
 //! chain to a parent for aggregation.
 
 use crate::snapshot::{HistogramSnapshot, Snapshot};
+use crate::trace::Tracer;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -116,6 +117,7 @@ struct Tables {
 pub struct Registry {
     tables: Mutex<Tables>,
     parent: Option<Arc<Registry>>,
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 impl Registry {
@@ -130,7 +132,33 @@ impl Registry {
         Registry {
             tables: Mutex::new(Tables::default()),
             parent: Some(parent),
+            tracer: OnceLock::new(),
         }
+    }
+
+    /// Install an event tracer. Spans recorded into this registry (or
+    /// any descendant) emit timeline events from now on, and the
+    /// tracer's drops are mirrored into the `trace.dropped` counter
+    /// here. Returns false if a tracer was already installed (the
+    /// existing one stays).
+    pub fn install_tracer(&self, tracer: Arc<Tracer>) -> bool {
+        tracer.bind_dropped_counter(self.counter("trace.dropped"));
+        self.tracer.set(tracer).is_ok()
+    }
+
+    /// The tracer installed here or on the nearest ancestor, if any.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        if let Some(t) = self.tracer.get() {
+            return Some(Arc::clone(t));
+        }
+        let mut ancestor = self.parent.as_ref().map(Arc::clone);
+        while let Some(reg) = ancestor {
+            if let Some(t) = reg.tracer.get() {
+                return Some(Arc::clone(t));
+            }
+            ancestor = reg.parent.as_ref().map(Arc::clone);
+        }
+        None
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Tables> {

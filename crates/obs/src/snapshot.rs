@@ -1,6 +1,6 @@
 //! Point-in-time metric values, with JSON and text exporters.
 
-use crate::json::{self, JsonValue, ParseError};
+use crate::json::{self, JsonValue, JsonWriter, ParseError};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -24,6 +24,76 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimate of the `q`-quantile (`q` in `[0, 1]`), or 0 if empty.
+    ///
+    /// Resolution is the power-of-two bucket scheme: the reported value
+    /// is the inclusive upper bound of the bucket containing the
+    /// target sample, clamped to the observed `[min, max]` — an
+    /// over-estimate by at most 2× for mid-bucket samples, and exact
+    /// for the extremes.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                // Bucket i holds 2^(i-1) <= v < 2^i (bucket 0 holds 0),
+                // so the inclusive upper bound is 2^i - 1; bucket 64
+                // would overflow the shift and means "up to u64::MAX".
+                let upper = if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self`: counts and sums add, extremes widen,
+    /// buckets combine index-wise. Associative and commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(bucket, n) in &other.buckets {
+            *merged.entry(bucket).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
     }
 }
 
@@ -52,45 +122,87 @@ impl Snapshot {
         self.histograms.get(name).map_or(0, |h| h.sum)
     }
 
+    /// Fold `other` into `self`: counters add, histograms merge (see
+    /// [`HistogramSnapshot::merge`]). Associative and commutative, so
+    /// any grouping of per-rank snapshots aggregates identically.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
     /// Serialize to a single-line JSON object. Integer-exact: feeding
     /// the output to [`Snapshot::from_json`] reproduces `self`.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256);
-        out.push_str("{\"counters\":{");
-        for (i, (k, v)) in self.counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            json::write_string(&mut out, k);
-            let _ = write!(out, ":{v}");
+        let mut w = JsonWriter::with_capacity(256);
+        w.begin_object();
+        self.write_json(&mut w);
+        w.end_object();
+        w.finish()
+    }
+
+    /// Serialize like [`Snapshot::to_json`] but with an extra `cluster`
+    /// key carrying the per-rank breakdown: `{"counters":...,
+    /// "histograms":...,"cluster":{"ranks":{...}}}`. [`Snapshot::
+    /// from_json`] ignores the extra key, so consumers of the flat form
+    /// keep working; [`crate::ClusterSnapshot::from_json`] accepts the
+    /// combined document directly.
+    pub fn to_json_with_cluster(&self, cluster: &crate::ClusterSnapshot) -> String {
+        let mut w = JsonWriter::with_capacity(512);
+        w.begin_object();
+        self.write_json(&mut w);
+        w.key("cluster");
+        w.begin_object();
+        cluster.write_json(&mut w);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Write this snapshot's `counters`/`histograms` keys into an
+    /// already-open object on `w` (shared by [`Snapshot::to_json`] and
+    /// the cluster exporter).
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        w.key("counters");
+        w.begin_object();
+        for (k, v) in &self.counters {
+            w.key(k).uint(*v);
         }
-        out.push_str("},\"histograms\":{");
-        for (i, (k, h)) in self.histograms.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (k, h) in &self.histograms {
+            w.key(k);
+            w.begin_object();
+            w.key("count").uint(h.count);
+            w.key("sum").uint(h.sum);
+            w.key("min").uint(h.min);
+            w.key("max").uint(h.max);
+            w.key("buckets");
+            w.begin_array();
+            for (bucket, n) in &h.buckets {
+                w.begin_array();
+                w.uint(u64::from(*bucket)).uint(*n);
+                w.end_array();
             }
-            json::write_string(&mut out, k);
-            let _ = write!(
-                out,
-                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
-                h.count, h.sum, h.min, h.max
-            );
-            for (j, (bucket, n)) in h.buckets.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                let _ = write!(out, "[{bucket},{n}]");
-            }
-            out.push_str("]}");
+            w.end_array();
+            w.end_object();
         }
-        out.push_str("}}");
-        out
+        w.end_object();
     }
 
     /// Parse a snapshot previously produced by [`Snapshot::to_json`]
     /// (or any JSON object with the same shape).
     pub fn from_json(text: &str) -> Result<Snapshot, ParseError> {
-        let root = json::parse(text)?;
+        Snapshot::from_value(&json::parse(text)?)
+    }
+
+    /// Build a snapshot from an already-parsed JSON value of the
+    /// [`Snapshot::to_json`] shape.
+    pub(crate) fn from_value(root: &JsonValue) -> Result<Snapshot, ParseError> {
         let obj = root.as_object("top level")?;
         let mut snap = Snapshot::default();
         if let Some(counters) = obj.get("counters") {
@@ -137,8 +249,8 @@ impl Snapshot {
     }
 
     /// Multi-line human-readable rendering: counters first, then
-    /// histograms with count/mean/min/max. Durations (names ending in
-    /// `ns` or under `span.`) are scaled to readable units.
+    /// histograms with count/mean/p50/p95/p99/min/max. Durations (names
+    /// ending in `ns` or under `span.`) are scaled to readable units.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         if !self.counters.is_empty() {
@@ -162,9 +274,12 @@ impl Snapshot {
                 };
                 let _ = writeln!(
                     out,
-                    "  {k:<width$}  count={} mean={} min={} max={} total={}",
+                    "  {k:<width$}  count={} mean={} p50={} p95={} p99={} min={} max={} total={}",
                     h.count,
                     fmt(h.mean()),
+                    fmt(h.p50() as f64),
+                    fmt(h.p95() as f64),
+                    fmt(h.p99() as f64),
                     fmt(h.min as f64),
                     fmt(h.max as f64),
                     fmt(h.sum as f64),
@@ -175,7 +290,7 @@ impl Snapshot {
     }
 }
 
-fn format_ns(ns: f64) -> String {
+pub(crate) fn format_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2}s", ns / 1e9)
     } else if ns >= 1e6 {
@@ -287,6 +402,108 @@ mod tests {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
         assert!(text.contains("900.00us"), "ns scaling missing:\n{text}");
+    }
+
+    #[test]
+    fn empty_histogram_stats_are_zero_not_nan() {
+        let h = HistogramSnapshot::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn quantiles_follow_bucket_upper_bounds() {
+        let reg = Registry::new();
+        let h = reg.histogram("v");
+        // 90 samples of 10 (bucket 4, upper 15), 10 samples of 1000
+        // (bucket 10, upper 1023).
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let hs = reg.snapshot().histograms["v"].clone();
+        assert_eq!(hs.p50(), 15);
+        assert_eq!(hs.quantile(0.90), 15);
+        assert_eq!(hs.p95(), 1000); // clamped to observed max
+        assert_eq!(hs.p99(), 1000);
+        assert_eq!(hs.quantile(0.0), 10); // clamped to observed min
+        assert_eq!(hs.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let reg = Registry::new();
+        reg.histogram("v").record(777);
+        let hs = reg.snapshot().histograms["v"].clone();
+        assert_eq!(hs.p50(), 777);
+        assert_eq!(hs.p99(), 777);
+    }
+
+    #[test]
+    fn quantile_handles_top_bucket_without_overflow() {
+        let hs = HistogramSnapshot {
+            count: 2,
+            sum: u64::MAX,
+            min: u64::MAX - 1,
+            max: u64::MAX,
+            buckets: vec![(64, 2)],
+        };
+        assert_eq!(hs.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_together() {
+        let both = Registry::new();
+        let a = Registry::new();
+        let b = Registry::new();
+        for v in [1u64, 5, 9, 100] {
+            a.histogram("h").record(v);
+            both.histogram("h").record(v);
+        }
+        for v in [2u64, 5, 4000] {
+            b.histogram("h").record(v);
+            both.histogram("h").record(v);
+        }
+        let mut merged = a.snapshot().histograms["h"].clone();
+        merged.merge(&b.snapshot().histograms["h"]);
+        assert_eq!(merged, both.snapshot().histograms["h"]);
+        // Merging an empty histogram in either direction is identity.
+        let mut with_empty = merged.clone();
+        with_empty.merge(&HistogramSnapshot::default());
+        assert_eq!(with_empty, merged);
+        let mut from_empty = HistogramSnapshot::default();
+        from_empty.merge(&merged);
+        assert_eq!(from_empty, merged);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_histograms() {
+        let a_reg = Registry::new();
+        a_reg.counter("c").add(3);
+        a_reg.histogram("h").record(10);
+        let b_reg = Registry::new();
+        b_reg.counter("c").add(4);
+        b_reg.counter("only_b").add(1);
+        b_reg.histogram("h").record(20);
+        let mut merged = a_reg.snapshot();
+        merged.merge(&b_reg.snapshot());
+        assert_eq!(merged.counter("c"), 7);
+        assert_eq!(merged.counter("only_b"), 1);
+        assert_eq!(merged.histograms["h"].count, 2);
+        assert_eq!(merged.histograms["h"].sum, 30);
+    }
+
+    #[test]
+    fn render_text_includes_quantiles() {
+        let text = sample().render_text();
+        for col in ["p50=", "p95=", "p99="] {
+            assert!(text.contains(col), "missing {col} in:\n{text}");
+        }
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! snapshot encodes the stage hierarchy in the metric names themselves.
 
 use crate::registry::Registry;
+use crate::trace::Tracer;
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Length of the `span.` metric prefix, stripped for timeline names.
+const SPAN_PREFIX: usize = "span.".len();
 
 thread_local! {
     /// Names of the spans currently open on this thread, outermost first.
@@ -24,16 +28,25 @@ pub fn span(name: &str) -> SpanGuard {
 /// Open a named span recording into `registry` when dropped.
 ///
 /// The histogram name is `span.` followed by the dotted path of every
-/// span open on this thread, innermost last.
+/// span open on this thread, innermost last. If a [`Tracer`] is
+/// installed on the registry (or an ancestor), matching Begin/End
+/// timeline events are emitted under the dotted path (no `span.`
+/// prefix), so instrumented sites appear in `--trace` output for free.
 pub fn span_in(registry: &Arc<Registry>, name: &str) -> SpanGuard {
     let path = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         stack.push(name.to_string());
         stack.join(".")
     });
+    let metric = format!("span.{path}");
+    let tracer = registry.tracer();
+    if let Some(t) = &tracer {
+        t.begin(&metric[SPAN_PREFIX..]);
+    }
     SpanGuard {
         registry: Arc::clone(registry),
-        metric: format!("span.{path}"),
+        metric,
+        tracer,
         started: Instant::now(),
     }
 }
@@ -46,6 +59,7 @@ pub fn span_in(registry: &Arc<Registry>, name: &str) -> SpanGuard {
 pub struct SpanGuard {
     registry: Arc<Registry>,
     metric: String,
+    tracer: Option<Arc<Tracer>>,
     started: Instant,
 }
 
@@ -60,6 +74,9 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let elapsed = self.started.elapsed();
+        if let Some(t) = &self.tracer {
+            t.end(&self.metric[SPAN_PREFIX..]);
+        }
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });

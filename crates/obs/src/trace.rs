@@ -1,0 +1,876 @@
+//! Event-level tracing: bounded per-thread ring buffers exported as
+//! Chrome trace-event JSON.
+//!
+//! Metrics (the rest of `obs`) tell you *how much*; traces tell you
+//! *when* and *where*. A [`Tracer`] hands every recording thread its own
+//! fixed-capacity SPSC ring buffer, so the hot path is: one monotonic
+//! clock read, one relaxed length load, one slot write, one release
+//! store. No locks, no allocation beyond the event's name, no
+//! cross-thread traffic. When a buffer fills, new events are **dropped
+//! and counted** (`trace.dropped`) — memory stays bounded and the loss
+//! is explicit, never silent truncation.
+//!
+//! Events carry nanosecond timestamps plus a rank id (set per thread via
+//! [`set_rank`], propagated by `minimpi` worlds) and a tracer-assigned
+//! thread id. [`Trace::to_chrome_json`] renders the Chrome trace-event
+//! format — load the file in [Perfetto](https://ui.perfetto.dev) or
+//! `chrome://tracing` and every rank appears as a process row with its
+//! threads beneath it. Timestamps are emitted as integer microseconds
+//! (`ts`) with the exact nanosecond value preserved in `args.ns`, so the
+//! export round-trips through [`Trace::from_chrome_json`] losslessly.
+//!
+//! A tracer is installed on a [`crate::Registry`] via
+//! [`crate::Registry::install_tracer`]; [`crate::span_in`] looks the tracer up
+//! through the registry's parent chain, so every already-instrumented
+//! span site lands on the timeline with no further changes.
+//!
+//! # Memory bound
+//!
+//! Each recording thread owns one buffer of [`DEFAULT_CAPACITY`] events
+//! (or the capacity given to [`Tracer::with_capacity`]). An event slot
+//! is ~80 bytes, so the default is ~1.3 MiB per thread — sized so a
+//! full pipeline run over a bench corpus fits with room to spare (the
+//! acceptance suite asserts zero drops at default capacity).
+
+use crate::json::{self, JsonValue, JsonWriter, ParseError};
+use crate::snapshot::format_ns;
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_CAPACITY: usize = 1 << 14;
+
+/// What an event marks: a span boundary, a point-in-time marker, or a
+/// counter sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span opened (`ph: "B"`).
+    Begin,
+    /// Span closed (`ph: "E"`).
+    End,
+    /// Point event (`ph: "i"`).
+    Instant,
+    /// Counter sample (`ph: "C"`); the value rides in [`TraceEvent::value`].
+    Counter,
+}
+
+impl Phase {
+    /// Chrome trace-event `ph` code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        }
+    }
+
+    fn from_code(code: &str) -> Option<Phase> {
+        match code {
+            "B" => Some(Phase::Begin),
+            "E" => Some(Phase::End),
+            "i" => Some(Phase::Instant),
+            "C" => Some(Phase::Counter),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the tracer's epoch.
+    pub ts_ns: u64,
+    /// Rank id (Chrome `pid`): the thread-local value set by [`set_rank`]
+    /// at record time; 0 outside any comm world.
+    pub rank: u32,
+    /// Tracer-assigned thread id (Chrome `tid`), unique per recording
+    /// thread within one tracer.
+    pub tid: u32,
+    pub phase: Phase,
+    pub name: String,
+    /// Counter sample value; 0 for other phases.
+    pub value: u64,
+}
+
+thread_local! {
+    /// Rank tag applied to events recorded on this thread.
+    static RANK: Cell<u32> = const { Cell::new(0) };
+    /// Per-thread buffer cache, keyed by tracer id. The cache is what
+    /// makes each buffer single-writer: only the thread that created a
+    /// buffer ever finds it here.
+    static BUFS: RefCell<Vec<(u64, Arc<ThreadBuf>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Tag this thread's future events with `rank`. `minimpi::run` and its
+/// variants call this on every rank thread; code spawning workers on behalf of a
+/// rank (e.g. `arrayudf` thread pools) should forward the current value.
+pub fn set_rank(rank: u32) {
+    RANK.with(|r| r.set(rank));
+}
+
+/// The rank tag this thread's events carry (0 unless [`set_rank`] ran).
+pub fn current_rank() -> u32 {
+    RANK.with(|r| r.get())
+}
+
+/// Fixed-capacity append-only event buffer, written by exactly one
+/// thread and read by any.
+struct ThreadBuf {
+    tid: u32,
+    /// Published event count. The writer stores with `Release` after the
+    /// slot write; readers load with `Acquire` and only touch slots
+    /// below it, so a slot is never read while being written.
+    len: AtomicUsize,
+    dropped: AtomicU64,
+    slots: Box<[UnsafeCell<Option<TraceEvent>>]>,
+}
+
+// SAFETY: the only writer is the owning thread (buffers are reached
+// through the thread-local cache), writes go to the slot at `len` before
+// `len` is published with Release ordering, and readers only dereference
+// slots strictly below an Acquire-loaded `len`. Slots are never
+// overwritten or removed.
+unsafe impl Sync for ThreadBuf {}
+unsafe impl Send for ThreadBuf {}
+
+impl ThreadBuf {
+    fn new(tid: u32, capacity: usize) -> ThreadBuf {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || UnsafeCell::new(None));
+        ThreadBuf {
+            tid,
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Append `ev`; returns false (and counts a drop) when full.
+    /// Must only be called from the owning thread.
+    fn push(&self, ev: TraceEvent) -> bool {
+        let len = self.len.load(Ordering::Relaxed);
+        if len == self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // SAFETY: `len` is below capacity and slots at or above `len`
+        // are invisible to readers until the Release store below.
+        unsafe {
+            *self.slots[len].get() = Some(ev);
+        }
+        self.len.store(len + 1, Ordering::Release);
+        true
+    }
+
+    /// Copy the published prefix into `out`, in record order.
+    fn read_into(&self, out: &mut Vec<TraceEvent>) {
+        let len = self.len.load(Ordering::Acquire);
+        for slot in &self.slots[..len] {
+            // SAFETY: slots below an Acquire-loaded `len` are fully
+            // written and never mutated again.
+            if let Some(ev) = unsafe { (*slot.get()).clone() } {
+                out.push(ev);
+            }
+        }
+    }
+}
+
+fn next_tracer_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Event recorder. Cheap to share (`Arc`); each recording thread lazily
+/// gets its own ring buffer on first use.
+pub struct Tracer {
+    id: u64,
+    epoch: Instant,
+    capacity: usize,
+    bufs: Mutex<Vec<Arc<ThreadBuf>>>,
+    next_tid: AtomicU32,
+    /// Mirror of per-buffer drop counts into a metrics counter, bound
+    /// at [`Registry::install_tracer`] time.
+    dropped_counter: OnceLock<crate::Counter>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// Tracer with [`DEFAULT_CAPACITY`] events per thread.
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Tracer with an explicit per-thread ring capacity (min 1).
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            id: next_tracer_id(),
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            bufs: Mutex::new(Vec::new()),
+            next_tid: AtomicU32::new(1),
+            dropped_counter: OnceLock::new(),
+        }
+    }
+
+    pub(crate) fn bind_dropped_counter(&self, counter: crate::Counter) {
+        let _ = self.dropped_counter.set(counter);
+    }
+
+    /// Open a span named `name` on this thread's timeline.
+    pub fn begin(&self, name: &str) {
+        self.record(Phase::Begin, name, 0);
+    }
+
+    /// Close the most recent [`Tracer::begin`] with the same name.
+    pub fn end(&self, name: &str) {
+        self.record(Phase::End, name, 0);
+    }
+
+    /// Point-in-time marker.
+    pub fn instant(&self, name: &str) {
+        self.record(Phase::Instant, name, 0);
+    }
+
+    /// Counter sample: the value of series `name` as of now.
+    pub fn sample(&self, name: &str, value: u64) {
+        self.record(Phase::Counter, name, value);
+    }
+
+    fn record(&self, phase: Phase, name: &str, value: u64) {
+        let ts_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let buf = self.thread_buf();
+        let ev = TraceEvent {
+            ts_ns,
+            rank: current_rank(),
+            tid: buf.tid,
+            phase,
+            name: name.to_string(),
+            value,
+        };
+        if !buf.push(ev) {
+            if let Some(c) = self.dropped_counter.get() {
+                c.inc();
+            }
+        }
+    }
+
+    fn thread_buf(&self) -> Arc<ThreadBuf> {
+        BUFS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, buf)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(buf);
+            }
+            let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+            let buf = Arc::new(ThreadBuf::new(tid, self.capacity));
+            self.lock_bufs().push(Arc::clone(&buf));
+            cache.push((self.id, Arc::clone(&buf)));
+            buf
+        })
+    }
+
+    fn lock_bufs(&self) -> std::sync::MutexGuard<'_, Vec<Arc<ThreadBuf>>> {
+        match self.bufs.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Total events dropped across all threads so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock_bufs()
+            .iter()
+            .map(|b| b.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Snapshot every thread's published events into a [`Trace`].
+    /// Events are grouped per thread in record order (buffers in
+    /// thread-registration order); recording may continue afterwards.
+    pub fn collect(&self) -> Trace {
+        let bufs: Vec<Arc<ThreadBuf>> = self.lock_bufs().iter().map(Arc::clone).collect();
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for buf in &bufs {
+            buf.read_into(&mut events);
+            dropped += buf.dropped.load(Ordering::Relaxed);
+        }
+        Trace { events, dropped }
+    }
+}
+
+/// Install a tracer on the global registry (idempotent: the first call
+/// wins and later calls return the installed tracer). Spans recorded
+/// through [`crate::span`] — and through any registry parented to the
+/// global one, i.e. every `minimpi` world — emit timeline events from
+/// then on.
+pub fn enable_global(capacity: usize) -> Arc<Tracer> {
+    let reg = crate::registry::global();
+    if let Some(t) = reg.tracer() {
+        return t;
+    }
+    reg.install_tracer(Arc::new(Tracer::with_capacity(capacity)));
+    reg.tracer().expect("tracer just installed")
+}
+
+/// Timeline-only span guard from [`scope`]/[`scope_in`]: emits Begin on
+/// creation and End on drop, with **no** histogram recording — for hot
+/// paths that already keep their own metrics and only need to appear on
+/// the trace.
+pub struct Scope {
+    tracer: Arc<Tracer>,
+    name: String,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        self.tracer.end(&self.name);
+    }
+}
+
+/// Open a timeline-only span on the global registry's tracer. Returns
+/// `None` — at the cost of one `OnceLock` load — when tracing is off,
+/// so instrumented hot paths stay effectively free by default.
+pub fn scope(name: &str) -> Option<Scope> {
+    scope_in(crate::registry::global(), name)
+}
+
+/// [`scope`] against a specific registry (tracer found via its parent
+/// chain).
+pub fn scope_in(registry: &crate::Registry, name: &str) -> Option<Scope> {
+    let tracer = registry.tracer()?;
+    tracer.begin(name);
+    Some(Scope {
+        tracer,
+        name: name.to_string(),
+    })
+}
+
+/// A collected set of events plus the exact number lost to full rings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Per-thread record order, threads concatenated.
+    pub events: Vec<TraceEvent>,
+    /// Events that did not fit a ring buffer. Zero means the timeline
+    /// is complete.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Render as Chrome trace-event JSON (object form), loadable in
+    /// Perfetto / `chrome://tracing`. `ts` is integer microseconds; the
+    /// exact nanosecond stamp is in `args.ns`, so
+    /// [`Trace::from_chrome_json`] reproduces `self` bit-exactly.
+    pub fn to_chrome_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(self.events.len() * 96 + 96);
+        w.begin_object();
+        w.key("traceEvents");
+        w.begin_array();
+        for ev in &self.events {
+            w.begin_object();
+            w.key("name").string(&ev.name);
+            w.key("ph").string(ev.phase.code());
+            w.key("ts").uint(ev.ts_ns / 1_000);
+            w.key("pid").uint(u64::from(ev.rank));
+            w.key("tid").uint(u64::from(ev.tid));
+            if ev.phase == Phase::Instant {
+                w.key("s").string("t");
+            }
+            w.key("args");
+            w.begin_object();
+            w.key("ns").uint(ev.ts_ns);
+            if ev.phase == Phase::Counter {
+                w.key("value").uint(ev.value);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("displayTimeUnit").string("ns");
+        w.key("otherData");
+        w.begin_object();
+        w.key("dropped").uint(self.dropped);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parse a document produced by [`Trace::to_chrome_json`] (or any
+    /// Chrome trace whose numbers are unsigned integers).
+    pub fn from_chrome_json(text: &str) -> Result<Trace, ParseError> {
+        let root = json::parse(text)?;
+        let JsonValue::Object(root) = root else {
+            return Err(ParseError::new("trace: expected top-level object"));
+        };
+        let Some(JsonValue::Array(raw_events)) = root.get("traceEvents") else {
+            return Err(ParseError::new("trace: missing `traceEvents` array"));
+        };
+        let mut events = Vec::with_capacity(raw_events.len());
+        for raw in raw_events {
+            let JsonValue::Object(obj) = raw else {
+                return Err(ParseError::new("trace: event must be an object"));
+            };
+            let str_field = |key: &str| -> Result<&str, ParseError> {
+                match obj.get(key) {
+                    Some(JsonValue::String(s)) => Ok(s),
+                    _ => Err(ParseError::missing("trace event", key)),
+                }
+            };
+            let num_field = |key: &str| -> Result<u64, ParseError> {
+                match obj.get(key) {
+                    Some(JsonValue::Number(n)) => Ok(*n),
+                    _ => Err(ParseError::missing("trace event", key)),
+                }
+            };
+            let phase = Phase::from_code(str_field("ph")?)
+                .ok_or_else(|| ParseError::new("trace: unknown `ph` code"))?;
+            let args = match obj.get("args") {
+                Some(JsonValue::Object(a)) => Some(a),
+                _ => None,
+            };
+            let arg_num = |key: &str| -> Option<u64> {
+                match args.and_then(|a| a.get(key)) {
+                    Some(JsonValue::Number(n)) => Some(*n),
+                    _ => None,
+                }
+            };
+            let ts_ns = arg_num("ns").unwrap_or(num_field("ts")?.saturating_mul(1_000));
+            events.push(TraceEvent {
+                ts_ns,
+                rank: num_field("pid")? as u32,
+                tid: num_field("tid")? as u32,
+                phase,
+                name: str_field("name")?.to_string(),
+                value: arg_num("value").unwrap_or(0),
+            });
+        }
+        let dropped = match root.get("otherData") {
+            Some(JsonValue::Object(o)) => match o.get("dropped") {
+                Some(JsonValue::Number(n)) => *n,
+                _ => 0,
+            },
+            _ => 0,
+        };
+        Ok(Trace { events, dropped })
+    }
+
+    /// Aggregate the timeline: top spans, per-thread utilization, and a
+    /// critical-path estimate.
+    pub fn summary(&self) -> TraceSummary {
+        let wall_ns = {
+            let min = self.events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+            let max = self.events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+            max - min
+        };
+
+        // Group per (rank, tid); relative order within a group is record
+        // order because `events` concatenates per-thread buffers.
+        let mut groups: BTreeMap<(u32, u32), Vec<&TraceEvent>> = BTreeMap::new();
+        for ev in &self.events {
+            groups.entry((ev.rank, ev.tid)).or_default().push(ev);
+        }
+
+        let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+        let mut threads = Vec::new();
+        let mut best_root: Option<SpanNode> = None;
+
+        for ((rank, tid), evs) in &groups {
+            let roots = pair_spans(evs);
+            let busy_ns = roots.iter().map(|n| n.duration()).sum();
+            threads.push(ThreadStat {
+                rank: *rank,
+                tid: *tid,
+                events: evs.len() as u64,
+                busy_ns,
+            });
+            for root in roots {
+                aggregate_spans(&root, &mut spans);
+                if best_root
+                    .as_ref()
+                    .is_none_or(|b| root.duration() > b.duration())
+                {
+                    best_root = Some(root);
+                }
+            }
+        }
+
+        // Critical-path estimate: walk the longest top-level span down
+        // through its longest child at each level.
+        let mut critical_path = Vec::new();
+        let mut node = best_root.as_ref();
+        while let Some(n) = node {
+            critical_path.push((n.name.clone(), n.duration()));
+            node = n.children.iter().max_by_key(|c| c.duration());
+        }
+
+        let mut spans: Vec<SpanStat> = spans.into_values().collect();
+        spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+
+        TraceSummary {
+            events: self.events.len() as u64,
+            dropped: self.dropped,
+            wall_ns,
+            spans,
+            threads,
+            critical_path,
+        }
+    }
+}
+
+/// A reconstructed span occurrence (Begin..End) with nested children.
+struct SpanNode {
+    name: String,
+    start_ns: u64,
+    end_ns: u64,
+    children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn duration(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Pair Begin/End events of one thread (record order) into a span
+/// forest. Unclosed spans are closed at the thread's last timestamp.
+fn pair_spans(events: &[&TraceEvent]) -> Vec<SpanNode> {
+    let last_ts = events.last().map_or(0, |e| e.ts_ns);
+    let mut stack: Vec<SpanNode> = Vec::new();
+    let mut roots = Vec::new();
+    for ev in events {
+        match ev.phase {
+            Phase::Begin => stack.push(SpanNode {
+                name: ev.name.clone(),
+                start_ns: ev.ts_ns,
+                end_ns: ev.ts_ns,
+                children: Vec::new(),
+            }),
+            Phase::End => {
+                if let Some(mut node) = stack.pop() {
+                    node.end_ns = ev.ts_ns;
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => roots.push(node),
+                    }
+                }
+            }
+            Phase::Instant | Phase::Counter => {}
+        }
+    }
+    while let Some(mut node) = stack.pop() {
+        node.end_ns = last_ts;
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => roots.push(node),
+        }
+    }
+    roots
+}
+
+fn aggregate_spans(node: &SpanNode, into: &mut BTreeMap<String, SpanStat>) {
+    let stat = into.entry(node.name.clone()).or_insert_with(|| SpanStat {
+        name: node.name.clone(),
+        count: 0,
+        total_ns: 0,
+        max_ns: 0,
+    });
+    stat.count += 1;
+    stat.total_ns += node.duration();
+    stat.max_ns = stat.max_ns.max(node.duration());
+    for child in &node.children {
+        aggregate_spans(child, into);
+    }
+}
+
+/// Aggregate of every occurrence of one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    pub name: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Per-(rank, thread) activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadStat {
+    pub rank: u32,
+    pub tid: u32,
+    pub events: u64,
+    /// Time covered by this thread's top-level spans.
+    pub busy_ns: u64,
+}
+
+/// Output of [`Trace::summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    pub events: u64,
+    pub dropped: u64,
+    /// First event to last event, across all threads.
+    pub wall_ns: u64,
+    /// Sorted by total time, descending.
+    pub spans: Vec<SpanStat>,
+    /// Sorted by (rank, tid).
+    pub threads: Vec<ThreadStat>,
+    /// Longest top-level span followed through its longest child at
+    /// each nesting level: `(name, duration_ns)` outermost first.
+    pub critical_path: Vec<(String, u64)>,
+}
+
+impl TraceSummary {
+    /// Human-readable report (the `das_trace` output).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} event(s), {} dropped, wall {}",
+            self.events,
+            self.dropped,
+            format_ns(self.wall_ns as f64)
+        );
+        if !self.spans.is_empty() {
+            out.push_str("top spans (by total time):\n");
+            let width = self.spans.iter().map(|s| s.name.len()).max().unwrap_or(0);
+            for s in self.spans.iter().take(20) {
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  count={} total={} max={}",
+                    s.name,
+                    s.count,
+                    format_ns(s.total_ns as f64),
+                    format_ns(s.max_ns as f64),
+                );
+            }
+        }
+        if !self.threads.is_empty() {
+            out.push_str("threads:\n");
+            for t in &self.threads {
+                let util = if self.wall_ns == 0 {
+                    0.0
+                } else {
+                    100.0 * t.busy_ns as f64 / self.wall_ns as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "  rank {} tid {:<3}  {} event(s), busy {} ({util:.0}% of wall)",
+                    t.rank,
+                    t.tid,
+                    t.events,
+                    format_ns(t.busy_ns as f64),
+                );
+            }
+        }
+        if !self.critical_path.is_empty() {
+            out.push_str("critical path (longest span, longest child at each level):\n");
+            for (name, ns) in &self.critical_path {
+                let _ = writeln!(out, "  {name} ({})", format_ns(*ns as f64));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn records_in_order_with_rank_and_tid() {
+        let t = Tracer::new();
+        set_rank(3);
+        t.begin("a");
+        t.instant("mark");
+        t.sample("bytes", 42);
+        t.end("a");
+        set_rank(0);
+        let trace = t.collect();
+        assert_eq!(trace.dropped, 0);
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.events[0].phase, Phase::Begin);
+        assert_eq!(trace.events[3].phase, Phase::End);
+        assert!(trace.events.iter().all(|e| e.rank == 3));
+        let tid = trace.events[0].tid;
+        assert!(trace.events.iter().all(|e| e.tid == tid));
+        assert!(trace.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(trace.events[2].value, 42);
+    }
+
+    #[test]
+    fn full_ring_drops_new_events_with_exact_count() {
+        let t = Tracer::with_capacity(4);
+        for i in 0..10 {
+            t.instant(&format!("e{i}"));
+        }
+        let trace = t.collect();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.dropped, 6);
+        assert_eq!(t.dropped(), 6);
+        // Drop-new policy: the *earliest* events survive.
+        assert_eq!(trace.events[0].name, "e0");
+        assert_eq!(trace.events[3].name, "e3");
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let t = Arc::new(Tracer::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        t.instant("tick");
+                    }
+                });
+            }
+        });
+        let trace = t.collect();
+        assert_eq!(trace.events.len(), 40);
+        let tids: std::collections::BTreeSet<u32> = trace.events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn chrome_json_round_trips_exactly() {
+        let t = Tracer::with_capacity(8);
+        t.begin("pipeline.read");
+        t.sample("queue", 7);
+        t.end("pipeline.read");
+        for _ in 0..20 {
+            t.instant("overflow");
+        }
+        let trace = t.collect();
+        assert!(trace.dropped > 0);
+        let json = trace.to_chrome_json();
+        let back = Trace::from_chrome_json(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn chrome_json_has_required_fields() {
+        let t = Tracer::new();
+        t.begin("x");
+        t.end("x");
+        let json = t.collect().to_chrome_json();
+        for field in ["\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":", "\"name\":"] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert!(json.contains("\"traceEvents\":["));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::default();
+        let back = Trace::from_chrome_json(&trace.to_chrome_json()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn summary_pairs_spans_and_estimates_critical_path() {
+        let mk = |ts_ns, phase, name: &str| TraceEvent {
+            ts_ns,
+            rank: 0,
+            tid: 1,
+            phase,
+            name: name.to_string(),
+            value: 0,
+        };
+        let trace = Trace {
+            events: vec![
+                mk(0, Phase::Begin, "pipeline"),
+                mk(10, Phase::Begin, "read"),
+                mk(60, Phase::End, "read"),
+                mk(60, Phase::Begin, "analyze"),
+                mk(80, Phase::End, "analyze"),
+                mk(100, Phase::End, "pipeline"),
+            ],
+            dropped: 0,
+        };
+        let s = trace.summary();
+        assert_eq!(s.wall_ns, 100);
+        assert_eq!(s.spans[0].name, "pipeline");
+        assert_eq!(s.spans[0].total_ns, 100);
+        assert_eq!(s.threads.len(), 1);
+        assert_eq!(s.threads[0].busy_ns, 100);
+        let path: Vec<&str> = s.critical_path.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(path, ["pipeline", "read"]);
+        let text = s.render_text();
+        assert!(text.contains("critical path"));
+        assert!(text.contains("pipeline"));
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_at_last_event() {
+        let mk = |ts_ns, phase, name: &str| TraceEvent {
+            ts_ns,
+            rank: 0,
+            tid: 1,
+            phase,
+            name: name.to_string(),
+            value: 0,
+        };
+        let trace = Trace {
+            events: vec![mk(0, Phase::Begin, "hung"), mk(50, Phase::Instant, "mark")],
+            dropped: 0,
+        };
+        let s = trace.summary();
+        assert_eq!(s.spans[0].total_ns, 50);
+    }
+
+    #[test]
+    fn registry_install_and_parent_lookup() {
+        let parent = Arc::new(Registry::new());
+        let child = Arc::new(Registry::with_parent(Arc::clone(&parent)));
+        assert!(child.tracer().is_none());
+        let t = Arc::new(Tracer::new());
+        assert!(parent.install_tracer(Arc::clone(&t)));
+        assert!(!parent.install_tracer(Arc::new(Tracer::new())));
+        let found = child.tracer().expect("found via parent");
+        assert_eq!(found.id, t.id);
+    }
+
+    #[test]
+    fn dropped_events_bump_registry_counter() {
+        let reg = Arc::new(Registry::new());
+        let t = Arc::new(Tracer::with_capacity(2));
+        reg.install_tracer(Arc::clone(&t));
+        for _ in 0..5 {
+            t.instant("e");
+        }
+        assert_eq!(reg.snapshot().counter("trace.dropped"), 3);
+    }
+
+    #[test]
+    fn span_guard_emits_begin_end_pairs() {
+        let reg = Arc::new(Registry::new());
+        reg.install_tracer(Arc::new(Tracer::new()));
+        {
+            let _outer = crate::span_in(&reg, "pipeline");
+            let _inner = crate::span_in(&reg, "read");
+        }
+        let trace = reg.tracer().unwrap().collect();
+        let names: Vec<(&str, Phase)> = trace
+            .events
+            .iter()
+            .map(|e| (e.name.as_str(), e.phase))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("pipeline", Phase::Begin),
+                ("pipeline.read", Phase::Begin),
+                ("pipeline.read", Phase::End),
+                ("pipeline", Phase::End),
+            ]
+        );
+    }
+}

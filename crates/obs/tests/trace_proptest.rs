@@ -1,0 +1,122 @@
+//! Property tests for the trace ring buffers: arbitrary thread counts,
+//! per-thread event counts, and ring capacities must never tear an
+//! event, never lose one silently, and always account for drops
+//! exactly.
+
+use obs::trace::{Phase, Tracer};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N threads each push `events` events through their own ring.
+    /// Afterwards: per-thread stored counts are `min(events, capacity)`,
+    /// the drop counter is exactly the overflow, stored events are the
+    /// *earliest* of each thread in order, and every event is intact
+    /// (name matches its sequence number, value matches, rank matches).
+    #[test]
+    fn no_torn_events_and_exact_drop_accounting(
+        threads in 1usize..6,
+        events in 0usize..300,
+        capacity in 1usize..128,
+    ) {
+        let tracer = Arc::new(Tracer::with_capacity(capacity));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let tracer = Arc::clone(&tracer);
+                s.spawn(move || {
+                    obs::trace::set_rank(t as u32);
+                    for i in 0..events {
+                        tracer.sample(&format!("t{t}.e{i}"), (t * 1_000_000 + i) as u64);
+                    }
+                });
+            }
+        });
+        let trace = tracer.collect();
+
+        let stored_per_thread = events.min(capacity);
+        let dropped_per_thread = events - stored_per_thread;
+        prop_assert_eq!(trace.events.len(), threads * stored_per_thread);
+        prop_assert_eq!(trace.dropped, (threads * dropped_per_thread) as u64);
+        prop_assert_eq!(tracer.dropped(), trace.dropped);
+
+        // Group by rank (== spawning thread): each group must hold the
+        // earliest `stored_per_thread` events, in push order, untorn.
+        let mut by_rank: BTreeMap<u32, Vec<&obs::TraceEvent>> = BTreeMap::new();
+        for ev in &trace.events {
+            prop_assert_eq!(ev.phase, Phase::Counter);
+            by_rank.entry(ev.rank).or_default().push(ev);
+        }
+        if stored_per_thread > 0 {
+            prop_assert_eq!(by_rank.len(), threads);
+        }
+        for (rank, evs) in by_rank {
+            prop_assert_eq!(evs.len(), stored_per_thread);
+            for (i, ev) in evs.iter().enumerate() {
+                prop_assert_eq!(ev.name.clone(), format!("t{rank}.e{i}"));
+                prop_assert_eq!(ev.value, u64::from(rank) * 1_000_000 + i as u64);
+            }
+            // Timestamps are monotone within a thread.
+            for w in evs.windows(2) {
+                prop_assert!(w[0].ts_ns <= w[1].ts_ns);
+            }
+        }
+    }
+
+    /// Readers racing the writers observe only complete events: every
+    /// event read mid-flight has a self-consistent (name, value) pair.
+    #[test]
+    fn concurrent_collect_sees_only_complete_events(
+        events in 1usize..400,
+        collects in 1usize..8,
+    ) {
+        let tracer = Arc::new(Tracer::with_capacity(events));
+        std::thread::scope(|s| {
+            let writer = Arc::clone(&tracer);
+            s.spawn(move || {
+                for i in 0..events {
+                    writer.sample(&format!("e{i}"), i as u64 * 3);
+                }
+            });
+            for _ in 0..collects {
+                let reader = Arc::clone(&tracer);
+                s.spawn(move || {
+                    let trace = reader.collect();
+                    for ev in &trace.events {
+                        assert_eq!(ev.name, format!("e{}", ev.value / 3));
+                        assert_eq!(ev.value % 3, 0);
+                    }
+                });
+            }
+        });
+        let final_trace = tracer.collect();
+        prop_assert_eq!(final_trace.events.len(), events);
+        prop_assert_eq!(final_trace.dropped, 0);
+    }
+
+    /// Chrome-JSON export is a lossless codec for arbitrary traces,
+    /// including overflowed ones.
+    #[test]
+    fn chrome_json_round_trips_random_traces(
+        events in 0usize..200,
+        capacity in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let tracer = Tracer::with_capacity(capacity);
+        obs::trace::set_rank((seed % 7) as u32);
+        for i in 0..events {
+            match (seed.wrapping_add(i as u64)) % 4 {
+                0 => tracer.begin(&format!("span{i}")),
+                1 => tracer.end(&format!("span{i}")),
+                2 => tracer.instant(&format!("mark \"{i}\"\n")),
+                _ => tracer.sample("bytes", seed.wrapping_mul(i as u64)),
+            }
+        }
+        obs::trace::set_rank(0);
+        let trace = tracer.collect();
+        let back = obs::Trace::from_chrome_json(&trace.to_chrome_json()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+}
