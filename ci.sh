@@ -36,6 +36,20 @@ if [[ $quick -eq 0 ]]; then
         echo "chaos: same seeds produced different outcomes across runs" >&2
         exit 1
     fi
+    # …and against the committed baseline, so a refactor that changes
+    # outcomes deterministically (both passes agree, but differently
+    # than before) still fails until the baseline is refreshed.
+    if [[ -f results/CHAOS_digest.txt ]]; then
+        if ! diff -u results/CHAOS_digest.txt "$digest_dir/pass1"; then
+            echo "chaos: outcomes drifted from results/CHAOS_digest.txt" >&2
+            echo "chaos: refresh the baseline only if the drift is intentional" >&2
+            exit 1
+        fi
+    else
+        mkdir -p results
+        cp "$digest_dir/pass1" results/CHAOS_digest.txt
+        echo "    recorded new chaos baseline results/CHAOS_digest.txt"
+    fi
 
     # Integrity scrub: generate a small corpus, damage two files the
     # two ways that matter (bit-rot vs torn write), and check das_fsck
@@ -101,6 +115,33 @@ if [[ $quick -eq 0 ]]; then
         }
     done
 
+    # Planner gate: the 4-rank read must reuse pooled buffers, and its
+    # fresh-allocation footprint must stay near the recorded baseline.
+    # The counter moves a little with thread timing (which rank's read
+    # lands first decides which acquisitions recycle), so the gate is
+    # 1.5x + 64 KiB — loose enough for scheduling jitter, tight enough
+    # that losing pooling outright (≈2x allocations) fails.
+    echo "==> planner: pool reuse + dasf.alloc.bytes regression gate"
+    pool_hits=$(grep -oE '"pool\.hit":[0-9]+' "$trace_dir/m.json" | head -1 | cut -d: -f2)
+    alloc_bytes=$(grep -oE '"dasf\.alloc\.bytes":[0-9]+' "$trace_dir/m.json" | head -1 | cut -d: -f2)
+    echo "    pool.hit=${pool_hits:-0} dasf.alloc.bytes=${alloc_bytes:-0}"
+    if [[ -z "${pool_hits:-}" || "$pool_hits" -le 0 ]]; then
+        echo "planner: pipeline read never hit the buffer pool" >&2
+        exit 1
+    fi
+    baseline_alloc=$(grep -oE '"pipeline_alloc_bytes":[0-9]+' \
+        results/BENCH_pipeline.json 2>/dev/null | head -1 | cut -d: -f2 || true)
+    if [[ -n "${baseline_alloc:-}" ]]; then
+        budget=$((baseline_alloc + baseline_alloc / 2 + 65536))
+        if [[ "$alloc_bytes" -gt "$budget" ]]; then
+            echo "planner: dasf.alloc.bytes regressed: $alloc_bytes > budget $budget (baseline $baseline_alloc)" >&2
+            exit 1
+        fi
+        echo "    within budget $budget (baseline $baseline_alloc)"
+    else
+        echo "    no pipeline_alloc_bytes baseline yet; will record this run's value"
+    fi
+
     # Perf trajectory: the quick experiment binaries emit per-run JSON
     # (wall time + obs counters); consolidate them into one document a
     # dashboard can diff across commits.
@@ -112,7 +153,8 @@ if [[ $quick -eq 0 ]]; then
     done
     mkdir -p results
     {
-        printf '{"generated_unix_ns":%s,"experiments":[' "$(date +%s%N)"
+        printf '{"generated_unix_ns":%s,"pipeline_alloc_bytes":%s,"experiments":[' \
+            "$(date +%s%N)" "${alloc_bytes:-0}"
         first=1
         for f in "$bench_dir"/*.json; do
             [[ $first -eq 1 ]] || printf ','

@@ -123,6 +123,29 @@ impl<T: Copy> Array2<T> {
         }
     }
 
+    /// Paste a borrowed tile at `(r0, c0)`, row by row.
+    ///
+    /// The zero-copy assembly primitive for the planner/executor read
+    /// path: tiles stay in their pooled buffers and only the final
+    /// placement into the destination array copies bytes.
+    ///
+    /// # Panics
+    /// Panics when the tile does not fit at `(r0, c0)`.
+    pub fn paste(&mut self, r0: usize, c0: usize, tile: TileView<'_, T>) {
+        assert!(
+            r0 + tile.rows <= self.rows && c0 + tile.cols <= self.cols,
+            "tile {}x{} does not fit at ({r0},{c0}) in {}x{}",
+            tile.rows,
+            tile.cols,
+            self.rows,
+            self.cols
+        );
+        for r in 0..tile.rows {
+            let dst = (r0 + r) * self.cols + c0;
+            self.data[dst..dst + tile.cols].copy_from_slice(tile.row(r));
+        }
+    }
+
     /// Stack arrays vertically (same column count).
     pub fn vstack(blocks: &[Array2<T>]) -> Array2<T> {
         assert!(!blocks.is_empty(), "vstack needs at least one block");
@@ -148,6 +171,73 @@ impl<T: Copy + Default> Array2<T> {
             cols,
             data: vec![T::default(); rows * cols],
         }
+    }
+}
+
+/// A borrowed, row-major window over someone else's buffer.
+///
+/// Tiles produced by the I/O planner reference pooled read buffers; a
+/// `TileView` lets [`Array2::paste`] assemble the destination array
+/// straight from those buffers without an intermediate `Array2` per
+/// tile. Rows are `stride` elements apart in the backing slice, so a
+/// view can select a row band out of a wider buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct TileView<'a, T> {
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    data: &'a [T],
+}
+
+impl<'a, T: Copy> TileView<'a, T> {
+    /// View `rows × cols` elements of `data`, rows `stride` apart.
+    ///
+    /// # Panics
+    /// Panics when the last row would run past the end of `data` or
+    /// `stride < cols`.
+    pub fn with_stride(rows: usize, cols: usize, stride: usize, data: &'a [T]) -> TileView<'a, T> {
+        assert!(stride >= cols, "stride {stride} narrower than cols {cols}");
+        if rows > 0 {
+            let need = (rows - 1) * stride + cols;
+            assert!(
+                data.len() >= need,
+                "tile view {rows}x{cols} (stride {stride}) needs {need} elements, got {}",
+                data.len()
+            );
+        }
+        TileView {
+            rows,
+            cols,
+            stride,
+            data,
+        }
+    }
+
+    /// View a dense row-major `rows × cols` slice.
+    pub fn new(rows: usize, cols: usize, data: &'a [T]) -> TileView<'a, T> {
+        TileView::with_stride(rows, cols, cols, data)
+    }
+
+    /// Number of rows in the view.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the view.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One row of the view as a contiguous slice.
+    pub fn row(&self, r: usize) -> &'a [T] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.stride..r * self.stride + self.cols]
+    }
+}
+
+impl<'a, T: Copy> From<&'a Array2<T>> for TileView<'a, T> {
+    fn from(a: &'a Array2<T>) -> TileView<'a, T> {
+        TileView::new(a.rows, a.cols, &a.data)
     }
 }
 
@@ -178,6 +268,30 @@ mod tests {
         assert_eq!(b.rows(), 3);
         assert_eq!(b.row(0), a.row(1));
         assert_eq!(b.row(2), a.row(3));
+    }
+
+    #[test]
+    fn paste_assembles_from_strided_views() {
+        let src = Array2::from_fn(4, 5, |r, c| (r * 5 + c) as i32);
+        let mut dst = Array2::<i32>::zeroed(4, 8);
+        // Whole array at an offset column.
+        dst.paste(0, 3, TileView::from(&src));
+        assert_eq!(dst.get(2, 3 + 4), src.get(2, 4));
+        assert_eq!(dst.get(3, 0), 0);
+        // A row band out of the wider buffer, strided.
+        let band = TileView::with_stride(2, 5, 5, &src.as_slice()[5..]);
+        let mut dst2 = Array2::<i32>::zeroed(2, 5);
+        dst2.paste(0, 0, band);
+        assert_eq!(dst2.row(0), src.row(1));
+        assert_eq!(dst2.row(1), src.row(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn paste_out_of_bounds_panics() {
+        let src = Array2::<u8>::filled(2, 2, 1);
+        let mut dst = Array2::<u8>::zeroed(2, 2);
+        dst.paste(1, 1, TileView::from(&src));
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod metrics;
 mod stencil;
 
 pub use apply::{apply, apply_mt, apply_with, Ghost, Stride};
-pub use array::Array2;
+pub use array::{Array2, TileView};
 pub use array3::Array3;
 pub use stencil::Stencil;

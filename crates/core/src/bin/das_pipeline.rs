@@ -40,7 +40,7 @@
 use dassa::dasa::{
     self, Analysis, AnalysisOutput, Haee, InterferometryParams, LocalSimiParams, StackingParams,
 };
-use dassa::dass::{FileCatalog, ReadStrategy, Vca};
+use dassa::dass::{FileCatalog, IoExecutor, IoPlan, ReadStrategy, Vca};
 use std::process::ExitCode;
 
 struct Args {
@@ -264,9 +264,10 @@ fn run(args: &Args) -> dassa::Result<Option<obs::ClusterSnapshot>> {
     Ok(cluster)
 }
 
-/// Read the VCA under an in-process comm world of `ranks` ranks: every
-/// rank reads its channel block with the auto-selected parallel
-/// strategy (resilient when a fault plan is active), rank 0 gathers the
+/// Read the VCA under an in-process comm world of `ranks` ranks: the
+/// auto-resolved [`IoPlan`] is built once up front (and summarized to
+/// stderr), then every rank runs it through the [`IoExecutor`]
+/// (resilient when a fault plan is active). Rank 0 gathers the channel
 /// blocks back into the full array and the per-rank observability
 /// registries into a [`obs::ClusterSnapshot`] for `--metrics`.
 fn read_distributed_f64(
@@ -275,12 +276,18 @@ fn read_distributed_f64(
     plan: Option<&faultline::FaultPlan>,
 ) -> dassa::Result<(arrayudf::Array2<f64>, Option<obs::ClusterSnapshot>)> {
     let comm_err = |e: minimpi::CommError| dassa::DassaError::Io(std::io::Error::other(e));
+    let io_plan = IoPlan::for_vca(vca, ReadStrategy::Auto, ranks);
+    eprintln!(
+        "planned {} chunk reads ({} KiB) with {:?} exchange over {ranks} ranks",
+        io_plan.ops.len(),
+        io_plan.total_bytes() / 1024,
+        io_plan.exchange
+    );
     let body = |comm: &minimpi::Comm| -> dassa::Result<_> {
         let block = match plan {
-            None => dassa::dass::read_vca(comm, vca, ReadStrategy::Auto)?,
+            None => IoExecutor::new(comm).run(&io_plan)?.0,
             Some(_) => {
-                let (block, report) =
-                    dassa::dass::read_vca_resilient(comm, vca, ReadStrategy::Auto)?;
+                let (block, report) = IoExecutor::resilient(comm).run(&io_plan)?;
                 if comm.rank() == 0 && !report.is_clean() {
                     eprintln!(
                         "fault plan active: quarantined {}/{} files {:?}, {} read retries, {} samples zero-filled",

@@ -21,8 +21,7 @@ use dasf::{DasfError, File};
 use obs::Counter;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// Metric names recorded by scrubs in the global `obs` registry.
 pub mod metric_names {
@@ -279,24 +278,11 @@ pub fn collect_targets(paths: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
 }
 
 /// Scrub `targets` with `threads` worker threads (clamped to ≥ 1) and
-/// return the aggregate report, verdicts sorted by path.
+/// return the aggregate report, verdicts sorted by path. A shim over
+/// [`IoExecutor::run_scrub`](super::plan::IoExecutor::run_scrub), the
+/// same engine that runs data reads.
 pub fn scrub_paths(targets: &[PathBuf], threads: usize) -> FsckReport {
-    let threads = threads.clamp(1, targets.len().max(1));
-    let next = AtomicUsize::new(0);
-    let verdicts = Mutex::new(Vec::with_capacity(targets.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(path) = targets.get(i) else { break };
-                let v = scrub_file(path);
-                verdicts.lock().unwrap().push(v);
-            });
-        }
-    });
-    let mut files = verdicts.into_inner().unwrap();
-    files.sort_by(|a, b| a.path.cmp(&b.path));
-    FsckReport { files }
+    super::plan::IoExecutor::serial().run_scrub(targets, threads)
 }
 
 /// Move every damaged file in `report` into `dir` (created if needed).

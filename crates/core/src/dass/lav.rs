@@ -2,6 +2,7 @@
 //! analogous to an HDF5 hyperslab, letting analyses run on "a subset of
 //! interested channels" without copying or re-merging.
 
+use super::plan::{IoExecutor, IoPlan};
 use super::vca::Vca;
 use crate::{DassaError, Result};
 use arrayudf::Array2;
@@ -75,9 +76,14 @@ impl Lav {
         )
     }
 
+    /// The [`IoPlan`] that materializes this view from `vca`.
+    pub fn plan(&self, vca: &Vca) -> Result<IoPlan> {
+        IoPlan::for_lav(vca, self)
+    }
+
     /// Materialize the view from `vca`.
     pub fn read_f32(&self, vca: &Vca) -> Result<Array2<f32>> {
-        vca.read_region_f32(self.channel_range.clone(), self.time_range.clone())
+        Ok(IoExecutor::serial().run(&self.plan(vca)?)?.0)
     }
 
     /// Materialize widened to `f64`.

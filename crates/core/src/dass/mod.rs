@@ -9,11 +9,16 @@
 //! ([`read_collective_per_file`] vs the communication-avoiding
 //! [`read_comm_avoiding`]), and offline integrity scrubbing
 //! ([`scrub_paths`], the `das_fsck` tool).
+//!
+//! All of those read paths are *plans* executed by one engine: see
+//! [`plan`] for the chunk-granular [`IoPlan`] / [`IoExecutor`] split,
+//! the shared buffer pool, and zero-copy [`Tile`]s.
 
 pub mod fsck;
 mod lav;
 mod metadata;
 pub mod par_read;
+pub mod plan;
 mod rca;
 mod search;
 mod timestamp;
@@ -28,6 +33,7 @@ pub use par_read::{
     read_collective_per_file, read_collective_per_file_resilient, read_comm_avoiding,
     read_comm_avoiding_resilient, read_vca, read_vca_resilient, ReadReport, ReadStrategy,
 };
+pub use plan::{choose_strategy_modeled, Exchange, IoExecutor, IoPlan, ReadOp, Resilience, Tile};
 pub use rca::{create_rca, create_rca_parallel, read_rca};
 pub use search::{FileCatalog, FileEntry};
 pub use timestamp::Timestamp;

@@ -19,13 +19,17 @@
 //! Both return bit-identical arrays (property-tested), so callers choose
 //! purely on performance — Figure 7 measures ~37× in favour of
 //! communication-avoiding.
+//!
+//! Since the planner refactor, every function here is a thin shim:
+//! it builds an [`IoPlan`](super::plan::IoPlan) describing the read and
+//! hands it to the one [`IoExecutor`](super::plan::IoExecutor), which
+//! reproduces the legacy collective sequences, fault handling and
+//! instrumentation exactly (see `dass::plan`).
 
-use super::metadata::DATASET_PATH;
+use super::plan::{IoExecutor, IoPlan};
 use super::vca::Vca;
 use crate::Result;
-use arrayudf::dist::partition;
 use arrayudf::Array2;
-use dasf::File;
 use minimpi::Comm;
 
 /// Which §IV-B strategy to use.
@@ -123,234 +127,26 @@ impl ReadReport {
     }
 }
 
-/// What [`read_member_with_retries`] observed for one member file.
-struct MemberRead {
-    /// The data, or `None` after [`MAX_READ_ATTEMPTS`] failures
-    /// (⇒ quarantine).
-    data: Option<Vec<f32>>,
-    /// Repeated attempts (first attempt is free).
-    retries: u64,
-    /// Attempts that failed with a checksum mismatch — the file's bytes
-    /// were readable but rotten.
-    mismatches: u64,
-}
-
-/// Read one member file with bounded retries.
-///
-/// Failures come from two places, both deterministic under a
-/// [`faultline`] plan: real `dasf` errors (fault sites keyed by file
-/// *name* — a "bad sector", failing every attempt identically; this
-/// includes `dasf.read.corrupt` bit-rot, which the v3 checksum layer
-/// turns into `ChecksumMismatch`) and transient injected failures at
-/// `par_read.file` (keyed by file *index*; the failure count is capped
-/// below the budget, so a purely transient fault retries and then
-/// succeeds, never quarantines).
-fn read_member_with_retries(comm: &Comm, vca: &Vca, fi: usize) -> MemberRead {
-    let transient = match faultline::current() {
-        Some(plan) if plan.fires(faultline::site::PAR_READ_FILE, fi as u64) => {
-            1 + plan.value_below(
-                faultline::site::PAR_READ_FILE,
-                fi as u64,
-                MAX_READ_ATTEMPTS as u64 - 1,
-            ) as u32
-        }
-        _ => 0,
-    };
-    let reg = comm.registry();
-    let mut retries = 0u64;
-    let mut mismatches = 0u64;
-    for attempt in 0..MAX_READ_ATTEMPTS {
-        let result: Result<Vec<f32>> = if attempt < transient {
-            Err(crate::DassaError::Io(std::io::Error::other(
-                "faultline: injected member-file read failure (par_read.file)",
-            )))
-        } else {
-            let entry = &vca.entries()[fi];
-            File::open(&entry.path)
-                .and_then(|f| f.read_f32(DATASET_PATH))
-                .map_err(Into::into)
-        };
-        match result {
-            Ok(data) => {
-                return MemberRead {
-                    data: Some(data),
-                    retries,
-                    mismatches,
-                }
-            }
-            Err(e) => {
-                if matches!(
-                    e,
-                    crate::DassaError::Dasf(dasf::DasfError::ChecksumMismatch { .. })
-                ) {
-                    mismatches += 1;
-                    reg.counter(metric_names::CHECKSUM_MISMATCH).inc();
-                }
-                if attempt + 1 < MAX_READ_ATTEMPTS {
-                    retries += 1;
-                    reg.counter(metric_names::RETRIES).inc();
-                }
-            }
-        }
-    }
-    reg.counter(metric_names::QUARANTINED).inc();
-    MemberRead {
-        data: None,
-        retries,
-        mismatches,
-    }
-}
-
-/// The global zero-filled sample count implied by a quarantine set.
-fn zero_samples_of(vca: &Vca, quarantined: &[usize]) -> u64 {
-    quarantined
-        .iter()
-        .map(|&fi| vca.channels() * vca.samples_of(fi))
-        .sum()
-}
-
 /// Read `vca` in parallel with the chosen strategy; returns this rank's
 /// channel block (rows `partition(channels, size, rank)`, all samples).
 pub fn read_vca(comm: &Comm, vca: &Vca, strategy: ReadStrategy) -> Result<Array2<f32>> {
-    match strategy.resolve(comm.size(), vca.n_files()) {
-        ReadStrategy::CollectivePerFile => read_collective_per_file(comm, vca),
-        ReadStrategy::CommAvoiding => read_comm_avoiding(comm, vca),
-        ReadStrategy::Auto => unreachable!("resolve never returns Auto"),
-    }
+    let plan = IoPlan::for_vca(vca, strategy, comm.size());
+    Ok(IoExecutor::new(comm).run(&plan)?.0)
 }
 
 /// "Collective-per-file" (Figure 5a): for each member file, the
 /// aggregator rank `file_index % size` reads the whole file and
 /// broadcasts it; every rank copies out its channel rows.
 pub fn read_collective_per_file(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
-    let _trace = obs::trace::scope_in(comm.registry(), "par_read.collective");
-    let (rank, size) = (comm.rank(), comm.size());
-    let channels = vca.channels() as usize;
-    let my_rows = partition(channels, size, rank);
-    let total_cols = vca.total_samples() as usize;
-    let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
-    let mut read_ns = std::time::Duration::ZERO;
-    let mut exchange_ns = std::time::Duration::ZERO;
-    let mut copy_ns = std::time::Duration::ZERO;
-
-    for (fi, entry) in vca.entries().iter().enumerate() {
-        let cols = vca.samples_of(fi) as usize;
-        let root = fi % size;
-        // Aggregator reads the entire file with one I/O call …
-        let t = std::time::Instant::now();
-        let payload: Option<Vec<f32>> = if rank == root {
-            let _s = obs::trace::scope_in(comm.registry(), "par_read.read");
-            let f = File::open(&entry.path)?;
-            Some(f.read_f32(DATASET_PATH)?)
-        } else {
-            None
-        };
-        read_ns += t.elapsed();
-        // … and broadcasts it whole — the expensive step this strategy
-        // pays once per file.
-        let t = std::time::Instant::now();
-        let data = comm.bcast_vec(root, payload);
-        exchange_ns += t.elapsed();
-        let _copy = obs::trace::scope_in(comm.registry(), "par_read.copy");
-        let t = std::time::Instant::now();
-        let t0 = vca.time_offset_of(fi) as usize;
-        for (li, g) in my_rows.clone().enumerate() {
-            let src = &data[g * cols..(g + 1) * cols];
-            let dst_row = li;
-            let dst = &mut local.as_mut_slice()
-                [dst_row * total_cols + t0..dst_row * total_cols + t0 + cols];
-            dst.copy_from_slice(src);
-        }
-        copy_ns += t.elapsed();
-    }
-    let reg = comm.registry();
-    reg.histogram(metric_names::COLLECTIVE_READ_NS)
-        .record_duration(read_ns);
-    reg.histogram(metric_names::COLLECTIVE_EXCHANGE_NS)
-        .record_duration(exchange_ns);
-    reg.histogram(metric_names::COLLECTIVE_COPY_NS)
-        .record_duration(copy_ns);
-    Ok(local)
+    read_vca(comm, vca, ReadStrategy::CollectivePerFile)
 }
 
 /// Communication-avoiding (Figure 5b): each rank reads the whole files
-/// assigned to it round-robin (`fi % size == rank`), carves them into
-/// per-destination channel blocks, and one `alltoallv` delivers every
-/// block to its owner.
+/// assigned to it round-robin (`fi % size == rank`), restricts them
+/// into per-destination channel-row tiles, and one `alltoallv` delivers
+/// every block to its owner.
 pub fn read_comm_avoiding(comm: &Comm, vca: &Vca) -> Result<Array2<f32>> {
-    let _trace = obs::trace::scope_in(comm.registry(), "par_read.ca");
-    let (rank, size) = (comm.rank(), comm.size());
-    let channels = vca.channels() as usize;
-    let my_rows = partition(channels, size, rank);
-    let total_cols = vca.total_samples() as usize;
-
-    // 1. Independent contiguous reads of my round-robin files.
-    let read_trace = obs::trace::scope_in(comm.registry(), "par_read.read");
-    let t = std::time::Instant::now();
-    let mut my_file_data: Vec<(usize, Vec<f32>)> = Vec::new();
-    for (fi, entry) in vca.entries().iter().enumerate() {
-        if fi % size == rank {
-            let f = File::open(&entry.path)?;
-            my_file_data.push((fi, f.read_f32(DATASET_PATH)?));
-        }
-    }
-    let read_ns = t.elapsed();
-    drop(read_trace);
-
-    // 2. Build per-destination buffers: for each of my files (ascending
-    //    file index), the destination's channel rows back to back. The
-    //    layout is deterministic, so receivers decode without framing.
-    let t = std::time::Instant::now();
-    let mut buffers: Vec<Vec<f32>> = (0..size).map(|_| Vec::new()).collect();
-    for (fi, data) in &my_file_data {
-        let cols = vca.samples_of(*fi) as usize;
-        for (dst, buf) in buffers.iter_mut().enumerate() {
-            let rows = partition(channels, size, dst);
-            buf.reserve(rows.len() * cols);
-            for g in rows {
-                buf.extend_from_slice(&data[g * cols..(g + 1) * cols]);
-            }
-        }
-    }
-    let mut copy_ns = t.elapsed();
-
-    // 3. One all-to-all exchange (concurrent pairwise transfers).
-    let t = std::time::Instant::now();
-    let received = comm.alltoallv(buffers);
-    let exchange_ns = t.elapsed();
-
-    // 4. Assemble: block from src rank carries files fi ≡ src (mod size)
-    //    in ascending order, each holding my channel rows.
-    let _copy = obs::trace::scope_in(comm.registry(), "par_read.copy");
-    let t = std::time::Instant::now();
-    let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
-    for (src, buf) in received.into_iter().enumerate() {
-        let mut cursor = 0usize;
-        for fi in (src..vca.n_files()).step_by(size.max(1)) {
-            if fi % size != src {
-                continue;
-            }
-            let cols = vca.samples_of(fi) as usize;
-            let t0 = vca.time_offset_of(fi) as usize;
-            for li in 0..my_rows.len() {
-                let src_slice = &buf[cursor..cursor + cols];
-                let dst =
-                    &mut local.as_mut_slice()[li * total_cols + t0..li * total_cols + t0 + cols];
-                dst.copy_from_slice(src_slice);
-                cursor += cols;
-            }
-        }
-        debug_assert_eq!(cursor, buf.len(), "exchange layout mismatch");
-    }
-    copy_ns += t.elapsed();
-    let reg = comm.registry();
-    reg.histogram(metric_names::CA_READ_NS)
-        .record_duration(read_ns);
-    reg.histogram(metric_names::CA_EXCHANGE_NS)
-        .record_duration(exchange_ns);
-    reg.histogram(metric_names::CA_COPY_NS)
-        .record_duration(copy_ns);
-    Ok(local)
+    read_vca(comm, vca, ReadStrategy::CommAvoiding)
 }
 
 /// Resilient variant of [`read_vca`]: unreadable member files are retried
@@ -366,11 +162,8 @@ pub fn read_vca_resilient(
     vca: &Vca,
     strategy: ReadStrategy,
 ) -> Result<(Array2<f32>, ReadReport)> {
-    match strategy.resolve(comm.size(), vca.n_files()) {
-        ReadStrategy::CollectivePerFile => read_collective_per_file_resilient(comm, vca),
-        ReadStrategy::CommAvoiding => read_comm_avoiding_resilient(comm, vca),
-        ReadStrategy::Auto => unreachable!("resolve never returns Auto"),
-    }
+    let plan = IoPlan::for_vca(vca, strategy, comm.size());
+    IoExecutor::resilient(comm).run(&plan)
 }
 
 /// [`read_collective_per_file`] with retry/quarantine: before each data
@@ -381,63 +174,7 @@ pub fn read_collective_per_file_resilient(
     comm: &Comm,
     vca: &Vca,
 ) -> Result<(Array2<f32>, ReadReport)> {
-    let _trace = obs::trace::scope_in(comm.registry(), "par_read.collective");
-    let (rank, size) = (comm.rank(), comm.size());
-    let channels = vca.channels() as usize;
-    let my_rows = partition(channels, size, rank);
-    let total_cols = vca.total_samples() as usize;
-    let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
-    let mut quarantined = Vec::new();
-    let mut io_retries = 0u64;
-    let mut checksum_mismatches = 0u64;
-
-    for fi in 0..vca.n_files() {
-        let cols = vca.samples_of(fi) as usize;
-        let root = fi % size;
-        let member = if rank == root {
-            let _s = obs::trace::scope_in(comm.registry(), "par_read.read");
-            read_member_with_retries(comm, vca, fi)
-        } else {
-            MemberRead {
-                data: None,
-                retries: 0,
-                mismatches: 0,
-            }
-        };
-        let MemberRead {
-            data: payload,
-            retries: my_retries,
-            mismatches: my_mismatches,
-        } = member;
-        let (ok, retries, mismatches) = comm.try_bcast(
-            root,
-            (rank == root).then(|| (payload.is_some(), my_retries, my_mismatches)),
-        )?;
-        io_retries += retries;
-        checksum_mismatches += mismatches;
-        if !ok {
-            // Quarantined: no data broadcast; the span stays zero.
-            quarantined.push(fi);
-            continue;
-        }
-        let data = comm.try_bcast_vec(root, payload)?;
-        let t0 = vca.time_offset_of(fi) as usize;
-        for (li, g) in my_rows.clone().enumerate() {
-            let src = &data[g * cols..(g + 1) * cols];
-            let dst = &mut local.as_mut_slice()[li * total_cols + t0..li * total_cols + t0 + cols];
-            dst.copy_from_slice(src);
-        }
-    }
-    let zero_samples = zero_samples_of(vca, &quarantined);
-    Ok((
-        local,
-        ReadReport {
-            quarantined,
-            io_retries,
-            checksum_mismatches,
-            zero_samples,
-        },
-    ))
+    read_vca_resilient(comm, vca, ReadStrategy::CollectivePerFile)
 }
 
 /// [`read_comm_avoiding`] with retry/quarantine: after the local reads,
@@ -445,93 +182,7 @@ pub fn read_collective_per_file_resilient(
 /// count, so all ranks agree on which blocks the `alltoallv` will *not*
 /// carry; quarantined spans stay zero-filled.
 pub fn read_comm_avoiding_resilient(comm: &Comm, vca: &Vca) -> Result<(Array2<f32>, ReadReport)> {
-    let _trace = obs::trace::scope_in(comm.registry(), "par_read.ca");
-    let (rank, size) = (comm.rank(), comm.size());
-    let channels = vca.channels() as usize;
-    let my_rows = partition(channels, size, rank);
-    let total_cols = vca.total_samples() as usize;
-
-    // 1. Independent contiguous reads of my round-robin files, with
-    //    bounded retries; failures become local quarantine entries.
-    let read_trace = obs::trace::scope_in(comm.registry(), "par_read.read");
-    let mut my_file_data: Vec<(usize, Vec<f32>)> = Vec::new();
-    let mut my_quarantined: Vec<u64> = Vec::new();
-    let mut my_retries = 0u64;
-    let mut my_mismatches = 0u64;
-    for fi in 0..vca.n_files() {
-        if fi % size != rank {
-            continue;
-        }
-        let member = read_member_with_retries(comm, vca, fi);
-        my_retries += member.retries;
-        my_mismatches += member.mismatches;
-        match member.data {
-            Some(data) => my_file_data.push((fi, data)),
-            None => my_quarantined.push(fi as u64),
-        }
-    }
-    drop(read_trace);
-
-    // 2. Agree on the global quarantine set and the retry/mismatch
-    //    totals before the exchange, so receivers know which blocks
-    //    will not arrive.
-    let merged = comm.try_allgather((my_quarantined, my_retries, my_mismatches))?;
-    let mut quarantined: Vec<usize> = merged
-        .iter()
-        .flat_map(|(q, _, _)| q.iter().map(|&fi| fi as usize))
-        .collect();
-    quarantined.sort_unstable();
-    let io_retries: u64 = merged.iter().map(|(_, r, _)| r).sum();
-    let checksum_mismatches: u64 = merged.iter().map(|(_, _, m)| m).sum();
-
-    // 3. Build per-destination buffers from the files that survived
-    //    (quarantined files are simply absent from `my_file_data`).
-    let mut buffers: Vec<Vec<f32>> = (0..size).map(|_| Vec::new()).collect();
-    for (fi, data) in &my_file_data {
-        let cols = vca.samples_of(*fi) as usize;
-        for (dst, buf) in buffers.iter_mut().enumerate() {
-            let rows = partition(channels, size, dst);
-            buf.reserve(rows.len() * cols);
-            for g in rows {
-                buf.extend_from_slice(&data[g * cols..(g + 1) * cols]);
-            }
-        }
-    }
-
-    // 4. One all-to-all exchange (concurrent pairwise transfers).
-    let received = comm.try_alltoallv(buffers)?;
-
-    // 5. Assemble, skipping quarantined files — their spans stay zero.
-    let _copy = obs::trace::scope_in(comm.registry(), "par_read.copy");
-    let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
-    for (src, buf) in received.into_iter().enumerate() {
-        let mut cursor = 0usize;
-        for fi in (src..vca.n_files()).step_by(size.max(1)) {
-            if fi % size != src || quarantined.binary_search(&fi).is_ok() {
-                continue;
-            }
-            let cols = vca.samples_of(fi) as usize;
-            let t0 = vca.time_offset_of(fi) as usize;
-            for li in 0..my_rows.len() {
-                let src_slice = &buf[cursor..cursor + cols];
-                let dst =
-                    &mut local.as_mut_slice()[li * total_cols + t0..li * total_cols + t0 + cols];
-                dst.copy_from_slice(src_slice);
-                cursor += cols;
-            }
-        }
-        debug_assert_eq!(cursor, buf.len(), "exchange layout mismatch");
-    }
-    let zero_samples = zero_samples_of(vca, &quarantined);
-    Ok((
-        local,
-        ReadReport {
-            quarantined,
-            io_retries,
-            checksum_mismatches,
-            zero_samples,
-        },
-    ))
+    read_vca_resilient(comm, vca, ReadStrategy::CommAvoiding)
 }
 
 #[cfg(test)]

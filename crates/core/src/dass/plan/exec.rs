@@ -1,0 +1,507 @@
+//! The one engine that runs every [`IoPlan`].
+//!
+//! The executor is deliberately a *transliteration* of the four legacy
+//! read loops (plain and resilient × collective-per-file and
+//! communication-avoiding) plus the serial region reader: it issues the
+//! same dasf calls in the same order, the same collectives with the
+//! same headers, takes the same fault-injection decisions at the same
+//! sites, and records the same spans and histograms — so traces, chaos
+//! digests and communication statistics are bit-identical to the
+//! pre-planner code. What changed underneath: samples live in pooled
+//! buffers ([`dasf::pool`]) wrapped in zero-copy [`Tile`]s, and the
+//! exchange moves tile handles (an `Arc` bump per hop) instead of
+//! packing per-destination `Vec`s.
+
+use super::super::fsck::{scrub_file, FsckReport};
+use super::super::par_read::{metric_names, ReadReport, MAX_READ_ATTEMPTS};
+use super::tile::Tile;
+use super::{Exchange, IoPlan, ReadOp};
+use crate::Result;
+use arrayudf::dist::partition;
+use arrayudf::Array2;
+use dasf::File;
+use minimpi::Comm;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What the executor does when a member read keeps failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resilience {
+    /// Propagate the first error — the legacy plain readers.
+    FailFast,
+    /// Retry up to [`MAX_READ_ATTEMPTS`], then quarantine the file and
+    /// zero-fill its span — the legacy resilient readers.
+    Quarantine,
+}
+
+/// Executes [`IoPlan`]s: serial or collective, fail-fast or
+/// retry/quarantine.
+pub struct IoExecutor<'a> {
+    comm: Option<&'a Comm>,
+    resilience: Resilience,
+}
+
+/// What one retried member read observed.
+struct MemberRead {
+    /// The tile, or `None` after [`MAX_READ_ATTEMPTS`] failures
+    /// (⇒ quarantine).
+    tile: Option<Tile>,
+    /// Repeated attempts (first attempt is free).
+    retries: u64,
+    /// Attempts that failed with a checksum mismatch — the file's bytes
+    /// were readable but rotten.
+    mismatches: u64,
+}
+
+impl IoExecutor<'static> {
+    /// A serial executor: the calling thread performs every op.
+    pub fn serial() -> IoExecutor<'static> {
+        IoExecutor {
+            comm: None,
+            resilience: Resilience::FailFast,
+        }
+    }
+}
+
+impl<'a> IoExecutor<'a> {
+    /// A fail-fast executor over `comm` — semantics of the legacy plain
+    /// parallel readers.
+    pub fn new(comm: &'a Comm) -> IoExecutor<'a> {
+        IoExecutor {
+            comm: Some(comm),
+            resilience: Resilience::FailFast,
+        }
+    }
+
+    /// A retry/quarantine executor over `comm` — semantics of the
+    /// legacy resilient readers.
+    pub fn resilient(comm: &'a Comm) -> IoExecutor<'a> {
+        IoExecutor {
+            comm: Some(comm),
+            resilience: Resilience::Quarantine,
+        }
+    }
+
+    fn registry(&self) -> &Arc<obs::Registry> {
+        match self.comm {
+            Some(comm) => comm.registry(),
+            None => obs::global(),
+        }
+    }
+
+    /// Run `plan`, returning this rank's channel block (rows
+    /// `partition(plan.rows, size, rank)` for distributed plans, all
+    /// `plan.rows` for serial ones) and the read report (always clean
+    /// under [`Resilience::FailFast`]).
+    pub fn run(&self, plan: &IoPlan) -> Result<(Array2<f32>, ReadReport)> {
+        match plan.exchange {
+            Exchange::None => self.run_serial(plan),
+            Exchange::BcastPerFile => match self.resilience {
+                Resilience::FailFast => self
+                    .run_collective(plan)
+                    .map(|a| (a, ReadReport::default())),
+                Resilience::Quarantine => self.run_collective_resilient(plan),
+            },
+            Exchange::AllToAll => match self.resilience {
+                Resilience::FailFast => self.run_ca(plan).map(|a| (a, ReadReport::default())),
+                Resilience::Quarantine => self.run_ca_resilient(plan),
+            },
+        }
+    }
+
+    /// One op: open the file, read the selection into a pooled buffer,
+    /// wrap it as a whole tile.
+    fn read_op(dataset: &str, op: &ReadOp) -> Result<Tile> {
+        let f = File::open(&op.path)?;
+        let mut buf = super::pool::f32s().acquire(op.rows * op.cols);
+        let n = match &op.selection {
+            Some(sel) => f.read_hyperslab_into(dataset, sel, &mut buf)?,
+            None => f.read_into(dataset, &mut buf)?,
+        };
+        debug_assert_eq!(n, op.rows * op.cols, "op shape mismatch for {:?}", op.path);
+        Ok(Tile::whole(buf, op.rows, op.cols, op.file_index, op.t0))
+    }
+
+    /// Read one op with bounded retries.
+    ///
+    /// Failures come from two places, both deterministic under a
+    /// [`faultline`] plan: real `dasf` errors (fault sites keyed by file
+    /// *name* — a "bad sector", failing every attempt identically; this
+    /// includes `dasf.read.corrupt` bit-rot, which the v3 checksum layer
+    /// turns into `ChecksumMismatch`) and transient injected failures at
+    /// `par_read.file` (keyed by file *index*; the failure count is
+    /// capped below the budget, so a purely transient fault retries and
+    /// then succeeds, never quarantines).
+    fn read_op_with_retries(&self, dataset: &str, op: &ReadOp) -> MemberRead {
+        let transient = match faultline::current() {
+            Some(plan) if plan.fires(faultline::site::PAR_READ_FILE, op.file_index as u64) => {
+                1 + plan.value_below(
+                    faultline::site::PAR_READ_FILE,
+                    op.file_index as u64,
+                    MAX_READ_ATTEMPTS as u64 - 1,
+                ) as u32
+            }
+            _ => 0,
+        };
+        let reg = self.registry();
+        let mut retries = 0u64;
+        let mut mismatches = 0u64;
+        for attempt in 0..MAX_READ_ATTEMPTS {
+            let result: Result<Tile> = if attempt < transient {
+                Err(crate::DassaError::Io(std::io::Error::other(
+                    "faultline: injected member-file read failure (par_read.file)",
+                )))
+            } else {
+                Self::read_op(dataset, op)
+            };
+            match result {
+                Ok(tile) => {
+                    return MemberRead {
+                        tile: Some(tile),
+                        retries,
+                        mismatches,
+                    }
+                }
+                Err(e) => {
+                    if matches!(
+                        e,
+                        crate::DassaError::Dasf(dasf::DasfError::ChecksumMismatch { .. })
+                    ) {
+                        mismatches += 1;
+                        reg.counter(metric_names::CHECKSUM_MISMATCH).inc();
+                    }
+                    if attempt + 1 < MAX_READ_ATTEMPTS {
+                        retries += 1;
+                        reg.counter(metric_names::RETRIES).inc();
+                    }
+                }
+            }
+        }
+        reg.counter(metric_names::QUARANTINED).inc();
+        MemberRead {
+            tile: None,
+            retries,
+            mismatches,
+        }
+    }
+
+    /// The global zero-filled sample count implied by a quarantine set.
+    fn zero_samples_of(plan: &IoPlan, quarantined: &[usize]) -> u64 {
+        plan.ops
+            .iter()
+            .filter(|op| quarantined.binary_search(&op.file_index).is_ok())
+            .map(ReadOp::bytes)
+            .sum::<u64>()
+            / std::mem::size_of::<f32>() as u64
+    }
+
+    /// Serial execution: every op on the calling thread, tiles pasted
+    /// straight into the output (the legacy region reader).
+    fn run_serial(&self, plan: &IoPlan) -> Result<(Array2<f32>, ReadReport)> {
+        let mut local = Array2::<f32>::zeroed(plan.rows, plan.cols);
+        let mut quarantined = Vec::new();
+        let mut io_retries = 0u64;
+        let mut checksum_mismatches = 0u64;
+        for op in &plan.ops {
+            match self.resilience {
+                Resilience::FailFast => {
+                    let tile = Self::read_op(&plan.dataset, op)?;
+                    local.paste(0, op.t0, tile.view());
+                }
+                Resilience::Quarantine => {
+                    let member = self.read_op_with_retries(&plan.dataset, op);
+                    io_retries += member.retries;
+                    checksum_mismatches += member.mismatches;
+                    match member.tile {
+                        Some(tile) => local.paste(0, op.t0, tile.view()),
+                        None => quarantined.push(op.file_index),
+                    }
+                }
+            }
+        }
+        let zero_samples = Self::zero_samples_of(plan, &quarantined);
+        Ok((
+            local,
+            ReadReport {
+                quarantined,
+                io_retries,
+                checksum_mismatches,
+                zero_samples,
+            },
+        ))
+    }
+
+    /// "Collective-per-file" (Figure 5a): for each op, the aggregator
+    /// rank `file_index % size` reads the whole file and broadcasts the
+    /// tile; every rank keeps its channel rows.
+    fn run_collective(&self, plan: &IoPlan) -> Result<Array2<f32>> {
+        let comm = self.comm.expect("collective plan needs a Comm");
+        let _trace = obs::trace::scope_in(comm.registry(), "par_read.collective");
+        let (rank, size) = (comm.rank(), comm.size());
+        let my_rows = partition(plan.rows, size, rank);
+        let total_cols = plan.cols;
+        let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
+        let mut read_ns = std::time::Duration::ZERO;
+        let mut exchange_ns = std::time::Duration::ZERO;
+        let mut copy_ns = std::time::Duration::ZERO;
+
+        for op in &plan.ops {
+            let root = op.file_index % size;
+            // Aggregator reads the entire file with one I/O call …
+            let t = std::time::Instant::now();
+            let payload: Option<Tile> = if rank == root {
+                let _s = obs::trace::scope_in(comm.registry(), "par_read.read");
+                Some(Self::read_op(&plan.dataset, op)?)
+            } else {
+                None
+            };
+            read_ns += t.elapsed();
+            // … and broadcasts it whole — the expensive step this
+            // strategy pays once per file. The transfer is an `Arc`
+            // bump per tree edge; the counters see the full tile bytes.
+            let t = std::time::Instant::now();
+            let tile = comm.bcast_payload(root, payload);
+            exchange_ns += t.elapsed();
+            let _copy = obs::trace::scope_in(comm.registry(), "par_read.copy");
+            let t = std::time::Instant::now();
+            local.paste(0, op.t0, tile.restrict(my_rows.clone()).view());
+            copy_ns += t.elapsed();
+        }
+        let reg = comm.registry();
+        reg.histogram(metric_names::COLLECTIVE_READ_NS)
+            .record_duration(read_ns);
+        reg.histogram(metric_names::COLLECTIVE_EXCHANGE_NS)
+            .record_duration(exchange_ns);
+        reg.histogram(metric_names::COLLECTIVE_COPY_NS)
+            .record_duration(copy_ns);
+        Ok(local)
+    }
+
+    /// Communication-avoiding (Figure 5b): each rank reads the whole
+    /// files assigned to it round-robin (`file_index % size == rank`),
+    /// restricts each tile to per-destination channel rows (an `Arc`
+    /// bump, not a pack copy), and one `alltoallv` delivers every block
+    /// to its owner.
+    fn run_ca(&self, plan: &IoPlan) -> Result<Array2<f32>> {
+        let comm = self.comm.expect("all-to-all plan needs a Comm");
+        let _trace = obs::trace::scope_in(comm.registry(), "par_read.ca");
+        let (rank, size) = (comm.rank(), comm.size());
+        let my_rows = partition(plan.rows, size, rank);
+        let total_cols = plan.cols;
+
+        // 1. Independent contiguous reads of my round-robin files.
+        let read_trace = obs::trace::scope_in(comm.registry(), "par_read.read");
+        let t = std::time::Instant::now();
+        let mut my_tiles: Vec<Tile> = Vec::new();
+        for op in &plan.ops {
+            if op.file_index % size == rank {
+                my_tiles.push(Self::read_op(&plan.dataset, op)?);
+            }
+        }
+        let read_ns = t.elapsed();
+        drop(read_trace);
+
+        // 2. Per-destination blocks: for each of my files (ascending
+        //    file index), the destination's channel rows as a zero-copy
+        //    row restriction of the whole-file tile.
+        let t = std::time::Instant::now();
+        let mut blocks: Vec<Vec<Tile>> = (0..size)
+            .map(|_| Vec::with_capacity(my_tiles.len()))
+            .collect();
+        for tile in &my_tiles {
+            for (dst, block) in blocks.iter_mut().enumerate() {
+                block.push(tile.restrict(partition(plan.rows, size, dst)));
+            }
+        }
+        let mut copy_ns = t.elapsed();
+
+        // 3. One all-to-all exchange (concurrent pairwise transfers).
+        let t = std::time::Instant::now();
+        let received = comm.alltoallv_payload(blocks);
+        let exchange_ns = t.elapsed();
+
+        // 4. Assemble: tiles carry their own file index and column
+        //    offset, so placement is direct.
+        let _copy = obs::trace::scope_in(comm.registry(), "par_read.copy");
+        let t = std::time::Instant::now();
+        let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
+        for block in received {
+            for tile in block {
+                debug_assert_eq!(tile.row_range(), my_rows, "exchange layout mismatch");
+                local.paste(0, tile.t0(), tile.view());
+            }
+        }
+        copy_ns += t.elapsed();
+        let reg = comm.registry();
+        reg.histogram(metric_names::CA_READ_NS)
+            .record_duration(read_ns);
+        reg.histogram(metric_names::CA_EXCHANGE_NS)
+            .record_duration(exchange_ns);
+        reg.histogram(metric_names::CA_COPY_NS)
+            .record_duration(copy_ns);
+        Ok(local)
+    }
+
+    /// [`IoExecutor::run_collective`] with retry/quarantine: before each
+    /// data broadcast the aggregator broadcasts a small header (did the
+    /// read succeed, and after how many retries), so every rank tracks
+    /// the same quarantine set and retry total without extra
+    /// collectives.
+    fn run_collective_resilient(&self, plan: &IoPlan) -> Result<(Array2<f32>, ReadReport)> {
+        let comm = self.comm.expect("collective plan needs a Comm");
+        let _trace = obs::trace::scope_in(comm.registry(), "par_read.collective");
+        let (rank, size) = (comm.rank(), comm.size());
+        let my_rows = partition(plan.rows, size, rank);
+        let total_cols = plan.cols;
+        let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
+        let mut quarantined = Vec::new();
+        let mut io_retries = 0u64;
+        let mut checksum_mismatches = 0u64;
+
+        for op in &plan.ops {
+            let root = op.file_index % size;
+            let member = if rank == root {
+                let _s = obs::trace::scope_in(comm.registry(), "par_read.read");
+                self.read_op_with_retries(&plan.dataset, op)
+            } else {
+                MemberRead {
+                    tile: None,
+                    retries: 0,
+                    mismatches: 0,
+                }
+            };
+            let MemberRead {
+                tile: payload,
+                retries: my_retries,
+                mismatches: my_mismatches,
+            } = member;
+            let (ok, retries, mismatches) = comm.try_bcast(
+                root,
+                (rank == root).then(|| (payload.is_some(), my_retries, my_mismatches)),
+            )?;
+            io_retries += retries;
+            checksum_mismatches += mismatches;
+            if !ok {
+                // Quarantined: no data broadcast; the span stays zero.
+                quarantined.push(op.file_index);
+                continue;
+            }
+            let tile = comm.try_bcast_payload(root, payload)?;
+            local.paste(0, op.t0, tile.restrict(my_rows.clone()).view());
+        }
+        let zero_samples = Self::zero_samples_of(plan, &quarantined);
+        Ok((
+            local,
+            ReadReport {
+                quarantined,
+                io_retries,
+                checksum_mismatches,
+                zero_samples,
+            },
+        ))
+    }
+
+    /// [`IoExecutor::run_ca`] with retry/quarantine: after the local
+    /// reads, one extra allgather merges every rank's quarantine list
+    /// and retry count, so all ranks agree on which blocks the
+    /// `alltoallv` will *not* carry; quarantined spans stay zero-filled.
+    fn run_ca_resilient(&self, plan: &IoPlan) -> Result<(Array2<f32>, ReadReport)> {
+        let comm = self.comm.expect("all-to-all plan needs a Comm");
+        let _trace = obs::trace::scope_in(comm.registry(), "par_read.ca");
+        let (rank, size) = (comm.rank(), comm.size());
+        let my_rows = partition(plan.rows, size, rank);
+        let total_cols = plan.cols;
+
+        // 1. Independent contiguous reads of my round-robin files, with
+        //    bounded retries; failures become local quarantine entries.
+        let read_trace = obs::trace::scope_in(comm.registry(), "par_read.read");
+        let mut my_tiles: Vec<Tile> = Vec::new();
+        let mut my_quarantined: Vec<u64> = Vec::new();
+        let mut my_retries = 0u64;
+        let mut my_mismatches = 0u64;
+        for op in &plan.ops {
+            if op.file_index % size != rank {
+                continue;
+            }
+            let member = self.read_op_with_retries(&plan.dataset, op);
+            my_retries += member.retries;
+            my_mismatches += member.mismatches;
+            match member.tile {
+                Some(tile) => my_tiles.push(tile),
+                None => my_quarantined.push(op.file_index as u64),
+            }
+        }
+        drop(read_trace);
+
+        // 2. Agree on the global quarantine set and the retry/mismatch
+        //    totals before the exchange, so receivers know which blocks
+        //    will not arrive.
+        let merged = comm.try_allgather((my_quarantined, my_retries, my_mismatches))?;
+        let mut quarantined: Vec<usize> = merged
+            .iter()
+            .flat_map(|(q, _, _)| q.iter().map(|&fi| fi as usize))
+            .collect();
+        quarantined.sort_unstable();
+        let io_retries: u64 = merged.iter().map(|(_, r, _)| r).sum();
+        let checksum_mismatches: u64 = merged.iter().map(|(_, _, m)| m).sum();
+
+        // 3. Per-destination blocks from the tiles that survived
+        //    (quarantined files are simply absent from `my_tiles`).
+        let mut blocks: Vec<Vec<Tile>> = (0..size)
+            .map(|_| Vec::with_capacity(my_tiles.len()))
+            .collect();
+        for tile in &my_tiles {
+            for (dst, block) in blocks.iter_mut().enumerate() {
+                block.push(tile.restrict(partition(plan.rows, size, dst)));
+            }
+        }
+
+        // 4. One all-to-all exchange (concurrent pairwise transfers).
+        let received = comm.try_alltoallv_payload(blocks)?;
+
+        // 5. Assemble; quarantined spans stay zero because their tiles
+        //    were never read or sent.
+        let _copy = obs::trace::scope_in(comm.registry(), "par_read.copy");
+        let mut local = Array2::<f32>::zeroed(my_rows.len(), total_cols);
+        for block in received {
+            for tile in block {
+                debug_assert_eq!(tile.row_range(), my_rows, "exchange layout mismatch");
+                local.paste(0, tile.t0(), tile.view());
+            }
+        }
+        let zero_samples = Self::zero_samples_of(plan, &quarantined);
+        Ok((
+            local,
+            ReadReport {
+                quarantined,
+                io_retries,
+                checksum_mismatches,
+                zero_samples,
+            },
+        ))
+    }
+
+    /// Scrub `targets` with `threads` worker threads (clamped to ≥ 1):
+    /// the `das_fsck` verification path, run through the same engine as
+    /// the data reads. Returns the aggregate report, verdicts sorted by
+    /// path.
+    pub fn run_scrub(&self, targets: &[PathBuf], threads: usize) -> FsckReport {
+        let threads = threads.clamp(1, targets.len().max(1));
+        let next = AtomicUsize::new(0);
+        let verdicts = Mutex::new(Vec::with_capacity(targets.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(path) = targets.get(i) else { break };
+                    let v = scrub_file(path);
+                    verdicts.lock().unwrap().push(v);
+                });
+            }
+        });
+        let mut files = verdicts.into_inner().unwrap();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        FsckReport { files }
+    }
+}

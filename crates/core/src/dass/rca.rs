@@ -5,8 +5,9 @@
 //! large file that parallel I/O handles well. DASSA supports it mainly
 //! as a baseline; VCA is the recommended path.
 
-use super::metadata::{write_das_file, DasFileMeta, DATASET_PATH};
-use super::par_read::read_comm_avoiding;
+use super::metadata::{write_das_file, DasFileMeta};
+use super::par_read::ReadStrategy;
+use super::plan::{IoExecutor, IoPlan};
 use super::search::FileEntry;
 use super::vca::Vca;
 use crate::Result;
@@ -51,7 +52,8 @@ pub fn create_rca_parallel(
     out: &Path,
 ) -> Result<Option<DasFileMeta>> {
     let vca = Vca::from_entries(entries)?;
-    let local = read_comm_avoiding(comm, &vca)?;
+    let plan = IoPlan::for_vca(&vca, ReadStrategy::CommAvoiding, comm.size());
+    let (local, _) = IoExecutor::new(comm).run(&plan)?;
     let blocks = comm.gather(0, local.into_vec());
     if comm.rank() != 0 {
         return Ok(None);
@@ -77,15 +79,16 @@ pub fn create_rca_parallel(
     Ok(Some(meta))
 }
 
-/// Read a previously created RCA back as `(metadata, data)`.
+/// Read a previously created RCA back as `(metadata, data)`: a
+/// single-op whole-file plan run by the serial executor.
 pub fn read_rca(path: &Path) -> Result<(DasFileMeta, Array2<f32>)> {
-    let f = File::open(path)?;
-    let meta = DasFileMeta::from_file(&f)?;
-    let raw = f.read_f32(DATASET_PATH)?;
-    Ok((
-        meta.clone(),
-        Array2::from_vec(meta.channels as usize, meta.samples as usize, raw),
-    ))
+    let meta = {
+        let f = File::open(path)?;
+        DasFileMeta::from_file(&f)?
+    };
+    let plan = IoPlan::for_file(path, &meta);
+    let (data, _) = IoExecutor::serial().run(&plan)?;
+    Ok((meta, data))
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The Virtually Concatenated Array (paper §IV): many small DAS files
 //! presented as one logical `channel × time` array, without copying data.
 
-use super::metadata::DATASET_PATH;
+use super::plan::{IoExecutor, IoPlan};
 use super::search::{FileCatalog, FileEntry};
 use crate::{DassaError, Result};
 use arrayudf::Array2;
@@ -129,42 +129,11 @@ impl Vca {
     }
 
     /// Serial read of a rectangular region (channel range × global time
-    /// range) as `f32`, the storage type.
+    /// range) as `f32`, the storage type: one hyperslab plan op per
+    /// touched member file, run by the serial [`IoExecutor`].
     pub fn read_region_f32(&self, ch: Range<u64>, t: Range<u64>) -> Result<Array2<f32>> {
-        if ch.end > self.channels || ch.start >= ch.end {
-            return Err(DassaError::BadSelection(format!(
-                "channel range {ch:?} invalid for {} channels",
-                self.channels
-            )));
-        }
-        if t.end > self.total_samples() || t.start >= t.end {
-            return Err(DassaError::BadSelection(format!(
-                "time range {t:?} invalid for {} samples",
-                self.total_samples()
-            )));
-        }
-        let rows = (ch.end - ch.start) as usize;
-        let cols = (t.end - t.start) as usize;
-        let mut out = vec![0f32; rows * cols];
-        let mut col_cursor = 0usize;
-        for (fi, local) in self.map_time_range(t.clone()) {
-            let width = (local.end - local.start) as usize;
-            let file = File::open(&self.entries[fi].path)?;
-            let block = file.read_hyperslab_f32(
-                DATASET_PATH,
-                &[
-                    (ch.start, ch.end - ch.start),
-                    (local.start, local.end - local.start),
-                ],
-            )?;
-            for r in 0..rows {
-                let src = &block[r * width..(r + 1) * width];
-                let dst_start = r * cols + col_cursor;
-                out[dst_start..dst_start + width].copy_from_slice(src);
-            }
-            col_cursor += width;
-        }
-        Ok(Array2::from_vec(rows, cols, out))
+        let plan = IoPlan::for_region(self, ch, t)?;
+        Ok(IoExecutor::serial().run(&plan)?.0)
     }
 
     /// Read the whole logical array as `f32`.

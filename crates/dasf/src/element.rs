@@ -100,9 +100,19 @@ pub(crate) fn encode_slice<T: Element>(data: &[T]) -> Vec<u8> {
 
 /// Decode `n` values from little-endian bytes.
 pub(crate) fn decode_slice<T: Element>(bytes: &[u8], n: usize) -> Vec<T> {
+    let mut out = Vec::new();
+    decode_into(bytes, n, &mut out);
+    out
+}
+
+/// Decode `n` values from little-endian bytes into `out` (cleared
+/// first), so pooled buffers skip the fresh allocation per read.
+pub(crate) fn decode_into<T: Element>(bytes: &[u8], n: usize, out: &mut Vec<T>) {
     let sz = T::DTYPE.size();
     debug_assert!(bytes.len() >= n * sz);
-    (0..n).map(|i| T::read_le(&bytes[i * sz..])).collect()
+    out.clear();
+    out.reserve(n);
+    out.extend((0..n).map(|i| T::read_le(&bytes[i * sz..])));
 }
 
 #[cfg(test)]

@@ -72,6 +72,7 @@ mod error;
 mod faults;
 pub mod metrics;
 mod object;
+pub mod pool;
 mod reader;
 mod value;
 mod writer;
@@ -79,6 +80,7 @@ mod writer;
 pub use element::{Dtype, Element};
 pub use error::DasfError;
 pub use object::{DatasetMeta, Layout, Node, ObjectTable};
+pub use pool::{BufferPool, PooledBuf};
 pub use reader::{ChecksumFault, File, VerifyOutcome};
 pub use value::Value;
 pub use writer::Writer;

@@ -39,6 +39,11 @@ pub mod names {
     pub const VERIFY_MISMATCH: &str = "dasf.verify.mismatch";
     /// Histogram of per-call verification wall time in nanoseconds.
     pub const VERIFY_NS: &str = "dasf.verify.ns";
+    /// Fresh heap capacity (bytes) the read path had to allocate:
+    /// buffer-pool misses plus growth of caller-supplied output
+    /// vectors. Pool hits keep this flat — the ci pipeline gate
+    /// watches it for regressions.
+    pub const ALLOC_BYTES: &str = "dasf.alloc.bytes";
 }
 
 pub(crate) struct Metrics {
@@ -55,6 +60,7 @@ pub(crate) struct Metrics {
     pub verify_bytes: Counter,
     pub verify_mismatch: Counter,
     pub verify_ns: Histogram,
+    pub alloc_bytes: Counter,
 }
 
 pub(crate) fn metrics() -> &'static Metrics {
@@ -75,6 +81,7 @@ pub(crate) fn metrics() -> &'static Metrics {
             verify_bytes: reg.counter(names::VERIFY_BYTES),
             verify_mismatch: reg.counter(names::VERIFY_MISMATCH),
             verify_ns: reg.histogram(names::VERIFY_NS),
+            alloc_bytes: reg.counter(names::ALLOC_BYTES),
         }
     })
 }

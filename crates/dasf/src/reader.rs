@@ -1,7 +1,7 @@
 //! Reading dasf files: cheap metadata opens and verified hyperslab reads.
 
 use crate::crc::crc32c;
-use crate::element::{decode_slice, Element};
+use crate::element::{decode_into, decode_slice, Element};
 use crate::error::DasfError;
 use crate::object::{DatasetMeta, Layout, ObjectTable};
 use crate::value::Value;
@@ -43,6 +43,23 @@ impl VerifyOutcome {
     pub fn is_clean(&self) -> bool {
         self.mismatches.is_empty()
     }
+}
+
+/// Generate the typed convenience aliases over the generic
+/// [`File::read`] / [`File::read_hyperslab`] — one macro arm per
+/// element type instead of four hand-written wrappers.
+macro_rules! typed_read_aliases {
+    ($($t:ty => $read:ident, $slab:ident);+ $(;)?) => {$(
+        #[doc = concat!("`", stringify!($t), "` whole-dataset read.")]
+        pub fn $read(&self, path: &str) -> Result<Vec<$t>> {
+            self.read(path)
+        }
+
+        #[doc = concat!("`", stringify!($t), "` hyperslab read.")]
+        pub fn $slab(&self, path: &str, selection: &[(u64, u64)]) -> Result<Vec<$t>> {
+            self.read_hyperslab(path, selection)
+        }
+    )+};
 }
 
 /// An open dasf file.
@@ -390,6 +407,17 @@ impl File {
     /// Read an entire dataset (one I/O call for contiguous layout, one
     /// per chunk for chunked layout). Verifies every touched unit first.
     pub fn read<T: Element>(&self, path: &str) -> Result<Vec<T>> {
+        let mut out = Vec::new();
+        self.read_into(path, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`File::read`] into a caller-supplied vector (cleared first),
+    /// returning the element count. Raw bytes stage through the shared
+    /// [`crate::pool`], so repeated same-shaped reads recycle buffers
+    /// instead of allocating per call; growth of `out` is charged to
+    /// `dasf.alloc.bytes` — hand in a pooled buffer to avoid it.
+    pub fn read_into<T: Element>(&self, path: &str, out: &mut Vec<T>) -> Result<usize> {
         let meta = self.table.dataset(path)?;
         self.check_dtype::<T>(path, meta)?;
         match &meta.layout {
@@ -400,17 +428,18 @@ impl File {
                 crate::faults::check_read(&self.path)?;
                 let started = std::time::Instant::now();
                 let n = meta.len();
-                let mut bytes = vec![0u8; n * meta.dtype.size()];
+                let mut bytes = crate::pool::bytes().acquire(n * meta.dtype.size());
+                bytes.resize(n * meta.dtype.size(), 0);
                 self.read_at(meta.data_offset, &mut bytes)?;
                 self.verify_contiguous_buffer(path, meta, &bytes)?;
-                let out = decode_slice(&bytes, n);
+                counting_growth(out, |out| decode_into(&bytes, n, out));
                 m.read_bytes.add(bytes.len() as u64);
                 m.read_ns.record_duration(started.elapsed());
-                Ok(out)
+                Ok(n)
             }
             Layout::Chunked { .. } => {
                 let full: Vec<(u64, u64)> = meta.dims.iter().map(|&d| (0, d)).collect();
-                self.read_hyperslab(path, &full)
+                self.read_hyperslab_into(path, &full, out)
             }
         }
     }
@@ -424,24 +453,38 @@ impl File {
         path: &str,
         selection: &[(u64, u64)],
     ) -> Result<Vec<T>> {
+        let mut out = Vec::new();
+        self.read_hyperslab_into(path, selection, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`File::read_hyperslab`] into a caller-supplied vector (cleared
+    /// first), returning the element count. Stages through the shared
+    /// [`crate::pool`] like [`File::read_into`].
+    pub fn read_hyperslab_into<T: Element>(
+        &self,
+        path: &str,
+        selection: &[(u64, u64)],
+        out: &mut Vec<T>,
+    ) -> Result<usize> {
         let m = crate::metrics::metrics();
         m.read_count.inc();
         let _trace = obs::trace::scope("dasf.read");
         let started = std::time::Instant::now();
-        let result = self.read_hyperslab_impl(path, selection);
-        if let Ok(v) = &result {
-            m.read_bytes
-                .add((v.len() * std::mem::size_of::<T>()) as u64);
+        let result = self.read_hyperslab_into_impl(path, selection, out);
+        if let Ok(n) = &result {
+            m.read_bytes.add((n * std::mem::size_of::<T>()) as u64);
         }
         m.read_ns.record_duration(started.elapsed());
         result
     }
 
-    fn read_hyperslab_impl<T: Element>(
+    fn read_hyperslab_into_impl<T: Element>(
         &self,
         path: &str,
         selection: &[(u64, u64)],
-    ) -> Result<Vec<T>> {
+        out: &mut Vec<T>,
+    ) -> Result<usize> {
         crate::faults::check_read(&self.path)?;
         let meta = self.table.dataset(path)?;
         self.check_dtype::<T>(path, meta)?;
@@ -461,20 +504,23 @@ impl File {
         }
         let total: u64 = selection.iter().map(|&(_, c)| c).product();
         if total == 0 {
-            return Ok(Vec::new());
+            out.clear();
+            return Ok(0);
         }
         if let Layout::Chunked {
             chunk_dims,
             chunk_offsets,
         } = &meta.layout
         {
-            return self.read_hyperslab_chunked(
+            self.read_hyperslab_chunked(
                 path,
                 meta,
                 selection,
                 &chunk_dims.clone(),
                 &chunk_offsets.clone(),
-            );
+                out,
+            )?;
+            return Ok(total as usize);
         }
 
         // Row-major strides (in elements) of the full dataset.
@@ -496,7 +542,7 @@ impl File {
         self.verify_contiguous_range(path, meta, lo_elem * elem, (hi_elem + 1) * elem)?;
 
         let run_len = selection[ndim - 1].1; // contiguous elements per run
-        let mut out_bytes = Vec::with_capacity((total * elem) as usize);
+        let mut out_bytes = crate::pool::bytes().acquire((total * elem) as usize);
 
         // Odometer over all dims except the innermost.
         let mut idx = vec![0u64; ndim.saturating_sub(1)];
@@ -514,7 +560,8 @@ impl File {
             let mut d = ndim.saturating_sub(1);
             loop {
                 if d == 0 {
-                    return Ok(decode_slice(&out_bytes, total as usize));
+                    counting_growth(out, |out| decode_into(&out_bytes, total as usize, out));
+                    return Ok(total as usize);
                 }
                 d -= 1;
                 idx[d] += 1;
@@ -528,6 +575,7 @@ impl File {
 
     /// Chunked-layout hyperslab: read each intersecting chunk with one
     /// I/O call, verify it, then scatter the overlap into the output.
+    #[allow(clippy::too_many_arguments)]
     fn read_hyperslab_chunked<T: Element>(
         &self,
         path: &str,
@@ -535,7 +583,8 @@ impl File {
         selection: &[(u64, u64)],
         chunk_dims: &[u64],
         chunk_offsets: &[u64],
-    ) -> Result<Vec<T>> {
+        out: &mut Vec<T>,
+    ) -> Result<()> {
         let ndim = meta.dims.len();
         if chunk_dims.len() != ndim {
             return Err(DasfError::Corrupt("chunk rank mismatch".into()));
@@ -560,7 +609,10 @@ impl File {
             out_strides[d] = out_strides[d + 1] * out_dims[d + 1];
         }
         let total: u64 = out_dims.iter().product();
-        let mut out = vec![T::default(); total as usize];
+        counting_growth(out, |out| {
+            out.clear();
+            out.resize(total as usize, T::default());
+        });
 
         // Chunk-grid range intersecting the selection, per dimension.
         let lo_chunk: Vec<u64> = selection
@@ -590,7 +642,8 @@ impl File {
                 .map(|((&s, &d), &c)| c.min(d - s))
                 .collect();
             let chunk_elems: u64 = lens.iter().product();
-            let mut bytes = vec![0u8; chunk_elems as usize * meta.dtype.size()];
+            let mut bytes = crate::pool::bytes().acquire(chunk_elems as usize * meta.dtype.size());
+            bytes.resize(chunk_elems as usize * meta.dtype.size(), 0);
             self.read_at(chunk_offsets[flat_chunk as usize], &mut bytes)?;
             self.verify_chunk_bytes(path, meta, flat_chunk as usize, &bytes)?;
             let chunk: Vec<T> = decode_slice(&bytes, chunk_elems as usize);
@@ -635,7 +688,7 @@ impl File {
             let mut d = ndim;
             loop {
                 if d == 0 {
-                    return Ok(out);
+                    return Ok(());
                 }
                 d -= 1;
                 gidx[d] += 1;
@@ -697,25 +750,25 @@ impl File {
         Ok(out)
     }
 
-    /// `f32` whole-dataset read.
-    pub fn read_f32(&self, path: &str) -> Result<Vec<f32>> {
-        self.read(path)
+    typed_read_aliases! {
+        f32 => read_f32, read_hyperslab_f32;
+        f64 => read_f64, read_hyperslab_f64;
     }
+}
 
-    /// `f64` whole-dataset read.
-    pub fn read_f64(&self, path: &str) -> Result<Vec<f64>> {
-        self.read(path)
+/// Run `f` over `out` and charge any capacity growth to
+/// `dasf.alloc.bytes`: pooled buffers come in pre-sized and cost
+/// nothing, fresh vectors show up in the allocation ledger.
+fn counting_growth<T, R>(out: &mut Vec<T>, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+    let before = out.capacity();
+    let result = f(out);
+    let grown = out.capacity().saturating_sub(before);
+    if grown > 0 {
+        crate::metrics::metrics()
+            .alloc_bytes
+            .add((grown * std::mem::size_of::<T>()) as u64);
     }
-
-    /// `f32` hyperslab read.
-    pub fn read_hyperslab_f32(&self, path: &str, selection: &[(u64, u64)]) -> Result<Vec<f32>> {
-        self.read_hyperslab(path, selection)
-    }
-
-    /// `f64` hyperslab read.
-    pub fn read_hyperslab_f64(&self, path: &str, selection: &[(u64, u64)]) -> Result<Vec<f64>> {
-        self.read_hyperslab(path, selection)
-    }
+    result
 }
 
 /// `ChecksumMismatch` for a metadata region of the file.

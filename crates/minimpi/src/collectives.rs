@@ -19,6 +19,37 @@
 use crate::comm::{Comm, INTERNAL_TAG_BASE};
 use crate::error::CommError;
 
+/// Heap payloads with a known wire size.
+///
+/// The in-process transport moves values by `clone()` (often an `Arc`
+/// bump), so [`crate::CommStats`] byte counters need the payload itself
+/// to report how many bytes it would occupy on a real wire.
+/// [`Comm::bcast_payload`] and [`Comm::alltoallv_payload`] use this to
+/// move reference-counted buffers zero-copy while keeping the byte
+/// accounting identical to the equivalent `Vec<T>` transfer.
+pub trait WirePayload {
+    /// Bytes this value would occupy on a real wire.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl<T> WirePayload for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: WirePayload> WirePayload for Option<T> {
+    fn wire_bytes(&self) -> usize {
+        self.as_ref().map_or(0, WirePayload::wire_bytes)
+    }
+}
+
+impl<T: WirePayload> WirePayload for std::sync::Arc<T> {
+    fn wire_bytes(&self) -> usize {
+        self.as_ref().wire_bytes()
+    }
+}
+
 /// Collective kinds, embedded in internal tags.
 #[derive(Clone, Copy)]
 #[repr(u64)]
@@ -120,6 +151,28 @@ impl Comm {
         value: Option<Vec<T>>,
     ) -> Result<Vec<T>, CommError> {
         self.try_bcast_with_size(root, value, |v| v.len() * std::mem::size_of::<T>())
+    }
+
+    /// [`Comm::bcast`] for [`WirePayload`] values: the transfer is a
+    /// `clone()` per tree edge (an `Arc` bump for shared buffers), while
+    /// byte counters record [`WirePayload::wire_bytes`] — the same volume
+    /// the equivalent `bcast_vec` would report.
+    pub fn bcast_payload<T: WirePayload + Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> T {
+        self.try_bcast_payload(root, value)
+            .unwrap_or_else(|e| panic!("bcast failed: {e}"))
+    }
+
+    /// Fallible [`Comm::bcast_payload`].
+    pub fn try_bcast_payload<T: WirePayload + Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T, CommError> {
+        self.try_bcast_with_size(root, value, T::wire_bytes)
     }
 
     fn try_bcast_with_size<T, S>(
@@ -413,6 +466,38 @@ impl Comm {
         })
     }
 
+    /// [`Comm::alltoallv`] for blocks of [`WirePayload`] values: each
+    /// block moves by `clone()`-free handoff (the vectors themselves are
+    /// sent), with byte counters summing [`WirePayload::wire_bytes`] over
+    /// the block instead of `size_of::<T>()` — so tile handles account
+    /// for the sample bytes they reference, not the handle size.
+    pub fn alltoallv_payload<T: WirePayload + Send + 'static>(
+        &self,
+        buffers: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
+        self.try_alltoallv_payload(buffers)
+            .unwrap_or_else(|e| panic!("alltoallv failed: {e}"))
+    }
+
+    /// Fallible [`Comm::alltoallv_payload`].
+    pub fn try_alltoallv_payload<T: WirePayload + Send + 'static>(
+        &self,
+        buffers: Vec<Vec<T>>,
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        self.check_alive()?;
+        self.stats().alltoallvs.inc();
+        let _span = obs::span_in(self.registry(), "minimpi.alltoallv");
+        let size = self.size();
+        if buffers.len() != size {
+            return Err(CommError::Protocol("alltoallv needs one buffer per rank"));
+        }
+        let mut slots: Vec<Option<Vec<T>>> = buffers.into_iter().map(Some).collect();
+        let seq = self.next_seq();
+        self.try_exchange_pairwise(Kind::Alltoallv, seq, &mut slots, |v| {
+            v.iter().map(WirePayload::wire_bytes).sum()
+        })
+    }
+
     /// Shared pairwise-exchange engine for alltoall(v).
     fn try_exchange_pairwise<T, S>(
         &self,
@@ -592,6 +677,79 @@ mod tests {
         // Each rank sends one off-diagonal block.
         assert_eq!(stats.alltoallvs, 2);
         assert!(stats.p2p_bytes >= 2 * 8 * 10);
+    }
+
+    #[test]
+    fn payload_collectives_match_vec_forms_and_byte_counts() {
+        use crate::collectives::WirePayload;
+        use std::sync::Arc;
+
+        /// Stand-in for a zero-copy tile: a shared buffer plus a row
+        /// window, reporting the referenced bytes as its wire size.
+        #[derive(Clone)]
+        struct Window {
+            buf: Arc<Vec<f32>>,
+            lo: usize,
+            hi: usize,
+        }
+        impl WirePayload for Window {
+            fn wire_bytes(&self) -> usize {
+                (self.hi - self.lo) * std::mem::size_of::<f32>()
+            }
+        }
+
+        let p = 3;
+        let (vec_out, vec_stats) = run_with_stats(p, |comm| {
+            let payload = (comm.rank() == 1).then(|| vec![comm.rank() as f32; 40]);
+            comm.bcast_vec(1, payload)
+        });
+        let (pay_out, pay_stats) = run_with_stats(p, |comm| {
+            let payload = (comm.rank() == 1).then(|| {
+                Arc::new(Window {
+                    buf: Arc::new(vec![comm.rank() as f32; 40]),
+                    lo: 0,
+                    hi: 40,
+                })
+            });
+            comm.bcast_payload(1, payload)
+        });
+        assert!(pay_out
+            .iter()
+            .all(|w| w.buf[w.lo..w.hi] == vec_out[0][..] && w.wire_bytes() == 160));
+        assert_eq!(pay_stats.p2p_bytes, vec_stats.p2p_bytes);
+        assert_eq!(pay_stats.p2p_messages, vec_stats.p2p_messages);
+        assert_eq!(pay_stats.bcasts, vec_stats.bcasts);
+
+        let (vec_out, vec_stats) = run_with_stats(p, |comm| {
+            let buffers: Vec<Vec<f32>> = (0..p)
+                .map(|dst| vec![comm.rank() as f32; (dst + 1) * 5])
+                .collect();
+            comm.alltoallv(buffers)
+        });
+        let (win_out, win_stats) = run_with_stats(p, |comm| {
+            let buffers: Vec<Vec<Window>> = (0..p)
+                .map(|dst| {
+                    vec![Window {
+                        buf: Arc::new(vec![comm.rank() as f32; (dst + 1) * 5]),
+                        lo: 0,
+                        hi: (dst + 1) * 5,
+                    }]
+                })
+                .collect();
+            comm.alltoallv_payload(buffers)
+        });
+        for (rank, blocks) in win_out.iter().enumerate() {
+            for (src, block) in blocks.iter().enumerate() {
+                assert_eq!(block.len(), 1);
+                assert_eq!(
+                    block[0].buf[block[0].lo..block[0].hi],
+                    vec_out[rank][src][..]
+                );
+            }
+        }
+        assert_eq!(win_stats.p2p_bytes, vec_stats.p2p_bytes);
+        assert_eq!(win_stats.p2p_messages, vec_stats.p2p_messages);
+        assert_eq!(win_stats.alltoallvs, vec_stats.alltoallvs);
     }
 
     #[test]

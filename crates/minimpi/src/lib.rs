@@ -35,6 +35,7 @@ mod error;
 mod nonblocking;
 mod stats;
 
+pub use collectives::WirePayload;
 pub use comm::{
     run, run_chaos, run_chaos_in_registry, run_in_registry, run_with_stats, Comm, RecvError,
 };
