@@ -168,6 +168,35 @@ if [[ $quick -eq 0 ]]; then
         exit 1
     }
     echo "    $(wc -c <results/BENCH_pipeline.json) bytes, $(grep -oF '"experiment":' results/BENCH_pipeline.json | wc -l) experiments"
+
+    # dasl gate: the example .das program, compiled to bytecode and run
+    # through the VM, must be byte-identical to the hand-wired pipeline
+    # it describes — and the bytecode must actually fuse the adjacent
+    # element-wise stages (dasl.fused_stages > 0 in the metrics).
+    echo "==> dasl: --program vs hand-wired byte-identity + fusion gate"
+    dasl_dir="$(mktemp -d)"
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir" "$dasl_dir"' EXIT
+    target/release/das_gen -d "$dasl_dir/corpus" -c 8 -r 500 -m 2 >/dev/null
+    target/release/das_pipeline --program examples/interferometry.das \
+        -d "$dasl_dir/corpus" --metrics="$dasl_dir/m.json" \
+        -o "$dasl_dir/prog.dasf" >/dev/null 2>&1
+    target/release/das_pipeline -d "$dasl_dir/corpus" -a interferometry \
+        -o "$dasl_dir/hand.dasf" >/dev/null 2>&1
+    if ! cmp "$dasl_dir/prog.dasf" "$dasl_dir/hand.dasf"; then
+        echo "dasl: program output diverged from the hand-wired pipeline" >&2
+        exit 1
+    fi
+    grep -qE '"dasl\.fused_stages":[1-9]' "$dasl_dir/m.json" || {
+        echo "dasl: no fused stages recorded in metrics:" >&2
+        grep -oF '"dasl.fused_stages"' "$dasl_dir/m.json" >&2 || true
+        exit 1
+    }
+    target/release/das_pipeline --program examples/detect.das \
+        -d "$dasl_dir/corpus" >/dev/null 2>&1 || {
+        echo "dasl: examples/detect.das failed to run" >&2
+        exit 1
+    }
+    echo "    byte-identical, $(grep -oE '"dasl\.fused_stages":[0-9]+' "$dasl_dir/m.json" | cut -d: -f2) stages fused"
 fi
 
 echo "==> CI green"

@@ -5,7 +5,7 @@
 use arrayudf::Array2;
 use bench::calibrate::test_array;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dassa::dasa::{interferometry, local_similarity, Haee, InterferometryParams, LocalSimiParams};
+use dassa::prelude::*;
 use mlab::{Interp, Value};
 use std::hint::black_box;
 

@@ -4,9 +4,7 @@
 
 use bench::datasets;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dassa::dass::{
-    create_rca, read_collective_per_file, read_comm_avoiding, FileCatalog, Vca, DATASET_PATH,
-};
+use dassa::prelude::*;
 use std::hint::black_box;
 
 fn bench_dasf_read(c: &mut Criterion) {

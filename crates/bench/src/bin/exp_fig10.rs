@@ -9,8 +9,7 @@
 //! cannot offer.
 
 use bench::{datasets, report};
-use dassa::dasa::{local_similarity, Haee, LocalSimiParams};
-use dassa::dass::{FileCatalog, Vca};
+use dassa::prelude::*;
 
 fn main() {
     let json_run = report::JsonRun::start("fig10");

@@ -12,8 +12,7 @@
 //! (171 MB/core) scaling.
 
 use bench::{calibrate, datasets, report, time};
-use dassa::dasa::{interferometry_dist, Haee, InterferometryParams};
-use dassa::dass::{read_comm_avoiding, FileCatalog, Vca};
+use dassa::prelude::*;
 use perfmodel::experiments::{model_fig11_strong, model_fig11_weak, Workload};
 use perfmodel::Machine;
 

@@ -9,7 +9,7 @@
 
 use bench::{datasets, report};
 use dasgen::Event;
-use dassa::dass::{FileCatalog, Vca};
+use dassa::prelude::*;
 use dsp::{envelope, spectrogram};
 
 fn main() {

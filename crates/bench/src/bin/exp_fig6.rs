@@ -7,7 +7,7 @@
 //! prints the same three series.
 
 use bench::{datasets, report, time};
-use dassa::dass::{create_rca, FileCatalog, Vca};
+use dassa::prelude::*;
 
 fn main() {
     let json_run = report::JsonRun::start("fig6");

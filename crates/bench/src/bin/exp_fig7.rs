@@ -10,9 +10,7 @@
 //!    700 MB files on Cori Lustre) via the calibrated cost model.
 
 use bench::{datasets, report, time};
-use dassa::dass::{
-    create_rca, read_collective_per_file, read_comm_avoiding, read_rca, FileCatalog, Vca,
-};
+use dassa::prelude::*;
 use perfmodel::{experiments::model_fig7, Machine};
 
 fn main() {

@@ -12,8 +12,7 @@
 
 use arrayudf::dist::partition;
 use bench::{calibrate, datasets, report, time};
-use dassa::dasa::{interferometry_dist, prepare_master, Haee, InterferometryParams};
-use dassa::dass::{read_comm_avoiding, FileCatalog, Vca};
+use dassa::prelude::*;
 use perfmodel::experiments::{model_fig8, Layout, Workload};
 use perfmodel::Machine;
 

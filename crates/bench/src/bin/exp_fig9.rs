@@ -9,8 +9,7 @@
 //! the same mechanism behind the paper's gap.
 
 use bench::{datasets, report, time};
-use dassa::dasa::{interferometry, Haee, InterferometryParams};
-use dassa::dass::{FileCatalog, Vca};
+use dassa::prelude::*;
 use mlab::{Interp, Value};
 
 /// The geophysicists' pipeline as an mlab script (Algorithm 3 in

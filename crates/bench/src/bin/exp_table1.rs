@@ -6,7 +6,7 @@
 //! generated day-fragment.
 
 use bench::{datasets, report, time};
-use dassa::dass::{create_rca, FileCatalog, Vca};
+use dassa::prelude::*;
 
 fn dir_size(dir: &std::path::Path) -> u64 {
     std::fs::read_dir(dir)

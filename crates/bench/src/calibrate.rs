@@ -9,7 +9,7 @@
 //! `dasf.write.*`) — the same numbers `das_pipeline --metrics` exports.
 
 use arrayudf::Array2;
-use dassa::dasa::{interferometry, local_similarity, Haee, InterferometryParams, LocalSimiParams};
+use dassa::prelude::*;
 use perfmodel::{Calibration, CalibrationWorkload};
 
 /// Deterministic band-limited test array (`channels × samples`, f64).

@@ -13,7 +13,7 @@
 //! a replica) vs *error* (the filesystem failed). Exit status: 0 when
 //! everything is clean, 1 when any file is damaged, 2 on usage errors.
 
-use dassa::dass::fsck::{collect_targets, quarantine, scrub_paths};
+use dassa::prelude::*;
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -5,11 +5,22 @@
 //! das_pipeline -d <dir> -a interferometry  [-t <threads>] [--master <ch>] [-o out.dasf]
 //! das_pipeline -d <dir> -a stack           [-t <threads>] [--window <n>] [-o out.dasf]
 //! das_pipeline -d <dir> -a <any> --ranks 4 --trace=trace.json --metrics=m.json
+//! das_pipeline --program pipeline.das      [-d <dir>] [-t <threads>] [-o out.dasf]
+//! das_pipeline --eval 'load("corpus") | detrend | xcorr(master=ch[0])'
 //! ```
 //!
 //! Scans `dir`, merges every file into a VCA, runs the chosen analysis
 //! through the [`dasa::run`] dispatcher, prints a summary, and
 //! optionally writes the result as a dasf dataset.
+//!
+//! With `--program <file.das>` (or `--eval <expr>`) the pipeline comes
+//! from a `dasl` program instead of `-a`: the source is compiled —
+//! lexed, typechecked, lowered to bytecode with adjacent element-wise
+//! stages fused — the disassembly is logged to stderr, the `load(...)`
+//! clause lowers into the same chunk-granular [`IoPlan`] every other
+//! read path uses (`-d` overrides the corpus it names), and the
+//! register VM executes the result through the same engine. Compile
+//! errors render as caret diagnostics and exit with status 2.
 //!
 //! With `--metrics` the full observability snapshot (stage spans,
 //! `dasf.*` I/O counters, `minimpi.*` message counters) is rendered to
@@ -37,18 +48,19 @@
 //! are retried, then quarantined and zero-filled, and the quarantine
 //! report is printed instead of aborting the pipeline.
 
-use dassa::dasa::{
-    self, Analysis, AnalysisOutput, Haee, InterferometryParams, LocalSimiParams, StackingParams,
-};
-use dassa::dass::{FileCatalog, IoExecutor, IoPlan, ReadStrategy, Vca};
+use dassa::prelude::*;
 use std::process::ExitCode;
 
 struct Args {
     dir: String,
     analysis: String,
+    /// Path to a `.das` program file (`--program`).
+    program: Option<String>,
+    /// Inline `dasl` source (`--eval`).
+    eval: Option<String>,
     threads: usize,
-    master: usize,
-    window: usize,
+    master: Option<usize>,
+    window: Option<usize>,
     ranks: usize,
     out: Option<String>,
     /// `None` = off, `Some(None)` = text to stderr, `Some(Some(p))` = JSON to `p`.
@@ -65,7 +77,9 @@ fn usage() -> ! {
          \u{20}                     [--window <samples>=512] [-o <out.dasf>]\n\
          \u{20}                     [--ranks <n>=1] [--metrics[=<out.json>]]\n\
          \u{20}                     [--trace[=<out.json>]]\n\
-         \u{20}                     [--fault-plan <seed=N,site=rate,...>]"
+         \u{20}                     [--fault-plan <seed=N,site=rate,...>]\n\
+         \u{20}  or:  das_pipeline --program <file.das> [-d <dir>] [common flags]\n\
+         \u{20}  or:  das_pipeline --eval '<pipeline>'  [-d <dir>] [common flags]"
     );
     std::process::exit(2);
 }
@@ -81,9 +95,11 @@ fn parse_args() -> Args {
     let mut args = Args {
         dir: String::new(),
         analysis: String::new(),
+        program: None,
+        eval: None,
         threads: omp::num_procs(),
-        master: 0,
-        window: 512,
+        master: None,
+        window: None,
         ranks: 1,
         out: None,
         metrics: None,
@@ -109,8 +125,10 @@ fn parse_args() -> Args {
             "-d" | "--dir" => args.dir = value("-d"),
             "-a" | "--analysis" => args.analysis = value("-a"),
             "-t" | "--threads" => args.threads = parse("-t", value("-t")),
-            "--master" => args.master = parse("--master", value("--master")),
-            "--window" => args.window = parse("--window", value("--window")),
+            "--master" => args.master = Some(parse("--master", value("--master"))),
+            "--window" => args.window = Some(parse("--window", value("--window"))),
+            "--program" => args.program = Some(value("--program")),
+            "--eval" => args.eval = Some(value("--eval")),
             "--ranks" => args.ranks = parse("--ranks", value("--ranks")),
             "-o" | "--out" => args.out = Some(value("-o")),
             "--metrics" => args.metrics = Some(None),
@@ -130,6 +148,16 @@ fn parse_args() -> Args {
                     args.trace = Some(Some(path.to_string()));
                 } else if let Some(spec) = other.strip_prefix("--fault-plan=") {
                     args.fault_plan = Some(parse_plan(spec));
+                } else if let Some(path) = other.strip_prefix("--program=") {
+                    if path.is_empty() {
+                        invalid("--program= wants a .das file path");
+                    }
+                    args.program = Some(path.to_string());
+                } else if let Some(src) = other.strip_prefix("--eval=") {
+                    if src.is_empty() {
+                        invalid("--eval= wants a pipeline expression");
+                    }
+                    args.eval = Some(src.to_string());
                 } else {
                     eprintln!("unknown flag {other:?}");
                     usage()
@@ -137,13 +165,29 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.dir.is_empty() || args.analysis.is_empty() {
+    let modes = usize::from(!args.analysis.is_empty())
+        + usize::from(args.program.is_some())
+        + usize::from(args.eval.is_some());
+    if modes == 0 {
+        usage();
+    }
+    if modes > 1 {
+        invalid("choose exactly one of -a, --program, or --eval");
+    }
+    if args.analysis.is_empty() {
+        if args.master.is_some() {
+            invalid("--master only applies to -a; set it in the program: xcorr(master=ch[k])");
+        }
+        if args.window.is_some() {
+            invalid("--window only applies to -a; set it in the program: stack(window=n)");
+        }
+    } else if args.dir.is_empty() {
         usage();
     }
     if args.threads == 0 {
         invalid("-t 0: the engine needs at least one thread");
     }
-    if args.window == 0 {
+    if args.window == Some(0) {
         invalid("--window 0: stacking windows must hold at least one sample");
     }
     if args.ranks == 0 {
@@ -157,13 +201,13 @@ fn select_analysis(args: &Args) -> Analysis {
     match args.analysis.as_str() {
         "localsim" | "local_similarity" => Analysis::LocalSimilarity(LocalSimiParams::default()),
         "interferometry" => Analysis::Interferometry(InterferometryParams {
-            master_channel: args.master,
+            master_channel: args.master.unwrap_or(0),
             ..Default::default()
         }),
         "stack" | "stacking" => Analysis::Stacking(StackingParams {
-            window: args.window,
-            hop: args.window,
-            master_channel: args.master,
+            window: args.window.unwrap_or(512),
+            hop: args.window.unwrap_or(512),
+            master_channel: args.master.unwrap_or(0),
             ..Default::default()
         }),
         other => {
@@ -206,7 +250,132 @@ fn summarize(output: &AnalysisOutput) {
     }
 }
 
+/// Load the `dasl` source for `--program`/`--eval` and compile it.
+/// Compile errors render as caret diagnostics and exit 2 — same
+/// contract as any other bad invocation.
+fn compile_program(args: &Args) -> (String, Program) {
+    let (origin, src) = match (&args.program, &args.eval) {
+        (Some(path), _) => {
+            let src = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| invalid(&format!("--program {path}: {e}")));
+            (path.clone(), src)
+        }
+        (None, Some(src)) => ("<eval>".to_string(), src.clone()),
+        (None, None) => unreachable!("parse_args enforces one mode"),
+    };
+    match dasl::compile(&src) {
+        Ok(program) => (origin, program),
+        Err(e) => {
+            eprintln!("das_pipeline: {origin}:");
+            eprintln!("{}", e.render(&src));
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run a compiled `dasl` program: the `load(...)` clause lowers into an
+/// [`IoPlan`] (the corpus it names is the dataset directory unless `-d`
+/// overrides it), the plan runs through the same serial / resilient /
+/// distributed executors as `-a` mode, and the register VM executes the
+/// bytecode at the corpus sampling rate.
+fn run_program(args: &Args) -> dassa::Result<Option<obs::ClusterSnapshot>> {
+    let (origin, program) = compile_program(args);
+    eprintln!("compiled {origin}:");
+    eprint!("{}", program.disassemble());
+    let spec = program.load_spec();
+    let dir = if args.dir.is_empty() {
+        spec.corpus.clone()
+    } else {
+        args.dir.clone()
+    };
+
+    let _root = obs::span("pipeline");
+    let t0 = std::time::Instant::now();
+    let vca = {
+        let _s = obs::span("scan");
+        let catalog = FileCatalog::scan(&dir)?;
+        Vca::from_entries(catalog.entries())?
+    };
+    eprintln!(
+        "merged {} files: {} channels x {} samples @ {} Hz (scan {:.1} ms)",
+        vca.n_files(),
+        vca.channels(),
+        vca.total_samples(),
+        vca.sampling_hz(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let io_plan = IoPlan::for_load(&vca, spec, args.ranks)?;
+    let t1 = std::time::Instant::now();
+    let (data, cluster) = {
+        let _s = obs::span("read");
+        if args.ranks > 1 {
+            read_distributed_f64(&vca, &io_plan, args.ranks, args.fault_plan.as_ref())?
+        } else {
+            let block = match &args.fault_plan {
+                None => IoExecutor::serial().run(&io_plan)?.0,
+                Some(plan) => {
+                    let plan = std::sync::Arc::new(plan.clone());
+                    let (mut results, _) =
+                        minimpi::run_chaos(1, plan, minimpi::RetryPolicy::default(), |comm| {
+                            IoExecutor::resilient(comm).run(&io_plan)
+                        });
+                    let (block, report) = results.remove(0)?;
+                    if report.is_clean() {
+                        eprintln!("fault plan active: clean read, no faults struck");
+                    } else {
+                        eprintln!(
+                            "fault plan active: quarantined {}/{} files {:?}, {} read retries, {} samples zero-filled",
+                            report.quarantined.len(),
+                            vca.n_files(),
+                            report.quarantined,
+                            report.io_retries,
+                            report.zero_samples
+                        );
+                    }
+                    block
+                }
+            };
+            let wide: Vec<f64> = block.as_slice().iter().map(|&v| v as f64).collect();
+            (
+                arrayudf::Array2::from_vec(block.rows(), block.cols(), wide),
+                None,
+            )
+        }
+    };
+    eprintln!("read {:.1} ms", t1.elapsed().as_secs_f64() * 1e3);
+
+    let haee = Haee::builder().threads(args.threads).build();
+    let bound = program.bind(vca.sampling_hz() as f64);
+    let t2 = std::time::Instant::now();
+    let output = {
+        let _s = obs::span("analyze");
+        dasa::run(&bound, &data, &haee)?
+    };
+    eprintln!("dasl {:.1} ms", t2.elapsed().as_secs_f64() * 1e3);
+    summarize(&output);
+
+    write_output(args, &output)?;
+    Ok(cluster)
+}
+
+/// Write the result as a dasf dataset when `-o` was given.
+fn write_output(args: &Args, output: &AnalysisOutput) -> dassa::Result<()> {
+    if let Some(out) = &args.out {
+        let _s = obs::span("write");
+        let (dims, values) = output.to_dataset();
+        let mut w = dasf::Writer::create(out)?;
+        w.write_dataset_f64("/result", &dims, &values)?;
+        w.finish()?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> dassa::Result<Option<obs::ClusterSnapshot>> {
+    if args.analysis.is_empty() {
+        return run_program(args);
+    }
     let analysis = select_analysis(args);
     let _root = obs::span("pipeline");
 
@@ -229,7 +398,8 @@ fn run(args: &Args) -> dassa::Result<Option<obs::ClusterSnapshot>> {
     let (data, cluster) = {
         let _s = obs::span("read");
         if args.ranks > 1 {
-            read_distributed_f64(&vca, args.ranks, args.fault_plan.as_ref())?
+            let io_plan = IoPlan::for_vca(&vca, ReadStrategy::Auto, args.ranks);
+            read_distributed_f64(&vca, &io_plan, args.ranks, args.fault_plan.as_ref())?
         } else {
             let data = match &args.fault_plan {
                 None => vca.read_all_f64()?,
@@ -253,30 +423,23 @@ fn run(args: &Args) -> dassa::Result<Option<obs::ClusterSnapshot>> {
     );
     summarize(&output);
 
-    if let Some(out) = &args.out {
-        let _s = obs::span("write");
-        let (dims, values) = output.to_dataset();
-        let mut w = dasf::Writer::create(out)?;
-        w.write_dataset_f64("/result", &dims, &values)?;
-        w.finish()?;
-        eprintln!("wrote {out}");
-    }
+    write_output(args, &output)?;
     Ok(cluster)
 }
 
-/// Read the VCA under an in-process comm world of `ranks` ranks: the
-/// auto-resolved [`IoPlan`] is built once up front (and summarized to
-/// stderr), then every rank runs it through the [`IoExecutor`]
-/// (resilient when a fault plan is active). Rank 0 gathers the channel
-/// blocks back into the full array and the per-rank observability
-/// registries into a [`obs::ClusterSnapshot`] for `--metrics`.
+/// Read a prepared [`IoPlan`] under an in-process comm world of `ranks`
+/// ranks: the plan is summarized to stderr, then every rank runs it
+/// through the [`IoExecutor`] (resilient when a fault plan is active).
+/// Rank 0 gathers the channel blocks back into the full array and the
+/// per-rank observability registries into a [`obs::ClusterSnapshot`]
+/// for `--metrics`.
 fn read_distributed_f64(
     vca: &Vca,
+    io_plan: &IoPlan,
     ranks: usize,
     plan: Option<&faultline::FaultPlan>,
 ) -> dassa::Result<(arrayudf::Array2<f64>, Option<obs::ClusterSnapshot>)> {
     let comm_err = |e: minimpi::CommError| dassa::DassaError::Io(std::io::Error::other(e));
-    let io_plan = IoPlan::for_vca(vca, ReadStrategy::Auto, ranks);
     eprintln!(
         "planned {} chunk reads ({} KiB) with {:?} exchange over {ranks} ranks",
         io_plan.ops.len(),
@@ -285,9 +448,9 @@ fn read_distributed_f64(
     );
     let body = |comm: &minimpi::Comm| -> dassa::Result<_> {
         let block = match plan {
-            None => IoExecutor::new(comm).run(&io_plan)?.0,
+            None => IoExecutor::new(comm).run(io_plan)?.0,
             Some(_) => {
-                let (block, report) = IoExecutor::resilient(comm).run(&io_plan)?;
+                let (block, report) = IoExecutor::resilient(comm).run(io_plan)?;
                 if comm.rank() == 0 && !report.is_clean() {
                     eprintln!(
                         "fault plan active: quarantined {}/{} files {:?}, {} read retries, {} samples zero-filled",

@@ -10,7 +10,7 @@
 //! `--vca` additionally writes a virtually-concatenated-array descriptor
 //! for the hits.
 
-use dassa::dass::{FileCatalog, FileEntry, Vca};
+use dassa::prelude::*;
 use std::process::ExitCode;
 
 struct Args {

@@ -64,35 +64,6 @@ impl Haee {
         }
     }
 
-    /// The hybrid configuration the paper advocates: 1 process per node,
-    /// all cores as threads.
-    #[deprecated(since = "0.1.0", note = "use `Haee::builder().threads(n).build()`")]
-    pub fn hybrid(threads: usize) -> Haee {
-        Haee::builder().threads(threads).build()
-    }
-
-    /// The original ArrayUDF configuration: one single-threaded process
-    /// per core.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Haee::builder().ranks(cores).threads(1).build()`"
-    )]
-    pub fn pure_mpi(cores: usize) -> Haee {
-        Haee::builder().ranks(cores).threads(1).build()
-    }
-
-    /// Arbitrary mixed configuration.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Haee::builder().ranks(p).threads(t).build()`"
-    )]
-    pub fn new(processes_per_node: usize, threads_per_process: usize) -> Haee {
-        Haee::builder()
-            .ranks(processes_per_node)
-            .threads(threads_per_process)
-            .build()
-    }
-
     /// CPU cores used per node.
     pub fn cores_per_node(&self) -> usize {
         self.processes_per_node * self.threads_per_process
@@ -172,20 +143,6 @@ mod tests {
         let h = Haee::builder().build();
         assert_eq!(h.processes_per_node, 1);
         assert_eq!(h.threads_per_process, omp::num_procs());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder() {
-        assert_eq!(
-            Haee::builder().threads(8).build(),
-            Haee::builder().threads(8).build()
-        );
-        assert_eq!(
-            Haee::pure_mpi(4),
-            Haee::builder().ranks(4).threads(1).build()
-        );
-        assert_eq!(Haee::new(2, 3), Haee::builder().ranks(2).threads(3).build());
     }
 
     #[test]

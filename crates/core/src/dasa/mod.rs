@@ -11,6 +11,7 @@ mod local_similarity;
 pub mod qc;
 mod run;
 mod stacking;
+mod vm;
 
 pub use haee::{Haee, HaeeBuilder, MemoryModel};
 pub use interferometry::{
@@ -19,8 +20,9 @@ pub use interferometry::{
 };
 pub use local_similarity::{local_similarity, local_similarity_dist, LocalSimiParams};
 pub use qc::{channel_metrics, channel_qc, ChannelHealth, ChannelMetrics, QcParams, QcReport};
-pub use run::{run, Analysis, AnalysisOutput};
+pub use run::{run, Analysis, AnalysisOutput, Job};
 pub use stacking::{
     prepare_master_windows, stack_channel, stacked_interferometry, stacked_interferometry_3d,
     MasterWindows, StackedCorrelation, StackingParams, TimeNorm,
 };
+pub use vm::{execute, BindProgram, BoundProgram};

@@ -90,21 +90,63 @@ impl AnalysisOutput {
     }
 }
 
-/// Run `analysis` over a merged `channel × time` array with the hybrid
-/// engine — the single dispatcher every caller goes through.
+/// Anything [`run`] can execute over a merged `channel × time` array:
+/// a parameterized [`Analysis`], a compiled [`dasl::Program`], or a
+/// [`BoundProgram`](super::vm::BoundProgram) (a program bound to its
+/// corpus' sampling rate). One execution API for both the builder-
+/// assembled and the compiled form.
+pub trait Job {
+    /// Stable short name, used for span names and logging.
+    fn name(&self) -> &'static str;
+
+    /// Execute over `data` with the hybrid engine.
+    fn run(&self, data: &Array2<f64>, haee: &Haee) -> Result<AnalysisOutput>;
+}
+
+impl Job for Analysis {
+    fn name(&self) -> &'static str {
+        Analysis::name(self)
+    }
+
+    fn run(&self, data: &Array2<f64>, haee: &Haee) -> Result<AnalysisOutput> {
+        match self {
+            Analysis::LocalSimilarity(p) => {
+                Ok(AnalysisOutput::Map(local_similarity(data, p, haee)))
+            }
+            Analysis::Interferometry(p) => {
+                Ok(AnalysisOutput::Scores(interferometry(data, p, haee)?))
+            }
+            Analysis::Stacking(p) => Ok(AnalysisOutput::Stacks(stacked_interferometry(
+                data, p, haee,
+            )?)),
+        }
+    }
+}
+
+/// A bare compiled program runs at the acquisition default of 500 Hz;
+/// bind it to the real rate with
+/// [`BindProgram::bind`](super::vm::BindProgram::bind) when the corpus
+/// is known.
+impl Job for dasl::Program {
+    fn name(&self) -> &'static str {
+        "dasl"
+    }
+
+    fn run(&self, data: &Array2<f64>, haee: &Haee) -> Result<AnalysisOutput> {
+        super::vm::execute(self, 500.0, data, haee)
+    }
+}
+
+/// Run a [`Job`] — an [`Analysis`] or a compiled `dasl` program — over a
+/// merged `channel × time` array with the hybrid engine. The single
+/// dispatcher every caller goes through.
 ///
 /// Each pipeline times itself as `span.<name>` in the global [`obs`]
 /// registry, with child spans per stage (`prepare_master`, `apply`); the
 /// paths nest under whatever span the caller has open, so `das_pipeline`
 /// produces e.g. `span.pipeline.analyze.interferometry.apply`.
-pub fn run(analysis: &Analysis, data: &Array2<f64>, haee: &Haee) -> Result<AnalysisOutput> {
-    match analysis {
-        Analysis::LocalSimilarity(p) => Ok(AnalysisOutput::Map(local_similarity(data, p, haee))),
-        Analysis::Interferometry(p) => Ok(AnalysisOutput::Scores(interferometry(data, p, haee)?)),
-        Analysis::Stacking(p) => Ok(AnalysisOutput::Stacks(stacked_interferometry(
-            data, p, haee,
-        )?)),
-    }
+pub fn run<J: Job + ?Sized>(job: &J, data: &Array2<f64>, haee: &Haee) -> Result<AnalysisOutput> {
+    job.run(data, haee)
 }
 
 #[cfg(test)]

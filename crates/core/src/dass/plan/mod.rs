@@ -192,6 +192,62 @@ impl IoPlan {
         IoPlan::for_region(vca, lav.channel_range(), lav.time_range())
     }
 
+    /// Lower a compiled `dasl` `load(...)` clause into a plan — how the
+    /// pipeline language's front end meets this planner.
+    ///
+    /// The clause's time window is in **seconds**; it converts to sample
+    /// columns with the corpus' sampling rate, clamped to the corpus
+    /// extent (asking for `0..3600` of a 60 s corpus reads all of it).
+    /// Windowed loads plan serial region reads ([`IoPlan::for_region`],
+    /// the same path as `Vca::read_all_f64`); full-extent loads on more
+    /// than one rank plan a §IV-B parallel read with the clause's
+    /// strategy — `auto` resolves heuristically, `modeled` prices both
+    /// strategies on [`perfmodel::Machine::cori_haswell`].
+    pub fn for_load(vca: &Vca, spec: &dasl::LoadSpec, ranks: usize) -> Result<IoPlan> {
+        let hz = vca.sampling_hz().max(1) as u64;
+        let windowed = spec.time.is_some() || spec.channels.is_some();
+        if windowed && ranks > 1 {
+            return Err(DassaError::BadSelection(
+                "a windowed load (t=/ch=) plans a serial region read; drop --ranks or load \
+                 the full extent"
+                    .to_string(),
+            ));
+        }
+        if ranks > 1 {
+            return Ok(match spec.strategy {
+                dasl::Strategy::Auto => IoPlan::for_vca(vca, ReadStrategy::Auto, ranks),
+                dasl::Strategy::Collective => {
+                    IoPlan::for_vca(vca, ReadStrategy::CollectivePerFile, ranks)
+                }
+                dasl::Strategy::CommAvoiding => {
+                    IoPlan::for_vca(vca, ReadStrategy::CommAvoiding, ranks)
+                }
+                dasl::Strategy::Modeled => {
+                    for_vca_modeled(vca, &perfmodel::Machine::cori_haswell(), ranks)
+                }
+            });
+        }
+        let ch = match spec.channels {
+            Some((a, b)) => a..b,
+            None => 0..vca.channels(),
+        };
+        let t = match spec.time {
+            Some((t0, t1)) => {
+                let start = t0 * hz;
+                let end = (t1 * hz).min(vca.total_samples());
+                if start >= vca.total_samples() {
+                    return Err(DassaError::BadSelection(format!(
+                        "load time window {t0}..{t1} s starts past the corpus ({} s)",
+                        vca.total_samples() / hz
+                    )));
+                }
+                start..end
+            }
+            None => 0..vca.total_samples(),
+        };
+        IoPlan::for_region(vca, ch, t)
+    }
+
     /// Plan a whole-file read of one merged (RCA) file with the given
     /// shape.
     pub fn for_file(path: &Path, meta: &DasFileMeta) -> IoPlan {

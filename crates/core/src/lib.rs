@@ -51,6 +51,7 @@
 pub mod dasa;
 pub mod dass;
 mod error;
+pub mod prelude;
 
 pub use error::DassaError;
 

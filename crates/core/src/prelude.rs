@@ -1,0 +1,43 @@
+//! One import for the whole DASSA surface.
+//!
+//! Examples, tests, and tools used to deep-import from `dassa::dasa`
+//! and `dassa::dass` submodule paths, which coupled every caller to the
+//! crate's internal layout. `use dassa::prelude::*` brings in the
+//! storage engine (catalog/VCA/planner/executor), the analysis engine
+//! (HAEE, the flagship pipelines, the one [`run`] dispatcher), and the
+//! `dasl` pipeline-language front end, so callers name what they use
+//! and nothing about where it lives.
+
+// `crate::Result` stays out of the prelude on purpose: glob-importing a
+// 1-parameter `Result` alias shadows `std::result::Result` in every
+// consumer. Name it as `dassa::Result` where needed.
+pub use crate::DassaError;
+
+// The two engines as modules, for qualified paths (`dasa::run`, …).
+pub use crate::{dasa, dass};
+
+// DASA — the analysis engine.
+pub use crate::dasa::{
+    channel_metrics, channel_qc, cross_correlation_with_master, execute, interferometry,
+    interferometry_dist, local_similarity, local_similarity_dist, prepare_master,
+    prepare_master_windows, preprocess_channel, qc, run, stack_channel, stacked_interferometry,
+    stacked_interferometry_3d, Analysis, AnalysisOutput, BindProgram, BoundProgram, ChannelHealth,
+    ChannelMetrics, Haee, HaeeBuilder, InterferometryParams, Job, LocalSimiParams, MasterSpectrum,
+    MasterWindows, MemoryModel, QcParams, QcReport, StackedCorrelation, StackingParams, TimeNorm,
+};
+
+// DASS — the storage engine.
+pub use crate::dass::par_read::MAX_READ_ATTEMPTS;
+pub use crate::dass::{
+    choose_strategy_modeled, collect_targets, create_rca, create_rca_parallel, das_file_name, fsck,
+    par_read, plan, quarantine, read_collective_per_file, read_collective_per_file_resilient,
+    read_comm_avoiding, read_comm_avoiding_resilient, read_rca, read_vca, read_vca_resilient,
+    scrub_file, scrub_paths, write_das_file, write_das_file_with_layout, DasFileMeta, Exchange,
+    FileCatalog, FileEntry, FileStatus, FsckReport, IoExecutor, IoPlan, Lav, ReadOp, ReadReport,
+    ReadStrategy, Resilience, Tile, Timestamp, Vca, DATASET_PATH,
+};
+
+// The pipeline language: `dasl::compile("load(…) | …")` → a `Program`
+// that `run` executes.
+pub use ::dasl;
+pub use ::dasl::Program;

@@ -6,11 +6,7 @@
 //! others by a single bit, a shrunk counterexample lands here.
 
 use arrayudf::Array2;
-use dassa::dass::{
-    create_rca, read_rca, read_vca_resilient, FileCatalog, IoExecutor, IoPlan, Lav, ReadStrategy,
-    Timestamp, Vca,
-};
-use dassa::dass::{das_file_name, write_das_file, DasFileMeta};
+use dassa::prelude::*;
 use faultline::{site, FaultPlan};
 use proptest::prelude::*;
 use std::path::PathBuf;

@@ -3,12 +3,7 @@
 //! parallel readers must all agree with each other.
 
 use arrayudf::Array2;
-use dassa::dass::{
-    create_rca, read_collective_per_file, read_collective_per_file_resilient, read_comm_avoiding,
-    read_comm_avoiding_resilient, read_rca, read_vca_resilient, FileCatalog, Lav, ReadStrategy,
-    Timestamp, Vca,
-};
-use dassa::dass::{das_file_name, write_das_file, DasFileMeta};
+use dassa::prelude::*;
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -134,7 +129,8 @@ proptest! {
         ranks in 2usize..5,
         seed in any::<u64>(),
     ) {
-        use dassa::dass::par_read::metric_names as pr;
+        use dassa::prelude::*;
+        use dassa::prelude::par_read::metric_names as pr;
         use minimpi::metric_names as mm;
         use std::sync::Arc;
 

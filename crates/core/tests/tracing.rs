@@ -5,10 +5,7 @@
 //! imbalance ratio.
 
 use arrayudf::Array2;
-use dassa::dass::{
-    das_file_name, read_vca_resilient, write_das_file, DasFileMeta, FileCatalog, ReadStrategy,
-    Timestamp, Vca,
-};
+use dassa::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

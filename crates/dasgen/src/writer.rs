@@ -1,7 +1,7 @@
 //! Emit a synthetic acquisition as standard one-minute DAS files.
 
 use crate::scene::Scene;
-use dassa::dass::{das_file_name, write_das_file, DasFileMeta, Timestamp};
+use dassa::prelude::*;
 use std::path::{Path, PathBuf};
 
 /// Write `minutes` consecutive one-minute DAS files for `scene` into
@@ -40,7 +40,6 @@ pub fn write_minute_files(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dassa::dass::{FileCatalog, Vca};
 
     #[test]
     fn minute_files_form_a_contiguous_vca() {

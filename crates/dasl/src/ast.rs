@@ -1,0 +1,173 @@
+//! The `dasl` abstract syntax tree.
+//!
+//! A program is a single pipeline: stages joined by `|`, each stage a
+//! name with an optional argument list of positional and `name=value`
+//! arguments. Every node carries a [`Span`]; equality (`PartialEq`)
+//! deliberately **ignores spans**, so a parse → pretty-print → parse
+//! round trip compares equal even though the re-parsed spans differ.
+//! Number literals compare by bit pattern, making the round-trip exact
+//! (Rust's `{}` float formatting is shortest-round-trip).
+
+use crate::span::Span;
+use std::fmt;
+
+/// A whole program: `stage | stage | …`.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// The stages, in pipe order. Never empty after a successful parse.
+    pub stages: Vec<Stage>,
+    /// Span of the whole pipeline.
+    pub span: Span,
+}
+
+/// One pipeline stage: `name` or `name(arg, …)`.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage name as written.
+    pub name: String,
+    /// Span of the name alone (diagnostics point here for unknown
+    /// stages).
+    pub name_span: Span,
+    /// Arguments, positional first by convention (the parser allows any
+    /// order; the typechecker enforces positional-before-named).
+    pub args: Vec<Arg>,
+    /// Span of the whole stage including its argument list.
+    pub span: Span,
+}
+
+/// One argument: `expr` or `name=expr`.
+#[derive(Debug, Clone)]
+pub struct Arg {
+    /// Keyword, for `name=value` arguments.
+    pub name: Option<(String, Span)>,
+    /// The value.
+    pub value: Expr,
+    /// Span of the whole argument.
+    pub span: Span,
+}
+
+/// An argument value.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A number literal (possibly negative).
+    Num(f64, Span),
+    /// A string literal.
+    Str(String, Span),
+    /// An integer range `a..b`.
+    Range(u64, u64, Span),
+    /// A channel reference `ch[k]`.
+    Chan(u64, Span),
+}
+
+impl Expr {
+    /// The expression's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Num(_, s) | Expr::Str(_, s) | Expr::Range(_, _, s) | Expr::Chan(_, s) => *s,
+        }
+    }
+
+    /// How the expression's *kind* reads in a type-error message.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Expr::Num(..) => "a number",
+            Expr::Str(..) => "a string",
+            Expr::Range(..) => "a range",
+            Expr::Chan(..) => "a channel reference",
+        }
+    }
+}
+
+impl PartialEq for Pipeline {
+    fn eq(&self, other: &Self) -> bool {
+        self.stages == other.stages
+    }
+}
+
+impl PartialEq for Stage {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.args == other.args
+    }
+}
+
+impl PartialEq for Arg {
+    fn eq(&self, other: &Self) -> bool {
+        self.name.as_ref().map(|(n, _)| n) == other.name.as_ref().map(|(n, _)| n)
+            && self.value == other.value
+    }
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Expr::Num(a, _), Expr::Num(b, _)) => a.to_bits() == b.to_bits(),
+            (Expr::Str(a, _), Expr::Str(b, _)) => a == b,
+            (Expr::Range(a0, a1, _), Expr::Range(b0, b1, _)) => a0 == b0 && a1 == b1,
+            (Expr::Chan(a, _), Expr::Chan(b, _)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n, _) => write!(f, "{n}"),
+            Expr::Str(s, _) => write!(f, "\"{}\"", escape(s)),
+            Expr::Range(a, b, _) => write!(f, "{a}..{b}"),
+            Expr::Chan(k, _) => write!(f, "ch[{k}]"),
+        }
+    }
+}
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some((n, _)) => write!(f, "{n}={}", self.value),
+            None => write!(f, "{}", self.value),
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}

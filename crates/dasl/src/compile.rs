@@ -1,0 +1,156 @@
+//! Lowering from a typechecked pipeline to bytecode.
+//!
+//! The interesting part is **fusion**: a run of adjacent element-wise
+//! stages (`detrend | bandpass(..) | resample(..)`) compiles into a
+//! single `apply` instruction whose kernel list the VM walks per row,
+//! so the waveform block is traversed (and materialized) once per fused
+//! run instead of once per stage. Each fused run of `k` kernels
+//! contributes `k - 1` to [`Program::fused_stages`] — the number of
+//! whole-array passes the compiler eliminated.
+
+use crate::bytecode::{op, Const, Program};
+use crate::types::{Checked, CheckedStage};
+
+/// Compile a typechecked pipeline to a [`Program`].
+pub fn compile(checked: &Checked) -> Program {
+    let mut consts = Vec::new();
+    let mut code = Vec::new();
+    let mut fused_stages = 0u64;
+    let mut reg = 0u8; // register holding the current value
+
+    let push_const = |consts: &mut Vec<Const>, c: Const| -> u8 {
+        consts.push(c);
+        (consts.len() - 1) as u8
+    };
+
+    let mut i = 0;
+    while i < checked.stages.len() {
+        match &checked.stages[i] {
+            CheckedStage::Load(spec) => {
+                let c = push_const(&mut consts, Const::Load(spec.clone()));
+                code.extend_from_slice(&[op::LOAD, 0, c]);
+                reg = 0;
+                i += 1;
+            }
+            CheckedStage::Kernel(_) => {
+                // Gather the maximal run of adjacent kernels.
+                let mut kernel_ids = Vec::new();
+                while let Some(CheckedStage::Kernel(k)) = checked.stages.get(i) {
+                    kernel_ids.push(push_const(&mut consts, Const::Kernel(k.clone())));
+                    i += 1;
+                }
+                fused_stages += (kernel_ids.len() - 1) as u64;
+                let dst = reg + 1;
+                code.extend_from_slice(&[op::APPLY, dst, reg, kernel_ids.len() as u8]);
+                code.extend_from_slice(&kernel_ids);
+                reg = dst;
+            }
+            CheckedStage::Xcorr { master } => {
+                let c = push_const(&mut consts, Const::Chan(*master));
+                let dst = reg + 1;
+                code.extend_from_slice(&[op::XCORR, dst, reg, c]);
+                reg = dst;
+                i += 1;
+            }
+            CheckedStage::LocalSim(spec) => {
+                let c = push_const(&mut consts, Const::LocalSim(*spec));
+                let dst = reg + 1;
+                code.extend_from_slice(&[op::LOCALSIM, dst, reg, c]);
+                reg = dst;
+                i += 1;
+            }
+            CheckedStage::Stack(spec) => {
+                let c = push_const(&mut consts, Const::Stack(*spec));
+                let dst = reg + 1;
+                code.extend_from_slice(&[op::STACK, dst, reg, c]);
+                reg = dst;
+                i += 1;
+            }
+        }
+    }
+    code.extend_from_slice(&[op::RET, reg]);
+
+    Program {
+        consts,
+        code,
+        n_regs: reg + 1,
+        fused_stages,
+        result: checked.result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Instr, Kernel};
+    use crate::parser::parse;
+    use crate::types::check;
+
+    fn compile_src(src: &str) -> Program {
+        compile(&check(&parse(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn example_fuses_three_kernels_into_one_apply() {
+        let p = compile_src(
+            "load(\"corpus\", 0..60) | detrend | bandpass(0.5, 16) | resample(4) \
+             | xcorr(master=ch[0])",
+        );
+        let instrs: Vec<Instr> = p.decode().into_iter().map(|(_, i)| i).collect();
+        assert_eq!(instrs.len(), 4, "{instrs:?}");
+        assert!(matches!(instrs[0], Instr::Load { dst: 0, .. }));
+        let Instr::Apply {
+            dst,
+            src,
+            ref kernels,
+        } = instrs[1]
+        else {
+            panic!("expected apply, got {:?}", instrs[1]);
+        };
+        assert_eq!((dst, src), (1, 0));
+        assert_eq!(kernels.len(), 3);
+        assert!(matches!(instrs[2], Instr::Xcorr { dst: 2, src: 1, .. }));
+        assert!(matches!(instrs[3], Instr::Ret { src: 2 }));
+        // Three fused element-wise stages eliminate two passes.
+        assert_eq!(p.fused_stages, 2);
+        assert_eq!(p.n_regs, 3);
+    }
+
+    #[test]
+    fn lone_kernel_fuses_nothing() {
+        let p = compile_src("load(\"c\") | detrend");
+        assert_eq!(p.fused_stages, 0);
+        let instrs: Vec<Instr> = p.decode().into_iter().map(|(_, i)| i).collect();
+        assert!(
+            matches!(instrs[1], Instr::Apply { ref kernels, .. } if kernels.len() == 1),
+            "{instrs:?}"
+        );
+    }
+
+    #[test]
+    fn kernel_order_is_preserved_in_the_const_pool() {
+        let p = compile_src("load(\"c\") | onebit | bandpass(1, 8) | demean | stack(window=64)");
+        let Instr::Apply { ref kernels, .. } = p.decode()[1].1 else {
+            panic!()
+        };
+        let ks: Vec<&Kernel> = kernels
+            .iter()
+            .map(|&k| match &p.consts[k as usize] {
+                Const::Kernel(k) => k,
+                other => panic!("expected kernel, got {other:?}"),
+            })
+            .collect();
+        assert!(matches!(ks[0], Kernel::OneBit));
+        assert!(matches!(ks[1], Kernel::Bandpass { .. }));
+        assert!(matches!(ks[2], Kernel::Demean));
+    }
+
+    #[test]
+    fn disassembly_mentions_fusion() {
+        let p = compile_src("load(\"c\") | detrend | demean | xcorr(master=ch[0])");
+        let dis = p.disassemble();
+        assert!(dis.contains("2 kernels, one pass"), "{dis}");
+        assert!(dis.contains("1 stages fused"), "{dis}");
+        assert!(dis.contains("load \"c\""), "{dis}");
+    }
+}

@@ -1,0 +1,329 @@
+//! Hand-rolled tokenizer for `dasl` pipelines.
+//!
+//! The surface syntax is deliberately tiny: identifiers, numbers,
+//! strings, and seven pieces of punctuation. `#` starts a comment that
+//! runs to end of line; newlines are plain whitespace (pipelines may be
+//! wrapped across lines at any point).
+
+use crate::span::{Error, Span};
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A stage or argument name: `[a-zA-Z_][a-zA-Z0-9_]*`.
+    Ident(String),
+    /// A number literal (integers and decimals, optional leading `-`
+    /// handled by the parser).
+    Num(f64),
+    /// A double-quoted string with `\"`, `\\`, `\n`, `\t` escapes.
+    Str(String),
+    /// `|`
+    Pipe,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `..`
+    DotDot,
+    /// `-` (unary minus on number literals).
+    Minus,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl Tok {
+    /// How the token reads in a diagnostic.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Num(n) => format!("`{n}`"),
+            Tok::Str(s) => format!("{s:?}"),
+            Tok::Pipe => "`|`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::DotDot => "`..`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Eof => "end of program".into(),
+        }
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token plus where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Source bytes it covers.
+    pub span: Span,
+}
+
+/// Tokenize `src`. The result always ends with a [`Tok::Eof`] token.
+pub fn lex(src: &str) -> Result<Vec<Token>, Error> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'|' => {
+                out.push(Token {
+                    tok: Tok::Pipe,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token {
+                    tok: Tok::LParen,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token {
+                    tok: Tok::RParen,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b']' => {
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token {
+                    tok: Tok::Comma,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token {
+                    tok: Tok::Assign,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token {
+                    tok: Tok::Minus,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token {
+                        tok: Tok::DotDot,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(Error::new(
+                        "stray `.` (ranges are written `0..60`)",
+                        Span::new(i, i + 1),
+                    ));
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(Error::new(
+                                "unterminated string literal",
+                                Span::new(start, i),
+                            ));
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes.get(i + 1);
+                            match esc {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                _ => {
+                                    return Err(Error::new(
+                                        "unknown escape (only \\\" \\\\ \\n \\t are recognized)",
+                                        Span::new(i, (i + 2).min(bytes.len())),
+                                    ));
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Consume one full UTF-8 scalar.
+                            let ch = src[i..].chars().next().expect("in bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    span: Span::new(start, i),
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A `.` continues the number only when it is not the
+                // start of a `..` range operator.
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1) != Some(&b'.') {
+                    i += 1;
+                    if i >= bytes.len() || !bytes[i].is_ascii_digit() {
+                        return Err(Error::new(
+                            "number literal needs digits after the decimal point",
+                            Span::new(start, i),
+                        ));
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| Error::new(format!("bad number `{text}`"), Span::new(start, i)))?;
+                out.push(Token {
+                    tok: Tok::Num(n),
+                    span: Span::new(start, i),
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let ch = src[i..].chars().next().expect("in bounds");
+                return Err(Error::new(
+                    format!("unexpected character `{ch}`"),
+                    Span::new(i, i + ch.len_utf8()),
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn pipeline_tokens() {
+        assert_eq!(
+            kinds("load(\"c\", 0..60) | detrend"),
+            vec![
+                Tok::Ident("load".into()),
+                Tok::LParen,
+                Tok::Str("c".into()),
+                Tok::Comma,
+                Tok::Num(0.0),
+                Tok::DotDot,
+                Tok::Num(60.0),
+                Tok::RParen,
+                Tok::Pipe,
+                Tok::Ident("detrend".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_decimal() {
+        // `0..60` must lex as Num DotDot Num, never as `0.` `.60`.
+        assert_eq!(
+            kinds("0..60"),
+            vec![Tok::Num(0.0), Tok::DotDot, Tok::Num(60.0), Tok::Eof]
+        );
+        assert_eq!(kinds("0.5"), vec![Tok::Num(0.5), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_and_newlines_are_whitespace() {
+        assert_eq!(
+            kinds("detrend # trailing\n | demean"),
+            vec![
+                Tok::Ident("detrend".into()),
+                Tok::Pipe,
+                Tok::Ident("demean".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        assert_eq!(
+            kinds(r#""a\"b\\c\nd""#),
+            vec![Tok::Str("a\"b\\c\nd".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let e = lex("detrend ; demean").unwrap_err();
+        assert_eq!(e.message, "unexpected character `;`");
+        assert_eq!(e.span, Span::new(8, 9));
+        assert!(lex("\"open").is_err());
+        assert!(lex("1.").is_err());
+    }
+}

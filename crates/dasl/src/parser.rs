@@ -1,0 +1,275 @@
+//! Recursive-descent parser for `dasl` pipelines.
+//!
+//! Grammar (whitespace and `#` comments between any tokens):
+//!
+//! ```text
+//! pipeline := stage ( '|' stage )*
+//! stage    := IDENT [ '(' [ arg ( ',' arg )* ] ')' ]
+//! arg      := [ IDENT '=' ] expr
+//! expr     := [-] NUMBER | STRING | INT '..' INT | 'ch' '[' INT ']'
+//! ```
+//!
+//! Every error points at a span; see [`crate::span::Error::render`].
+
+use crate::ast::{Arg, Expr, Pipeline, Stage};
+use crate::lexer::{lex, Tok, Token};
+use crate::span::{Error, Span};
+
+/// Parse a full program (one pipeline, then end of input).
+pub fn parse(src: &str) -> Result<Pipeline, Error> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let pipeline = p.pipeline()?;
+    match &p.peek().tok {
+        Tok::Eof => Ok(pipeline),
+        t => Err(Error::new(
+            format!("expected `|` or end of program, found {}", t.describe()),
+            p.peek().span,
+        )),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<Token, Error> {
+        if self.peek().tok == want {
+            Ok(self.bump())
+        } else {
+            Err(Error::new(
+                format!("expected {what}, found {}", self.peek().tok.describe()),
+                self.peek().span,
+            ))
+        }
+    }
+
+    fn pipeline(&mut self) -> Result<Pipeline, Error> {
+        let first = self.stage()?;
+        let start = first.span;
+        let mut stages = vec![first];
+        while self.peek().tok == Tok::Pipe {
+            self.bump();
+            stages.push(self.stage()?);
+        }
+        let span = start.to(stages.last().expect("non-empty").span);
+        Ok(Pipeline { stages, span })
+    }
+
+    fn stage(&mut self) -> Result<Stage, Error> {
+        let name_tok = self.peek().clone();
+        let Tok::Ident(name) = name_tok.tok else {
+            return Err(Error::new(
+                format!("expected a stage name, found {}", name_tok.tok.describe()),
+                name_tok.span,
+            ));
+        };
+        self.bump();
+        let name_span = name_tok.span;
+        let mut span = name_span;
+        let mut args = Vec::new();
+        if self.peek().tok == Tok::LParen {
+            self.bump();
+            if self.peek().tok != Tok::RParen {
+                loop {
+                    args.push(self.arg()?);
+                    if self.peek().tok == Tok::Comma {
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+            }
+            let close = self.expect(
+                Tok::RParen,
+                &format!("`)` to close the argument list of `{name}`"),
+            )?;
+            span = span.to(close.span);
+        }
+        Ok(Stage {
+            name,
+            name_span,
+            args,
+            span,
+        })
+    }
+
+    fn arg(&mut self) -> Result<Arg, Error> {
+        // `IDENT =` starts a named argument — except `ch[…]`, which is a
+        // value. One token of lookahead settles it.
+        if let Tok::Ident(name) = &self.peek().tok {
+            let is_named = self.tokens[self.pos + 1].tok == Tok::Assign;
+            if is_named {
+                let name = name.clone();
+                let name_span = self.bump().span;
+                self.bump(); // `=`
+                let value = self.expr()?;
+                let span = name_span.to(value.span());
+                return Ok(Arg {
+                    name: Some((name, name_span)),
+                    value,
+                    span,
+                });
+            }
+        }
+        let value = self.expr()?;
+        let span = value.span();
+        Ok(Arg {
+            name: None,
+            value,
+            span,
+        })
+    }
+
+    fn integer(&mut self, what: &str) -> Result<(u64, Span), Error> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                self.bump();
+                Ok((n as u64, t.span))
+            }
+            Tok::Num(_) => Err(Error::new(
+                format!("{what} must be a non-negative integer"),
+                t.span,
+            )),
+            tok => Err(Error::new(
+                format!("expected {what}, found {}", tok.describe()),
+                t.span,
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, Error> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Minus => {
+                self.bump();
+                let n = self.peek().clone();
+                match n.tok {
+                    Tok::Num(v) => {
+                        self.bump();
+                        Ok(Expr::Num(-v, t.span.to(n.span)))
+                    }
+                    tok => Err(Error::new(
+                        format!("expected a number after `-`, found {}", tok.describe()),
+                        n.span,
+                    )),
+                }
+            }
+            Tok::Num(n) => {
+                self.bump();
+                if self.peek().tok == Tok::DotDot {
+                    if n < 0.0 || n.fract() != 0.0 {
+                        return Err(Error::new(
+                            "range start must be a non-negative integer",
+                            t.span,
+                        ));
+                    }
+                    self.bump();
+                    let (end, end_span) = self.integer("the range end")?;
+                    let span = t.span.to(end_span);
+                    if end <= n as u64 {
+                        return Err(Error::new(format!("empty range {}..{end}", n as u64), span));
+                    }
+                    Ok(Expr::Range(n as u64, end, span))
+                } else {
+                    Ok(Expr::Num(n, t.span))
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, t.span))
+            }
+            Tok::Ident(ref name) if name == "ch" => {
+                self.bump();
+                self.expect(Tok::LBracket, "`[` after `ch`")?;
+                let (k, _) = self.integer("a channel index")?;
+                let close = self.expect(Tok::RBracket, "`]` to close the channel reference")?;
+                Ok(Expr::Chan(k, t.span.to(close.span)))
+            }
+            tok => Err(Error::new(
+                format!("expected an argument value, found {}", tok.describe()),
+                t.span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_parses() {
+        let p = parse(
+            "load(\"corpus\", 0..60) | detrend | bandpass(0.5, 16) | resample(4) \
+             | xcorr(master=ch[0])",
+        )
+        .unwrap();
+        assert_eq!(p.stages.len(), 5);
+        assert_eq!(p.stages[0].name, "load");
+        assert_eq!(p.stages[0].args.len(), 2);
+        assert!(matches!(p.stages[0].args[1].value, Expr::Range(0, 60, _)));
+        let xcorr = &p.stages[4];
+        assert_eq!(xcorr.args[0].name.as_ref().unwrap().0, "master");
+        assert!(matches!(xcorr.args[0].value, Expr::Chan(0, _)));
+    }
+
+    #[test]
+    fn pretty_print_round_trips() {
+        let src = "load(\"c\", 0..60, strategy=\"auto\") | bandpass(0.5, 16, order=6) \
+                   | xcorr(master=ch[3])";
+        let p1 = parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p1, p2, "printed form: {printed}");
+    }
+
+    #[test]
+    fn trailing_pipe_is_an_error() {
+        let e = parse("load(\"c\") | detrend | ").unwrap_err();
+        assert_eq!(e.message, "expected a stage name, found end of program");
+    }
+
+    #[test]
+    fn unclosed_args_point_at_the_gap() {
+        let e = parse("bandpass(0.5, 16").unwrap_err();
+        assert_eq!(
+            e.message,
+            "expected `)` to close the argument list of `bandpass`, found end of program"
+        );
+    }
+
+    #[test]
+    fn negative_numbers_parse() {
+        let p = parse("shift(-1.5)").unwrap();
+        assert!(matches!(p.stages[0].args[0].value, Expr::Num(v, _) if v == -1.5));
+    }
+
+    #[test]
+    fn empty_and_backwards_ranges_rejected() {
+        assert!(parse("load(\"c\", 5..5)")
+            .unwrap_err()
+            .message
+            .contains("empty range"));
+        assert!(parse("load(\"c\", 9..5)")
+            .unwrap_err()
+            .message
+            .contains("empty range"));
+        assert!(parse("load(\"c\", 0.5..5)").is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Byte spans and rendered diagnostics.
+//!
+//! Every token, AST node, and error carries a [`Span`] into the source
+//! text, so a failed parse or typecheck can point at the exact tokens
+//! that caused it. [`Error::render`] turns that into the caret-style
+//! report `das_pipeline` prints for a bad `--program`.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A compile-time error (lex, parse, or type) anchored to a [`Span`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// What went wrong, in one sentence.
+    pub message: String,
+    /// Where in the source it went wrong.
+    pub span: Span,
+}
+
+impl Error {
+    /// An error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Error {
+        Error {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render the error against its source as a caret diagnostic:
+    ///
+    /// ```text
+    /// error: unknown stage `bandpas` (did you mean `bandpass`?)
+    ///   --> line 1, column 26
+    ///    |
+    ///  1 | load("corpus") | detrend | bandpas(0.5, 16)
+    ///    |                            ^^^^^^^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let start = self.span.start.min(src.len());
+        let line_no = src[..start].matches('\n').count() + 1;
+        let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[start..].find('\n').map_or(src.len(), |i| start + i);
+        let line = &src[line_start..line_end];
+        let col = src[line_start..start].chars().count() + 1;
+        let width = self
+            .span
+            .end
+            .min(line_end)
+            .saturating_sub(start)
+            .max(1)
+            .min(line.len() + 1 - (col - 1).min(line.len()));
+        let gutter = format!("{line_no}").len().max(2);
+        let mut out = format!(
+            "error: {}\n{:>gutter$}--> line {line_no}, column {col}\n",
+            self.message, ""
+        );
+        out.push_str(&format!("{:>gutter$} |\n", ""));
+        out.push_str(&format!("{line_no:>gutter$} | {line}\n"));
+        out.push_str(&format!(
+            "{:>gutter$} | {:pad$}{}\n",
+            "",
+            "",
+            "^".repeat(width.max(1)),
+            pad = col - 1
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "load(\"x\") | nope";
+        let err = Error::new("unknown stage `nope`", Span::new(12, 16));
+        let r = err.render(src);
+        assert!(r.contains("error: unknown stage `nope`"), "{r}");
+        assert!(r.contains("line 1, column 13"), "{r}");
+        assert!(r.contains("^^^^"), "{r}");
+    }
+
+    #[test]
+    fn render_survives_eof_spans() {
+        let src = "load";
+        let err = Error::new("unexpected end of program", Span::new(4, 4));
+        let r = err.render(src);
+        assert!(r.contains("column 5"), "{r}");
+    }
+
+    #[test]
+    fn render_finds_later_lines() {
+        let src = "load(\"x\")\n  | what";
+        let err = Error::new("unknown stage `what`", Span::new(14, 18));
+        let r = err.render(src);
+        assert!(r.contains("line 2, column 5"), "{r}");
+    }
+}

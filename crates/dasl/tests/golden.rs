@@ -1,0 +1,145 @@
+//! Golden tests: the rendered parse/typecheck diagnostics are part of
+//! the `dasl` API. Each case pins the full caret-rendered message, so
+//! any wording or span regression shows up as an exact-string diff.
+
+fn rendered(src: &str) -> String {
+    match dasl::compile(src) {
+        Ok(_) => panic!("expected {src:?} to fail to compile"),
+        Err(e) => e.render(src),
+    }
+}
+
+#[test]
+fn unknown_stage_suggests_a_neighbour() {
+    assert_eq!(
+        rendered("load(\"corpus\") | bandpas(0.5, 16)"),
+        "error: unknown stage `bandpas` (did you mean `bandpass`?)\n\
+         \x20 --> line 1, column 18\n\
+         \x20  |\n\
+         \x201 | load(\"corpus\") | bandpas(0.5, 16)\n\
+         \x20  |                  ^^^^^^^\n"
+    );
+}
+
+#[test]
+fn missing_argument_names_the_hole() {
+    assert_eq!(
+        rendered("load(\"corpus\") | bandpass(0.5)"),
+        "error: `bandpass` is missing its `hi` argument\n\
+         \x20 --> line 1, column 18\n\
+         \x20  |\n\
+         \x201 | load(\"corpus\") | bandpass(0.5)\n\
+         \x20  |                  ^^^^^^^^^^^^^\n"
+    );
+}
+
+#[test]
+fn argument_kind_mismatch_is_precise() {
+    assert_eq!(
+        rendered("load(\"corpus\") | bandpass(\"low\", 16)"),
+        "error: `bandpass` argument `lo` wants a number, got a string\n\
+         \x20 --> line 1, column 27\n\
+         \x20  |\n\
+         \x201 | load(\"corpus\") | bandpass(\"low\", 16)\n\
+         \x20  |                           ^^^^^\n"
+    );
+}
+
+#[test]
+fn shape_mismatch_reports_the_upstream_type() {
+    assert_eq!(
+        rendered("load(\"corpus\") | xcorr(master=ch[0]) | detrend"),
+        "error: `detrend` expects waveforms, but the previous stage produced scores[?]\n\
+         \x20 --> line 1, column 40\n\
+         \x20  |\n\
+         \x201 | load(\"corpus\") | xcorr(master=ch[0]) | detrend\n\
+         \x20  |                                        ^^^^^^^\n"
+    );
+}
+
+#[test]
+fn load_must_come_first() {
+    assert_eq!(
+        rendered("detrend | bandpass(0.5, 16)"),
+        "error: the pipeline must start with `load(...)`, not `detrend`\n\
+         \x20 --> line 1, column 1\n\
+         \x20  |\n\
+         \x201 | detrend | bandpass(0.5, 16)\n\
+         \x20  | ^^^^^^^\n"
+    );
+}
+
+#[test]
+fn dangling_pipe_points_at_the_end() {
+    assert_eq!(
+        rendered("load(\"corpus\") |"),
+        "error: expected a stage name, found end of program\n\
+         \x20 --> line 1, column 17\n\
+         \x20  |\n\
+         \x201 | load(\"corpus\") |\n\
+         \x20  |                 ^\n"
+    );
+}
+
+#[test]
+fn unclosed_argument_list_names_the_stage() {
+    assert_eq!(
+        rendered("load(\"corpus\" | detrend"),
+        "error: expected `)` to close the argument list of `load`, found `|`\n\
+         \x20 --> line 1, column 15\n\
+         \x20  |\n\
+         \x201 | load(\"corpus\" | detrend\n\
+         \x20  |               ^\n"
+    );
+}
+
+#[test]
+fn master_out_of_range_uses_the_pinned_channel_count() {
+    assert_eq!(
+        rendered("load(\"corpus\", ch=0..4) | xcorr(master=ch[4])"),
+        "error: master channel 4 is out of range: the pipeline carries 4 channels\n\
+         \x20 --> line 1, column 40\n\
+         \x20  |\n\
+         \x201 | load(\"corpus\", ch=0..4) | xcorr(master=ch[4])\n\
+         \x20  |                                        ^^^^^\n"
+    );
+}
+
+#[test]
+fn inverted_band_corners_are_rejected() {
+    assert_eq!(
+        rendered("load(\"corpus\") | bandpass(16, 0.5)"),
+        "error: bandpass corners must satisfy 0 < lo < hi (got 16 and 0.5)\n\
+         \x20 --> line 1, column 27\n\
+         \x20  |\n\
+         \x201 | load(\"corpus\") | bandpass(16, 0.5)\n\
+         \x20  |                           ^^^^^^^\n"
+    );
+}
+
+#[test]
+fn multi_line_programs_point_at_the_right_line() {
+    let src = "# interferometry, one stage per line\n\
+               load(\"corpus\")\n\
+               \x20 | detrend\n\
+               \x20 | bandpass(0.5)\n";
+    assert_eq!(
+        rendered(src),
+        "error: `bandpass` is missing its `hi` argument\n\
+         \x20 --> line 4, column 5\n\
+         \x20  |\n\
+         \x204 |   | bandpass(0.5)\n\
+         \x20  |     ^^^^^^^^^^^^^\n"
+    );
+}
+
+#[test]
+fn good_programs_still_compile() {
+    for src in [
+        "load(\"corpus\") | detrend | bandpass(0.5, 16) | resample(4) | xcorr(master=ch[0])",
+        "load(\"corpus\", 0..60) | localsim",
+        "load(\"corpus\", t=0..60, ch=0..32, strategy=\"modeled\") | demean | stack(window=256)",
+    ] {
+        dasl::compile(src).unwrap_or_else(|e| panic!("{src:?}:\n{}", e.render(src)));
+    }
+}

@@ -14,8 +14,7 @@
 
 use crate::value::Value;
 use dasgen::{write_minute_files, Scene};
-use dassa::dasa::{local_similarity, Haee, InterferometryParams, LocalSimiParams};
-use dassa::dass::{FileCatalog, Vca};
+use dassa::prelude::*;
 
 /// Dispatch a `das_*` builtin. Returns `None` when `name` is not a
 /// bridge builtin (the caller falls through to the core library).

@@ -11,7 +11,7 @@
 //! ```
 
 use dasgen::{Event, Scene};
-use dassa::dasa::{local_similarity, Haee, LocalSimiParams};
+use dassa::prelude::*;
 
 fn main() {
     let (channels, hz, duration_s) = (48usize, 50.0, 360.0);

@@ -14,9 +14,7 @@
 //! ```
 
 use arrayudf::Array2;
-use dassa::dasa::{
-    cross_correlation_with_master, interferometry, prepare_master, Haee, InterferometryParams,
-};
+use dassa::prelude::*;
 
 fn main() {
     let channels = 24usize;

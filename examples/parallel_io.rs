@@ -8,7 +8,7 @@
 
 use arrayudf::Array2;
 use dasgen::{write_minute_files, Scene};
-use dassa::dass::{read_collective_per_file, read_comm_avoiding, FileCatalog, Vca};
+use dassa::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Eight one-minute files, 32 channels at 25 Hz.

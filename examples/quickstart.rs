@@ -12,8 +12,7 @@
 //! ```
 
 use dasgen::{write_minute_files, Scene};
-use dassa::dasa::{local_similarity, Haee, LocalSimiParams};
-use dassa::dass::{FileCatalog, Lav, Vca};
+use dassa::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A 3-minute acquisition: 32 channels at 50 Hz with the demo

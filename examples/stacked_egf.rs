@@ -13,7 +13,7 @@
 //! ```
 
 use arrayudf::Array2;
-use dassa::dasa::{stacked_interferometry, Haee, StackingParams, TimeNorm};
+use dassa::prelude::*;
 
 /// Deterministic white-ish noise.
 fn noise(seed: u64, n: usize) -> Vec<f64> {

@@ -17,9 +17,7 @@
 //!    never a hang or a panic.
 
 use dasgen::{write_minute_files, Scene};
-use dassa::dass::par_read::{self, MAX_READ_ATTEMPTS};
-use dassa::dass::{read_vca_resilient, FileCatalog, ReadStrategy, Vca};
-use dassa::DassaError;
+use dassa::prelude::*;
 use faultline::{site, FaultPlan};
 use minimpi::{run_chaos, run_chaos_in_registry, CommError, RetryPolicy};
 use std::path::PathBuf;
@@ -415,7 +413,7 @@ fn emit_outcome_digest_for_ci() {
 
 #[test]
 fn analysis_on_chaos_read_is_deterministic() {
-    use dassa::dasa::{self, Analysis, Haee, StackingParams};
+    use dassa::prelude::*;
     let dir = dataset("end-to-end");
     let vca = load_vca(&dir);
     let plan = chaos_plan(seed_matrix()[0]);

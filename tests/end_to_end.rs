@@ -4,13 +4,7 @@
 use arrayudf::dist::partition;
 use arrayudf::Array2;
 use dasgen::{write_minute_files, Scene};
-use dassa::dasa::{
-    interferometry, interferometry_dist, local_similarity, local_similarity_dist, Haee,
-    InterferometryParams, LocalSimiParams,
-};
-use dassa::dass::{
-    create_rca, read_collective_per_file, read_comm_avoiding, read_rca, FileCatalog, Lav, Vca,
-};
+use dassa::prelude::*;
 use std::path::PathBuf;
 
 fn fresh_dataset(tag: &str, channels: usize, hz: f64, minutes: usize) -> (PathBuf, Scene) {

@@ -2,8 +2,7 @@
 //! selections, and dead ranks must surface as errors — never wrong data.
 
 use dasgen::{write_minute_files, Scene};
-use dassa::dass::{FileCatalog, Vca};
-use dassa::DassaError;
+use dassa::prelude::*;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::time::Duration;

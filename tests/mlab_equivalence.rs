@@ -3,7 +3,7 @@
 //! compute the same thing (they share the DasLib kernels underneath).
 
 use arrayudf::Array2;
-use dassa::dasa::{interferometry, Haee, InterferometryParams};
+use dassa::prelude::*;
 use mlab::{Interp, Value};
 
 fn test_data(channels: usize, samples: usize) -> Array2<f64> {

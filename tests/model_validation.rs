@@ -3,7 +3,7 @@
 //! this is what justifies trusting the model's at-scale extrapolations.
 
 use dasgen::{write_minute_files, Scene};
-use dassa::dass::{read_collective_per_file, read_comm_avoiding, FileCatalog, Vca};
+use dassa::prelude::*;
 use perfmodel::experiments::{model_fig11_weak, model_fig7, model_fig8, Layout, Workload};
 use perfmodel::{Calibration, Machine};
 
@@ -101,7 +101,7 @@ fn modeled_orderings_match_measured_orderings() {
         let h = model_fig8(&m, &cal, &w, nodes, Layout::Hybrid { threads: 16 });
         assert!(h.read_s <= p.read_s + 1e-12, "nodes={nodes}");
     }
-    use dassa::dasa::Haee;
+    use dassa::prelude::*;
     assert!(
         Haee::builder().threads(16).build().io_requests_per_node()
             < Haee::builder()
