@@ -197,6 +197,59 @@ if [[ $quick -eq 0 ]]; then
         exit 1
     }
     echo "    byte-identical, $(grep -oE '"dasl\.fused_stages":[0-9]+' "$dasl_dir/m.json" | cut -d: -f2) stages fused"
+
+    # dassd gate: stand the data server up over a generated corpus, run
+    # a query and an overload burst against it, then check the shutdown
+    # metrics prove the chunk cache, the admission control, and the
+    # latency histograms all did their jobs.
+    echo "==> dassd: serve/query smoke + overload + metrics gate"
+    dassd_dir="$(mktemp -d)"
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir" "$dasl_dir" "$dassd_dir"' EXIT
+    target/release/das_gen -d "$dassd_dir/corpus" -c 8 -r 50 -m 3 >/dev/null
+    target/release/das_serve -d "$dassd_dir/corpus" --workers 2 --queue 0 \
+        --metrics="$dassd_dir/m.json" >"$dassd_dir/serve.log" 2>&1 &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q '^dassd listening on ' "$dassd_dir/serve.log" && break
+        sleep 0.1
+    done
+    addr="$(sed -n 's/^dassd listening on //p' "$dassd_dir/serve.log" | head -1)"
+    if [[ -z "$addr" ]]; then
+        echo "dassd: server never announced its address" >&2
+        cat "$dassd_dir/serve.log" >&2
+        exit 1
+    fi
+    target/release/das_query --addr "$addr" \
+        --eval 'load("corpus") | detrend | xcorr(master=ch[0])' >/dev/null
+    burst_out="$(target/release/das_query --addr "$addr" --read-all --burst 12)"
+    echo "    $burst_out"
+    [[ "$burst_out" == *"err=0"* ]] || {
+        echo "dassd: overload burst saw transport errors (want ok+busy only)" >&2
+        exit 1
+    }
+    target/release/das_query --addr "$addr" --shutdown >/dev/null
+    if ! wait "$serve_pid"; then
+        echo "dassd: das_serve exited nonzero" >&2
+        cat "$dassd_dir/serve.log" >&2
+        exit 1
+    fi
+    hits=$(grep -oE '"cache\.hit":[0-9]+' "$dassd_dir/m.json" | head -1 | cut -d: -f2)
+    busy=$(grep -oE '"dassd\.busy":[0-9]+' "$dassd_dir/m.json" | head -1 | cut -d: -f2)
+    p99=$(grep -oE '"dassd\.read\.ns":\{[^[]*"p99":[0-9]+' "$dassd_dir/m.json" |
+        grep -oE '[0-9]+$' || true)
+    echo "    cache.hit=${hits:-0} dassd.busy=${busy:-0} read.p99ns=${p99:-0}"
+    if [[ -z "${hits:-}" || "$hits" -le 0 ]]; then
+        echo "dassd: overlapping reads never hit the chunk cache" >&2
+        exit 1
+    fi
+    if [[ -z "${busy:-}" || "$busy" -le 0 ]]; then
+        echo "dassd: the overload burst never tripped admission control" >&2
+        exit 1
+    fi
+    if [[ -z "${p99:-}" || "$p99" -le 0 ]]; then
+        echo "dassd: the read latency histogram is empty" >&2
+        exit 1
+    fi
 fi
 
 echo "==> CI green"

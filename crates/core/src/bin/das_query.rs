@@ -1,0 +1,238 @@
+//! `das_query` — one-shot `dassd` client.
+//!
+//! ```text
+//! das_query --addr <host:port> --eval '<dasl pipeline>'
+//! das_query --addr <host:port> --read <ch0>..<ch1>:<t0>..<t1>
+//! das_query --addr <host:port> --read-all
+//! das_query --addr <host:port> --metrics | --ping | --shutdown
+//! das_query --addr <host:port> --read-all --burst <n>
+//! ```
+//!
+//! Exactly one action per invocation. Reads print the response shape
+//! and an FNV-1a digest of the sample bytes (stable across runs, handy
+//! for byte-identity checks in scripts); evals print the output dims
+//! and the first few values; `--metrics` prints the server's JSON
+//! snapshot to stdout.
+//!
+//! `--burst <n>` replays the chosen action on `n` parallel
+//! connections and prints `burst: ok=<a> busy=<b> err=<c>` — the CI
+//! overload probe. Exit status: 0 on success (bursts always exit 0 so
+//! the caller inspects the counts), 1 on a server/transport error, 2
+//! on a compile error (the rendered caret diagnostic goes to stderr).
+
+use dassa::dassd::{Client, ClientError};
+use std::process::ExitCode;
+
+#[derive(Clone)]
+enum Action {
+    Eval(String),
+    Read { ch: (u64, u64), t: (u64, u64) },
+    ReadAll,
+    Metrics,
+    Ping,
+    Shutdown,
+}
+
+struct Args {
+    addr: String,
+    action: Action,
+    burst: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: das_query --addr <host:port> <action> [--burst <n>]\n\
+         actions:\n\
+         \u{20} --eval '<pipeline>'              compile + run a dasl program\n\
+         \u{20} --read <c0>..<c1>:<t0>..<t1>     stream a channel x sample window\n\
+         \u{20} --read-all                       stream the whole corpus\n\
+         \u{20} --metrics                        print the server metrics JSON\n\
+         \u{20} --ping                           liveness probe\n\
+         \u{20} --shutdown                       ask the server to exit"
+    );
+    std::process::exit(2);
+}
+
+fn invalid(msg: &str) -> ! {
+    eprintln!("das_query: {msg}");
+    std::process::exit(2);
+}
+
+/// Parse `<a>..<b>:<c>..<d>`.
+fn parse_window(raw: &str) -> ((u64, u64), (u64, u64)) {
+    let parse_range = |s: &str| -> (u64, u64) {
+        let (a, b) = s
+            .split_once("..")
+            .unwrap_or_else(|| invalid(&format!("bad range {s:?}, want <a>..<b>")));
+        let p = |x: &str| -> u64 {
+            x.parse()
+                .unwrap_or_else(|_| invalid(&format!("bad bound {x:?} in {raw:?}")))
+        };
+        (p(a), p(b))
+    };
+    let (ch, t) = raw
+        .split_once(':')
+        .unwrap_or_else(|| invalid(&format!("bad window {raw:?}, want <c0>..<c1>:<t0>..<t1>")));
+    (parse_range(ch), parse_range(t))
+}
+
+fn parse_args() -> Args {
+    let mut addr = String::new();
+    let mut action: Option<Action> = None;
+    let mut burst = 1usize;
+    let set = |a: Action, action: &mut Option<Action>| {
+        if action.is_some() {
+            invalid("exactly one action per invocation");
+        }
+        *action = Some(a);
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| invalid(&format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--eval" => {
+                let src = value("--eval");
+                set(Action::Eval(src), &mut action);
+            }
+            "--read" => {
+                let (ch, t) = parse_window(&value("--read"));
+                set(Action::Read { ch, t }, &mut action);
+            }
+            "--read-all" => set(Action::ReadAll, &mut action),
+            "--metrics" => set(Action::Metrics, &mut action),
+            "--ping" => set(Action::Ping, &mut action),
+            "--shutdown" => set(Action::Shutdown, &mut action),
+            "--burst" => {
+                let raw = value("--burst");
+                burst = raw
+                    .parse()
+                    .unwrap_or_else(|_| invalid(&format!("--burst wants a number, got {raw:?}")));
+                if burst == 0 {
+                    invalid("--burst must be at least 1");
+                }
+            }
+            _ => usage(),
+        }
+    }
+    if addr.is_empty() {
+        invalid("--addr is required");
+    }
+    let Some(action) = action else { usage() };
+    Args {
+        addr,
+        action,
+        burst,
+    }
+}
+
+/// FNV-1a over a float array's LE bytes — matches the chaos suite's
+/// digest style so script-level byte-identity checks are one `grep`.
+fn digest_f32(data: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in data {
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Run one action on a fresh connection. Returns the process exit
+/// code; `quiet` suppresses stdout (burst mode).
+fn run_once(addr: &str, action: &Action, quiet: bool) -> Result<(), ClientError> {
+    let mut client = Client::connect(addr)?;
+    match action {
+        Action::Eval(src) => {
+            let (dims, flat) = client.eval(src)?;
+            if !quiet {
+                let head: Vec<String> = flat.iter().take(4).map(|v| format!("{v:.6}")).collect();
+                println!(
+                    "eval ok: dims={dims:?} values={} head=[{}]",
+                    flat.len(),
+                    head.join(", ")
+                );
+            }
+        }
+        Action::Read { ch, t } => {
+            let out = client.read_region(ch.0..ch.1, t.0..t.1)?;
+            if !quiet {
+                println!(
+                    "read ok: {} x {} digest={:016x}",
+                    out.rows(),
+                    out.cols(),
+                    digest_f32(out.as_slice())
+                );
+            }
+        }
+        Action::ReadAll => {
+            let out = client.read_all()?;
+            if !quiet {
+                println!(
+                    "read ok: {} x {} digest={:016x}",
+                    out.rows(),
+                    out.cols(),
+                    digest_f32(out.as_slice())
+                );
+            }
+        }
+        Action::Metrics => {
+            let json = client.metrics_json()?;
+            if !quiet {
+                println!("{json}");
+            }
+        }
+        Action::Ping => {
+            client.ping()?;
+            if !quiet {
+                println!("pong");
+            }
+        }
+        Action::Shutdown => {
+            client.shutdown_server()?;
+            if !quiet {
+                println!("shutting down");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.burst > 1 {
+        // Overload probe: every connection opened before any request is
+        // sent, so the admission queue sees them together.
+        let handles: Vec<_> = (0..args.burst)
+            .map(|_| {
+                let addr = args.addr.clone();
+                let action = args.action.clone();
+                std::thread::spawn(move || run_once(&addr, &action, true))
+            })
+            .collect();
+        let (mut ok, mut busy, mut err) = (0u64, 0u64, 0u64);
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => ok += 1,
+                Ok(Err(ClientError::Busy)) => busy += 1,
+                _ => err += 1,
+            }
+        }
+        println!("burst: ok={ok} busy={busy} err={err}");
+        return ExitCode::SUCCESS;
+    }
+    match run_once(&args.addr, &args.action, false) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(ClientError::Compile(diag)) => {
+            eprint!("{diag}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("das_query: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

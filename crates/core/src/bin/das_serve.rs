@@ -1,0 +1,134 @@
+//! `das_serve` — the `dassd` daemon.
+//!
+//! ```text
+//! das_serve -d <corpus> [--addr 127.0.0.1:0] [--workers <n>=4]
+//!           [--queue <n>=8] [--cache-bytes <n>=67108864]
+//!           [--threads <n>=1] [--metrics=<out.json>]
+//!           [--fault-plan <seed=N,site=rate,...>]
+//! ```
+//!
+//! Scans the corpus once, binds the listener, prints
+//! `dassd listening on <addr>` to stdout (the line scripts wait for),
+//! and serves until a client sends a shutdown request (`das_query
+//! --shutdown`) or the process is killed. On clean shutdown the final
+//! metrics snapshot — per-endpoint request counts and latency
+//! histograms, `cache.*`, bytes served — is rendered to stderr, or
+//! written as JSON with `--metrics=<out.json>`.
+//!
+//! `--workers` bounds connections being served concurrently and
+//! `--queue` bounds how many more may wait; anything beyond that is
+//! rejected with a typed `Busy` response. `--cache-bytes` caps the
+//! shared chunk cache. `--fault-plan` installs a deterministic
+//! `faultline` plan in every worker (chaos testing).
+
+use dassa::dassd::{Server, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Args {
+    dir: String,
+    cfg: ServerConfig,
+    /// `None` = text to stderr, `Some(p)` = JSON to `p`.
+    metrics_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: das_serve -d <corpus> [--addr <host:port>=127.0.0.1:0]\n\
+         \u{20}                 [--workers <n>=4] [--queue <n>=8]\n\
+         \u{20}                 [--cache-bytes <n>=67108864] [--threads <n>=1]\n\
+         \u{20}                 [--metrics=<out.json>]\n\
+         \u{20}                 [--fault-plan <seed=N,site=rate,...>]"
+    );
+    std::process::exit(2);
+}
+
+fn invalid(msg: &str) -> ! {
+    eprintln!("das_serve: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dir: String::new(),
+        cfg: ServerConfig::default(),
+        metrics_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| invalid(&format!("missing value for {name}")))
+        };
+        let parse = |name: &str, raw: String| -> u64 {
+            raw.parse()
+                .unwrap_or_else(|_| invalid(&format!("{name} wants a number, got {raw:?}")))
+        };
+        match flag.as_str() {
+            "-d" | "--dir" => args.dir = value("-d"),
+            "--addr" => args.cfg.addr = value("--addr"),
+            "--workers" => {
+                args.cfg.workers = parse("--workers", value("--workers")) as usize;
+                if args.cfg.workers == 0 {
+                    invalid("--workers must be at least 1");
+                }
+            }
+            "--queue" => args.cfg.queue_depth = parse("--queue", value("--queue")) as usize,
+            "--cache-bytes" => {
+                args.cfg.cache_bytes = parse("--cache-bytes", value("--cache-bytes"));
+                if args.cfg.cache_bytes == 0 {
+                    invalid("--cache-bytes must be at least 1");
+                }
+            }
+            "--threads" => {
+                args.cfg.eval_threads = parse("--threads", value("--threads")) as usize;
+                if args.cfg.eval_threads == 0 {
+                    invalid("--threads must be at least 1");
+                }
+            }
+            "--fault-plan" => {
+                let spec = value("--fault-plan");
+                let plan = faultline::FaultPlan::parse(&spec)
+                    .unwrap_or_else(|e| invalid(&format!("--fault-plan {spec:?}: {e}")));
+                args.cfg.fault_plan = Some(std::sync::Arc::new(plan));
+            }
+            other => {
+                if let Some(path) = other.strip_prefix("--metrics=") {
+                    args.metrics_out = Some(path.to_string());
+                } else {
+                    usage();
+                }
+            }
+        }
+    }
+    if args.dir.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let server = match Server::start(args.dir.as_ref(), args.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("das_serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("dassd listening on {}", server.addr());
+    std::io::stdout().flush().ok();
+
+    let snapshot = server.wait();
+    match &args.metrics_out {
+        None => eprint!("{}", snapshot.render_text()),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+                eprintln!("das_serve: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("das_serve: clean shutdown");
+    ExitCode::SUCCESS
+}

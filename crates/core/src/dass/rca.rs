@@ -27,13 +27,7 @@ use std::path::Path;
 pub fn create_rca(entries: &[FileEntry], out: &Path) -> Result<DasFileMeta> {
     let vca = Vca::from_entries(entries)?;
     let data = vca.read_all_f32()?;
-    let meta = DasFileMeta {
-        sampling_hz: vca.sampling_hz(),
-        spatial_resolution_m: vca.entries()[0].meta.spatial_resolution_m,
-        timestamp: vca.entries()[0].meta.timestamp,
-        channels: vca.channels(),
-        samples: vca.total_samples(),
-    };
+    let meta = vca.merged_meta();
     write_das_file(out, &meta, &data)?;
     Ok(meta)
 }
@@ -68,13 +62,7 @@ pub fn create_rca_parallel(
         })
         .collect();
     let data = Array2::vstack(&arrays);
-    let meta = DasFileMeta {
-        sampling_hz: vca.sampling_hz(),
-        spatial_resolution_m: vca.entries()[0].meta.spatial_resolution_m,
-        timestamp: vca.entries()[0].meta.timestamp,
-        channels: vca.channels(),
-        samples: vca.total_samples(),
-    };
+    let meta = vca.merged_meta();
     write_das_file(out, &meta, &data)?;
     Ok(Some(meta))
 }

@@ -1,6 +1,7 @@
 //! The Virtually Concatenated Array (paper §IV): many small DAS files
 //! presented as one logical `channel × time` array, without copying data.
 
+use super::metadata::DasFileMeta;
 use super::plan::{IoExecutor, IoPlan};
 use super::search::{FileCatalog, FileEntry};
 use crate::{DassaError, Result};
@@ -92,6 +93,20 @@ impl Vca {
     /// Member files in time order.
     pub fn entries(&self) -> &[FileEntry] {
         &self.entries
+    }
+
+    /// Metadata for a file holding the whole concatenation: the first
+    /// member's provenance (timestamp, spatial resolution) with the
+    /// merged shape — what RCA creation stamps on its output.
+    pub fn merged_meta(&self) -> DasFileMeta {
+        let first = &self.entries[0].meta;
+        DasFileMeta {
+            sampling_hz: self.sampling_hz(),
+            spatial_resolution_m: first.spatial_resolution_m,
+            timestamp: first.timestamp,
+            channels: self.channels(),
+            samples: self.total_samples(),
+        }
     }
 
     /// Samples contributed by member `i`.

@@ -1,0 +1,258 @@
+//! A small blocking client for `dassd`, used by the test suite and
+//! the `das_query` CLI.
+//!
+//! One [`Client`] wraps one TCP connection and may issue many
+//! requests sequentially. Server-side failures surface as typed
+//! [`ClientError`] variants; in particular an admission rejection is
+//! [`ClientError::Busy`] and a `dasl` compile failure carries the
+//! rendered caret diagnostic in [`ClientError::Compile`]. The client
+//! never retries on its own — backoff policy belongs to the caller.
+
+use super::protocol::{read_frame, write_frame, ErrorKind, Request, Response};
+use arrayudf::{Array2, TileView};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What a request can fail with, from the client's point of view.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server rejected the connection or request at admission.
+    Busy,
+    /// The `dasl` program failed to compile; the string is the
+    /// server-rendered caret diagnostic.
+    Compile(String),
+    /// Any other typed server failure.
+    Server {
+        /// Failure class from the wire.
+        kind: ErrorKind,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server broke the protocol (unexpected frame, bad payload).
+    Protocol(String),
+    /// Transport-level failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Busy => write!(f, "server busy"),
+            ClientError::Compile(d) => write!(f, "compile error:\n{d}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server error ({}): {message}", kind.name())
+            }
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<super::protocol::ProtoError> for ClientError {
+    fn from(e: super::protocol::ProtoError) -> ClientError {
+        ClientError::Protocol(e.0)
+    }
+}
+
+/// One connection to a `dassd` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn request(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn next_response(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.reader)? {
+            None => Err(ClientError::Protocol(
+                "server closed the connection mid-request".into(),
+            )),
+            Some(payload) => Ok(Response::decode(&payload)?),
+        }
+    }
+
+    /// Translate an `Error` frame into the matching variant.
+    fn server_error(kind: ErrorKind, message: String) -> ClientError {
+        match kind {
+            ErrorKind::Busy => ClientError::Busy,
+            ErrorKind::Compile => ClientError::Compile(message),
+            _ => ClientError::Server { kind, message },
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Ping)?;
+        match self.next_response()? {
+            Response::Pong => Ok(()),
+            Response::Error { kind, message } => Err(Self::server_error(kind, message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Read the whole corpus as `channel × sample` `f32`s.
+    pub fn read_all(&mut self) -> Result<Array2<f32>, ClientError> {
+        self.request(&Request::ReadAll)?;
+        self.collect_read()
+    }
+
+    /// Read a rectangular window: channels `ch0..ch1`, samples
+    /// `t0..t1`.
+    pub fn read_region(
+        &mut self,
+        ch: std::ops::Range<u64>,
+        t: std::ops::Range<u64>,
+    ) -> Result<Array2<f32>, ClientError> {
+        self.request(&Request::ReadRegion {
+            ch0: ch.start,
+            ch1: ch.end,
+            t0: t.start,
+            t1: t.end,
+        })?;
+        self.collect_read()
+    }
+
+    /// Assemble a `Start`/`Chunk`*/`End` stream into an array.
+    fn collect_read(&mut self) -> Result<Array2<f32>, ClientError> {
+        let (rows, cols) = match self.next_response()? {
+            Response::Start { rows, cols } => (rows as usize, cols as usize),
+            Response::Error { kind, message } => return Err(Self::server_error(kind, message)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Start, got {other:?}"
+                )))
+            }
+        };
+        let mut out = Array2::<f32>::zeroed(rows, cols);
+        let mut frames = 0u64;
+        loop {
+            match self.next_response()? {
+                Response::Chunk {
+                    row0,
+                    col0,
+                    rows: tr,
+                    cols: tc,
+                    data,
+                } => {
+                    let (tr, tc) = (tr as usize, tc as usize);
+                    if data.len() != tr * tc
+                        || row0 as usize + tr > rows
+                        || col0 as usize + tc > cols
+                    {
+                        return Err(ClientError::Protocol("chunk outside grid".into()));
+                    }
+                    out.paste(row0 as usize, col0 as usize, TileView::new(tr, tc, &data));
+                    frames += 1;
+                }
+                Response::End { frames: n } => {
+                    if n != frames {
+                        return Err(ClientError::Protocol(format!(
+                            "End claims {n} frames, saw {frames}"
+                        )));
+                    }
+                    return Ok(out);
+                }
+                Response::Error { kind, message } => return Err(Self::server_error(kind, message)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Chunk/End, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Compile and run a `dasl` program server-side; returns the
+    /// output dataset as `(dims, flat f64 samples)` — the same shape
+    /// `AnalysisOutput::to_dataset` produces locally.
+    pub fn eval(&mut self, src: &str) -> Result<(Vec<u64>, Vec<f64>), ClientError> {
+        self.request(&Request::Eval { src: src.into() })?;
+        let dims = match self.next_response()? {
+            Response::EvalStart { dims } => dims,
+            Response::Error { kind, message } => return Err(Self::server_error(kind, message)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected EvalStart, got {other:?}"
+                )))
+            }
+        };
+        let total: u64 = dims.iter().product();
+        let mut flat = vec![0.0f64; total as usize];
+        let mut frames = 0u64;
+        loop {
+            match self.next_response()? {
+                Response::EvalChunk { offset, data } => {
+                    let off = offset as usize;
+                    if off + data.len() > flat.len() {
+                        return Err(ClientError::Protocol("eval chunk outside dataset".into()));
+                    }
+                    flat[off..off + data.len()].copy_from_slice(&data);
+                    frames += 1;
+                }
+                Response::End { frames: n } => {
+                    if n != frames {
+                        return Err(ClientError::Protocol(format!(
+                            "End claims {n} frames, saw {frames}"
+                        )));
+                    }
+                    return Ok((dims, flat));
+                }
+                Response::Error { kind, message } => return Err(Self::server_error(kind, message)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected EvalChunk/End, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetch the server's metrics snapshot as JSON.
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        self.request(&Request::Metrics)?;
+        match self.next_response()? {
+            Response::MetricsJson { json } => Ok(json),
+            Response::Error { kind, message } => Err(Self::server_error(kind, message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected MetricsJson, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to shut down; returns once acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown)?;
+        match self.next_response()? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { kind, message } => Err(Self::server_error(kind, message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected ShuttingDown, got {other:?}"
+            ))),
+        }
+    }
+}

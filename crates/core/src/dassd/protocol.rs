@@ -1,0 +1,616 @@
+//! The `dassd` wire protocol: length-prefixed frames over a byte
+//! stream.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by that many payload bytes. The first payload byte is a
+//! tag selecting the message variant; the rest is a fixed field layout
+//! per variant (little-endian integers, length-prefixed strings,
+//! packed `f32`/`f64` sample runs). Frames larger than
+//! [`MAX_FRAME_BYTES`] are rejected before allocation, so a corrupt or
+//! hostile length prefix cannot balloon memory.
+//!
+//! Bulk data never travels as one frame. The server streams a read as
+//! `Start` → many `Chunk` frames (each at most [`MAX_DATA_ELEMS`]
+//! samples) → `End`, and an eval as `EvalStart` → `EvalChunk`* →
+//! `End`, so a multi-GB response is pipelined through a bounded buffer
+//! rather than materialised.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame's payload (64 MiB).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Maximum samples per `Chunk`/`EvalChunk` frame (1 Mi elements, so a
+/// data frame stays ≤ 8 MiB).
+pub const MAX_DATA_ELEMS: usize = 1 << 20;
+
+/// A decode failure: the frame was well-delimited but its payload did
+/// not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Typed failure classes a server can return. The client maps these
+/// onto [`super::ClientError`] variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The server is at capacity; the request was rejected, not queued.
+    Busy,
+    /// The `dasl` source failed to compile; the message carries the
+    /// rendered caret diagnostic.
+    Compile,
+    /// The request itself is invalid (bad selection, unknown tag...).
+    BadRequest,
+    /// Stored data failed integrity verification (checksum mismatch,
+    /// torn file).
+    Corrupt,
+    /// An I/O error reading the corpus.
+    Io,
+    /// Anything else; a server-side bug or comm failure.
+    Internal,
+}
+
+impl ErrorKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorKind::Busy => 0,
+            ErrorKind::Compile => 1,
+            ErrorKind::BadRequest => 2,
+            ErrorKind::Corrupt => 3,
+            ErrorKind::Io => 4,
+            ErrorKind::Internal => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<ErrorKind, ProtoError> {
+        Ok(match b {
+            0 => ErrorKind::Busy,
+            1 => ErrorKind::Compile,
+            2 => ErrorKind::BadRequest,
+            3 => ErrorKind::Corrupt,
+            4 => ErrorKind::Io,
+            5 => ErrorKind::Internal,
+            other => return Err(ProtoError(format!("unknown error kind {other}"))),
+        })
+    }
+
+    /// Stable lowercase name (used in metrics and CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Busy => "busy",
+            ErrorKind::Compile => "compile",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::Io => "io",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Stream the whole corpus as `channel × sample` `f32`s.
+    ReadAll,
+    /// Stream a rectangular window: channels `ch0..ch1`, samples
+    /// `t0..t1` (half-open).
+    ReadRegion {
+        /// First channel (inclusive).
+        ch0: u64,
+        /// One past the last channel.
+        ch1: u64,
+        /// First sample (inclusive).
+        t0: u64,
+        /// One past the last sample.
+        t1: u64,
+    },
+    /// Compile and run a `dasl` program against the server's corpus.
+    Eval {
+        /// `dasl` source text.
+        src: String,
+    },
+    /// Return the server's metrics registry as a JSON snapshot.
+    Metrics,
+    /// Ask the server to stop accepting and exit its serve loop.
+    Shutdown,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Head of a read stream: the full response grid shape.
+    Start {
+        /// Total channels in the response.
+        rows: u64,
+        /// Total samples in the response.
+        cols: u64,
+    },
+    /// One tile of a read stream, pasted at `(row0, col0)` of the grid
+    /// announced by `Start`. `data.len() == rows * cols`, row-major.
+    Chunk {
+        /// Destination row of the tile's first row.
+        row0: u64,
+        /// Destination column of the tile's first column.
+        col0: u64,
+        /// Tile height.
+        rows: u64,
+        /// Tile width.
+        cols: u64,
+        /// Row-major samples.
+        data: Vec<f32>,
+    },
+    /// Head of an eval stream: the output dataset's dimensions.
+    EvalStart {
+        /// Dataset dims, as written by `AnalysisOutput::to_dataset`.
+        dims: Vec<u64>,
+    },
+    /// One run of an eval stream's flat `f64` payload.
+    EvalChunk {
+        /// Flat element offset of `data[0]`.
+        offset: u64,
+        /// Flat samples.
+        data: Vec<f64>,
+    },
+    /// Tail of a read/eval stream.
+    End {
+        /// Number of data frames that preceded this.
+        frames: u64,
+    },
+    /// Answer to [`Request::Metrics`].
+    MetricsJson {
+        /// `obs::Snapshot` JSON.
+        json: String,
+    },
+    /// Answer to [`Request::Shutdown`]; the connection closes after.
+    ShuttingDown,
+    /// Typed failure. May replace any response, including mid-stream
+    /// (after which the stream is abandoned but the connection stays
+    /// usable for the next request).
+    Error {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Human-readable detail (rendered caret diagnostic for
+        /// [`ErrorKind::Compile`]).
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------- frame I/O
+
+/// Write one frame: `u32` LE length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// True for the error kinds a `set_read_timeout` expiry produces.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one frame. Returns `Ok(None)` on clean EOF at a frame
+/// boundary; mid-frame EOF and oversized lengths are errors.
+///
+/// With a read timeout set on the underlying stream, an expiry while
+/// *idle* (no header byte seen yet) surfaces as a [`is_timeout`]
+/// error so a server loop can poll its shutdown flag and resume;
+/// expiries *inside* a frame keep waiting, so a slow writer cannot
+/// desynchronise the framing.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) && got > 0 => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {n} bytes exceeds cap of {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; n];
+    let mut filled = 0;
+    while filled < n {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame payload",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted || is_timeout(&e) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+// ------------------------------------------------------------- enc / dec
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn new(tag: u8) -> Enc {
+        Enc(vec![tag])
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn f32s(&mut self, v: &[f32]) {
+        self.u64(v.len() as u64);
+        for x in v {
+            self.0.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    fn f64s(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for x in v {
+            self.0.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    fn u64s(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for x in v {
+            self.u64(*x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtoError(format!(
+                "payload truncated: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+    fn len(&mut self) -> Result<usize, ProtoError> {
+        let n = self.u64()? as usize;
+        if n > MAX_FRAME_BYTES {
+            return Err(ProtoError(format!("length {n} exceeds frame cap")));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let n = self.len()?;
+        String::from_utf8(self.bytes(n)?.to_vec())
+            .map_err(|_| ProtoError("string is not UTF-8".into()))
+    }
+    fn f32s(&mut self) -> Result<Vec<f32>, ProtoError> {
+        let n = self.len()?;
+        let raw = self.bytes(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, ProtoError> {
+        let n = self.len()?;
+        let raw = self.bytes(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+    fn u64s(&mut self) -> Result<Vec<u64>, ProtoError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtoError(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+const REQ_PING: u8 = 0x01;
+const REQ_READ_ALL: u8 = 0x02;
+const REQ_READ_REGION: u8 = 0x03;
+const REQ_EVAL: u8 = 0x04;
+const REQ_METRICS: u8 = 0x05;
+const REQ_SHUTDOWN: u8 = 0x06;
+
+const RSP_PONG: u8 = 0x81;
+const RSP_START: u8 = 0x82;
+const RSP_CHUNK: u8 = 0x83;
+const RSP_EVAL_START: u8 = 0x84;
+const RSP_EVAL_CHUNK: u8 = 0x85;
+const RSP_END: u8 = 0x86;
+const RSP_METRICS_JSON: u8 = 0x87;
+const RSP_SHUTTING_DOWN: u8 = 0x88;
+const RSP_ERROR: u8 = 0x90;
+
+impl Request {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => Enc::new(REQ_PING).0,
+            Request::ReadAll => Enc::new(REQ_READ_ALL).0,
+            Request::ReadRegion { ch0, ch1, t0, t1 } => {
+                let mut e = Enc::new(REQ_READ_REGION);
+                e.u64(*ch0);
+                e.u64(*ch1);
+                e.u64(*t0);
+                e.u64(*t1);
+                e.0
+            }
+            Request::Eval { src } => {
+                let mut e = Enc::new(REQ_EVAL);
+                e.str(src);
+                e.0
+            }
+            Request::Metrics => Enc::new(REQ_METRICS).0,
+            Request::Shutdown => Enc::new(REQ_SHUTDOWN).0,
+        }
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut d = Dec::new(payload);
+        let req = match d.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_READ_ALL => Request::ReadAll,
+            REQ_READ_REGION => Request::ReadRegion {
+                ch0: d.u64()?,
+                ch1: d.u64()?,
+                t0: d.u64()?,
+                t1: d.u64()?,
+            },
+            REQ_EVAL => Request::Eval { src: d.str()? },
+            REQ_METRICS => Request::Metrics,
+            REQ_SHUTDOWN => Request::Shutdown,
+            tag => return Err(ProtoError(format!("unknown request tag {tag:#x}"))),
+        };
+        d.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Pong => Enc::new(RSP_PONG).0,
+            Response::Start { rows, cols } => {
+                let mut e = Enc::new(RSP_START);
+                e.u64(*rows);
+                e.u64(*cols);
+                e.0
+            }
+            Response::Chunk {
+                row0,
+                col0,
+                rows,
+                cols,
+                data,
+            } => {
+                let mut e = Enc::new(RSP_CHUNK);
+                e.u64(*row0);
+                e.u64(*col0);
+                e.u64(*rows);
+                e.u64(*cols);
+                e.f32s(data);
+                e.0
+            }
+            Response::EvalStart { dims } => {
+                let mut e = Enc::new(RSP_EVAL_START);
+                e.u64s(dims);
+                e.0
+            }
+            Response::EvalChunk { offset, data } => {
+                let mut e = Enc::new(RSP_EVAL_CHUNK);
+                e.u64(*offset);
+                e.f64s(data);
+                e.0
+            }
+            Response::End { frames } => {
+                let mut e = Enc::new(RSP_END);
+                e.u64(*frames);
+                e.0
+            }
+            Response::MetricsJson { json } => {
+                let mut e = Enc::new(RSP_METRICS_JSON);
+                e.str(json);
+                e.0
+            }
+            Response::ShuttingDown => Enc::new(RSP_SHUTTING_DOWN).0,
+            Response::Error { kind, message } => {
+                let mut e = Enc::new(RSP_ERROR);
+                e.u8(kind.to_u8());
+                e.str(message);
+                e.0
+            }
+        }
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut d = Dec::new(payload);
+        let rsp = match d.u8()? {
+            RSP_PONG => Response::Pong,
+            RSP_START => Response::Start {
+                rows: d.u64()?,
+                cols: d.u64()?,
+            },
+            RSP_CHUNK => Response::Chunk {
+                row0: d.u64()?,
+                col0: d.u64()?,
+                rows: d.u64()?,
+                cols: d.u64()?,
+                data: d.f32s()?,
+            },
+            RSP_EVAL_START => Response::EvalStart { dims: d.u64s()? },
+            RSP_EVAL_CHUNK => Response::EvalChunk {
+                offset: d.u64()?,
+                data: d.f64s()?,
+            },
+            RSP_END => Response::End { frames: d.u64()? },
+            RSP_METRICS_JSON => Response::MetricsJson { json: d.str()? },
+            RSP_SHUTTING_DOWN => Response::ShuttingDown,
+            RSP_ERROR => Response::Error {
+                kind: ErrorKind::from_u8(d.u8()?)?,
+                message: d.str()?,
+            },
+            tag => return Err(ProtoError(format!("unknown response tag {tag:#x}"))),
+        };
+        d.done()?;
+        Ok(rsp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_req(r: Request) {
+        let back = Request::decode(&r.encode()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    fn rt_rsp(r: Response) {
+        let back = Response::decode(&r.encode()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        rt_req(Request::Ping);
+        rt_req(Request::ReadAll);
+        rt_req(Request::ReadRegion {
+            ch0: 2,
+            ch1: 17,
+            t0: 0,
+            t1: u64::MAX,
+        });
+        rt_req(Request::Eval {
+            src: "load(\"corpus\") | detrend".into(),
+        });
+        rt_req(Request::Metrics);
+        rt_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        rt_rsp(Response::Pong);
+        rt_rsp(Response::Start {
+            rows: 32,
+            cols: 9000,
+        });
+        rt_rsp(Response::Chunk {
+            row0: 4,
+            col0: 3000,
+            rows: 2,
+            cols: 3,
+            data: vec![1.0, -2.5, f32::MIN_POSITIVE, 0.0, 3.25, -0.0],
+        });
+        rt_rsp(Response::EvalStart {
+            dims: vec![32, 9000],
+        });
+        rt_rsp(Response::EvalChunk {
+            offset: 7,
+            data: vec![0.125, -9.75, 1e300],
+        });
+        rt_rsp(Response::End { frames: 12 });
+        rt_rsp(Response::MetricsJson {
+            json: "{\"counters\":{}}".into(),
+        });
+        rt_rsp(Response::ShuttingDown);
+        rt_rsp(Response::Error {
+            kind: ErrorKind::Busy,
+            message: "server at capacity".into(),
+        });
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_detects_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, &[]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(vec![]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        // Mid-header EOF is an error, not a clean end.
+        let mut torn = &buf[..2];
+        assert!(read_frame(&mut torn).is_err());
+
+        // Oversized length prefix is rejected before allocation.
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn bad_payloads_are_typed_errors() {
+        assert!(Request::decode(&[0xEE]).is_err());
+        assert!(Request::decode(&[]).is_err());
+        // Trailing garbage after a valid body is rejected.
+        let mut p = Request::Ping.encode();
+        p.push(0);
+        assert!(Request::decode(&p).is_err());
+        // String length pointing past the payload is rejected.
+        let mut e = Vec::new();
+        e.push(super::REQ_EVAL);
+        e.extend_from_slice(&1000u64.to_le_bytes());
+        e.extend_from_slice(b"short");
+        assert!(Request::decode(&e).is_err());
+    }
+}

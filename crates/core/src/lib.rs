@@ -24,6 +24,11 @@
 //!   [`dasa::interferometry`] (traffic-noise interferometry,
 //!   Algorithm 3), built on DasLib kernels from the [`dsp`] crate.
 //!
+//! A third module, [`dassd`], wraps both engines in a long-running TCP
+//! server (the `das_serve` binary) with a shared chunk cache, admission
+//! control, and a blocking [`dassd::Client`] — DAS analytics as a
+//! service rather than a batch run.
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -50,6 +55,7 @@
 
 pub mod dasa;
 pub mod dass;
+pub mod dassd;
 mod error;
 pub mod prelude;
 

@@ -13,8 +13,9 @@
 // consumer. Name it as `dassa::Result` where needed.
 pub use crate::DassaError;
 
-// The two engines as modules, for qualified paths (`dasa::run`, …).
-pub use crate::{dasa, dass};
+// The engines and the server as modules, for qualified paths
+// (`dasa::run`, `dassd::Server::start`, …).
+pub use crate::{dasa, dass, dassd};
 
 // DASA — the analysis engine.
 pub use crate::dasa::{
@@ -36,6 +37,9 @@ pub use crate::dass::{
     FileCatalog, FileEntry, FileStatus, FsckReport, IoExecutor, IoPlan, Lav, ReadOp, ReadReport,
     ReadStrategy, Resilience, Tile, Timestamp, Vca, DATASET_PATH,
 };
+
+// DASSD — the data server.
+pub use crate::dassd::{ChunkCache, Client, ClientError, Server, ServerConfig};
 
 // The pipeline language: `dasl::compile("load(…) | …")` → a `Program`
 // that `run` executes.

@@ -1,0 +1,236 @@
+//! Client-hammering tests for `dassd`: many concurrent connections
+//! issuing overlapping windowed reads must each get bytes identical to
+//! a serial [`IoExecutor`] read of the same region, while the shared
+//! chunk cache takes hits and never grows past its capacity; overload
+//! must produce typed `Busy` rejections, not queue growth; and a
+//! request-level failure must not take the connection down.
+
+use arrayudf::Array2;
+use dassa::dassd::{Client, ClientError, Server, ServerConfig};
+use dassa::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Build a corpus with per-file deterministic contents; returns
+/// `(dir, full expected array)`. Same construction as
+/// `plan_equivalence.rs` so goldens are assembled independently of
+/// every read path under test.
+fn build_dataset(files: usize, channels: u64, samples: u64, seed: u64) -> (PathBuf, Array2<f32>) {
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("dassa-dassd-stress-{id}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("dir");
+    let t0 = Timestamp::parse("170728224510").expect("ts");
+    let mut per_file: Vec<Array2<f32>> = Vec::new();
+    for f in 0..files {
+        let ts = t0.add_minutes(f as u64);
+        let data = Array2::from_fn(channels as usize, samples as usize, |r, c| {
+            let mut z = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(
+                ((f * 1_000_003 + r * 1_009 + c) as u64).wrapping_mul(0xBF58476D1CE4E5B9),
+            );
+            z ^= z >> 31;
+            (z % 100_000) as f32 / 100.0
+        });
+        let meta = DasFileMeta {
+            sampling_hz: (samples / 60).max(1) as i64,
+            spatial_resolution_m: 2.0,
+            timestamp: ts,
+            channels,
+            samples,
+        };
+        write_das_file(&dir.join(das_file_name(&ts)), &meta, &data).expect("write");
+        per_file.push(data);
+    }
+    let total = (samples as usize) * files;
+    let expected = Array2::from_fn(channels as usize, total, |r, c| {
+        per_file[c / samples as usize].get(r, c % samples as usize)
+    });
+    (dir, expected)
+}
+
+const FILES: usize = 6;
+const CHANNELS: u64 = 8;
+const SAMPLES: u64 = 1200;
+
+/// ≥8 client threads, each issuing several overlapping windowed
+/// queries over one shared server. Every response is compared against
+/// a serial `IoExecutor` read of the same region (and the
+/// independently assembled golden array); afterwards the metrics must
+/// show cache hits and a resident high-water mark within capacity.
+#[test]
+fn eight_clients_overlapping_windows_byte_identical() {
+    let (dir, expected) = build_dataset(FILES, CHANNELS, SAMPLES, 0xC0FFEE);
+    // Capacity fits ~3 of 6 member files, so the run both hits (the
+    // windows overlap) and evicts (the working set does not fit).
+    let file_bytes = CHANNELS * SAMPLES * 4;
+    let capacity = file_bytes * 3 + file_bytes / 2;
+    let server = Server::start(
+        &dir,
+        ServerConfig {
+            workers: 8,
+            queue_depth: 64,
+            cache_bytes: capacity,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let addr = server.addr();
+    let total = SAMPLES * FILES as u64;
+
+    let threads: Vec<_> = (0..8)
+        .map(|tid| {
+            let expected = expected.clone();
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                let cat = FileCatalog::scan(&dir).expect("scan");
+                let vca = Vca::from_entries(cat.entries()).expect("vca");
+                let mut client = Client::connect(addr).expect("connect");
+                for q in 0..6u64 {
+                    // Overlapping by construction: windows from
+                    // different threads and rounds share member files.
+                    let t0 = ((tid as u64 * 997 + q * 641) % (total - SAMPLES)).min(total - 2);
+                    let t1 = (t0 + SAMPLES + q * 13).min(total);
+                    let ch0 = (tid as u64) % (CHANNELS - 1);
+                    let ch1 = (ch0 + 2 + q % 3).min(CHANNELS);
+                    let got = client.read_region(ch0..ch1, t0..t1).expect("windowed read");
+                    let plan = IoPlan::for_region(&vca, ch0..ch1, t0..t1).expect("plan");
+                    let (serial, _) = IoExecutor::serial().run(&plan).expect("serial");
+                    assert_eq!(got, serial, "thread {tid} query {q} drifted from serial");
+                    let golden =
+                        Array2::from_fn((ch1 - ch0) as usize, (t1 - t0) as usize, |r, c| {
+                            expected.get(ch0 as usize + r, t0 as usize + c)
+                        });
+                    assert_eq!(got, golden, "thread {tid} query {q} drifted from golden");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let mut client = Client::connect(addr).expect("metrics conn");
+    let snap = obs::Snapshot::from_json(&client.metrics_json().expect("metrics")).expect("parse");
+    drop(client);
+    let snap2 = server.stop();
+
+    assert!(
+        snap.counter("cache.hit") > 0,
+        "overlapping windows must hit the cache: {snap:?}"
+    );
+    // The capacity bound holds at every insert: the resident-bytes
+    // histogram's max is the high-water mark.
+    let resident = snap
+        .histogram("cache.resident_bytes")
+        .expect("resident histogram");
+    assert!(resident.count > 0, "cache must have admitted entries");
+    assert!(
+        resident.max <= capacity,
+        "resident high-water {} exceeds capacity {capacity}",
+        resident.max
+    );
+    assert!(snap.gauge("cache.bytes") <= capacity);
+    assert_eq!(
+        snap.counter("cache.hit") + snap.counter("cache.miss"),
+        snap2.counter("cache.hit") + snap2.counter("cache.miss"),
+        "no traffic between metrics fetch and stop"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Admission control: with one worker and a zero-depth queue, a third
+/// concurrent connection is rejected with a typed `Busy` — and once
+/// the occupying client leaves, new connections are served again.
+#[test]
+fn overload_rejects_busy_then_recovers() {
+    let (dir, _) = build_dataset(2, 4, 120, 7);
+    let server = Server::start(
+        &dir,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let addr = server.addr();
+
+    // A occupies the single worker (its connection stays open after
+    // the ping; the worker blocks reading A's next frame).
+    let mut a = Client::connect(addr).expect("connect A");
+    a.ping().expect("ping A");
+    // B fills the one queue slot.
+    let b = Client::connect(addr).expect("connect B");
+    // Give the acceptor a moment to enqueue B before C arrives.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // C is over capacity: typed rejection, not a hang.
+    let mut c = Client::connect(addr).expect("connect C");
+    match c.ping() {
+        Err(ClientError::Busy) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // A leaves; the worker picks up B and serves it.
+    drop(a);
+    let mut b = {
+        let mut b = b;
+        b.ping().expect("B served after A departs");
+        b
+    };
+    b.ping().expect("B still served");
+
+    let snap = server.stop();
+    assert!(
+        snap.counter("dassd.busy") >= 1,
+        "rejection must be counted: {snap:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Request-level failures leave the connection serving: a compile
+/// error returns the rendered caret diagnostic, a bad selection
+/// returns a typed error, and the same connection then completes a
+/// valid eval whose result matches local execution.
+#[test]
+fn errors_are_typed_and_connection_survives() {
+    let (dir, _) = build_dataset(3, 6, 600, 21);
+    let server = Server::start(&dir, ServerConfig::default()).expect("server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    match client.eval("load(\"corpus\") | detrnd") {
+        Err(ClientError::Compile(diag)) => {
+            assert!(diag.contains('^'), "caret diagnostic expected: {diag}");
+            assert!(diag.contains("detrend"), "did-you-mean expected: {diag}");
+        }
+        other => panic!("expected Compile, got {other:?}"),
+    }
+
+    match client.read_region(0..100, 0..10) {
+        Err(ClientError::Server { .. }) => {}
+        other => panic!("expected typed server error, got {other:?}"),
+    }
+
+    // Same connection still works, and the server-side program matches
+    // a local run of the same source.
+    let src = "load(\"corpus\") | detrend | xcorr(master=ch[0])";
+    let (dims, flat) = client.eval(src).expect("valid eval");
+    let cat = FileCatalog::scan(&dir).expect("scan");
+    let vca = Vca::from_entries(cat.entries()).expect("vca");
+    let wide = vca.read_all_f64().expect("read");
+    let program = dasl::compile(src).expect("compile");
+    let haee = Haee::builder().threads(1).build();
+    let local = dasa::run(&program.bind(vca.sampling_hz() as f64), &wide, &haee).expect("run");
+    let (ldims, lflat) = local.to_dataset();
+    assert_eq!(dims, ldims);
+    assert_eq!(
+        flat, lflat,
+        "served eval must match local execution bit-for-bit"
+    );
+
+    let snap = server.stop();
+    assert!(snap.counter("dassd.errors") >= 2);
+    assert_eq!(snap.counter("dassd.eval.requests"), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -54,7 +54,7 @@ mod span;
 pub mod trace;
 
 pub use cluster::{ClusterSnapshot, MetricStats};
-pub use registry::{global, Counter, Histogram, Registry};
+pub use registry::{global, Counter, Gauge, Histogram, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::{span, span_in, SpanGuard};
 pub use trace::{Trace, TraceEvent, Tracer};

@@ -17,6 +17,11 @@ pub(crate) struct CounterCell {
     value: AtomicU64,
 }
 
+#[derive(Default)]
+pub(crate) struct GaugeCell {
+    value: AtomicU64,
+}
+
 pub(crate) struct HistogramCells {
     count: AtomicU64,
     sum: AtomicU64,
@@ -69,6 +74,42 @@ impl Counter {
     }
 }
 
+/// Handle to a named gauge: an up-down counter for level quantities
+/// (resident cache bytes, queue depth, open connections). Unlike
+/// [`Counter`] it can decrease; like `Counter`, adds and subs recorded
+/// through a child registry also land in every ancestor, so a parent's
+/// gauge is the sum of its children's levels. Subtraction saturates at
+/// zero rather than wrapping.
+#[derive(Clone)]
+pub struct Gauge {
+    cells: Arc<[Arc<GaugeCell>]>,
+}
+
+impl Gauge {
+    /// Raise the level by `n`.
+    pub fn add(&self, n: u64) {
+        for cell in self.cells.iter() {
+            cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Lower the level by `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        for cell in self.cells.iter() {
+            let _ = cell
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(n))
+                });
+        }
+    }
+
+    /// Current level in the registry this handle was created from.
+    pub fn get(&self) -> u64 {
+        self.cells[0].value.load(Ordering::Relaxed)
+    }
+}
+
 /// Handle to a named histogram of `u64` samples (ns, bytes, counts).
 /// Tracks count, sum, min, max, and power-of-two bucket counts.
 #[derive(Clone)]
@@ -108,6 +149,7 @@ impl Histogram {
 #[derive(Default)]
 struct Tables {
     counters: BTreeMap<String, Arc<CounterCell>>,
+    gauges: BTreeMap<String, Arc<GaugeCell>>,
     histograms: BTreeMap<String, Arc<HistogramCells>>,
 }
 
@@ -178,6 +220,16 @@ impl Registry {
         cell
     }
 
+    fn gauge_cell(&self, name: &str) -> Arc<GaugeCell> {
+        let mut t = self.lock();
+        if let Some(g) = t.gauges.get(name) {
+            return Arc::clone(g);
+        }
+        let cell = Arc::new(GaugeCell::default());
+        t.gauges.insert(name.to_string(), Arc::clone(&cell));
+        cell
+    }
+
     fn histogram_cells(&self, name: &str) -> Arc<HistogramCells> {
         let mut t = self.lock();
         if let Some(h) = t.histograms.get(name) {
@@ -202,6 +254,19 @@ impl Registry {
         }
     }
 
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut cells = vec![self.gauge_cell(name)];
+        let mut ancestor = self.parent.as_ref().map(Arc::clone);
+        while let Some(reg) = ancestor {
+            cells.push(reg.gauge_cell(name));
+            ancestor = reg.parent.as_ref().map(Arc::clone);
+        }
+        Gauge {
+            cells: cells.into(),
+        }
+    }
+
     /// Get or create the histogram `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut cells = vec![self.histogram_cells(name)];
@@ -221,6 +286,11 @@ impl Registry {
         let t = self.lock();
         let counters = t
             .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = t
+            .gauges
             .iter()
             .map(|(k, v)| (k.clone(), v.value.load(Ordering::Relaxed)))
             .collect();
@@ -253,6 +323,7 @@ impl Registry {
             .collect();
         Snapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -262,6 +333,9 @@ impl Registry {
         let t = self.lock();
         for c in t.counters.values() {
             c.value.store(0, Ordering::Relaxed);
+        }
+        for g in t.gauges.values() {
+            g.value.store(0, Ordering::Relaxed);
         }
         for h in t.histograms.values() {
             h.count.store(0, Ordering::Relaxed);
@@ -362,6 +436,31 @@ mod tests {
         assert_eq!(snap.counter("n"), 8000);
         assert_eq!(snap.histograms["v"].count, 8000);
         assert_eq!(snap.histograms["v"].sum, 8 * (0..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_saturates() {
+        let reg = Registry::new();
+        let g = reg.gauge("level");
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        g.add(2);
+        assert_eq!(reg.snapshot().gauge("level"), 2);
+    }
+
+    #[test]
+    fn gauge_levels_aggregate_into_parent() {
+        let parent = Arc::new(Registry::new());
+        let child_a = Registry::with_parent(Arc::clone(&parent));
+        let child_b = Registry::with_parent(Arc::clone(&parent));
+        child_a.gauge("bytes").add(100);
+        child_b.gauge("bytes").add(50);
+        child_a.gauge("bytes").sub(30);
+        assert_eq!(child_a.snapshot().gauge("bytes"), 70);
+        assert_eq!(parent.snapshot().gauge("bytes"), 120);
     }
 
     #[test]

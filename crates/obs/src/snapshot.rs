@@ -102,6 +102,7 @@ impl HistogramSnapshot {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
@@ -109,6 +110,11 @@ impl Snapshot {
     /// Counter value, or 0 if the counter was never created.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level, or 0 if the gauge was never created.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Histogram by name, if it recorded anything.
@@ -128,6 +134,9 @@ impl Snapshot {
     pub fn merge(&mut self, other: &Snapshot) {
         for (name, v) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
         }
         for (name, h) in &other.histograms {
             self.histograms.entry(name.clone()).or_default().merge(h);
@@ -172,6 +181,14 @@ impl Snapshot {
             w.key(k).uint(*v);
         }
         w.end_object();
+        if !self.gauges.is_empty() {
+            w.key("gauges");
+            w.begin_object();
+            for (k, v) in &self.gauges {
+                w.key(k).uint(*v);
+            }
+            w.end_object();
+        }
         w.key("histograms");
         w.begin_object();
         for (k, h) in &self.histograms {
@@ -181,6 +198,11 @@ impl Snapshot {
             w.key("sum").uint(h.sum);
             w.key("min").uint(h.min);
             w.key("max").uint(h.max);
+            // Derived quantile estimates, for dashboards and CI greps;
+            // `from_json` ignores them (they reconstruct from buckets).
+            w.key("p50").uint(h.p50());
+            w.key("p95").uint(h.p95());
+            w.key("p99").uint(h.p99());
             w.key("buckets");
             w.begin_array();
             for (bucket, n) in &h.buckets {
@@ -208,6 +230,11 @@ impl Snapshot {
         if let Some(counters) = obj.get("counters") {
             for (name, value) in counters.as_object("counters")? {
                 snap.counters.insert(name.clone(), value.as_u64(name)?);
+            }
+        }
+        if let Some(gauges) = obj.get("gauges") {
+            for (name, value) in gauges.as_object("gauges")? {
+                snap.gauges.insert(name.clone(), value.as_u64(name)?);
             }
         }
         if let Some(hists) = obj.get("histograms") {
@@ -257,6 +284,13 @@ impl Snapshot {
             out.push_str("counters:\n");
             let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
             for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<width$}  {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.gauges {
                 let _ = writeln!(out, "  {k:<width$}  {v}");
             }
         }
@@ -352,6 +386,34 @@ mod tests {
         let snap = sample();
         let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn gauges_round_trip_and_render() {
+        let reg = Registry::new();
+        reg.gauge("cache.bytes").add(4096);
+        reg.counter("cache.hit").add(2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("cache.bytes"), 4096);
+        assert_eq!(snap.gauge("absent"), 0);
+        let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+        assert!(snap.to_json().contains("\"gauges\":{\"cache.bytes\":4096}"));
+        assert!(snap.render_text().contains("cache.bytes"));
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.gauge("cache.bytes"), 8192);
+    }
+
+    #[test]
+    fn histogram_json_carries_quantile_estimates() {
+        let snap = sample();
+        let json = snap.to_json();
+        for key in ["\"p50\":", "\"p95\":", "\"p99\":"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Derived fields must not break the exact round-trip.
+        assert_eq!(Snapshot::from_json(&json).unwrap(), snap);
     }
 
     #[test]

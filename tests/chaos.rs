@@ -379,8 +379,176 @@ fn bitrot_is_attributed_to_exact_files_identically_on_both_strategies() {
     );
 }
 
+/// The fault plan a `dassd` chaos run installs in its workers: the
+/// three dasf failure modes (hard read error, short read, bit-rot) at
+/// rates that leave some member files healthy. All three sites are
+/// file-name keyed, so which files fail is a pure function of the
+/// seed — independent of worker scheduling.
+fn dassd_chaos_plan(seed: u64) -> Arc<FaultPlan> {
+    Arc::new(
+        FaultPlan::new(seed)
+            .with(site::DASF_READ_ERR, 0.25)
+            .with(site::DASF_READ_SHORT, 0.2)
+            .with(site::DASF_READ_CORRUPT, 0.25),
+    )
+}
+
+/// One serial request sequence against a chaos-planned `dassd`:
+/// per-member-file windowed reads, a full read, a valid eval, and a
+/// compile error — every response folded into one outcome line per
+/// request (`ok:<fnv digest>` or `err:<kind>`). Used both by the
+/// in-process determinism test and the CI digest file.
+fn dassd_chaos_outcomes(dir: &std::path::Path, seed: u64) -> Vec<String> {
+    use dassa::dassd::{Client, ClientError, Server, ServerConfig};
+    let vca = load_vca(&dir.to_path_buf());
+    let server = Server::start(
+        dir,
+        ServerConfig {
+            workers: 2,
+            queue_depth: 8,
+            fault_plan: Some(dassd_chaos_plan(seed)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("chaos server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let digest_f32 = |data: &[f32]| {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in data {
+            for b in v.to_bits().to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    };
+    let mut outcomes = Vec::new();
+    let mut record = |tag: String, result: Result<u64, ClientError>| {
+        outcomes.push(match result {
+            Ok(d) => format!("{tag}:ok:{d:016x}"),
+            Err(ClientError::Server { kind, .. }) => format!("{tag}:err:{}", kind.name()),
+            Err(ClientError::Compile(_)) => format!("{tag}:err:compile"),
+            Err(other) => panic!("{tag}: connection must survive request faults, got {other}"),
+        });
+    };
+    for fi in 0..vca.n_files() {
+        let t0 = vca.time_offset_of(fi);
+        let t1 = t0 + vca.samples_of(fi);
+        let got = client.read_region(0..vca.channels(), t0..t1);
+        record(format!("read[{fi}]"), got.map(|a| digest_f32(a.as_slice())));
+    }
+    record(
+        "read[all]".into(),
+        client.read_all().map(|a| digest_f32(a.as_slice())),
+    );
+    record(
+        "eval".into(),
+        client
+            .eval("load(\"corpus\") | detrend | xcorr(master=ch[0])")
+            .map(|(dims, flat)| {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for d in &dims {
+                    for b in d.to_le_bytes() {
+                        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                    }
+                }
+                for v in &flat {
+                    for b in v.to_bits().to_le_bytes() {
+                        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                    }
+                }
+                h
+            }),
+    );
+    record(
+        "eval[bad]".into(),
+        client.eval("load(\"corpus\") | detrnd").map(|_| 0),
+    );
+    // The connection — and the server — must still be healthy after
+    // every injected failure.
+    client
+        .ping()
+        .expect("server must keep serving after faults");
+    drop(client);
+    server.stop();
+    outcomes
+}
+
+/// `dassd` under a faultline plan: every injected dasf failure (hard
+/// read error, short read, corrupt page) surfaces as a *typed* error
+/// response, the server keeps serving afterwards (no hang, no crash),
+/// healthy files are byte-identical to a fault-free serial read (no
+/// poisoned cache), and the whole outcome sequence is deterministic
+/// per seed.
+#[test]
+fn dassd_serves_typed_errors_and_survives_every_seed() {
+    let dir = dataset("dassd");
+    let vca = load_vca(&dir);
+
+    // Fault-free goldens, one digest per member window, read serially.
+    let clean = vca.read_all_f32().expect("clean read");
+    let digest_window = |t0: usize, t1: usize| {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for r in 0..clean.rows() {
+            for c in t0..t1 {
+                for b in clean.get(r, c).to_bits().to_le_bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+        h
+    };
+
+    let mut faults_seen = 0usize;
+    for seed in seed_matrix() {
+        let plan = dassd_chaos_plan(seed);
+        let o1 = dassd_chaos_outcomes(&dir, seed);
+        let o2 = dassd_chaos_outcomes(&dir, seed);
+        assert_eq!(
+            o1, o2,
+            "seed {seed}: outcome sequence must be deterministic"
+        );
+
+        for (fi, line) in o1.iter().take(vca.n_files()).enumerate() {
+            let hard = fires_for_member(&vca, &plan, site::DASF_READ_ERR, fi);
+            let short = fires_for_member(&vca, &plan, site::DASF_READ_SHORT, fi);
+            let rot = fires_for_member(&vca, &plan, site::DASF_READ_CORRUPT, fi);
+            if hard || short || rot {
+                faults_seen += 1;
+                // Hard errors mask the others (they fail before bytes
+                // are read); rot surfaces as the typed corrupt kind.
+                let kind = if hard {
+                    "err:io"
+                } else if short || rot {
+                    "err:corrupt"
+                } else {
+                    unreachable!()
+                };
+                assert!(
+                    line.ends_with(kind),
+                    "seed {seed} file {fi}: expected {kind}, got {line}"
+                );
+            } else {
+                let t0 = vca.time_offset_of(fi) as usize;
+                let t1 = t0 + vca.samples_of(fi) as usize;
+                let want = format!("read[{fi}]:ok:{:016x}", digest_window(t0, t1));
+                assert_eq!(
+                    line, &want,
+                    "seed {seed} file {fi}: healthy file must match the fault-free read"
+                );
+            }
+        }
+        // The bad program is a compile error under every seed.
+        assert_eq!(o1.last().unwrap(), "eval[bad]:err:compile");
+    }
+    assert!(
+        faults_seen > 0,
+        "the seed matrix must strike at least one member file"
+    );
+}
+
 /// With `DASSA_CHAOS_DIGEST=<path>` set, write one line per
-/// (seed, strategy): a checksum of the reassembled array plus the full
+/// (seed, strategy) plus one per (seed, dassd request): a checksum of
+/// the reassembled array (or the typed error outcome) plus the full
 /// quarantine report. CI runs the suite twice and `diff`s the two
 /// files, so nondeterminism *between processes* (which the in-process
 /// assertions above can't see) also fails the gate. Without the env
@@ -406,6 +574,9 @@ fn emit_outcome_digest_for_ci() {
             out.push_str(&format!(
                 "seed={seed:#x} strategy={strategy:?} digest={h:016x} report={report:?}\n"
             ));
+        }
+        for line in dassd_chaos_outcomes(&dir, seed) {
+            out.push_str(&format!("seed={seed:#x} dassd {line}\n"));
         }
     }
     std::fs::write(&path, out).expect("write digest");
