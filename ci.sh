@@ -250,6 +250,100 @@ if [[ $quick -eq 0 ]]; then
         echo "dassd: the read latency histogram is empty" >&2
         exit 1
     fi
+
+    # Ingest gate: trickle a corpus (one member bit-rotted) into a
+    # spool under an arrival-fault plan, and prove three things with
+    # the real binary: damaged files quarantine while the rest recover
+    # (windows still emit), a kill -9 mid-run plus a resume re-emits
+    # nothing, and the union of reports from the interrupted run is
+    # byte-identical to an uninterrupted drain.
+    echo "==> ingest: spool drain under faults + kill/resume gate"
+    ingest_dir="$(mktemp -d)"
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir" "$dasl_dir" "$dassd_dir" "$ingest_dir"' EXIT
+    target/release/das_gen -d "$ingest_dir/corpus" -c 6 -r 20 -m 8 >/dev/null
+    minute_files=("$ingest_dir/corpus"/*.dasf)
+    [[ ${#minute_files[@]} -eq 8 ]] || { echo "ingest: expected 8 members" >&2; exit 1; }
+    # Bit-rot one member: validation must quarantine it, not crash.
+    printf '\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff' |
+        dd of="${minute_files[2]}" bs=1 seek=64 conv=notrunc status=none
+    rotten="$(basename "${minute_files[2]}")"
+    plan='seed=7,ingest.spool.torn=0.4,ingest.arrival.delay=0.4,ingest.arrival.duplicate=0.4'
+
+    # Run A: uninterrupted drain of the full spool.
+    mkdir -p "$ingest_dir/spoolA"
+    cp "$ingest_dir/corpus"/*.dasf "$ingest_dir/spoolA/"
+    target/release/das_ingest --spool "$ingest_dir/spoolA" --out "$ingest_dir/outA" \
+        --once --window 2 --backoff-ms 1 --poll-ms 1 \
+        --fault-plan "$plan" --metrics="$ingest_dir/mA.json" 2>"$ingest_dir/ingestA.log"
+    [[ -f "$ingest_dir/spoolA/ingest.quarantine/$rotten" ]] || {
+        echo "ingest: bit-rotted $rotten was not quarantined" >&2
+        cat "$ingest_dir/ingestA.log" >&2
+        exit 1
+    }
+    emitted=$(grep -oE '"ingest\.windows_emitted":[0-9]+' "$ingest_dir/mA.json" | head -1 | cut -d: -f2)
+    admitted=$(grep -oE '"ingest\.admitted":[0-9]+' "$ingest_dir/mA.json" | head -1 | cut -d: -f2)
+    echo "    run A: admitted=${admitted:-0} windows_emitted=${emitted:-0} ($rotten quarantined)"
+    if [[ -z "${emitted:-}" || "$emitted" -le 0 ]]; then
+        echo "ingest: faulted drain emitted no windows" >&2
+        cat "$ingest_dir/ingestA.log" >&2
+        exit 1
+    fi
+
+    # Run B: stage half the corpus, run the always-on loop until the
+    # first report lands, kill -9, stage the rest, resume with a drain.
+    mkdir -p "$ingest_dir/spoolB"
+    cp "${minute_files[@]:0:4}" "$ingest_dir/spoolB/"
+    target/release/das_ingest --spool "$ingest_dir/spoolB" --out "$ingest_dir/outB" \
+        --window 2 --backoff-ms 1 --poll-ms 10 \
+        --fault-plan "$plan" >"$ingest_dir/ingestB.log" 2>&1 &
+    ingest_pid=$!
+    for _ in $(seq 1 200); do
+        compgen -G "$ingest_dir/outB/window_*.json" >/dev/null && break
+        sleep 0.1
+    done
+    compgen -G "$ingest_dir/outB/window_*.json" >/dev/null || {
+        echo "ingest: always-on loop never emitted a first window" >&2
+        cat "$ingest_dir/ingestB.log" >&2
+        exit 1
+    }
+    kill -9 "$ingest_pid" 2>/dev/null || true
+    wait "$ingest_pid" 2>/dev/null || true
+    # Simulate the worst crash window: the report landed but the
+    # checkpoint never committed. Resume must re-derive the frontier,
+    # notice the report already on disk, and skip it — not re-emit.
+    pre_report="$(ls "$ingest_dir"/outB/window_*.json | head -1)"
+    pre_inode="$(stat -c %i "$pre_report")"
+    rm -f "$ingest_dir/outB/checkpoint.json"
+    cp "${minute_files[@]:4}" "$ingest_dir/spoolB/"
+    target/release/das_ingest --spool "$ingest_dir/spoolB" --out "$ingest_dir/outB" \
+        --once --window 2 --backoff-ms 1 --poll-ms 1 \
+        --fault-plan "$plan" --metrics="$ingest_dir/mB.json" 2>>"$ingest_dir/ingestB.log"
+    skipped=$(grep -oE '"ingest\.windows_skipped":[0-9]+' "$ingest_dir/mB.json" | head -1 | cut -d: -f2)
+    echo "    run B: resumed after kill -9 + lost checkpoint, windows_skipped=${skipped:-0}"
+    if [[ -z "${skipped:-}" || "$skipped" -le 0 ]]; then
+        echo "ingest: resume re-evaluated windows already emitted before the kill" >&2
+        cat "$ingest_dir/ingestB.log" >&2
+        exit 1
+    fi
+    if [[ "$(stat -c %i "$pre_report")" != "$pre_inode" ]]; then
+        echo "ingest: resume rewrote $(basename "$pre_report") (inode changed — duplicate emission)" >&2
+        exit 1
+    fi
+    # The report unions must match exactly — same window set, same bytes.
+    a_reports=$(cd "$ingest_dir/outA" && ls window_*.json)
+    b_reports=$(cd "$ingest_dir/outB" && ls window_*.json)
+    if [[ "$a_reports" != "$b_reports" ]]; then
+        echo "ingest: interrupted run emitted a different window set" >&2
+        diff <(echo "$a_reports") <(echo "$b_reports") >&2 || true
+        exit 1
+    fi
+    for r in $a_reports; do
+        cmp "$ingest_dir/outA/$r" "$ingest_dir/outB/$r" || {
+            echo "ingest: $r differs between interrupted and uninterrupted runs" >&2
+            exit 1
+        }
+    done
+    echo "    report union byte-identical across kill/resume ($(echo "$a_reports" | wc -l) windows)"
 fi
 
 echo "==> CI green"

@@ -1,0 +1,236 @@
+//! `das_ingest` — the streaming ingest daemon.
+//!
+//! ```text
+//! das_ingest --spool /data/spool --out /data/windows            # always-on
+//! das_ingest --spool stage --out win --once                     # drain & exit
+//! das_ingest --spool s --out w --window 4 --hop 2 --job stacking
+//! das_ingest --spool s --out w --eval 'load("live") | detrend | demean'
+//! ```
+//!
+//! Watches the spool for arriving minute files, validates each
+//! (checksum scrub), admits it into the incremental minute index, and
+//! runs the detection job over every completed window, emitting one
+//! deterministic JSON report per window. Progress is journaled
+//! crash-consistently: `kill -9` at any instant and a restart resumes
+//! from the last committed window without re-emitting anything.
+//!
+//! `--once` drains the spool and exits (the staged/CI mode); without
+//! it the loop runs until SIGINT-less environments kill it (use
+//! `--once` in scripts). Exit status: 0 success, 1 runtime failure,
+//! 2 usage errors.
+
+use dassa::ingest::{run, run_once, IngestConfig, IngestJob};
+use dassa::prelude::*;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+struct Args {
+    cfg: IngestConfig,
+    once: bool,
+    metrics: Option<Option<String>>,
+    fault_plan: Option<faultline::FaultPlan>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: das_ingest --spool <dir> --out <dir> [options]\n\
+         \n\
+         options:\n\
+         \x20 --once                 drain the spool, emit every complete window, exit\n\
+         \x20 --window <minutes>     window length (default 2)\n\
+         \x20 --hop <minutes>        hop between windows (default = window; tumbling)\n\
+         \x20 --lateness <minutes>   watermark grace for out-of-order arrival (default 1)\n\
+         \x20 --max-attempts <n>     validation attempts before quarantine (default 3)\n\
+         \x20 --backoff-ms <ms>      first retry backoff, doubles per attempt (default 50)\n\
+         \x20 --poll-ms <ms>         spool scan interval (default 200)\n\
+         \x20 --inflight <n>         sealed windows buffered ahead of detection (default 4)\n\
+         \x20 --threads <n>          evaluator engine threads (default 2)\n\
+         \x20 --job <name>           built-in pipeline: interferometry (default),\n\
+         \x20                        local_similarity, stacking\n\
+         \x20 --eval '<program>'     run a dasl program per window instead of --job\n\
+         \x20 --metrics[=<file>]     dump the obs registry on exit (stderr or file)\n\
+         \x20 --fault-plan <spec>    seeded fault injection, e.g. 'seed=7,ingest.spool.torn=0.3'\n\
+         \n\
+         Exits 0 success / 1 failure / 2 usage."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut spool: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut once = false;
+    let mut metrics: Option<Option<String>> = None;
+    let mut fault_plan = None;
+    let mut window = 2u64;
+    let mut hop = 0u64;
+    let mut lateness = 1u64;
+    let mut max_attempts = 3u32;
+    let mut backoff_ms = 50u64;
+    let mut poll_ms = 200u64;
+    let mut inflight = 4usize;
+    let mut threads = 2usize;
+    let mut job: Option<IngestJob> = None;
+
+    fn numeric<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} expects a number, got {v:?}");
+            usage()
+        })
+    }
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--spool" => spool = Some(value("--spool")),
+            "--out" => out = Some(value("--out")),
+            "--once" => once = true,
+            "--window" => window = numeric("--window", &value("--window")),
+            "--hop" => hop = numeric("--hop", &value("--hop")),
+            "--lateness" => lateness = numeric("--lateness", &value("--lateness")),
+            "--max-attempts" => max_attempts = numeric("--max-attempts", &value("--max-attempts")),
+            "--backoff-ms" => backoff_ms = numeric("--backoff-ms", &value("--backoff-ms")),
+            "--poll-ms" => poll_ms = numeric("--poll-ms", &value("--poll-ms")),
+            "--inflight" => inflight = numeric("--inflight", &value("--inflight")),
+            "--threads" => threads = numeric("--threads", &value("--threads")),
+            "--job" => {
+                let name = value("--job");
+                job = Some(IngestJob::Analysis(match name.as_str() {
+                    "interferometry" => dassa::dasa::Analysis::Interferometry(Default::default()),
+                    "local_similarity" => {
+                        dassa::dasa::Analysis::LocalSimilarity(Default::default())
+                    }
+                    "stacking" => dassa::dasa::Analysis::Stacking(Default::default()),
+                    other => {
+                        eprintln!("unknown --job {other:?} (want interferometry, local_similarity, or stacking)");
+                        usage()
+                    }
+                }));
+            }
+            "--eval" => {
+                let src = value("--eval");
+                match dasl::compile(&src) {
+                    Ok(p) => job = Some(IngestJob::Program(p)),
+                    Err(e) => {
+                        eprintln!("das_ingest: --eval does not compile:\n{}", e.render(&src));
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--metrics" => metrics = Some(None),
+            "--fault-plan" => {
+                let spec = value("--fault-plan");
+                match faultline::FaultPlan::parse(&spec) {
+                    Ok(p) => fault_plan = Some(p),
+                    Err(e) => {
+                        eprintln!("bad --fault-plan: {e}");
+                        usage()
+                    }
+                }
+            }
+            "-h" | "--help" => usage(),
+            other => {
+                if let Some(path) = other.strip_prefix("--metrics=") {
+                    if path.is_empty() {
+                        eprintln!("--metrics= wants a file path (or use bare --metrics)");
+                        usage();
+                    }
+                    metrics = Some(Some(path.to_string()));
+                } else {
+                    eprintln!("unknown argument {other:?}");
+                    usage()
+                }
+            }
+        }
+    }
+
+    let (Some(spool), Some(out)) = (spool, out) else {
+        eprintln!("--spool and --out are both required");
+        usage()
+    };
+    if window == 0 {
+        eprintln!("--window must be at least 1");
+        usage();
+    }
+    let mut cfg = IngestConfig::new(spool, out);
+    cfg.window_minutes = window;
+    cfg.hop_minutes = hop;
+    cfg.lateness_minutes = lateness;
+    cfg.max_attempts = max_attempts.max(1);
+    cfg.base_backoff = Duration::from_millis(backoff_ms);
+    cfg.poll = Duration::from_millis(poll_ms.max(1));
+    cfg.max_inflight = inflight.max(1);
+    cfg.threads = threads.max(1);
+    if let Some(job) = job {
+        cfg.job = job;
+    }
+    Args {
+        cfg,
+        once,
+        metrics,
+        fault_plan,
+    }
+}
+
+fn emit_metrics(dest: &Option<String>) -> std::io::Result<()> {
+    let snap = obs::global().snapshot();
+    match dest {
+        None => eprint!("{}", snap.render_text()),
+        Some(path) => {
+            std::fs::write(path, snap.to_json())?;
+            eprintln!("metrics written to {path}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(plan) = &args.fault_plan {
+        // Process-wide, so validation and window reads both feel it.
+        faultline::install_global(std::sync::Arc::new(plan.clone()));
+    }
+    let result = if args.once {
+        run_once(&args.cfg)
+    } else {
+        // No signal handling without external crates: the always-on
+        // loop runs until the process is killed. Every externally
+        // visible effect is atomic, so a hard kill is always safe.
+        static STOP: AtomicBool = AtomicBool::new(false);
+        run(&args.cfg, &STOP)
+    };
+    let code = match &result {
+        Ok(summary) => {
+            eprintln!(
+                "# ingest: {} admitted, {} late, {} duplicate, {} quarantined, \
+                 {} window(s) emitted, {} skipped, {} gap sample(s)",
+                summary.admitted,
+                summary.late,
+                summary.duplicate,
+                summary.quarantined,
+                summary.windows_emitted,
+                summary.windows_skipped,
+                summary.gap_samples
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("das_ingest: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    if let Some(dest) = &args.metrics {
+        if let Err(e) = emit_metrics(dest) {
+            eprintln!("das_ingest: writing metrics failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    code
+}

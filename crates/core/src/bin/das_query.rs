@@ -16,11 +16,20 @@
 //!
 //! `--burst <n>` replays the chosen action on `n` parallel
 //! connections and prints `burst: ok=<a> busy=<b> err=<c>` — the CI
-//! overload probe. Exit status: 0 on success (bursts always exit 0 so
-//! the caller inspects the counts), 1 on a server/transport error, 2
-//! on a compile error (the rendered caret diagnostic goes to stderr).
+//! overload probe. Exit status: 0 on success (bursts without `--retry`
+//! always exit 0 so the caller inspects the counts), 1 on a
+//! server/transport error, 2 on a compile error (the rendered caret
+//! diagnostic goes to stderr).
+//!
+//! `--retry <n>` wraps every connection in the client's
+//! [`BusyRetry`] policy: up to `n` attempts per action, jittered
+//! doubling waits between them, retrying only typed `busy`
+//! rejections. With `--retry`, persistent busy is a *failure*: a
+//! single-shot invocation exits 1 when its budget is spent, and a
+//! burst exits 1 when every connection stayed busy through all its
+//! attempts (`ok=0 busy>0`).
 
-use dassa::dassd::{Client, ClientError};
+use dassa::dassd::{BusyRetry, Client, ClientError};
 use std::process::ExitCode;
 
 #[derive(Clone)]
@@ -37,18 +46,24 @@ struct Args {
     addr: String,
     action: Action,
     burst: usize,
+    retry: Option<u32>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: das_query --addr <host:port> <action> [--burst <n>]\n\
+        "usage: das_query --addr <host:port> <action> [--burst <n>] [--retry <n>]\n\
          actions:\n\
          \u{20} --eval '<pipeline>'              compile + run a dasl program\n\
          \u{20} --read <c0>..<c1>:<t0>..<t1>     stream a channel x sample window\n\
          \u{20} --read-all                       stream the whole corpus\n\
          \u{20} --metrics                        print the server metrics JSON\n\
          \u{20} --ping                           liveness probe\n\
-         \u{20} --shutdown                       ask the server to exit"
+         \u{20} --shutdown                       ask the server to exit\n\
+         options:\n\
+         \u{20} --burst <n>                      replay on n parallel connections\n\
+         \u{20} --retry <n>                      up to n attempts per connection on\n\
+         \u{20}                                  busy (jittered backoff); exits 1 when\n\
+         \u{20}                                  every attempt stayed busy"
     );
     std::process::exit(2);
 }
@@ -80,6 +95,7 @@ fn parse_args() -> Args {
     let mut addr = String::new();
     let mut action: Option<Action> = None;
     let mut burst = 1usize;
+    let mut retry: Option<u32> = None;
     let set = |a: Action, action: &mut Option<Action>| {
         if action.is_some() {
             invalid("exactly one action per invocation");
@@ -115,6 +131,16 @@ fn parse_args() -> Args {
                     invalid("--burst must be at least 1");
                 }
             }
+            "--retry" => {
+                let raw = value("--retry");
+                let n: u32 = raw
+                    .parse()
+                    .unwrap_or_else(|_| invalid(&format!("--retry wants a number, got {raw:?}")));
+                if n == 0 {
+                    invalid("--retry must be at least 1");
+                }
+                retry = Some(n);
+            }
             _ => usage(),
         }
     }
@@ -126,6 +152,7 @@ fn parse_args() -> Args {
         addr,
         action,
         burst,
+        retry,
     }
 }
 
@@ -201,16 +228,37 @@ fn run_once(addr: &str, action: &Action, quiet: bool) -> Result<(), ClientError>
     Ok(())
 }
 
+/// Run the action once, or — with `--retry` — under a [`BusyRetry`]
+/// policy, reconnecting per attempt (a busy rejection closes the
+/// connection, so there is nothing to reuse).
+fn run_with_policy(
+    addr: &str,
+    action: &Action,
+    retry: Option<u32>,
+    key: &str,
+    quiet: bool,
+) -> Result<(), ClientError> {
+    match retry {
+        None => run_once(addr, action, quiet),
+        Some(n) => BusyRetry::new(n).run(key, |_| run_once(addr, action, quiet)),
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if args.burst > 1 {
         // Overload probe: every connection opened before any request is
         // sent, so the admission queue sees them together.
         let handles: Vec<_> = (0..args.burst)
-            .map(|_| {
+            .map(|i| {
                 let addr = args.addr.clone();
                 let action = args.action.clone();
-                std::thread::spawn(move || run_once(&addr, &action, true))
+                let retry = args.retry;
+                // Per-thread retry keys so the backoff jitter spreads
+                // the re-attempts instead of replaying the stampede.
+                std::thread::spawn(move || {
+                    run_with_policy(&addr, &action, retry, &format!("burst-{i}"), true)
+                })
             })
             .collect();
         let (mut ok, mut busy, mut err) = (0u64, 0u64, 0u64);
@@ -222,9 +270,14 @@ fn main() -> ExitCode {
             }
         }
         println!("burst: ok={ok} busy={busy} err={err}");
+        // With a retry budget, "everyone stayed busy through every
+        // attempt" is a failure the caller should see in the exit code.
+        if args.retry.is_some() && ok == 0 && busy > 0 {
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
-    match run_once(&args.addr, &args.action, false) {
+    match run_with_policy(&args.addr, &args.action, args.retry, "das_query", false) {
         Ok(()) => ExitCode::SUCCESS,
         Err(ClientError::Compile(diag)) => {
             eprint!("{diag}");

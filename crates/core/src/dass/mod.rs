@@ -20,7 +20,9 @@ mod metadata;
 pub mod par_read;
 pub mod plan;
 mod rca;
-mod search;
+// `pub(crate)` so sibling modules (ingest) can borrow the shared
+// `search::tests::make_files` corpus helper in their own tests.
+pub(crate) mod search;
 mod timestamp;
 mod vca;
 

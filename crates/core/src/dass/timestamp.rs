@@ -128,6 +128,29 @@ impl Timestamp {
     pub fn minutes_until(&self, other: &Timestamp) -> u64 {
         (other.epoch_seconds() - self.epoch_seconds()) / 60
     }
+
+    /// Whole minutes since 2000-01-01 00:00:00 — the key space ingest's
+    /// minute index and watermark arithmetic live in. Seconds truncate.
+    pub fn epoch_minutes(&self) -> u64 {
+        self.epoch_seconds() / 60
+    }
+
+    /// Inverse of [`Timestamp::epoch_minutes`]: the timestamp at the
+    /// start of that minute (seconds = 0). Panics past year 2099, the
+    /// format's ceiling.
+    pub fn from_epoch_minutes(minutes: u64) -> Timestamp {
+        let base = Timestamp {
+            year: 2000,
+            month: 1,
+            day: 1,
+            hour: 0,
+            minute: 0,
+            second: 0,
+        };
+        let ts = base.add_minutes(minutes);
+        assert!(ts.year <= 2099, "epoch minute {minutes} is past year 2099");
+        ts
+    }
 }
 
 impl fmt::Display for Timestamp {
@@ -223,6 +246,26 @@ mod tests {
             let later = ts.add_minutes(m);
             assert_eq!(ts.minutes_until(&later), m);
         }
+    }
+
+    #[test]
+    fn epoch_minutes_round_trip() {
+        for s in [
+            "000101000000",
+            "170728224500",
+            "171231235900",
+            "200229120000",
+            "991231235900",
+        ] {
+            let ts = Timestamp::parse(s).unwrap();
+            let back = Timestamp::from_epoch_minutes(ts.epoch_minutes());
+            assert_eq!(back, ts, "{s} should survive the minute round trip");
+            assert_eq!(back.epoch_minutes(), ts.epoch_minutes());
+        }
+        // Seconds truncate: :45 lands on the start of the same minute.
+        let ts = Timestamp::parse("170728224545").unwrap();
+        let back = Timestamp::from_epoch_minutes(ts.epoch_minutes());
+        assert_eq!(back.to_compact(), "170728224500");
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! [`ClientError`] variants; in particular an admission rejection is
 //! [`ClientError::Busy`] and a `dasl` compile failure carries the
 //! rendered caret diagnostic in [`ClientError::Compile`]. The client
-//! never retries on its own — backoff policy belongs to the caller.
+//! never retries on its own — backoff policy belongs to the caller,
+//! and [`BusyRetry`] is the packaged, still opt-in version of it.
 
 use super::protocol::{read_frame, write_frame, ErrorKind, Request, Response};
 use arrayudf::{Array2, TileView};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// What a request can fail with, from the client's point of view.
 #[derive(Debug)]
@@ -254,5 +256,147 @@ impl Client {
                 "expected ShuttingDown, got {other:?}"
             ))),
         }
+    }
+}
+
+/// Opt-in jittered backoff around [`ClientError::Busy`] rejections.
+///
+/// The server sheds load by rejecting at *admission* and closing the
+/// connection, so a retry is a whole new connection: the closure owns
+/// connect + request and receives the 0-based attempt number. Only
+/// `Busy` retries — every other failure propagates immediately, and so
+/// does the `Busy` from the final attempt.
+///
+/// Waits double per attempt (shift clamped) with a deterministic
+/// jitter factor in `[0.75, 1.25)` drawn from an FNV hash of
+/// `(key, attempt)`: replays are byte-identical for the same key, yet
+/// parallel callers with distinct keys spread out instead of
+/// re-stampeding the admission queue in lockstep.
+///
+/// ```no_run
+/// use dassa::dassd::{BusyRetry, Client};
+/// let policy = BusyRetry::new(5);
+/// let digest = policy.run("probe", |_attempt| {
+///     let mut client = Client::connect("127.0.0.1:3557")?;
+///     client.read_all()
+/// })?;
+/// # Ok::<(), dassa::dassd::ClientError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BusyRetry {
+    /// Total attempts, including the first (≥ 1).
+    pub attempts: u32,
+    /// Wait before the first retry; doubles per attempt.
+    pub base: Duration,
+}
+
+impl Default for BusyRetry {
+    /// Four attempts from 25 ms: worst case ~½ s of patience.
+    fn default() -> BusyRetry {
+        BusyRetry {
+            attempts: 4,
+            base: Duration::from_millis(25),
+        }
+    }
+}
+
+impl BusyRetry {
+    /// A policy with `attempts` total tries and the default base wait.
+    pub fn new(attempts: u32) -> BusyRetry {
+        BusyRetry {
+            attempts,
+            ..BusyRetry::default()
+        }
+    }
+
+    /// Run `op` until it returns anything other than `Busy`, or the
+    /// attempt budget is spent.
+    pub fn run<T>(
+        &self,
+        key: &str,
+        mut op: impl FnMut(u32) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let attempts = self.attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Err(ClientError::Busy) if attempt + 1 < attempts => {
+                    std::thread::sleep(self.wait(key, attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// The wait after attempt `attempt` (0-based) failed busy.
+    fn wait(&self, key: &str, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(10));
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key.bytes().chain(attempt.to_le_bytes()) {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        let jitter_ppm = 750_000 + h % 500_000; // [0.75, 1.25) in millionths
+        let nanos = exp.as_nanos().saturating_mul(jitter_ppm as u128) / 1_000_000;
+        Duration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(attempts: u32) -> BusyRetry {
+        BusyRetry {
+            attempts,
+            base: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn busy_then_success_retries_through() {
+        let mut calls = 0u32;
+        let out = tiny(4).run("k", |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(ClientError::Busy)
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn persistent_busy_spends_the_budget_then_surfaces() {
+        let mut calls = 0u32;
+        let out = tiny(3).run("k", |_| {
+            calls += 1;
+            Err::<(), _>(ClientError::Busy)
+        });
+        assert!(matches!(out, Err(ClientError::Busy)));
+        assert_eq!(calls, 3, "exactly the attempt budget");
+    }
+
+    #[test]
+    fn non_busy_errors_do_not_retry() {
+        let mut calls = 0u32;
+        let out = tiny(5).run("k", |_| {
+            calls += 1;
+            Err::<(), _>(ClientError::Protocol("boom".into()))
+        });
+        assert!(matches!(out, Err(ClientError::Protocol(_))));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn waits_are_deterministic_and_grow() {
+        let p = BusyRetry::default();
+        let w0 = p.wait("key", 0);
+        let w1 = p.wait("key", 1);
+        assert_eq!(w0, p.wait("key", 0));
+        assert!(w1 > w0, "{w1:?} should exceed {w0:?}");
+        assert_ne!(p.wait("other", 0), w0, "keys decorrelate");
     }
 }

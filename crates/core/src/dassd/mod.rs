@@ -41,6 +41,6 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{Chunk, ChunkCache};
-pub use client::{Client, ClientError};
+pub use client::{BusyRetry, Client, ClientError};
 pub use protocol::{ErrorKind, Request, Response};
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,463 @@
+//! The spool scanner: discovery, verify-on-admit, retry, quarantine.
+//!
+//! The spool directory is the ingest daemon's inbox *and* its durable
+//! admitted state: files the scanner distrusts are physically moved
+//! out (`ingest.quarantine/`), so a restart that rescans the spool
+//! reconstructs exactly the admitted set — no separate manifest to
+//! keep consistent with the filesystem.
+//!
+//! Per file the scanner runs a small state machine:
+//!
+//! ```text
+//! discovered ─▶ (deferred?) ─▶ pending ─▶ validate ─▶ done
+//!                                 ▲           │
+//!                                 └─ backoff ─┤ retryable (torn, I/O)
+//!                                             ▼ budget exhausted / fatal
+//!                                         quarantined
+//! ```
+//!
+//! Validation is [`dasf::File::open_verified`] (the v3 checksum scrub)
+//! plus the metadata parse. Torn and I/O failures retry with jittered
+//! exponential backoff — a torn file is usually a writer mid-rename
+//! and heals on its own — while bit-rot and bad metadata quarantine
+//! immediately: no number of retries fixes wrong bytes.
+//!
+//! Three faultline sites rehearse the arrival failure modes:
+//! [`site::INGEST_SPOOL_TORN`] (the first attempt(s) observe a torn
+//! file), [`site::INGEST_ARRIVAL_DELAY`] (discovery deferred for a few
+//! scan rounds), and [`site::INGEST_ARRIVAL_DUPLICATE`] (a clean file
+//! is delivered twice).
+
+use crate::dass::{DasFileMeta, FileEntry};
+use crate::DassaError;
+use dasf::DasfError;
+use faultline::{fires, key_of, site, value_below};
+use std::collections::BTreeMap;
+use std::ffi::{OsStr, OsString};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Directory (inside the spool) for files that failed validation.
+pub(crate) const QUARANTINE_DIR: &str = "ingest.quarantine";
+/// Directory for files arriving behind the sealed frontier.
+pub(crate) const LATE_DIR: &str = "ingest.late";
+/// Directory for second deliveries of an already-admitted minute.
+pub(crate) const DUPLICATE_DIR: &str = "ingest.duplicate";
+
+/// Per-file scanner state.
+#[derive(Debug)]
+enum FileState {
+    /// Injected arrival delay: skip this many more scan rounds.
+    Deferred { rounds_left: u64 },
+    /// Awaiting (re-)validation once `ready_at` passes.
+    Pending { attempts: u32, ready_at: Instant },
+    /// Validated and handed to the daemon; never reconsidered.
+    Done,
+    /// Moved out of the spool (quarantine/late/duplicate).
+    Gone,
+}
+
+/// What one scan round observed.
+#[derive(Debug)]
+pub(crate) enum SpoolEvent {
+    /// A file validated clean (duplicate deliveries emit this twice).
+    Validated(FileEntry),
+    /// A file was moved to `ingest.quarantine/`.
+    Quarantined { path: PathBuf, reason: String },
+}
+
+/// Why one validation attempt failed.
+struct ValidationFailure {
+    retryable: bool,
+    reason: String,
+}
+
+pub(crate) struct SpoolScanner {
+    spool: PathBuf,
+    max_attempts: u32,
+    base_backoff: Duration,
+    /// Keyed by file name; `BTreeMap` so every round processes files in
+    /// name order — the chaos digests depend on this determinism.
+    states: BTreeMap<OsString, FileState>,
+}
+
+impl SpoolScanner {
+    pub(crate) fn new(spool: PathBuf, max_attempts: u32, base_backoff: Duration) -> SpoolScanner {
+        SpoolScanner {
+            spool,
+            max_attempts: max_attempts.max(1),
+            base_backoff,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// True when every discovered file is terminal (validated or moved
+    /// out) — the precondition for advancing the watermark, so a file
+    /// mid-retry can never be sealed over.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.states
+            .values()
+            .all(|s| matches!(s, FileState::Done | FileState::Gone))
+    }
+
+    /// How long until the earliest pending retry is due; `None` when
+    /// nothing is in flight. Deferred files are due immediately (their
+    /// unit is scan rounds, not wall time).
+    pub(crate) fn next_ready_in(&self, now: Instant) -> Option<Duration> {
+        self.states
+            .values()
+            .filter_map(|s| match s {
+                FileState::Deferred { .. } => Some(Duration::ZERO),
+                FileState::Pending { ready_at, .. } => {
+                    Some(ready_at.saturating_duration_since(now))
+                }
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Move `name` out of the spool into `spool/<subdir>/` and stop
+    /// tracking it (the daemon's late/duplicate evictions).
+    pub(crate) fn exile(&mut self, name: &OsStr, subdir: &str) -> io::Result<PathBuf> {
+        let dir = self.spool.join(subdir);
+        std::fs::create_dir_all(&dir)?;
+        let dst = dir.join(name);
+        // Idempotent: a double-delivered file may already be retired by
+        // the time its second event is handled — already-gone is the
+        // state we wanted, not a failure.
+        match std::fs::rename(self.spool.join(name), &dst) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound && !self.spool.join(name).exists() => {}
+            Err(e) => return Err(e),
+        }
+        self.states.insert(name.to_os_string(), FileState::Gone);
+        Ok(dst)
+    }
+
+    /// One scan round: discover new arrivals, tick deferrals, validate
+    /// everything due, schedule retries, quarantine the hopeless.
+    pub(crate) fn poll(&mut self) -> io::Result<Vec<SpoolEvent>> {
+        self.discover()?;
+        let now = Instant::now();
+        // Names due this round, in name order.
+        let due: Vec<OsString> = self
+            .states
+            .iter_mut()
+            .filter_map(|(name, state)| match state {
+                FileState::Deferred { rounds_left } => {
+                    if *rounds_left == 0 {
+                        *state = FileState::Pending {
+                            attempts: 0,
+                            ready_at: now,
+                        };
+                        Some(name.clone())
+                    } else {
+                        *rounds_left -= 1;
+                        None
+                    }
+                }
+                FileState::Pending { ready_at, .. } if *ready_at <= now => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+
+        let m = super::metrics();
+        let mut events = Vec::new();
+        for name in due {
+            let attempts = match self.states.get(&name) {
+                Some(FileState::Pending { attempts, .. }) => *attempts,
+                _ => continue,
+            };
+            let path = self.spool.join(&name);
+            match self.validate(&path, &name, attempts) {
+                Ok(entry) => {
+                    self.states.insert(name.clone(), FileState::Done);
+                    let key = key_of(name.as_encoded_bytes());
+                    let duplicated = fires(site::INGEST_ARRIVAL_DUPLICATE, key);
+                    if duplicated {
+                        events.push(SpoolEvent::Validated(entry.clone()));
+                    }
+                    events.push(SpoolEvent::Validated(entry));
+                }
+                Err(f) if f.retryable && attempts + 1 < self.max_attempts => {
+                    m.retries.inc();
+                    let ready_at = now + self.backoff(&name, attempts + 1);
+                    self.states.insert(
+                        name.clone(),
+                        FileState::Pending {
+                            attempts: attempts + 1,
+                            ready_at,
+                        },
+                    );
+                }
+                Err(f) => {
+                    let dst = self.exile(&name, QUARANTINE_DIR)?;
+                    m.quarantined.inc();
+                    events.push(SpoolEvent::Quarantined {
+                        path: dst,
+                        reason: f.reason,
+                    });
+                }
+            }
+        }
+        Ok(events)
+    }
+
+    /// Register newly arrived `.dasf` files (in-progress `.tmp` writes
+    /// and the quarantine/late/duplicate subdirectories never match).
+    fn discover(&mut self) -> io::Result<()> {
+        for entry in std::fs::read_dir(&self.spool)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() || path.extension().and_then(|e| e.to_str()) != Some("dasf") {
+                continue;
+            }
+            let Some(name) = path.file_name() else {
+                continue;
+            };
+            if self.states.contains_key(name) {
+                continue;
+            }
+            let key = key_of(name.as_encoded_bytes());
+            let state = if fires(site::INGEST_ARRIVAL_DELAY, key) {
+                FileState::Deferred {
+                    rounds_left: 1 + value_below(site::INGEST_ARRIVAL_DELAY, key, 3),
+                }
+            } else {
+                FileState::Pending {
+                    attempts: 0,
+                    ready_at: Instant::now(),
+                }
+            };
+            self.states.insert(name.to_os_string(), state);
+        }
+        Ok(())
+    }
+
+    /// One validation attempt: checksum scrub + metadata parse.
+    fn validate(
+        &self,
+        path: &Path,
+        name: &OsStr,
+        attempts: u32,
+    ) -> Result<FileEntry, ValidationFailure> {
+        let key = key_of(name.as_encoded_bytes());
+        if fires(site::INGEST_SPOOL_TORN, key) {
+            // The writer renamed before its data hit the disk: the first
+            // 1 + value_below(...) attempts observe a torn file. Some
+            // files therefore heal within the retry budget and some
+            // exhaust it — both paths rehearsed, deterministically.
+            let torn_attempts =
+                1 + value_below(site::INGEST_SPOOL_TORN, key, self.max_attempts as u64);
+            if (attempts as u64) < torn_attempts {
+                return Err(ValidationFailure {
+                    retryable: true,
+                    reason: "torn spool rename (injected)".into(),
+                });
+            }
+        }
+        let file = dasf::File::open_verified(path).map_err(classify_dasf)?;
+        let meta = DasFileMeta::from_file(&file).map_err(classify_dassa)?;
+        Ok(FileEntry {
+            path: path.to_path_buf(),
+            meta,
+        })
+    }
+
+    /// Jittered exponential backoff for retry `attempt` (1-based): the
+    /// shift is clamped, and the jitter factor in `[0.75, 1.25)` is
+    /// drawn from an FNV hash of `(name, attempt)` — deterministic, so
+    /// chaos runs replay byte-identically, yet decorrelated across
+    /// files so real retry storms do not synchronize. The band is
+    /// narrow enough that doubling always dominates: each retry waits
+    /// strictly longer than the one before (2 × 0.75 > 1.25).
+    fn backoff(&self, name: &OsStr, attempt: u32) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << attempt.min(10));
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name
+            .as_encoded_bytes()
+            .iter()
+            .chain(attempt.to_le_bytes().iter())
+        {
+            h = (h ^ *b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        let jitter_ppm = 750_000 + h % 500_000; // [0.75, 1.25) in millionths
+        let nanos = exp.as_nanos().saturating_mul(jitter_ppm as u128) / 1_000_000;
+        Duration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+    }
+}
+
+/// Is this dasf failure plausibly transient?
+fn classify_dasf(e: DasfError) -> ValidationFailure {
+    let retryable = matches!(e, DasfError::Truncated | DasfError::Io(_));
+    ValidationFailure {
+        retryable,
+        reason: e.to_string(),
+    }
+}
+
+/// Metadata-layer failures: transient only if the underlying I/O was.
+fn classify_dassa(e: DassaError) -> ValidationFailure {
+    match e {
+        DassaError::Dasf(inner) => classify_dasf(inner),
+        DassaError::Io(inner) => ValidationFailure {
+            retryable: true,
+            reason: inner.to_string(),
+        },
+        other => ValidationFailure {
+            retryable: false,
+            reason: other.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dass::search::tests::make_files;
+    use faultline::{FaultPlan, PlanGuard};
+    use std::sync::Arc;
+
+    fn drain(scanner: &mut SpoolScanner) -> Vec<SpoolEvent> {
+        let mut events = Vec::new();
+        loop {
+            events.extend(scanner.poll().unwrap());
+            if scanner.is_quiescent() {
+                return events;
+            }
+            if let Some(wait) = scanner.next_ready_in(Instant::now()) {
+                std::thread::sleep(wait.min(Duration::from_millis(5)));
+            }
+        }
+    }
+
+    #[test]
+    fn clean_spool_validates_everything_once() {
+        let dir = make_files("spool-clean", "170728224510", 4, 3, 60);
+        let mut s = SpoolScanner::new(dir, 3, Duration::from_millis(1));
+        let events = drain(&mut s);
+        let validated = events
+            .iter()
+            .filter(|e| matches!(e, SpoolEvent::Validated(_)))
+            .count();
+        assert_eq!(validated, 4);
+        // A second poll rediscovers nothing.
+        assert!(s.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_file_quarantines_immediately() {
+        let dir = make_files("spool-rot", "170728224510", 2, 3, 60);
+        // Bit-rot one payload byte of the first file.
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "dasf"))
+            .min()
+            .unwrap();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[40] ^= 0x20;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let mut s = SpoolScanner::new(dir.clone(), 3, Duration::from_millis(1));
+        let events = drain(&mut s);
+        let quarantined: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                SpoolEvent::Quarantined { path, .. } => Some(path.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        assert!(quarantined[0].starts_with(dir.join(QUARANTINE_DIR)));
+        assert!(!victim.exists());
+    }
+
+    #[test]
+    fn injected_torn_heals_or_quarantines_by_budget() {
+        let dir = make_files("spool-torn", "170728224510", 6, 3, 60);
+        let plan = Arc::new(FaultPlan::parse("seed=11,ingest.spool.torn=1.0").unwrap());
+        let max_attempts = 3u32;
+        // Predict per-file outcomes from the plan itself.
+        let names: Vec<OsString> = {
+            let mut n: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name())
+                .collect();
+            n.sort();
+            n
+        };
+        let expect_quarantined: Vec<bool> = names
+            .iter()
+            .map(|n| {
+                let key = key_of(n.as_encoded_bytes());
+                let torn = 1 + plan.value_below(site::INGEST_SPOOL_TORN, key, max_attempts as u64);
+                torn >= max_attempts as u64
+            })
+            .collect();
+
+        let _guard = PlanGuard::install(plan);
+        let mut s = SpoolScanner::new(dir, max_attempts, Duration::from_millis(1));
+        let events = drain(&mut s);
+        for (name, expect_q) in names.iter().zip(&expect_quarantined) {
+            let quarantined = events.iter().any(|e| {
+                matches!(e, SpoolEvent::Quarantined { path, .. }
+                         if path.file_name() == Some(name.as_os_str()))
+            });
+            let validated = events.iter().any(|e| {
+                matches!(e, SpoolEvent::Validated(entry)
+                         if entry.path.file_name() == Some(name.as_os_str()))
+            });
+            assert_eq!(quarantined, *expect_q, "{name:?}");
+            assert_eq!(validated, !*expect_q, "{name:?}");
+        }
+    }
+
+    #[test]
+    fn injected_duplicate_delivers_twice() {
+        let dir = make_files("spool-dup", "170728224510", 3, 3, 60);
+        let plan = Arc::new(FaultPlan::parse("seed=5,ingest.arrival.duplicate=1.0").unwrap());
+        let _guard = PlanGuard::install(plan);
+        let mut s = SpoolScanner::new(dir, 3, Duration::from_millis(1));
+        let events = drain(&mut s);
+        let validated = events
+            .iter()
+            .filter(|e| matches!(e, SpoolEvent::Validated(_)))
+            .count();
+        assert_eq!(validated, 6, "every file delivered exactly twice");
+    }
+
+    #[test]
+    fn deferred_arrival_still_validates() {
+        let dir = make_files("spool-delay", "170728224510", 3, 3, 60);
+        let plan = Arc::new(FaultPlan::parse("seed=9,ingest.arrival.delay=1.0").unwrap());
+        let _guard = PlanGuard::install(plan);
+        let mut s = SpoolScanner::new(dir, 3, Duration::from_millis(1));
+        // Round one discovers but defers everything.
+        assert!(s.poll().unwrap().is_empty());
+        assert!(!s.is_quiescent());
+        let events = drain(&mut s);
+        let validated = events
+            .iter()
+            .filter(|e| matches!(e, SpoolEvent::Validated(_)))
+            .count();
+        assert_eq!(validated, 3);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let dir = std::env::temp_dir().join("dassa-spool-backoff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = SpoolScanner::new(dir, 3, Duration::from_millis(10));
+        let name = OsString::from("westSac_170728224510.dasf");
+        let b1 = s.backoff(&name, 1);
+        let b2 = s.backoff(&name, 2);
+        assert_eq!(b1, s.backoff(&name, 1), "same (name, attempt) ⇒ same wait");
+        // Jitter is at most ±25%, the exponent doubles: growth wins
+        // for every hash value, not just lucky ones.
+        assert!(b2 > b1, "{b2:?} should exceed {b1:?}");
+        // Bounds: [0.75, 1.25) × base × 2^attempt.
+        assert!(b1 >= Duration::from_millis(15) && b1 < Duration::from_millis(25));
+    }
+}

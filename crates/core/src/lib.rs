@@ -29,6 +29,14 @@
 //! control, and a blocking [`dassd::Client`] — DAS analytics as a
 //! service rather than a batch run.
 //!
+//! A fourth, [`ingest`], is the streaming half (the `das_ingest`
+//! binary): an always-on daemon that validates minute files as they
+//! land in a spool directory, admits them into an incremental minute
+//! index, and runs a detection job over every completed window — with
+//! a crash-consistent checkpoint journal, watermark/late-file
+//! handling, retry-then-quarantine validation, and bounded in-flight
+//! memory.
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -57,6 +65,7 @@ pub mod dasa;
 pub mod dass;
 pub mod dassd;
 mod error;
+pub mod ingest;
 pub mod prelude;
 
 pub use error::DassaError;

@@ -14,8 +14,8 @@
 pub use crate::DassaError;
 
 // The engines and the server as modules, for qualified paths
-// (`dasa::run`, `dassd::Server::start`, …).
-pub use crate::{dasa, dass, dassd};
+// (`dasa::run`, `dassd::Server::start`, `ingest::run_once`, …).
+pub use crate::{dasa, dass, dassd, ingest};
 
 // DASA — the analysis engine.
 pub use crate::dasa::{
@@ -39,7 +39,11 @@ pub use crate::dass::{
 };
 
 // DASSD — the data server.
-pub use crate::dassd::{ChunkCache, Client, ClientError, Server, ServerConfig};
+pub use crate::dassd::{BusyRetry, ChunkCache, Client, ClientError, Server, ServerConfig};
+
+// Ingest — the streaming daemon. `run`/`run_once` stay qualified
+// (`ingest::run_once`) so they don't collide with `dasa::run`.
+pub use crate::ingest::{Checkpoint, IngestConfig, IngestJob, IngestSummary, MinuteIndex};
 
 // The pipeline language: `dasl::compile("load(…) | …")` → a `Program`
 // that `run` executes.

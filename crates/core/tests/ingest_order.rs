@@ -1,0 +1,150 @@
+//! Property tests for the ingest ordering layer: whatever order —
+//! shuffled, duplicated, gapped — minute files arrive in, the
+//! [`MinuteIndex`] must land in one deterministic state, and its gap
+//! accounting must be the exact complement of what was admitted.
+
+use dassa::ingest::{Admit, MinuteIndex};
+use dassa::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// A fabricated one-minute entry (admission never touches the disk;
+/// only window reads do).
+fn entry_for(minute: u64, tag: &str) -> FileEntry {
+    let ts = Timestamp::from_epoch_minutes(minute);
+    FileEntry {
+        path: PathBuf::from(format!("/spool/{tag}/{}", das_file_name(&ts))),
+        meta: DasFileMeta {
+            sampling_hz: 4,
+            spatial_resolution_m: 2.0,
+            timestamp: ts,
+            channels: 3,
+            samples: 240,
+        },
+    }
+}
+
+/// Seeded Fisher–Yates over the arrival order (the shim's proptest has
+/// no `prop_shuffle`; a splitmix-driven shuffle keeps cases replayable
+/// from their seed).
+fn shuffled(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        order.swap(i, (z % (i as u64 + 1)) as usize);
+    }
+    order
+}
+
+/// Apply `perm` (indices into `minutes`) as the arrival order.
+fn admit_all(minutes: &[u64], perm: &[usize]) -> (MinuteIndex, u64) {
+    let mut index = MinuteIndex::new();
+    let mut duplicates = 0u64;
+    for &i in perm {
+        match index.admit(entry_for(minutes[i], "perm")).expect("admit") {
+            Admit::Admitted => {}
+            Admit::Duplicate => duplicates += 1,
+        }
+    }
+    (index, duplicates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn admitted_order_is_arrival_independent(
+        minutes in proptest::collection::vec(0u64..400, 1..24),
+        seed in any::<u64>(),
+    ) {
+        let perm = shuffled(minutes.len(), seed);
+        let (index, duplicates) = admit_all(&minutes, &perm);
+        let identity: Vec<usize> = (0..minutes.len()).collect();
+        let (in_order, _) = admit_all(&minutes, &identity);
+
+        let unique: BTreeSet<u64> = minutes.iter().copied().collect();
+        let expect: Vec<u64> = unique.iter().copied().collect();
+        prop_assert_eq!(index.minutes().collect::<Vec<_>>(), expect.clone());
+        prop_assert_eq!(in_order.minutes().collect::<Vec<_>>(), expect);
+        prop_assert_eq!(duplicates, (minutes.len() - unique.len()) as u64);
+        prop_assert_eq!(index.base_minute(), unique.first().copied());
+        prop_assert_eq!(index.max_end_minute(), unique.last().map(|m| m + 1));
+    }
+
+    #[test]
+    fn first_writer_wins_under_any_order(
+        minutes in proptest::collection::vec(0u64..200, 1..16),
+        seed in any::<u64>(),
+    ) {
+        // Deliver every minute in permuted order under alternating
+        // tags; whichever path lands first on a minute must still back
+        // it after the dust settles.
+        let perm = shuffled(minutes.len(), seed);
+        let mut index = MinuteIndex::new();
+        let mut first_seen: std::collections::BTreeMap<u64, PathBuf> = Default::default();
+        for (round, &i) in perm.iter().enumerate() {
+            let tag = if round % 2 == 0 { "a" } else { "b" };
+            let e = entry_for(minutes[i], tag);
+            first_seen.entry(minutes[i]).or_insert_with(|| e.path.clone());
+            index.admit(e).expect("admit");
+        }
+        for (minute, path) in &first_seen {
+            prop_assert_eq!(&index.entry_at(*minute).expect("present").path, path);
+        }
+    }
+
+    #[test]
+    fn gap_spans_are_the_exact_complement(
+        minutes in proptest::collection::vec(0u64..400, 1..24),
+        seed in any::<u64>(),
+    ) {
+        let perm = shuffled(minutes.len(), seed);
+        let (index, _) = admit_all(&minutes, &perm);
+        let unique: BTreeSet<u64> = minutes.iter().copied().collect();
+        let lo = *unique.first().expect("non-empty");
+        let hi = *unique.last().expect("non-empty") + 1;
+        // Probe a window wider than the data on both sides.
+        let range = lo.saturating_sub(3)..hi + 3;
+        let spans = index.gap_spans(range.clone());
+
+        // Rebuild coverage from the spans and check it is precisely
+        // the non-admitted minutes, with spans sorted, non-empty, and
+        // non-adjacent (maximal).
+        let mut covered = BTreeSet::new();
+        let mut prev_end = None;
+        for s in &spans {
+            prop_assert!(s.start < s.end, "empty span {:?}", s);
+            if let Some(p) = prev_end {
+                prop_assert!(s.start > p, "spans touch or overlap");
+            }
+            prev_end = Some(s.end);
+            covered.extend(s.clone());
+        }
+        let expect: BTreeSet<u64> = range.filter(|m| !unique.contains(m)).collect();
+        prop_assert_eq!(covered, expect);
+    }
+
+    #[test]
+    fn epoch_minutes_round_trip(minute in 0u64..52_000_000) {
+        // 0..52M covers the full 2000–2099 span the format encodes.
+        let ts = Timestamp::from_epoch_minutes(minute);
+        prop_assert_eq!(ts.epoch_minutes(), minute);
+        // And the compact rendering stays parseable and equal.
+        let reparsed = Timestamp::parse(&ts.to_compact()).expect("compact parses");
+        prop_assert_eq!(reparsed, ts);
+    }
+
+    #[test]
+    fn timestamp_order_matches_minute_order(
+        a in 0u64..52_000_000,
+        b in 0u64..52_000_000,
+    ) {
+        let (ta, tb) = (Timestamp::from_epoch_minutes(a), Timestamp::from_epoch_minutes(b));
+        prop_assert_eq!(a.cmp(&b), ta.cmp(&tb));
+    }
+}

@@ -102,6 +102,27 @@ impl File {
         result
     }
 
+    /// Open and scrub in one step: [`File::open`] followed by
+    /// [`File::verify_all`], failing with the first checksum mismatch.
+    ///
+    /// This is the verify-on-admit entry point for streaming ingest — a
+    /// file only joins the live index after every checksummed unit has
+    /// been re-hashed clean. On v2 files (no checksums) the scrub visits
+    /// nothing and the open succeeds; torn or truncated files fail the
+    /// open itself, so the caller sees exactly one fallible step.
+    pub fn open_verified<P: AsRef<Path>>(path: P) -> Result<File> {
+        let file = Self::open(path)?;
+        let outcome = file.verify_all()?;
+        if let Some(fault) = outcome.mismatches.first() {
+            return Err(DasfError::ChecksumMismatch {
+                path: file.path.display().to_string(),
+                dataset: fault.dataset.clone(),
+                chunk: fault.chunk,
+            });
+        }
+        Ok(file)
+    }
+
     fn open_impl(path: &Path) -> Result<File> {
         crate::faults::check_open(path)?;
         let path = path.to_path_buf();

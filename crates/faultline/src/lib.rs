@@ -79,6 +79,21 @@ pub mod site {
     /// the dasf layer. Key: file index within the VCA — identical for
     /// both read strategies, so quarantine sets agree.
     pub const PAR_READ_FILE: &str = "par_read.file";
+    /// A spool file looks torn (truncated mid-rename) to the ingest
+    /// validator for its first validation attempt(s) — models a writer
+    /// that renamed before its data hit the disk. Key: hash of file
+    /// name; the *number* of torn attempts is drawn with
+    /// [`crate::value_below`], so some files recover under retry and
+    /// some exhaust the budget and quarantine. Deterministic per seed.
+    pub const INGEST_SPOOL_TORN: &str = "ingest.spool.torn";
+    /// A spool file's arrival is delayed: the scanner defers it for a
+    /// bounded number of scan rounds before validating — models slow
+    /// transfer and out-of-order delivery. Key: hash of file name.
+    pub const INGEST_ARRIVAL_DELAY: &str = "ingest.arrival.delay";
+    /// A spool file is delivered twice: after a successful admit the
+    /// scanner re-queues the same path once — models at-least-once
+    /// upstream transports. Key: hash of file name.
+    pub const INGEST_ARRIVAL_DUPLICATE: &str = "ingest.arrival.duplicate";
 
     /// Every site this workspace injects at, for spec validation and
     /// docs.
@@ -93,5 +108,8 @@ pub mod site {
         MINIMPI_RECV_DROP,
         MINIMPI_RECV_DELAY,
         PAR_READ_FILE,
+        INGEST_SPOOL_TORN,
+        INGEST_ARRIVAL_DELAY,
+        INGEST_ARRIVAL_DUPLICATE,
     ];
 }

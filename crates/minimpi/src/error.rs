@@ -76,10 +76,18 @@ impl RetryPolicy {
         }
     }
 
+    /// Largest exponent `base_timeout` is ever shifted by. Without a
+    /// clamp, `1u32 << attempt` is undefined behaviour at `attempt ≥ 32`
+    /// (in release builds the shift wraps, so attempt 32 would wait
+    /// *less* than attempt 0); with it, every attempt past the boundary
+    /// waits the same 2^16 × base — already over a minute at the default
+    /// 25 ms base, i.e. effectively "patience exhausted" territory.
+    pub const MAX_BACKOFF_SHIFT: u32 = 16;
+
     /// The deadline for 0-based attempt `i`.
     pub(crate) fn timeout_for(&self, attempt: u32) -> Option<Duration> {
         self.base_timeout
-            .map(|t| t.saturating_mul(1u32 << attempt.min(16)))
+            .map(|t| t.saturating_mul(1u32 << attempt.min(Self::MAX_BACKOFF_SHIFT)))
     }
 }
 
@@ -102,6 +110,33 @@ mod tests {
         assert_eq!(p.timeout_for(0), Some(Duration::from_millis(10)));
         assert_eq!(p.timeout_for(1), Some(Duration::from_millis(20)));
         assert_eq!(p.timeout_for(2), Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn backoff_clamps_at_shift_boundary() {
+        let p = RetryPolicy::bounded(u32::MAX, Duration::from_millis(10));
+        let at_boundary = p.timeout_for(RetryPolicy::MAX_BACKOFF_SHIFT).unwrap();
+        // The shift stops growing exactly at the boundary…
+        assert_eq!(
+            at_boundary,
+            Duration::from_millis(10) * (1 << RetryPolicy::MAX_BACKOFF_SHIFT)
+        );
+        // …and every later attempt (including ones that would shift the
+        // multiplier clean out of u32) waits the same clamped deadline.
+        assert_eq!(
+            p.timeout_for(RetryPolicy::MAX_BACKOFF_SHIFT + 1),
+            Some(at_boundary)
+        );
+        assert_eq!(p.timeout_for(31), Some(at_boundary));
+        assert_eq!(p.timeout_for(32), Some(at_boundary));
+        assert_eq!(p.timeout_for(u32::MAX), Some(at_boundary));
+    }
+
+    #[test]
+    fn backoff_saturates_huge_base() {
+        // A base near Duration::MAX must saturate, not overflow.
+        let p = RetryPolicy::bounded(4, Duration::MAX - Duration::from_secs(1));
+        assert_eq!(p.timeout_for(u32::MAX), Some(Duration::MAX));
     }
 
     #[test]

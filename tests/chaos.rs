@@ -554,6 +554,8 @@ fn dassd_serves_typed_errors_and_survives_every_seed() {
 /// assertions above can't see) also fails the gate. Without the env
 /// var this test is a no-op.
 #[test]
+// `[0..FILES]` really is a one-stage run list, not a collect typo.
+#[allow(clippy::single_range_in_vec_init)]
 fn emit_outcome_digest_for_ci() {
     let Some(path) = std::env::var_os("DASSA_CHAOS_DIGEST") else {
         return;
@@ -578,8 +580,162 @@ fn emit_outcome_digest_for_ci() {
         for line in dassd_chaos_outcomes(&dir, seed) {
             out.push_str(&format!("seed={seed:#x} dassd {line}\n"));
         }
+        for line in ingest_chaos_outcomes(&format!("digest-{seed:x}"), seed, &[0..FILES]) {
+            out.push_str(&format!("seed={seed:#x} ingest {line}\n"));
+        }
     }
     std::fs::write(&path, out).expect("write digest");
+}
+
+/// The fault plan an ingest chaos run installs: arrival disorder
+/// (torn spool renames that heal under retry, deferred discovery,
+/// double delivery) on the new `ingest.*` sites, plus the two dasf
+/// read failure modes so validation-time scrubbing quarantines. All
+/// sites are file-name keyed: which files misbehave — and how often —
+/// is a pure function of the seed.
+fn ingest_chaos_plan(seed: u64) -> Arc<FaultPlan> {
+    Arc::new(
+        FaultPlan::new(seed)
+            .with(site::INGEST_SPOOL_TORN, 0.35)
+            .with(site::INGEST_ARRIVAL_DELAY, 0.35)
+            .with(site::INGEST_ARRIVAL_DUPLICATE, 0.3)
+            .with(site::DASF_READ_ERR, 0.15)
+            .with(site::DASF_READ_CORRUPT, 0.2),
+    )
+}
+
+/// One ingest chaos run, staged: for each range in `stages`, copy that
+/// slice of the (sorted) source corpus into the spool and drain it
+/// with `ingest::run_once` under `seed`'s plan — so `&[0..6]` is an
+/// uninterrupted run and `&[0..3, 3..6]` is a stop-and-resume. Returns
+/// one outcome line per stage summary, per source file's final
+/// location, and per emitted window report (name + FNV digest of its
+/// exact bytes).
+fn ingest_chaos_outcomes(tag: &str, seed: u64, stages: &[std::ops::Range<usize>]) -> Vec<String> {
+    use dassa::ingest::{run_once, IngestConfig};
+    let src = dataset(&format!("ingest-src-{tag}"));
+    let mut names: Vec<String> = std::fs::read_dir(&src)
+        .expect("src")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".dasf"))
+        .collect();
+    names.sort();
+
+    let spool = std::env::temp_dir().join(format!("dassa-chaos-ingest-spool-{tag}"));
+    let out = std::env::temp_dir().join(format!("dassa-chaos-ingest-out-{tag}"));
+    let _ = std::fs::remove_dir_all(&spool);
+    let _ = std::fs::remove_dir_all(&out);
+    std::fs::create_dir_all(&spool).expect("spool");
+
+    let mut cfg = IngestConfig::new(&spool, &out);
+    cfg.window_minutes = 2;
+    cfg.threads = 1;
+    cfg.max_attempts = 3;
+    cfg.base_backoff = std::time::Duration::from_millis(1);
+    cfg.poll = std::time::Duration::from_millis(1);
+
+    // Thread-local install: validation and window reads both happen on
+    // this thread (the daemon keeps faulted I/O off the evaluator).
+    let _guard = faultline::PlanGuard::install(ingest_chaos_plan(seed));
+    let mut lines = Vec::new();
+    for stage in stages {
+        for n in &names[stage.clone()] {
+            std::fs::copy(src.join(n), spool.join(n)).expect("stage file");
+        }
+        let s = run_once(&cfg).expect("ingest run");
+        lines.push(format!(
+            "stage={stage:?} admitted={} late={} dup={} quar={} emitted={} skipped={} gaps={}",
+            s.admitted,
+            s.late,
+            s.duplicate,
+            s.quarantined,
+            s.windows_emitted,
+            s.windows_skipped,
+            s.gap_samples
+        ));
+    }
+    for n in &names {
+        let loc = ["", "ingest.late", "ingest.duplicate", "ingest.quarantine"]
+            .iter()
+            .find(|d| spool.join(d).join(n).exists())
+            .map(|d| if d.is_empty() { "spool" } else { d })
+            .unwrap_or("gone");
+        lines.push(format!("file={n}:{loc}"));
+    }
+    let mut reports: Vec<String> = std::fs::read_dir(&out)
+        .expect("out")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("window_") && n.ends_with(".json"))
+        .collect();
+    reports.sort();
+    for r in &reports {
+        let bytes = std::fs::read(out.join(r)).expect("report bytes");
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        lines.push(format!("report={r}:{h:016x}"));
+    }
+    lines
+}
+
+/// Ingest under arrival + integrity chaos: the same seed must produce
+/// the same admissions, the same retirements, the same quarantines,
+/// and byte-identical window reports, every time.
+#[test]
+// `[0..FILES]` really is a one-stage run list, not a collect typo.
+#[allow(clippy::single_range_in_vec_init)]
+fn ingest_chaos_is_deterministic_per_seed() {
+    let mut emitted_total = 0usize;
+    let mut quarantined_total = 0usize;
+    for seed in seed_matrix() {
+        let a = ingest_chaos_outcomes(&format!("det-a-{seed:x}"), seed, &[0..FILES]);
+        let b = ingest_chaos_outcomes(&format!("det-b-{seed:x}"), seed, &[0..FILES]);
+        assert_eq!(a, b, "seed {seed}: ingest outcomes must be byte-identical");
+        emitted_total += a.iter().filter(|l| l.starts_with("report=")).count();
+        quarantined_total += a
+            .iter()
+            .filter(|l| l.ends_with(":ingest.quarantine"))
+            .count();
+    }
+    assert!(
+        emitted_total > 0,
+        "the seed matrix must emit at least one window"
+    );
+    assert!(
+        quarantined_total > 0,
+        "the seed matrix must quarantine at least one file"
+    );
+}
+
+/// Stop-and-resume under chaos: draining the corpus in two stages
+/// (checkpoint journal in between) must emit the *same window reports,
+/// byte for byte* as one uninterrupted drain — no lost windows, no
+/// duplicates, no drift in gap accounting.
+#[test]
+// `[0..FILES]` really is a one-stage run list, not a collect typo.
+#[allow(clippy::single_range_in_vec_init)]
+fn ingest_resume_matches_uninterrupted_run_per_seed() {
+    for seed in seed_matrix() {
+        let full = ingest_chaos_outcomes(&format!("resume-full-{seed:x}"), seed, &[0..FILES]);
+        let staged = ingest_chaos_outcomes(
+            &format!("resume-staged-{seed:x}"),
+            seed,
+            &[0..FILES / 2, FILES / 2..FILES],
+        );
+        let reports = |lines: &[String]| -> Vec<String> {
+            lines
+                .iter()
+                .filter(|l| l.starts_with("report="))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(
+            reports(&full),
+            reports(&staged),
+            "seed {seed}: resumed union must equal the uninterrupted run"
+        );
+    }
 }
 
 #[test]
