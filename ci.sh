@@ -344,6 +344,103 @@ if [[ $quick -eq 0 ]]; then
         }
     done
     echo "    report union byte-identical across kill/resume ($(echo "$a_reports" | wc -l) windows)"
+
+    # Telemetry gate: liveness probes, windowed rates, and the panic
+    # flight recorder. Three claims, each checked with the real
+    # binaries: Health answers with a nonzero uptime; a request burst
+    # shows up as a nonzero *windowed rate* in MetricsSeries (das_top
+    # derives req/s from snapshot deltas, not cumulative counters); and
+    # an injected panic produces a well-formed flight record.
+    echo "==> telemetry: health + rate series + flight recorder gate"
+    tele_dir="$(mktemp -d)"
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir" "$dasl_dir" "$dassd_dir" "$ingest_dir" "$tele_dir"' EXIT
+    target/release/das_gen -d "$tele_dir/corpus" -c 8 -r 50 -m 3 >/dev/null
+    target/release/das_serve -d "$tele_dir/corpus" --workers 2 --queue 4 \
+        >"$tele_dir/serve.log" 2>/dev/null &
+    tele_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q '^dassd listening on ' "$tele_dir/serve.log" && break
+        sleep 0.1
+    done
+    tele_addr="$(sed -n 's/^dassd listening on //p' "$tele_dir/serve.log" | head -1)"
+    [[ -n "$tele_addr" ]] || { echo "telemetry: server never announced" >&2; exit 1; }
+    sleep 0.3
+    health="$(target/release/das_query --addr "$tele_addr" --health)"
+    echo "    $health"
+    uptime=$(grep -oE 'uptime_ms=[0-9]+' <<<"$health" | head -1 | cut -d= -f2)
+    if [[ -z "${uptime:-}" || "$uptime" -le 0 ]]; then
+        echo "telemetry: Health reported no uptime" >&2
+        exit 1
+    fi
+    grep -qE 'component=dassd version=[0-9]' <<<"$health" || {
+        echo "telemetry: Health is not self-describing" >&2
+        exit 1
+    }
+    # Poll, burst, poll: the second frame's peak windowed rate must be
+    # nonzero — cumulative counters would not move a *rate* without a
+    # fresh delta window covering the burst.
+    target/release/das_top --addr "$tele_addr" --once >/dev/null
+    target/release/das_query --addr "$tele_addr" --read-all --burst 8 >/dev/null
+    top_line="$(target/release/das_top --addr "$tele_addr" --once | tail -1)"
+    echo "    $top_line"
+    peak=$(grep -oE 'req_per_sec_peak=[0-9]+\.[0-9]+' <<<"$top_line" | cut -d= -f2)
+    if [[ -z "${peak:-}" || "$peak" == "0.000" ]]; then
+        echo "telemetry: burst not visible as a windowed request rate" >&2
+        exit 1
+    fi
+    target/release/das_query --addr "$tele_addr" --shutdown >/dev/null
+    wait "$tele_pid" || { echo "telemetry: das_serve exited nonzero" >&2; exit 1; }
+
+    # Ingest answers the same probes on its local socket, and SIGTERM
+    # shuts the loop down cleanly, still emitting the metrics snapshot.
+    mkdir -p "$tele_dir/spool"
+    cp "$tele_dir/corpus"/*.dasf "$tele_dir/spool/"
+    target/release/das_ingest --spool "$tele_dir/spool" --out "$tele_dir/win" \
+        --window 1 --poll-ms 20 --probe-addr 127.0.0.1:0 \
+        --metrics="$tele_dir/ingest_m.json" >"$tele_dir/ingest.log" 2>/dev/null &
+    probe_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q '^das_ingest probe listening on ' "$tele_dir/ingest.log" && break
+        sleep 0.1
+    done
+    probe_addr="$(sed -n 's/^das_ingest probe listening on //p' "$tele_dir/ingest.log" | head -1)"
+    [[ -n "$probe_addr" ]] || { echo "telemetry: ingest probe never announced" >&2; exit 1; }
+    probe_health="$(target/release/das_query --addr "$probe_addr" --health)"
+    echo "    $probe_health"
+    grep -q 'component=das_ingest' <<<"$probe_health" || {
+        echo "telemetry: ingest probe Health misidentified itself" >&2
+        exit 1
+    }
+    kill -TERM "$probe_pid"
+    wait "$probe_pid" || { echo "telemetry: SIGTERM was not a clean shutdown" >&2; exit 1; }
+    grep -qF '"component":"das_ingest"' "$tele_dir/ingest_m.json" || {
+        echo "telemetry: no metrics snapshot after SIGTERM" >&2
+        exit 1
+    }
+
+    # Injected panic in a child thread: the process must die nonzero
+    # and leave a parseable flight record carrying the metrics
+    # snapshot, the log tail, and the trace tail.
+    if target/release/das_serve -d "$tele_dir/corpus" \
+        --flight "$tele_dir/flight.json" --inject-panic-ms 300 \
+        >/dev/null 2>"$tele_dir/panic.log"; then
+        echo "telemetry: injected panic exited 0" >&2
+        exit 1
+    fi
+    [[ -f "$tele_dir/flight.json" ]] || {
+        echo "telemetry: no flight record after injected panic" >&2
+        cat "$tele_dir/panic.log" >&2
+        exit 1
+    }
+    for want in '"component":"dassd"' '"reason":"panic at ' \
+        '"metrics":' '"log_tail":' '"trace_tail":'; do
+        grep -qF "$want" "$tele_dir/flight.json" || {
+            echo "telemetry: flight record missing $want:" >&2
+            cat "$tele_dir/flight.json" >&2
+            exit 1
+        }
+    done
+    echo "    uptime_ms=$uptime, burst peak=$peak req/s, flight record well-formed"
 fi
 
 echo "==> CI green"

@@ -15,21 +15,58 @@
 //! from the last committed window without re-emitting anything.
 //!
 //! `--once` drains the spool and exits (the staged/CI mode); without
-//! it the loop runs until SIGINT-less environments kill it (use
-//! `--once` in scripts). Exit status: 0 success, 1 runtime failure,
+//! it the loop runs until SIGTERM/SIGINT (handled: the loop finishes
+//! the current round, then exits cleanly, emitting `--metrics` if
+//! asked) or a hard kill. Exit status: 0 success, 1 runtime failure,
 //! 2 usage errors.
+//!
+//! Telemetry: `--probe-addr 127.0.0.1:0` opens a local diagnostics
+//! socket answering the `dassd` protocol's `Ping`/`Health`/`Metrics`/
+//! `MetricsSeries` probes (so `das_query --health` and `das_top` work
+//! against ingest too), `--flight <file>` installs the panic flight
+//! recorder, and structured log records go to stderr (`DASSA_LOG`
+//! filters, `DASSA_LOG_FORMAT=json` switches format).
 
-use dassa::ingest::{run, run_once, IngestConfig, IngestJob};
+use dassa::ingest::{run, run_once, IngestConfig, IngestJob, Probe};
 use dassa::prelude::*;
 use std::process::ExitCode;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Set by the signal handler; checked by the always-on loop each round.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    /// Install SIGINT/SIGTERM handlers that flip [`super::STOP`]. Raw
+    /// `signal(2)` through the already-linked libc — no new crates.
+    /// The handler body is a single atomic store, which is
+    /// async-signal-safe.
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_signal(_sig: i32) {
+            super::STOP.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
 
 struct Args {
     cfg: IngestConfig,
     once: bool,
     metrics: Option<Option<String>>,
     fault_plan: Option<faultline::FaultPlan>,
+    probe_addr: Option<String>,
+    flight: Option<String>,
+    sample_ms: u64,
 }
 
 fn usage() -> ! {
@@ -50,6 +87,10 @@ fn usage() -> ! {
          \x20                        local_similarity, stacking\n\
          \x20 --eval '<program>'     run a dasl program per window instead of --job\n\
          \x20 --metrics[=<file>]     dump the obs registry on exit (stderr or file)\n\
+         \x20 --probe-addr <addr>    serve Ping/Health/Metrics/MetricsSeries probes locally\n\
+         \x20                        (e.g. 127.0.0.1:0; the bound address is printed)\n\
+         \x20 --flight <file>        install the panic flight recorder, dumping here\n\
+         \x20 --sample-ms <ms>       metrics sampler cadence for MetricsSeries (default 500)\n\
          \x20 --fault-plan <spec>    seeded fault injection, e.g. 'seed=7,ingest.spool.torn=0.3'\n\
          \n\
          Exits 0 success / 1 failure / 2 usage."
@@ -72,6 +113,9 @@ fn parse_args() -> Args {
     let mut inflight = 4usize;
     let mut threads = 2usize;
     let mut job: Option<IngestJob> = None;
+    let mut probe_addr: Option<String> = None;
+    let mut flight: Option<String> = None;
+    let mut sample_ms = 500u64;
 
     fn numeric<T: std::str::FromStr>(flag: &str, v: &str) -> T {
         v.parse().unwrap_or_else(|_| {
@@ -125,6 +169,9 @@ fn parse_args() -> Args {
                 }
             }
             "--metrics" => metrics = Some(None),
+            "--probe-addr" => probe_addr = Some(value("--probe-addr")),
+            "--flight" => flight = Some(value("--flight")),
+            "--sample-ms" => sample_ms = numeric("--sample-ms", &value("--sample-ms")),
             "--fault-plan" => {
                 let spec = value("--fault-plan");
                 match faultline::FaultPlan::parse(&spec) {
@@ -176,6 +223,9 @@ fn parse_args() -> Args {
         once,
         metrics,
         fault_plan,
+        probe_addr,
+        flight,
+        sample_ms,
     }
 }
 
@@ -184,8 +234,15 @@ fn emit_metrics(dest: &Option<String>) -> std::io::Result<()> {
     match dest {
         None => eprint!("{}", snap.render_text()),
         Some(path) => {
-            std::fs::write(path, snap.to_json())?;
-            eprintln!("metrics written to {path}");
+            let json = snap.to_json_tagged(
+                &[
+                    ("component", "das_ingest"),
+                    ("version", env!("CARGO_PKG_VERSION")),
+                ],
+                &[],
+            );
+            std::fs::write(path, json)?;
+            obs::log_info!("ingest", "metrics written to {path}");
         }
     }
     Ok(())
@@ -197,19 +254,61 @@ fn main() -> ExitCode {
         // Process-wide, so validation and window reads both feel it.
         faultline::install_global(std::sync::Arc::new(plan.clone()));
     }
+    if let Some(path) = &args.flight {
+        obs::flight::install(obs::flight::FlightConfig::new(
+            path,
+            Arc::clone(obs::global()),
+            "das_ingest",
+        ));
+        obs::log_info!("ingest", "flight recorder armed, dumps to {path}");
+    }
+    // The sampler feeds `MetricsSeries` on the probe socket; it also
+    // runs without one so a final `--metrics` snapshot has rate
+    // context in the flight record.
+    let sampler = Arc::new(obs::Sampler::start(
+        Arc::clone(obs::global()),
+        Duration::from_millis(args.sample_ms.max(1)),
+        120,
+    ));
+    let _probe = match &args.probe_addr {
+        Some(addr) => match Probe::start(
+            addr,
+            Arc::clone(&sampler),
+            args.cfg.threads as u64,
+            args.cfg.max_inflight as u64,
+        ) {
+            Ok(probe) => {
+                // Scripts wait for this stdout line to learn the port.
+                println!("das_ingest probe listening on {}", probe.addr());
+                use std::io::Write;
+                std::io::stdout().flush().ok();
+                Some(probe)
+            }
+            Err(e) => {
+                eprintln!("das_ingest: binding probe {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let result = if args.once {
         run_once(&args.cfg)
     } else {
-        // No signal handling without external crates: the always-on
-        // loop runs until the process is killed. Every externally
-        // visible effect is atomic, so a hard kill is always safe.
-        static STOP: AtomicBool = AtomicBool::new(false);
+        // The always-on loop: SIGINT/SIGTERM set STOP, the loop
+        // finishes its round and returns. Every externally visible
+        // effect is atomic, so a hard kill is also always safe.
+        #[cfg(unix)]
+        sig::install();
         run(&args.cfg, &STOP)
     };
     let code = match &result {
         Ok(summary) => {
-            eprintln!(
-                "# ingest: {} admitted, {} late, {} duplicate, {} quarantined, \
+            if STOP.load(Ordering::Relaxed) {
+                obs::log_info!("ingest", "stop signal received; shutting down cleanly");
+            }
+            obs::log_info!(
+                "ingest",
+                "{} admitted, {} late, {} duplicate, {} quarantined, \
                  {} window(s) emitted, {} skipped, {} gap sample(s)",
                 summary.admitted,
                 summary.late,
@@ -222,13 +321,22 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("das_ingest: {e}");
+            obs::log_error!("ingest", "fatal: {e}");
+            // A fatal error is flight-record worthy even without a
+            // panic: same postmortem file, same layout.
+            if obs::flight::installed() {
+                match obs::flight::dump(&format!("fatal error: {e}")) {
+                    Ok(p) => obs::log_info!("ingest", "flight record at {}", p.display()),
+                    Err(de) => obs::log_warn!("ingest", "flight dump failed: {de}"),
+                }
+            }
             ExitCode::FAILURE
         }
     };
+    sampler.sample_now();
     if let Some(dest) = &args.metrics {
         if let Err(e) = emit_metrics(dest) {
-            eprintln!("das_ingest: writing metrics failed: {e}");
+            obs::log_error!("ingest", "writing metrics failed: {e}");
             return ExitCode::FAILURE;
         }
     }

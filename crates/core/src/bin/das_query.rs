@@ -4,7 +4,8 @@
 //! das_query --addr <host:port> --eval '<dasl pipeline>'
 //! das_query --addr <host:port> --read <ch0>..<ch1>:<t0>..<t1>
 //! das_query --addr <host:port> --read-all
-//! das_query --addr <host:port> --metrics | --ping | --shutdown
+//! das_query --addr <host:port> --metrics | --series | --health
+//! das_query --addr <host:port> --ping | --shutdown
 //! das_query --addr <host:port> --read-all --burst <n>
 //! ```
 //!
@@ -38,6 +39,8 @@ enum Action {
     Read { ch: (u64, u64), t: (u64, u64) },
     ReadAll,
     Metrics,
+    Series,
+    Health,
     Ping,
     Shutdown,
 }
@@ -57,6 +60,8 @@ fn usage() -> ! {
          \u{20} --read <c0>..<c1>:<t0>..<t1>     stream a channel x sample window\n\
          \u{20} --read-all                       stream the whole corpus\n\
          \u{20} --metrics                        print the server metrics JSON\n\
+         \u{20} --series                         print the windowed rate-series JSON\n\
+         \u{20} --health                         print the liveness/occupancy summary\n\
          \u{20} --ping                           liveness probe\n\
          \u{20} --shutdown                       ask the server to exit\n\
          options:\n\
@@ -120,6 +125,8 @@ fn parse_args() -> Args {
             }
             "--read-all" => set(Action::ReadAll, &mut action),
             "--metrics" => set(Action::Metrics, &mut action),
+            "--series" => set(Action::Series, &mut action),
+            "--health" => set(Action::Health, &mut action),
             "--ping" => set(Action::Ping, &mut action),
             "--shutdown" => set(Action::Shutdown, &mut action),
             "--burst" => {
@@ -210,6 +217,33 @@ fn run_once(addr: &str, action: &Action, quiet: bool) -> Result<(), ClientError>
             let json = client.metrics_json()?;
             if !quiet {
                 println!("{json}");
+            }
+        }
+        Action::Series => {
+            let json = client.metrics_series_json()?;
+            if !quiet {
+                println!("{json}");
+            }
+        }
+        Action::Health => {
+            let h = client.health()?;
+            if !quiet {
+                // One stable machine-greppable line per field group.
+                println!(
+                    "health: component={} version={} uptime_ms={} workers={}/{} \
+                     queue={}/{} cache_bytes={}/{} requests_total={} last_error={:?}",
+                    h.component,
+                    h.version,
+                    h.uptime_ms,
+                    h.workers_busy,
+                    h.workers,
+                    h.queue_len,
+                    h.queue_cap,
+                    h.cache_resident_bytes,
+                    h.cache_capacity_bytes,
+                    h.requests_total,
+                    h.last_error
+                );
             }
         }
         Action::Ping => {

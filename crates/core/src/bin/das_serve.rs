@@ -20,16 +20,26 @@
 //! rejected with a typed `Busy` response. `--cache-bytes` caps the
 //! shared chunk cache. `--fault-plan` installs a deterministic
 //! `faultline` plan in every worker (chaos testing).
+//!
+//! Telemetry: `--flight <file>` installs the panic flight recorder
+//! (trace tail + log tail + final metrics snapshot, dumped atomically
+//! on panic); `--inject-panic-ms <n>` panics a background thread after
+//! `n` milliseconds — the CI hook proving the recorder fires. Health
+//! and windowed-rate probes are served in-protocol (`das_query
+//! --health`, `das_top`).
 
 use dassa::dassd::{Server, ServerConfig};
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     dir: String,
     cfg: ServerConfig,
     /// `None` = text to stderr, `Some(p)` = JSON to `p`.
     metrics_out: Option<String>,
+    flight: Option<String>,
+    inject_panic_ms: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -37,7 +47,8 @@ fn usage() -> ! {
         "usage: das_serve -d <corpus> [--addr <host:port>=127.0.0.1:0]\n\
          \u{20}                 [--workers <n>=4] [--queue <n>=8]\n\
          \u{20}                 [--cache-bytes <n>=67108864] [--threads <n>=1]\n\
-         \u{20}                 [--metrics=<out.json>]\n\
+         \u{20}                 [--metrics=<out.json>] [--flight <file>]\n\
+         \u{20}                 [--inject-panic-ms <n>]\n\
          \u{20}                 [--fault-plan <seed=N,site=rate,...>]"
     );
     std::process::exit(2);
@@ -53,6 +64,8 @@ fn parse_args() -> Args {
         dir: String::new(),
         cfg: ServerConfig::default(),
         metrics_out: None,
+        flight: None,
+        inject_panic_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -92,6 +105,10 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|e| invalid(&format!("--fault-plan {spec:?}: {e}")));
                 args.cfg.fault_plan = Some(std::sync::Arc::new(plan));
             }
+            "--flight" => args.flight = Some(value("--flight")),
+            "--inject-panic-ms" => {
+                args.inject_panic_ms = Some(parse("--inject-panic-ms", value("--inject-panic-ms")));
+            }
             other => {
                 if let Some(path) = other.strip_prefix("--metrics=") {
                     args.metrics_out = Some(path.to_string());
@@ -112,10 +129,34 @@ fn main() -> ExitCode {
     let server = match Server::start(args.dir.as_ref(), args.cfg) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("das_serve: {e}");
+            obs::log_error!("dassd", "startup failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.flight {
+        // The server's registry (a child of the global one) carries
+        // the dassd.* counters and the trace ring the postmortem wants.
+        obs::flight::install(obs::flight::FlightConfig::new(
+            path,
+            Arc::clone(server.registry()),
+            "dassd",
+        ));
+        obs::log_info!("dassd", "flight recorder armed, dumps to {path}");
+    }
+    if let Some(ms) = args.inject_panic_ms {
+        // CI hook: panic a background thread after `ms` milliseconds.
+        // The panic hook (the flight recorder, when armed) runs during
+        // the unwind; once it has finished — join observes the Err —
+        // the process exits nonzero, like an uncaught crash would.
+        std::thread::spawn(move || {
+            let victim = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                panic!("injected panic for flight-recorder testing after {ms} ms");
+            });
+            let _ = victim.join();
+            std::process::exit(101);
+        });
+    }
     println!("dassd listening on {}", server.addr());
     std::io::stdout().flush().ok();
 
@@ -124,11 +165,11 @@ fn main() -> ExitCode {
         None => eprint!("{}", snapshot.render_text()),
         Some(path) => {
             if let Err(e) = std::fs::write(path, snapshot.to_json()) {
-                eprintln!("das_serve: writing {path}: {e}");
+                obs::log_error!("dassd", "writing {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    eprintln!("das_serve: clean shutdown");
+    obs::log_info!("dassd", "clean shutdown");
     ExitCode::SUCCESS
 }

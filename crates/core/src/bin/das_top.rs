@@ -1,0 +1,273 @@
+//! `das_top` — live telemetry viewer for the daemons.
+//!
+//! ```text
+//! das_top --addr <host:port>                  # refresh every second
+//! das_top --addr <host:port> --interval-ms 250
+//! das_top --addr <host:port> --once           # one frame, for scripts
+//! ```
+//!
+//! Polls the `Health` and `MetricsSeries` endpoints (served by both
+//! `das_serve` and the `das_ingest --probe-addr` socket) and renders a
+//! rate table: requests/s, busy rejections/s, bytes/s, cache hit
+//! ratio, read p99 latency, and the ingest watermark lag. Every rate
+//! comes from the daemon's windowed series — deltas between registry
+//! snapshots — never from dividing a cumulative counter by uptime, so
+//! the numbers move when the daemon does.
+//!
+//! Each frame ends with one machine-greppable line:
+//!
+//! ```text
+//! series: windows=<n> dt_ms=<ms> req_per_sec=<r> req_per_sec_peak=<p> \
+//! busy_per_sec=<b> cache_hit_pct=<c> read_p99_ns=<ns> watermark_lag=<w>
+//! ```
+//!
+//! `req_per_sec` is the latest window's rate; `req_per_sec_peak` is the
+//! highest window retained in the ring (what a burst shows even if it
+//! landed a window or two ago). Exit status: 0, or 1 when the daemon
+//! is unreachable.
+
+use dassa::dassd::{Client, HealthInfo};
+use obs::json::JsonValue;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    interval: Duration,
+    /// 0 = run until killed.
+    iterations: u64,
+    /// Skip the ANSI clear between frames (implied by `--once`).
+    plain: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: das_top --addr <host:port> [--interval-ms <n>=1000]\n\
+         \u{20}              [--iterations <n>=0 (forever)] [--once] [--plain]"
+    );
+    std::process::exit(2);
+}
+
+fn invalid(msg: &str) -> ! {
+    eprintln!("das_top: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        interval: Duration::from_millis(1000),
+        iterations: 0,
+        plain: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| invalid(&format!("missing value for {name}")))
+        };
+        let parse = |name: &str, raw: String| -> u64 {
+            raw.parse()
+                .unwrap_or_else(|_| invalid(&format!("{name} wants a number, got {raw:?}")))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--interval-ms" => {
+                args.interval =
+                    Duration::from_millis(parse("--interval-ms", value("--interval-ms")).max(50));
+            }
+            "--iterations" => args.iterations = parse("--iterations", value("--iterations")),
+            "--once" => {
+                args.iterations = 1;
+                args.plain = true;
+            }
+            "--plain" => args.plain = true,
+            _ => usage(),
+        }
+    }
+    if args.addr.is_empty() {
+        invalid("--addr is required");
+    }
+    args
+}
+
+/// One parsed series window: rates in milli-units/sec, gauge levels,
+/// and histogram quantiles.
+#[derive(Default)]
+struct Window {
+    dt_ms: u64,
+    rates_milli: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    /// `name -> (count, p99)`.
+    histograms: BTreeMap<String, (u64, u64)>,
+}
+
+fn num(map: &BTreeMap<String, JsonValue>, key: &str) -> u64 {
+    match map.get(key) {
+        Some(JsonValue::Number(n)) => *n,
+        _ => 0,
+    }
+}
+
+fn num_map(map: &BTreeMap<String, JsonValue>, key: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    if let Some(JsonValue::Object(inner)) = map.get(key) {
+        for (k, v) in inner {
+            if let JsonValue::Number(n) = v {
+                out.insert(k.clone(), *n);
+            }
+        }
+    }
+    out
+}
+
+/// Parse the `SeriesRing` export into windows (oldest first).
+fn parse_series(json: &str) -> Result<Vec<Window>, String> {
+    let JsonValue::Object(top) = obs::json::parse(json).map_err(|e| e.to_string())? else {
+        return Err("series export is not an object".into());
+    };
+    let Some(JsonValue::Array(windows)) = top.get("windows") else {
+        return Err("series export has no windows array".into());
+    };
+    let mut out = Vec::with_capacity(windows.len());
+    for w in windows {
+        let JsonValue::Object(map) = w else {
+            return Err("series window is not an object".into());
+        };
+        let mut win = Window {
+            dt_ms: num(map, "t1_ms").saturating_sub(num(map, "t0_ms")),
+            rates_milli: num_map(map, "rates_milli_per_sec"),
+            gauges: num_map(map, "gauges"),
+            histograms: BTreeMap::new(),
+        };
+        if let Some(JsonValue::Object(hists)) = map.get("histograms") {
+            for (name, h) in hists {
+                if let JsonValue::Object(fields) = h {
+                    win.histograms
+                        .insert(name.clone(), (num(fields, "count"), num(fields, "p99")));
+                }
+            }
+        }
+        out.push(win);
+    }
+    Ok(out)
+}
+
+/// Sum of all `*.requests` counter rates in a window — endpoint
+/// traffic, whichever daemon is answering.
+fn req_rate_milli(w: &Window) -> u64 {
+    w.rates_milli
+        .iter()
+        .filter(|(k, _)| k.ends_with(".requests"))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// Render a milli-units/sec rate as a decimal string.
+fn fmt_rate(milli: u64) -> String {
+    format!("{}.{:03}", milli / 1000, milli % 1000)
+}
+
+/// Cache hit percentage over one window's traffic; `None` when idle.
+fn cache_hit_pct(w: &Window) -> Option<u64> {
+    let hit = w.rates_milli.get("cache.hit").copied().unwrap_or(0);
+    let miss = w.rates_milli.get("cache.miss").copied().unwrap_or(0);
+    (hit * 100).checked_div(hit + miss)
+}
+
+fn render_frame(health: &HealthInfo, windows: &[Window], plain: bool) {
+    let latest = windows.last();
+    let req_milli = latest.map_or(0, req_rate_milli);
+    let peak_milli = windows.iter().map(req_rate_milli).max().unwrap_or(0);
+    let busy_milli = latest.map_or(0, |w| w.rates_milli.get("dassd.busy").copied().unwrap_or(0));
+    let bytes_milli = latest.map_or(0, |w| {
+        w.rates_milli
+            .get("dassd.bytes_served")
+            .copied()
+            .unwrap_or(0)
+    });
+    let hit_pct = latest.and_then(cache_hit_pct);
+    let read_p99 = latest
+        .and_then(|w| w.histograms.get("dassd.read.ns"))
+        .filter(|(count, _)| *count > 0)
+        .map_or(0, |(_, p99)| *p99);
+    let lag = latest.map_or(0, |w| {
+        w.gauges.get("ingest.watermark_lag").copied().unwrap_or(0)
+    });
+    let dt_ms = latest.map_or(0, |w| w.dt_ms);
+
+    if !plain {
+        // Clear screen + home: a live refreshing table.
+        print!("\x1b[2J\x1b[H");
+    }
+    println!(
+        "das_top — {} v{}  up {:.1}s  workers {}/{}  queue {}/{}",
+        health.component,
+        health.version,
+        health.uptime_ms as f64 / 1000.0,
+        health.workers_busy,
+        health.workers,
+        health.queue_len,
+        health.queue_cap,
+    );
+    println!(
+        "  req/s        {:>12}   (peak {} over {} window(s))",
+        fmt_rate(req_milli),
+        fmt_rate(peak_milli),
+        windows.len()
+    );
+    println!("  busy/s       {:>12}", fmt_rate(busy_milli));
+    println!("  bytes/s      {:>12}", fmt_rate(bytes_milli));
+    match hit_pct {
+        Some(pct) => println!("  cache hit    {pct:>11}%"),
+        None => println!("  cache hit    {:>12}", "-"),
+    }
+    println!("  read p99 ns  {read_p99:>12}");
+    println!("  wmark lag    {lag:>12}");
+    if health.cache_capacity_bytes > 0 {
+        println!(
+            "  cache bytes  {:>12} / {}",
+            health.cache_resident_bytes, health.cache_capacity_bytes
+        );
+    }
+    if !health.last_error.is_empty() {
+        println!("  last error   {}", health.last_error);
+    }
+    println!(
+        "series: windows={} dt_ms={} req_per_sec={} req_per_sec_peak={} \
+         busy_per_sec={} cache_hit_pct={} read_p99_ns={} watermark_lag={}",
+        windows.len(),
+        dt_ms,
+        fmt_rate(req_milli),
+        fmt_rate(peak_milli),
+        fmt_rate(busy_milli),
+        hit_pct.map_or_else(|| "-".into(), |p| p.to_string()),
+        read_p99,
+        lag
+    );
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut tick = 0u64;
+    loop {
+        let frame = (|| -> Result<(), String> {
+            let mut client = Client::connect(args.addr.as_str()).map_err(|e| e.to_string())?;
+            let health = client.health().map_err(|e| e.to_string())?;
+            let series = client.metrics_series_json().map_err(|e| e.to_string())?;
+            let windows = parse_series(&series)?;
+            render_frame(&health, &windows, args.plain);
+            Ok(())
+        })();
+        if let Err(e) = frame {
+            eprintln!("das_top: {e}");
+            return ExitCode::FAILURE;
+        }
+        tick += 1;
+        if args.iterations != 0 && tick >= args.iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(args.interval);
+    }
+}

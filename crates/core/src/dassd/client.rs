@@ -9,7 +9,7 @@
 //! never retries on its own — backoff policy belongs to the caller,
 //! and [`BusyRetry`] is the packaged, still opt-in version of it.
 
-use super::protocol::{read_frame, write_frame, ErrorKind, Request, Response};
+use super::protocol::{read_frame, write_frame, ErrorKind, HealthInfo, Request, Response};
 use arrayudf::{Array2, TileView};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -242,6 +242,30 @@ impl Client {
             Response::Error { kind, message } => Err(Self::server_error(kind, message)),
             other => Err(ClientError::Protocol(format!(
                 "expected MetricsJson, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the daemon's liveness/occupancy summary.
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        self.request(&Request::Health)?;
+        match self.next_response()? {
+            Response::Health { info } => Ok(info),
+            Response::Error { kind, message } => Err(Self::server_error(kind, message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Health, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the windowed rate series (`obs::series` JSON export).
+    pub fn metrics_series_json(&mut self) -> Result<String, ClientError> {
+        self.request(&Request::MetricsSeries)?;
+        match self.next_response()? {
+            Response::SeriesJson { json } => Ok(json),
+            Response::Error { kind, message } => Err(Self::server_error(kind, message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected SeriesJson, got {other:?}"
             ))),
         }
     }

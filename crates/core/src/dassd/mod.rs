@@ -42,5 +42,5 @@ pub mod server;
 
 pub use cache::{Chunk, ChunkCache};
 pub use client::{BusyRetry, Client, ClientError};
-pub use protocol::{ErrorKind, Request, Response};
+pub use protocol::{ErrorKind, HealthInfo, Request, Response};
 pub use server::{Server, ServerConfig};

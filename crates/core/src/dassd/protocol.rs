@@ -94,6 +94,35 @@ impl ErrorKind {
     }
 }
 
+/// Liveness/occupancy summary answered to [`Request::Health`]. Both
+/// daemons speak it: `dassd` fills every field; the `das_ingest` probe
+/// reports zero cache capacity (it has no chunk cache).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthInfo {
+    /// Reporting daemon, `dassd` or `das_ingest`.
+    pub component: String,
+    /// Workspace version string.
+    pub version: String,
+    /// Milliseconds since the daemon started serving.
+    pub uptime_ms: u64,
+    /// Configured worker threads.
+    pub workers: u64,
+    /// Workers currently inside a request.
+    pub workers_busy: u64,
+    /// Connections waiting in the accept queue.
+    pub queue_len: u64,
+    /// Accept queue capacity.
+    pub queue_cap: u64,
+    /// Bytes resident in the chunk cache (0 for ingest).
+    pub cache_resident_bytes: u64,
+    /// Chunk cache capacity (0 for ingest).
+    pub cache_capacity_bytes: u64,
+    /// Total requests dispatched since start.
+    pub requests_total: u64,
+    /// Most recent error message served, empty if none yet.
+    pub last_error: String,
+}
+
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -122,6 +151,11 @@ pub enum Request {
     Metrics,
     /// Ask the server to stop accepting and exit its serve loop.
     Shutdown,
+    /// Liveness/occupancy probe; answered with [`Response::Health`].
+    Health,
+    /// Return the windowed rate series ([`obs::series`] JSON export);
+    /// answered with [`Response::SeriesJson`].
+    MetricsSeries,
 }
 
 /// A server → client message.
@@ -174,6 +208,16 @@ pub enum Response {
     },
     /// Answer to [`Request::Shutdown`]; the connection closes after.
     ShuttingDown,
+    /// Answer to [`Request::Health`].
+    Health {
+        /// Current liveness/occupancy summary.
+        info: HealthInfo,
+    },
+    /// Answer to [`Request::MetricsSeries`].
+    SeriesJson {
+        /// `obs::series::SeriesRing` windowed-rates JSON.
+        json: String,
+    },
     /// Typed failure. May replace any response, including mid-stream
     /// (after which the stream is abandoned but the connection stays
     /// usable for the next request).
@@ -367,6 +411,8 @@ const REQ_READ_REGION: u8 = 0x03;
 const REQ_EVAL: u8 = 0x04;
 const REQ_METRICS: u8 = 0x05;
 const REQ_SHUTDOWN: u8 = 0x06;
+const REQ_HEALTH: u8 = 0x07;
+const REQ_METRICS_SERIES: u8 = 0x08;
 
 const RSP_PONG: u8 = 0x81;
 const RSP_START: u8 = 0x82;
@@ -376,6 +422,8 @@ const RSP_EVAL_CHUNK: u8 = 0x85;
 const RSP_END: u8 = 0x86;
 const RSP_METRICS_JSON: u8 = 0x87;
 const RSP_SHUTTING_DOWN: u8 = 0x88;
+const RSP_HEALTH: u8 = 0x89;
+const RSP_SERIES_JSON: u8 = 0x8A;
 const RSP_ERROR: u8 = 0x90;
 
 impl Request {
@@ -399,6 +447,8 @@ impl Request {
             }
             Request::Metrics => Enc::new(REQ_METRICS).0,
             Request::Shutdown => Enc::new(REQ_SHUTDOWN).0,
+            Request::Health => Enc::new(REQ_HEALTH).0,
+            Request::MetricsSeries => Enc::new(REQ_METRICS_SERIES).0,
         }
     }
 
@@ -417,6 +467,8 @@ impl Request {
             REQ_EVAL => Request::Eval { src: d.str()? },
             REQ_METRICS => Request::Metrics,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_HEALTH => Request::Health,
+            REQ_METRICS_SERIES => Request::MetricsSeries,
             tag => return Err(ProtoError(format!("unknown request tag {tag:#x}"))),
         };
         d.done()?;
@@ -472,6 +524,26 @@ impl Response {
                 e.0
             }
             Response::ShuttingDown => Enc::new(RSP_SHUTTING_DOWN).0,
+            Response::Health { info } => {
+                let mut e = Enc::new(RSP_HEALTH);
+                e.str(&info.component);
+                e.str(&info.version);
+                e.u64(info.uptime_ms);
+                e.u64(info.workers);
+                e.u64(info.workers_busy);
+                e.u64(info.queue_len);
+                e.u64(info.queue_cap);
+                e.u64(info.cache_resident_bytes);
+                e.u64(info.cache_capacity_bytes);
+                e.u64(info.requests_total);
+                e.str(&info.last_error);
+                e.0
+            }
+            Response::SeriesJson { json } => {
+                let mut e = Enc::new(RSP_SERIES_JSON);
+                e.str(json);
+                e.0
+            }
             Response::Error { kind, message } => {
                 let mut e = Enc::new(RSP_ERROR);
                 e.u8(kind.to_u8());
@@ -505,6 +577,22 @@ impl Response {
             RSP_END => Response::End { frames: d.u64()? },
             RSP_METRICS_JSON => Response::MetricsJson { json: d.str()? },
             RSP_SHUTTING_DOWN => Response::ShuttingDown,
+            RSP_HEALTH => Response::Health {
+                info: HealthInfo {
+                    component: d.str()?,
+                    version: d.str()?,
+                    uptime_ms: d.u64()?,
+                    workers: d.u64()?,
+                    workers_busy: d.u64()?,
+                    queue_len: d.u64()?,
+                    queue_cap: d.u64()?,
+                    cache_resident_bytes: d.u64()?,
+                    cache_capacity_bytes: d.u64()?,
+                    requests_total: d.u64()?,
+                    last_error: d.str()?,
+                },
+            },
+            RSP_SERIES_JSON => Response::SeriesJson { json: d.str()? },
             RSP_ERROR => Response::Error {
                 kind: ErrorKind::from_u8(d.u8()?)?,
                 message: d.str()?,
@@ -545,6 +633,33 @@ mod tests {
         });
         rt_req(Request::Metrics);
         rt_req(Request::Shutdown);
+        rt_req(Request::Health);
+        rt_req(Request::MetricsSeries);
+    }
+
+    #[test]
+    fn health_and_series_round_trip() {
+        rt_rsp(Response::Health {
+            info: HealthInfo {
+                component: "dassd".into(),
+                version: "0.1.0".into(),
+                uptime_ms: 123_456,
+                workers: 4,
+                workers_busy: 2,
+                queue_len: 1,
+                queue_cap: 8,
+                cache_resident_bytes: 64 << 20,
+                cache_capacity_bytes: 256 << 20,
+                requests_total: 9_999,
+                last_error: "busy: server at capacity".into(),
+            },
+        });
+        rt_rsp(Response::Health {
+            info: HealthInfo::default(),
+        });
+        rt_rsp(Response::SeriesJson {
+            json: "{\"points\":0,\"capacity\":2,\"evicted\":0,\"windows\":[]}".into(),
+        });
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! errors drop it.
 
 use super::cache::ChunkCache;
-use super::protocol::{read_frame, write_frame, ErrorKind, Request, Response, MAX_DATA_ELEMS};
+use super::protocol::{
+    read_frame, write_frame, ErrorKind, HealthInfo, Request, Response, MAX_DATA_ELEMS,
+};
 use crate::dasa::{self, BindProgram, Haee};
 use crate::dass::{FileCatalog, IoPlan, Vca, DATASET_PATH};
 use crate::{DassaError, Result};
@@ -35,7 +37,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Metric names recorded by the server (in addition to the
 /// `cache.*` family from [`ChunkCache`]).
@@ -53,6 +55,13 @@ pub mod metric_names {
     pub const READ_NS: &str = "dassd.read.ns";
     /// Eval-request latency histogram (ns).
     pub const EVAL_NS: &str = "dassd.eval.ns";
+    /// Gauge: workers currently inside a request.
+    pub const WORKERS_BUSY: &str = "dassd.workers_busy";
+    /// Gauge: connections waiting in the accept queue.
+    pub const QUEUE_DEPTH: &str = "dassd.queue_depth";
+    /// Gauge: milliseconds since the server started (refreshed whenever
+    /// `Metrics`/`Health` is served).
+    pub const UPTIME_MS: &str = "dassd.uptime_ms";
 }
 
 /// Server tunables. `Default` suits tests: an OS-assigned port, a
@@ -72,6 +81,11 @@ pub struct ServerConfig {
     /// Optional fault plan installed thread-locally in every worker
     /// (chaos tests; `None` in production).
     pub fault_plan: Option<Arc<faultline::FaultPlan>>,
+    /// Cadence of the background metrics sampler feeding
+    /// `MetricsSeries` windows.
+    pub sample_interval: Duration,
+    /// Samples retained by the series ring (windows = samples - 1).
+    pub series_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +97,8 @@ impl Default for ServerConfig {
             cache_bytes: 64 << 20,
             eval_threads: 1,
             fault_plan: None,
+            sample_interval: Duration::from_millis(500),
+            series_capacity: 120,
         }
     }
 }
@@ -151,11 +167,16 @@ struct Metrics {
     req_metrics: obs::Counter,
     req_ping: obs::Counter,
     req_shutdown: obs::Counter,
+    req_health: obs::Counter,
+    req_series: obs::Counter,
     busy: obs::Counter,
     errors: obs::Counter,
     bytes_served: obs::Counter,
     read_ns: obs::Histogram,
     eval_ns: obs::Histogram,
+    workers_busy: obs::Gauge,
+    queue_depth: obs::Gauge,
+    uptime_ms: obs::Gauge,
 }
 
 impl Metrics {
@@ -168,12 +189,27 @@ impl Metrics {
             req_metrics: req("metrics"),
             req_ping: req("ping"),
             req_shutdown: req("shutdown"),
+            req_health: req("health"),
+            req_series: req("series"),
             busy: reg.counter(metric_names::BUSY),
             errors: reg.counter(metric_names::ERRORS),
             bytes_served: reg.counter(metric_names::BYTES_SERVED),
             read_ns: reg.histogram(metric_names::READ_NS),
             eval_ns: reg.histogram(metric_names::EVAL_NS),
+            workers_busy: reg.gauge(metric_names::WORKERS_BUSY),
+            queue_depth: reg.gauge(metric_names::QUEUE_DEPTH),
+            uptime_ms: reg.gauge(metric_names::UPTIME_MS),
         }
+    }
+
+    fn requests_total(&self) -> u64 {
+        self.req_read.get()
+            + self.req_eval.get()
+            + self.req_metrics.get()
+            + self.req_ping.get()
+            + self.req_shutdown.get()
+            + self.req_health.get()
+            + self.req_series.get()
     }
 }
 
@@ -188,6 +224,57 @@ struct State {
     /// Our own bound address, used to poke the blocking `accept()`
     /// when a remote `Shutdown` request arrives.
     poke_addr: SocketAddr,
+    started: Instant,
+    workers_total: usize,
+    queue_cap: usize,
+    cache_capacity: u64,
+    /// Windowed rate sampler answering `MetricsSeries`.
+    sampler: obs::Sampler,
+    /// Most recent typed error served, for `Health`.
+    last_error: Mutex<String>,
+}
+
+impl State {
+    /// Refresh the `dassd.uptime_ms` gauge to the current uptime. A
+    /// gauge set is emulated as a delta against the last published
+    /// value so ancestor aggregation (child levels sum into parents)
+    /// stays correct.
+    fn refresh_uptime(&self) {
+        let now = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let prev = self.metrics.uptime_ms.get();
+        if now >= prev {
+            self.metrics.uptime_ms.add(now - prev);
+        }
+    }
+
+    fn note_error(&self, kind: ErrorKind, message: &str) {
+        self.metrics.errors.inc();
+        let mut last = match self.last_error.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *last = format!("{}: {message}", kind.name());
+    }
+
+    fn health(&self) -> HealthInfo {
+        self.refresh_uptime();
+        HealthInfo {
+            component: "dassd".into(),
+            version: env!("CARGO_PKG_VERSION").into(),
+            uptime_ms: self.metrics.uptime_ms.get(),
+            workers: self.workers_total as u64,
+            workers_busy: self.metrics.workers_busy.get(),
+            queue_len: self.metrics.queue_depth.get(),
+            queue_cap: self.queue_cap as u64,
+            cache_resident_bytes: self.cache.resident_bytes(),
+            cache_capacity_bytes: self.cache_capacity,
+            requests_total: self.metrics.requests_total(),
+            last_error: match self.last_error.lock() {
+                Ok(g) => g.clone(),
+                Err(p) => p.into_inner().clone(),
+            },
+        }
+    }
 }
 
 /// A running `dassd` instance. Dropping without [`Server::stop`] or
@@ -213,6 +300,11 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr).map_err(DassaError::Io)?;
         let addr = listener.local_addr().map_err(DassaError::Io)?;
 
+        let sampler = obs::Sampler::start(
+            Arc::clone(&registry),
+            cfg.sample_interval,
+            cfg.series_capacity,
+        );
         let state = Arc::new(State {
             vca,
             cache,
@@ -222,6 +314,12 @@ impl Server {
             shutdown: AtomicBool::new(false),
             queue: ConnQueue::new(cfg.workers + cfg.queue_depth),
             poke_addr: addr,
+            started: Instant::now(),
+            workers_total: cfg.workers.max(1),
+            queue_cap: cfg.workers + cfg.queue_depth,
+            cache_capacity: cfg.cache_bytes,
+            sampler,
+            last_error: Mutex::new(String::new()),
         });
 
         let workers = (0..cfg.workers.max(1))
@@ -312,7 +410,10 @@ fn accept_loop(state: &State, listener: TcpListener) {
                 }
                 if let Err(stream) = state.queue.try_push(stream) {
                     state.metrics.busy.inc();
+                    obs::log_debug!("dassd", "rejecting connection: queue full");
                     reject_busy(stream);
+                } else {
+                    state.metrics.queue_depth.add(1);
                 }
             }
             Err(_) => {
@@ -342,7 +443,12 @@ fn reject_busy(stream: TcpStream) {
 
 fn worker_loop(state: &State) {
     while let Some(stream) = state.queue.pop() {
-        let _ = handle_conn(state, stream);
+        state.metrics.queue_depth.sub(1);
+        state.metrics.workers_busy.add(1);
+        if let Err(e) = handle_conn(state, stream) {
+            obs::log_debug!("dassd", "connection dropped: {e}");
+        }
+        state.metrics.workers_busy.sub(1);
     }
 }
 
@@ -373,7 +479,7 @@ fn handle_conn(state: &State, stream: TcpStream) -> io::Result<()> {
             Err(e) => {
                 // The framing survived but the payload didn't parse;
                 // answer and keep the connection.
-                state.metrics.errors.inc();
+                state.note_error(ErrorKind::BadRequest, &e.to_string());
                 send(
                     &mut writer,
                     &Response::Error {
@@ -438,11 +544,39 @@ fn dispatch(state: &State, w: &mut impl Write, req: Request) -> io::Result<bool>
         }
         Request::Metrics => {
             state.metrics.req_metrics.inc();
-            let json = state.registry.snapshot().to_json();
+            state.refresh_uptime();
+            let json = state.registry.snapshot().to_json_tagged(
+                &[
+                    ("component", "dassd"),
+                    ("version", env!("CARGO_PKG_VERSION")),
+                ],
+                &[(
+                    "uptime_ms",
+                    u64::try_from(state.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                )],
+            );
             send(w, &Response::MetricsJson { json })?;
+        }
+        Request::Health => {
+            state.metrics.req_health.inc();
+            send(
+                w,
+                &Response::Health {
+                    info: state.health(),
+                },
+            )?;
+        }
+        Request::MetricsSeries => {
+            state.metrics.req_series.inc();
+            // An out-of-cadence sample first, so the newest window
+            // reflects activity right up to this probe.
+            state.sampler.sample_now();
+            let json = state.sampler.to_json();
+            send(w, &Response::SeriesJson { json })?;
         }
         Request::Shutdown => {
             state.metrics.req_shutdown.inc();
+            obs::log_info!("dassd", "shutdown requested by client");
             send(w, &Response::ShuttingDown)?;
             initiate_shutdown(state, state.poke_addr);
             return Ok(true);
@@ -507,12 +641,13 @@ fn serve_eval(state: &State, w: &mut impl Write, src: &str) -> io::Result<()> {
     let program = match dasl::compile(src) {
         Ok(p) => p,
         Err(e) => {
-            state.metrics.errors.inc();
+            let message = e.render(src);
+            state.note_error(ErrorKind::Compile, &message);
             return send(
                 w,
                 &Response::Error {
                     kind: ErrorKind::Compile,
-                    message: e.render(src),
+                    message,
                 },
             );
         }
@@ -575,14 +710,11 @@ fn run_plan_cached(state: &State, plan: &IoPlan) -> Result<arrayudf::Array2<f32>
 /// Map a request-level failure onto a typed `Error` response and keep
 /// the connection.
 fn send_error(state: &State, w: &mut impl Write, e: &DassaError) -> io::Result<()> {
-    state.metrics.errors.inc();
-    send(
-        w,
-        &Response::Error {
-            kind: kind_of(e),
-            message: e.to_string(),
-        },
-    )
+    let kind = kind_of(e);
+    let message = e.to_string();
+    state.note_error(kind, &message);
+    obs::log_warn!("dassd", "request failed ({}): {message}", kind.name());
+    send(w, &Response::Error { kind, message })
 }
 
 /// The `DassaError` → wire [`ErrorKind`] mapping.

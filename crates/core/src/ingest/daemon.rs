@@ -245,6 +245,7 @@ impl WindowQueue {
             return false;
         }
         st.q.push_back(task);
+        super::metrics().queue_depth.add(1);
         self.not_empty.notify_one();
         true
     }
@@ -254,6 +255,7 @@ impl WindowQueue {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(task) = st.q.pop_front() {
+                super::metrics().queue_depth.sub(1);
                 self.not_full.notify_one();
                 return Some(task);
             }
@@ -414,7 +416,8 @@ impl MainState<'_> {
             SpoolEvent::Quarantined { path, reason } => {
                 // The scanner already moved it and bumped the counter;
                 // this is an operator-facing event, so say why.
-                eprintln!("das_ingest: quarantined {}: {reason}", path.display());
+                obs::log_warn!("ingest", "quarantined {}: {reason}", path.display());
+                m.note_error(&format!("quarantined {}: {reason}", path.display()));
                 cells.quarantined.fetch_add(1, Ordering::Relaxed);
             }
             SpoolEvent::Validated(entry) => {

@@ -50,16 +50,18 @@
 
 mod daemon;
 mod journal;
+mod probe;
 mod spool;
 mod stream;
 
 pub use daemon::{run, run_once, IngestConfig, IngestJob, IngestSummary};
 pub use journal::Checkpoint;
+pub use probe::Probe;
 pub use stream::{Admit, MinuteIndex, StreamShape, WindowData};
 
 use obs::{Counter, Gauge, Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Metric names recorded by ingest in the global `obs` registry.
 pub mod metric_names {
@@ -86,6 +88,11 @@ pub mod metric_names {
     pub const WATERMARK_LAG: &str = "ingest.watermark_lag";
     /// Per-window latency: seal-to-report wall time in nanoseconds.
     pub const WINDOW_NS: &str = "ingest.window.ns";
+    /// Sealed windows buffered between the scanner and the evaluator
+    /// right now (the occupancy of the bounded queue).
+    pub const QUEUE_DEPTH: &str = "ingest.queue_depth";
+    /// Requests answered by the local health/metrics probe socket.
+    pub const PROBE_REQUESTS: &str = "ingest.probe.requests";
 }
 
 pub(crate) struct Metrics {
@@ -102,6 +109,11 @@ pub(crate) struct Metrics {
     /// level through the add/sub API.
     watermark_lag_last: AtomicU64,
     pub(crate) window_ns: Histogram,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) probe_requests: Counter,
+    /// Most recent operator-facing failure (quarantine reason, probe
+    /// decode error), surfaced in the probe's `Health` answer.
+    last_error: Mutex<String>,
 }
 
 impl Metrics {
@@ -113,6 +125,22 @@ impl Metrics {
             std::cmp::Ordering::Greater => self.watermark_lag.add(lag - last),
             std::cmp::Ordering::Less => self.watermark_lag.sub(last - lag),
             std::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// Record the most recent failure for `Health.last_error`.
+    pub(crate) fn note_error(&self, message: &str) {
+        let mut last = match self.last_error.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *last = message.to_string();
+    }
+
+    pub(crate) fn last_error(&self) -> String {
+        match self.last_error.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
         }
     }
 }
@@ -133,6 +161,9 @@ pub(crate) fn metrics() -> &'static Metrics {
             watermark_lag: reg.gauge(metric_names::WATERMARK_LAG),
             watermark_lag_last: AtomicU64::new(0),
             window_ns: reg.histogram(metric_names::WINDOW_NS),
+            queue_depth: reg.gauge(metric_names::QUEUE_DEPTH),
+            probe_requests: reg.counter(metric_names::PROBE_REQUESTS),
+            last_error: Mutex::new(String::new()),
         }
     })
 }

@@ -1,0 +1,233 @@
+//! The ingest health probe: a tiny local socket speaking the `dassd`
+//! wire protocol, answering `Ping` / `Health` / `Metrics` /
+//! `MetricsSeries` so the same tools (`das_query --health`, `das_top`)
+//! work against both daemons. Data-plane requests (`ReadAll`, `Eval`,
+//! …) are refused with a typed error — the probe is diagnostics only,
+//! served by one background thread with per-connection read timeouts
+//! so a stuck client cannot wedge it.
+
+use super::metrics;
+use crate::dassd::protocol::{read_frame, write_frame, ErrorKind, HealthInfo, Request, Response};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A running probe listener; stops (and joins its thread) on drop.
+pub struct Probe {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Static facts the probe reports in `Health` but cannot observe
+/// itself (they belong to the ingest configuration).
+#[derive(Debug, Clone, Copy)]
+struct ProbeFacts {
+    workers: u64,
+    queue_cap: u64,
+}
+
+impl Probe {
+    /// Bind `bind` (e.g. `127.0.0.1:0`) and start answering probes.
+    /// `workers` / `queue_cap` are the ingest run's evaluator thread
+    /// count and `max_inflight` bound, echoed in `Health`.
+    pub fn start(
+        bind: &str,
+        sampler: Arc<obs::Sampler>,
+        workers: u64,
+        queue_cap: u64,
+    ) -> io::Result<Probe> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let facts = ProbeFacts { workers, queue_cap };
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ingest-probe".into())
+                .spawn(move || probe_loop(listener, sampler, stop, facts))?
+        };
+        obs::log_info!("ingest.probe", "probe listening on {addr}");
+        Ok(Probe {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (port resolved when `bind` asked for `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Probe {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn probe_loop(
+    listener: TcpListener,
+    sampler: Arc<obs::Sampler>,
+    stop: Arc<AtomicBool>,
+    facts: ProbeFacts,
+) {
+    let started = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                if let Err(e) = serve_conn(conn, &sampler, started, facts) {
+                    obs::log_debug!("ingest.probe", "probe connection dropped: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                obs::log_warn!("ingest.probe", "probe accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn serve_conn(
+    conn: TcpStream,
+    sampler: &obs::Sampler,
+    started: Instant,
+    facts: ProbeFacts,
+) -> io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = io::BufReader::new(conn.try_clone()?);
+    let mut writer = io::BufWriter::new(conn);
+    let m = metrics();
+    loop {
+        let Some(payload) = read_frame(&mut reader)? else {
+            return Ok(());
+        };
+        let req = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                m.note_error(&format!("malformed: {e}"));
+                obs::log_warn!("ingest.probe", "malformed probe request: {e}");
+                let rsp = Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: e.to_string(),
+                };
+                write_frame(&mut writer, &rsp.encode())?;
+                return Ok(());
+            }
+        };
+        m.probe_requests.inc();
+        let rsp = answer(&req, sampler, started, facts);
+        write_frame(&mut writer, &rsp.encode())?;
+        use io::Write;
+        writer.flush()?;
+    }
+}
+
+fn answer(req: &Request, sampler: &obs::Sampler, started: Instant, facts: ProbeFacts) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Health => Response::Health {
+            info: health(started, facts),
+        },
+        Request::Metrics => Response::MetricsJson {
+            json: obs::global().snapshot().to_json_tagged(
+                &[
+                    ("component", "das_ingest"),
+                    ("version", env!("CARGO_PKG_VERSION")),
+                ],
+                &[("uptime_ms", uptime_ms(started))],
+            ),
+        },
+        Request::MetricsSeries => {
+            sampler.sample_now();
+            Response::SeriesJson {
+                json: sampler.to_json(),
+            }
+        }
+        other => Response::Error {
+            kind: ErrorKind::BadRequest,
+            message: format!("{other:?} is not served by the ingest probe"),
+        },
+    }
+}
+
+fn uptime_ms(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+fn health(started: Instant, facts: ProbeFacts) -> HealthInfo {
+    let m = metrics();
+    HealthInfo {
+        component: "das_ingest".into(),
+        version: env!("CARGO_PKG_VERSION").into(),
+        uptime_ms: uptime_ms(started),
+        workers: facts.workers,
+        workers_busy: 0,
+        queue_len: m.queue_depth.get(),
+        queue_cap: facts.queue_cap,
+        cache_resident_bytes: 0,
+        cache_capacity_bytes: 0,
+        requests_total: m.probe_requests.get(),
+        last_error: m.last_error(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dassd::Client;
+
+    #[test]
+    fn probe_answers_ping_health_metrics_and_series() {
+        let sampler = Arc::new(obs::Sampler::start(
+            Arc::clone(obs::global()),
+            Duration::from_secs(3600),
+            8,
+        ));
+        let mut probe = Probe::start("127.0.0.1:0", Arc::clone(&sampler), 2, 4).unwrap();
+        let mut client = Client::connect(probe.addr()).unwrap();
+        client.ping().unwrap();
+
+        let info = client.health().unwrap();
+        assert_eq!(info.component, "das_ingest");
+        assert_eq!(info.version, env!("CARGO_PKG_VERSION"));
+        assert_eq!(info.workers, 2);
+        assert_eq!(info.queue_cap, 4);
+        assert_eq!(info.cache_capacity_bytes, 0);
+        assert!(info.requests_total >= 1, "health itself is counted");
+
+        let metrics_json = client.metrics_json().unwrap();
+        let obs::json::JsonValue::Object(map) = obs::json::parse(&metrics_json).unwrap() else {
+            panic!("metrics is not an object");
+        };
+        assert_eq!(
+            map.get("component"),
+            Some(&obs::json::JsonValue::String("das_ingest".into()))
+        );
+        assert!(map.contains_key("uptime_ms"));
+
+        let series = client.metrics_series_json().unwrap();
+        assert!(obs::json::parse(&series).is_ok(), "{series}");
+
+        // Data-plane requests are refused, and the refusal is recorded.
+        assert!(client.read_all().is_err());
+        assert!(client.ping().is_ok(), "connection survives the refusal");
+        drop(client);
+        probe.stop();
+    }
+}

@@ -182,6 +182,14 @@ impl SpoolScanner {
                 }
                 Err(f) if f.retryable && attempts + 1 < self.max_attempts => {
                     m.retries.inc();
+                    obs::log_debug!(
+                        "ingest.spool",
+                        "retrying {} (attempt {} of {}): {}",
+                        name.to_string_lossy(),
+                        attempts + 2,
+                        self.max_attempts,
+                        f.reason
+                    );
                     let ready_at = now + self.backoff(&name, attempts + 1);
                     self.states.insert(
                         name.clone(),

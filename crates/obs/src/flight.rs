@@ -1,0 +1,284 @@
+//! Panic/fatal-error flight recorder: a postmortem dump for daemons.
+//!
+//! [`install`] registers a process-wide panic hook (chained in front of
+//! the existing one, so default backtraces still print). When any
+//! thread panics — or when a daemon calls [`dump`] explicitly on a
+//! fatal shutdown path — the recorder writes one JSON document
+//! containing:
+//!
+//! - the **reason** (panic payload + source location, or the caller's
+//!   message),
+//! - a final **metrics snapshot** of the configured registry,
+//! - the last-K **log records** ([`crate::log::Logger::tail`]),
+//! - the **trace-ring tail** (most recent K timeline events from the
+//!   registry's tracer, if one is installed).
+//!
+//! The file lands via the workspace's crash-consistency discipline —
+//! write to a `.tmp` sibling, `fsync`, atomic rename, `fsync` the
+//! parent directory — so a half-written flight record is never
+//! observed. A killed daemon therefore never leaves *zero* telemetry
+//! behind: the record is either absent or complete.
+
+use crate::json::JsonWriter;
+use crate::Registry;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default number of trace events and log records in the tails.
+pub const DEFAULT_TAIL: usize = 64;
+
+/// What [`install`] needs to produce a dump later.
+pub struct FlightConfig {
+    /// Destination of the flight record.
+    pub path: PathBuf,
+    /// Registry snapshotted into the record (its tracer, if any,
+    /// supplies the trace tail).
+    pub registry: Arc<Registry>,
+    /// Component name stamped into the record (`dassd`, `das_ingest`).
+    pub component: String,
+    /// Most-recent trace events to keep (0 = all collected).
+    pub trace_tail: usize,
+    /// Most-recent log records to keep (0 = all retained).
+    pub log_tail: usize,
+}
+
+impl FlightConfig {
+    pub fn new(path: impl Into<PathBuf>, registry: Arc<Registry>, component: &str) -> FlightConfig {
+        FlightConfig {
+            path: path.into(),
+            registry,
+            component: component.to_string(),
+            trace_tail: DEFAULT_TAIL,
+            log_tail: DEFAULT_TAIL,
+        }
+    }
+}
+
+static CONFIG: OnceLock<FlightConfig> = OnceLock::new();
+
+/// Install the recorder and its panic hook. Returns false (and leaves
+/// the existing recorder in place) if one was already installed —
+/// first installer wins, so tests and embedded uses cannot hijack a
+/// daemon's postmortem path.
+pub fn install(config: FlightConfig) -> bool {
+    if CONFIG.set(config).is_err() {
+        return false;
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let location = info
+            .location()
+            .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()))
+            .unwrap_or_else(|| "unknown".to_string());
+        let reason = format!("panic at {location}: {payload}");
+        // A panic inside the dump itself must not recurse or abort the
+        // process before the original hook gets to report.
+        let _ = std::panic::catch_unwind(|| {
+            let _ = dump(&reason);
+        });
+        prev(info);
+    }));
+    true
+}
+
+/// Has [`install`] run?
+pub fn installed() -> bool {
+    CONFIG.get().is_some()
+}
+
+/// The configured destination, if installed.
+pub fn path() -> Option<&'static Path> {
+    CONFIG.get().map(|c| c.path.as_path())
+}
+
+/// Write the flight record now. Used by the panic hook, and directly
+/// by daemons on fatal-error/SIGTERM shutdown paths. Only the first
+/// concurrent dump wins; later calls (e.g. two threads panicking at
+/// once) return without touching the file.
+pub fn dump(reason: &str) -> io::Result<PathBuf> {
+    let config = CONFIG
+        .get()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "flight recorder not installed"))?;
+    static DUMPING: AtomicBool = AtomicBool::new(false);
+    if DUMPING.swap(true, Ordering::SeqCst) {
+        return Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "flight dump already in progress",
+        ));
+    }
+    let result = write_record(config, reason);
+    DUMPING.store(false, Ordering::SeqCst);
+    result
+}
+
+fn write_record(config: &FlightConfig, reason: &str) -> io::Result<PathBuf> {
+    let mut w = JsonWriter::with_capacity(4096);
+    w.begin_object();
+    w.key("component").string(&config.component);
+    w.key("reason").string(reason);
+    w.key("log.tail_capacity")
+        .uint(crate::log::TAIL_CAPACITY as u64);
+
+    w.key("metrics");
+    w.raw(&config.registry.snapshot().to_json());
+
+    w.key("log_tail");
+    w.begin_array();
+    let records = crate::log::logger().tail();
+    let skip = if config.log_tail > 0 {
+        records.len().saturating_sub(config.log_tail)
+    } else {
+        0
+    };
+    for record in &records[skip..] {
+        w.raw(&record.to_json());
+    }
+    w.end_array();
+
+    w.key("trace_tail");
+    w.begin_array();
+    if let Some(tracer) = config.registry.tracer() {
+        let trace = tracer.collect();
+        let skip = if config.trace_tail > 0 {
+            trace.events.len().saturating_sub(config.trace_tail)
+        } else {
+            0
+        };
+        for event in &trace.events[skip..] {
+            w.begin_object();
+            w.key("ts_ns").uint(event.ts_ns);
+            w.key("rank").uint(u64::from(event.rank));
+            w.key("tid").uint(u64::from(event.tid));
+            w.key("ph").string(event.phase.code());
+            w.key("name").string(&event.name);
+            w.key("value").uint(event.value);
+            w.end_object();
+        }
+    }
+    w.end_array();
+    w.end_object();
+
+    write_atomic(&config.path, w.finish().as_bytes())?;
+    Ok(config.path.clone())
+}
+
+/// tmp + fsync + rename + parent-dir fsync: the record is either fully
+/// present or absent, never torn. (Duplicated from the ingest journal
+/// rather than shared — `obs` sits below `core` in the crate graph.)
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut n = name.to_os_string();
+            n.push(".tmp");
+            path.with_file_name(n)
+        }
+        None => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "flight path has no file name",
+            ))
+        }
+    };
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, JsonValue};
+
+    // The panic hook and CONFIG are process-global, so everything that
+    // exercises install()/dump() lives in this one test: test binaries
+    // share the process.
+    #[test]
+    fn install_dump_and_panic_produce_parseable_records() {
+        let dir = std::env::temp_dir().join(format!("obs-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.json");
+        let registry = Arc::new(Registry::new());
+        registry.counter("work.done").add(42);
+        let tracer = Arc::new(crate::trace::Tracer::new());
+        tracer.instant("boot");
+        registry.install_tracer(Arc::clone(&tracer));
+
+        assert!(!installed());
+        assert!(dump("early").is_err(), "dump before install must fail");
+        assert!(install(FlightConfig::new(
+            &path,
+            Arc::clone(&registry),
+            "test"
+        )));
+        assert!(installed());
+        assert_eq!(self::path(), Some(path.as_path()));
+        assert!(
+            !install(FlightConfig::new(
+                dir.join("other.json"),
+                Arc::clone(&registry),
+                "hijack"
+            )),
+            "second install must lose"
+        );
+
+        // Explicit dump.
+        let written = dump("fatal: unit test").unwrap();
+        assert_eq!(written, path);
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let JsonValue::Object(obj) = &doc else {
+            panic!()
+        };
+        assert_eq!(obj["component"], JsonValue::String("test".into()));
+        assert_eq!(obj["reason"], JsonValue::String("fatal: unit test".into()));
+        let JsonValue::Object(metrics) = &obj["metrics"] else {
+            panic!()
+        };
+        assert!(metrics.contains_key("counters"));
+        let JsonValue::Array(trace_tail) = &obj["trace_tail"] else {
+            panic!()
+        };
+        assert!(!trace_tail.is_empty(), "instant event expected in tail");
+
+        // Panic on a thread: the hook rewrites the record.
+        registry.counter("work.done").add(1);
+        let _ = std::thread::Builder::new()
+            .name("flight-panicker".into())
+            .spawn(|| panic!("injected flight-recorder test panic"))
+            .unwrap()
+            .join();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let JsonValue::Object(obj) = &doc else {
+            panic!()
+        };
+        let JsonValue::String(reason) = &obj["reason"] else {
+            panic!()
+        };
+        assert!(
+            reason.contains("injected flight-recorder test panic"),
+            "reason: {reason}"
+        );
+        assert!(reason.contains("panic at "), "location missing: {reason}");
+        assert!(!dir.join("flight.json.tmp").exists(), "tmp must not linger");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -47,14 +47,19 @@
 //! active spans on that thread.
 
 mod cluster;
+pub mod flight;
 pub mod json;
+pub mod log;
 mod registry;
+pub mod series;
 mod snapshot;
-mod span;
+pub mod span;
 pub mod trace;
 
 pub use cluster::{ClusterSnapshot, MetricStats};
+pub use log::{logger, Level, Record as LogRecord};
 pub use registry::{global, Counter, Gauge, Histogram, Registry};
+pub use series::{RateWindow, Sampler, SeriesRing};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::{span, span_in, SpanGuard};
 pub use trace::{Trace, TraceEvent, Tracer};

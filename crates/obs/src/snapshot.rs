@@ -171,6 +171,24 @@ impl Snapshot {
         w.finish()
     }
 
+    /// Serialize like [`Snapshot::to_json`] with extra self-describing
+    /// string/integer keys spliced in front (`version`, `uptime_ms`,
+    /// ...). [`Snapshot::from_json`] ignores unknown keys, so tagged
+    /// documents still round-trip into the same snapshot.
+    pub fn to_json_tagged(&self, strings: &[(&str, &str)], numbers: &[(&str, u64)]) -> String {
+        let mut w = JsonWriter::with_capacity(512);
+        w.begin_object();
+        for (k, v) in strings {
+            w.key(k).string(v);
+        }
+        for (k, v) in numbers {
+            w.key(k).uint(*v);
+        }
+        self.write_json(&mut w);
+        w.end_object();
+        w.finish()
+    }
+
     /// Write this snapshot's `counters`/`histograms` keys into an
     /// already-open object on `w` (shared by [`Snapshot::to_json`] and
     /// the cluster exporter).

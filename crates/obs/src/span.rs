@@ -25,6 +25,21 @@ pub fn span(name: &str) -> SpanGuard {
     span_in(crate::registry::global(), name)
 }
 
+/// Dotted path of the spans currently open on this thread (outermost
+/// first), or `None` when no span is open. The structured logger uses
+/// this to stamp records with the span they were emitted from, so logs
+/// and trace timelines correlate without explicit plumbing.
+pub fn current_path() -> Option<String> {
+    SPAN_STACK.with(|stack| {
+        let stack = stack.borrow();
+        if stack.is_empty() {
+            None
+        } else {
+            Some(stack.join("."))
+        }
+    })
+}
+
 /// Open a named span recording into `registry` when dropped.
 ///
 /// The histogram name is `span.` followed by the dotted path of every

@@ -1,0 +1,124 @@
+//! Property tests for the windowed time-series: under arbitrary
+//! monotonic counter trajectories and arbitrary (even degenerate)
+//! sample cadences, the delta ring must never report a negative rate,
+//! must stay within its capacity bound, and its JSON export must stay
+//! inside the workspace's integer-only dialect.
+
+use obs::series::SeriesRing;
+use obs::{Registry, Snapshot};
+use proptest::prelude::*;
+
+fn snapshot(counter: u64, gauge: u64, samples: &[u64]) -> Snapshot {
+    let reg = Registry::new();
+    if counter > 0 {
+        reg.counter("c").add(counter);
+    }
+    reg.gauge("g").add(gauge);
+    let h = reg.histogram("h");
+    for &s in samples {
+        h.record(s);
+    }
+    reg.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A monotonic counter sampled at arbitrary cadences (including
+    /// repeated timestamps) never yields an underflowed rate: every
+    /// derived rate is exactly `delta * 1e6 / dt_ms` and bounded by the
+    /// delta over a 1 ms window.
+    #[test]
+    fn monotonic_counters_never_go_negative(
+        capacity in 2usize..32,
+        increments in prop::collection::vec((0u64..10_000, 1u64..5_000), 1..40),
+    ) {
+        let mut ring = SeriesRing::new(capacity);
+        let mut total = 0u64;
+        let mut at_ms = 0u64;
+        let mut pushes = Vec::new();
+        for &(delta, dt) in &increments {
+            total += delta;
+            at_ms += dt;
+            ring.push(at_ms, snapshot(total, delta, &[]));
+            pushes.push((at_ms, total));
+        }
+        for w in ring.windows() {
+            prop_assert!(w.t1_ms >= w.t0_ms);
+            let dt = w.dt_ms().max(1);
+            // Reconstruct the exact expected rate from the push log.
+            let before = pushes.iter().find(|p| p.0 == w.t0_ms).unwrap().1;
+            let after = pushes.iter().find(|p| p.0 == w.t1_ms).unwrap().1;
+            let expect = (after - before) as u128 * 1_000_000 / dt as u128;
+            prop_assert_eq!(u128::from(w.rate_milli("c")), expect);
+            prop_assert!(w.rate("c") >= 0.0);
+        }
+    }
+
+    /// The ring never exceeds its capacity, evictions are accounted
+    /// exactly, and window count tracks retained points, under any
+    /// push pattern.
+    #[test]
+    fn ring_bounded_under_arbitrary_cadence(
+        capacity in 2usize..16,
+        cadence in prop::collection::vec(0u64..1_000, 0..64),
+    ) {
+        let mut ring = SeriesRing::new(capacity);
+        let mut at_ms = 0u64;
+        for (i, &dt) in cadence.iter().enumerate() {
+            at_ms += dt;
+            ring.push(at_ms, snapshot(i as u64, 0, &[i as u64]));
+            prop_assert!(ring.len() <= ring.capacity());
+        }
+        let expected_len = cadence.len().min(capacity);
+        prop_assert_eq!(ring.len(), expected_len);
+        prop_assert_eq!(ring.evicted(), (cadence.len() - expected_len) as u64);
+        prop_assert_eq!(ring.windows().len(), expected_len.saturating_sub(1));
+    }
+
+    /// Counter resets (a non-monotonic wobble, e.g. a registry reset
+    /// under test) clamp to zero instead of wrapping to ~u64::MAX.
+    #[test]
+    fn resets_clamp_to_zero(
+        values in prop::collection::vec(0u64..1_000_000, 2..20),
+    ) {
+        let mut ring = SeriesRing::new(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            ring.push(i as u64 * 100, snapshot(v, 0, &[]));
+        }
+        for w in ring.windows() {
+            prop_assert!(w.rate_milli("c") < u64::MAX / 2, "wrapped: {:?}", w);
+        }
+    }
+
+    /// JSON export always parses with the strict integer-only parser,
+    /// and windowed histogram counts equal the per-window sample counts.
+    #[test]
+    fn export_parses_and_histogram_windows_add_up(
+        batches in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000_000, 0..8),
+            2..10,
+        ),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        let mut ring = SeriesRing::new(batches.len());
+        ring.push(0, reg.snapshot());
+        for (i, batch) in batches.iter().enumerate() {
+            for &s in batch {
+                h.record(s);
+            }
+            ring.push((i as u64 + 1) * 50, reg.snapshot());
+        }
+        prop_assert!(obs::json::parse(&ring.to_json()).is_ok());
+        let windows = ring.windows();
+        // The first retained window may straddle evicted history; all
+        // others must match their batch exactly.
+        for (w, batch) in windows.iter().rev().zip(batches.iter().rev()) {
+            let count = w.histograms.get("h").map_or(0, |d| d.count);
+            prop_assert_eq!(count, batch.len() as u64);
+            let sum = w.histograms.get("h").map_or(0, |d| d.sum);
+            prop_assert_eq!(sum, batch.iter().sum::<u64>());
+        }
+    }
+}

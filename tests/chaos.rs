@@ -21,7 +21,22 @@ use dassa::prelude::*;
 use faultline::{site, FaultPlan};
 use minimpi::{run_chaos, run_chaos_in_registry, CommError, RetryPolicy};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Route every structured log record the daemons emit during this
+/// suite into a shared buffer instead of stderr: the chaos output
+/// stays clean (the CI digest diff sees only digest lines), and tests
+/// can still assert that operator-facing events were logged. Installed
+/// once per process, never uncaptured — tests run concurrently and a
+/// mid-flight uncapture would race.
+fn captured_logs() -> Arc<Mutex<Vec<obs::LogRecord>>> {
+    static SINK: OnceLock<Arc<Mutex<Vec<obs::LogRecord>>>> = OnceLock::new();
+    Arc::clone(SINK.get_or_init(|| {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        obs::logger().capture(Arc::clone(&buffer));
+        buffer
+    }))
+}
 
 const RANKS: usize = 3;
 const FILES: usize = 6;
@@ -400,6 +415,7 @@ fn dassd_chaos_plan(seed: u64) -> Arc<FaultPlan> {
 /// in-process determinism test and the CI digest file.
 fn dassd_chaos_outcomes(dir: &std::path::Path, seed: u64) -> Vec<String> {
     use dassa::dassd::{Client, ClientError, Server, ServerConfig};
+    let _logs = captured_logs();
     let vca = load_vca(&dir.to_path_buf());
     let server = Server::start(
         dir,
@@ -613,6 +629,7 @@ fn ingest_chaos_plan(seed: u64) -> Arc<FaultPlan> {
 /// exact bytes).
 fn ingest_chaos_outcomes(tag: &str, seed: u64, stages: &[std::ops::Range<usize>]) -> Vec<String> {
     use dassa::ingest::{run_once, IngestConfig};
+    let _logs = captured_logs();
     let src = dataset(&format!("ingest-src-{tag}"));
     let mut names: Vec<String> = std::fs::read_dir(&src)
         .expect("src")
@@ -705,6 +722,18 @@ fn ingest_chaos_is_deterministic_per_seed() {
     assert!(
         quarantined_total > 0,
         "the seed matrix must quarantine at least one file"
+    );
+    // The quarantines above were also logged as structured records —
+    // captured, not splattered over the suite's stderr.
+    let logs = captured_logs();
+    let logs = logs.lock().unwrap_or_else(|p| p.into_inner());
+    assert!(
+        logs.iter().any(|r| {
+            r.level == obs::Level::Warn
+                && r.target.starts_with("ingest")
+                && r.msg.contains("quarantined")
+        }),
+        "quarantine events must reach the structured logger"
     );
 }
 
