@@ -88,13 +88,77 @@ if [[ $quick -eq 0 ]]; then
         exit 1
     }
 
+    # Compression gate: one corpus per codec from the same scene.
+    # shuffle-lz must actually shrink synthetic DAS noise on disk, the
+    # pipeline must produce byte-identical output from the raw and the
+    # lossless-compressed corpus, and fsck must still classify a
+    # damaged compressed corpus (checksums cover the *stored* bytes).
+    echo "==> codec: per-codec corpora + lossless byte-identity + damaged scrub"
+    codec_dir="$(mktemp -d)"
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$codec_dir"' EXIT
+    for codec in raw shuffle-lz quant:0.001; do
+        target/release/das_gen -d "$codec_dir/${codec%%:*}" -c 8 -r 50 -m 4 \
+            --codec "$codec" >/dev/null
+    done
+    raw_bytes=$(du -sb "$codec_dir/raw" | cut -f1)
+    lz_bytes=$(du -sb "$codec_dir/shuffle-lz" | cut -f1)
+    if [[ "$lz_bytes" -ge "$raw_bytes" ]]; then
+        echo "codec: shuffle-lz did not shrink the corpus ($lz_bytes >= $raw_bytes)" >&2
+        exit 1
+    fi
+    compress_ratio=$(target/release/das_fsck --json "$codec_dir/shuffle-lz" |
+        grep -oE '"compress_ratio":"[0-9.]+"' | head -1 | grep -oE '[0-9.]+')
+    echo "    raw=$raw_bytes lz=$lz_bytes bytes on disk (ratio $compress_ratio)"
+    target/release/das_pipeline -d "$codec_dir/raw" -a interferometry \
+        -o "$codec_dir/out_raw.dasf" >/dev/null 2>&1
+    target/release/das_pipeline -d "$codec_dir/shuffle-lz" -a interferometry \
+        -o "$codec_dir/out_lz.dasf" --metrics="$codec_dir/m_lz.json" >/dev/null 2>&1
+    if ! cmp "$codec_dir/out_raw.dasf" "$codec_dir/out_lz.dasf"; then
+        echo "codec: pipeline output differs between raw and shuffle-lz corpora" >&2
+        exit 1
+    fi
+    decode_raw=$(grep -oE '"dasf\.codec\.bytes_raw":[0-9]+' "$codec_dir/m_lz.json" |
+        head -1 | cut -d: -f2)
+    decode_ns=$(grep -oE '"dasf\.codec\.decode_ns":\{"count":[0-9]+,"sum":[0-9]+' \
+        "$codec_dir/m_lz.json" | grep -oE '[0-9]+$')
+    if [[ -z "${decode_raw:-}" || "$decode_raw" -le 0 || -z "${decode_ns:-}" || "$decode_ns" -le 0 ]]; then
+        echo "codec: pipeline read recorded no decode traffic" >&2
+        exit 1
+    fi
+    decode_mbps=$(awk -v b="$decode_raw" -v ns="$decode_ns" \
+        'BEGIN { printf "%.1f", b * 1000.0 / ns }')
+    echo "    lossless byte-identical; decoded $decode_raw bytes at $decode_mbps MB/s"
+    # Damage the compressed corpus the same two ways as the raw scrub.
+    lz_members=("$codec_dir/shuffle-lz"/*.dasf)
+    printf '\xff\xff\xff\xff\xff\xff\xff\xff' |
+        dd of="${lz_members[0]}" bs=1 seek=64 conv=notrunc status=none
+    truncate -s -20 "${lz_members[1]}"
+    codec_json="$codec_dir/fsck.json"
+    if target/release/das_fsck --json "$codec_dir/shuffle-lz" >"$codec_json"; then
+        echo "codec: das_fsck exited 0 on a damaged compressed corpus" >&2
+        exit 1
+    fi
+    for want in '"scanned":4' '"clean":2' '"corrupt":1' '"torn":1'; do
+        grep -qF "$want" "$codec_json" || {
+            echo "codec: missing $want in das_fsck report:" >&2
+            cat "$codec_json" >&2
+            exit 1
+        }
+    done
+    grep -qF "\"path\":\"${lz_members[0]}\",\"status\":\"corrupt\"" "$codec_json" || {
+        echo "codec: bit-rot in compressed corpus not attributed" >&2
+        cat "$codec_json" >&2
+        exit 1
+    }
+    echo "    damaged compressed corpus still classifies corrupt/torn/clean"
+
     # Timeline + cluster metrics: run the pipeline under a 4-rank comm
     # world with tracing on. das_trace must parse both artifacts (it
     # exits nonzero otherwise), and the documents must carry the fields
     # Perfetto and the cluster parser rely on.
     echo "==> trace: das_pipeline --ranks 4 --trace/--metrics round-trip"
     trace_dir="$(mktemp -d)"
-    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir"' EXIT
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$codec_dir" "$trace_dir"' EXIT
     target/release/das_gen -d "$trace_dir" -c 8 -r 20 -m 6 >/dev/null
     target/release/das_pipeline -d "$trace_dir" -a localsim --ranks 4 \
         --trace="$trace_dir/trace.json" --metrics="$trace_dir/m.json" \
@@ -147,14 +211,14 @@ if [[ $quick -eq 0 ]]; then
     # dashboard can diff across commits.
     echo "==> bench: perf trajectory (results/BENCH_pipeline.json)"
     bench_dir="$(mktemp -d)"
-    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir"' EXIT
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$codec_dir" "$trace_dir" "$bench_dir"' EXIT
     for exp in exp_fig6 exp_fig9 exp_table1 exp_tuner; do
         DASSA_RESULTS="$bench_dir" "target/release/$exp" --json >/dev/null
     done
     mkdir -p results
     {
-        printf '{"generated_unix_ns":%s,"pipeline_alloc_bytes":%s,"experiments":[' \
-            "$(date +%s%N)" "${alloc_bytes:-0}"
+        printf '{"generated_unix_ns":%s,"pipeline_alloc_bytes":%s,"compress_ratio":%s,"decode_mb_per_sec":%s,"experiments":[' \
+            "$(date +%s%N)" "${alloc_bytes:-0}" "${compress_ratio:-0}" "${decode_mbps:-0}"
         first=1
         for f in "$bench_dir"/*.json; do
             [[ $first -eq 1 ]] || printf ','
@@ -175,7 +239,7 @@ if [[ $quick -eq 0 ]]; then
     # element-wise stages (dasl.fused_stages > 0 in the metrics).
     echo "==> dasl: --program vs hand-wired byte-identity + fusion gate"
     dasl_dir="$(mktemp -d)"
-    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir" "$dasl_dir"' EXIT
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$codec_dir" "$trace_dir" "$bench_dir" "$dasl_dir"' EXIT
     target/release/das_gen -d "$dasl_dir/corpus" -c 8 -r 500 -m 2 >/dev/null
     target/release/das_pipeline --program examples/interferometry.das \
         -d "$dasl_dir/corpus" --metrics="$dasl_dir/m.json" \
@@ -204,7 +268,7 @@ if [[ $quick -eq 0 ]]; then
     # latency histograms all did their jobs.
     echo "==> dassd: serve/query smoke + overload + metrics gate"
     dassd_dir="$(mktemp -d)"
-    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir" "$dasl_dir" "$dassd_dir"' EXIT
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$codec_dir" "$trace_dir" "$bench_dir" "$dasl_dir" "$dassd_dir"' EXIT
     target/release/das_gen -d "$dassd_dir/corpus" -c 8 -r 50 -m 3 >/dev/null
     target/release/das_serve -d "$dassd_dir/corpus" --workers 2 --queue 0 \
         --metrics="$dassd_dir/m.json" >"$dassd_dir/serve.log" 2>&1 &
@@ -259,7 +323,7 @@ if [[ $quick -eq 0 ]]; then
     # byte-identical to an uninterrupted drain.
     echo "==> ingest: spool drain under faults + kill/resume gate"
     ingest_dir="$(mktemp -d)"
-    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir" "$dasl_dir" "$dassd_dir" "$ingest_dir"' EXIT
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$codec_dir" "$trace_dir" "$bench_dir" "$dasl_dir" "$dassd_dir" "$ingest_dir"' EXIT
     target/release/das_gen -d "$ingest_dir/corpus" -c 6 -r 20 -m 8 >/dev/null
     minute_files=("$ingest_dir/corpus"/*.dasf)
     [[ ${#minute_files[@]} -eq 8 ]] || { echo "ingest: expected 8 members" >&2; exit 1; }
@@ -353,7 +417,7 @@ if [[ $quick -eq 0 ]]; then
     # an injected panic produces a well-formed flight record.
     echo "==> telemetry: health + rate series + flight recorder gate"
     tele_dir="$(mktemp -d)"
-    trap 'rm -rf "$digest_dir" "$scrub_dir" "$trace_dir" "$bench_dir" "$dasl_dir" "$dassd_dir" "$ingest_dir" "$tele_dir"' EXIT
+    trap 'rm -rf "$digest_dir" "$scrub_dir" "$codec_dir" "$trace_dir" "$bench_dir" "$dasl_dir" "$dassd_dir" "$ingest_dir" "$tele_dir"' EXIT
     target/release/das_gen -d "$tele_dir/corpus" -c 8 -r 50 -m 3 >/dev/null
     target/release/das_serve -d "$tele_dir/corpus" --workers 2 --queue 4 \
         >"$tele_dir/serve.log" 2>/dev/null &

@@ -28,9 +28,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: das_fsck [--json] [--quarantine <dir>] [--threads <n>] <path>...\n\
          \n\
-         Scrubs dasf files (v3 checksums verified chunk by chunk; v2 files\n\
-         are structurally checked only). Directories are walked recursively\n\
-         for *.dasf. Exits 0 clean / 1 damaged / 2 usage."
+         Scrubs dasf files (v3/v4 checksums verified chunk by chunk over the\n\
+         stored — possibly compressed — bytes; v2 files are structurally\n\
+         checked only). Directories are walked recursively for *.dasf.\n\
+         Exits 0 clean / 1 damaged / 2 usage."
     );
     std::process::exit(2);
 }
@@ -96,7 +97,14 @@ fn main() -> ExitCode {
         println!("{}", report.to_json());
     } else {
         for v in &report.files {
-            println!("{}\t{}\t{}", v.path.display(), v.status, v.detail);
+            println!(
+                "{}\t{}\t{}\t{:.3}\t{}",
+                v.path.display(),
+                v.status,
+                v.codec,
+                v.compress_ratio,
+                v.detail
+            );
         }
         eprintln!(
             "# scrubbed {} file(s) in {elapsed_ms:.1} ms: {} clean, {} corrupt, {} torn, {} error(s)",

@@ -9,7 +9,9 @@
 //! Polls the `Health` and `MetricsSeries` endpoints (served by both
 //! `das_serve` and the `das_ingest --probe-addr` socket) and renders a
 //! rate table: requests/s, busy rejections/s, bytes/s, cache hit
-//! ratio, read p99 latency, and the ingest watermark lag. Every rate
+//! ratio, live codec compression ratio (decoded raw bytes over stored
+//! bytes, from the window's `dasf.codec.bytes_{raw,stored}` deltas),
+//! read p99 latency, and the ingest watermark lag. Every rate
 //! comes from the daemon's windowed series — deltas between registry
 //! snapshots — never from dividing a cumulative counter by uptime, so
 //! the numbers move when the daemon does.
@@ -18,7 +20,8 @@
 //!
 //! ```text
 //! series: windows=<n> dt_ms=<ms> req_per_sec=<r> req_per_sec_peak=<p> \
-//! busy_per_sec=<b> cache_hit_pct=<c> read_p99_ns=<ns> watermark_lag=<w>
+//! busy_per_sec=<b> cache_hit_pct=<c> read_p99_ns=<ns> watermark_lag=<w> \
+//! codec_ratio=<x.xx>
 //! ```
 //!
 //! `req_per_sec` is the latest window's rate; `req_per_sec_peak` is the
@@ -176,6 +179,24 @@ fn cache_hit_pct(w: &Window) -> Option<u64> {
     (hit * 100).checked_div(hit + miss)
 }
 
+/// Live compression ratio over one window's decode traffic: raw bytes
+/// decoded over stored bytes read, from the windowed deltas of the
+/// `dasf.codec.bytes_{raw,stored}` counters. `None` when no codec
+/// traffic landed in the window.
+fn codec_ratio(w: &Window) -> Option<f64> {
+    let raw = w
+        .rates_milli
+        .get("dasf.codec.bytes_raw")
+        .copied()
+        .unwrap_or(0);
+    let stored = w
+        .rates_milli
+        .get("dasf.codec.bytes_stored")
+        .copied()
+        .unwrap_or(0);
+    (stored > 0).then(|| raw as f64 / stored as f64)
+}
+
 fn render_frame(health: &HealthInfo, windows: &[Window], plain: bool) {
     let latest = windows.last();
     let req_milli = latest.map_or(0, req_rate_milli);
@@ -188,6 +209,7 @@ fn render_frame(health: &HealthInfo, windows: &[Window], plain: bool) {
             .unwrap_or(0)
     });
     let hit_pct = latest.and_then(cache_hit_pct);
+    let ratio = latest.and_then(codec_ratio);
     let read_p99 = latest
         .and_then(|w| w.histograms.get("dassd.read.ns"))
         .filter(|(count, _)| *count > 0)
@@ -223,6 +245,10 @@ fn render_frame(health: &HealthInfo, windows: &[Window], plain: bool) {
         Some(pct) => println!("  cache hit    {pct:>11}%"),
         None => println!("  cache hit    {:>12}", "-"),
     }
+    match ratio {
+        Some(r) => println!("  codec ratio  {r:>12.2}"),
+        None => println!("  codec ratio  {:>12}", "-"),
+    }
     println!("  read p99 ns  {read_p99:>12}");
     println!("  wmark lag    {lag:>12}");
     if health.cache_capacity_bytes > 0 {
@@ -236,7 +262,8 @@ fn render_frame(health: &HealthInfo, windows: &[Window], plain: bool) {
     }
     println!(
         "series: windows={} dt_ms={} req_per_sec={} req_per_sec_peak={} \
-         busy_per_sec={} cache_hit_pct={} read_p99_ns={} watermark_lag={}",
+         busy_per_sec={} cache_hit_pct={} read_p99_ns={} watermark_lag={} \
+         codec_ratio={}",
         windows.len(),
         dt_ms,
         fmt_rate(req_milli),
@@ -244,7 +271,8 @@ fn render_frame(health: &HealthInfo, windows: &[Window], plain: bool) {
         fmt_rate(busy_milli),
         hit_pct.map_or_else(|| "-".into(), |p| p.to_string()),
         read_p99,
-        lag
+        lag,
+        ratio.map_or_else(|| "-".into(), |r| format!("{r:.2}")),
     );
 }
 

@@ -104,6 +104,26 @@ pub struct FileVerdict {
     pub status: FileStatus,
     /// Human-readable evidence (first mismatch, error text, …).
     pub detail: String,
+    /// Codec label of the file's datasets (`raw`, `shuffle-lz`,
+    /// `quant:<bound>`), or `-` when the file could not be opened.
+    pub codec: String,
+    /// On-disk payload bytes over raw payload bytes inverted:
+    /// `raw / stored` across all datasets (1.0 for uncompressed files,
+    /// 0.0 when unknown).
+    pub compress_ratio: f64,
+}
+
+impl FileVerdict {
+    /// A verdict with no codec information (unopened / damaged file).
+    fn without_codec(path: &Path, status: FileStatus, detail: String) -> FileVerdict {
+        FileVerdict {
+            path: path.to_path_buf(),
+            status,
+            detail,
+            codec: "-".into(),
+            compress_ratio: 0.0,
+        }
+    }
 }
 
 /// Aggregate result of scrubbing a set of paths.
@@ -155,14 +175,16 @@ impl FsckReport {
 
     /// Render as one machine-readable JSON object:
     /// `{"scanned":N,"clean":N,"corrupt":N,"torn":N,"errors":N,
-    ///   "files":[{"path":"…","status":"…","detail":"…"},…]}`.
+    ///   "files":[{"path":"…","status":"…","detail":"…",
+    ///             "codec":"…","compress_ratio":"N.NNN"},…]}`.
     ///
     /// Emitted through the workspace-shared [`obs::json::JsonWriter`],
     /// the same serializer behind `--metrics` and `--trace` output, so
     /// every binary quotes and escapes identically. The field order
-    /// above is load-bearing: `ci.sh` greps for adjacent fields.
+    /// above is load-bearing: `ci.sh` greps for adjacent fields, so new
+    /// fields go after `detail`, never between `path` and `status`.
     pub fn to_json(&self) -> String {
-        let mut w = obs::json::JsonWriter::with_capacity(256 + self.files.len() * 96);
+        let mut w = obs::json::JsonWriter::with_capacity(256 + self.files.len() * 128);
         w.begin_object();
         w.key("scanned").uint(self.scanned() as u64);
         w.key("clean").uint(self.clean() as u64);
@@ -175,6 +197,11 @@ impl FsckReport {
             w.key("path").string(&v.path.display().to_string());
             w.key("status").string(v.status.as_str());
             w.key("detail").string(&v.detail);
+            w.key("codec").string(&v.codec);
+            // The shared parser admits only unsigned integers, so the
+            // ratio travels as a fixed-point string.
+            w.key("compress_ratio")
+                .string(&format!("{:.3}", v.compress_ratio));
             w.end_object();
         }
         w.end_array();
@@ -183,33 +210,64 @@ impl FsckReport {
     }
 }
 
+/// Codec label and raw/stored compression ratio of an open file,
+/// aggregated across its datasets. Uncompressed files report
+/// `("raw", 1.0)`.
+fn codec_summary(f: &File) -> (String, f64) {
+    let mut codec = dasf::Codec::Raw;
+    let mut raw = 0u64;
+    let mut stored = 0u64;
+    for path in f.dataset_paths() {
+        if let Ok(meta) = f.dataset(&path) {
+            raw += meta.byte_len();
+            stored += meta.stored_byte_len();
+            if codec == dasf::Codec::Raw {
+                codec = meta.codec();
+            }
+        }
+    }
+    let ratio = if stored > 0 {
+        raw as f64 / stored as f64
+    } else {
+        1.0
+    };
+    (codec.label(), ratio)
+}
+
 /// Scrub one file: open it, then verify every checksum unit.
 pub fn scrub_file(path: &Path) -> FileVerdict {
     let m = metrics();
     m.scanned.inc();
-    let verdict = |status: FileStatus, detail: String| {
-        match status {
-            FileStatus::Clean | FileStatus::CleanUnverified => m.clean.inc(),
-            FileStatus::Corrupt => m.corrupt.inc(),
-            FileStatus::Torn => m.torn.inc(),
-            FileStatus::Error => {}
+    let count = |status: FileStatus| match status {
+        FileStatus::Clean | FileStatus::CleanUnverified => m.clean.inc(),
+        FileStatus::Corrupt => m.corrupt.inc(),
+        FileStatus::Torn => m.torn.inc(),
+        FileStatus::Error => {}
+    };
+    let f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            let (status, detail) = match e {
+                DasfError::Truncated => (FileStatus::Torn, "truncated before commit record".into()),
+                e @ (DasfError::BadMagic
+                | DasfError::ChecksumMismatch { .. }
+                | DasfError::Corrupt(_)) => (FileStatus::Corrupt, e.to_string()),
+                e => (FileStatus::Error, e.to_string()),
+            };
+            count(status);
+            return FileVerdict::without_codec(path, status, detail);
         }
+    };
+    let (codec, compress_ratio) = codec_summary(&f);
+    let verdict = |status: FileStatus, detail: String| {
+        count(status);
         FileVerdict {
             path: path.to_path_buf(),
             status,
             detail,
+            codec: codec.clone(),
+            compress_ratio,
         }
-    };
-    let f = match File::open(path) {
-        Ok(f) => f,
-        Err(DasfError::Truncated) => {
-            return verdict(FileStatus::Torn, "truncated before commit record".into())
-        }
-        Err(e @ (DasfError::BadMagic | DasfError::ChecksumMismatch { .. })) => {
-            return verdict(FileStatus::Corrupt, e.to_string())
-        }
-        Err(e @ DasfError::Corrupt(_)) => return verdict(FileStatus::Corrupt, e.to_string()),
-        Err(e) => return verdict(FileStatus::Error, e.to_string()),
     };
     match f.verify_all() {
         Err(DasfError::Truncated) => verdict(
@@ -414,6 +472,8 @@ mod tests {
                 path: std::path::PathBuf::from("a\"b.dasf"),
                 status: FileStatus::Error,
                 detail: "line1\nline2\u{1}".into(),
+                codec: "-".into(),
+                compress_ratio: 0.0,
             }],
         };
         let json = report.to_json();
@@ -421,9 +481,33 @@ mod tests {
             json,
             "{\"scanned\":1,\"clean\":0,\"corrupt\":0,\"torn\":0,\"errors\":1,\
              \"files\":[{\"path\":\"a\\\"b.dasf\",\"status\":\"error\",\
-             \"detail\":\"line1\\nline2\\u0001\"}]}"
+             \"detail\":\"line1\\nline2\\u0001\",\
+             \"codec\":\"-\",\"compress_ratio\":\"0.000\"}]}"
         );
         // The shared parser accepts its sibling writer's escapes.
         obs::json::parse(&json).unwrap();
+    }
+
+    #[test]
+    fn compressed_file_reports_codec_and_ratio() {
+        let dir = tmpdir("codec");
+        let plain = write_sample(&dir, "plain.dasf");
+        let packed = dir.join("packed.dasf");
+        let mut w = Writer::create(&packed).unwrap();
+        w.set_codec(dasf::Codec::ShuffleLz).unwrap();
+        w.create_group("/Measurement").unwrap();
+        let data: Vec<f32> = (0..20000).map(|i| (i >> 5) as f32 * 0.25).collect();
+        w.write_dataset_f32("/Measurement/data", &[2, 10000], &data)
+            .unwrap();
+        w.finish().unwrap();
+
+        let v = scrub_file(&packed);
+        assert_eq!(v.status, FileStatus::Clean);
+        assert_eq!(v.codec, "shuffle-lz");
+        assert!(v.compress_ratio > 1.0, "ratio: {}", v.compress_ratio);
+
+        let v = scrub_file(&plain);
+        assert_eq!(v.codec, "raw");
+        assert!((v.compress_ratio - 1.0).abs() < 1e-9);
     }
 }

@@ -96,9 +96,23 @@ pub fn write_das_file_with_layout(
     data: &Array2<f32>,
     chunk: Option<(u64, u64)>,
 ) -> Result<()> {
+    write_das_file_with_codec(path, meta, data, chunk, dasf::Codec::Raw)
+}
+
+/// [`write_das_file_with_layout`] with an on-disk codec: the amplitude
+/// array is stored through `codec` (checksums cover the stored bytes,
+/// so scrub and fsck work unchanged on compressed files).
+pub fn write_das_file_with_codec(
+    path: &Path,
+    meta: &DasFileMeta,
+    data: &Array2<f32>,
+    chunk: Option<(u64, u64)>,
+    codec: dasf::Codec,
+) -> Result<()> {
     assert_eq!(data.rows() as u64, meta.channels, "channel count mismatch");
     assert_eq!(data.cols() as u64, meta.samples, "sample count mismatch");
     let mut w = Writer::create(path)?;
+    w.set_codec(codec)?;
     w.set_attr("/", keys::SAMPLING_FREQUENCY, Value::Int(meta.sampling_hz))?;
     w.set_attr(
         "/",

@@ -29,7 +29,8 @@ mod vca;
 pub use fsck::{collect_targets, quarantine, scrub_file, scrub_paths, FileStatus, FsckReport};
 pub use lav::Lav;
 pub use metadata::{
-    das_file_name, keys, write_das_file, write_das_file_with_layout, DasFileMeta, DATASET_PATH,
+    das_file_name, keys, write_das_file, write_das_file_with_codec, write_das_file_with_layout,
+    DasFileMeta, DATASET_PATH,
 };
 pub use par_read::{
     read_collective_per_file, read_collective_per_file_resilient, read_comm_avoiding,

@@ -281,25 +281,51 @@ impl IoPlan {
 /// aggregator at a time and broadcasts every file whole, while
 /// communication-avoiding spreads reads across ranks and pays a single
 /// all-to-all of `total/ranks` bytes per rank.
+///
+/// Codec-aware (DASF v4): `stored_bytes_per_file` is what actually
+/// leaves the disks, so I/O is priced on it, while broadcast and
+/// all-to-all move *decoded* granules and are priced on
+/// `raw_bytes_per_file`. When the files are compressed
+/// (`stored < raw`), decode CPU time is charged where decoding happens:
+/// the collective aggregator decodes every file serially before
+/// broadcasting, whereas communication-avoiding readers each decode
+/// only their own share — a cranked-up decode rate therefore pushes the
+/// model toward [`ReadStrategy::CommAvoiding`].
 pub fn choose_strategy_modeled(
     machine: &perfmodel::Machine,
     ranks: usize,
     files: usize,
-    bytes_per_file: u64,
+    raw_bytes_per_file: u64,
+    stored_bytes_per_file: u64,
 ) -> ReadStrategy {
     if ranks <= 1 || files == 0 {
         return ReadStrategy::CollectivePerFile;
     }
     let n = files as u64;
-    let total = n * bytes_per_file;
+    let raw_total = n * raw_bytes_per_file;
+    let stored_total = n * stored_bytes_per_file;
     let per_rank_files = files.div_ceil(ranks) as u64;
+    // Per-unit raw fallback means stored == raw is effectively an
+    // uncompressed dataset: no decode stage to pay for.
+    let decode_per_file = if stored_bytes_per_file < raw_bytes_per_file {
+        machine.decode_time(raw_bytes_per_file)
+    } else {
+        0.0
+    };
     let collective = machine.open_time(n)
-        + machine.read_time(1, 1, n, total)
-        + files as f64 * machine.bcast_time(ranks, bytes_per_file);
+        + machine.read_time(1, 1, n, stored_total)
+        + n as f64 * decode_per_file
+        + files as f64 * machine.bcast_time(ranks, raw_bytes_per_file);
     let readers = ranks.min(files);
     let comm_avoiding = machine.open_time(per_rank_files)
-        + machine.read_time(1, readers, per_rank_files, per_rank_files * bytes_per_file)
-        + machine.alltoallv_time(ranks, total / ranks as u64);
+        + machine.read_time(
+            1,
+            readers,
+            per_rank_files,
+            per_rank_files * stored_bytes_per_file,
+        )
+        + per_rank_files as f64 * decode_per_file
+        + machine.alltoallv_time(ranks, raw_total / ranks as u64);
     if comm_avoiding <= collective {
         ReadStrategy::CommAvoiding
     } else {
@@ -309,13 +335,35 @@ pub fn choose_strategy_modeled(
 
 /// [`IoPlan::for_vca`] with the strategy chosen by
 /// [`choose_strategy_modeled`] instead of the heuristic.
+///
+/// The stored (on-disk) size is sampled from the first member's
+/// metadata — one cheap metadata-only open. Files written raw, v3
+/// files, and files that cannot be opened here all price as
+/// uncompressed (`stored == raw`).
 pub fn for_vca_modeled(vca: &Vca, machine: &perfmodel::Machine, ranks: usize) -> IoPlan {
-    let bytes_per_file = if vca.n_files() == 0 {
+    let raw_bytes_per_file = if vca.n_files() == 0 {
         0
     } else {
         vca.channels() * vca.samples_of(0) * std::mem::size_of::<f32>() as u64
     };
-    let strategy = choose_strategy_modeled(machine, ranks, vca.n_files(), bytes_per_file);
+    let stored_bytes_per_file = vca
+        .entries()
+        .first()
+        .and_then(|e| dasf::File::open(&e.path).ok())
+        .and_then(|f| {
+            f.dataset(DATASET_PATH)
+                .ok()
+                .filter(|m| m.is_compressed())
+                .map(|m| m.stored_byte_len())
+        })
+        .unwrap_or(raw_bytes_per_file);
+    let strategy = choose_strategy_modeled(
+        machine,
+        ranks,
+        vca.n_files(),
+        raw_bytes_per_file,
+        stored_bytes_per_file,
+    );
     IoPlan::for_vca(vca, strategy, ranks)
 }
 
@@ -391,13 +439,53 @@ mod tests {
     fn modeled_choice_prefers_comm_avoiding_at_scale() {
         let m = perfmodel::Machine::cori_haswell();
         // Many files across many ranks: the paper's Figure 7 regime.
+        // Uncompressed corpus: stored == raw.
         assert_eq!(
-            choose_strategy_modeled(&m, 8, 64, 30 << 20),
+            choose_strategy_modeled(&m, 8, 64, 30 << 20, 30 << 20),
             ReadStrategy::CommAvoiding
         );
         // Degenerate single-rank world: nothing to exchange.
         assert_eq!(
-            choose_strategy_modeled(&m, 1, 64, 30 << 20),
+            choose_strategy_modeled(&m, 1, 64, 30 << 20, 30 << 20),
+            ReadStrategy::CollectivePerFile
+        );
+    }
+
+    #[test]
+    fn modeled_choice_flips_when_decode_dominates() {
+        // Perfmodel honesty check: the decode term must be able to
+        // change the answer, not just nudge the totals. Few small
+        // compressed files across many ranks, free opens, fat message
+        // latency: broadcasting 4 files costs 4·⌈log₂ 64⌉ = 24 latency
+        // rounds against the all-to-all's 63, so collective-per-file
+        // wins while decode is free. Crank the decode rate and the
+        // aggregator pays it 4× (once per file, serially) against a
+        // comm-avoiding reader's 1× — the choice must flip.
+        let m = perfmodel::Machine {
+            file_open_s: 0.0,
+            net_latency: 1e-3,
+            decode_ns_per_byte: 0.0,
+            ..perfmodel::Machine::cori_haswell()
+        };
+        let (ranks, files) = (64, 4);
+        let raw = 1u64 << 20;
+        let stored = raw / 2;
+        assert_eq!(
+            choose_strategy_modeled(&m, ranks, files, raw, stored),
+            ReadStrategy::CollectivePerFile
+        );
+        let slow_decode = perfmodel::Machine {
+            decode_ns_per_byte: 50.0,
+            ..m.clone()
+        };
+        assert_eq!(
+            choose_strategy_modeled(&slow_decode, ranks, files, raw, stored),
+            ReadStrategy::CommAvoiding
+        );
+        // Uncompressed files (stored == raw) never pay decode, so the
+        // cranked rate must not leak into their pricing.
+        assert_eq!(
+            choose_strategy_modeled(&slow_decode, ranks, files, raw, raw),
             ReadStrategy::CollectivePerFile
         );
     }

@@ -142,7 +142,7 @@ mod tests {
         create_rca(cat.entries(), &out).unwrap();
 
         let f = File::open(&out).unwrap();
-        assert_eq!(f.version(), dasf::Version::V3);
+        assert_eq!(f.version(), dasf::Version::V4);
         let v = f.verify_all().unwrap();
         assert!(v.is_clean());
         assert_eq!(v.unverified_datasets, 0);

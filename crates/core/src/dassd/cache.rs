@@ -16,8 +16,10 @@
 //!   referenced bit; the evictor sweeps a queue, demoting referenced
 //!   entries once before evicting them — LRU-approximating without
 //!   per-hit queue surgery.
-//! * **Checksum-verified only.** Entries come from `dasf` v3 verified
-//!   reads; any error — in particular `ChecksumMismatch` — propagates
+//! * **Checksum-verified only.** Entries come from `dasf` v3/v4
+//!   verified reads (checksums are validated over the stored bytes
+//!   before any decode runs); any error — in particular
+//!   `ChecksumMismatch` — propagates
 //!   to the caller and is *never* cached, so one corrupt page cannot
 //!   poison later requests.
 //! * **Pooled memory.** Samples live in [`dasf::pool`] buffers; an
@@ -28,7 +30,15 @@
 //! into its parent): counters `cache.{hit,miss,evict}`, gauge
 //! `cache.bytes` (current resident bytes), histogram
 //! `cache.resident_bytes` (resident level sampled after each insert —
-//! its max is the high-water mark the stress test bounds).
+//! its max is the high-water mark the stress test bounds), and counter
+//! `cache.stored_bytes` (on-disk — possibly compressed — bytes behind
+//! each miss; with v4 codecs this trails `cache.bytes` growth, and the
+//! gap is the decode amplification the cache absorbs).
+//!
+//! Under v4 codecs the granule is the *decoded* tile: residency is
+//! charged at raw (decoded) size, because that is what the entry pins
+//! in memory, while `cache.stored_bytes` accounts what was actually
+//! read from disk.
 
 use crate::Result;
 use dasf::File;
@@ -49,6 +59,8 @@ pub mod metric_names {
     /// Resident bytes sampled after each insert (histogram; `max` is
     /// the high-water mark).
     pub const RESIDENT_BYTES: &str = "cache.resident_bytes";
+    /// On-disk (stored, possibly compressed) bytes behind cache misses.
+    pub const STORED_BYTES: &str = "cache.stored_bytes";
 }
 
 /// One cached member-file dataset: the full `rows × cols` tile in a
@@ -56,6 +68,7 @@ pub mod metric_names {
 pub struct Chunk {
     rows: usize,
     cols: usize,
+    stored_bytes: u64,
     data: dasf::pool::PooledBuf<f32>,
 }
 
@@ -84,9 +97,15 @@ impl Chunk {
         &self.data
     }
 
-    /// Payload size in bytes.
+    /// Payload size in bytes (decoded — what residency is charged at).
     pub fn bytes(&self) -> u64 {
         (self.rows * self.cols * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// On-disk footprint of the dataset this tile was decoded from;
+    /// equals [`Chunk::bytes`] for uncompressed files.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
     }
 
     /// Copy out the hyperslab `sel` (`[(row0, nrows), (col0, ncols)]`
@@ -132,6 +151,7 @@ pub struct ChunkCache {
     evict: obs::Counter,
     bytes: obs::Gauge,
     resident_hist: obs::Histogram,
+    stored: obs::Counter,
 }
 
 impl ChunkCache {
@@ -151,6 +171,7 @@ impl ChunkCache {
             evict: registry.counter(metric_names::EVICT),
             bytes: registry.gauge(metric_names::BYTES),
             resident_hist: registry.histogram(metric_names::RESIDENT_BYTES),
+            stored: registry.counter(metric_names::STORED_BYTES),
         }
     }
 
@@ -198,6 +219,7 @@ impl ChunkCache {
         self.miss.inc();
         let chunk = Arc::new(self.read_chunk(path)?);
         let nbytes = chunk.bytes();
+        self.stored.add(chunk.stored_bytes());
 
         let mut inner = self.inner.lock().unwrap();
         if let Some(e) = inner.map.get_mut(path) {
@@ -265,12 +287,14 @@ impl ChunkCache {
             )));
         }
         let (rows, cols) = (dims[0] as usize, dims[1] as usize);
+        let stored_bytes = ds.stored_byte_len();
         let mut buf = dasf::pool::f32s().acquire(rows * cols);
         let n = f.read_into(&self.dataset, &mut buf)?;
         debug_assert_eq!(n, rows * cols);
         Ok(Chunk {
             rows,
             cols,
+            stored_bytes,
             data: buf,
         })
     }

@@ -300,8 +300,14 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr).map_err(DassaError::Io)?;
         let addr = listener.local_addr().map_err(DassaError::Io)?;
 
+        // The rate sampler watches the *global* registry (like the
+        // ingest probe does): child increments aggregate up into it, so
+        // the series carries the server's own `dassd.*`/`cache.*` rates
+        // plus the storage-layer `dasf.*` traffic they cause — e.g. the
+        // `dasf.codec.bytes_{raw,stored}` deltas behind the `das_top`
+        // compression-ratio column.
         let sampler = obs::Sampler::start(
-            Arc::clone(&registry),
+            Arc::clone(obs::global()),
             cfg.sample_interval,
             cfg.series_capacity,
         );

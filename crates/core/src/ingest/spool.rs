@@ -16,8 +16,11 @@
 //!                                         quarantined
 //! ```
 //!
-//! Validation is [`dasf::File::open_verified`] (the v3 checksum scrub)
-//! plus the metadata parse. Torn and I/O failures retry with jittered
+//! Validation is [`dasf::File::open_verified`] (the v3/v4 checksum
+//! scrub; on v4 files the CRCs cover the *stored* — possibly
+//! compressed — units, so admission hashes exactly what is on disk
+//! without decoding anything) plus the metadata parse. Torn and I/O
+//! failures retry with jittered
 //! exponential backoff — a torn file is usually a writer mid-rename
 //! and heals on its own — while bit-rot and bad metadata quarantine
 //! immediately: no number of retries fixes wrong bytes.

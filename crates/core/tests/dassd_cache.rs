@@ -215,3 +215,47 @@ fn oversized_chunks_bypass_the_cache() {
     assert_eq!(reg.snapshot().counter(metric_names::EVICT), 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A v4 shuffle-lz file is served *decoded* and byte-identical to its
+/// raw twin; residency is charged at the decoded size while the
+/// `cache.stored_bytes` counter records the smaller on-disk footprint.
+#[test]
+fn compressed_files_are_served_decoded_with_stored_accounting() {
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("dassa-dassd-cache-codec-{id}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("dir");
+    let (channels, samples) = (8u64, 4096u64);
+    // Stepped ramps: long byte runs after the shuffle, so shuffle-lz
+    // genuinely shrinks the payload.
+    let data = Array2::from_fn(channels as usize, samples as usize, |r, c| {
+        (r * 4 + c / 32) as f32 * 0.25
+    });
+    let meta = DasFileMeta {
+        sampling_hz: (samples / 60).max(1) as i64,
+        spatial_resolution_m: 2.0,
+        timestamp: Timestamp::parse("170728224510").expect("ts"),
+        channels,
+        samples,
+    };
+    let path = dir.join(das_file_name(&meta.timestamp));
+    write_das_file_with_codec(&path, &meta, &data, None, dasf::Codec::ShuffleLz).expect("write");
+
+    let raw_bytes = channels * samples * 4;
+    let reg = fresh_registry();
+    let cache = ChunkCache::new(1 << 22, DATASET_PATH, &reg);
+    let c = cache.get_or_read(&path).expect("get");
+    assert_eq!(c.data(), data.as_slice());
+    assert_eq!(c.bytes(), raw_bytes);
+    assert_eq!(cache.resident_bytes(), raw_bytes);
+    let stored = reg.snapshot().counter(metric_names::STORED_BYTES);
+    assert_eq!(stored, c.stored_bytes());
+    assert!(
+        stored < raw_bytes / 2,
+        "expected stored < raw/2, got {stored} vs {raw_bytes}"
+    );
+    // A hit must not recount disk bytes.
+    let _ = cache.get_or_read(&path).expect("hit");
+    assert_eq!(reg.snapshot().counter(metric_names::STORED_BYTES), stored);
+    let _ = std::fs::remove_dir_all(&dir);
+}

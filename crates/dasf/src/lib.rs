@@ -17,32 +17,39 @@
 //! fast), while dataset reads seek directly to contiguous row-major
 //! runs.
 //!
-//! # File layout (v3, `DASF0003`)
+//! # File layout (v4, `DASF0004`)
 //!
 //! ```text
-//! [ 0.. 8)  magic "DASF0003"
+//! [ 0.. 8)  magic "DASF0004"
 //! [ 8..16)  u64: offset of the object table
-//! [16.. X)  raw dataset payloads, contiguous row-major
-//! [ X.. Y)  object table: root group tree w/ attributes and
-//!           per-dataset chunked CRC32C checksums
+//! [16.. X)  dataset payloads: per-unit *stored* bytes (raw, or
+//!           codec-compressed; see [`Codec`]), contiguous row-major
+//! [ X.. Y)  object table: root group tree w/ attributes, per-dataset
+//!           chunked CRC32C checksums, and per-unit codec headers
+//!           `{codec, raw_len, stored_len}` for compressed datasets
 //! [ Y..EOF) 32-byte commit record:
 //!             u64 table offset · u64 table length ·
 //!             u32 CRC32C(table) · u32 CRC32C(superblock ∥ record) ·
-//!             8-byte commit magic "DASF3END"
+//!             8-byte commit magic "DASF4END"
 //! ```
 //!
-//! Every dataset payload is checksummed in chunks (64 KiB units for
-//! contiguous layout, one unit per storage chunk for chunked layout);
-//! the reader verifies the units a read touches and caches the verified
-//! set, so repeated reads do not re-hash. A flipped byte anywhere —
-//! payload, object table, or superblock — surfaces as
+//! Every dataset payload is checksummed in units (64 KiB of raw payload
+//! for contiguous layout, one unit per storage chunk for chunked
+//! layout). v4 adds an optional codec stage *under* the checksums: each
+//! unit may be stored compressed, and its CRC32C covers the **stored**
+//! bytes, so scrubbing (`verify_all`, `das_fsck`) hashes exactly what
+//! is on disk and never pays a decode. The reader verifies the units a
+//! read touches, decodes them into pooled buffers, and caches the
+//! verified set, so repeated reads do not re-hash. A flipped byte
+//! anywhere — payload, object table, or superblock — surfaces as
 //! [`DasfError::ChecksumMismatch`], and a file truncated before its
 //! commit record is complete is always [`DasfError::Truncated`], never
 //! half-readable. Writers are crash-consistent: bytes stream to
 //! `<name>.tmp`, which is fsynced and atomically renamed into place by
 //! [`Writer::finish`]; an unfinished writer removes its temp file on
-//! drop. Version-2 files (`DASF0002`, no checksums, no commit record)
-//! still open read-only.
+//! drop. Version-3 files (`DASF0003`, checksums but no codec stage) and
+//! version-2 files (`DASF0002`, no checksums, no commit record) still
+//! open through the same read path.
 //!
 //! # Example
 //! ```
@@ -66,6 +73,7 @@
 //! assert_eq!(sub.len(), 6);
 //! ```
 
+pub mod codec;
 pub mod crc;
 mod element;
 mod error;
@@ -77,29 +85,39 @@ mod reader;
 mod value;
 mod writer;
 
+pub use codec::Codec;
 pub use element::{Dtype, Element};
 pub use error::DasfError;
-pub use object::{DatasetMeta, Layout, Node, ObjectTable};
+pub use object::{DatasetMeta, Layout, Node, ObjectTable, UnitHeader};
 pub use pool::{BufferPool, PooledBuf};
 pub use reader::{ChecksumFault, File, VerifyOutcome};
 pub use value::Value;
 pub use writer::Writer;
 
-/// Magic bytes at the start of every current (v3) dasf file.
-pub const MAGIC: &[u8; 8] = b"DASF0003";
+/// Magic bytes at the start of every current (v4) dasf file.
+pub const MAGIC: &[u8; 8] = b"DASF0004";
+
+/// Magic of the v3 format (checksums, no codec stage), still fully
+/// readable.
+pub const MAGIC_V3: &[u8; 8] = b"DASF0003";
 
 /// Magic of the legacy v2 format, still opened read-only.
 pub const MAGIC_V2: &[u8; 8] = b"DASF0002";
 
-/// Trailing bytes of the v3 commit record; a file that does not end
+/// Trailing bytes of the v4 commit record; a file that does not end
 /// with them was interrupted before `finish` completed.
-pub const COMMIT_MAGIC: &[u8; 8] = b"DASF3END";
+pub const COMMIT_MAGIC: &[u8; 8] = b"DASF4END";
 
-/// Size of the v3 commit record at the end of the file.
+/// Trailing bytes of a v3 commit record.
+pub const COMMIT_MAGIC_V3: &[u8; 8] = b"DASF3END";
+
+/// Size of the v3/v4 commit record at the end of the file.
 pub const FOOTER_LEN: u64 = 32;
 
 /// Checksum granularity for contiguous-layout payloads: one CRC32C per
-/// this many payload bytes (chunked layouts checksum per storage chunk).
+/// this many **raw** payload bytes (chunked layouts checksum per storage
+/// chunk). On v4 compressed datasets each such raw unit maps to one
+/// stored unit and the CRC covers the stored bytes.
 pub const VERIFY_CHUNK_BYTES: u64 = 64 * 1024;
 
 /// On-disk format version of an open file.
@@ -109,6 +127,29 @@ pub enum Version {
     V2,
     /// `DASF0003`: chunked CRC32C checksums + trailing commit record.
     V3,
+    /// `DASF0004`: v3 plus a per-unit codec stage under the checksums.
+    V4,
+}
+
+impl Version {
+    /// The 8-byte magic this version opens with.
+    pub fn magic(self) -> &'static [u8; 8] {
+        match self {
+            Version::V2 => MAGIC_V2,
+            Version::V3 => MAGIC_V3,
+            Version::V4 => MAGIC,
+        }
+    }
+
+    /// The 8-byte commit-record trailer of this version. v2 has no
+    /// commit record; callers only reach this for v3/v4 files.
+    pub(crate) fn commit_magic(self) -> &'static [u8; 8] {
+        match self {
+            Version::V2 => unreachable!("v2 files have no commit record"),
+            Version::V3 => COMMIT_MAGIC_V3,
+            Version::V4 => COMMIT_MAGIC,
+        }
+    }
 }
 
 /// Result alias for this crate.

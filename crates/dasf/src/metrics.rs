@@ -44,6 +44,17 @@ pub mod names {
     /// vectors. Pool hits keep this flat — the ci pipeline gate
     /// watches it for regressions.
     pub const ALLOC_BYTES: &str = "dasf.alloc.bytes";
+    /// Histogram of per-dataset codec encode wall time in nanoseconds.
+    pub const CODEC_ENCODE_NS: &str = "dasf.codec.encode_ns";
+    /// Histogram of per-read codec decode wall time in nanoseconds.
+    pub const CODEC_DECODE_NS: &str = "dasf.codec.decode_ns";
+    /// Raw (decoded) payload bytes that flowed through a codec on
+    /// either side. `bytes_raw / bytes_stored` is the live compression
+    /// ratio `das_top` derives from windowed deltas; uncompressed
+    /// datasets touch neither counter.
+    pub const CODEC_BYTES_RAW: &str = "dasf.codec.bytes_raw";
+    /// Stored (on-disk) bytes corresponding to [`CODEC_BYTES_RAW`].
+    pub const CODEC_BYTES_STORED: &str = "dasf.codec.bytes_stored";
 }
 
 pub(crate) struct Metrics {
@@ -61,6 +72,10 @@ pub(crate) struct Metrics {
     pub verify_mismatch: Counter,
     pub verify_ns: Histogram,
     pub alloc_bytes: Counter,
+    pub codec_encode_ns: Histogram,
+    pub codec_decode_ns: Histogram,
+    pub codec_bytes_raw: Counter,
+    pub codec_bytes_stored: Counter,
 }
 
 pub(crate) fn metrics() -> &'static Metrics {
@@ -82,6 +97,10 @@ pub(crate) fn metrics() -> &'static Metrics {
             verify_mismatch: reg.counter(names::VERIFY_MISMATCH),
             verify_ns: reg.histogram(names::VERIFY_NS),
             alloc_bytes: reg.counter(names::ALLOC_BYTES),
+            codec_encode_ns: reg.histogram(names::CODEC_ENCODE_NS),
+            codec_decode_ns: reg.histogram(names::CODEC_DECODE_NS),
+            codec_bytes_raw: reg.counter(names::CODEC_BYTES_RAW),
+            codec_bytes_stored: reg.counter(names::CODEC_BYTES_STORED),
         }
     })
 }

@@ -4,11 +4,27 @@
 //! only the superblock and this table, so metadata-only operations (the
 //! backbone of VCA construction and `das_search`) never touch array data.
 
+use crate::codec::{self, Codec};
 use crate::error::DasfError;
 use crate::value::{check_len, get_string, put_string, Value};
 use crate::{Dtype, Result, Version, VERIFY_CHUNK_BYTES};
 use bytes::{Buf, BufMut};
 use std::collections::BTreeMap;
+
+/// Per-verify-unit codec record of a v4 compressed dataset: how unit
+/// `i` is stored on disk. `raw_len` is the decoded payload size of the
+/// unit; `stored_len` is its on-disk size; the unit's CRC32C (in
+/// [`DatasetMeta::checksums`]) covers the stored bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitHeader {
+    /// Codec this unit was actually stored with (`Raw` when the
+    /// requested codec did not shrink this particular unit).
+    pub codec: Codec,
+    /// Decoded (raw payload) length in bytes.
+    pub raw_len: u32,
+    /// On-disk (stored) length in bytes.
+    pub stored_len: u32,
+}
 
 /// Metadata of one stored dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,8 +43,14 @@ pub struct DatasetMeta {
     /// CRC32C per verify unit: [`VERIFY_CHUNK_BYTES`]-sized slices of
     /// the payload for contiguous layout, one per storage chunk for
     /// chunked layout. Empty for datasets read from v2 files, which
-    /// carry no checksums and are never verified.
+    /// carry no checksums and are never verified. On compressed v4
+    /// datasets each CRC covers the **stored** bytes of its unit.
     pub checksums: Vec<u32>,
+    /// Per-unit codec headers (v4 only). Empty means the dataset is
+    /// stored uncompressed, byte-identical to the v3 layout; non-empty
+    /// means unit `i` occupies `stored_units[i].stored_len` bytes on
+    /// disk and decodes to `stored_units[i].raw_len` payload bytes.
+    pub stored_units: Vec<UnitHeader>,
 }
 
 /// Dataset storage layout, mirroring HDF5's contiguous vs chunked
@@ -106,6 +128,48 @@ impl DatasetMeta {
     pub fn unit_range(&self, unit: usize) -> (u64, u64) {
         let start = unit as u64 * VERIFY_CHUNK_BYTES;
         (start, VERIFY_CHUNK_BYTES.min(self.byte_len() - start))
+    }
+
+    /// True when this dataset carries per-unit codec headers, i.e. its
+    /// on-disk bytes go through a decode stage.
+    pub fn is_compressed(&self) -> bool {
+        !self.stored_units.is_empty()
+    }
+
+    /// The codec this dataset was written with: the first non-`Raw`
+    /// unit codec, or `Raw` for uncompressed datasets (and compressed
+    /// datasets where every unit fell back to raw storage).
+    pub fn codec(&self) -> Codec {
+        self.stored_units
+            .iter()
+            .map(|u| u.codec)
+            .find(|c| *c != Codec::Raw)
+            .unwrap_or(Codec::Raw)
+    }
+
+    /// On-disk payload size in bytes: the sum of stored unit lengths
+    /// for compressed datasets, [`DatasetMeta::byte_len`] otherwise.
+    pub fn stored_byte_len(&self) -> u64 {
+        if self.stored_units.is_empty() {
+            self.byte_len()
+        } else {
+            self.stored_units.iter().map(|u| u.stored_len as u64).sum()
+        }
+    }
+
+    /// Stored byte range `(offset, len)` of verify unit `unit` relative
+    /// to the start of this dataset's **contiguous** payload. Equals
+    /// [`DatasetMeta::unit_range`] for uncompressed datasets. Chunked
+    /// layouts locate stored units via their `chunk_offsets` instead.
+    pub fn stored_unit_range(&self, unit: usize) -> (u64, u64) {
+        if self.stored_units.is_empty() {
+            return self.unit_range(unit);
+        }
+        let off: u64 = self.stored_units[..unit]
+            .iter()
+            .map(|u| u.stored_len as u64)
+            .sum();
+        (off, self.stored_units[unit].stored_len as u64)
     }
 }
 
@@ -310,14 +374,15 @@ impl ObjectTable {
 
     // ---- serialization -------------------------------------------------
 
-    /// Serialize the whole tree in the current (v3) layout.
+    /// Serialize the whole tree in the current (v4) layout.
     pub fn encode(&self) -> Vec<u8> {
-        self.encode_versioned(Version::V3)
+        self.encode_versioned(Version::V4)
     }
 
-    /// Serialize the whole tree in a specific format version. V2 drops
-    /// the per-dataset checksum vectors (the v2 node layout has no slot
-    /// for them); it exists for fixtures and compatibility tests.
+    /// Serialize the whole tree in a specific format version. V3 drops
+    /// the per-unit codec headers and V2 additionally drops the
+    /// checksum vectors (their node layouts have no slot for them);
+    /// they exist for fixtures and compatibility tests.
     pub fn encode_versioned(&self, version: Version) -> Vec<u8> {
         let mut out = Vec::new();
         encode_node(&self.root, &mut out, version);
@@ -401,10 +466,21 @@ fn encode_node(node: &Node, out: &mut Vec<u8>, version: Version) {
                     }
                 }
             }
-            if version == Version::V3 {
+            if version != Version::V2 {
                 out.put_u32_le(d.checksums.len() as u32);
                 for &c in &d.checksums {
                     out.put_u32_le(c);
+                }
+            }
+            if version == Version::V4 {
+                out.put_u32_le(d.stored_units.len() as u32);
+                for u in &d.stored_units {
+                    out.put_u8(u.codec.tag());
+                    if let Codec::Quant { bound } = u.codec {
+                        out.put_f64_le(bound);
+                    }
+                    out.put_u32_le(u.raw_len);
+                    out.put_u32_le(u.stored_len);
                 }
             }
             encode_attrs(&d.attrs, out);
@@ -459,11 +535,49 @@ fn decode_node(buf: &mut &[u8], version: Version) -> Result<Node> {
                 }
                 other => return Err(DasfError::Corrupt(format!("unknown layout tag {other}"))),
             };
-            let checksums = if version == Version::V3 {
+            let checksums: Vec<u32> = if version != Version::V2 {
                 check_len(buf, 4)?;
                 let n = buf.get_u32_le() as usize;
                 check_len(buf, n * 4)?;
                 (0..n).map(|_| buf.get_u32_le()).collect()
+            } else {
+                Vec::new()
+            };
+            let stored_units = if version == Version::V4 {
+                check_len(buf, 4)?;
+                let n = buf.get_u32_le() as usize;
+                if n > checksums.len() {
+                    return Err(DasfError::Corrupt(format!(
+                        "{n} unit headers for {} checksums",
+                        checksums.len()
+                    )));
+                }
+                let mut units = Vec::with_capacity(n);
+                for _ in 0..n {
+                    check_len(buf, 1)?;
+                    let codec = match buf.get_u8() {
+                        codec::TAG_RAW => Codec::Raw,
+                        codec::TAG_SHUFFLE_LZ => Codec::ShuffleLz,
+                        codec::TAG_QUANT => {
+                            check_len(buf, 8)?;
+                            let bound = buf.get_f64_le();
+                            if !(bound.is_finite() && bound > 0.0) {
+                                return Err(DasfError::Corrupt(format!("bad quant bound {bound}")));
+                            }
+                            Codec::Quant { bound }
+                        }
+                        other => {
+                            return Err(DasfError::Corrupt(format!("unknown codec tag {other}")))
+                        }
+                    };
+                    check_len(buf, 8)?;
+                    units.push(UnitHeader {
+                        codec,
+                        raw_len: buf.get_u32_le(),
+                        stored_len: buf.get_u32_le(),
+                    });
+                }
+                units
             } else {
                 Vec::new()
             };
@@ -475,6 +589,7 @@ fn decode_node(buf: &mut &[u8], version: Version) -> Result<Node> {
                 layout,
                 attrs,
                 checksums,
+                stored_units,
             }))
         }
         other => Err(DasfError::Corrupt(format!("unknown node tag {other}"))),
@@ -501,6 +616,7 @@ mod tests {
                 layout: Layout::Contiguous,
                 attrs: BTreeMap::new(),
                 checksums: vec![0xDEAD_BEEF],
+                stored_units: Vec::new(),
             },
         )
         .unwrap();
@@ -511,8 +627,41 @@ mod tests {
     fn encode_decode_round_trip() {
         let t = sample_table();
         let bytes = t.encode();
-        let back = ObjectTable::decode(&bytes, Version::V3).unwrap();
+        let back = ObjectTable::decode(&bytes, Version::V4).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn unit_headers_round_trip_in_v4_only() {
+        let mut t = sample_table();
+        t.insert_dataset(
+            "/Measurement/packed",
+            DatasetMeta {
+                dtype: Dtype::F32,
+                dims: vec![2, 3],
+                data_offset: 200,
+                layout: Layout::Contiguous,
+                attrs: BTreeMap::new(),
+                checksums: vec![7],
+                stored_units: vec![UnitHeader {
+                    codec: Codec::Quant { bound: 0.25 },
+                    raw_len: 24,
+                    stored_len: 9,
+                }],
+            },
+        )
+        .unwrap();
+        let back = ObjectTable::decode(&t.encode(), Version::V4).unwrap();
+        assert_eq!(back, t);
+        let d = back.dataset("/Measurement/packed").unwrap();
+        assert!(d.is_compressed());
+        assert_eq!(d.codec(), Codec::Quant { bound: 0.25 });
+        assert_eq!(d.stored_byte_len(), 9);
+        assert_eq!(d.stored_unit_range(0), (0, 9));
+        // A v3 encoding has no slot for unit headers: the table encodes
+        // and decodes, but the headers are gone.
+        let v3 = ObjectTable::decode(&t.encode_versioned(Version::V3), Version::V3).unwrap();
+        assert!(!v3.dataset("/Measurement/packed").unwrap().is_compressed());
     }
 
     #[test]
@@ -588,6 +737,7 @@ mod tests {
                 },
                 attrs: BTreeMap::new(),
                 checksums: vec![1, 2],
+                stored_units: Vec::new(),
             },
         )
         .unwrap();
@@ -598,13 +748,13 @@ mod tests {
 
     #[test]
     fn corrupt_bytes_rejected() {
-        for v in [Version::V2, Version::V3] {
+        for v in [Version::V2, Version::V3, Version::V4] {
             assert!(ObjectTable::decode(&[], v).is_err());
             assert!(ObjectTable::decode(&[77], v).is_err());
         }
         let mut bytes = sample_table().encode();
         bytes.push(0); // trailing garbage
-        assert!(ObjectTable::decode(&bytes, Version::V3).is_err());
+        assert!(ObjectTable::decode(&bytes, Version::V4).is_err());
     }
 
     #[test]
@@ -616,6 +766,7 @@ mod tests {
             layout: Layout::Contiguous,
             attrs: BTreeMap::new(),
             checksums: Vec::new(),
+            stored_units: Vec::new(),
         };
         assert_eq!(m.len(), 200);
         assert_eq!(m.byte_len(), 1600);

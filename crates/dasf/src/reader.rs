@@ -1,11 +1,12 @@
 //! Reading dasf files: cheap metadata opens and verified hyperslab reads.
 
+use crate::codec;
 use crate::crc::crc32c;
 use crate::element::{decode_into, decode_slice, Element};
 use crate::error::DasfError;
-use crate::object::{DatasetMeta, Layout, ObjectTable};
+use crate::object::{DatasetMeta, Layout, ObjectTable, UnitHeader};
 use crate::value::Value;
-use crate::{Result, Version, COMMIT_MAGIC, FOOTER_LEN, MAGIC, MAGIC_V2, VERIFY_CHUNK_BYTES};
+use crate::{Result, Version, FOOTER_LEN, MAGIC, MAGIC_V2, MAGIC_V3, VERIFY_CHUNK_BYTES};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fs::File as FsFile;
@@ -65,16 +66,18 @@ macro_rules! typed_read_aliases {
 /// An open dasf file.
 ///
 /// `open` reads only the 16-byte superblock, the object-table footer,
-/// and (v3) the 32-byte commit record — array payloads stay on disk
+/// and (v3/v4) the 32-byte commit record — array payloads stay on disk
 /// until a read method asks for them. That is the property DASSA's VCA
 /// exploits: merging a thousand files costs a thousand metadata opens,
 /// not a terabyte of data movement.
 ///
-/// For v3 files every read verifies the CRC32C of the verify units it
-/// touches before returning data, and caches which units passed so
+/// For v3/v4 files every read verifies the CRC32C of the verify units
+/// it touches before returning data, and caches which units passed so
 /// repeated reads do not re-hash. The cache is per-handle: bytes that
 /// rot on disk *after* a unit verified are not re-detected through the
 /// same handle, but a fresh `open` re-verifies everything it reads.
+/// Checksums cover the bytes as stored, so on v4 compressed datasets
+/// decode only ever runs on CRC-verified input.
 pub struct File {
     path: PathBuf,
     handle: RefCell<FsFile>,
@@ -90,8 +93,8 @@ pub struct File {
 }
 
 impl File {
-    /// Open `path`, validating magic, object table, and (v3) the commit
-    /// record and its checksums.
+    /// Open `path`, validating magic, object table, and (v3/v4) the
+    /// commit record and its checksums.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<File> {
         let m = crate::metrics::metrics();
         m.open_count.inc();
@@ -131,6 +134,8 @@ impl File {
         let mut header = [0u8; 16];
         f.read_exact(&mut header).map_err(map_eof)?;
         let version = if &header[..8] == MAGIC {
+            Version::V4
+        } else if &header[..8] == MAGIC_V3 {
             Version::V3
         } else if &header[..8] == MAGIC_V2 {
             Version::V2
@@ -157,14 +162,14 @@ impl File {
                 f.read_to_end(&mut tb)?;
                 (header_offset, tb)
             }
-            Version::V3 => {
+            Version::V3 | Version::V4 => {
                 if file_len < 16 + FOOTER_LEN {
                     return Err(DasfError::Truncated);
                 }
                 let mut footer = [0u8; FOOTER_LEN as usize];
                 f.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
                 f.read_exact(&mut footer).map_err(map_eof)?;
-                if &footer[24..32] != COMMIT_MAGIC {
+                if &footer[24..32] != version.commit_magic() {
                     // Torn write: the file ends before the commit record.
                     return Err(DasfError::Truncated);
                 }
@@ -176,7 +181,7 @@ impl File {
                 // plus the record prefix, so flipped bytes in either are
                 // distinguishable from truncation.
                 let mut covered = Vec::with_capacity(36);
-                covered.extend_from_slice(MAGIC);
+                covered.extend_from_slice(version.magic());
                 covered.extend_from_slice(&footer[0..8]);
                 covered.extend_from_slice(&footer[..20]);
                 if crc32c(&covered) != footer_crc {
@@ -223,7 +228,7 @@ impl File {
         &self.path
     }
 
-    /// On-disk format version ([`Version::V3`] for current files).
+    /// On-disk format version ([`Version::V4`] for current files).
     pub fn version(&self) -> Version {
         self.version
     }
@@ -296,7 +301,68 @@ impl File {
                 meta.verify_unit_count()
             )));
         }
+        if meta.is_compressed() && meta.stored_units.len() != meta.verify_unit_count() {
+            return Err(DasfError::Corrupt(format!(
+                "dataset {dataset} carries {} unit headers for {} verify units",
+                meta.stored_units.len(),
+                meta.verify_unit_count()
+            )));
+        }
         Ok(Some(&meta.checksums))
+    }
+
+    /// Decode one checksum-verified stored unit, appending its raw
+    /// payload bytes to `raw`, and charge the codec metrics.
+    fn decode_stored_unit(
+        &self,
+        dtype: crate::Dtype,
+        u: &UnitHeader,
+        stored: &[u8],
+        raw: &mut Vec<u8>,
+    ) -> Result<()> {
+        let m = crate::metrics::metrics();
+        let started = std::time::Instant::now();
+        codec::decode_unit(u.codec, stored, u.raw_len as usize, dtype, raw)?;
+        m.codec_decode_ns.record_duration(started.elapsed());
+        m.codec_bytes_raw.add(u.raw_len as u64);
+        m.codec_bytes_stored.add(u.stored_len as u64);
+        Ok(())
+    }
+
+    /// Read, verify, and decode stored units `first..=last` of a
+    /// compressed **contiguous** dataset into one pooled raw buffer
+    /// (covering raw bytes `[first, last+1) × VERIFY_CHUNK_BYTES` of the
+    /// payload). The stored span is fetched with a single positioned
+    /// read; each unit is CRC-checked over its stored bytes before it
+    /// is decoded.
+    fn decode_window(
+        &self,
+        dataset: &str,
+        meta: &DatasetMeta,
+        first: usize,
+        last: usize,
+    ) -> Result<crate::pool::PooledBuf<u8>> {
+        let (span_off, _) = meta.stored_unit_range(first);
+        let span_len: u64 = meta.stored_units[first..=last]
+            .iter()
+            .map(|u| u.stored_len as u64)
+            .sum();
+        let mut stored = crate::pool::bytes().acquire(span_len as usize);
+        stored.resize(span_len as usize, 0);
+        self.read_at(meta.data_offset + span_off, &mut stored)?;
+        let raw_len: u64 = meta.stored_units[first..=last]
+            .iter()
+            .map(|u| u.raw_len as u64)
+            .sum();
+        let mut raw = crate::pool::bytes().acquire(raw_len as usize);
+        let mut off = 0usize;
+        for (unit, u) in meta.stored_units[first..=last].iter().enumerate() {
+            let s = &stored[off..off + u.stored_len as usize];
+            self.verify_chunk_bytes(dataset, meta, first + unit, s)?;
+            self.decode_stored_unit(meta.dtype, u, s, &mut raw)?;
+            off += u.stored_len as usize;
+        }
+        Ok(raw)
     }
 
     fn mismatch(&self, dataset: &str, chunk: usize) -> DasfError {
@@ -449,6 +515,13 @@ impl File {
                 crate::faults::check_read(&self.path)?;
                 let started = std::time::Instant::now();
                 let n = meta.len();
+                if meta.is_compressed() {
+                    let raw = self.decode_window(path, meta, 0, meta.stored_units.len() - 1)?;
+                    counting_growth(out, |out| decode_into(&raw, n, out));
+                    m.read_bytes.add(raw.len() as u64);
+                    m.read_ns.record_duration(started.elapsed());
+                    return Ok(n);
+                }
                 let mut bytes = crate::pool::bytes().acquire(n * meta.dtype.size());
                 bytes.resize(n * meta.dtype.size(), 0);
                 self.read_at(meta.data_offset, &mut bytes)?;
@@ -552,15 +625,29 @@ impl File {
         }
 
         let elem = meta.dtype.size() as u64;
-        // Verify the bounding byte range before touching any run: every
-        // byte a run read below can return lies inside it.
+        // Bounding byte range of the selection: every byte a run below
+        // touches lies inside it.
         let mut lo_elem = 0u64;
         let mut hi_elem = 0u64;
         for d in 0..ndim {
             lo_elem += selection[d].0 * strides[d];
             hi_elem += (selection[d].0 + selection[d].1 - 1) * strides[d];
         }
-        self.verify_contiguous_range(path, meta, lo_elem * elem, (hi_elem + 1) * elem)?;
+        let (lo_byte, hi_byte) = (lo_elem * elem, (hi_elem + 1) * elem);
+        // Compressed datasets cannot seek into the middle of a stored
+        // unit, so decode the covering units into one raw window up
+        // front (verified against their stored-byte checksums) and copy
+        // runs out of it. Uncompressed datasets verify the bounding
+        // range and then seek per run, exactly as in v3.
+        let window = if meta.is_compressed() {
+            let first = (lo_byte / VERIFY_CHUNK_BYTES) as usize;
+            let last = ((hi_byte - 1) / VERIFY_CHUNK_BYTES) as usize;
+            let raw = self.decode_window(path, meta, first, last)?;
+            Some((raw, first as u64 * VERIFY_CHUNK_BYTES))
+        } else {
+            self.verify_contiguous_range(path, meta, lo_byte, hi_byte)?;
+            None
+        };
 
         let run_len = selection[ndim - 1].1; // contiguous elements per run
         let mut out_bytes = crate::pool::bytes().acquire((total * elem) as usize);
@@ -572,10 +659,19 @@ impl File {
             for d in 0..ndim - 1 {
                 elem_offset += (selection[d].0 + idx[d]) * strides[d];
             }
-            let byte_offset = meta.data_offset + elem_offset * elem;
             let start = out_bytes.len();
             out_bytes.resize(start + (run_len * elem) as usize, 0);
-            self.read_at(byte_offset, &mut out_bytes[start..])?;
+            match &window {
+                Some((raw, base)) => {
+                    let off = (elem_offset * elem - base) as usize;
+                    let run_bytes = (run_len * elem) as usize;
+                    out_bytes[start..].copy_from_slice(&raw[off..off + run_bytes]);
+                }
+                None => self.read_at(
+                    meta.data_offset + elem_offset * elem,
+                    &mut out_bytes[start..],
+                )?,
+            }
 
             // Advance the odometer.
             let mut d = ndim.saturating_sub(1);
@@ -663,11 +759,32 @@ impl File {
                 .map(|((&s, &d), &c)| c.min(d - s))
                 .collect();
             let chunk_elems: u64 = lens.iter().product();
-            let mut bytes = crate::pool::bytes().acquire(chunk_elems as usize * meta.dtype.size());
-            bytes.resize(chunk_elems as usize * meta.dtype.size(), 0);
-            self.read_at(chunk_offsets[flat_chunk as usize], &mut bytes)?;
-            self.verify_chunk_bytes(path, meta, flat_chunk as usize, &bytes)?;
-            let chunk: Vec<T> = decode_slice(&bytes, chunk_elems as usize);
+            let raw_bytes = chunk_elems as usize * meta.dtype.size();
+            let unit = flat_chunk as usize;
+            let chunk: Vec<T> = if meta.is_compressed() {
+                // One stored unit per chunk: fetch its stored bytes,
+                // CRC-check them, then decode into a pooled raw buffer.
+                let u = meta.stored_units[unit];
+                if u.raw_len as usize != raw_bytes {
+                    return Err(DasfError::Corrupt(format!(
+                        "chunk {unit} decodes to {} bytes, expected {raw_bytes}",
+                        u.raw_len
+                    )));
+                }
+                let mut stored = crate::pool::bytes().acquire(u.stored_len as usize);
+                stored.resize(u.stored_len as usize, 0);
+                self.read_at(chunk_offsets[unit], &mut stored)?;
+                self.verify_chunk_bytes(path, meta, unit, &stored)?;
+                let mut raw = crate::pool::bytes().acquire(raw_bytes);
+                self.decode_stored_unit(meta.dtype, &u, &stored, &mut raw)?;
+                decode_slice(&raw, chunk_elems as usize)
+            } else {
+                let mut bytes = crate::pool::bytes().acquire(raw_bytes);
+                bytes.resize(raw_bytes, 0);
+                self.read_at(chunk_offsets[unit], &mut bytes)?;
+                self.verify_chunk_bytes(path, meta, unit, &bytes)?;
+                decode_slice(&bytes, chunk_elems as usize)
+            };
             // Chunk-local strides.
             let mut c_strides = vec![1u64; ndim];
             for d in (0..ndim.saturating_sub(1)).rev() {
@@ -740,15 +857,21 @@ impl File {
                 continue;
             };
             for unit in 0..sums.len() {
+                // Checksums cover the *stored* bytes, so the scrub
+                // hashes exactly what is on disk and never decodes.
                 let (off, len) = match &meta.layout {
                     Layout::Contiguous => {
-                        let (start, len) = meta.unit_range(unit);
+                        let (start, len) = meta.stored_unit_range(unit);
                         (meta.data_offset + start, len)
                     }
-                    Layout::Chunked { chunk_offsets, .. } => (
-                        chunk_offsets[unit],
-                        meta.chunk_elems(unit) * meta.dtype.size() as u64,
-                    ),
+                    Layout::Chunked { chunk_offsets, .. } => {
+                        let len = if meta.is_compressed() {
+                            meta.stored_units[unit].stored_len as u64
+                        } else {
+                            meta.chunk_elems(unit) * meta.dtype.size() as u64
+                        };
+                        (chunk_offsets[unit], len)
+                    }
                 };
                 buf.resize(len as usize, 0);
                 self.read_at(off, &mut buf)?;
@@ -835,7 +958,7 @@ mod tests {
     fn whole_read_round_trip() {
         let p = write_2d("whole.dasf", 5, 7);
         let f = File::open(&p).unwrap();
-        assert_eq!(f.version(), crate::Version::V3);
+        assert_eq!(f.version(), crate::Version::V4);
         let v = f.read_f32("/data").unwrap();
         assert_eq!(v.len(), 35);
         assert_eq!(v[0], 0.0);

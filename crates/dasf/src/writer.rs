@@ -1,4 +1,4 @@
-//! Writing dasf files (v3, crash-consistent).
+//! Writing dasf files (v4, crash-consistent).
 //!
 //! Bytes stream into `<name>.tmp`; `finish` writes the object table and
 //! commit record, fsyncs, and atomically renames the temp file into
@@ -6,17 +6,26 @@
 //! still holds its previous (complete) content — a crash mid-write can
 //! never leave a torn file under the final name. Dropping an unfinished
 //! writer removes the temp file.
+//!
+//! A writer carries a [`Codec`] (default [`Codec::Raw`]); with a
+//! non-raw codec each verify unit is encoded before it is written and
+//! checksummed, so the CRC covers the stored bytes. Units the codec
+//! cannot shrink are stored raw per unit — a compressed dataset never
+//! grows past its raw size. The crash-consistency protocol is untouched
+//! either way.
 
+use crate::codec::{self, Codec};
 use crate::crc::crc32c;
 use crate::element::{encode_slice, Element};
 use crate::error::DasfError;
-use crate::object::{DatasetMeta, Layout, ObjectTable};
+use crate::object::{DatasetMeta, Layout, ObjectTable, UnitHeader};
 use crate::value::Value;
-use crate::{Result, Version, COMMIT_MAGIC, MAGIC, VERIFY_CHUNK_BYTES};
+use crate::{Result, Version, VERIFY_CHUNK_BYTES};
 use std::collections::BTreeMap;
 use std::fs::{File as FsFile, OpenOptions};
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Streaming writer: datasets append to the data region as they arrive;
 /// `finish` writes the object table, commit record, and superblock, then
@@ -31,6 +40,64 @@ pub struct Writer {
     /// Next free byte in the data region.
     cursor: u64,
     finished: bool,
+    version: Version,
+    /// Codec requested for subsequently written datasets.
+    codec: Codec,
+}
+
+/// Per-unit encodings of one dataset, ready to hit the disk.
+struct EncodedUnits {
+    checksums: Vec<u32>,
+    stored_units: Vec<UnitHeader>,
+    /// Concatenated stored bytes of every unit.
+    stored: Vec<u8>,
+}
+
+/// Encode `raw` unit-by-unit (`unit_len`-sized raw slices) under
+/// `requested`, charging the codec metrics. Units the codec cannot
+/// shrink are stored raw with a `Raw` unit header.
+fn encode_units(
+    requested: Codec,
+    raw: &[u8],
+    dtype: crate::Dtype,
+    unit_len: usize,
+) -> EncodedUnits {
+    let mut out = EncodedUnits {
+        checksums: Vec::new(),
+        stored_units: Vec::new(),
+        stored: Vec::with_capacity(raw.len()),
+    };
+    let mut encode_spent = Duration::ZERO;
+    for unit in raw.chunks(unit_len) {
+        let started = Instant::now();
+        let encoded = codec::encode_unit(requested, unit, dtype);
+        encode_spent += started.elapsed();
+        match encoded {
+            Some((used, enc)) => {
+                out.checksums.push(crc32c(&enc));
+                out.stored_units.push(UnitHeader {
+                    codec: used,
+                    raw_len: unit.len() as u32,
+                    stored_len: enc.len() as u32,
+                });
+                out.stored.extend_from_slice(&enc);
+            }
+            None => {
+                out.checksums.push(crc32c(unit));
+                out.stored_units.push(UnitHeader {
+                    codec: Codec::Raw,
+                    raw_len: unit.len() as u32,
+                    stored_len: unit.len() as u32,
+                });
+                out.stored.extend_from_slice(unit);
+            }
+        }
+    }
+    let m = crate::metrics::metrics();
+    m.codec_encode_ns.record_duration(encode_spent);
+    m.codec_bytes_raw.add(raw.len() as u64);
+    m.codec_bytes_stored.add(out.stored.len() as u64);
+    out
 }
 
 /// `<path>.tmp` — the staging name a writer streams into.
@@ -46,6 +113,15 @@ impl Writer {
     /// superblock there; `path` itself is untouched until the final
     /// atomic rename.
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Writer> {
+        Writer::create_versioned(path, Version::V4)
+    }
+
+    /// [`Writer::create`] for an explicit format version — v3 for
+    /// compatibility fixtures, v4 otherwise. v2 files are read-only.
+    pub fn create_versioned<P: AsRef<Path>>(path: P, version: Version) -> Result<Writer> {
+        if version == Version::V2 {
+            return Err(DasfError::Corrupt("v2 files are read-only".into()));
+        }
         let final_path = path.as_ref().to_path_buf();
         let tmp_path = tmp_path_for(&final_path);
         let file = OpenOptions::new()
@@ -54,7 +130,7 @@ impl Writer {
             .truncate(true)
             .open(&tmp_path)?;
         let mut w = BufWriter::new(file);
-        w.write_all(MAGIC)?;
+        w.write_all(version.magic())?;
         w.write_all(&0u64.to_le_bytes())?; // placeholder table offset
         Ok(Writer {
             file: Some(w),
@@ -63,7 +139,24 @@ impl Writer {
             table: ObjectTable::new(),
             cursor: 16,
             finished: false,
+            version,
+            codec: Codec::Raw,
         })
+    }
+
+    /// Set the codec for datasets written after this call. Non-raw
+    /// codecs need the v4 unit-header slot, so a v3 writer rejects
+    /// them.
+    pub fn set_codec(&mut self, codec: Codec) -> Result<()> {
+        if self.version != Version::V4 && codec != Codec::Raw {
+            return Err(DasfError::Corrupt(format!(
+                "codec {} needs a v4 file; this writer targets {:?}",
+                codec.label(),
+                self.version
+            )));
+        }
+        self.codec = codec;
+        Ok(())
     }
 
     fn fh(&mut self) -> &mut BufWriter<FsFile> {
@@ -99,10 +192,18 @@ impl Writer {
             });
         }
         let bytes = encode_slice(data);
-        let checksums: Vec<u32> = bytes
-            .chunks(VERIFY_CHUNK_BYTES as usize)
-            .map(crc32c)
-            .collect();
+        let (checksums, stored_units, stored) = if self.codec == Codec::Raw {
+            // Byte-identical to the uncompressed layout: checksums over
+            // the raw units, no unit headers.
+            let sums = bytes
+                .chunks(VERIFY_CHUNK_BYTES as usize)
+                .map(crc32c)
+                .collect();
+            (sums, Vec::new(), None)
+        } else {
+            let enc = encode_units(self.codec, &bytes, T::DTYPE, VERIFY_CHUNK_BYTES as usize);
+            (enc.checksums, enc.stored_units, Some(enc.stored))
+        };
         let meta = DatasetMeta {
             dtype: T::DTYPE,
             dims: dims.to_vec(),
@@ -110,13 +211,15 @@ impl Writer {
             layout: Layout::Contiguous,
             attrs: BTreeMap::new(),
             checksums,
+            stored_units,
         };
         // Register first so path errors surface before any bytes move.
         self.table.insert_dataset(path, meta)?;
         crate::faults::check_write(&self.final_path, path)?;
-        let started = std::time::Instant::now();
-        self.fh().write_all(&bytes)?;
-        self.cursor += bytes.len() as u64;
+        let started = Instant::now();
+        let on_disk = stored.as_deref().unwrap_or(&bytes);
+        self.fh().write_all(on_disk)?;
+        self.cursor += on_disk.len() as u64;
         let m = crate::metrics::metrics();
         m.write_count.inc();
         m.write_bytes.add(bytes.len() as u64);
@@ -149,13 +252,22 @@ impl Writer {
             )));
         }
         crate::faults::check_write(&self.final_path, path)?;
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         let grid: Vec<u64> = dims
             .iter()
             .zip(chunk_dims)
             .map(|(&d, &c)| d.div_ceil(c))
             .collect();
         let n_chunks: u64 = grid.iter().product();
+        // Each storage chunk is one verify unit; unit headers address it
+        // with u32 lengths, so huge chunks disable compression wholesale
+        // rather than truncate.
+        let max_chunk_bytes = chunk_dims.iter().product::<u64>() * std::mem::size_of::<T>() as u64;
+        let chunk_codec = if max_chunk_bytes <= u32::MAX as u64 {
+            self.codec
+        } else {
+            Codec::Raw
+        };
 
         // Row-major strides of the full dataset (in elements).
         let ndim = dims.len();
@@ -166,6 +278,7 @@ impl Writer {
 
         let mut chunk_offsets = Vec::with_capacity(n_chunks as usize);
         let mut checksums = Vec::with_capacity(n_chunks as usize);
+        let mut stored_units = Vec::new();
         let mut grid_idx = vec![0u64; ndim];
         for _ in 0..n_chunks {
             // Clipped extent of this chunk.
@@ -208,9 +321,17 @@ impl Writer {
             }
             chunk_offsets.push(self.cursor);
             let bytes = encode_slice(&chunk);
-            checksums.push(crc32c(&bytes));
-            self.fh().write_all(&bytes)?;
-            self.cursor += bytes.len() as u64;
+            if chunk_codec == Codec::Raw {
+                checksums.push(crc32c(&bytes));
+                self.fh().write_all(&bytes)?;
+                self.cursor += bytes.len() as u64;
+            } else {
+                let enc = encode_units(chunk_codec, &bytes, T::DTYPE, bytes.len().max(1));
+                checksums.extend(enc.checksums);
+                stored_units.extend(enc.stored_units);
+                self.fh().write_all(&enc.stored)?;
+                self.cursor += enc.stored.len() as u64;
+            }
             // Advance the chunk-grid odometer.
             for d in (0..ndim).rev() {
                 grid_idx[d] += 1;
@@ -230,6 +351,7 @@ impl Writer {
             },
             attrs: BTreeMap::new(),
             checksums,
+            stored_units,
         };
         self.table.insert_dataset(path, meta)?;
         let m = crate::metrics::metrics();
@@ -250,7 +372,9 @@ impl Writer {
         self.write_dataset(path, dims, data)
     }
 
-    /// Bytes of dataset payload written so far.
+    /// Bytes of dataset payload written so far — stored (on-disk)
+    /// bytes, which with a non-raw codec can be fewer than the raw
+    /// payload bytes.
     pub fn data_bytes_written(&self) -> u64 {
         self.cursor - 16
     }
@@ -261,7 +385,7 @@ impl Writer {
     /// temp file and leaves the final path untouched.
     pub fn finish(mut self) -> Result<()> {
         let table_offset = self.cursor;
-        let table_bytes = self.table.encode_versioned(Version::V3);
+        let table_bytes = self.table.encode_versioned(self.version);
 
         // 32-byte commit record. Its own CRC covers the reconstructed
         // superblock plus the record prefix, so a flipped byte in either
@@ -271,11 +395,11 @@ impl Writer {
         footer.extend_from_slice(&(table_bytes.len() as u64).to_le_bytes());
         footer.extend_from_slice(&crc32c(&table_bytes).to_le_bytes());
         let mut covered = Vec::with_capacity(36);
-        covered.extend_from_slice(MAGIC);
+        covered.extend_from_slice(self.version.magic());
         covered.extend_from_slice(&table_offset.to_le_bytes());
         covered.extend_from_slice(&footer[..20]);
         footer.extend_from_slice(&crc32c(&covered).to_le_bytes());
-        footer.extend_from_slice(COMMIT_MAGIC);
+        footer.extend_from_slice(self.version.commit_magic());
         debug_assert_eq!(footer.len(), 32);
 
         let w = self.fh();

@@ -1,0 +1,206 @@
+//! Property tests for the v4 codec stage: arbitrary float tiles pushed
+//! through the full writer→reader stack under every codec.
+//!
+//! * Lossless codecs (`raw`, `shuffle-lz`) must be bit-exact — NaNs,
+//!   infinities, and subnormals included.
+//! * `quant:<bound>` must reconstruct every *finite* sample within its
+//!   error bound, and fall back to bit-exact lossless storage for units
+//!   holding non-finite samples.
+//! * Chunked and contiguous layouts must agree under compression, and
+//!   hyperslabs must equal slices of the whole read.
+
+use dasf::{Codec, File, Writer};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dasf-codec-proptests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "{tag}-{}.dasf",
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Any bit pattern, including NaN/Inf/subnormals: the lossless codecs
+/// must round-trip all of them exactly.
+fn any_f32() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+fn any_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn lossless_codecs() -> impl Strategy<Value = Codec> {
+    prop_oneof![Just(Codec::Raw), Just(Codec::ShuffleLz)]
+}
+
+/// Bit-exact equality that treats any NaN payload as equal to itself
+/// after a lossless round trip (we compare bits, not values).
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn bits64(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lossless_f32_tiles_round_trip_bit_exactly(
+        rows in 1u64..12,
+        cols in 1u64..400,
+        data in prop::collection::vec(any_f32(), 1..4800),
+        codec in lossless_codecs(),
+    ) {
+        let n = (rows * cols) as usize;
+        let tile: Vec<f32> = data.iter().cycle().take(n).copied().collect();
+        let path = tmp("lossless32");
+        let mut w = Writer::create(&path).unwrap();
+        w.set_codec(codec).unwrap();
+        w.write_dataset_f32("/tile", &[rows, cols], &tile).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        prop_assert_eq!(bits32(&f.read_f32("/tile").unwrap()), bits32(&tile));
+        prop_assert!(f.verify_all().unwrap().is_clean());
+    }
+
+    #[test]
+    fn lossless_f64_tiles_round_trip_bit_exactly(
+        len in 1u64..3000,
+        data in prop::collection::vec(any_f64(), 1..3000),
+        codec in lossless_codecs(),
+    ) {
+        let tile: Vec<f64> = data.iter().cycle().take(len as usize).copied().collect();
+        let path = tmp("lossless64");
+        let mut w = Writer::create(&path).unwrap();
+        w.set_codec(codec).unwrap();
+        w.write_dataset_f64("/tile", &[len], &tile).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        prop_assert_eq!(bits64(&f.read_f64("/tile").unwrap()), bits64(&tile));
+    }
+
+    #[test]
+    fn quant_respects_bound_on_finite_f32_tiles(
+        len in 1u64..4000,
+        amp in 0.01f64..1e4,
+        bound in 1e-6f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        // Finite, bounded samples: a smooth-ish wave plus deterministic
+        // jitter, scaled by amp.
+        let tile: Vec<f32> = (0..len)
+            .map(|i| {
+                let t = (i + seed) as f64;
+                ((t * 0.013).sin() * amp + (t * 0.71).cos() * amp * 0.1) as f32
+            })
+            .collect();
+        let path = tmp("quant32");
+        let mut w = Writer::create(&path).unwrap();
+        w.set_codec(Codec::Quant { bound }).unwrap();
+        w.write_dataset_f32("/tile", &[len], &tile).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        let back = f.read_f32("/tile").unwrap();
+        prop_assert_eq!(back.len(), tile.len());
+        for (orig, got) in tile.iter().zip(&back) {
+            let err = (*orig as f64 - *got as f64).abs();
+            // Slack for the final f64→f32 cast of the reconstruction.
+            let slack = got.abs() as f64 * 2.0 * f32::EPSILON as f64;
+            prop_assert!(
+                err <= bound + slack,
+                "|{} - {}| = {} > {}", orig, got, err, bound
+            );
+        }
+    }
+
+    #[test]
+    fn quant_stores_non_finite_tiles_bit_exactly(
+        data in prop::collection::vec(any_f32(), 2..600),
+        nan_at in prop::collection::vec(0usize..600, 1..4),
+    ) {
+        // Plant NaNs so quantisation must fall back to lossless.
+        let mut tile = data;
+        let n = tile.len();
+        for i in nan_at {
+            tile[i % n] = f32::NAN;
+        }
+        let path = tmp("quantnan");
+        let mut w = Writer::create(&path).unwrap();
+        w.set_codec(Codec::Quant { bound: 1e-3 }).unwrap();
+        w.write_dataset_f32("/tile", &[n as u64], &tile).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        prop_assert_eq!(bits32(&f.read_f32("/tile").unwrap()), bits32(&tile));
+        // The codec actually used is never the quant codec.
+        let meta = f.dataset("/tile").unwrap();
+        prop_assert!(meta.codec() != Codec::Quant { bound: 1e-3 });
+    }
+
+    #[test]
+    fn compressed_chunked_equals_contiguous(
+        rows in 1u64..20,
+        cols in 1u64..40,
+        ch_r in 1u64..8,
+        ch_c in 1u64..8,
+        frac in 0.0f64..1.0,
+        frac2 in 0.0f64..1.0,
+    ) {
+        // Runs of equal values: guaranteed compressible in most shapes.
+        let data: Vec<f64> = (0..rows * cols).map(|i| (i / 7) as f64).collect();
+        let path = tmp("chunkeq");
+        let mut w = Writer::create(&path).unwrap();
+        w.set_codec(Codec::ShuffleLz).unwrap();
+        w.write_dataset_f64("/cont", &[rows, cols], &data).unwrap();
+        w.write_dataset_chunked("/chunked", &[rows, cols], &[ch_r, ch_c], &data)
+            .unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        prop_assert_eq!(f.read_f64("/cont").unwrap(), f.read_f64("/chunked").unwrap());
+        let r0 = (frac * rows as f64) as u64 % rows;
+        let c0 = (frac2 * cols as f64) as u64 % cols;
+        let rn = 1 + (rows - r0 - 1).min((frac2 * 5.0) as u64);
+        let cn = 1 + (cols - c0 - 1).min((frac * 9.0) as u64);
+        let sel = [(r0, rn), (c0, cn)];
+        prop_assert_eq!(
+            f.read_hyperslab_f64("/chunked", &sel).unwrap(),
+            f.read_hyperslab_f64("/cont", &sel).unwrap()
+        );
+    }
+
+    #[test]
+    fn compressed_hyperslab_equals_whole_read_slice(
+        rows in 1u64..10,
+        cols in 64u64..600,
+        frac in 0.0f64..1.0,
+        frac2 in 0.0f64..1.0,
+    ) {
+        let data: Vec<f32> = (0..rows * cols).map(|i| (i / 16) as f32 * 0.5).collect();
+        let path = tmp("slabeq");
+        let mut w = Writer::create(&path).unwrap();
+        w.set_codec(Codec::ShuffleLz).unwrap();
+        w.write_dataset_f32("/d", &[rows, cols], &data).unwrap();
+        w.finish().unwrap();
+        let f = File::open(&path).unwrap();
+        let whole = f.read_f32("/d").unwrap();
+        let r0 = (frac * rows as f64) as u64 % rows;
+        let c0 = (frac2 * cols as f64) as u64 % cols;
+        let rn = 1 + (rows - r0 - 1).min(4);
+        let cn = 1 + (cols - c0 - 1).min(100);
+        let slab = f.read_hyperslab_f32("/d", &[(r0, rn), (c0, cn)]).unwrap();
+        let mut expect = Vec::new();
+        for r in r0..r0 + rn {
+            for c in c0..c0 + cn {
+                expect.push(whole[(r * cols + c) as usize]);
+            }
+        }
+        prop_assert_eq!(slab, expect);
+    }
+}

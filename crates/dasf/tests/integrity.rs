@@ -1,20 +1,27 @@
-//! End-to-end integrity guarantees of the `DASF0003` format.
+//! End-to-end integrity guarantees of the `DASF0004` format.
 //!
-//! Three families of tests back the acceptance criteria of the v3
+//! Four families of tests back the acceptance criteria of the v4
 //! design:
 //!
-//! 1. **Compatibility** — a pinned golden v2 fixture (byte-for-byte the
-//!    output of the `DASF0002` writer) still opens and reads, and v3
-//!    round-trips are bit-exact and deterministic.
-//! 2. **Corruption** — flipping a byte *anywhere* in a v3 file (magic,
+//! 1. **Compatibility** — pinned golden v2 and v3 fixtures
+//!    (byte-for-byte the output of the `DASF0002` / `DASF0003` writers)
+//!    still open and read, and v4 round-trips are bit-exact and
+//!    deterministic.
+//! 2. **Corruption** — flipping a byte *anywhere* in a v4 file (magic,
 //!    superblock, payload, object table, commit record) is detected as
 //!    `BadMagic` / `Truncated` / `ChecksumMismatch`; never silently
-//!    wrong data.
-//! 3. **Crash shapes** — truncating a v3 file at every possible length
+//!    wrong data. The sweep runs over both an uncompressed and a
+//!    codec-compressed corpus: checksums cover the stored bytes, so
+//!    compression must not change what corruption looks like.
+//! 3. **Crash shapes** — truncating a v4 file at every possible length
 //!    (a SIGKILL mid-`finish`) is always detected at open, and an
-//!    aborted writer leaves nothing behind.
+//!    aborted writer leaves nothing behind. Also swept over a
+//!    compressed corpus.
+//! 4. **Codec round-trips** — a shuffle-lz file decodes bit-exactly to
+//!    the written payload, and a quant file reconstructs every sample
+//!    within its error bound.
 
-use dasf::{DasfError, File, Value, Version, Writer};
+use dasf::{Codec, DasfError, File, Value, Version, Writer};
 use std::path::PathBuf;
 
 fn tmp(name: &str) -> PathBuf {
@@ -36,7 +43,13 @@ fn unhex(s: &str) -> Vec<u8> {
 /// is what keeps it readable, not the current writer.
 const GOLDEN_V2_HEX: &str = "4441534630303032ac00000000000000000040c0000020c0000000c00000c0bf000080bf000000bf000000000000003f0000803f0000c03f00000040000020400000404000006040000080400000000000000000000000000000f03f0000000000003040000000000000394000000000000010400000000000002240000000000000424000000000008048400000000000005040000000000040544000000000000059400000000000405e400105000000110000004e756d626572206f66206f626a65637473020300000000000000190000004e756d626572206f662072617720646174612076616c7565730205000000000000001500000053616d706c696e674672657175656e637928485a2902f401000000000000140000005370617469616c5265736f6c7574696f6e286d290300000000000000401700000054696d655374616d702879796d6d646468686d6d737329010c000000313730373238323234353130020000000b0000004d6561737572656d656e7401000000000100000004000000646174610201020000000300000000000000050000000000000010000000000000000100000000070000006368756e6b6564020202000000030000000000000004000000000000004c00000000000000020200000002000000000000000200000000000000040000004c000000000000006c000000000000008c000000000000009c0000000000000000000000";
 
-/// The logical content of the golden fixture (and of the v3 files the
+/// A complete `DASF0003` file (checksums, no codec stage) captured from
+/// the v3 writer before the v4 format change — same logical content as
+/// the v2 fixture. Proves compressed-era readers keep decoding the
+/// checksummed-but-uncompressed generation byte-for-byte.
+const GOLDEN_V3_HEX: &str = "4441534630303033ac00000000000000000040c0000020c0000000c00000c0bf000080bf000000bf000000000000003f0000803f0000c03f00000040000020400000404000006040000080400000000000000000000000000000f03f0000000000003040000000000000394000000000000010400000000000002240000000000000424000000000008048400000000000005040000000000040544000000000000059400000000000405e4001030000001500000053616d706c696e674672657175656e637928485a2902f401000000000000140000005370617469616c5265736f6c7574696f6e286d290300000000000000401700000054696d655374616d702879796d6d646468686d6d737329010c000000313730373238323234353130020000000b0000004d6561737572656d656e7401000000000100000004000000646174610201020000000300000000000000050000000000000010000000000000000101000000dcb1481100000000070000006368756e6b6564020202000000030000000000000004000000000000004c00000000000000020200000002000000000000000200000000000000040000004c000000000000006c000000000000008c000000000000009c00000000000000040000006fa1be7f443d7d68d50b4e2b2868931c00000000ac000000000000003d01000000000000b82640f9fc84bf2b4441534633454e44";
+
+/// The logical content of the golden fixtures (and of the v4 files the
 /// tests below write): what the v2 writer was fed when it was pinned.
 fn expected_f32() -> Vec<f32> {
     (0..15).map(|i| i as f32 * 0.5 - 3.0).collect()
@@ -46,9 +59,9 @@ fn expected_f64() -> Vec<f64> {
     (0..12).map(|i| (i * i) as f64).collect()
 }
 
-fn write_v3_sample(name: &str) -> PathBuf {
+fn write_sample_versioned(name: &str, version: Version) -> PathBuf {
     let p = tmp(name);
-    let mut w = Writer::create(&p).unwrap();
+    let mut w = Writer::create_versioned(&p, version).unwrap();
     w.set_attr("/", "SamplingFrequency(HZ)", Value::Int(500))
         .unwrap();
     w.set_attr("/", "SpatialResolution(m)", Value::Float(2.0))
@@ -63,6 +76,36 @@ fn write_v3_sample(name: &str) -> PathBuf {
     w.write_dataset_f32("/Measurement/data", &[3, 5], &expected_f32())
         .unwrap();
     w.write_dataset_chunked("/chunked", &[3, 4], &[2, 2], &expected_f64())
+        .unwrap();
+    w.finish().unwrap();
+    p
+}
+
+fn write_v4_sample(name: &str) -> PathBuf {
+    write_sample_versioned(name, Version::V4)
+}
+
+/// Content of the compressed corpus: runs of repeated samples, the
+/// shape byte-shuffle + LZ is built for. Big enough that the contiguous
+/// dataset spans two verify units (> 64 KiB of raw payload).
+fn compressible_f32() -> Vec<f32> {
+    (0..20_480).map(|i| (i >> 5) as f32 * 0.25).collect()
+}
+
+fn compressible_f64() -> Vec<f64> {
+    (0..16 * 16).map(|i| (i % 16) as f64 * 0.5).collect()
+}
+
+/// A v4 file written through a non-raw codec, with the same dataset
+/// paths/types as the golden samples so `deep_read` applies unchanged.
+fn write_v4_compressed(name: &str, codec: Codec) -> PathBuf {
+    let p = tmp(name);
+    let mut w = Writer::create(&p).unwrap();
+    w.set_codec(codec).unwrap();
+    w.create_group("/Measurement").unwrap();
+    w.write_dataset_f32("/Measurement/data", &[2, 10_240], &compressible_f32())
+        .unwrap();
+    w.write_dataset_chunked("/chunked", &[16, 16], &[8, 8], &compressible_f64())
         .unwrap();
     w.finish().unwrap();
     p
@@ -106,29 +149,50 @@ fn golden_v2_fixture_still_opens_and_reads() {
 }
 
 #[test]
-fn v2_table_offset_past_eof_is_truncated() {
-    // Satellite: a v2 file whose superblock promises a table beyond EOF
-    // must surface as Truncated at open, not a later read panic.
-    let mut bytes = unhex(GOLDEN_V2_HEX);
-    let huge = (bytes.len() as u64 + 1000).to_le_bytes();
-    bytes[8..16].copy_from_slice(&huge);
-    let p = tmp("v2_past_eof.dasf");
-    std::fs::write(&p, &bytes).unwrap();
-    assert!(matches!(File::open(&p), Err(DasfError::Truncated)));
+fn golden_v3_fixture_still_opens_verifies_and_reads() {
+    let p = tmp("golden_v3.dasf");
+    std::fs::write(&p, unhex(GOLDEN_V3_HEX)).unwrap();
+    let f = File::open(&p).unwrap();
+    assert_eq!(f.version(), Version::V3);
+    assert_eq!(f.read_f32("/Measurement/data").unwrap(), expected_f32());
+    assert_eq!(f.read_f64("/chunked").unwrap(), expected_f64());
+    assert_eq!(
+        f.attr("/", "SpatialResolution(m)")
+            .and_then(|v| v.as_float()),
+        Some(2.0)
+    );
+    // Its v3 checksums still verify clean through the v4 reader.
+    let v = f.verify_all().unwrap();
+    assert!(v.is_clean());
+    assert_eq!(v.chunks_verified, 5);
+    assert_eq!(v.unverified_datasets, 0);
+    // No dataset carries codec headers.
+    for path in f.dataset_paths() {
+        assert!(!f.dataset(&path).unwrap().is_compressed());
+    }
 }
 
 #[test]
-fn v3_round_trip_is_bit_exact_and_deterministic() {
-    let p1 = write_v3_sample("rt1.dasf");
-    let p2 = write_v3_sample("rt2.dasf");
+fn v3_writer_output_matches_the_pinned_fixture() {
+    // The compat writer (`create_versioned(V3)`) must keep producing
+    // exactly the bytes the real v3 writer produced when the fixture
+    // was pinned — byte-identical back-compat writes, not just reads.
+    let p = write_sample_versioned("golden_v3_rewrite.dasf", Version::V3);
+    assert_eq!(std::fs::read(&p).unwrap(), unhex(GOLDEN_V3_HEX));
+}
+
+#[test]
+fn v4_round_trip_is_bit_exact_and_deterministic() {
+    let p1 = write_v4_sample("rt1.dasf");
+    let p2 = write_v4_sample("rt2.dasf");
     let b1 = std::fs::read(&p1).unwrap();
     let b2 = std::fs::read(&p2).unwrap();
     assert_eq!(b1, b2, "same logical content must serialize identically");
-    assert_eq!(&b1[..8], b"DASF0003");
-    assert_eq!(&b1[b1.len() - 8..], b"DASF3END");
+    assert_eq!(&b1[..8], b"DASF0004");
+    assert_eq!(&b1[b1.len() - 8..], b"DASF4END");
 
     let f = File::open(&p1).unwrap();
-    assert_eq!(f.version(), Version::V3);
+    assert_eq!(f.version(), Version::V4);
     assert_eq!(f.read_f32("/Measurement/data").unwrap(), expected_f32());
     assert_eq!(f.read_f64("/chunked").unwrap(), expected_f64());
     assert_eq!(
@@ -142,6 +206,25 @@ fn v3_round_trip_is_bit_exact_and_deterministic() {
     assert_eq!(v.unverified_datasets, 0);
     // 1 contiguous unit + 4 storage chunks.
     assert_eq!(v.chunks_verified, 5);
+}
+
+#[test]
+fn default_codec_payload_matches_v3_layout() {
+    // A raw-codec v4 file keeps its *payload region* byte-identical to
+    // its v3 twin — same offsets, same stored bytes, same checksums —
+    // which is what keeps fault-injection behaviour and pipeline
+    // digests stable across the format bump. Only the magic and the
+    // object table (a zero unit-header count per dataset, 4 bytes each)
+    // differ.
+    let p3 = write_sample_versioned("twin3.dasf", Version::V3);
+    let p4 = write_v4_sample("twin4.dasf");
+    let b3 = std::fs::read(&p3).unwrap();
+    let b4 = std::fs::read(&p4).unwrap();
+    let table_off = u64::from_le_bytes(b3[8..16].try_into().unwrap()) as usize;
+    assert_eq!(b3[8..16], b4[8..16], "payload region must not move");
+    assert_eq!(b3[16..table_off], b4[16..table_off]);
+    // Two datasets → two empty unit-header counts.
+    assert_eq!(b4.len(), b3.len() + 8);
 }
 
 // ---------------------------------------------------------------------
@@ -165,21 +248,15 @@ fn deep_read(p: &std::path::Path) -> dasf::Result<()> {
     Ok(())
 }
 
-#[test]
-fn flipping_any_byte_is_detected() {
-    let p = write_v3_sample("flip.dasf");
-    let clean = std::fs::read(&p).unwrap();
-    let f = File::open(&p).unwrap();
-    let table_offset = 16 + f.data_region_bytes();
-    drop(f);
+/// Flip every byte of `clean`, writing each damaged copy to `target`,
+/// and assert the damage is detected and classified by region.
+fn sweep_flips(clean: &[u8], table_offset: u64, target: &std::path::Path) {
     let footer_start = clean.len() as u64 - 32;
-    let target = tmp("flip_target.dasf");
-
     for i in 0..clean.len() {
-        let mut bad = clean.clone();
+        let mut bad = clean.to_vec();
         bad[i] ^= 0xA5;
-        std::fs::write(&target, &bad).unwrap();
-        let err = deep_read(&target).expect_err(&format!("flip at byte {i} went undetected"));
+        std::fs::write(target, &bad).unwrap();
+        let err = deep_read(target).expect_err(&format!("flip at byte {i} went undetected"));
         let i64_ = i as u64;
         match i64_ {
             0..=7 => assert!(
@@ -212,8 +289,36 @@ fn flipping_any_byte_is_detected() {
 }
 
 #[test]
+fn flipping_any_byte_is_detected() {
+    let p = write_v4_sample("flip.dasf");
+    let clean = std::fs::read(&p).unwrap();
+    let f = File::open(&p).unwrap();
+    let table_offset = 16 + f.data_region_bytes();
+    drop(f);
+    sweep_flips(&clean, table_offset, &tmp("flip_target.dasf"));
+}
+
+#[test]
+fn flipping_any_byte_of_a_compressed_file_is_detected() {
+    // Same sweep over a shuffle-lz corpus: the CRCs cover the stored
+    // (compressed) bytes, so every flipped stored byte must fail its
+    // checksum before any decode gets a chance to misbehave.
+    let p = write_v4_compressed("flip_lz.dasf", Codec::ShuffleLz);
+    let clean = std::fs::read(&p).unwrap();
+    let f = File::open(&p).unwrap();
+    let table_offset = 16 + f.data_region_bytes();
+    // Sanity: the corpus really is compressed, else the sweep proves
+    // nothing new.
+    let meta = f.dataset("/Measurement/data").unwrap();
+    assert!(meta.is_compressed());
+    assert!(meta.stored_byte_len() < meta.byte_len() / 4);
+    drop(f);
+    sweep_flips(&clean, table_offset, &tmp("flip_lz_target.dasf"));
+}
+
+#[test]
 fn payload_flip_is_attributed_to_the_right_chunk() {
-    let p = write_v3_sample("attr_chunk.dasf");
+    let p = write_v4_sample("attr_chunk.dasf");
     let mut bytes = std::fs::read(&p).unwrap();
     // Byte 20 sits in the first unit of /Measurement/data (payload
     // starts at 16).
@@ -239,22 +344,32 @@ fn payload_flip_is_attributed_to_the_right_chunk() {
 // 3. Crash shapes
 // ---------------------------------------------------------------------
 
-#[test]
-fn truncation_at_every_length_is_detected() {
-    let p = write_v3_sample("trunc.dasf");
-    let clean = std::fs::read(&p).unwrap();
-    let target = tmp("trunc_target.dasf");
+fn sweep_truncations(clean: &[u8], target: &std::path::Path) {
     for len in 0..clean.len() {
-        std::fs::write(&target, &clean[..len]).unwrap();
-        match File::open(&target) {
+        std::fs::write(target, &clean[..len]).unwrap();
+        match File::open(target) {
             Err(DasfError::Truncated) | Err(DasfError::ChecksumMismatch { .. }) => {}
             Err(other) => panic!("truncation to {len} gave unexpected error {other}"),
             Ok(_) => panic!("truncation to {len} bytes opened successfully"),
         }
     }
     // The untouched length still opens.
-    std::fs::write(&target, &clean).unwrap();
-    assert!(File::open(&target).is_ok());
+    std::fs::write(target, clean).unwrap();
+    assert!(File::open(target).is_ok());
+}
+
+#[test]
+fn truncation_at_every_length_is_detected() {
+    let p = write_v4_sample("trunc.dasf");
+    let clean = std::fs::read(&p).unwrap();
+    sweep_truncations(&clean, &tmp("trunc_target.dasf"));
+}
+
+#[test]
+fn truncation_of_a_compressed_file_at_every_length_is_detected() {
+    let p = write_v4_compressed("trunc_lz.dasf", Codec::ShuffleLz);
+    let clean = std::fs::read(&p).unwrap();
+    sweep_truncations(&clean, &tmp("trunc_lz_target.dasf"));
 }
 
 #[test]
@@ -282,7 +397,7 @@ fn verified_cache_is_per_handle() {
     // Intentional trade-off: a unit that verified once is not re-hashed
     // by the same handle, so rot appearing *after* that first read goes
     // unseen until a fresh open.
-    let p = write_v3_sample("cache.dasf");
+    let p = write_v4_sample("cache.dasf");
     let f = File::open(&p).unwrap();
     assert_eq!(f.read_f32("/Measurement/data").unwrap(), expected_f32());
     let mut bytes = std::fs::read(&p).unwrap();
@@ -296,4 +411,69 @@ fn verified_cache_is_per_handle() {
         f2.read_f32("/Measurement/data"),
         Err(DasfError::ChecksumMismatch { .. })
     ));
+}
+
+// ---------------------------------------------------------------------
+// 4. Codec round-trips through the full writer/reader stack
+// ---------------------------------------------------------------------
+
+#[test]
+fn shuffle_lz_file_round_trips_bit_exactly() {
+    let p = write_v4_compressed("rt_lz.dasf", Codec::ShuffleLz);
+    let f = File::open(&p).unwrap();
+    let meta = f.dataset("/Measurement/data").unwrap();
+    assert!(meta.is_compressed());
+    assert_eq!(meta.codec(), Codec::ShuffleLz);
+    assert!(meta.stored_byte_len() < meta.byte_len());
+    // Bit-exact whole reads on both layouts.
+    assert_eq!(f.read_f32("/Measurement/data").unwrap(), compressible_f32());
+    assert_eq!(f.read_f64("/chunked").unwrap(), compressible_f64());
+    // Hyperslabs decode through the unit window and must agree with
+    // slicing the whole array — including a window that straddles the
+    // 64 KiB unit boundary (row 1 starts at byte 40 960).
+    let whole = compressible_f32();
+    let slab = f
+        .read_hyperslab_f32("/Measurement/data", &[(1, 1), (5_000, 2_000)])
+        .unwrap();
+    assert_eq!(slab, whole[10_240 + 5_000..10_240 + 7_000]);
+    let chunk_slab = f.read_hyperslab_f64("/chunked", &[(6, 4), (6, 4)]).unwrap();
+    let c64 = compressible_f64();
+    let mut expect = Vec::new();
+    for r in 6..10 {
+        for c in 6..10 {
+            expect.push(c64[r * 16 + c]);
+        }
+    }
+    assert_eq!(chunk_slab, expect);
+    // The scrub hashes stored bytes only.
+    let v = f.verify_all().unwrap();
+    assert!(v.is_clean());
+    assert!(v.bytes_verified < meta.byte_len());
+}
+
+#[test]
+fn quant_file_respects_its_error_bound_end_to_end() {
+    let bound = 1e-3f64;
+    let p = tmp("rt_quant.dasf");
+    let data: Vec<f32> = (0..30_000)
+        .map(|i| (i as f32 * 0.011).sin() * 4.0)
+        .collect();
+    let mut w = Writer::create(&p).unwrap();
+    w.set_codec(Codec::Quant { bound }).unwrap();
+    w.create_group("/Measurement").unwrap();
+    w.write_dataset_f32("/Measurement/data", &[30_000], &data)
+        .unwrap();
+    w.finish().unwrap();
+    let f = File::open(&p).unwrap();
+    let meta = f.dataset("/Measurement/data").unwrap();
+    assert!(meta.is_compressed());
+    assert!(meta.stored_byte_len() < meta.byte_len());
+    let back = f.read_f32("/Measurement/data").unwrap();
+    assert_eq!(back.len(), data.len());
+    for (orig, got) in data.iter().zip(&back) {
+        let err = (*orig as f64 - *got as f64).abs();
+        let slack = got.abs() as f64 * 2.0 * f32::EPSILON as f64;
+        assert!(err <= bound + slack, "|{orig} - {got}| = {err} > {bound}");
+    }
+    assert!(f.verify_all().unwrap().is_clean());
 }

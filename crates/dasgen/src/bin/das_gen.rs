@@ -9,7 +9,7 @@
 //! demo event inventory (two vehicles, an earthquake, a persistent
 //! vibration source) unless `--quiet-scene` asks for pure noise.
 
-use dasgen::{write_minute_files, Scene};
+use dasgen::{write_minute_files_with_codec, Scene};
 use std::process::ExitCode;
 
 struct Args {
@@ -20,12 +20,14 @@ struct Args {
     start: String,
     seed: u64,
     quiet: bool,
+    codec: dasf::Codec,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: das_gen -d <dir> [-c <channels>=32] [-r <hz>=50] [-m <minutes>=6]\n\
-         \u{20}                [-s <yymmddhhmmss>=170728224510] [--seed <n>=1] [--quiet-scene]"
+         \u{20}                [-s <yymmddhhmmss>=170728224510] [--seed <n>=1] [--quiet-scene]\n\
+         \u{20}                [--codec raw|shuffle-lz|quant:<bound>]"
     );
     std::process::exit(2);
 }
@@ -39,6 +41,7 @@ fn parse_args() -> Args {
         start: "170728224510".to_string(),
         seed: 1,
         quiet: false,
+        codec: dasf::Codec::Raw,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,6 +58,13 @@ fn parse_args() -> Args {
             "-m" | "--minutes" => args.minutes = value("-m").parse().unwrap_or_else(|_| usage()),
             "-s" | "--start" => args.start = value("-s"),
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--codec" => {
+                let v = value("--codec");
+                args.codec = dasf::Codec::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--codec expects raw, shuffle-lz, or quant:<bound>, got {v:?}");
+                    usage()
+                });
+            }
             "--quiet-scene" => args.quiet = true,
             "-h" | "--help" => usage(),
             other => {
@@ -82,11 +92,12 @@ fn main() -> ExitCode {
             args.seed,
         )
     };
-    match write_minute_files(
+    match write_minute_files_with_codec(
         &scene,
         std::path::Path::new(&args.dir),
         &args.start,
         args.minutes,
+        args.codec,
     ) {
         Ok(paths) => {
             let bytes: u64 = paths
@@ -95,11 +106,12 @@ fn main() -> ExitCode {
                 .map(|m| m.len())
                 .sum();
             println!(
-                "wrote {} files ({} channels x {} samples each, {:.1} MiB total) to {}",
+                "wrote {} files ({} channels x {} samples each, {:.1} MiB total, codec {}) to {}",
                 paths.len(),
                 scene.channels,
                 scene.samples_for(60.0),
                 bytes as f64 / (1 << 20) as f64,
+                args.codec.label(),
                 args.dir
             );
             ExitCode::SUCCESS

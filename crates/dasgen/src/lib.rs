@@ -29,7 +29,7 @@ mod writer;
 
 pub use events::Event;
 pub use scene::Scene;
-pub use writer::write_minute_files;
+pub use writer::{write_minute_files, write_minute_files_with_codec};
 
 #[cfg(test)]
 mod tests {

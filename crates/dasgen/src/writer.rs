@@ -16,6 +16,18 @@ pub fn write_minute_files(
     start: &str,
     minutes: usize,
 ) -> dassa::Result<Vec<PathBuf>> {
+    write_minute_files_with_codec(scene, dir, start, minutes, dasf::Codec::Raw)
+}
+
+/// [`write_minute_files`] with an on-disk codec for the amplitude
+/// arrays (`raw`, `shuffle-lz`, or `quant:<bound>`).
+pub fn write_minute_files_with_codec(
+    scene: &Scene,
+    dir: &Path,
+    start: &str,
+    minutes: usize,
+    codec: dasf::Codec,
+) -> dassa::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir).map_err(dassa::DassaError::Io)?;
     let t0 = Timestamp::parse(start)?;
     let samples_per_minute = scene.samples_for(60.0);
@@ -31,7 +43,7 @@ pub fn write_minute_files(
             samples: samples_per_minute as u64,
         };
         let path = dir.join(das_file_name(&ts));
-        write_das_file(&path, &meta, &data)?;
+        dassa::dass::write_das_file_with_codec(&path, &meta, &data, None, codec)?;
         paths.push(path);
     }
     Ok(paths)

@@ -25,6 +25,11 @@ pub struct Machine {
     /// Contention exponent: how sharply effective I/O degrades once the
     /// outstanding-request count exceeds what the OSTs absorb.
     pub contention_power: f64,
+    /// Per-core cost of decoding one raw byte of codec-compressed DASF
+    /// payload (shuffle-LZ decode + unshuffle), nanoseconds. Storage
+    /// compression trades read bytes for this CPU time; the strategy
+    /// model charges it wherever decoded granules are produced.
+    pub decode_ns_per_byte: f64,
 }
 
 impl Machine {
@@ -42,6 +47,7 @@ impl Machine {
             injection_bandwidth: 10e9,  // ≈ 10 GB/s per node
             client_io_bandwidth: 2.5e9, // per-node Lustre client limit
             contention_power: 0.6,
+            decode_ns_per_byte: 0.25, // ≈ 4 GB/s/core shuffle-LZ decode
         }
     }
 
@@ -132,6 +138,12 @@ impl Machine {
         (p as f64 - 1.0) * self.net_latency + bytes_per_rank as f64 / self.injection_bandwidth
     }
 
+    /// Time for one core to decode `raw_bytes` of compressed payload
+    /// back to raw samples.
+    pub fn decode_time(&self, raw_bytes: u64) -> f64 {
+        raw_bytes as f64 * self.decode_ns_per_byte * 1e-9
+    }
+
     /// Would a per-node memory footprint of `bytes` exceed capacity?
     pub fn oom(&self, bytes: u64) -> bool {
         bytes > self.mem_per_node
@@ -152,6 +164,10 @@ pub struct Calibration {
     pub localsim_bytes_per_s_per_core: f64,
     /// Write throughput for the (small) result arrays, bytes/s.
     pub write_bytes_per_s: f64,
+    /// Measured codec decode cost, nanoseconds per raw byte — anchors
+    /// [`Machine::decode_ns_per_byte`] to this host instead of the
+    /// Cori-class estimate.
+    pub decode_ns_per_byte: f64,
 }
 
 impl Default for Calibration {
@@ -160,6 +176,7 @@ impl Default for Calibration {
             compute_bytes_per_s_per_core: 25.0e6,
             localsim_bytes_per_s_per_core: 8.0e6,
             write_bytes_per_s: 500.0e6,
+            decode_ns_per_byte: 0.25,
         }
     }
 }
@@ -203,6 +220,12 @@ impl Calibration {
         let write_bytes = after
             .counter("dasf.write.bytes")
             .saturating_sub(before.counter("dasf.write.bytes"));
+        // Decode rate straight from the reader's codec instrumentation:
+        // nanoseconds spent decoding over raw bytes produced.
+        let decode_raw = after
+            .counter("dasf.codec.bytes_raw")
+            .saturating_sub(before.counter("dasf.codec.bytes_raw"));
+        let decode_ns = span_ns("dasf.codec.decode_ns");
         Calibration {
             compute_bytes_per_s_per_core: rate(
                 work.interferometry_bytes,
@@ -216,6 +239,20 @@ impl Calibration {
             .unwrap_or(defaults.localsim_bytes_per_s_per_core),
             write_bytes_per_s: rate(write_bytes, span_ns("dasf.write.ns"))
                 .unwrap_or(defaults.write_bytes_per_s),
+            decode_ns_per_byte: if decode_raw > 0 && decode_ns > 0 {
+                decode_ns as f64 / decode_raw as f64
+            } else {
+                defaults.decode_ns_per_byte
+            },
+        }
+    }
+
+    /// A [`Machine`] whose decode cost is this calibration's measured
+    /// rate (other parameters unchanged).
+    pub fn apply_decode_rate(&self, machine: &Machine) -> Machine {
+        Machine {
+            decode_ns_per_byte: self.decode_ns_per_byte,
+            ..machine.clone()
         }
     }
 }
@@ -316,6 +353,20 @@ mod tests {
                 buckets: vec![],
             },
         );
+        // 200 MB of raw payload decoded in 0.1 s → 0.5 ns/byte.
+        after
+            .counters
+            .insert("dasf.codec.bytes_raw".into(), 200_000_000);
+        after.histograms.insert(
+            "dasf.codec.decode_ns".into(),
+            obs::HistogramSnapshot {
+                count: 3200,
+                sum: 100_000_000,
+                min: 10_000,
+                max: 80_000,
+                buckets: vec![],
+            },
+        );
         let work = CalibrationWorkload {
             interferometry_bytes: 80_000_000,
             localsim_bytes: 0, // probe skipped → default rate kept
@@ -326,6 +377,20 @@ mod tests {
         assert_eq!(
             cal.localsim_bytes_per_s_per_core,
             Calibration::default().localsim_bytes_per_s_per_core
+        );
+        assert!((cal.decode_ns_per_byte - 0.5).abs() < 1e-9);
+        let m = cal.apply_decode_rate(&Machine::cori_haswell());
+        assert!((m.decode_time(1_000_000_000) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_rate_falls_back_to_default_without_codec_traffic() {
+        let before = obs::Snapshot::default();
+        let after = obs::Snapshot::default();
+        let cal = Calibration::from_obs_delta(&before, &after, &CalibrationWorkload::default());
+        assert_eq!(
+            cal.decode_ns_per_byte,
+            Calibration::default().decode_ns_per_byte
         );
     }
 
